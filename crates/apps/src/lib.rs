@@ -1,0 +1,13 @@
+//! # tsp-apps
+//!
+//! Host package for the repository's runnable examples (`examples/` at
+//! the workspace root) and the cross-crate integration suite (`tests/`
+//! at the workspace root). It re-exports the public API surface the
+//! examples exercise, so `cargo doc -p tsp-apps` shows the whole stack.
+
+pub use gpu_sim;
+pub use tsp_2opt;
+pub use tsp_construction;
+pub use tsp_core;
+pub use tsp_ils;
+pub use tsp_tsplib;

@@ -1,0 +1,64 @@
+//! Criterion: ablation variants under wall-clock (host) time. The
+//! *modeled* ablation numbers come from `--bin ablations`; this bench
+//! tracks the host cost of each kernel variant in the simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_sim::spec;
+use tsp_2opt::{GpuTwoOpt, Strategy, TwoOptEngine};
+use tsp_core::Tour;
+use tsp_tsplib::{generate, Style};
+
+fn bench_strategies(c: &mut Criterion) {
+    let n = 1024usize;
+    let inst = generate("bench-abl", n, Style::Uniform, 1);
+    let tour = Tour::identity(n);
+    let mut group = c.benchmark_group("ablation_strategies");
+    for (label, strategy) in [
+        ("shared_ordered", Strategy::Shared),
+        ("shared_unordered", Strategy::Unordered),
+        ("global_only", Strategy::GlobalOnly),
+        ("tiled_256", Strategy::Tiled { tile: 256 }),
+    ] {
+        group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+            let mut eng = GpuTwoOpt::new(spec::gtx_680_cuda()).with_strategy(strategy);
+            b.iter(|| eng.best_move(&inst, &tour).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    let n = 512usize;
+    let inst = generate("bench-ext", n, Style::Uniform, 2);
+    let tour = Tour::identity(n);
+    let mut group = c.benchmark_group("extension_engines");
+    group.bench_with_input(BenchmarkId::new("multi_gpu_4", n), &n, |b, _| {
+        let mut eng = tsp_2opt::MultiGpuTwoOpt::homogeneous(spec::gtx_680_cuda(), 4);
+        b.iter(|| eng.best_move(&inst, &tour).unwrap())
+    });
+    group.bench_with_input(BenchmarkId::new("gpu_oropt", n), &n, |b, _| {
+        let mut eng = tsp_2opt::GpuOrOpt::new(spec::gtx_680_cuda());
+        b.iter(|| eng.best_move(&inst, &tour).unwrap())
+    });
+    group.bench_with_input(BenchmarkId::new("dlb_descent", n), &n, |b, _| {
+        b.iter(|| {
+            let mut t = tour.clone();
+            tsp_2opt::dlb::optimize(&inst, &mut t, 10)
+        })
+    });
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group!{
+    name = benches;
+    config = configured();
+    targets = bench_strategies, bench_extensions
+}
+criterion_main!(benches);

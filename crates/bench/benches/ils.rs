@@ -1,0 +1,55 @@
+//! Criterion: Fig. 11's unit of work — one ILS iteration (perturb +
+//! descend to the local minimum) per engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_sim::spec;
+use tsp_2opt::{optimize, GpuTwoOpt, SearchOptions, SequentialTwoOpt};
+use tsp_core::Tour;
+use tsp_ils::Perturbation;
+use tsp_tsplib::{generate, Style};
+
+/// One perturbation + descent, starting each iteration from the same
+/// local minimum.
+fn bench_ils_iteration(c: &mut Criterion) {
+    let n = 200;
+    let inst = generate("bench-ils", n, Style::Clustered { clusters: 8 }, 1);
+    // Pre-descend to a local minimum once.
+    let mut base = Tour::identity(n);
+    let mut seq = SequentialTwoOpt::new();
+    optimize(&mut seq, &inst, &mut base, SearchOptions::default()).unwrap();
+
+    let mut group = c.benchmark_group("fig11_ils_iteration");
+    group.bench_with_input(BenchmarkId::new("sequential", n), &n, |b, _| {
+        let mut eng = SequentialTwoOpt::new();
+        let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(7);
+        b.iter(|| {
+            let mut t = base.clone();
+            Perturbation::DoubleBridge.apply(&mut t, &mut rng);
+            optimize(&mut eng, &inst, &mut t, SearchOptions::default()).unwrap()
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("gpu_sim", n), &n, |b, _| {
+        let mut eng = GpuTwoOpt::new(spec::gtx_680_cuda());
+        let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(7);
+        b.iter(|| {
+            let mut t = base.clone();
+            Perturbation::DoubleBridge.apply(&mut t, &mut rng);
+            optimize(&mut eng, &inst, &mut t, SearchOptions::default()).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group!{
+    name = benches;
+    config = configured();
+    targets = bench_ils_iteration
+}
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion: functional kernel launches on the simulated device —
+//! the host-side counterpart of Fig. 9's kernel sweep (the modeled
+//! GFLOP/s themselves come from `--bin fig9`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpu_sim::{spec, Device, LaunchConfig};
+use tsp_2opt::bestmove::EMPTY_KEY;
+use tsp_2opt::gpu::small::OrderedSharedKernel;
+use tsp_2opt::gpu::tiled::TiledKernel;
+use tsp_2opt::indexing::pair_count;
+use tsp_core::Point;
+
+fn points(n: usize) -> Vec<Point> {
+    (0..n)
+        .map(|i| {
+            let a = i as f32 * 2.399963;
+            Point::new(500.0 + 400.0 * a.cos(), 500.0 + 400.0 * a.sin())
+        })
+        .collect()
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let dev = Device::new(spec::gtx_680_cuda());
+    let mut group = c.benchmark_group("fig9_kernel");
+    for &n in &[512usize, 2048, 6144] {
+        let (coords, _) = dev.copy_to_device(&points(n)).unwrap();
+        group.throughput(Throughput::Elements(pair_count(n)));
+        group.bench_with_input(BenchmarkId::new("shared", n), &n, |b, _| {
+            let out = dev.alloc_atomic(1, EMPTY_KEY).unwrap();
+            b.iter(|| {
+                out.fill(EMPTY_KEY);
+                dev.launch(
+                    LaunchConfig::new(32, 1024),
+                    &OrderedSharedKernel { coords: &coords, out: &out },
+                )
+                .unwrap()
+            })
+        });
+    }
+    // One tiled launch past the shared-memory capacity.
+    let n = 10_000;
+    let (coords, _) = dev.copy_to_device(&points(n)).unwrap();
+    group.throughput(Throughput::Elements(pair_count(n)));
+    group.bench_with_input(BenchmarkId::new("tiled", n), &n, |b, _| {
+        let out = dev.alloc_atomic(1, EMPTY_KEY).unwrap();
+        b.iter(|| {
+            out.fill(EMPTY_KEY);
+            let k = TiledKernel { coords: &coords, out: &out, tile: 1250 };
+            let grid = k.grid_dim();
+            dev.launch(LaunchConfig::new(grid, 1024), &k).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group!{
+    name = benches;
+    config = configured();
+    targets = bench_kernels
+}
+criterion_main!(benches);

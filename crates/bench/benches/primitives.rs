@@ -1,0 +1,58 @@
+//! Criterion: the hot primitives — delta evaluation, the triangular
+//! index inversion, and the packed-key codec.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tsp_2opt::bestmove::{pack, unpack};
+use tsp_2opt::delta::delta_ordered;
+use tsp_2opt::indexing::{index_to_pair, pair_count};
+use tsp_core::Point;
+
+fn bench_primitives(c: &mut Criterion) {
+    let n = 1024usize;
+    let pts: Vec<Point> = (0..n)
+        .map(|i| {
+            let a = i as f32 * 2.399963;
+            Point::new(500.0 + 400.0 * a.cos(), 500.0 + 400.0 * a.sin())
+        })
+        .collect();
+
+    c.bench_function("delta_ordered", |b| {
+        let mut k = 0u64;
+        let pairs = pair_count(n);
+        b.iter(|| {
+            let (i, j) = index_to_pair(k % pairs);
+            k += 7919;
+            black_box(delta_ordered(&pts, i as usize, j as usize))
+        })
+    });
+
+    c.bench_function("index_to_pair", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 7919;
+            black_box(index_to_pair(k & 0xFFFF_FFFF))
+        })
+    });
+
+    c.bench_function("pack_unpack", |b| {
+        let mut d = -1000i32;
+        b.iter(|| {
+            d = d.wrapping_add(17);
+            black_box(unpack(pack(d % 100_000, 123, 456)))
+        })
+    });
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group!{
+    name = benches;
+    config = configured();
+    targets = bench_primitives
+}
+criterion_main!(benches);

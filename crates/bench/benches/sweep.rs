@@ -1,0 +1,43 @@
+//! Criterion: wall-clock cost of one full 2-opt sweep per engine —
+//! the host-side counterpart of Table II's single-run columns.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_sim::spec;
+use tsp_2opt::{CpuParallelTwoOpt, GpuTwoOpt, SequentialTwoOpt, TwoOptEngine};
+use tsp_core::Tour;
+use tsp_tsplib::{generate, Style};
+
+fn bench_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_sweep");
+    for &n in &[100usize, 500, 1000] {
+        let inst = generate("bench-sweep", n, Style::Uniform, 1);
+        let tour = Tour::identity(n);
+        group.bench_with_input(BenchmarkId::new("sequential", n), &n, |b, _| {
+            let mut eng = SequentialTwoOpt::new();
+            b.iter(|| eng.best_move(&inst, &tour).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("cpu_parallel", n), &n, |b, _| {
+            let mut eng = CpuParallelTwoOpt::new();
+            b.iter(|| eng.best_move(&inst, &tour).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("gpu_sim", n), &n, |b, _| {
+            let mut eng = GpuTwoOpt::new(spec::gtx_680_cuda());
+            b.iter(|| eng.best_move(&inst, &tour).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group!{
+    name = benches;
+    config = configured();
+    targets = bench_sweep
+}
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Runs the ablation studies of DESIGN.md §5.
+
+use tsp_bench::ablation;
+
+fn main() {
+    println!("Ablation studies (GTX 680 CUDA model)\n");
+    print!(
+        "{}",
+        ablation::render(
+            "Optimization 1 & 2: kernel memory variants (n = 2048, one sweep)",
+            &["variant", "kernel", "total", "checks/s"],
+            &ablation::memory_variants(2048),
+        )
+    );
+    print!(
+        "{}",
+        ablation::render(
+            "Thread striding vs one-thread-per-pair (n = 4096)",
+            &["launch shape", "kernel", "GFLOP/s"],
+            &ablation::striding_variants(4096),
+        )
+    );
+    print!(
+        "{}",
+        ablation::render(
+            "Tile size of the division scheme (n = 20000)",
+            &["tile", "kernel", "GFLOP/s"],
+            &ablation::tile_sizes(20_000),
+        )
+    );
+    print!(
+        "{}",
+        ablation::render(
+            "Pivot rule (n = 300, descent to local minimum)",
+            &["rule", "sweeps", "pairs checked", "final length"],
+            &ablation::pivot_rules(300),
+        )
+    );
+    print!(
+        "{}",
+        ablation::render(
+            "Neighbourhood pruning (n = 300, descent to local minimum)",
+            &["neighbourhood", "pairs checked", "final length"],
+            &ablation::pruning_depths(300),
+        )
+    );
+    print!(
+        "{}",
+        ablation::render(
+            "Multi-device scaling, one sweep (n = 4000; paper \u{a7}VI future work)",
+            &["fleet", "kernel", "total", "checks/s"],
+            &ablation::multi_device_scaling(4000),
+        )
+    );
+    print!(
+        "{}",
+        ablation::render(
+            "Dense sweeps vs don't-look bits (n = 250, descent)",
+            &["algorithm", "checks", "final length"],
+            &ablation::dlb_vs_sweep(250),
+        )
+    );
+    print!(
+        "{}",
+        ablation::render(
+            "Serial Algorithm 2 vs overlapped transfers (one sweep)",
+            &["configuration", "total"],
+            &ablation::transfer_overlap(&[200, 1000, 4000]),
+        )
+    );
+}

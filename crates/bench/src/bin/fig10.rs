@@ -1,0 +1,22 @@
+//! Regenerates the paper's Fig. 10 (speedup vs the 2x Xeon E5-2660
+//! OpenCL CPU baseline) and checks the paper's headline claims.
+
+fn main() {
+    let curves = tsp_bench::fig10::compute();
+    if std::env::args().any(|a| a == "--csv") {
+        print!("{}", tsp_bench::fig10::to_csv(&curves));
+        return;
+    }
+    println!("Fig. 10 — speedup vs 2x Xeon E5-2660 (Intel OpenCL)\n");
+    print!("{}", tsp_bench::fig10::render(&curves));
+    let xs: Vec<f64> = tsp_bench::fig10::SIZES.iter().map(|&n| n as f64).collect();
+    let series: Vec<(&str, Vec<f64>)> = curves
+        .iter()
+        .map(|c| (c.device.as_str(), c.speedup.clone()))
+        .collect();
+    println!();
+    print!(
+        "{}",
+        tsp_bench::common::ascii_chart("Speedup vs problem size (log x)", &xs, &series, 14, 72)
+    );
+}

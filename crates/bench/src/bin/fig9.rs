@@ -1,0 +1,22 @@
+//! Regenerates the paper's Fig. 9 (GFLOP/s during 2-opt, 8 devices).
+
+fn main() {
+    let curves = tsp_bench::fig9::compute();
+    if std::env::args().any(|a| a == "--csv") {
+        print!("{}", tsp_bench::fig9::to_csv(&curves));
+        return;
+    }
+    println!("Fig. 9 — GFLOP/s (distance calculation) vs problem size\n");
+    print!("{}", tsp_bench::fig9::render(&curves));
+    let xs: Vec<f64> = tsp_bench::fig9::SIZES.iter().map(|&n| n as f64).collect();
+    let series: Vec<(&str, Vec<f64>)> = curves
+        .iter()
+        .map(|c| (c.device.as_str(), c.gflops.clone()))
+        .collect();
+    println!();
+    print!(
+        "{}",
+        tsp_bench::common::ascii_chart("GFLOP/s vs problem size (log x)", &xs, &series, 16, 72)
+    );
+    println!("\nPaper reference points: 680 GFLOP/s (GTX 680 CUDA), 830 GFLOP/s (Radeon 7970 OpenCL).");
+}

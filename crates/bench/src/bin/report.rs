@@ -1,0 +1,97 @@
+//! One-shot reproduction report: regenerates every table and figure into
+//! `reports/` (text + CSV), so a reviewer can diff a full run against
+//! the committed expectations in EXPERIMENTS.md.
+//!
+//! Usage: `report [out_dir] [max_functional_n]`
+//! (defaults: `reports`, 1500).
+
+use std::fs;
+use std::path::Path;
+
+fn write(path: &Path, name: &str, contents: &str) {
+    let p = path.join(name);
+    fs::write(&p, contents).unwrap_or_else(|e| panic!("cannot write {}: {e}", p.display()));
+    eprintln!("wrote {}", p.display());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_dir = args
+        .iter()
+        .find(|a| a.parse::<usize>().is_err())
+        .cloned()
+        .unwrap_or_else(|| "reports".to_string());
+    let cap: usize = args.iter().find_map(|a| a.parse().ok()).unwrap_or(1500);
+    let out = Path::new(&out_dir);
+    fs::create_dir_all(out).expect("cannot create report directory");
+
+    eprintln!("== Table I");
+    let t1 = tsp_bench::table1::compute();
+    write(out, "table1.txt", &tsp_bench::table1::render(&t1));
+
+    eprintln!("== Table II (functional up to n = {cap})");
+    let t2 = tsp_bench::table2::compute(cap);
+    write(out, "table2.txt", &tsp_bench::table2::render(&t2));
+    write(out, "table2.csv", &tsp_bench::table2::to_csv(&t2));
+
+    eprintln!("== Fig. 9");
+    let f9 = tsp_bench::fig9::compute();
+    write(out, "fig9.txt", &tsp_bench::fig9::render(&f9));
+    write(out, "fig9.csv", &tsp_bench::fig9::to_csv(&f9));
+
+    eprintln!("== Fig. 10");
+    let f10 = tsp_bench::fig10::compute();
+    write(out, "fig10.txt", &tsp_bench::fig10::render(&f10));
+    write(out, "fig10.csv", &tsp_bench::fig10::to_csv(&f10));
+
+    eprintln!("== Fig. 11 (n = 600, 30 iterations)");
+    let f11 = tsp_bench::fig11::compute(600, 30, 0x2013);
+    write(out, "fig11.txt", &tsp_bench::fig11::render(&f11));
+    write(out, "fig11.csv", &tsp_bench::fig11::to_csv(&f11));
+
+    eprintln!("== Ablations");
+    let mut ab = String::new();
+    ab += &tsp_bench::ablation::render(
+        "Optimization 1 & 2: kernel memory variants (n = 2048)",
+        &["variant", "kernel", "total", "checks/s"],
+        &tsp_bench::ablation::memory_variants(2048),
+    );
+    ab += &tsp_bench::ablation::render(
+        "Thread striding vs one-thread-per-pair (n = 4096)",
+        &["launch shape", "kernel", "GFLOP/s"],
+        &tsp_bench::ablation::striding_variants(4096),
+    );
+    ab += &tsp_bench::ablation::render(
+        "Tile size of the division scheme (n = 20000)",
+        &["tile", "kernel", "GFLOP/s"],
+        &tsp_bench::ablation::tile_sizes(20_000),
+    );
+    ab += &tsp_bench::ablation::render(
+        "Pivot rule (n = 300)",
+        &["rule", "sweeps", "pairs checked", "final length"],
+        &tsp_bench::ablation::pivot_rules(300),
+    );
+    ab += &tsp_bench::ablation::render(
+        "Neighbourhood pruning (n = 300)",
+        &["neighbourhood", "pairs checked", "final length"],
+        &tsp_bench::ablation::pruning_depths(300),
+    );
+    ab += &tsp_bench::ablation::render(
+        "Multi-device scaling (n = 4000)",
+        &["fleet", "kernel", "total", "checks/s"],
+        &tsp_bench::ablation::multi_device_scaling(4000),
+    );
+    ab += &tsp_bench::ablation::render(
+        "Dense sweeps vs don't-look bits (n = 250)",
+        &["algorithm", "checks", "final length"],
+        &tsp_bench::ablation::dlb_vs_sweep(250),
+    );
+    ab += &tsp_bench::ablation::render(
+        "Serial Algorithm 2 vs overlapped transfers",
+        &["configuration", "total"],
+        &tsp_bench::ablation::transfer_overlap(&[200, 1000, 4000]),
+    );
+    write(out, "ablations.txt", &ab);
+
+    eprintln!("\nreport complete: {}", out.display());
+}

@@ -1,0 +1,12 @@
+//! Regenerates the paper's Table I (memory needed: LUT vs. coordinates).
+
+fn main() {
+    let rows = tsp_bench::table1::compute();
+    println!("Table I — 2-opt single run, memory needed\n");
+    print!("{}", tsp_bench::table1::render(&rows));
+    println!(
+        "\nShared-memory capacity check (48 kB): {} cities single-range, {} per tiled range",
+        tsp_core::lut::max_cities_in_shared(48 * 1024),
+        tsp_core::lut::max_tile_in_shared(48 * 1024),
+    );
+}

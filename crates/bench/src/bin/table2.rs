@@ -1,0 +1,25 @@
+//! Regenerates the paper's Table II (2-opt single-run timings on the
+//! GTX 680).
+//!
+//! Usage: `table2 [max_functional_n] [--csv]`
+//!   max_functional_n — rows up to this size run functionally
+//!                      (default 2500; larger rows are model-priced and
+//!                      marked `~`).
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let csv = args.iter().any(|a| a == "--csv");
+    let cap: usize = args
+        .iter()
+        .find_map(|s| s.parse().ok())
+        .unwrap_or(2500);
+    eprintln!("running functional rows up to n = {cap} (argument overrides)...");
+    let rows = tsp_bench::table2::compute(cap);
+    if csv {
+        print!("{}", tsp_bench::table2::to_csv(&rows));
+        return;
+    }
+    println!("Table II — 2-opt, time needed for a single run (GTX 680 CUDA model)\n");
+    print!("{}", tsp_bench::table2::render(&rows));
+    println!("\n`~` marks model-extrapolated time-to-minimum (instance too large for functional execution here).");
+}

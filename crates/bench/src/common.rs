@@ -1,0 +1,184 @@
+//! Shared rendering helpers for the harness binaries.
+
+/// Render a fixed-width text table: `header` then `rows`.
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (c, cell) in row.iter().enumerate().take(cols) {
+            widths[c] = widths[c].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let line = |out: &mut String, cells: &[String]| {
+        let mut parts = Vec::with_capacity(cols);
+        for (c, cell) in cells.iter().enumerate().take(cols) {
+            parts.push(format!("{:>width$}", cell, width = widths[c]));
+        }
+        out.push_str(&parts.join("  "));
+        out.push('\n');
+    };
+    line(
+        &mut out,
+        &header.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    );
+    let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        line(&mut out, row);
+    }
+    out
+}
+
+/// Format seconds with the unit Table II uses at this magnitude
+/// (µs / ms / s / min / h).
+pub fn fmt_time(seconds: f64) -> String {
+    if seconds < 1e-3 {
+        format!("{:.0} us", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.1} ms", seconds * 1e3)
+    } else if seconds < 120.0 {
+        format!("{:.2} s", seconds)
+    } else if seconds < 7200.0 {
+        format!("{:.1} min", seconds / 60.0)
+    } else {
+        format!("{:.1} h", seconds / 3600.0)
+    }
+}
+
+/// Format a (possibly large) count with thousands separators.
+pub fn fmt_count(v: u64) -> String {
+    let s = v.to_string();
+    let mut out = String::new();
+    for (i, ch) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(ch);
+    }
+    out
+}
+
+/// Render a set of named series as a log-x ASCII chart — a terminal
+/// stand-in for the paper's figures. `points` are `(x, y)` pairs; all
+/// series must share their x values.
+pub fn ascii_chart(
+    title: &str,
+    xs: &[f64],
+    series: &[(&str, Vec<f64>)],
+    height: usize,
+    width: usize,
+) -> String {
+    assert!(!xs.is_empty() && height >= 2 && width >= 8);
+    let marks = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
+    let y_max = series
+        .iter()
+        .flat_map(|(_, ys)| ys.iter().copied())
+        .fold(f64::MIN, f64::max)
+        .max(1e-300);
+    let y_min = series
+        .iter()
+        .flat_map(|(_, ys)| ys.iter().copied())
+        .fold(f64::MAX, f64::min)
+        .min(y_max);
+    let (lx0, lx1) = (xs[0].max(1e-300).log10(), xs[xs.len() - 1].max(1e-300).log10());
+    let span = (y_max - y_min).max(1e-300);
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, ys)) in series.iter().enumerate() {
+        for (i, (&x, &y)) in xs.iter().zip(ys.iter()).enumerate() {
+            let _ = i;
+            let cx = if lx1 > lx0 {
+                ((x.max(1e-300).log10() - lx0) / (lx1 - lx0) * (width - 1) as f64).round() as usize
+            } else {
+                0
+            };
+            let cy = ((y - y_min) / span * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            grid[row][cx.min(width - 1)] = marks[si % marks.len()];
+        }
+    }
+
+    let mut out = format!("{title}\n");
+    out.push_str(&format!("{y_max:>10.0} ┐\n"));
+    for row in &grid {
+        out.push_str("           │");
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{y_min:>10.0} ┴"));
+    out.push_str(&"─".repeat(width));
+    out.push('\n');
+    out.push_str(&format!(
+        "           {:<width$}\n",
+        format!("log x: {} .. {}", xs[0], xs[xs.len() - 1]),
+        width = width
+    ));
+    for (si, (name, _)) in series.iter().enumerate() {
+        out.push_str(&format!("  {} {}\n", marks[si % marks.len()], name));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chart_places_extremes_on_edges() {
+        let xs = vec![100.0, 1000.0, 10_000.0];
+        let s = ascii_chart(
+            "t",
+            &xs,
+            &[("up", vec![0.0, 50.0, 100.0]), ("down", vec![100.0, 50.0, 0.0])],
+            8,
+            40,
+        );
+        assert!(s.contains("t\n"));
+        assert!(s.contains("* up"));
+        assert!(s.contains("o down"));
+        // The max label and min label appear.
+        assert!(s.contains("100 ┐"));
+        assert!(s.contains("0 ┴"));
+    }
+
+    #[test]
+    fn chart_handles_flat_series() {
+        let xs = vec![1.0, 10.0];
+        let s = ascii_chart("flat", &xs, &[("c", vec![5.0, 5.0])], 4, 20);
+        assert!(s.contains("c"));
+    }
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = render_table(
+            &["a", "bb"],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["333".into(), "4".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains('a') && lines[0].contains("bb"));
+        assert!(lines[2].ends_with(" 2"));
+    }
+
+    #[test]
+    fn time_units_switch_at_magnitudes() {
+        assert_eq!(fmt_time(81e-6), "81 us");
+        assert_eq!(fmt_time(0.055), "55.0 ms");
+        assert_eq!(fmt_time(13.4), "13.40 s");
+        assert_eq!(fmt_time(600.0), "10.0 min");
+        assert_eq!(fmt_time(9000.0), "2.5 h");
+    }
+
+    #[test]
+    fn counts_group_thousands() {
+        assert_eq!(fmt_count(0), "0");
+        assert_eq!(fmt_count(999), "999");
+        assert_eq!(fmt_count(1000), "1,000");
+        assert_eq!(fmt_count(2855145), "2,855,145");
+    }
+}

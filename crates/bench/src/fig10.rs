@@ -1,0 +1,200 @@
+//! Fig. 10 — speedup of the GPU devices over the parallel CPU baseline
+//! (2 × Xeon E5-2660, Intel OpenCL), per problem size; plus the paper's
+//! two headline claims:
+//!
+//! * abstract/§VI: a single 2-opt pass is "approximately 5 to 45 times"
+//!   faster than the parallel CPU implementation using 6 cores;
+//! * §I: the optimization converges "up to 300 times faster compared to
+//!   the sequential CPU version".
+
+use crate::common::render_table;
+use gpu_sim::{spec, DeviceSpec};
+use tsp_2opt::cpu_model::model_cpu_sweep_seconds;
+use tsp_2opt::gpu::model::model_auto_sweep;
+use tsp_2opt::indexing::pair_count;
+
+/// Problem sizes swept.
+pub const SIZES: &[usize] = &[
+    100, 200, 500, 1000, 2000, 5000, 10_000, 20_000, 50_000, 100_000,
+];
+
+/// One device's speedup curve vs. the Xeon baseline.
+#[derive(Debug, Clone)]
+pub struct Curve {
+    /// Device name.
+    pub device: String,
+    /// Speedup at each entry of [`SIZES`].
+    pub speedup: Vec<f64>,
+}
+
+/// Modeled end-to-end sweep time (kernel + transfers) for a GPU device.
+fn gpu_total(s: &DeviceSpec, n: usize) -> f64 {
+    model_auto_sweep(s, n).total_seconds()
+}
+
+/// Modeled sweep time for a CPU device.
+fn cpu_total(s: &DeviceSpec, n: usize) -> f64 {
+    model_cpu_sweep_seconds(s, pair_count(n))
+}
+
+/// Compute the four curves of Fig. 10.
+pub fn compute() -> Vec<Curve> {
+    let xeon = spec::xeon_e5_2660_x2();
+    spec::fig10_devices()
+        .into_iter()
+        .map(|s| Curve {
+            speedup: SIZES
+                .iter()
+                .map(|&n| cpu_total(&xeon, n) / gpu_total(&s, n))
+                .collect(),
+            device: s.name,
+        })
+        .collect()
+}
+
+/// The abstract's claim: single-sweep speedup of the GTX 680 over the
+/// 6-core host CPU, at the extremes of the size sweep. The small end is
+/// transfer-bound (the GPU can even lose below n ≈ 500, matching the
+/// paper's own small-instance caveat); the large end lands in the
+/// claimed 45x region.
+pub fn claim_5_to_45x() -> (f64, f64) {
+    let gpu = spec::gtx_680_cuda();
+    let host = spec::core_i7_3960x();
+    let lo = cpu_total(&host, *SIZES.first().unwrap()) / gpu_total(&gpu, *SIZES.first().unwrap());
+    let hi = SIZES
+        .iter()
+        .map(|&n| cpu_total(&host, n) / gpu_total(&gpu, n))
+        .fold(f64::MIN, f64::max);
+    (lo, hi)
+}
+
+/// The §I claim: sweep-rate ratio of the GPU over the *sequential* CPU
+/// at large sizes (convergence is sweep-bound, so the per-sweep ratio is
+/// the convergence ratio).
+pub fn claim_up_to_300x() -> f64 {
+    let gpu = spec::gtx_680_cuda();
+    let seq = spec::sequential_cpu();
+    SIZES
+        .iter()
+        .map(|&n| cpu_total(&seq, n) / gpu_total(&gpu, n))
+        .fold(f64::MIN, f64::max)
+}
+
+/// Render as CSV for external plotting.
+pub fn to_csv(curves: &[Curve]) -> String {
+    let mut out = String::from("problem_size");
+    for c in curves {
+        out.push(',');
+        out.push_str(&c.device.replace(',', ";"));
+    }
+    out.push('\n');
+    for (i, &n) in SIZES.iter().enumerate() {
+        out.push_str(&n.to_string());
+        for c in curves {
+            out.push_str(&format!(",{:.3}", c.speedup[i]));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render as a sizes × devices table plus the claims.
+pub fn render(curves: &[Curve]) -> String {
+    let mut header: Vec<String> = vec!["Problem size".into()];
+    header.extend(curves.iter().map(|c| c.device.clone()));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let body: Vec<Vec<String>> = SIZES
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| {
+            let mut row = vec![n.to_string()];
+            row.extend(curves.iter().map(|c| format!("{:.1}x", c.speedup[i])));
+            row
+        })
+        .collect();
+    let mut out = render_table(&header_refs, &body);
+    let (lo, hi) = claim_5_to_45x();
+    out.push_str(&format!(
+        "\nPaper claim check — 2-opt pass vs 6-core host CPU: {lo:.1}x (small) .. {hi:.1}x (large); paper says 5..45x\n"
+    ));
+    out.push_str(&format!(
+        "Paper claim check — vs sequential CPU: up to {:.0}x; paper says up to 300x\n",
+        claim_up_to_300x()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedups_grow_with_problem_size() {
+        for c in compute() {
+            let first = c.speedup[0];
+            let last = *c.speedup.last().unwrap();
+            assert!(
+                last > first * 2.0,
+                "{}: speedup should grow, {first} -> {last}",
+                c.device
+            );
+        }
+    }
+
+    #[test]
+    fn asymptotic_speedup_in_paper_band() {
+        // Fig. 10 tops out around 30-45x for the fastest devices vs the
+        // dual Xeon.
+        let curves = compute();
+        for c in &curves {
+            let last = *c.speedup.last().unwrap();
+            assert!(
+                (10.0..60.0).contains(&last),
+                "{}: asymptotic speedup {last}",
+                c.device
+            );
+        }
+        // The 7970 GHz Edition leads, as in the paper's legend order.
+        let ghz = curves
+            .iter()
+            .find(|c| c.device.contains("GHz"))
+            .unwrap()
+            .speedup
+            .last()
+            .copied()
+            .unwrap();
+        for c in &curves {
+            assert!(ghz >= *c.speedup.last().unwrap() - 1e-9, "{}", c.device);
+        }
+    }
+
+    #[test]
+    fn headline_claims_hold() {
+        let (lo, hi) = claim_5_to_45x();
+        // At the smallest sizes the GPU is transfer/latency-bound and
+        // loses to the CPU — the paper's own caveat ("does not give any
+        // substantial speedup ... smaller than 200"); the 5..45x band is
+        // about where the GPU is actually loaded.
+        assert!(lo < 5.0, "small-size speedup {lo}");
+        assert!((30.0..55.0).contains(&hi), "large-size speedup {hi}");
+        let seq = claim_up_to_300x();
+        assert!((150.0..400.0).contains(&seq), "sequential ratio {seq}");
+    }
+
+    #[test]
+    fn csv_has_all_rows() {
+        let csv = to_csv(&compute());
+        assert_eq!(csv.lines().count(), SIZES.len() + 1);
+    }
+
+    #[test]
+    fn small_sizes_show_little_gpu_advantage() {
+        // §V: "the GPU ILS version does not give any substantial speedup
+        // ... in case of small problems". At n=100 the GPU's fixed
+        // overheads keep the edge modest.
+        let curves = compute();
+        for c in &curves {
+            assert!(c.speedup[0] < 15.0, "{}: {}", c.device, c.speedup[0]);
+        }
+    }
+}

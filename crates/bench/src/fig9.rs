@@ -1,0 +1,162 @@
+//! Fig. 9 — "GFLOP/s (distance calculation) observed during the run" for
+//! all eight devices across problem sizes.
+//!
+//! GPU devices are priced through the exact analytic kernel model; CPU
+//! devices through the same roofline with their CPU specs (the paper's
+//! CPU baselines are OpenCL targets of the same kernel).
+
+use crate::common::render_table;
+use gpu_sim::{spec, DeviceKind, DeviceSpec};
+use tsp_2opt::cpu_model::model_cpu_sweep_seconds;
+use tsp_2opt::delta::FLOPS_PER_CHECK;
+use tsp_2opt::gpu::model::model_auto_sweep;
+use tsp_2opt::indexing::pair_count;
+
+/// Problem sizes swept (log-spaced like the paper's x-axis).
+pub const SIZES: &[usize] = &[
+    100, 200, 500, 1000, 2000, 5000, 10_000, 20_000, 50_000, 100_000,
+];
+
+/// One device's curve.
+#[derive(Debug, Clone)]
+pub struct Curve {
+    /// Device name.
+    pub device: String,
+    /// GFLOP/s at each entry of [`SIZES`].
+    pub gflops: Vec<f64>,
+}
+
+/// Modeled GFLOP/s of one sweep on one device.
+pub fn device_gflops(spec: &DeviceSpec, n: usize) -> f64 {
+    match spec.kind {
+        DeviceKind::Gpu => model_auto_sweep(spec, n).gflops(),
+        DeviceKind::Cpu => {
+            let pairs = pair_count(n);
+            let t = model_cpu_sweep_seconds(spec, pairs);
+            if t <= 0.0 {
+                0.0
+            } else {
+                (pairs * FLOPS_PER_CHECK) as f64 / t / 1e9
+            }
+        }
+    }
+}
+
+/// Compute all eight curves.
+pub fn compute() -> Vec<Curve> {
+    spec::fig9_devices()
+        .into_iter()
+        .map(|s| Curve {
+            gflops: SIZES.iter().map(|&n| device_gflops(&s, n)).collect(),
+            device: s.name,
+        })
+        .collect()
+}
+
+/// Render as CSV (one row per size, one column per device) for
+/// external plotting.
+pub fn to_csv(curves: &[Curve]) -> String {
+    let mut out = String::from("problem_size");
+    for c in curves {
+        out.push(',');
+        out.push_str(&c.device.replace(',', ";"));
+    }
+    out.push('\n');
+    for (i, &n) in SIZES.iter().enumerate() {
+        out.push_str(&n.to_string());
+        for c in curves {
+            out.push_str(&format!(",{:.2}", c.gflops[i]));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render as a sizes × devices table.
+pub fn render(curves: &[Curve]) -> String {
+    let mut header: Vec<String> = vec!["Problem size".into()];
+    header.extend(curves.iter().map(|c| c.device.clone()));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let body: Vec<Vec<String>> = SIZES
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| {
+            let mut row = vec![n.to_string()];
+            row.extend(curves.iter().map(|c| format!("{:.0}", c.gflops[i])));
+            row
+        })
+        .collect();
+    render_table(&header_refs, &body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve<'a>(curves: &'a [Curve], pat: &str) -> &'a Curve {
+        curves
+            .iter()
+            .find(|c| c.device.contains(pat))
+            .unwrap_or_else(|| panic!("no device matching {pat}"))
+    }
+
+    #[test]
+    fn peak_values_match_paper_observations() {
+        let curves = compute();
+        // §V: 680 GFLOP/s GTX 680 CUDA, 830 GFLOP/s Radeon 7970.
+        let gtx = curve(&curves, "GTX 680 (CUDA)").gflops.last().copied().unwrap();
+        assert!((600.0..760.0).contains(&gtx), "GTX peak {gtx}");
+        let radeon = curve(&curves, "7970 (OpenCL)").gflops.last().copied().unwrap();
+        assert!((740.0..920.0).contains(&radeon), "Radeon peak {radeon}");
+    }
+
+    #[test]
+    fn gpu_curves_rise_with_size_cpu_curves_stay_flat() {
+        let curves = compute();
+        let gtx = curve(&curves, "GTX 680 (CUDA)");
+        assert!(gtx.gflops[0] < gtx.gflops[4]);
+        assert!(gtx.gflops[4] < *gtx.gflops.last().unwrap());
+        let xeon = curve(&curves, "Xeon");
+        let spread = xeon.gflops.iter().cloned().fold(f64::MIN, f64::max)
+            / xeon.gflops[2].max(1e-9);
+        assert!(spread < 1.5, "CPU curve should be nearly flat: {spread}");
+    }
+
+    #[test]
+    fn device_ordering_matches_fig9_legend() {
+        // At the largest size: 7970 GHz > 7970 > GTX680 CUDA > GTX680
+        // OpenCL > 6990 > 5970 > CPUs.
+        let curves = compute();
+        let last = |pat: &str| *curve(&curves, pat).gflops.last().unwrap();
+        assert!(last("GHz Edition") > last("7970 (OpenCL)"));
+        assert!(last("7970 (OpenCL)") > last("GTX 680 (CUDA)"));
+        assert!(last("GTX 680 (CUDA)") > last("GTX 680 (OpenCL)"));
+        assert!(last("GTX 680 (OpenCL)") > last("6990"));
+        assert!(last("6990") > last("5970"));
+        assert!(last("5970") > last("Xeon"));
+        assert!(last("Xeon") > last("Opteron") * 0.5); // both CPUs low
+    }
+
+    #[test]
+    fn render_has_all_sizes() {
+        let s = render(&compute());
+        for n in SIZES {
+            assert!(s.contains(&n.to_string()));
+        }
+    }
+
+    #[test]
+    fn csv_is_rectangular() {
+        let curves = compute();
+        let csv = to_csv(&curves);
+        let mut lines = csv.lines();
+        let header_cols = lines.next().unwrap().split(',').count();
+        assert_eq!(header_cols, curves.len() + 1);
+        let mut rows = 0;
+        for line in lines {
+            assert_eq!(line.split(',').count(), header_cols, "{line}");
+            rows += 1;
+        }
+        assert_eq!(rows, SIZES.len());
+    }
+}

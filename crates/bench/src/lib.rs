@@ -1,0 +1,27 @@
+//! # tsp-bench
+//!
+//! Harnesses that regenerate **every table and figure** of the paper's
+//! evaluation, plus the ablation studies of DESIGN.md §5. Each module
+//! exposes a `compute()` returning structured rows (so tests can assert
+//! the paper's *shape*) and a `render()` producing the printable table;
+//! the `src/bin/` binaries are thin wrappers:
+//!
+//! | Paper artifact | Module | Binary |
+//! |---|---|---|
+//! | Table I (memory: LUT vs coords) | [`table1`] | `cargo run -p tsp-bench --bin table1` |
+//! | Table II (single-run timings) | [`table2`] | `cargo run -p tsp-bench --bin table2` |
+//! | Fig. 9 (GFLOP/s, 8 devices) | [`fig9`] | `cargo run -p tsp-bench --bin fig9` |
+//! | Fig. 10 (speedup vs CPU) | [`fig10`] | `cargo run -p tsp-bench --bin fig10` |
+//! | Fig. 11 (ILS convergence) | [`fig11`] | `cargo run -p tsp-bench --bin fig11` |
+//! | Ablations (DESIGN.md §5) | [`ablation`] | `cargo run -p tsp-bench --bin ablations` |
+//!
+//! Criterion micro-benches (wall-clock, on *this* host) live in
+//! `benches/` and run with `cargo bench`.
+
+pub mod ablation;
+pub mod common;
+pub mod fig10;
+pub mod fig11;
+pub mod fig9;
+pub mod table1;
+pub mod table2;

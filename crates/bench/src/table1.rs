@@ -1,0 +1,88 @@
+//! Table I — "2-opt single run: memory needed" (LUT vs. coordinates).
+
+use crate::common::render_table;
+use tsp_core::lut::MemoryFootprint;
+use tsp_tsplib::catalog::TABLE1_SIZES;
+
+/// One row of Table I.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Instance name (paper's TSPLIB name).
+    pub name: &'static str,
+    /// Number of cities.
+    pub n: usize,
+    /// MB needed for the full distance LUT.
+    pub lut_mib: f64,
+    /// kB needed for raw coordinates.
+    pub coord_kib: f64,
+}
+
+/// Compute all 12 rows.
+pub fn compute() -> Vec<Row> {
+    TABLE1_SIZES
+        .iter()
+        .map(|&(name, n)| {
+            let f = MemoryFootprint::for_size(n);
+            Row {
+                name,
+                n,
+                lut_mib: f.lut_mib(),
+                coord_kib: f.coord_kib(),
+            }
+        })
+        .collect()
+}
+
+/// Render the table in the paper's column layout.
+pub fn render(rows: &[Row]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                r.n.to_string(),
+                format!("{:.2}", r.lut_mib),
+                format!("{:.2}", r.coord_kib),
+            ]
+        })
+        .collect();
+    render_table(
+        &["Problem", "Cities", "LUT (MB)", "Coords (kB)"],
+        &body,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_rows_with_expected_extremes() {
+        let rows = compute();
+        assert_eq!(rows.len(), 12);
+        // kroE100: 100^2 * 4 B = 0.04 MB vs 0.78 kB.
+        assert!((rows[0].lut_mib - 0.038).abs() < 0.01);
+        assert!((rows[0].coord_kib - 0.78).abs() < 0.02);
+        // fnl4461: ~75.9 MB vs ~34.9 kB — the paper's blow-up argument.
+        let last = rows.last().unwrap();
+        assert!((last.lut_mib - 75.9).abs() < 1.0);
+        assert!((last.coord_kib - 34.9).abs() < 0.5);
+    }
+
+    #[test]
+    fn lut_grows_quadratically_coords_linearly() {
+        let rows = compute();
+        let (a, b) = (&rows[0], &rows[9]); // 100 vs 2392 cities
+        let size_ratio = b.n as f64 / a.n as f64;
+        assert!((b.lut_mib / a.lut_mib - size_ratio * size_ratio).abs() < 1.0);
+        assert!((b.coord_kib / a.coord_kib - size_ratio).abs() < 0.1);
+    }
+
+    #[test]
+    fn render_contains_all_names() {
+        let s = render(&compute());
+        for (name, _) in TABLE1_SIZES {
+            assert!(s.contains(name), "{name} missing");
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! The Multiple Fragment (greedy edge) heuristic — the paper's starting
+//! point for Table II: "The last 3 columns show the time needed from an
+//! initial solution based on the Multiple Fragment (Greedy) heuristic
+//! \[Bentley\] to the local minimum found by the algorithm".
+//!
+//! Edges are considered in increasing length; an edge is accepted when
+//! neither endpoint has degree 2 yet and it would not close a sub-cycle.
+//! The accepted edges form fragments that eventually link into one
+//! Hamiltonian path, closed into a tour.
+//!
+//! Two candidate generators are used:
+//! * all `n(n-1)/2` edges for small instances (exact Bentley greedy);
+//! * k-nearest-neighbour candidate edges from a [`SpatialGrid`] for large
+//!   ones (the standard large-instance variant; leftover fragments are
+//!   linked by a greedy endpoint matching).
+
+use crate::grid::SpatialGrid;
+use crate::union_find::UnionFind;
+use tsp_core::{Instance, Tour};
+
+/// Above this size, switch from all-pairs edges to k-NN candidates.
+const ALL_PAIRS_LIMIT: usize = 3000;
+/// Neighbours per city for the candidate generator.
+const KNN: usize = 12;
+
+/// Build a tour with the Multiple Fragment heuristic.
+pub fn multiple_fragment(inst: &Instance) -> Tour {
+    let n = inst.len();
+    if n <= ALL_PAIRS_LIMIT || !inst.is_coordinate_based() {
+        multiple_fragment_exact(inst)
+    } else {
+        multiple_fragment_knn(inst, KNN)
+    }
+}
+
+/// Exact greedy over all edges (O(n² log n)).
+pub fn multiple_fragment_exact(inst: &Instance) -> Tour {
+    let n = inst.len();
+    let mut edges: Vec<(i32, u32, u32)> = Vec::with_capacity(n * (n - 1) / 2);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            edges.push((inst.dist(i, j), i as u32, j as u32));
+        }
+    }
+    edges.sort_unstable();
+    build_from_edges(inst, n, edges.into_iter())
+}
+
+/// Greedy over k-NN candidate edges (O(n·k log(n·k))), fragments linked
+/// greedily afterwards.
+pub fn multiple_fragment_knn(inst: &Instance, k: usize) -> Tour {
+    let n = inst.len();
+    let grid = SpatialGrid::build(inst);
+    let mut edges: Vec<(i32, u32, u32)> = Vec::with_capacity(n * k);
+    for i in 0..n {
+        for j in grid.knn(i, k) {
+            let (a, b) = if (i as u32) < j { (i as u32, j) } else { (j, i as u32) };
+            edges.push((inst.dist(a as usize, b as usize), a, b));
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    build_from_edges(inst, n, edges.into_iter())
+}
+
+/// Core greedy: accept edges into fragments, then close up.
+fn build_from_edges(
+    inst: &Instance,
+    n: usize,
+    edges: impl Iterator<Item = (i32, u32, u32)>,
+) -> Tour {
+    let mut degree = vec![0u8; n];
+    let mut adj: Vec<[u32; 2]> = vec![[u32::MAX; 2]; n];
+    let mut uf = UnionFind::new(n);
+    let mut accepted = 0usize;
+
+    let add = |a: usize,
+                   b: usize,
+                   degree: &mut Vec<u8>,
+                   adj: &mut Vec<[u32; 2]>,
+                   uf: &mut UnionFind|
+     -> bool {
+        if degree[a] >= 2 || degree[b] >= 2 || !uf.union(a, b) {
+            return false;
+        }
+        adj[a][degree[a] as usize] = b as u32;
+        adj[b][degree[b] as usize] = a as u32;
+        degree[a] += 1;
+        degree[b] += 1;
+        true
+    };
+
+    for (_, a, b) in edges {
+        if accepted == n - 1 {
+            break;
+        }
+        if add(a as usize, b as usize, &mut degree, &mut adj, &mut uf) {
+            accepted += 1;
+        }
+    }
+
+    // Candidate edges may run dry before the path is complete (k-NN
+    // mode): link remaining fragment endpoints greedily by nearest pair.
+    while accepted < n - 1 {
+        let endpoints: Vec<usize> = (0..n).filter(|&v| degree[v] < 2).collect();
+        let mut best: Option<(i32, usize, usize)> = None;
+        for (idx, &a) in endpoints.iter().enumerate() {
+            for &b in &endpoints[idx + 1..] {
+                if uf.connected(a, b) {
+                    continue;
+                }
+                let d = inst.dist(a, b);
+                if best.map_or(true, |(bd, _, _)| d < bd) {
+                    best = Some((d, a, b));
+                }
+            }
+        }
+        let (_, a, b) = best.expect("disconnected fragments always leave joinable endpoints");
+        let ok = add(a, b, &mut degree, &mut adj, &mut uf);
+        debug_assert!(ok);
+        accepted += 1;
+    }
+
+    // Walk the Hamiltonian path from one of its two endpoints.
+    let start = (0..n).find(|&v| degree[v] <= 1).unwrap_or(0);
+    let mut order = Vec::with_capacity(n);
+    let mut prev = u32::MAX;
+    let mut cur = start as u32;
+    for _ in 0..n {
+        order.push(cur);
+        let [x, y] = adj[cur as usize];
+        let next = if x != prev && x != u32::MAX { x } else { y };
+        prev = cur;
+        cur = next;
+        if cur == u32::MAX {
+            break;
+        }
+    }
+    debug_assert_eq!(order.len(), n);
+    Tour::new(order).expect("multiple fragment produces a permutation")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsp_core::{Metric, Point};
+    use tsp_tsplib::{generate, Style};
+
+    #[test]
+    fn square_greedy_is_the_perimeter() {
+        let inst = Instance::new(
+            "square4",
+            Metric::Euc2d,
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(0.0, 10.0),
+                Point::new(10.0, 10.0),
+                Point::new(10.0, 0.0),
+            ],
+        )
+        .unwrap();
+        let t = multiple_fragment(&inst);
+        assert_eq!(t.length(&inst), 40);
+    }
+
+    #[test]
+    fn greedy_beats_identity_on_random_fields() {
+        for seed in 0..3 {
+            let inst = generate("mf", 200, Style::Uniform, seed);
+            let t = multiple_fragment(&inst);
+            t.validate().unwrap();
+            assert!(t.length(&inst) < Tour::identity(200).length(&inst) / 2);
+        }
+    }
+
+    #[test]
+    fn knn_variant_close_to_exact() {
+        let inst = generate("mfk", 400, Style::Clustered { clusters: 8 }, 3);
+        let exact = multiple_fragment_exact(&inst);
+        let knn = multiple_fragment_knn(&inst, 10);
+        knn.validate().unwrap();
+        let gap = (knn.length(&inst) - exact.length(&inst)) as f64
+            / exact.length(&inst) as f64;
+        assert!(gap.abs() < 0.10, "k-NN MF gap vs exact = {gap:.3}");
+    }
+
+    #[test]
+    fn handles_collinear_points() {
+        let pts = (0..20).map(|i| Point::new(i as f32 * 7.0, 0.0)).collect();
+        let inst = Instance::new("line", Metric::Euc2d, pts).unwrap();
+        let t = multiple_fragment(&inst);
+        t.validate().unwrap();
+        // Optimal line tour: down and back = 2 * 19 * 7.
+        assert_eq!(t.length(&inst), 2 * 19 * 7);
+    }
+
+    #[test]
+    fn works_on_explicit_matrices() {
+        use tsp_core::ExplicitMatrix;
+        // A 4-cycle where 0-1,1-2,2-3,3-0 are cheap.
+        let m = ExplicitMatrix::from_full(
+            4,
+            vec![0, 1, 9, 1, 1, 0, 1, 9, 9, 1, 0, 1, 1, 9, 1, 0],
+        )
+        .unwrap();
+        let inst = Instance::from_matrix("cyc", m, None).unwrap();
+        let t = multiple_fragment(&inst);
+        assert_eq!(t.length(&inst), 4);
+    }
+}

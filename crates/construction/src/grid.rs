@@ -1,0 +1,186 @@
+//! A uniform spatial grid for approximate nearest-neighbour queries —
+//! the scaling substrate that lets the construction heuristics handle
+//! the paper's six-digit instances (O(n²) all-pairs scans stop being an
+//! option around 10⁵ cities).
+
+use tsp_core::{Instance, Point};
+
+/// A bucket grid over the instance's bounding box, sized for ≈1 point
+/// per cell.
+#[derive(Debug)]
+pub struct SpatialGrid<'a> {
+    inst: &'a Instance,
+    min_x: f32,
+    min_y: f32,
+    cell: f32,
+    cols: usize,
+    rows: usize,
+    buckets: Vec<Vec<u32>>,
+}
+
+impl<'a> SpatialGrid<'a> {
+    /// Build the grid (O(n)). Requires a coordinate-based instance.
+    pub fn build(inst: &'a Instance) -> Self {
+        let pts = inst.points();
+        assert!(
+            !pts.is_empty(),
+            "SpatialGrid requires a coordinate-based instance"
+        );
+        let (mut min_x, mut min_y) = (f32::INFINITY, f32::INFINITY);
+        let (mut max_x, mut max_y) = (f32::NEG_INFINITY, f32::NEG_INFINITY);
+        for p in pts {
+            min_x = min_x.min(p.x);
+            min_y = min_y.min(p.y);
+            max_x = max_x.max(p.x);
+            max_y = max_y.max(p.y);
+        }
+        let n = pts.len();
+        let side = ((max_x - min_x).max(max_y - min_y)).max(1e-6);
+        // ~1 point per cell on average.
+        let cells_per_side = (n as f64).sqrt().ceil().max(1.0) as usize;
+        let cell = side / cells_per_side as f32;
+        let cols = ((max_x - min_x) / cell).floor() as usize + 1;
+        let rows = ((max_y - min_y) / cell).floor() as usize + 1;
+        let mut buckets = vec![Vec::new(); cols * rows];
+        let mut grid = SpatialGrid {
+            inst,
+            min_x,
+            min_y,
+            cell,
+            cols,
+            rows,
+            buckets: Vec::new(),
+        };
+        for (i, p) in pts.iter().enumerate() {
+            let (cx, cy) = grid.cell_of(p);
+            buckets[cy * cols + cx].push(i as u32);
+        }
+        grid.buckets = buckets;
+        grid
+    }
+
+    fn cell_of(&self, p: &Point) -> (usize, usize) {
+        let cx = (((p.x - self.min_x) / self.cell) as usize).min(self.cols - 1);
+        let cy = (((p.y - self.min_y) / self.cell) as usize).min(self.rows - 1);
+        (cx, cy)
+    }
+
+    /// The `k` nearest neighbours of city `i` (excluding `i`), sorted by
+    /// distance, found by expanding square rings of cells.
+    pub fn knn(&self, i: usize, k: usize) -> Vec<u32> {
+        let p = self.inst.point(i);
+        let (cx, cy) = self.cell_of(&p);
+        let mut found: Vec<(i32, u32)> = Vec::with_capacity(4 * k);
+        let max_ring = self.cols.max(self.rows);
+        for ring in 0..=max_ring {
+            // Once we have k candidates, one extra ring guarantees
+            // correctness (a point in ring r is at least (r-1)*cell away).
+            self.visit_ring(cx, cy, ring, |j| {
+                if j as usize != i {
+                    found.push((self.inst.dist(i, j as usize), j));
+                }
+            });
+            if found.len() >= k && ring >= 1 {
+                let enough = {
+                    found.sort_unstable();
+                    found.truncate(4 * k.max(1));
+                    // k-th distance must be closer than the next ring's
+                    // minimum possible distance.
+                    let kth = found.get(k - 1).map(|&(d, _)| d).unwrap_or(i32::MAX);
+                    let ring_min = (ring as f32) * self.cell;
+                    (kth as f32) <= ring_min
+                };
+                if enough {
+                    break;
+                }
+            }
+        }
+        found.sort_unstable();
+        found.truncate(k);
+        found.into_iter().map(|(_, j)| j).collect()
+    }
+
+    /// Call `f` for every point in the square ring at Chebyshev distance
+    /// `ring` from cell `(cx, cy)`.
+    fn visit_ring<F: FnMut(u32)>(&self, cx: usize, cy: usize, ring: usize, mut f: F) {
+        let r = ring as isize;
+        let (cx, cy) = (cx as isize, cy as isize);
+        for dy in -r..=r {
+            for dx in -r..=r {
+                if dx.abs().max(dy.abs()) != r {
+                    continue;
+                }
+                let (x, y) = (cx + dx, cy + dy);
+                if x < 0 || y < 0 || x >= self.cols as isize || y >= self.rows as isize {
+                    continue;
+                }
+                for &j in &self.buckets[y as usize * self.cols + x as usize] {
+                    f(j);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsp_core::Metric;
+
+    fn line_instance(n: usize) -> Instance {
+        let pts = (0..n).map(|i| Point::new(i as f32 * 10.0, 0.0)).collect();
+        Instance::new("line", Metric::Euc2d, pts).unwrap()
+    }
+
+    #[test]
+    fn knn_on_a_line_matches_brute_force() {
+        let inst = line_instance(50);
+        let grid = SpatialGrid::build(&inst);
+        for i in [0usize, 7, 25, 49] {
+            let got = grid.knn(i, 4);
+            // Brute force reference.
+            let mut all: Vec<(i32, u32)> = (0..50)
+                .filter(|&j| j != i)
+                .map(|j| (inst.dist(i, j), j as u32))
+                .collect();
+            all.sort_unstable();
+            let expected: Vec<u32> = all.into_iter().take(4).map(|(_, j)| j).collect();
+            assert_eq!(got, expected, "city {i}");
+        }
+    }
+
+    #[test]
+    fn knn_matches_brute_force_on_scattered_points() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(12);
+        let pts: Vec<Point> = (0..300)
+            .map(|_| Point::new(rng.gen_range(0.0..500.0), rng.gen_range(0.0..500.0)))
+            .collect();
+        let inst = Instance::new("scatter", Metric::Euc2d, pts).unwrap();
+        let grid = SpatialGrid::build(&inst);
+        for i in (0..300).step_by(37) {
+            let got = grid.knn(i, 6);
+            let mut all: Vec<(i32, u32)> = (0..300)
+                .filter(|&j| j != i)
+                .map(|j| (inst.dist(i, j), j as u32))
+                .collect();
+            all.sort_unstable();
+            // Compare distances, not identities (equidistant ties may
+            // order differently).
+            let got_d: Vec<i32> = got.iter().map(|&j| inst.dist(i, j as usize)).collect();
+            let exp_d: Vec<i32> = all.iter().take(6).map(|&(d, _)| d).collect();
+            assert_eq!(got_d, exp_d, "city {i}");
+        }
+    }
+
+    #[test]
+    fn degenerate_all_same_point() {
+        let pts = vec![Point::new(5.0, 5.0); 10];
+        let inst = Instance::new("same", Metric::Euc2d, pts).unwrap();
+        let grid = SpatialGrid::build(&inst);
+        let nb = grid.knn(0, 3);
+        assert_eq!(nb.len(), 3);
+        assert!(!nb.contains(&0));
+    }
+}

@@ -1,0 +1,43 @@
+//! # tsp-construction
+//!
+//! Initial-tour construction heuristics for the GPU 2-opt reproduction:
+//!
+//! * [`greedy::multiple_fragment`] — Bentley's Multiple Fragment (greedy
+//!   edge) heuristic, the paper's Table II starting solution;
+//! * [`nearest_neighbor::nearest_neighbor`] — classic NN;
+//! * [`spacefill::space_filling`] — Hilbert-curve ordering, O(n log n);
+//! * random tours come from [`tsp_core::Tour::random`] (the paper's ILS
+//!   experiment assumes "the initial solution s0 is a random tour").
+//!
+//! Large instances are served by a [`grid::SpatialGrid`]-backed candidate
+//! generator so construction stays near-linear.
+
+pub mod greedy;
+pub mod grid;
+pub mod nearest_neighbor;
+pub mod spacefill;
+pub mod union_find;
+
+pub use greedy::{multiple_fragment, multiple_fragment_exact, multiple_fragment_knn};
+pub use nearest_neighbor::nearest_neighbor;
+pub use spacefill::space_filling;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsp_tsplib::{generate, Style};
+
+    #[test]
+    fn construction_quality_ordering_holds() {
+        // On uniform fields: MF < NN < random; Hilbert < random.
+        let inst = generate("order", 400, Style::Uniform, 6);
+        let mf = multiple_fragment(&inst).length(&inst);
+        let nn = nearest_neighbor(&inst, 0).length(&inst);
+        let sf = space_filling(&inst).length(&inst);
+        let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(1);
+        let rnd = tsp_core::Tour::random(400, &mut rng).length(&inst);
+        assert!(mf < nn, "MF {mf} vs NN {nn}");
+        assert!(nn < rnd, "NN {nn} vs random {rnd}");
+        assert!(sf < rnd, "Hilbert {sf} vs random {rnd}");
+    }
+}

@@ -1,0 +1,128 @@
+//! Nearest-neighbour construction — the simplest reasonable initial tour
+//! and a baseline for the construction-quality comparisons.
+
+use crate::grid::SpatialGrid;
+use tsp_core::{Instance, Tour};
+
+/// Above this size, use the spatial grid instead of linear scans.
+const SCAN_LIMIT: usize = 3000;
+
+/// Build a tour by always visiting the nearest unvisited city, starting
+/// from `start`.
+pub fn nearest_neighbor(inst: &Instance, start: usize) -> Tour {
+    let n = inst.len();
+    assert!(start < n, "start city out of range");
+    if n <= SCAN_LIMIT || !inst.is_coordinate_based() {
+        nearest_neighbor_scan(inst, start)
+    } else {
+        nearest_neighbor_grid(inst, start)
+    }
+}
+
+fn nearest_neighbor_scan(inst: &Instance, start: usize) -> Tour {
+    let n = inst.len();
+    let mut visited = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut cur = start;
+    visited[cur] = true;
+    order.push(cur as u32);
+    for _ in 1..n {
+        let mut best = usize::MAX;
+        let mut best_d = i32::MAX;
+        for j in 0..n {
+            if !visited[j] {
+                let d = inst.dist(cur, j);
+                if d < best_d {
+                    best_d = d;
+                    best = j;
+                }
+            }
+        }
+        cur = best;
+        visited[cur] = true;
+        order.push(cur as u32);
+    }
+    Tour::new(order).expect("nearest neighbour visits each city once")
+}
+
+fn nearest_neighbor_grid(inst: &Instance, start: usize) -> Tour {
+    let n = inst.len();
+    let grid = SpatialGrid::build(inst);
+    let mut visited = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut cur = start;
+    visited[cur] = true;
+    order.push(cur as u32);
+    for _ in 1..n {
+        // Expand k until an unvisited neighbour appears; fall back to a
+        // full scan in the pathological endgame.
+        let mut next = None;
+        let mut k = 8;
+        while k <= 4096 {
+            if let Some(&j) = grid
+                .knn(cur, k)
+                .iter()
+                .find(|&&j| !visited[j as usize])
+            {
+                next = Some(j as usize);
+                break;
+            }
+            k *= 4;
+        }
+        let next = next.unwrap_or_else(|| {
+            (0..n)
+                .filter(|&j| !visited[j])
+                .min_by_key(|&j| inst.dist(cur, j))
+                .expect("an unvisited city remains")
+        });
+        cur = next;
+        visited[cur] = true;
+        order.push(cur as u32);
+    }
+    Tour::new(order).expect("nearest neighbour visits each city once")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsp_core::{Metric, Point};
+    use tsp_tsplib::{generate, Style};
+
+    #[test]
+    fn follows_a_line() {
+        let pts = (0..10).map(|i| Point::new(i as f32 * 5.0, 0.0)).collect();
+        let inst = Instance::new("line", Metric::Euc2d, pts).unwrap();
+        let t = nearest_neighbor(&inst, 0);
+        assert_eq!(t.as_slice(), &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn different_starts_are_valid() {
+        let inst = generate("nn", 150, Style::Uniform, 5);
+        for start in [0usize, 1, 74, 149] {
+            let t = nearest_neighbor(&inst, start);
+            t.validate().unwrap();
+            assert_eq!(t.city(0), start as u32);
+        }
+    }
+
+    #[test]
+    fn grid_variant_matches_scan_variant_length_roughly() {
+        let inst = generate("nng", 500, Style::Uniform, 9);
+        let a = nearest_neighbor_scan(&inst, 0);
+        let b = nearest_neighbor_grid(&inst, 0);
+        b.validate().unwrap();
+        // Both are greedy NN; the grid version may differ on distance
+        // ties only, so lengths must be very close.
+        let gap =
+            (a.length(&inst) - b.length(&inst)).abs() as f64 / a.length(&inst) as f64;
+        assert!(gap < 0.02, "gap {gap}");
+    }
+
+    #[test]
+    #[should_panic(expected = "start city out of range")]
+    fn start_out_of_range_panics() {
+        let inst = generate("nn", 10, Style::Uniform, 1);
+        let _ = nearest_neighbor(&inst, 10);
+    }
+}

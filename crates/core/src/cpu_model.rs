@@ -1,0 +1,75 @@
+//! Modeled timing for the CPU engines.
+//!
+//! The CPU baselines *really execute* on the host (so results are exact
+//! and wall-clock measurable), but to compare devices on an equal footing
+//! the harnesses also need model-consistent times — the paper's own CPU
+//! baseline is an OpenCL target measured on specific 2012/2013 hardware,
+//! not on whatever machine happens to run this crate. The same roofline
+//! model as the GPU path ([`gpu_sim::timing`]) is therefore applied with
+//! a CPU [`DeviceSpec`]: per-pair work is 4 distance evaluations
+//! (32 FLOPs) against 64 bytes of coordinate traffic served by the
+//! cache/DRAM hierarchy, which the paper identifies as the CPU limit.
+
+use crate::delta::{DISTS_PER_CHECK, FLOPS_PER_CHECK};
+use gpu_sim::{timing, DeviceSpec, PerfCounters};
+
+/// Bytes of coordinate traffic per candidate-pair check: the four points
+/// `i`, `i+1`, `j`, `j+1` are each loaded once (8 bytes of `float2`) and
+/// register-reused across the four distance evaluations.
+pub const BYTES_PER_CHECK: u64 = 4 * 8;
+const _: () = assert!(DISTS_PER_CHECK == 4);
+
+/// Modeled time for one full sweep of `pairs` candidate checks on a CPU
+/// described by `spec`, assuming perfect division across its cores.
+pub fn model_cpu_sweep_seconds(spec: &DeviceSpec, pairs: u64) -> f64 {
+    let cu = spec.compute_units.max(1) as u64;
+    let per_core = PerfCounters {
+        flops: pairs * FLOPS_PER_CHECK / cu,
+        shared_bytes: pairs * BYTES_PER_CHECK / cu,
+        ..Default::default()
+    };
+    let bt = timing::block_time(spec, &per_core, 1);
+    timing::kernel_time(spec, &vec![bt; cu as usize])
+}
+
+/// FLOPs for `pairs` checks (for profiles).
+#[inline]
+pub fn flops_for_pairs(pairs: u64) -> u64 {
+    pairs * FLOPS_PER_CHECK
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::spec;
+
+    #[test]
+    fn parallel_cpu_is_faster_than_sequential_model() {
+        let pairs = 10_000_000;
+        let seq = model_cpu_sweep_seconds(&spec::sequential_cpu(), pairs);
+        let par = model_cpu_sweep_seconds(&spec::core_i7_3960x(), pairs);
+        assert!(seq > par * 2.0, "seq {seq}, par {par}");
+    }
+
+    #[test]
+    fn model_scales_linearly_in_pairs() {
+        let s = spec::xeon_e5_2660_x2();
+        let t1 = model_cpu_sweep_seconds(&s, 1_000_000);
+        let t10 = model_cpu_sweep_seconds(&s, 10_000_000);
+        // Within overhead tolerance, 10x pairs ≈ 10x time.
+        assert!((t10 / t1 - 10.0).abs() < 1.0, "ratio {}", t10 / t1);
+    }
+
+    #[test]
+    fn xeon_sweep_rate_is_bandwidth_bound() {
+        // 32 B/check at 19 GB/s => ~594 M checks/s for the dual Xeon.
+        let s = spec::xeon_e5_2660_x2();
+        let pairs = 100_000_000u64;
+        let t = model_cpu_sweep_seconds(&s, pairs);
+        let rate = pairs as f64 / t;
+        assert!(
+            (4e8..8e8).contains(&rate),
+            "modeled Xeon rate = {rate:.3e} checks/s"
+        );
+    }
+}

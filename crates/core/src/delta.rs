@@ -1,0 +1,169 @@
+//! 2-opt move evaluation.
+//!
+//! A candidate pair of tour positions `(i, j)` (with `i < j <= n - 2`)
+//! proposes removing edges `(i, i+1)` and `(j, j+1)` and reconnecting as
+//! `(i, j)` and `(i+1, j+1)` — the paper's Fig. 1. The *delta* is the
+//! length change; the move improves the tour iff the paper's §I condition
+//! holds:
+//!
+//! ```text
+//! d(i, i+1) + d(j, j+1) > d(i, j+1) + d(j, i+1)
+//! ```
+//!
+//! (the paper writes the reconnection as `[i, j+1]` / `[j, i+1]` — with
+//! the segment between reversed, this is the same single legal
+//! reconnection; in position terms the new edges join `i` with `j` and
+//! `i+1` with `j+1`).
+
+use crate::flops::FLOPS_PER_DISTANCE;
+use tsp_core::{Instance, Point, Tour};
+
+/// Number of distance evaluations one candidate-pair check performs.
+pub const DISTS_PER_CHECK: u64 = 4;
+
+/// FLOPs one candidate-pair check performs (4 distances).
+pub const FLOPS_PER_CHECK: u64 = DISTS_PER_CHECK * FLOPS_PER_DISTANCE;
+
+/// Delta of the 2-opt move `(i, j)` in *tour-position* space, evaluated
+/// through the instance's metric (works for explicit matrices too).
+///
+/// Negative means the move shortens the tour.
+#[inline]
+pub fn delta_positions(inst: &Instance, tour: &Tour, i: usize, j: usize) -> i64 {
+    debug_assert!(i < j && j + 1 < tour.len());
+    let a = tour.city(i) as usize;
+    let b = tour.city(i + 1) as usize;
+    let c = tour.city(j) as usize;
+    let d = tour.city(j + 1) as usize;
+    (inst.dist(a, c) as i64 + inst.dist(b, d) as i64)
+        - (inst.dist(a, b) as i64 + inst.dist(c, d) as i64)
+}
+
+/// Delta of the 2-opt move `(i, j)` over **route-ordered coordinates**
+/// (the paper's Optimization 2 layout): `pts[k]` is the coordinate of the
+/// city at tour position `k`. Exactly the arithmetic of the paper's
+/// Listing 1, in `f32`.
+#[inline(always)]
+pub fn delta_ordered(pts: &[Point], i: usize, j: usize) -> i32 {
+    debug_assert!(i < j && j + 1 < pts.len());
+    let pi = pts[i];
+    let pi1 = pts[i + 1];
+    let pj = pts[j];
+    let pj1 = pts[j + 1];
+    (pi.euc_2d(&pj) + pi1.euc_2d(&pj1)) - (pi.euc_2d(&pi1) + pj.euc_2d(&pj1))
+}
+
+/// Delta evaluated over two *separate* coordinate ranges — the tiled
+/// kernel's form (the paper's Listing 2, `calculateDistance2D_extended`,
+/// takes "2 sets of coordinates ... A for point i and B for point j").
+///
+/// `a` holds positions `[a_start .. a_start + a.len())` of the ordered
+/// route, `b` likewise; `i`/`j` are *global* positions. `i+1` must still
+/// be inside `a` and `j+1` inside `b` (tiles overlap by one on purpose —
+/// see the tiled kernel).
+#[inline(always)]
+pub fn delta_tiled(
+    a: &[Point],
+    a_start: usize,
+    b: &[Point],
+    b_start: usize,
+    i: usize,
+    j: usize,
+) -> i32 {
+    let pi = a[i - a_start];
+    let pi1 = a[i + 1 - a_start];
+    let pj = b[j - b_start];
+    let pj1 = b[j + 1 - b_start];
+    (pi.euc_2d(&pj) + pi1.euc_2d(&pj1)) - (pi.euc_2d(&pi1) + pj.euc_2d(&pj1))
+}
+
+/// Verify a delta the slow way: apply the move to a scratch tour and
+/// recompute the full length. Test helper, exact by construction.
+pub fn delta_by_recompute(inst: &Instance, tour: &Tour, i: usize, j: usize) -> i64 {
+    let before = tour.length(inst);
+    let mut t = tour.clone();
+    t.apply_two_opt(i, j);
+    t.length(inst) - before
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsp_core::Metric;
+
+    fn square() -> Instance {
+        Instance::new(
+            "square4",
+            Metric::Euc2d,
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(0.0, 10.0),
+                Point::new(10.0, 10.0),
+                Point::new(10.0, 0.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn delta_matches_recompute_on_square() {
+        let inst = square();
+        let tour = Tour::new(vec![0, 2, 1, 3]).unwrap();
+        for i in 0..2 {
+            for j in (i + 1)..3 {
+                assert_eq!(
+                    delta_positions(&inst, &tour, i, j),
+                    delta_by_recompute(&inst, &tour, i, j),
+                    "pair ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn crossing_square_improves_by_eight() {
+        let inst = square();
+        // 0 -> 2 -> 1 -> 3: length 48; uncrossing saves 8.
+        let tour = Tour::new(vec![0, 2, 1, 3]).unwrap();
+        assert_eq!(delta_positions(&inst, &tour, 0, 2), -8);
+    }
+
+    #[test]
+    fn ordered_delta_agrees_with_position_delta() {
+        let inst = square();
+        let tour = Tour::new(vec![0, 2, 1, 3]).unwrap();
+        let pts = tour.ordered_points(&inst).unwrap();
+        for i in 0..2 {
+            for j in (i + 1)..3 {
+                assert_eq!(
+                    delta_ordered(&pts, i, j) as i64,
+                    delta_positions(&inst, &tour, i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_delta_agrees_with_ordered() {
+        let inst = square();
+        let tour = Tour::new(vec![3, 1, 0, 2]).unwrap();
+        let pts = tour.ordered_points(&inst).unwrap();
+        // Split into a = pts[0..3], b = pts[1..4]; check pair (0, 2):
+        // i=0, i+1=1 in a (start 0); j=2, j+1=3 in b (start 1).
+        let d = delta_tiled(&pts[0..3], 0, &pts[1..4], 1, 0, 2);
+        assert_eq!(d, delta_ordered(&pts, 0, 2));
+    }
+
+    #[test]
+    fn adjacent_pair_has_zero_delta() {
+        let inst = square();
+        let tour = Tour::identity(4);
+        assert_eq!(delta_positions(&inst, &tour, 1, 2), 0);
+    }
+
+    #[test]
+    fn flop_accounting_constants() {
+        assert_eq!(DISTS_PER_CHECK, 4);
+        assert_eq!(FLOPS_PER_CHECK, 32);
+    }
+}

@@ -1,0 +1,235 @@
+//! Don't-look bits 2-opt — the classic Bentley acceleration for *CPU*
+//! local search, included as the strongest sequential baseline the
+//! paper's brute-force GPU sweep should be contrasted against
+//! (the paper: "The fastest sequential algorithms use complex pruning
+//! schemes and specialized data structures which we did not use").
+//!
+//! Each city carries a "don't look" flag. Only cities whose flag is
+//! clear are scanned; a city is scanned against its k-nearest-neighbour
+//! candidates in both tour directions, with the standard radius cutoff
+//! (`d(a, b) >= d(a, succ(a))` for the forward direction ends the sorted
+//! candidate walk). When no improving move touches a city, its flag is
+//! set; applying a move clears the flags of its four endpoints. The
+//! search ends when every flag is set.
+
+use tsp_core::neighbor::NeighborLists;
+use tsp_core::{Instance, Tour};
+
+/// Statistics of a don't-look-bits descent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DlbStats {
+    /// Improving moves applied.
+    pub moves: u64,
+    /// Candidate evaluations performed.
+    pub checks: u64,
+}
+
+/// Run 2-opt descent with don't-look bits and k-NN candidate lists.
+///
+/// With `k >= n - 1` the candidate lists are complete and the result is
+/// a true 2-opt local minimum (with respect to the non-wrapping
+/// neighbourhood); smaller `k` trades a little quality for near-linear
+/// sweeps, exactly like [`crate::pruned`].
+pub fn optimize(inst: &Instance, tour: &mut Tour, k: usize) -> DlbStats {
+    let n = tour.len();
+    let mut stats = DlbStats { moves: 0, checks: 0 };
+    if n < 4 {
+        return stats;
+    }
+    let lists = NeighborLists::build(inst, k);
+
+    // position of each city in the tour.
+    let mut pos: Vec<u32> = vec![0; n];
+    for (p, &c) in tour.as_slice().iter().enumerate() {
+        pos[c as usize] = p as u32;
+    }
+    let mut dont_look = vec![false; n];
+    // Queue of cities to (re)examine; bounded by flags.
+    let mut queue: Vec<u32> = (0..n as u32).collect();
+    let mut in_queue = vec![true; n];
+    let mut head = 0usize;
+
+    while head < queue.len() {
+        let a = queue[head] as usize;
+        head += 1;
+        in_queue[a] = false;
+        if dont_look[a] {
+            continue;
+        }
+        // Compact the consumed prefix occasionally.
+        if head > 4096 {
+            queue.drain(..head);
+            head = 0;
+        }
+
+        let mut improved_any = false;
+        // Two directions: remove (a, succ a) or (pred a, a).
+        'dirs: for dir in 0..2 {
+            let pa = pos[a] as usize;
+            // The candidate pair (i, j) removes edges (i, i+1), (j, j+1)
+            // with our non-wrapping convention; map city/direction to a
+            // first-edge start position.
+            let i_of = |p: usize| -> Option<usize> {
+                match dir {
+                    0 => (p <= n - 2).then_some(p), // edge (a, succ)
+                    _ => p.checked_sub(1),          // edge (pred, a)
+                }
+            };
+            let Some(ia) = i_of(pa) else { continue };
+            let a_edge_len = {
+                let x = tour.city(ia) as usize;
+                let y = tour.city(ia + 1) as usize;
+                inst.dist(x, y)
+            };
+            for &b in lists.neighbors(a) {
+                stats.checks += 1;
+                // Radius cutoff: candidates are sorted, so once the
+                // neighbour is farther than the edge we might remove,
+                // nothing later can improve through this city/direction.
+                if inst.dist(a, b as usize) >= a_edge_len {
+                    break;
+                }
+                let pb = pos[b as usize] as usize;
+                let Some(ib) = i_of(pb) else { continue };
+                let (lo, hi) = if ia < ib { (ia, ib) } else { (ib, ia) };
+                if lo == hi {
+                    continue;
+                }
+                let delta = crate::delta::delta_positions(inst, tour, lo, hi);
+                if delta < 0 {
+                    // Apply and update the position index of the
+                    // reversed segment.
+                    tour.apply_two_opt(lo, hi);
+                    for p in (lo + 1)..=hi {
+                        pos[tour.city(p) as usize] = p as u32;
+                    }
+                    stats.moves += 1;
+                    improved_any = true;
+                    // Wake the four endpoints.
+                    for p in [lo, lo + 1, hi, (hi + 1).min(n - 1)] {
+                        let c = tour.city(p) as usize;
+                        dont_look[c] = false;
+                        if !in_queue[c] {
+                            queue.push(c as u32);
+                            in_queue[c] = true;
+                        }
+                    }
+                    break 'dirs;
+                }
+            }
+        }
+        if improved_any {
+            // Re-examine `a` until it is quiescent.
+            if !in_queue[a] {
+                queue.push(a as u32);
+                in_queue[a] = true;
+            }
+        } else {
+            dont_look[a] = true;
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::{optimize as sweep_optimize, SearchOptions};
+    use crate::sequential::SequentialTwoOpt;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use tsp_core::{Instance, Metric, Point};
+
+    fn random_instance(n: usize, seed: u64) -> Instance {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let pts = (0..n)
+            .map(|_| {
+                Point::new(
+                    rng.gen_range(0.0..1000.0f32),
+                    rng.gen_range(0.0..1000.0f32),
+                )
+            })
+            .collect();
+        Instance::new(format!("rand{n}"), Metric::Euc2d, pts).unwrap()
+    }
+
+    #[test]
+    fn improves_and_stays_valid() {
+        let inst = random_instance(200, 1);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut tour = Tour::random(200, &mut rng);
+        let before = tour.length(&inst);
+        let stats = optimize(&inst, &mut tour, 10);
+        assert!(stats.moves > 0);
+        assert!(tour.length(&inst) < before);
+        tour.validate().unwrap();
+    }
+
+    #[test]
+    fn with_complete_lists_no_neighbor_limited_move_remains() {
+        let inst = random_instance(50, 3);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut tour = Tour::random(50, &mut rng);
+        optimize(&inst, &mut tour, 49);
+        // DLB's radius cutoff means only radius-admissible moves are
+        // guaranteed gone; every remaining improving 2-opt move (if any)
+        // must violate both radius conditions. Check that directly.
+        let n = 50;
+        for i in 0..=(n - 3) {
+            for j in (i + 1)..=(n - 2) {
+                let delta = crate::delta::delta_positions(&inst, &tour, i, j);
+                if delta < 0 {
+                    let a = tour.city(i) as usize;
+                    let b = tour.city(j) as usize;
+                    let ab = inst.dist(a, b);
+                    let a_next = inst.dist(a, tour.city(i + 1) as usize);
+                    let b_next = inst.dist(b, tour.city(j + 1) as usize);
+                    // Improving 2-opt moves always satisfy
+                    // d(a,b) < d(a, next a) or d(a,b) < d(b, next b);
+                    // with complete lists DLB must therefore have found
+                    // them all.
+                    assert!(
+                        ab >= a_next && ab >= b_next,
+                        "DLB missed a radius-admissible move ({i},{j}) delta {delta}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dlb_checks_far_fewer_candidates_than_sweeping() {
+        let inst = random_instance(300, 5);
+        let mut rng = SmallRng::seed_from_u64(6);
+        let start = Tour::random(300, &mut rng);
+
+        let mut sweep_tour = start.clone();
+        let mut seq = SequentialTwoOpt::new();
+        let sweep_stats =
+            sweep_optimize(&mut seq, &inst, &mut sweep_tour, SearchOptions::default()).unwrap();
+
+        let mut dlb_tour = start;
+        let stats = optimize(&inst, &mut dlb_tour, 12);
+        assert!(
+            stats.checks * 20 < sweep_stats.profile.pairs_checked,
+            "DLB {} vs sweep {}",
+            stats.checks,
+            sweep_stats.profile.pairs_checked
+        );
+        // And the quality is close (within 10%).
+        let gap = (dlb_tour.length(&inst) - sweep_tour.length(&inst)) as f64
+            / sweep_tour.length(&inst) as f64;
+        assert!(gap < 0.10, "DLB quality gap {gap:.3}");
+    }
+
+    #[test]
+    fn trivial_inputs() {
+        let inst = random_instance(4, 7);
+        let mut tour = Tour::identity(4);
+        let stats = optimize(&inst, &mut tour, 3);
+        tour.validate().unwrap();
+        // n=4 may or may not have a move; just ensure termination and
+        // sane accounting.
+        assert!(stats.checks < 100);
+    }
+}

@@ -1,0 +1,387 @@
+//! The GPU engine: Algorithm 2 end-to-end on the simulated device.
+//!
+//! Per sweep (the paper's Algorithm 2):
+//!
+//! 1. order the coordinates on the host (Optimization 2, O(n) — "it
+//!    brings some performance degradation caused by the additional time
+//!    spent on host, however saves much more time by avoiding scattered
+//!    read on GPU");
+//! 2. copy them to device global memory (modeled H2D);
+//! 3. launch the kernel (staged shared memory, strided evaluation,
+//!    packed atomic-min reduction);
+//! 4. read the one-word result back (modeled D2H);
+//! 5. the caller applies the move on the host and repeats.
+
+use crate::bestmove::{unpack, BestMove, EMPTY_KEY, MAX_POSITION};
+use crate::gpu::small::{GlobalOnlyKernel, OrderedSharedKernel, UnorderedSharedKernel};
+use crate::gpu::tiled::{auto_tile, TiledKernel};
+use crate::indexing::pair_count;
+use crate::search::{EngineError, StepProfile, TwoOptEngine};
+use gpu_sim::{Device, DeviceSpec, LaunchConfig};
+use tsp_core::{Instance, Point, Tour};
+
+/// Kernel selection strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Pick automatically: the shared-memory kernel when the instance
+    /// fits on chip, the tiled division scheme otherwise (the paper's
+    /// "solving any instance" mode).
+    Auto,
+    /// Force the §IV.A shared-memory kernel (errors when too large).
+    Shared,
+    /// Force the §IV.B tiled kernel with the given tile size.
+    Tiled {
+        /// Tile size in tour positions.
+        tile: usize,
+    },
+    /// Ablation: no shared-memory staging (Optimization 1 off).
+    GlobalOnly,
+    /// Ablation: route-indirected coordinates (Optimization 2 off).
+    Unordered,
+}
+
+/// GPU 2-opt engine over a simulated device.
+pub struct GpuTwoOpt {
+    device: Device,
+    strategy: Strategy,
+    block_dim: u32,
+    grid_dim: u32,
+    overlap_transfers: bool,
+    ordered: Vec<Point>,
+}
+
+impl GpuTwoOpt {
+    /// Engine on the given device spec with automatic kernel selection
+    /// and the default launch geometry (4 blocks per compute unit, the
+    /// device's maximum block size).
+    pub fn new(spec: DeviceSpec) -> Self {
+        let block_dim = spec.max_threads_per_block.min(1024);
+        let grid_dim = spec.compute_units * 4;
+        GpuTwoOpt {
+            device: Device::new(spec),
+            strategy: Strategy::Auto,
+            block_dim,
+            grid_dim,
+            overlap_transfers: false,
+            ordered: Vec::new(),
+        }
+    }
+
+    /// Model double-buffered streams: inside the descent loop the next
+    /// sweep's H2D copy overlaps the current kernel, so a sweep costs
+    /// `max(kernel, h2d) + d2h` instead of their sum. (The paper's
+    /// Algorithm 2 is fully serial; this is the standard follow-up
+    /// optimization, quantified by the `ablation_overlap` study.)
+    pub fn with_overlapped_transfers(mut self) -> Self {
+        self.overlap_transfers = true;
+        self
+    }
+
+    /// Select a kernel strategy.
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Override the launch geometry (e.g. the paper's 28 × 1024).
+    pub fn with_launch(mut self, grid_dim: u32, block_dim: u32) -> Self {
+        self.grid_dim = grid_dim;
+        self.block_dim = block_dim;
+        self
+    }
+
+    /// The underlying simulated device.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Attach a profiler timeline to the underlying device; every sweep's
+    /// H2D copy, kernel launch and D2H readback is recorded on it.
+    pub fn with_timeline(mut self, timeline: gpu_sim::Timeline) -> Self {
+        self.device.attach_timeline(timeline);
+        self
+    }
+
+    /// Resolve `Auto` for an instance of `n` cities.
+    fn resolve(&self, n: usize) -> Strategy {
+        match self.strategy {
+            Strategy::Auto => {
+                let shared = self.device.spec().shared_mem_per_block;
+                if n * Point::DEVICE_BYTES <= shared {
+                    Strategy::Shared
+                } else {
+                    Strategy::Tiled {
+                        tile: auto_tile(n, shared, self.grid_dim),
+                    }
+                }
+            }
+            s => s,
+        }
+    }
+}
+
+impl TwoOptEngine for GpuTwoOpt {
+    fn name(&self) -> String {
+        format!("gpu[{}, {:?}]", self.device.spec().name, self.strategy)
+    }
+
+    fn best_move(
+        &mut self,
+        inst: &Instance,
+        tour: &Tour,
+    ) -> Result<(Option<BestMove>, StepProfile), EngineError> {
+        if !inst.is_coordinate_based() {
+            return Err(EngineError::Unsupported(
+                "the GPU kernels compute distances from coordinates; \
+                 explicit-matrix instances would need the O(n^2) LUT the \
+                 paper's approach exists to avoid"
+                    .into(),
+            ));
+        }
+        let n = tour.len();
+        if n < 4 {
+            return Ok((None, StepProfile::default()));
+        }
+        if n - 1 > MAX_POSITION as usize {
+            return Err(EngineError::Unsupported(format!(
+                "instance of {n} cities exceeds the packed-key position \
+                 budget ({MAX_POSITION} positions)"
+            )));
+        }
+
+        // Host-side ordering (Optimization 2).
+        self.ordered.clear();
+        self.ordered
+            .extend(tour.as_slice().iter().map(|&c| inst.point(c as usize)));
+
+        let out = self.device.alloc_atomic(1, EMPTY_KEY)?;
+        let (kernel_profile, h2d_seconds) = match self.resolve(n) {
+            Strategy::Shared => {
+                let (coords, h2d) = self.device.copy_to_device(&self.ordered)?;
+                let k = OrderedSharedKernel {
+                    coords: &coords,
+                    out: &out,
+                };
+                let p = self
+                    .device
+                    .launch(LaunchConfig::new(self.grid_dim, self.block_dim), &k)?;
+                (p, h2d.seconds)
+            }
+            Strategy::GlobalOnly => {
+                let (coords, h2d) = self.device.copy_to_device(&self.ordered)?;
+                let k = GlobalOnlyKernel {
+                    coords: &coords,
+                    out: &out,
+                };
+                let p = self
+                    .device
+                    .launch(LaunchConfig::new(self.grid_dim, self.block_dim), &k)?;
+                (p, h2d.seconds)
+            }
+            Strategy::Unordered => {
+                // Fig. 5 layout: city-indexed coordinates + the route.
+                let (coords, h2d_a) = self.device.copy_to_device(inst.points())?;
+                let (route, h2d_b) = self.device.copy_to_device(tour.as_slice())?;
+                let k = UnorderedSharedKernel {
+                    coords: &coords,
+                    route: &route,
+                    out: &out,
+                };
+                let p = self
+                    .device
+                    .launch(LaunchConfig::new(self.grid_dim, self.block_dim), &k)?;
+                (p, h2d_a.seconds + h2d_b.seconds)
+            }
+            Strategy::Tiled { tile } => {
+                if tile == 0 {
+                    return Err(EngineError::Unsupported(
+                        "tile size must be nonzero".into(),
+                    ));
+                }
+                let (coords, h2d) = self.device.copy_to_device(&self.ordered)?;
+                let k = TiledKernel {
+                    coords: &coords,
+                    out: &out,
+                    tile,
+                };
+                let grid = k.grid_dim();
+                let p = self
+                    .device
+                    .launch(LaunchConfig::new(grid, self.block_dim), &k)?;
+                (p, h2d.seconds)
+            }
+            Strategy::Auto => unreachable!("resolved above"),
+        };
+
+        let (words, d2h) = self.device.copy_from_device(&out);
+        let best = unpack(words[0]).filter(BestMove::improves);
+
+        // Under overlapped streams the H2D copy hides behind the kernel;
+        // report the hidden portion as zero so modeled_seconds() reflects
+        // the pipelined cost.
+        let (kernel_seconds, h2d_seconds) = if self.overlap_transfers {
+            (kernel_profile.seconds.max(h2d_seconds), 0.0)
+        } else {
+            (kernel_profile.seconds, h2d_seconds)
+        };
+        let profile = StepProfile {
+            pairs_checked: pair_count(n),
+            flops: kernel_profile.counters.flops,
+            kernel_seconds,
+            h2d_seconds,
+            d2h_seconds: d2h.seconds,
+        };
+        Ok((best, profile))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu_parallel::CpuParallelTwoOpt;
+    use crate::search::{optimize, SearchOptions};
+    use crate::sequential::SequentialTwoOpt;
+    use gpu_sim::spec;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use tsp_core::Metric;
+
+    fn random_instance(n: usize, seed: u64) -> Instance {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let pts = (0..n)
+            .map(|_| {
+                Point::new(
+                    rng.gen_range(0.0..1000.0f32),
+                    rng.gen_range(0.0..1000.0f32),
+                )
+            })
+            .collect();
+        Instance::new(format!("rand{n}"), Metric::Euc2d, pts).unwrap()
+    }
+
+    #[test]
+    fn gpu_agrees_with_sequential_every_strategy() {
+        let inst = random_instance(80, 5);
+        let mut rng = SmallRng::seed_from_u64(99);
+        let tour = Tour::random(80, &mut rng);
+        let mut seq = SequentialTwoOpt::new();
+        let (expected, _) = seq.best_move(&inst, &tour).unwrap();
+        for strategy in [
+            Strategy::Auto,
+            Strategy::Shared,
+            Strategy::Tiled { tile: 17 },
+            Strategy::GlobalOnly,
+            Strategy::Unordered,
+        ] {
+            let mut gpu = GpuTwoOpt::new(spec::gtx_680_cuda()).with_strategy(strategy);
+            let (got, prof) = gpu.best_move(&inst, &tour).unwrap();
+            assert_eq!(got, expected, "{strategy:?}");
+            assert_eq!(prof.pairs_checked, pair_count(80));
+            assert!(prof.kernel_seconds > 0.0);
+            assert!(prof.h2d_seconds > 0.0);
+            assert!(prof.d2h_seconds > 0.0);
+        }
+    }
+
+    #[test]
+    fn descent_to_local_minimum_matches_cpu_engines() {
+        let inst = random_instance(50, 11);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let start = Tour::random(50, &mut rng);
+
+        let mut t_seq = start.clone();
+        let mut t_par = start.clone();
+        let mut t_gpu = start.clone();
+        let mut seq = SequentialTwoOpt::new();
+        let mut par = CpuParallelTwoOpt::new();
+        let mut gpu = GpuTwoOpt::new(spec::gtx_680_cuda());
+        let s1 = optimize(&mut seq, &inst, &mut t_seq, SearchOptions::default()).unwrap();
+        let s2 = optimize(&mut par, &inst, &mut t_par, SearchOptions::default()).unwrap();
+        let s3 = optimize(&mut gpu, &inst, &mut t_gpu, SearchOptions::default()).unwrap();
+
+        // Identical move sequences -> identical tours and stats.
+        assert_eq!(t_seq.as_slice(), t_par.as_slice());
+        assert_eq!(t_seq.as_slice(), t_gpu.as_slice());
+        assert_eq!(s1.final_length, s3.final_length);
+        assert_eq!(s1.sweeps, s3.sweeps);
+        assert_eq!(s2.improving_moves, s3.improving_moves);
+        assert!(s3.reached_local_minimum);
+        // 2-opt must actually improve a random tour of 50 cities.
+        assert!(s3.final_length < s3.initial_length);
+    }
+
+    #[test]
+    fn auto_switches_to_tiled_when_too_big_for_shared() {
+        let mut s = spec::gtx_680_cuda();
+        s.shared_mem_per_block = 512; // 64 points max, tile = 31
+        let gpu = GpuTwoOpt::new(s);
+        assert_eq!(gpu.resolve(60), Strategy::Shared);
+        // auto_tile shrinks below the 31-position capacity so the grid
+        // (default 4 blocks/CU = 32) stays occupied: 64 positions over
+        // >= 8 tiles -> tile 8.
+        assert_eq!(gpu.resolve(65), Strategy::Tiled { tile: 8 });
+        // And the tiled path really runs + agrees.
+        let inst = random_instance(65, 2);
+        let tour = Tour::identity(65);
+        let mut gpu = gpu;
+        let (got, _) = gpu.best_move(&inst, &tour).unwrap();
+        let mut seq = SequentialTwoOpt::new();
+        let (expected, _) = seq.best_move(&inst, &tour).unwrap();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn rejects_explicit_instances() {
+        use tsp_core::ExplicitMatrix;
+        let m = ExplicitMatrix::from_upper_row(4, &[1, 2, 3, 4, 5, 6]).unwrap();
+        let inst = Instance::from_matrix("em", m, None).unwrap();
+        let tour = Tour::identity(4);
+        let mut gpu = GpuTwoOpt::new(spec::gtx_680_cuda());
+        assert!(matches!(
+            gpu.best_move(&inst, &tour),
+            Err(EngineError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn forced_shared_strategy_errors_past_capacity() {
+        let mut s = spec::gtx_680_cuda();
+        s.shared_mem_per_block = 256; // 32 points
+        let mut gpu = GpuTwoOpt::new(s).with_strategy(Strategy::Shared);
+        let inst = random_instance(100, 1);
+        let tour = Tour::identity(100);
+        assert!(matches!(
+            gpu.best_move(&inst, &tour),
+            Err(EngineError::Sim(gpu_sim::SimError::SharedMemExceeded { .. }))
+        ));
+    }
+
+    #[test]
+    fn overlapped_transfers_hide_the_h2d_copy() {
+        let inst = random_instance(600, 12);
+        let tour = Tour::identity(600);
+        let mut plain = GpuTwoOpt::new(spec::gtx_680_cuda());
+        let (mv_a, pa) = plain.best_move(&inst, &tour).unwrap();
+        let mut piped = GpuTwoOpt::new(spec::gtx_680_cuda()).with_overlapped_transfers();
+        let (mv_b, pb) = piped.best_move(&inst, &tour).unwrap();
+        assert_eq!(mv_a, mv_b);
+        assert!(pb.modeled_seconds() < pa.modeled_seconds());
+        assert_eq!(pb.h2d_seconds, 0.0);
+        // Never better than the ideal max(kernel, h2d) + d2h bound.
+        let ideal = pa.kernel_seconds.max(pa.h2d_seconds) + pa.d2h_seconds;
+        assert!((pb.modeled_seconds() - ideal).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_launch_geometry_works() {
+        // The paper's 28 blocks x 1024 threads on a mid-size instance.
+        let inst = random_instance(300, 8);
+        let tour = Tour::identity(300);
+        let mut gpu = GpuTwoOpt::new(spec::gtx_680_cuda()).with_launch(28, 1024);
+        let (mv, prof) = gpu.best_move(&inst, &tour).unwrap();
+        let mut seq = SequentialTwoOpt::new();
+        let (expected, _) = seq.best_move(&inst, &tour).unwrap();
+        assert_eq!(mv, expected);
+        assert!(prof.flops > 0);
+    }
+}

@@ -1,0 +1,26 @@
+//! The GPU engines — the paper's contribution, on the simulated device.
+//!
+//! * [`small`] — the §IV.A kernel for instances whose ordered coordinates
+//!   fit in shared memory (≤ 6144 cities at 48 kB): cooperative staging
+//!   (Optimization 1), route-ordered coordinates (Optimization 2), thread
+//!   striding over the triangular pair space, packed atomic-min
+//!   reduction. Also hosts the two ablation kernels: `GlobalOnly`
+//!   (no staging) and `Unordered` (route-indirected access, Fig. 5).
+//! * [`tiled`] — the §IV.B division scheme for arbitrary instance sizes:
+//!   each block stages **two** coordinate sub-ranges (≤ 3072 cities per
+//!   range at 48 kB) and evaluates all pairs crossing them.
+//! * [`engine`] — the [`GpuTwoOpt`] engine that drives
+//!   Algorithm 2 end-to-end (copy → kernel → read result) and picks the
+//!   right kernel for the instance size.
+
+pub mod engine;
+pub mod model;
+pub mod multi;
+pub mod oropt_kernel;
+pub mod small;
+pub mod tiled;
+
+pub use engine::{GpuTwoOpt, Strategy};
+pub use model::{model_auto_sweep, ModeledSweep};
+pub use multi::MultiGpuTwoOpt;
+pub use oropt_kernel::GpuOrOpt;

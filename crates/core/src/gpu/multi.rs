@@ -1,0 +1,482 @@
+//! Multi-device 2-opt — the paper's §VI outlook implemented: "we will
+//! try to parallelize it even further by using more CPUs and GPUs and
+//! possibly dividing the 2-opt task between multiple devices in order to
+//! effectively solve larger instances".
+//!
+//! The triangular pair space is already linear (Fig. 3), so device-level
+//! decomposition is a one-liner on top of the striding scheme: device
+//! `d` of `D` sweeps the contiguous index range
+//! `[d·P/D, (d+1)·P/D)`. Each device stages the same ordered coordinate
+//! array (or its tile ranges) and publishes its range's best move; the
+//! host reduces the `D` packed keys. Devices are independent, so the
+//! modeled end-to-end time is the **maximum** over the devices'
+//! (H2D + kernel + D2H) — the same independence argument the paper makes
+//! for its tiled kernel launches.
+
+use crate::bestmove::{unpack, BestMove, EMPTY_KEY, MAX_POSITION};
+use crate::cpu_model::BYTES_PER_CHECK;
+use crate::delta::{delta_ordered, FLOPS_PER_CHECK};
+use crate::gpu::small::{block_reduce, RESULT_SLOT};
+use crate::gpu::tiled::auto_tile;
+use crate::indexing::{index_to_pair, index_to_tile_pair, pair_count, tile_pair_count};
+use crate::search::{EngineError, StepProfile, TwoOptEngine};
+use gpu_sim::{
+    AtomicDeviceBuffer, Device, DeviceBuffer, DeviceSpec, Kernel, LaunchConfig, ThreadCtx,
+};
+use tsp_core::{Instance, Point, Tour};
+
+/// The shared-memory kernel restricted to a contiguous pair-index range.
+struct RangeKernel<'a> {
+    coords: &'a DeviceBuffer<Point>,
+    out: &'a AtomicDeviceBuffer,
+    /// First pair index this device owns.
+    start: u64,
+    /// One past the last pair index this device owns.
+    end: u64,
+}
+
+/// Shared state: staged coordinates + reduction scratch.
+struct RangeShared {
+    coords: Vec<Point>,
+    scratch: Vec<u64>,
+}
+
+impl Kernel for RangeKernel<'_> {
+    type Shared = RangeShared;
+
+    fn shared_bytes(&self) -> usize {
+        self.coords.len() * Point::DEVICE_BYTES
+    }
+
+    fn make_shared(&self) -> RangeShared {
+        RangeShared {
+            coords: vec![Point::default(); self.coords.len()],
+            scratch: Vec::new(),
+        }
+    }
+
+    fn num_phases(&self) -> usize {
+        3
+    }
+
+    fn run(&self, phase: usize, ctx: &mut ThreadCtx<'_>, shared: &mut RangeShared) {
+        let n = self.coords.len();
+        match phase {
+            0 => {
+                if shared.scratch.is_empty() {
+                    shared.scratch = vec![EMPTY_KEY; ctx.block_dim as usize];
+                }
+                let src = self.coords.as_slice();
+                let mut k = ctx.thread_idx as usize;
+                let mut loads = 0u64;
+                while k < n {
+                    shared.coords[k] = src[k];
+                    loads += 1;
+                    k += ctx.block_dim as usize;
+                }
+                ctx.global_read(loads * Point::DEVICE_BYTES as u64);
+                ctx.shared_bytes(loads * Point::DEVICE_BYTES as u64);
+            }
+            1 => {
+                let stride = ctx.total_threads();
+                let mut k = self.start + ctx.global_thread_id();
+                let mut best = EMPTY_KEY;
+                let mut evals = 0u64;
+                while k < self.end {
+                    let (i, j) = index_to_pair(k);
+                    let d = delta_ordered(&shared.coords, i as usize, j as usize);
+                    let key = crate::bestmove::pack(d, i as u32, j as u32);
+                    if key < best {
+                        best = key;
+                    }
+                    evals += 1;
+                    k += stride;
+                }
+                ctx.flops(evals * FLOPS_PER_CHECK);
+                ctx.shared_bytes(evals * BYTES_PER_CHECK);
+                shared.scratch[ctx.thread_idx as usize] = best;
+                if evals > 0 {
+                    ctx.shared_bytes(8);
+                }
+            }
+            2 => block_reduce(ctx, &shared.scratch, self.out),
+            _ => unreachable!("RangeKernel has 3 phases"),
+        }
+    }
+}
+
+/// The tiled kernel restricted to a contiguous range of tile pairs.
+struct TiledRangeKernel<'a> {
+    coords: &'a DeviceBuffer<Point>,
+    out: &'a AtomicDeviceBuffer,
+    tile: usize,
+    /// First tile-pair index this device owns (block 0 maps here).
+    first_tile_pair: u64,
+}
+
+/// Two staged ranges + reduction scratch.
+struct TiledRangeShared {
+    a: Vec<Point>,
+    b: Vec<Point>,
+    scratch: Vec<u64>,
+}
+
+impl TiledRangeKernel<'_> {
+    fn positions(&self) -> usize {
+        self.coords.len() - 1
+    }
+
+    fn tile_range(&self, t: u64) -> (usize, usize) {
+        let start = t as usize * self.tile;
+        let end = (start + self.tile).min(self.positions());
+        (start, end)
+    }
+}
+
+impl Kernel for TiledRangeKernel<'_> {
+    type Shared = TiledRangeShared;
+
+    fn shared_bytes(&self) -> usize {
+        2 * (self.tile + 1) * Point::DEVICE_BYTES
+    }
+
+    fn make_shared(&self) -> TiledRangeShared {
+        TiledRangeShared {
+            a: vec![Point::default(); self.tile + 1],
+            b: vec![Point::default(); self.tile + 1],
+            scratch: Vec::new(),
+        }
+    }
+
+    fn num_phases(&self) -> usize {
+        3
+    }
+
+    fn run(&self, phase: usize, ctx: &mut ThreadCtx<'_>, shared: &mut TiledRangeShared) {
+        let (ta, tb) = index_to_tile_pair(self.first_tile_pair + ctx.block_idx as u64);
+        let (a_start, a_end) = self.tile_range(ta);
+        let (b_start, b_end) = self.tile_range(tb);
+        let a_len = a_end - a_start + 1;
+        let b_len = b_end - b_start + 1;
+        match phase {
+            0 => {
+                if shared.scratch.is_empty() {
+                    shared.scratch = vec![EMPTY_KEY; ctx.block_dim as usize];
+                }
+                let src = self.coords.as_slice();
+                let mut loads = 0u64;
+                let mut k = ctx.thread_idx as usize;
+                while k < a_len {
+                    shared.a[k] = src[a_start + k];
+                    loads += 1;
+                    k += ctx.block_dim as usize;
+                }
+                let mut k = ctx.thread_idx as usize;
+                while k < b_len {
+                    shared.b[k] = src[b_start + k];
+                    loads += 1;
+                    k += ctx.block_dim as usize;
+                }
+                ctx.global_read(loads * Point::DEVICE_BYTES as u64);
+                ctx.shared_bytes(loads * Point::DEVICE_BYTES as u64);
+            }
+            1 => {
+                let na = a_end - a_start;
+                let nb = b_end - b_start;
+                let local_pairs = if ta == tb {
+                    (na as u64) * (na as u64 - 1) / 2
+                } else {
+                    na as u64 * nb as u64
+                };
+                let stride = ctx.block_dim as u64;
+                let mut k = ctx.thread_idx as u64;
+                let mut best = EMPTY_KEY;
+                let mut evals = 0u64;
+                while k < local_pairs {
+                    let (i, j) = if ta == tb {
+                        let (li, lj) = index_to_pair(k);
+                        (a_start + li as usize, a_start + lj as usize)
+                    } else {
+                        ((k % na as u64) as usize + a_start, (k / na as u64) as usize + b_start)
+                    };
+                    let pi = shared.a[i - a_start];
+                    let pi1 = shared.a[i + 1 - a_start];
+                    let pj = shared.b[j - b_start];
+                    let pj1 = shared.b[j + 1 - b_start];
+                    let d = (pi.euc_2d(&pj) + pi1.euc_2d(&pj1))
+                        - (pi.euc_2d(&pi1) + pj.euc_2d(&pj1));
+                    let key = crate::bestmove::pack(d, i as u32, j as u32);
+                    if key < best {
+                        best = key;
+                    }
+                    evals += 1;
+                    k += stride;
+                }
+                ctx.flops(evals * FLOPS_PER_CHECK);
+                ctx.shared_bytes(evals * BYTES_PER_CHECK);
+                shared.scratch[ctx.thread_idx as usize] = best;
+                if evals > 0 {
+                    ctx.shared_bytes(8);
+                }
+            }
+            2 => block_reduce(ctx, &shared.scratch, self.out),
+            _ => unreachable!("TiledRangeKernel has 3 phases"),
+        }
+    }
+}
+
+/// 2-opt engine across a fleet of (simulated) devices.
+///
+/// Every device holds the full ordered coordinate array; the candidate
+/// space is split evenly by pair count (small kernel) or by tile pairs
+/// (tiled kernel). Modeled time assumes the devices run concurrently on
+/// independent PCIe links: `max_d (h2d_d + kernel_d + d2h_d)`.
+pub struct MultiGpuTwoOpt {
+    devices: Vec<Device>,
+    block_dim: u32,
+    grid_dim: u32,
+    ordered: Vec<Point>,
+}
+
+impl MultiGpuTwoOpt {
+    /// Engine over the given device specs (identical or heterogeneous).
+    ///
+    /// # Panics
+    /// Panics when `specs` is empty.
+    pub fn new(specs: Vec<DeviceSpec>) -> Self {
+        assert!(!specs.is_empty(), "at least one device is required");
+        let block_dim = specs
+            .iter()
+            .map(|s| s.max_threads_per_block)
+            .min()
+            .expect("nonempty")
+            .min(1024);
+        let grid_dim = specs.iter().map(|s| s.compute_units).min().expect("nonempty") * 4;
+        MultiGpuTwoOpt {
+            devices: specs.into_iter().map(Device::new).collect(),
+            block_dim,
+            grid_dim,
+            ordered: Vec::new(),
+        }
+    }
+
+    /// `count` identical devices of one spec.
+    pub fn homogeneous(spec: DeviceSpec, count: usize) -> Self {
+        Self::new(vec![spec; count.max(1)])
+    }
+
+    /// Number of devices in the fleet.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+}
+
+impl TwoOptEngine for MultiGpuTwoOpt {
+    fn name(&self) -> String {
+        format!(
+            "multi-gpu[{}x {}]",
+            self.devices.len(),
+            self.devices[0].spec().name
+        )
+    }
+
+    fn best_move(
+        &mut self,
+        inst: &Instance,
+        tour: &Tour,
+    ) -> Result<(Option<BestMove>, StepProfile), EngineError> {
+        if !inst.is_coordinate_based() {
+            return Err(EngineError::Unsupported(
+                "multi-GPU kernels require coordinates".into(),
+            ));
+        }
+        let n = tour.len();
+        if n < 4 {
+            return Ok((None, StepProfile::default()));
+        }
+        if n - 1 > MAX_POSITION as usize {
+            return Err(EngineError::Unsupported(format!(
+                "instance of {n} cities exceeds the packed-key position budget"
+            )));
+        }
+        self.ordered.clear();
+        self.ordered
+            .extend(tour.as_slice().iter().map(|&c| inst.point(c as usize)));
+
+        let d = self.devices.len() as u64;
+        let fits_shared = self
+            .devices
+            .iter()
+            .all(|dev| n * Point::DEVICE_BYTES <= dev.spec().shared_mem_per_block);
+
+        let mut best_key = EMPTY_KEY;
+        let mut per_device_seconds: f64 = 0.0;
+        let mut profile = StepProfile {
+            pairs_checked: pair_count(n),
+            ..Default::default()
+        };
+
+        if fits_shared {
+            let pairs = pair_count(n);
+            for (idx, dev) in self.devices.iter().enumerate() {
+                let start = pairs * idx as u64 / d;
+                let end = pairs * (idx as u64 + 1) / d;
+                let (coords, h2d) = dev.copy_to_device(&self.ordered)?;
+                let out = dev.alloc_atomic(1, EMPTY_KEY)?;
+                let kernel = RangeKernel {
+                    coords: &coords,
+                    out: &out,
+                    start,
+                    end,
+                };
+                let p = dev.launch(LaunchConfig::new(self.grid_dim, self.block_dim), &kernel)?;
+                let (words, d2h) = dev.copy_from_device(&out);
+                best_key = best_key.min(words[RESULT_SLOT]);
+                profile.flops += p.counters.flops;
+                per_device_seconds =
+                    per_device_seconds.max(h2d.seconds + p.seconds + d2h.seconds);
+                // Attribute the device's own split for reporting.
+                profile.kernel_seconds = profile.kernel_seconds.max(p.seconds);
+                profile.h2d_seconds = profile.h2d_seconds.max(h2d.seconds);
+                profile.d2h_seconds = profile.d2h_seconds.max(d2h.seconds);
+            }
+        } else {
+            // Tiled decomposition: split tile pairs contiguously.
+            let shared = self
+                .devices
+                .iter()
+                .map(|dev| dev.spec().shared_mem_per_block)
+                .min()
+                .expect("nonempty");
+            let tile = auto_tile(n, shared, self.grid_dim * self.devices.len() as u32);
+            let tiles = ((n - 1) as u64).div_ceil(tile as u64);
+            let total_tp = tile_pair_count(tiles);
+            for (idx, dev) in self.devices.iter().enumerate() {
+                let first = total_tp * idx as u64 / d;
+                let last = total_tp * (idx as u64 + 1) / d;
+                if first == last {
+                    continue;
+                }
+                let (coords, h2d) = dev.copy_to_device(&self.ordered)?;
+                let out = dev.alloc_atomic(1, EMPTY_KEY)?;
+                let kernel = TiledRangeKernel {
+                    coords: &coords,
+                    out: &out,
+                    tile,
+                    first_tile_pair: first,
+                };
+                let p = dev.launch(
+                    LaunchConfig::new((last - first) as u32, self.block_dim),
+                    &kernel,
+                )?;
+                let (words, d2h) = dev.copy_from_device(&out);
+                best_key = best_key.min(words[RESULT_SLOT]);
+                profile.flops += p.counters.flops;
+                per_device_seconds =
+                    per_device_seconds.max(h2d.seconds + p.seconds + d2h.seconds);
+                profile.kernel_seconds = profile.kernel_seconds.max(p.seconds);
+                profile.h2d_seconds = profile.h2d_seconds.max(h2d.seconds);
+                profile.d2h_seconds = profile.d2h_seconds.max(d2h.seconds);
+            }
+        }
+
+        // Report the concurrent makespan as the kernel time so that
+        // modeled_seconds() == max over devices (transfers are already
+        // folded into the per-device maxima above; avoid double count).
+        profile.kernel_seconds =
+            per_device_seconds - profile.h2d_seconds - profile.d2h_seconds;
+        Ok((unpack(best_key).filter(BestMove::improves), profile))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpu::GpuTwoOpt;
+    use crate::sequential::SequentialTwoOpt;
+    use gpu_sim::spec;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use tsp_core::Metric;
+
+    fn random_instance(n: usize, seed: u64) -> Instance {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let pts = (0..n)
+            .map(|_| {
+                Point::new(
+                    rng.gen_range(0.0..1000.0f32),
+                    rng.gen_range(0.0..1000.0f32),
+                )
+            })
+            .collect();
+        Instance::new(format!("rand{n}"), Metric::Euc2d, pts).unwrap()
+    }
+
+    #[test]
+    fn multi_device_agrees_with_single_small_kernel() {
+        let inst = random_instance(120, 3);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let tour = Tour::random(120, &mut rng);
+        let mut seq = SequentialTwoOpt::new();
+        let (expected, _) = seq.best_move(&inst, &tour).unwrap();
+        for count in [1usize, 2, 3, 4] {
+            let mut multi = MultiGpuTwoOpt::homogeneous(spec::gtx_680_cuda(), count);
+            let (got, prof) = multi.best_move(&inst, &tour).unwrap();
+            assert_eq!(got, expected, "{count} devices");
+            assert_eq!(prof.pairs_checked, pair_count(120));
+        }
+    }
+
+    #[test]
+    fn multi_device_agrees_with_single_tiled_kernel() {
+        // Shrink shared memory so the tiled path is exercised at n=200.
+        let mut s = spec::gtx_680_cuda();
+        s.shared_mem_per_block = 1024;
+        let inst = random_instance(200, 5);
+        let tour = Tour::identity(200);
+        let mut seq = SequentialTwoOpt::new();
+        let (expected, _) = seq.best_move(&inst, &tour).unwrap();
+        for count in [2usize, 3] {
+            let mut multi = MultiGpuTwoOpt::homogeneous(s.clone(), count);
+            let (got, _) = multi.best_move(&inst, &tour).unwrap();
+            assert_eq!(got, expected, "{count} devices, tiled");
+        }
+    }
+
+    #[test]
+    fn two_devices_roughly_halve_the_kernel_time_at_scale() {
+        let inst = random_instance(4000, 7);
+        let tour = Tour::identity(4000);
+        let mut single = GpuTwoOpt::new(spec::gtx_680_cuda());
+        let (_, p1) = single.best_move(&inst, &tour).unwrap();
+        let mut dual = MultiGpuTwoOpt::homogeneous(spec::gtx_680_cuda(), 2);
+        let (_, p2) = dual.best_move(&inst, &tour).unwrap();
+        let ratio = p1.kernel_seconds / p2.kernel_seconds;
+        assert!(
+            (1.6..2.4).contains(&ratio),
+            "dual-device kernel speedup = {ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn heterogeneous_fleet_works() {
+        let inst = random_instance(90, 2);
+        let tour = Tour::identity(90);
+        let mut seq = SequentialTwoOpt::new();
+        let (expected, _) = seq.best_move(&inst, &tour).unwrap();
+        let mut fleet = MultiGpuTwoOpt::new(vec![
+            spec::gtx_680_cuda(),
+            spec::radeon_7970(),
+            spec::radeon_6990_single(),
+        ]);
+        assert_eq!(fleet.device_count(), 3);
+        let (got, _) = fleet.best_move(&inst, &tour).unwrap();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn empty_fleet_panics() {
+        let _ = MultiGpuTwoOpt::new(Vec::new());
+    }
+}

@@ -1,0 +1,248 @@
+//! Or-opt segment relocation — part of the "more complex local search
+//! algorithms such as 2.5-opt" the paper's §VII names as future work
+//! (Or-opt over segments of length 1 is exactly the node-insertion half
+//! of 2.5-opt).
+//!
+//! An Or-opt move removes a short segment (1–3 consecutive cities) and
+//! reinserts it between another pair of adjacent cities, optionally
+//! reversed. It repairs a class of defects 2-opt cannot: 2-opt only
+//! reverses, it never *transports*.
+
+use tsp_core::{Instance, Tour};
+
+/// One Or-opt move: relocate `tour[s..=e]` to sit after position `j`
+/// (`j` outside the segment), optionally reversed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OrOptMove {
+    /// Segment start position.
+    pub s: usize,
+    /// Segment end position (inclusive); `e - s + 1 <= max_len`.
+    pub e: usize,
+    /// Insert the segment after this position (position in the *current*
+    /// tour, outside `[s-1, e+1]`).
+    pub j: usize,
+    /// Insert the segment reversed.
+    pub reversed: bool,
+    /// Length change.
+    pub delta: i64,
+}
+
+/// Delta of relocating `tour[s..=e]` after position `j` (non-wrapping
+/// positions: `1 <= s <= e <= n-2`, `j != s-1`, `j` outside `[s-1, e]`).
+fn relocation_delta(
+    inst: &Instance,
+    tour: &Tour,
+    s: usize,
+    e: usize,
+    j: usize,
+    reversed: bool,
+) -> i64 {
+    let n = tour.len();
+    let city = |p: usize| tour.city(p % n) as usize;
+    let prev = city(s - 1);
+    let next = city(e + 1);
+    let seg_s = city(s);
+    let seg_e = city(e);
+    let ja = city(j);
+    let jb = city(j + 1);
+    let removed = inst.dist(prev, seg_s) as i64
+        + inst.dist(seg_e, next) as i64
+        + inst.dist(ja, jb) as i64;
+    let (head, tail) = if reversed { (seg_e, seg_s) } else { (seg_s, seg_e) };
+    let added = inst.dist(prev, next) as i64
+        + inst.dist(ja, head) as i64
+        + inst.dist(tail, jb) as i64;
+    added - removed
+}
+
+/// Apply an Or-opt move (splice the segment out and back in).
+pub fn apply(tour: &mut Tour, mv: &OrOptMove) {
+    let order = tour.as_slice().to_vec();
+    let mut seg: Vec<u32> = order[mv.s..=mv.e].to_vec();
+    if mv.reversed {
+        seg.reverse();
+    }
+    let mut rest: Vec<u32> = Vec::with_capacity(order.len() - seg.len());
+    rest.extend_from_slice(&order[..mv.s]);
+    rest.extend_from_slice(&order[mv.e + 1..]);
+    // Position j in the *original* tour maps into `rest`:
+    // positions < s are unchanged; positions > e shift left by seg len.
+    let jr = if mv.j < mv.s {
+        mv.j
+    } else {
+        mv.j - (mv.e - mv.s + 1)
+    };
+    let mut next: Vec<u32> = Vec::with_capacity(order.len());
+    next.extend_from_slice(&rest[..=jr]);
+    next.extend_from_slice(&seg);
+    next.extend_from_slice(&rest[jr + 1..]);
+    *tour = Tour::new(next).expect("or-opt splice preserves the permutation");
+}
+
+/// Find the best Or-opt move with segment length `<= max_len`
+/// (best-improvement; `None` at a local minimum). Returns the number of
+/// candidate relocations examined alongside.
+pub fn best_move(inst: &Instance, tour: &Tour, max_len: usize) -> (Option<OrOptMove>, u64) {
+    let n = tour.len();
+    let mut best: Option<OrOptMove> = None;
+    let mut checked = 0u64;
+    if n < 5 {
+        return (None, 0);
+    }
+    for s in 1..n - 1 {
+        for len in 1..=max_len {
+            let e = s + len - 1;
+            if e > n - 2 {
+                break;
+            }
+            // Insertion point j: an edge (j, j+1) with both endpoints
+            // outside [s-1, e+1); j ranges over 0..n-1 excluding
+            // [s-1, e] (j+1 must also avoid the removed span).
+            for j in 0..n - 1 {
+                if j + 1 >= s && j <= e {
+                    continue; // edge touches the segment or its stubs
+                }
+                for reversed in [false, true] {
+                    checked += 1;
+                    let delta = relocation_delta(inst, tour, s, e, j, reversed);
+                    // Canonical tie-break (delta, s, e, reversed, j):
+                    // matches the GPU kernel's packed-key ordering so the
+                    // engines agree bit-for-bit.
+                    if delta < 0
+                        && best.map_or(true, |b| {
+                            (delta, s, e, u8::from(reversed), j)
+                                < (b.delta, b.s, b.e, u8::from(b.reversed), b.j)
+                        })
+                    {
+                        best = Some(OrOptMove {
+                            s,
+                            e,
+                            j,
+                            reversed,
+                            delta,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    (best, checked)
+}
+
+/// Run Or-opt descent to its local minimum; returns moves applied.
+pub fn optimize(inst: &Instance, tour: &mut Tour, max_len: usize) -> u64 {
+    let mut applied = 0;
+    while let (Some(mv), _) = best_move(inst, tour, max_len) {
+        let before = tour.length(inst);
+        apply(tour, &mv);
+        debug_assert_eq!(tour.length(inst) - before, mv.delta);
+        applied += 1;
+    }
+    applied
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use tsp_core::{Metric, Point};
+
+    fn random_instance(n: usize, seed: u64) -> Instance {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let pts = (0..n)
+            .map(|_| {
+                Point::new(
+                    rng.gen_range(0.0..1000.0f32),
+                    rng.gen_range(0.0..1000.0f32),
+                )
+            })
+            .collect();
+        Instance::new(format!("rand{n}"), Metric::Euc2d, pts).unwrap()
+    }
+
+    #[test]
+    fn delta_matches_recompute_exhaustively() {
+        let inst = random_instance(12, 3);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let tour = Tour::random(12, &mut rng);
+        let n = 12;
+        for s in 1..n - 1 {
+            for len in 1..=3usize {
+                let e = s + len - 1;
+                if e > n - 2 {
+                    break;
+                }
+                for j in 0..n - 1 {
+                    if j + 1 >= s && j <= e {
+                        continue;
+                    }
+                    for reversed in [false, true] {
+                        let delta = relocation_delta(&inst, &tour, s, e, j, reversed);
+                        let mut t = tour.clone();
+                        apply(
+                            &mut t,
+                            &OrOptMove { s, e, j, reversed, delta },
+                        );
+                        t.validate().unwrap();
+                        assert_eq!(
+                            t.length(&inst) - tour.length(&inst),
+                            delta,
+                            "s={s} e={e} j={j} rev={reversed}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn or_opt_relocates_a_misplaced_city() {
+        // Cities on a line with city 5 sitting between cities 1 and 2
+        // spatially, but visited right after 0: relocating the singleton
+        // segment [5] between 1 and 2 is one Or-opt move.
+        let inst = Instance::new(
+            "misplaced",
+            Metric::Euc2d,
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(100.0, 0.0),
+                Point::new(200.0, 0.0),
+                Point::new(300.0, 0.0),
+                Point::new(400.0, 0.0),
+                Point::new(150.0, 10.0),
+            ],
+        )
+        .unwrap();
+        let mut tour = Tour::new(vec![0, 5, 1, 2, 3, 4]).unwrap();
+        let before = tour.length(&inst);
+        let moves = optimize(&inst, &mut tour, 3);
+        assert!(moves >= 1);
+        assert!(tour.length(&inst) < before);
+        tour.validate().unwrap();
+    }
+
+    #[test]
+    fn descent_terminates_and_improves_random_tours() {
+        let inst = random_instance(40, 9);
+        let mut rng = SmallRng::seed_from_u64(10);
+        let mut tour = Tour::random(40, &mut rng);
+        let before = tour.length(&inst);
+        let moves = optimize(&inst, &mut tour, 3);
+        assert!(moves > 0);
+        assert!(tour.length(&inst) < before);
+        tour.validate().unwrap();
+        // At the local minimum, no further move exists.
+        let (mv, _) = best_move(&inst, &tour, 3);
+        assert!(mv.is_none());
+    }
+
+    #[test]
+    fn tiny_instances_have_no_moves() {
+        let inst = random_instance(4, 1);
+        let tour = Tour::identity(4);
+        let (mv, checked) = best_move(&inst, &tour, 3);
+        assert!(mv.is_none());
+        assert_eq!(checked, 0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Neighbourhood-pruned 2-opt — the paper's §VII suggestion: "simple
+//! ideas such as neighborhood pruning can be applied at the cost of the
+//! quality of the solution".
+//!
+//! Instead of the dense O(n²) triangular sweep, only pairs whose first
+//! city is geometrically close to the second are examined, using
+//! k-nearest-neighbour candidate lists ([`tsp_core::neighbor`]). The
+//! sweep drops to O(n·k); the found move may be weaker than the global
+//! best (the ablation bench quantifies the trade-off).
+
+use crate::bestmove::BestMove;
+use crate::cpu_model::{flops_for_pairs, model_cpu_sweep_seconds};
+use crate::delta::delta_positions;
+use crate::search::{EngineError, StepProfile, TwoOptEngine};
+use gpu_sim::DeviceSpec;
+use tsp_core::neighbor::NeighborLists;
+use tsp_core::{Instance, Tour};
+
+/// 2-opt engine restricted to k-nearest-neighbour candidate pairs.
+pub struct PrunedTwoOpt {
+    lists: NeighborLists,
+    spec: DeviceSpec,
+    /// Scratch: city -> tour position.
+    positions: Vec<u32>,
+}
+
+impl PrunedTwoOpt {
+    /// Build the engine (and its candidate lists) for an instance.
+    pub fn new(inst: &Instance, k: usize) -> Self {
+        PrunedTwoOpt {
+            lists: NeighborLists::build(inst, k),
+            spec: gpu_sim::spec::core_i7_3960x(),
+            positions: Vec::new(),
+        }
+    }
+
+    /// Number of neighbours per city in force.
+    pub fn k(&self) -> usize {
+        self.lists.k()
+    }
+}
+
+impl TwoOptEngine for PrunedTwoOpt {
+    fn name(&self) -> String {
+        format!("pruned-2opt[k={}]", self.lists.k())
+    }
+
+    fn best_move(
+        &mut self,
+        inst: &Instance,
+        tour: &Tour,
+    ) -> Result<(Option<BestMove>, StepProfile), EngineError> {
+        let n = tour.len();
+        if n < 4 {
+            return Ok((None, StepProfile::default()));
+        }
+        // Invert the tour to find each neighbour's position.
+        self.positions.resize(n, 0);
+        for (pos, &city) in tour.as_slice().iter().enumerate() {
+            self.positions[city as usize] = pos as u32;
+        }
+
+        let mut best: Option<BestMove> = None;
+        let mut checked = 0u64;
+        for i in 0..=(n - 3) {
+            let a = tour.city(i) as usize;
+            // Candidate second edges: those whose start city is one of
+            // a's nearest neighbours.
+            for &c in self.lists.neighbors(a) {
+                let p = self.positions[c as usize] as usize;
+                // Normalise to lo < hi <= n - 2; skip degenerate pairs.
+                let (lo, hi) = if i < p { (i, p) } else { (p, i) };
+                checked += 1;
+                if lo == hi || hi > n - 2 {
+                    continue;
+                }
+                let d = delta_positions(inst, tour, lo, hi);
+                if d >= 0 {
+                    continue;
+                }
+                let cand = BestMove {
+                    delta: d as i32,
+                    i: lo as u32,
+                    j: hi as u32,
+                };
+                let better = match best {
+                    None => true,
+                    Some(b) => (cand.delta, cand.i, cand.j) < (b.delta, b.i, b.j),
+                };
+                if better {
+                    best = Some(cand);
+                }
+            }
+        }
+
+        let profile = StepProfile {
+            pairs_checked: checked,
+            flops: flops_for_pairs(checked),
+            kernel_seconds: model_cpu_sweep_seconds(&self.spec, checked),
+            h2d_seconds: 0.0,
+            d2h_seconds: 0.0,
+        };
+        Ok((best, profile))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::indexing::pair_count;
+    use crate::search::{optimize, SearchOptions};
+    use crate::sequential::SequentialTwoOpt;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use tsp_core::{Metric, Point};
+
+    fn random_instance(n: usize, seed: u64) -> Instance {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let pts = (0..n)
+            .map(|_| {
+                Point::new(
+                    rng.gen_range(0.0..1000.0f32),
+                    rng.gen_range(0.0..1000.0f32),
+                )
+            })
+            .collect();
+        Instance::new(format!("rand{n}"), Metric::Euc2d, pts).unwrap()
+    }
+
+    #[test]
+    fn pruned_checks_far_fewer_pairs() {
+        let inst = random_instance(200, 1);
+        let tour = Tour::identity(200);
+        let mut eng = PrunedTwoOpt::new(&inst, 8);
+        let (_, prof) = eng.best_move(&inst, &tour).unwrap();
+        assert!(prof.pairs_checked < pair_count(200) / 5);
+        assert!(prof.pairs_checked > 0);
+    }
+
+    #[test]
+    fn pruned_moves_are_real_improvements() {
+        let inst = random_instance(120, 2);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut tour = Tour::random(120, &mut rng);
+        let before = tour.length(&inst);
+        let mut eng = PrunedTwoOpt::new(&inst, 10);
+        let stats = optimize(&mut eng, &inst, &mut tour, SearchOptions::default()).unwrap();
+        assert!(stats.reached_local_minimum);
+        assert!(tour.length(&inst) < before);
+        tour.validate().unwrap();
+    }
+
+    #[test]
+    fn pruned_quality_close_to_full_but_cheaper() {
+        let inst = random_instance(150, 7);
+        let mut rng = SmallRng::seed_from_u64(8);
+        let start = Tour::random(150, &mut rng);
+
+        let mut t_full = start.clone();
+        let mut full = SequentialTwoOpt::new();
+        let s_full = optimize(&mut full, &inst, &mut t_full, SearchOptions::default()).unwrap();
+
+        let mut t_pruned = start.clone();
+        let mut pruned = PrunedTwoOpt::new(&inst, 12);
+        let s_pruned =
+            optimize(&mut pruned, &inst, &mut t_pruned, SearchOptions::default()).unwrap();
+
+        // Pruned does less work...
+        assert!(s_pruned.profile.pairs_checked < s_full.profile.pairs_checked);
+        // ...and lands within 15% of the full 2-opt local minimum.
+        let gap = (s_pruned.final_length - s_full.final_length) as f64
+            / s_full.final_length as f64;
+        assert!(gap < 0.15, "pruned gap = {gap:.3}");
+    }
+
+    #[test]
+    fn k_is_exposed() {
+        let inst = random_instance(30, 4);
+        let eng = PrunedTwoOpt::new(&inst, 5);
+        assert_eq!(eng.k(), 5);
+    }
+}

@@ -1,0 +1,238 @@
+//! The sequential CPU baseline — the paper's §IV reference loop:
+//!
+//! ```text
+//! for (int i = 1; i < n - 2; i++)
+//!     for (int j = i + 1; j < n - 1; j++)
+//!         ...check pair...
+//! ```
+//!
+//! (our position convention shifts the same enumeration to
+//! `0 <= i < j <= n - 2`; the candidate set is identical). This engine is
+//! the ground truth every parallel engine is verified against, and the
+//! baseline of the paper's "up to 300 times faster" convergence claim.
+
+use crate::bestmove::BestMove;
+use crate::cpu_model::{flops_for_pairs, model_cpu_sweep_seconds};
+use crate::delta::{delta_ordered, delta_positions};
+use crate::search::{EngineError, StepProfile, TwoOptEngine};
+use gpu_sim::DeviceSpec;
+use tsp_core::{Instance, Point, Tour};
+
+/// Pivoting rule for the sweep — the paper uses best-improvement
+/// (the GPU reduction *is* a best-improvement selection); the
+/// first-improvement variant is provided for the ablation benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PivotRule {
+    /// Scan everything, apply the most-improving move.
+    #[default]
+    BestImprovement,
+    /// Stop the sweep at the first improving move.
+    FirstImprovement,
+}
+
+/// Single-threaded exact 2-opt engine.
+pub struct SequentialTwoOpt {
+    spec: DeviceSpec,
+    pivot: PivotRule,
+    ordered: Vec<Point>,
+}
+
+impl SequentialTwoOpt {
+    /// Engine with the paper's sequential-CPU model spec.
+    pub fn new() -> Self {
+        Self::with_spec(gpu_sim::spec::sequential_cpu())
+    }
+
+    /// Engine with an explicit device spec for modeled timing.
+    pub fn with_spec(spec: DeviceSpec) -> Self {
+        SequentialTwoOpt {
+            spec,
+            pivot: PivotRule::BestImprovement,
+            ordered: Vec::new(),
+        }
+    }
+
+    /// Select the pivoting rule.
+    pub fn with_pivot(mut self, pivot: PivotRule) -> Self {
+        self.pivot = pivot;
+        self
+    }
+}
+
+impl Default for SequentialTwoOpt {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TwoOptEngine for SequentialTwoOpt {
+    fn name(&self) -> String {
+        format!("sequential[{}]", self.spec.name)
+    }
+
+    fn best_move(
+        &mut self,
+        inst: &Instance,
+        tour: &Tour,
+    ) -> Result<(Option<BestMove>, StepProfile), EngineError> {
+        let n = tour.len();
+        if n < 4 {
+            return Ok((None, StepProfile::default()));
+        }
+        let mut best: Option<BestMove> = None;
+        let mut checked = 0u64;
+
+        if inst.is_coordinate_based() {
+            // Fast path: the paper's layout — coordinates in tour order.
+            self.ordered.clear();
+            self.ordered
+                .extend(tour.as_slice().iter().map(|&c| inst.point(c as usize)));
+            'outer_c: for i in 0..=(n - 3) {
+                for j in (i + 1)..=(n - 2) {
+                    let d = delta_ordered(&self.ordered, i, j);
+                    checked += 1;
+                    if d < best.map_or(0, |b| b.delta) {
+                        best = Some(BestMove {
+                            delta: d,
+                            i: i as u32,
+                            j: j as u32,
+                        });
+                        if self.pivot == PivotRule::FirstImprovement {
+                            break 'outer_c;
+                        }
+                    }
+                }
+            }
+        } else {
+            'outer_m: for i in 0..=(n - 3) {
+                for j in (i + 1)..=(n - 2) {
+                    let d = delta_positions(inst, tour, i, j);
+                    checked += 1;
+                    if d < best.map_or(0, |b| b.delta as i64) {
+                        best = Some(BestMove {
+                            delta: d as i32,
+                            i: i as u32,
+                            j: j as u32,
+                        });
+                        if self.pivot == PivotRule::FirstImprovement {
+                            break 'outer_m;
+                        }
+                    }
+                }
+            }
+        }
+
+        let profile = StepProfile {
+            pairs_checked: checked,
+            flops: flops_for_pairs(checked),
+            kernel_seconds: model_cpu_sweep_seconds(&self.spec, checked),
+            h2d_seconds: 0.0,
+            d2h_seconds: 0.0,
+        };
+        Ok((best, profile))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::{optimize, SearchOptions};
+    use tsp_core::{ExplicitMatrix, Metric};
+
+    fn square() -> Instance {
+        Instance::new(
+            "square4",
+            Metric::Euc2d,
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(0.0, 10.0),
+                Point::new(10.0, 10.0),
+                Point::new(10.0, 0.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn finds_the_uncrossing_move() {
+        let inst = square();
+        let tour = Tour::new(vec![0, 2, 1, 3]).unwrap();
+        let mut eng = SequentialTwoOpt::new();
+        let (mv, prof) = eng.best_move(&inst, &tour).unwrap();
+        let mv = mv.unwrap();
+        assert_eq!((mv.delta, mv.i, mv.j), (-8, 0, 2));
+        assert_eq!(prof.pairs_checked, 3); // (0,1) (0,2) (1,2)
+        assert!(prof.kernel_seconds > 0.0);
+    }
+
+    #[test]
+    fn local_minimum_on_square_is_the_perimeter() {
+        let inst = square();
+        let mut tour = Tour::new(vec![0, 2, 1, 3]).unwrap();
+        let mut eng = SequentialTwoOpt::new();
+        let stats = optimize(&mut eng, &inst, &mut tour, SearchOptions::default()).unwrap();
+        assert_eq!(stats.final_length, 40);
+        assert!(stats.reached_local_minimum);
+    }
+
+    #[test]
+    fn explicit_matrix_path_agrees() {
+        // Same square as an explicit matrix.
+        let coords = square();
+        let n = 4;
+        let mut w = vec![0i32; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                w[i * n + j] = coords.dist(i, j);
+            }
+        }
+        let inst =
+            Instance::from_matrix("m", ExplicitMatrix::from_full(n, w).unwrap(), None).unwrap();
+        let tour = Tour::new(vec![0, 2, 1, 3]).unwrap();
+        let mut eng = SequentialTwoOpt::new();
+        let (mv, _) = eng.best_move(&inst, &tour).unwrap();
+        assert_eq!(mv.unwrap().delta, -8);
+    }
+
+    #[test]
+    fn first_improvement_stops_early() {
+        let inst = square();
+        let tour = Tour::new(vec![0, 2, 1, 3]).unwrap();
+        let mut eng = SequentialTwoOpt::new().with_pivot(PivotRule::FirstImprovement);
+        let (mv, prof) = eng.best_move(&inst, &tour).unwrap();
+        assert!(mv.unwrap().improves());
+        assert!(prof.pairs_checked <= 3);
+    }
+
+    #[test]
+    fn tiny_tours_have_no_moves() {
+        let inst = square();
+        let tour = Tour::identity(3);
+        // A 3-city sub-tour view is impossible with this instance, so use
+        // n = 4 tour but ask directly with n < 4 via a 3-city instance.
+        let inst3 = Instance::new(
+            "tri",
+            Metric::Euc2d,
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 0.0),
+                Point::new(0.0, 1.0),
+            ],
+        )
+        .unwrap();
+        let mut eng = SequentialTwoOpt::new();
+        let (mv, prof) = eng.best_move(&inst3, &tour).unwrap();
+        assert!(mv.is_none());
+        assert_eq!(prof.pairs_checked, 0);
+        let _ = inst;
+    }
+
+    #[test]
+    fn identity_square_is_already_optimal() {
+        let inst = square();
+        let tour = Tour::identity(4);
+        let mut eng = SequentialTwoOpt::new();
+        let (mv, _) = eng.best_move(&inst, &tour).unwrap();
+        assert!(mv.is_none());
+    }
+}

@@ -1,0 +1,240 @@
+//! 2.5-opt (also written 2h-opt) — named directly in the paper's §VII:
+//! "Our future work is to efficiently implement more complex local
+//! search algorithms such as **2.5-opt**, 3-opt and Lin-Kernighan".
+//!
+//! Following Bentley's definition, a 2.5-opt step examines, for each
+//! candidate pair `(i, j)`, both
+//!
+//! * the plain **2-opt** reconnection (reverse the middle segment), and
+//! * the **node insertion** of the city after `i` between `j` and `j+1`
+//!   (a length-1 Or-opt move) — in both directions.
+//!
+//! Its neighbourhood strictly contains 2-opt's, so a 2.5-opt local
+//! minimum is also a 2-opt local minimum, usually a shorter one.
+
+use tsp_core::{Instance, Tour};
+
+/// A 2.5-opt move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Move {
+    /// The classic 2-opt segment reversal on `(i, j)`.
+    TwoOpt {
+        /// First removed edge `(i, i+1)`.
+        i: usize,
+        /// Second removed edge `(j, j+1)`.
+        j: usize,
+    },
+    /// Move the city at position `from` to sit between positions `j`
+    /// and `j+1`.
+    Insertion {
+        /// Position of the relocated city.
+        from: usize,
+        /// Insert after this position (in the *current* tour).
+        after: usize,
+    },
+}
+
+/// A scored move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScoredMove {
+    /// The move.
+    pub mv: Move,
+    /// Length change (negative improves).
+    pub delta: i64,
+}
+
+/// Delta of inserting the city at `from` after position `after`
+/// (`after != from`, `after != from - 1`; non-wrapping interior moves:
+/// `1 <= from <= n-2`, `0 <= after <= n-2`).
+fn insertion_delta(inst: &Instance, tour: &Tour, from: usize, after: usize) -> i64 {
+    let c = |p: usize| tour.city(p) as usize;
+    let a = c(from - 1);
+    let b = c(from);
+    let d = c(from + 1);
+    let e = c(after);
+    let f = c(after + 1);
+    debug_assert!(e != b && f != b);
+    (inst.dist(a, d) as i64 + inst.dist(e, b) as i64 + inst.dist(b, f) as i64)
+        - (inst.dist(a, b) as i64 + inst.dist(b, d) as i64 + inst.dist(e, f) as i64)
+}
+
+/// Apply a 2.5-opt move.
+pub fn apply(tour: &mut Tour, mv: &Move) {
+    match *mv {
+        Move::TwoOpt { i, j } => tour.apply_two_opt(i, j),
+        Move::Insertion { from, after } => {
+            let mut order = tour.as_slice().to_vec();
+            let city = order.remove(from);
+            // `after` indexes the original tour; removal shifts later
+            // positions left by one.
+            let at = if after < from { after + 1 } else { after };
+            order.insert(at, city);
+            *tour = Tour::new(order).expect("insertion preserves the permutation");
+        }
+    }
+}
+
+/// Best 2.5-opt move (best-improvement over both move kinds), plus the
+/// number of candidates examined.
+pub fn best_move(inst: &Instance, tour: &Tour) -> (Option<ScoredMove>, u64) {
+    let n = tour.len();
+    let mut checked = 0u64;
+    if n < 5 {
+        return (None, 0);
+    }
+    let mut best: Option<ScoredMove> = None;
+    let consider = |mv: Move, delta: i64, best: &mut Option<ScoredMove>| {
+        if delta < 0 && best.map_or(true, |b| delta < b.delta) {
+            *best = Some(ScoredMove { mv, delta });
+        }
+    };
+
+    // 2-opt part: the usual triangular sweep.
+    for i in 0..=(n - 3) {
+        for j in (i + 1)..=(n - 2) {
+            checked += 1;
+            let d = crate::delta::delta_positions(inst, tour, i, j);
+            consider(Move::TwoOpt { i, j }, d, &mut best);
+        }
+    }
+    // Insertion part: every interior city to every non-adjacent edge.
+    for from in 1..=(n - 2) {
+        for after in 0..=(n - 2) {
+            if after + 1 >= from && after <= from {
+                continue; // adjacent or identity placements
+            }
+            checked += 1;
+            let d = insertion_delta(inst, tour, from, after);
+            consider(Move::Insertion { from, after }, d, &mut best);
+        }
+    }
+    (best, checked)
+}
+
+/// Run 2.5-opt descent to the local minimum; returns moves applied and
+/// total candidates checked.
+pub fn optimize(inst: &Instance, tour: &mut Tour) -> (u64, u64) {
+    let mut applied = 0;
+    let mut checked = 0;
+    loop {
+        let (mv, c) = best_move(inst, tour);
+        checked += c;
+        match mv {
+            Some(m) => {
+                let before = tour.length(inst);
+                apply(tour, &m.mv);
+                debug_assert_eq!(tour.length(inst) - before, m.delta);
+                applied += 1;
+            }
+            None => return (applied, checked),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::{optimize as opt2, SearchOptions};
+    use crate::sequential::SequentialTwoOpt;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use tsp_core::{Metric, Point};
+
+    fn random_instance(n: usize, seed: u64) -> Instance {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let pts = (0..n)
+            .map(|_| {
+                Point::new(
+                    rng.gen_range(0.0..1000.0f32),
+                    rng.gen_range(0.0..1000.0f32),
+                )
+            })
+            .collect();
+        Instance::new(format!("rand{n}"), Metric::Euc2d, pts).unwrap()
+    }
+
+    #[test]
+    fn insertion_delta_matches_recompute_exhaustively() {
+        let inst = random_instance(12, 1);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let tour = Tour::random(12, &mut rng);
+        for from in 1..=10usize {
+            for after in 0..=10usize {
+                if after + 1 >= from && after <= from {
+                    continue;
+                }
+                let delta = insertion_delta(&inst, &tour, from, after);
+                let mut t = tour.clone();
+                apply(&mut t, &Move::Insertion { from, after });
+                t.validate().unwrap();
+                assert_eq!(
+                    t.length(&inst) - tour.length(&inst),
+                    delta,
+                    "from={from} after={after}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn local_minimum_is_also_a_two_opt_local_minimum() {
+        let inst = random_instance(70, 4);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut tour = Tour::random(70, &mut rng);
+        let (applied, _) = optimize(&inst, &mut tour);
+        assert!(applied > 0);
+        tour.validate().unwrap();
+        // No 2-opt move can remain (2-opt ⊂ 2.5-opt neighbourhood).
+        let mut seq = SequentialTwoOpt::new();
+        let (mv, _) = crate::search::TwoOptEngine::best_move(&mut seq, &inst, &tour).unwrap();
+        assert!(mv.is_none(), "2.5-opt minimum still had 2-opt move {mv:?}");
+    }
+
+    #[test]
+    fn quality_beats_two_opt_on_average() {
+        // Per-seed outcomes are noisy (different descent paths), but the
+        // richer neighbourhood must win in aggregate.
+        let (mut sum2, mut sum25) = (0i64, 0i64);
+        for seed in 0..6 {
+            let inst = random_instance(60, seed);
+            let mut rng = SmallRng::seed_from_u64(seed + 50);
+            let start = Tour::random(60, &mut rng);
+            let mut t2 = start.clone();
+            let mut seq = SequentialTwoOpt::new();
+            opt2(&mut seq, &inst, &mut t2, SearchOptions::default()).unwrap();
+            let mut t25 = start;
+            optimize(&inst, &mut t25);
+            sum2 += t2.length(&inst);
+            sum25 += t25.length(&inst);
+        }
+        assert!(sum25 <= sum2, "2.5-opt total {sum25} vs 2-opt total {sum2}");
+    }
+
+    #[test]
+    fn improves_past_a_two_opt_minimum_on_some_seeds() {
+        let mut improved_any = false;
+        for seed in 10..16 {
+            let inst = random_instance(50, seed);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut tour = Tour::random(50, &mut rng);
+            let mut seq = SequentialTwoOpt::new();
+            opt2(&mut seq, &inst, &mut tour, SearchOptions::default()).unwrap();
+            let at_min = tour.length(&inst);
+            let (applied, _) = optimize(&inst, &mut tour);
+            if applied > 0 {
+                assert!(tour.length(&inst) < at_min);
+                improved_any = true;
+            }
+        }
+        assert!(improved_any, "2.5-opt never improved a 2-opt minimum");
+    }
+
+    #[test]
+    fn tiny_instances_are_safe() {
+        let inst = random_instance(4, 9);
+        let mut tour = Tour::identity(4);
+        let (applied, checked) = optimize(&inst, &mut tour);
+        assert_eq!(applied, 0);
+        assert_eq!(checked, 0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Verification utilities: independent checks that a tour really is what
+//! an engine claims it is. Used by the test suites and available to
+//! downstream users who want belt-and-braces validation of results.
+
+use crate::delta::delta_positions;
+use tsp_core::{Instance, Tour};
+
+/// Exhaustively verify that `tour` is a 2-opt local minimum under the
+/// non-wrapping candidate convention (`0 <= i < j <= n-2`). Returns the
+/// first improving pair found, or `None` when the tour is locally
+/// optimal. O(n²).
+pub fn find_improving_pair(inst: &Instance, tour: &Tour) -> Option<(usize, usize, i64)> {
+    let n = tour.len();
+    if n < 4 {
+        return None;
+    }
+    for i in 0..=(n - 3) {
+        for j in (i + 1)..=(n - 2) {
+            let d = delta_positions(inst, tour, i, j);
+            if d < 0 {
+                return Some((i, j, d));
+            }
+        }
+    }
+    None
+}
+
+/// `true` when `tour` is a 2-opt local minimum.
+pub fn is_two_opt_minimum(inst: &Instance, tour: &Tour) -> bool {
+    find_improving_pair(inst, tour).is_none()
+}
+
+/// Recompute a tour length edge-by-edge and compare against `claimed`;
+/// returns the recomputed value on mismatch.
+pub fn check_length(inst: &Instance, tour: &Tour, claimed: i64) -> Result<(), i64> {
+    let actual = tour.length(inst);
+    if actual == claimed {
+        Ok(())
+    } else {
+        Err(actual)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::{optimize, SearchOptions};
+    use crate::sequential::SequentialTwoOpt;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use tsp_core::{Metric, Point};
+
+    fn random_instance(n: usize, seed: u64) -> Instance {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let pts = (0..n)
+            .map(|_| {
+                Point::new(
+                    rng.gen_range(0.0..1000.0f32),
+                    rng.gen_range(0.0..1000.0f32),
+                )
+            })
+            .collect();
+        Instance::new(format!("rand{n}"), Metric::Euc2d, pts).unwrap()
+    }
+
+    #[test]
+    fn descent_output_passes_verification() {
+        let inst = random_instance(80, 1);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut tour = Tour::random(80, &mut rng);
+        assert!(!is_two_opt_minimum(&inst, &tour));
+        let mut eng = SequentialTwoOpt::new();
+        let stats = optimize(&mut eng, &inst, &mut tour, SearchOptions::default()).unwrap();
+        assert!(is_two_opt_minimum(&inst, &tour));
+        assert!(check_length(&inst, &tour, stats.final_length).is_ok());
+    }
+
+    #[test]
+    fn improving_pair_is_reported_with_its_delta() {
+        let inst = Instance::new(
+            "square4",
+            Metric::Euc2d,
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(0.0, 10.0),
+                Point::new(10.0, 10.0),
+                Point::new(10.0, 0.0),
+            ],
+        )
+        .unwrap();
+        let tour = Tour::new(vec![0, 2, 1, 3]).unwrap();
+        let (i, j, d) = find_improving_pair(&inst, &tour).unwrap();
+        assert_eq!((i, j, d), (0, 2, -8));
+    }
+
+    #[test]
+    fn check_length_reports_the_truth() {
+        let inst = random_instance(20, 3);
+        let tour = Tour::identity(20);
+        let real = tour.length(&inst);
+        assert!(check_length(&inst, &tour, real).is_ok());
+        assert_eq!(check_length(&inst, &tour, real + 1), Err(real));
+    }
+
+    #[test]
+    fn tiny_tours_are_trivially_minimal() {
+        let inst = random_instance(3, 4);
+        let tour = Tour::identity(3);
+        assert!(is_two_opt_minimum(&inst, &tour));
+    }
+}

@@ -1,0 +1,172 @@
+//! Variable Neighbourhood Descent: 2-opt and Or-opt combined — the
+//! natural packaging of the paper's §VII agenda ("more complex local
+//! search algorithms"). Descend with 2-opt to its local minimum, try one
+//! Or-opt relocation; if it improves, apply it and go back to 2-opt.
+//! The result is a local minimum of **both** neighbourhoods.
+
+use crate::gpu::oropt_kernel::GpuOrOpt;
+use crate::oropt;
+use crate::search::{optimize, EngineError, SearchOptions, StepProfile, TwoOptEngine};
+use tsp_core::{Instance, Tour};
+
+/// Statistics of a VND run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VndStats {
+    /// Initial tour length.
+    pub initial_length: i64,
+    /// Final tour length.
+    pub final_length: i64,
+    /// 2-opt moves applied (across all descents).
+    pub two_opt_moves: u64,
+    /// Or-opt relocations applied.
+    pub or_opt_moves: u64,
+    /// Accumulated modeled cost (both neighbourhoods).
+    pub profile: StepProfile,
+}
+
+/// Run VND with a 2-opt engine and the GPU Or-opt kernel.
+pub fn optimize_vnd<E: TwoOptEngine + ?Sized>(
+    two_opt: &mut E,
+    or_opt: &mut GpuOrOpt,
+    inst: &Instance,
+    tour: &mut Tour,
+) -> Result<VndStats, EngineError> {
+    let initial_length = tour.length(inst);
+    let mut profile = StepProfile::default();
+    let mut two_opt_moves = 0;
+    let mut or_opt_moves = 0;
+    loop {
+        let stats = optimize(two_opt, inst, tour, SearchOptions::default())?;
+        profile.accumulate(&stats.profile);
+        two_opt_moves += stats.improving_moves;
+        let (mv, step) = or_opt.best_move(inst, tour)?;
+        profile.accumulate(&step);
+        match mv {
+            Some(m) => {
+                oropt::apply(tour, &m);
+                or_opt_moves += 1;
+            }
+            None => break,
+        }
+    }
+    Ok(VndStats {
+        initial_length,
+        final_length: tour.length(inst),
+        two_opt_moves,
+        or_opt_moves,
+        profile,
+    })
+}
+
+/// CPU-only VND (sequential 2-opt + CPU Or-opt sweep) for environments
+/// where the caller wants no simulator involvement.
+pub fn optimize_vnd_cpu(inst: &Instance, tour: &mut Tour) -> VndStats {
+    let initial_length = tour.length(inst);
+    let mut seq = crate::sequential::SequentialTwoOpt::new();
+    let mut profile = StepProfile::default();
+    let mut two_opt_moves = 0;
+    let mut or_opt_moves = 0;
+    loop {
+        let stats = optimize(&mut seq, inst, tour, SearchOptions::default())
+            .expect("sequential engine cannot fail");
+        profile.accumulate(&stats.profile);
+        two_opt_moves += stats.improving_moves;
+        let (mv, _) = oropt::best_move(inst, tour, 3);
+        match mv {
+            Some(m) => {
+                oropt::apply(tour, &m);
+                or_opt_moves += 1;
+            }
+            None => break,
+        }
+    }
+    VndStats {
+        initial_length,
+        final_length: tour.length(inst),
+        two_opt_moves,
+        or_opt_moves,
+        profile,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpu::GpuTwoOpt;
+    use crate::verify::is_two_opt_minimum;
+    use gpu_sim::spec;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use tsp_core::{Metric, Point};
+
+    fn random_instance(n: usize, seed: u64) -> Instance {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let pts = (0..n)
+            .map(|_| {
+                Point::new(
+                    rng.gen_range(0.0..1000.0f32),
+                    rng.gen_range(0.0..1000.0f32),
+                )
+            })
+            .collect();
+        Instance::new(format!("rand{n}"), Metric::Euc2d, pts).unwrap()
+    }
+
+    #[test]
+    fn vnd_minimum_is_minimal_in_both_neighbourhoods() {
+        let inst = random_instance(70, 1);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut tour = Tour::random(70, &mut rng);
+        let mut two = GpuTwoOpt::new(spec::gtx_680_cuda());
+        let mut or = GpuOrOpt::new(spec::gtx_680_cuda());
+        let stats = optimize_vnd(&mut two, &mut or, &inst, &mut tour).unwrap();
+        assert!(stats.final_length < stats.initial_length);
+        assert!(is_two_opt_minimum(&inst, &tour));
+        let (mv, _) = oropt::best_move(&inst, &tour, 3);
+        assert!(mv.is_none(), "Or-opt move left: {mv:?}");
+        tour.validate().unwrap();
+        assert!(stats.two_opt_moves > 0);
+    }
+
+    #[test]
+    fn vnd_beats_or_ties_plain_two_opt() {
+        let (mut sum2, mut sumv) = (0i64, 0i64);
+        for seed in 0..4 {
+            let inst = random_instance(60, seed);
+            let mut rng = SmallRng::seed_from_u64(seed + 70);
+            let start = Tour::random(60, &mut rng);
+
+            let mut plain = start.clone();
+            let mut eng = crate::sequential::SequentialTwoOpt::new();
+            let s =
+                optimize(&mut eng, &inst, &mut plain, SearchOptions::default()).unwrap();
+            sum2 += s.final_length;
+
+            let mut vnd_tour = start;
+            let v = optimize_vnd_cpu(&inst, &mut vnd_tour);
+            sumv += v.final_length;
+        }
+        assert!(sumv <= sum2, "VND total {sumv} vs 2-opt total {sum2}");
+    }
+
+    #[test]
+    fn cpu_and_gpu_vnd_agree() {
+        let inst = random_instance(50, 5);
+        let mut rng = SmallRng::seed_from_u64(6);
+        let start = Tour::random(50, &mut rng);
+
+        let mut cpu_tour = start.clone();
+        let c = optimize_vnd_cpu(&inst, &mut cpu_tour);
+
+        let mut gpu_tour = start;
+        let mut two = GpuTwoOpt::new(spec::gtx_680_cuda());
+        let mut or = GpuOrOpt::new(spec::gtx_680_cuda());
+        let g = optimize_vnd(&mut two, &mut or, &inst, &mut gpu_tour).unwrap();
+
+        // Same move sequences (engines agree bit-for-bit) -> same tours.
+        assert_eq!(cpu_tour.as_slice(), gpu_tour.as_slice());
+        assert_eq!(c.final_length, g.final_length);
+        assert_eq!(c.two_opt_moves, g.two_opt_moves);
+        assert_eq!(c.or_opt_moves, g.or_opt_moves);
+    }
+}

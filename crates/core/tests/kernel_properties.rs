@@ -1,0 +1,110 @@
+//! Property tests for the kernel building blocks of tsp-2opt.
+
+use proptest::prelude::*;
+use tsp_2opt::bestmove::{pack, unpack, BestMove, EMPTY_KEY, MAX_POSITION};
+use tsp_2opt::gpu::model::{model_small_sweep, model_tiled_sweep};
+use tsp_2opt::gpu::oropt_kernel::{pack_oropt, unpack_oropt};
+use tsp_2opt::indexing::{
+    index_to_pair, index_to_tile_pair, iterations_per_thread, pair_count, pair_to_index,
+    tile_pair_count,
+};
+use gpu_sim::{spec, LaunchConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn pair_index_bijection_everywhere(k in 0u64..1_000_000_000_000) {
+        let (i, j) = index_to_pair(k);
+        prop_assert!(i < j);
+        prop_assert_eq!(pair_to_index(i, j), k);
+    }
+
+    #[test]
+    fn tile_pair_bijection_everywhere(k in 0u64..1_000_000_000) {
+        let (a, b) = index_to_tile_pair(k);
+        prop_assert!(a <= b);
+        prop_assert_eq!(b * (b + 1) / 2 + a, k);
+    }
+
+    #[test]
+    fn pack_orders_by_delta_then_position(
+        d1 in -8_000_000i32..8_000_000,
+        d2 in -8_000_000i32..8_000_000,
+        i1 in 0u32..1_000_000,
+        j1 in 0u32..1_000_000,
+        i2 in 0u32..1_000_000,
+        j2 in 0u32..1_000_000,
+    ) {
+        let k1 = pack(d1, i1, j1);
+        let k2 = pack(d2, i2, j2);
+        // Key order equals tuple order.
+        prop_assert_eq!(k1 < k2, (d1, i1, j1) < (d2, i2, j2));
+        // Round trips.
+        prop_assert_eq!(unpack(k1), Some(BestMove { delta: d1, i: i1, j: j1 }));
+        prop_assert!(k1 < EMPTY_KEY);
+        prop_assert!(i1 <= MAX_POSITION && j1 <= MAX_POSITION);
+    }
+
+    #[test]
+    fn oropt_pack_orders_by_tuple(
+        d1 in -1_000_000i32..1_000_000,
+        d2 in -1_000_000i32..1_000_000,
+        s1 in 0u32..1_000_000,
+        s2 in 0u32..1_000_000,
+        c1 in 0u32..6,
+        c2 in 0u32..6,
+        j1 in 0u32..1_000_000,
+        j2 in 0u32..1_000_000,
+    ) {
+        // Stay inside the 20-bit saturation-free delta band.
+        prop_assume!(d1.abs() < (1 << 20) - 1 && d2.abs() < (1 << 20) - 1);
+        let k1 = pack_oropt(d1, s1, c1, j1);
+        let k2 = pack_oropt(d2, s2, c2, j2);
+        prop_assert_eq!(k1 < k2, (d1, s1, c1, j1) < (d2, s2, c2, j2));
+        let m = unpack_oropt(k1).unwrap();
+        prop_assert_eq!(m.delta, d1 as i64);
+        prop_assert_eq!(m.s as u32, s1);
+        prop_assert_eq!(m.j as u32, j1);
+    }
+
+    #[test]
+    fn striding_covers_everything_exactly_once(
+        pairs in 0u64..50_000,
+        threads in 1u64..4096,
+    ) {
+        // Sum over threads of per-thread iteration counts equals pairs.
+        let mut total = 0u64;
+        for t in 0..threads.min(pairs.max(1)) {
+            if t < pairs {
+                total += (pairs - t).div_ceil(threads);
+            }
+        }
+        prop_assert_eq!(total, pairs);
+        // And it equals iterations_per_thread * threads only in the
+        // perfectly divisible case; always >= ceil bound coverage:
+        prop_assert!(iterations_per_thread(pairs, threads) * threads >= pairs);
+    }
+
+    #[test]
+    fn models_are_monotone_in_problem_size(n1 in 8usize..3000, grow in 2usize..4) {
+        let n2 = n1 * grow;
+        let s = spec::gtx_680_cuda();
+        let cfg = LaunchConfig::new(32, 256);
+        let m1 = model_small_sweep(&s, n1, cfg);
+        let m2 = model_small_sweep(&s, n2.min(6144), cfg);
+        prop_assert!(m2.kernel_seconds >= m1.kernel_seconds);
+        prop_assert!(m2.flops >= m1.flops);
+        prop_assert_eq!(m1.pairs, pair_count(n1));
+    }
+
+    #[test]
+    fn tiled_model_covers_all_pairs(n in 10usize..2000, tile in 3usize..500) {
+        let s = spec::gtx_680_cuda();
+        let m = model_tiled_sweep(&s, n, 64, tile);
+        // FLOPs accounted = pairs * 32, i.e. no pair dropped or doubled.
+        prop_assert_eq!(m.flops, pair_count(n) * 32);
+        let tiles = ((n - 1) as u64).div_ceil(tile as u64);
+        prop_assert!(tile_pair_count(tiles) >= 1);
+    }
+}

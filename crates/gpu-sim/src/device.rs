@@ -1,0 +1,351 @@
+//! The device façade: allocation, transfers and kernel launches.
+
+use crate::error::SimError;
+use crate::kernel::{Kernel, LaunchConfig, ThreadCtx};
+use crate::memory::{AtomicDeviceBuffer, DeviceBuffer, MemoryPool};
+use crate::counters::PerfCounters;
+use crate::profile::{KernelProfile, TransferProfile};
+use crate::spec::DeviceSpec;
+use crate::timeline::Timeline;
+use crate::timing;
+use rayon::prelude::*;
+use std::sync::Arc;
+
+/// A simulated compute device.
+///
+/// Kernels execute *functionally* (real results, bit-exact and
+/// deterministic) while time is *modeled* from the work counters — see
+/// [`crate::timing`]. Blocks run in parallel on the host's cores, so the
+/// simulator is itself a reasonable parallel program; threads within a
+/// block are serialized per phase, which makes phase boundaries behave
+/// exactly like `__syncthreads()`.
+pub struct Device {
+    spec: DeviceSpec,
+    pool: Arc<MemoryPool>,
+    timeline: Option<Timeline>,
+}
+
+impl Device {
+    /// Bring up a device with the given spec.
+    pub fn new(spec: DeviceSpec) -> Self {
+        let pool = MemoryPool::new(spec.global_mem_bytes);
+        Device {
+            spec,
+            pool,
+            timeline: None,
+        }
+    }
+
+    /// Attach a profiler [`Timeline`]; subsequent launches and transfers
+    /// are recorded on it.
+    pub fn attach_timeline(&mut self, timeline: Timeline) {
+        self.timeline = Some(timeline);
+    }
+
+    /// The attached timeline, if any.
+    pub fn timeline(&self) -> Option<&Timeline> {
+        self.timeline.as_ref()
+    }
+
+    /// The device's specification.
+    #[inline]
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// Bytes currently allocated on the device.
+    pub fn allocated_bytes(&self) -> u64 {
+        self.pool.allocated()
+    }
+
+    /// Allocate a device buffer holding `data` (no transfer modeled; use
+    /// [`Device::copy_to_device`] when the H2D cost matters).
+    pub fn alloc<T: Copy>(&self, data: Vec<T>) -> Result<DeviceBuffer<T>, SimError> {
+        DeviceBuffer::new(data, self.pool.clone())
+    }
+
+    /// Allocate an atomic buffer of `len` 64-bit words, each initialised
+    /// to `init`.
+    pub fn alloc_atomic(&self, len: usize, init: u64) -> Result<AtomicDeviceBuffer, SimError> {
+        AtomicDeviceBuffer::new(len, init, self.pool.clone())
+    }
+
+    /// Copy host data to a fresh device buffer, modeling the PCIe cost —
+    /// step 1 of the paper's Algorithm 2 ("Copy the tour and the
+    /// coordinates to the GPU global memory").
+    pub fn copy_to_device<T: Copy>(
+        &self,
+        data: &[T],
+    ) -> Result<(DeviceBuffer<T>, TransferProfile), SimError> {
+        let buf = self.alloc(data.to_vec())?;
+        let bytes = buf.bytes();
+        let seconds = timing::h2d_time(&self.spec, bytes);
+        if let Some(t) = &self.timeline {
+            t.record_h2d(bytes, seconds);
+        }
+        Ok((buf, TransferProfile { seconds, bytes }))
+    }
+
+    /// Model a host→device copy of an existing allocation's refresh.
+    pub fn h2d_profile(&self, bytes: u64) -> TransferProfile {
+        TransferProfile {
+            seconds: timing::h2d_time(&self.spec, bytes),
+            bytes,
+        }
+    }
+
+    /// Read an atomic buffer back to the host, modeling the D2H cost —
+    /// step 6 of the paper's Algorithm 2 ("Read the result").
+    pub fn copy_from_device(&self, buf: &AtomicDeviceBuffer) -> (Vec<u64>, TransferProfile) {
+        let words = buf.to_vec();
+        let bytes = buf.bytes();
+        let seconds = timing::d2h_time(&self.spec, bytes);
+        if let Some(t) = &self.timeline {
+            t.record_d2h(bytes, seconds);
+        }
+        (words, TransferProfile { seconds, bytes })
+    }
+
+    /// Model a device→host copy of `bytes`.
+    pub fn d2h_profile(&self, bytes: u64) -> TransferProfile {
+        TransferProfile {
+            seconds: timing::d2h_time(&self.spec, bytes),
+            bytes,
+        }
+    }
+
+    /// Launch a kernel, executing every block functionally and returning
+    /// the modeled profile.
+    ///
+    /// # Errors
+    /// * [`SimError::SharedMemExceeded`] — the kernel's declared shared
+    ///   footprint exceeds the per-block limit (this is the error that
+    ///   forces the §IV.B division scheme for big instances);
+    /// * [`SimError::InvalidLaunch`] — zero-sized grid/block or a block
+    ///   larger than the hardware limit.
+    pub fn launch<K: Kernel>(
+        &self,
+        cfg: LaunchConfig,
+        kernel: &K,
+    ) -> Result<KernelProfile, SimError> {
+        if cfg.grid_dim == 0 || cfg.block_dim == 0 {
+            return Err(SimError::InvalidLaunch(format!(
+                "grid {} x block {} must both be nonzero",
+                cfg.grid_dim, cfg.block_dim
+            )));
+        }
+        if cfg.block_dim > self.spec.max_threads_per_block {
+            return Err(SimError::InvalidLaunch(format!(
+                "block dim {} exceeds device limit {}",
+                cfg.block_dim, self.spec.max_threads_per_block
+            )));
+        }
+        let requested = kernel.shared_bytes();
+        if requested > self.spec.shared_mem_per_block {
+            return Err(SimError::SharedMemExceeded {
+                requested,
+                limit: self.spec.shared_mem_per_block,
+            });
+        }
+
+        let phases = kernel.num_phases();
+        let per_block: Vec<PerfCounters> = (0..cfg.grid_dim)
+            .into_par_iter()
+            .map(|block_idx| {
+                let mut shared = kernel.make_shared();
+                let mut counters = PerfCounters::new();
+                for phase in 0..phases {
+                    for thread_idx in 0..cfg.block_dim {
+                        let mut ctx = ThreadCtx {
+                            thread_idx,
+                            block_idx,
+                            block_dim: cfg.block_dim,
+                            grid_dim: cfg.grid_dim,
+                            counters: &mut counters,
+                        };
+                        kernel.run(phase, &mut ctx, &mut shared);
+                    }
+                }
+                counters
+            })
+            .collect();
+
+        let block_times: Vec<f64> = per_block
+            .iter()
+            .map(|c| timing::block_time(&self.spec, c, phases as u32))
+            .collect();
+        let mut total = PerfCounters::new();
+        for c in &per_block {
+            total += *c;
+        }
+        let seconds = timing::kernel_time(&self.spec, &block_times);
+        if let Some(t) = &self.timeline {
+            t.record_kernel(seconds, total);
+        }
+        Ok(KernelProfile {
+            seconds,
+            counters: total,
+            config: cfg,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::gtx_680_cuda;
+
+    /// A toy kernel: phase 0 stages `data` into shared memory
+    /// cooperatively; phase 1 sums squares of the staged values into a
+    /// global atomic (one add per thread-strided element).
+    struct SumSquares<'a> {
+        data: &'a DeviceBuffer<u32>,
+        out: &'a AtomicDeviceBuffer,
+    }
+
+    impl Kernel for SumSquares<'_> {
+        type Shared = Vec<u32>;
+
+        fn shared_bytes(&self) -> usize {
+            self.data.len() * 4
+        }
+
+        fn make_shared(&self) -> Vec<u32> {
+            vec![0; self.data.len()]
+        }
+
+        fn num_phases(&self) -> usize {
+            2
+        }
+
+        fn run(&self, phase: usize, ctx: &mut ThreadCtx<'_>, shared: &mut Vec<u32>) {
+            let n = self.data.len() as u64;
+            let stride = ctx.total_threads();
+            match phase {
+                0 => {
+                    let mut k = ctx.global_thread_id();
+                    while k < n {
+                        shared[k as usize] = self.data.as_slice()[k as usize];
+                        ctx.global_read(4);
+                        ctx.shared_bytes(4);
+                        k += stride;
+                    }
+                }
+                1 => {
+                    let mut local = 0u64;
+                    let mut k = ctx.global_thread_id();
+                    let mut evals = 0u64;
+                    while k < n {
+                        let v = shared[k as usize] as u64;
+                        local += v * v;
+                        evals += 1;
+                        k += stride;
+                    }
+                    ctx.shared_bytes(evals * 4);
+                    ctx.flops(evals * 2);
+                    if local > 0 {
+                        self.out.fetch_add(0, local);
+                        ctx.atomics(1);
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn functional_result_is_exact() {
+        let dev = Device::new(gtx_680_cuda());
+        let data: Vec<u32> = (1..=100).collect();
+        let (buf, _) = dev.copy_to_device(&data).unwrap();
+        let out = dev.alloc_atomic(1, 0).unwrap();
+        let kernel = SumSquares {
+            data: &buf,
+            out: &out,
+        };
+        let profile = dev
+            .launch(LaunchConfig::new(4, 32), &kernel)
+            .unwrap();
+        let expected: u64 = (1..=100u64).map(|v| v * v).sum();
+        assert_eq!(out.load(0), expected);
+        assert!(profile.seconds > 0.0);
+        assert_eq!(profile.counters.flops, 200);
+        assert_eq!(profile.counters.global_read_bytes, 400);
+    }
+
+    #[test]
+    fn result_is_independent_of_launch_geometry() {
+        let dev = Device::new(gtx_680_cuda());
+        let data: Vec<u32> = (1..=1000).collect();
+        let (buf, _) = dev.copy_to_device(&data).unwrap();
+        let expected: u64 = (1..=1000u64).map(|v| v * v).sum();
+        for (g, b) in [(1, 1), (1, 128), (7, 33), (16, 1024)] {
+            let out = dev.alloc_atomic(1, 0).unwrap();
+            let kernel = SumSquares {
+                data: &buf,
+                out: &out,
+            };
+            dev.launch(LaunchConfig::new(g, b), &kernel).unwrap();
+            assert_eq!(out.load(0), expected, "geometry {g}x{b}");
+        }
+    }
+
+    #[test]
+    fn shared_mem_limit_is_enforced() {
+        let dev = Device::new(gtx_680_cuda());
+        let data = vec![0u32; 20_000]; // 80 kB > 48 kB shared
+        let (buf, _) = dev.copy_to_device(&data).unwrap();
+        let out = dev.alloc_atomic(1, 0).unwrap();
+        let kernel = SumSquares {
+            data: &buf,
+            out: &out,
+        };
+        let err = dev.launch(LaunchConfig::new(1, 32), &kernel).unwrap_err();
+        assert!(matches!(err, SimError::SharedMemExceeded { .. }));
+    }
+
+    #[test]
+    fn invalid_launches_are_rejected() {
+        let dev = Device::new(gtx_680_cuda());
+        let data = vec![1u32; 8];
+        let (buf, _) = dev.copy_to_device(&data).unwrap();
+        let out = dev.alloc_atomic(1, 0).unwrap();
+        let kernel = SumSquares {
+            data: &buf,
+            out: &out,
+        };
+        assert!(dev.launch(LaunchConfig::new(0, 32), &kernel).is_err());
+        assert!(dev.launch(LaunchConfig::new(1, 0), &kernel).is_err());
+        assert!(dev
+            .launch(LaunchConfig::new(1, 4096), &kernel)
+            .is_err());
+    }
+
+    #[test]
+    fn allocation_accounting_via_device() {
+        let dev = Device::new(gtx_680_cuda());
+        assert_eq!(dev.allocated_bytes(), 0);
+        let buf = dev.alloc(vec![0u64; 100]).unwrap();
+        assert_eq!(dev.allocated_bytes(), 800);
+        drop(buf);
+        assert_eq!(dev.allocated_bytes(), 0);
+    }
+
+    #[test]
+    fn bigger_work_costs_more_modeled_time() {
+        let dev = Device::new(gtx_680_cuda());
+        let small: Vec<u32> = (0..512).collect();
+        let large: Vec<u32> = (0..4096).collect();
+        let (bs, _) = dev.copy_to_device(&small).unwrap();
+        let (bl, _) = dev.copy_to_device(&large).unwrap();
+        let os = dev.alloc_atomic(1, 0).unwrap();
+        let ol = dev.alloc_atomic(1, 0).unwrap();
+        let ps = dev
+            .launch(LaunchConfig::new(8, 64), &SumSquares { data: &bs, out: &os })
+            .unwrap();
+        let pl = dev
+            .launch(LaunchConfig::new(8, 64), &SumSquares { data: &bl, out: &ol })
+            .unwrap();
+        assert!(pl.seconds > ps.seconds);
+    }
+}

@@ -1,0 +1,72 @@
+//! Simulator error type.
+
+use std::fmt;
+
+/// Errors raised by the device simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A kernel requested more shared memory than the device provides per
+    /// block — the hard limit that motivates the paper's §IV.B division
+    /// scheme.
+    SharedMemExceeded {
+        /// Bytes the kernel asked for.
+        requested: usize,
+        /// Per-block limit of the device.
+        limit: usize,
+    },
+    /// The launch configuration exceeds a hardware limit.
+    InvalidLaunch(String),
+    /// A device allocation would exceed global memory capacity.
+    OutOfMemory {
+        /// Bytes requested by the allocation.
+        requested: u64,
+        /// Bytes still free on the device.
+        available: u64,
+    },
+    /// A copy involved mismatched buffer sizes.
+    SizeMismatch {
+        /// Elements in the destination.
+        dst: usize,
+        /// Elements in the source.
+        src: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::SharedMemExceeded { requested, limit } => write!(
+                f,
+                "kernel requests {requested} B of shared memory but the device provides {limit} B per block"
+            ),
+            SimError::InvalidLaunch(msg) => write!(f, "invalid launch configuration: {msg}"),
+            SimError::OutOfMemory {
+                requested,
+                available,
+            } => write!(
+                f,
+                "device allocation of {requested} B exceeds remaining capacity of {available} B"
+            ),
+            SimError::SizeMismatch { dst, src } => {
+                write!(f, "copy size mismatch: destination {dst} elements, source {src}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_numbers() {
+        let e = SimError::SharedMemExceeded {
+            requested: 64 * 1024,
+            limit: 48 * 1024,
+        };
+        let s = e.to_string();
+        assert!(s.contains("65536") && s.contains("49152"));
+    }
+}

@@ -1,0 +1,176 @@
+//! The kernel programming model: phase-structured SIMT programs.
+//!
+//! A simulated kernel implements [`Kernel`]. Execution of one block runs
+//! every thread through phase 0, then every thread through phase 1, and
+//! so on — a phase boundary is exactly a `__syncthreads()` barrier. The
+//! 2-opt kernels use this shape directly (the paper's Algorithm 2):
+//!
+//! * **phase 0** — cooperative load: each thread stages a strided slice of
+//!   the coordinate array into shared memory;
+//! * *(barrier)*
+//! * **phase 1** — evaluation: each thread sweeps its strided subset of
+//!   candidate pairs, keeping a thread-local best, then publishes it with
+//!   a global atomic min.
+//!
+//! Within a phase, threads of one block run sequentially on the host, so
+//! mutable access to the block's shared memory is safe; *blocks* run in
+//! parallel on the host's cores (rayon), so anything global must be
+//! atomic — which the memory model enforces by construction.
+
+use crate::counters::PerfCounters;
+
+/// Launch geometry (1-D grids and blocks; the paper's kernels are 1-D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchConfig {
+    /// Number of blocks in the grid.
+    pub grid_dim: u32,
+    /// Threads per block.
+    pub block_dim: u32,
+}
+
+impl LaunchConfig {
+    /// Convenience constructor.
+    pub fn new(grid_dim: u32, block_dim: u32) -> Self {
+        LaunchConfig { grid_dim, block_dim }
+    }
+
+    /// Total threads in the launch.
+    #[inline]
+    pub fn total_threads(&self) -> u64 {
+        self.grid_dim as u64 * self.block_dim as u64
+    }
+}
+
+/// Per-thread execution context handed to kernel phases.
+///
+/// Carries the SIMT coordinates plus the counter sink. Kernels account
+/// their own work — `flops`, `shared_*`, `global_*` — the way one would
+/// annotate a kernel for a roofline model; the executor turns the counts
+/// into modeled time.
+pub struct ThreadCtx<'a> {
+    /// Thread index within the block (`threadIdx.x`).
+    pub thread_idx: u32,
+    /// Block index within the grid (`blockIdx.x`).
+    pub block_idx: u32,
+    /// Threads per block (`blockDim.x`).
+    pub block_dim: u32,
+    /// Blocks in the grid (`gridDim.x`).
+    pub grid_dim: u32,
+    pub(crate) counters: &'a mut PerfCounters,
+}
+
+impl ThreadCtx<'_> {
+    /// The flattened global thread id (`blockIdx.x * blockDim.x +
+    /// threadIdx.x`).
+    #[inline]
+    pub fn global_thread_id(&self) -> u64 {
+        self.block_idx as u64 * self.block_dim as u64 + self.thread_idx as u64
+    }
+
+    /// Total threads in the launch — the paper's striding distance
+    /// (`blocks × threads`).
+    #[inline]
+    pub fn total_threads(&self) -> u64 {
+        self.grid_dim as u64 * self.block_dim as u64
+    }
+
+    /// Account `n` floating-point operations.
+    #[inline]
+    pub fn flops(&mut self, n: u64) {
+        self.counters.flops += n;
+    }
+
+    /// Account `bytes` of shared-memory traffic.
+    #[inline]
+    pub fn shared_bytes(&mut self, bytes: u64) {
+        self.counters.shared_bytes += bytes;
+    }
+
+    /// Account `bytes` read from global memory.
+    #[inline]
+    pub fn global_read(&mut self, bytes: u64) {
+        self.counters.global_read_bytes += bytes;
+    }
+
+    /// Account `bytes` written to global memory.
+    #[inline]
+    pub fn global_write(&mut self, bytes: u64) {
+        self.counters.global_write_bytes += bytes;
+    }
+
+    /// Account `n` global atomic operations.
+    #[inline]
+    pub fn atomics(&mut self, n: u64) {
+        self.counters.atomic_ops += n;
+    }
+}
+
+/// A phase-structured SIMT kernel.
+pub trait Kernel: Sync {
+    /// Per-block shared memory. Allocated once per block; phases may
+    /// mutate it; a phase boundary acts as `__syncthreads()`.
+    type Shared: Send;
+
+    /// Bytes of shared memory this kernel needs per block. Checked
+    /// against [`crate::spec::DeviceSpec::shared_mem_per_block`] at
+    /// launch — exceeding it is the error that motivates the paper's
+    /// §IV.B division scheme.
+    fn shared_bytes(&self) -> usize;
+
+    /// Allocate the shared memory for one block.
+    fn make_shared(&self) -> Self::Shared;
+
+    /// Number of barrier-separated phases.
+    fn num_phases(&self) -> usize;
+
+    /// Run one thread's portion of `phase`.
+    fn run(&self, phase: usize, ctx: &mut ThreadCtx<'_>, shared: &mut Self::Shared);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_ids_flatten_like_cuda() {
+        let mut c = PerfCounters::new();
+        let ctx = ThreadCtx {
+            thread_idx: 5,
+            block_idx: 3,
+            block_dim: 128,
+            grid_dim: 28,
+            counters: &mut c,
+        };
+        assert_eq!(ctx.global_thread_id(), 3 * 128 + 5);
+        assert_eq!(ctx.total_threads(), 28 * 128);
+    }
+
+    #[test]
+    fn counters_flow_through_ctx() {
+        let mut c = PerfCounters::new();
+        {
+            let mut ctx = ThreadCtx {
+                thread_idx: 0,
+                block_idx: 0,
+                block_dim: 1,
+                grid_dim: 1,
+                counters: &mut c,
+            };
+            ctx.flops(8);
+            ctx.shared_bytes(16);
+            ctx.global_read(4);
+            ctx.global_write(2);
+            ctx.atomics(1);
+        }
+        assert_eq!(c.flops, 8);
+        assert_eq!(c.shared_bytes, 16);
+        assert_eq!(c.global_read_bytes, 4);
+        assert_eq!(c.global_write_bytes, 2);
+        assert_eq!(c.atomic_ops, 1);
+    }
+
+    #[test]
+    fn launch_config_totals() {
+        assert_eq!(LaunchConfig::new(28, 1024).total_threads(), 28_672);
+    }
+}

@@ -1,0 +1,267 @@
+//! Device global memory: a capacity-tracked pool with typed buffers.
+//!
+//! The simulator does not fake address spaces — a [`DeviceBuffer`] simply
+//! owns host memory — but it *does* enforce the device's global-memory
+//! capacity (§II.B: "a typical GPU is equipped with approximately 1-3 GB
+//! of relatively slow global memory"), so allocation failures behave like
+//! the real thing. Kernels receive read-only slices; all kernel-visible
+//! writes go through [`AtomicDeviceBuffer`], mirroring the paper's use of
+//! atomic operations to publish the best move ("Using atomic operations
+//! the best candidates for swapping are stored in the global memory").
+
+use crate::error::SimError;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared allocation accounting for one device's global memory.
+#[derive(Debug)]
+pub struct MemoryPool {
+    capacity: u64,
+    allocated: Mutex<u64>,
+}
+
+impl MemoryPool {
+    /// Create a pool with `capacity` bytes.
+    pub fn new(capacity: u64) -> Arc<Self> {
+        Arc::new(MemoryPool {
+            capacity,
+            allocated: Mutex::new(0),
+        })
+    }
+
+    /// Reserve `bytes`, failing when capacity would be exceeded.
+    pub fn reserve(&self, bytes: u64) -> Result<(), SimError> {
+        let mut used = self.allocated.lock();
+        let available = self.capacity - *used;
+        if bytes > available {
+            return Err(SimError::OutOfMemory {
+                requested: bytes,
+                available,
+            });
+        }
+        *used += bytes;
+        Ok(())
+    }
+
+    /// Release `bytes` back to the pool.
+    pub fn release(&self, bytes: u64) {
+        let mut used = self.allocated.lock();
+        debug_assert!(*used >= bytes);
+        *used = used.saturating_sub(bytes);
+    }
+
+    /// Bytes currently allocated.
+    pub fn allocated(&self) -> u64 {
+        *self.allocated.lock()
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+}
+
+/// A typed, read-only (from the kernel's perspective) device allocation.
+#[derive(Debug)]
+pub struct DeviceBuffer<T> {
+    data: Vec<T>,
+    pool: Arc<MemoryPool>,
+}
+
+impl<T: Copy> DeviceBuffer<T> {
+    /// Allocate a buffer against a pool. Most callers go through
+    /// [`crate::Device::alloc`] / [`crate::Device::copy_to_device`];
+    /// this constructor exists for tests and for composing custom
+    /// device façades.
+    pub fn new(data: Vec<T>, pool: Arc<MemoryPool>) -> Result<Self, SimError> {
+        pool.reserve((data.len() * core::mem::size_of::<T>()) as u64)?;
+        Ok(DeviceBuffer { data, pool })
+    }
+
+    /// Kernel-side view of the buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the buffer has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Size in bytes on the device.
+    #[inline]
+    pub fn bytes(&self) -> u64 {
+        (self.data.len() * core::mem::size_of::<T>()) as u64
+    }
+
+    /// Overwrite the buffer contents from the host (a fresh H2D copy into
+    /// an existing allocation). Lengths must match.
+    pub fn overwrite(&mut self, src: &[T]) -> Result<(), SimError> {
+        if src.len() != self.data.len() {
+            return Err(SimError::SizeMismatch {
+                dst: self.data.len(),
+                src: src.len(),
+            });
+        }
+        self.data.copy_from_slice(src);
+        Ok(())
+    }
+}
+
+impl<T> Drop for DeviceBuffer<T> {
+    fn drop(&mut self) {
+        self.pool
+            .release((self.data.len() * core::mem::size_of::<T>()) as u64);
+    }
+}
+
+/// A device allocation of 64-bit words that kernels may mutate through
+/// atomics — the only kernel-visible write path, which both keeps the
+/// simulator data-race-free (blocks run on host threads) and mirrors how
+/// the paper's kernel publishes results.
+#[derive(Debug)]
+pub struct AtomicDeviceBuffer {
+    words: Vec<AtomicU64>,
+    pool: Arc<MemoryPool>,
+}
+
+impl AtomicDeviceBuffer {
+    pub(crate) fn new(len: usize, init: u64, pool: Arc<MemoryPool>) -> Result<Self, SimError> {
+        pool.reserve((len * 8) as u64)?;
+        Ok(AtomicDeviceBuffer {
+            words: (0..len).map(|_| AtomicU64::new(init)).collect(),
+            pool,
+        })
+    }
+
+    /// Number of 64-bit words.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// `true` when the buffer has no words.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Atomic load.
+    #[inline]
+    pub fn load(&self, i: usize) -> u64 {
+        self.words[i].load(Ordering::Relaxed)
+    }
+
+    /// Atomic store.
+    #[inline]
+    pub fn store(&self, i: usize, v: u64) {
+        self.words[i].store(v, Ordering::Relaxed)
+    }
+
+    /// Atomic minimum; returns the previous value. This is the reduction
+    /// primitive the best-move kernels use (`atomicMin` in CUDA terms).
+    #[inline]
+    pub fn fetch_min(&self, i: usize, v: u64) -> u64 {
+        self.words[i].fetch_min(v, Ordering::Relaxed)
+    }
+
+    /// Atomic maximum; returns the previous value.
+    #[inline]
+    pub fn fetch_max(&self, i: usize, v: u64) -> u64 {
+        self.words[i].fetch_max(v, Ordering::Relaxed)
+    }
+
+    /// Atomic add; returns the previous value.
+    #[inline]
+    pub fn fetch_add(&self, i: usize, v: u64) -> u64 {
+        self.words[i].fetch_add(v, Ordering::Relaxed)
+    }
+
+    /// Reset every word to `v` (host-side, between launches).
+    pub fn fill(&self, v: u64) {
+        for w in &self.words {
+            w.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Copy the contents back to the host.
+    pub fn to_vec(&self) -> Vec<u64> {
+        self.words.iter().map(|w| w.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Size in bytes on the device.
+    #[inline]
+    pub fn bytes(&self) -> u64 {
+        (self.words.len() * 8) as u64
+    }
+}
+
+impl Drop for AtomicDeviceBuffer {
+    fn drop(&mut self) {
+        self.pool.release((self.words.len() * 8) as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_tracks_alloc_and_free() {
+        let pool = MemoryPool::new(1024);
+        {
+            let buf = DeviceBuffer::new(vec![0u32; 64], pool.clone()).unwrap();
+            assert_eq!(pool.allocated(), 256);
+            assert_eq!(buf.bytes(), 256);
+        }
+        assert_eq!(pool.allocated(), 0);
+    }
+
+    #[test]
+    fn pool_rejects_over_capacity() {
+        let pool = MemoryPool::new(100);
+        let err = DeviceBuffer::new(vec![0u64; 20], pool.clone()).unwrap_err();
+        assert!(matches!(err, SimError::OutOfMemory { requested: 160, available: 100 }));
+        // Failed allocations must not leak accounting.
+        assert_eq!(pool.allocated(), 0);
+    }
+
+    #[test]
+    fn overwrite_checks_length() {
+        let pool = MemoryPool::new(1024);
+        let mut buf = DeviceBuffer::new(vec![1u32, 2, 3], pool).unwrap();
+        assert!(buf.overwrite(&[4, 5]).is_err());
+        buf.overwrite(&[4, 5, 6]).unwrap();
+        assert_eq!(buf.as_slice(), &[4, 5, 6]);
+    }
+
+    #[test]
+    fn atomic_buffer_min_reduction() {
+        let pool = MemoryPool::new(1024);
+        let buf = AtomicDeviceBuffer::new(1, u64::MAX, pool).unwrap();
+        buf.fetch_min(0, 42);
+        buf.fetch_min(0, 100);
+        buf.fetch_min(0, 7);
+        assert_eq!(buf.load(0), 7);
+    }
+
+    #[test]
+    fn atomic_buffer_fill_and_roundtrip() {
+        let pool = MemoryPool::new(1024);
+        let buf = AtomicDeviceBuffer::new(4, 0, pool.clone()).unwrap();
+        buf.fill(9);
+        assert_eq!(buf.to_vec(), vec![9, 9, 9, 9]);
+        assert_eq!(pool.allocated(), 32);
+        drop(buf);
+        assert_eq!(pool.allocated(), 0);
+    }
+}

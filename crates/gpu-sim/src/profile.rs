@@ -1,0 +1,100 @@
+//! Profiling results returned by launches and transfers.
+
+use crate::counters::PerfCounters;
+use crate::kernel::LaunchConfig;
+
+/// Result of one kernel launch: the modeled time plus everything needed
+/// to derive the paper's reported metrics (GFLOP/s for Fig. 9, checks/s
+/// for Table II).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelProfile {
+    /// Modeled execution time in seconds.
+    pub seconds: f64,
+    /// Aggregated work counters over all blocks.
+    pub counters: PerfCounters,
+    /// The launch geometry used.
+    pub config: LaunchConfig,
+}
+
+impl KernelProfile {
+    /// Achieved GFLOP/s — the paper's Fig. 9 metric ("GFLOP/s (distance
+    /// calculation) observed during the run").
+    pub fn gflops(&self) -> f64 {
+        if self.seconds <= 0.0 {
+            return 0.0;
+        }
+        self.counters.flops as f64 / self.seconds / 1e9
+    }
+
+    /// Modeled time in microseconds (the unit of Table II).
+    pub fn micros(&self) -> f64 {
+        self.seconds * 1e6
+    }
+}
+
+/// Result of a modeled PCIe transfer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransferProfile {
+    /// Modeled transfer time in seconds.
+    pub seconds: f64,
+    /// Bytes moved.
+    pub bytes: u64,
+}
+
+impl TransferProfile {
+    /// Modeled time in microseconds.
+    pub fn micros(&self) -> f64 {
+        self.seconds * 1e6
+    }
+
+    /// Achieved bandwidth in GB/s (0 for empty transfers).
+    pub fn gbs(&self) -> f64 {
+        if self.seconds <= 0.0 {
+            return 0.0;
+        }
+        self.bytes as f64 / self.seconds / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gflops_from_counters() {
+        let p = KernelProfile {
+            seconds: 0.001,
+            counters: PerfCounters {
+                flops: 2_000_000,
+                ..Default::default()
+            },
+            config: LaunchConfig::new(1, 1),
+        };
+        assert!((p.gflops() - 2.0).abs() < 1e-12);
+        assert!((p.micros() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_profiles_do_not_divide_by_zero() {
+        let p = KernelProfile {
+            seconds: 0.0,
+            counters: PerfCounters::default(),
+            config: LaunchConfig::new(1, 1),
+        };
+        assert_eq!(p.gflops(), 0.0);
+        let t = TransferProfile {
+            seconds: 0.0,
+            bytes: 100,
+        };
+        assert_eq!(t.gbs(), 0.0);
+    }
+
+    #[test]
+    fn transfer_bandwidth() {
+        let t = TransferProfile {
+            seconds: 0.001,
+            bytes: 2_500_000,
+        };
+        assert!((t.gbs() - 2.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,230 @@
+//! A profiler timeline — the simulator's equivalent of `nvprof`.
+//!
+//! A [`Timeline`] attached to a [`crate::Device`] records every kernel
+//! launch and transfer with its modeled duration, then summarizes them
+//! the way a profiler would: per-kernel call counts, total/mean times,
+//! achieved GFLOP/s, and the transfer share of the modeled run — the
+//! numbers behind the paper's observation that the copy proportion
+//! "decreases with the problem size growing".
+
+use crate::counters::PerfCounters;
+use parking_lot::Mutex;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A kernel launch.
+    Kernel {
+        /// Label (defaults to `"kernel"`; set one with
+        /// [`Timeline::set_label`]).
+        label: String,
+        /// Modeled seconds.
+        seconds: f64,
+        /// The launch's aggregated counters.
+        counters: PerfCounters,
+    },
+    /// A host→device copy.
+    H2d {
+        /// Bytes moved.
+        bytes: u64,
+        /// Modeled seconds.
+        seconds: f64,
+    },
+    /// A device→host copy.
+    D2h {
+        /// Bytes moved.
+        bytes: u64,
+        /// Modeled seconds.
+        seconds: f64,
+    },
+}
+
+impl Event {
+    /// Modeled duration of the event.
+    pub fn seconds(&self) -> f64 {
+        match self {
+            Event::Kernel { seconds, .. } | Event::H2d { seconds, .. } | Event::D2h { seconds, .. } => {
+                *seconds
+            }
+        }
+    }
+}
+
+/// Shared, thread-safe event recorder.
+#[derive(Debug, Default, Clone)]
+pub struct Timeline {
+    inner: Arc<Mutex<TimelineInner>>,
+}
+
+#[derive(Debug, Default)]
+struct TimelineInner {
+    events: Vec<Event>,
+    label: String,
+}
+
+impl Timeline {
+    /// A fresh, empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Label subsequent kernel launches (e.g. `"2opt-shared"`).
+    pub fn set_label(&self, label: impl Into<String>) {
+        self.inner.lock().label = label.into();
+    }
+
+    pub(crate) fn record_kernel(&self, seconds: f64, counters: PerfCounters) {
+        let mut g = self.inner.lock();
+        let label = if g.label.is_empty() {
+            "kernel".to_string()
+        } else {
+            g.label.clone()
+        };
+        g.events.push(Event::Kernel {
+            label,
+            seconds,
+            counters,
+        });
+    }
+
+    pub(crate) fn record_h2d(&self, bytes: u64, seconds: f64) {
+        self.inner.lock().events.push(Event::H2d { bytes, seconds });
+    }
+
+    pub(crate) fn record_d2h(&self, bytes: u64, seconds: f64) {
+        self.inner.lock().events.push(Event::D2h { bytes, seconds });
+    }
+
+    /// Snapshot of all recorded events, in order.
+    pub fn events(&self) -> Vec<Event> {
+        self.inner.lock().events.clone()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.inner.lock().events.len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().events.is_empty()
+    }
+
+    /// Drop all recorded events.
+    pub fn clear(&self) {
+        self.inner.lock().events.clear();
+    }
+
+    /// Total modeled time across all events.
+    pub fn total_seconds(&self) -> f64 {
+        self.inner.lock().events.iter().map(Event::seconds).sum()
+    }
+
+    /// Fraction of total modeled time spent in transfers.
+    pub fn transfer_share(&self) -> f64 {
+        let g = self.inner.lock();
+        let total: f64 = g.events.iter().map(Event::seconds).sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let transfers: f64 = g
+            .events
+            .iter()
+            .filter(|e| !matches!(e, Event::Kernel { .. }))
+            .map(Event::seconds)
+            .sum();
+        transfers / total
+    }
+
+    /// A per-label summary report, profiler-style.
+    pub fn report(&self) -> String {
+        use std::collections::BTreeMap;
+        let g = self.inner.lock();
+        // label -> (calls, seconds, flops)
+        let mut rows: BTreeMap<String, (u64, f64, u64)> = BTreeMap::new();
+        for e in &g.events {
+            let (key, secs, flops) = match e {
+                Event::Kernel {
+                    label,
+                    seconds,
+                    counters,
+                } => (label.clone(), *seconds, counters.flops),
+                Event::H2d { seconds, .. } => ("[H2D copy]".to_string(), *seconds, 0),
+                Event::D2h { seconds, .. } => ("[D2H copy]".to_string(), *seconds, 0),
+            };
+            let r = rows.entry(key).or_insert((0, 0.0, 0));
+            r.0 += 1;
+            r.1 += secs;
+            r.2 += flops;
+        }
+        let total: f64 = g.events.iter().map(Event::seconds).sum();
+        let mut out = String::new();
+        writeln!(
+            out,
+            "{:<20} {:>8} {:>14} {:>14} {:>8} {:>10}",
+            "activity", "calls", "total", "mean", "share", "GFLOP/s"
+        )
+        .unwrap();
+        for (label, (calls, secs, flops)) in rows {
+            let gf = if secs > 0.0 && flops > 0 {
+                format!("{:.0}", flops as f64 / secs / 1e9)
+            } else {
+                "-".to_string()
+            };
+            writeln!(
+                out,
+                "{:<20} {:>8} {:>11.3} ms {:>11.3} us {:>7.1}% {:>10}",
+                label,
+                calls,
+                secs * 1e3,
+                secs / calls as f64 * 1e6,
+                100.0 * secs / total.max(1e-300),
+                gf
+            )
+            .unwrap();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_summarizes() {
+        let t = Timeline::new();
+        t.set_label("sweep");
+        t.record_h2d(1000, 50e-6);
+        t.record_kernel(
+            100e-6,
+            PerfCounters {
+                flops: 1_000_000,
+                ..Default::default()
+            },
+        );
+        t.record_d2h(8, 11e-6);
+        assert_eq!(t.len(), 3);
+        assert!((t.total_seconds() - 161e-6).abs() < 1e-12);
+        assert!((t.transfer_share() - 61.0 / 161.0).abs() < 1e-9);
+        let report = t.report();
+        assert!(report.contains("sweep"));
+        assert!(report.contains("[H2D copy]"));
+        assert!(report.contains("[D2H copy]"));
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.transfer_share(), 0.0);
+    }
+
+    #[test]
+    fn default_label_is_kernel() {
+        let t = Timeline::new();
+        t.record_kernel(1e-6, PerfCounters::default());
+        match &t.events()[0] {
+            Event::Kernel { label, .. } => assert_eq!(label, "kernel"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

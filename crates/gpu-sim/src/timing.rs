@@ -1,0 +1,173 @@
+//! The analytic timing model.
+//!
+//! Times are derived from the counters a kernel accumulated, through a
+//! roofline-style overlap model:
+//!
+//! * a block's time is the **maximum** of its compute time, its
+//!   shared-memory time and its global-memory time (hardware overlaps the
+//!   three pipelines), plus serialized atomic costs and a per-phase
+//!   global latency;
+//! * blocks are scheduled onto compute units in waves by a greedy
+//!   earliest-free-slot scheduler; the kernel's time is the makespan plus
+//!   the fixed launch overhead;
+//! * PCIe transfers cost `latency + bytes / bandwidth`.
+//!
+//! Everything is deterministic: the same kernel on the same spec always
+//! reports the same time, which keeps the paper-reproduction harnesses
+//! reproducible run to run.
+
+use crate::counters::PerfCounters;
+use crate::spec::DeviceSpec;
+
+/// Modeled execution time of one block, in seconds.
+pub fn block_time(spec: &DeviceSpec, c: &PerfCounters, phases_touching_global: u32) -> f64 {
+    let compute = c.flops as f64 / (spec.per_cu_gflops() * 1e9);
+    let shared = c.shared_bytes as f64 / (spec.per_cu_shared_bandwidth_gbs() * 1e9);
+    // Global bandwidth is a whole-device resource; approximate a block's
+    // share as the full pipe divided among the compute units (uniform
+    // pressure assumption — kernels here are homogeneous).
+    let global = c.global_bytes() as f64
+        / (spec.global_bandwidth_gbs * 1e9 / spec.compute_units as f64);
+    let overlap = compute.max(shared).max(global);
+    let atomics = c.atomic_ops as f64 * spec.atomic_cost_ns * 1e-9;
+    let latency = phases_touching_global as f64 * spec.global_latency_us * 1e-6;
+    overlap + atomics + latency
+}
+
+/// Greedy earliest-free-slot schedule of per-block times onto
+/// `compute_units` units; returns the makespan in seconds.
+pub fn schedule_makespan(compute_units: u32, block_times: &[f64]) -> f64 {
+    if block_times.is_empty() {
+        return 0.0;
+    }
+    let slots = compute_units.max(1) as usize;
+    let mut free_at = vec![0.0f64; slots.min(block_times.len())];
+    for &t in block_times {
+        // Index of the earliest-free slot.
+        let (idx, _) = free_at
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("times are finite"))
+            .expect("at least one slot");
+        free_at[idx] += t;
+    }
+    free_at
+        .iter()
+        .cloned()
+        .fold(0.0, f64::max)
+}
+
+/// Modeled kernel time: launch overhead plus the block-schedule makespan.
+pub fn kernel_time(spec: &DeviceSpec, block_times: &[f64]) -> f64 {
+    spec.launch_overhead_us * 1e-6 + schedule_makespan(spec.compute_units, block_times)
+}
+
+/// Modeled host→device transfer time for `bytes`.
+pub fn h2d_time(spec: &DeviceSpec, bytes: u64) -> f64 {
+    if !spec.needs_transfers() {
+        return 0.0;
+    }
+    spec.h2d_latency_us * 1e-6 + bytes as f64 / (spec.pcie_bandwidth_gbs * 1e9)
+}
+
+/// Modeled device→host transfer time for `bytes`.
+pub fn d2h_time(spec: &DeviceSpec, bytes: u64) -> f64 {
+    if !spec.needs_transfers() {
+        return 0.0;
+    }
+    spec.d2h_latency_us * 1e-6 + bytes as f64 / (spec.pcie_bandwidth_gbs * 1e9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{gtx_680_cuda, xeon_e5_2660_x2};
+
+    #[test]
+    fn makespan_of_uniform_blocks_quantizes_into_waves() {
+        // 16 equal blocks on 8 units -> exactly 2 waves.
+        let times = vec![1.0; 16];
+        assert!((schedule_makespan(8, &times) - 2.0).abs() < 1e-12);
+        // 17 blocks -> 3 waves.
+        let times = vec![1.0; 17];
+        assert!((schedule_makespan(8, &times) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn makespan_handles_heterogeneous_blocks() {
+        // One long block dominates.
+        let times = vec![10.0, 1.0, 1.0, 1.0];
+        assert!((schedule_makespan(4, &times) - 10.0).abs() < 1e-12);
+        // Greedy packs short blocks around the long one.
+        let times = vec![3.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+        let m = schedule_makespan(2, &times);
+        assert!((m - 4.0).abs() < 1e-12, "makespan = {m}");
+    }
+
+    #[test]
+    fn empty_launch_costs_only_overhead() {
+        let spec = gtx_680_cuda();
+        let t = kernel_time(&spec, &[]);
+        assert!((t - spec.launch_overhead_us * 1e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn compute_bound_block_matches_roofline() {
+        let spec = gtx_680_cuda();
+        let c = PerfCounters {
+            flops: 1_000_000,
+            ..Default::default()
+        };
+        let t = block_time(&spec, &c, 0);
+        let expected = 1e6 / (spec.per_cu_gflops() * 1e9);
+        assert!((t - expected).abs() / expected < 1e-9);
+    }
+
+    #[test]
+    fn bandwidth_bound_block_ignores_small_compute() {
+        let spec = xeon_e5_2660_x2();
+        let c = PerfCounters {
+            flops: 1, // negligible
+            shared_bytes: 1_000_000_000,
+            ..Default::default()
+        };
+        let t = block_time(&spec, &c, 0);
+        let expected = 1e9 / (spec.per_cu_shared_bandwidth_gbs() * 1e9);
+        assert!((t - expected).abs() / expected < 1e-6);
+    }
+
+    #[test]
+    fn transfers_are_free_on_cpu() {
+        let cpu = xeon_e5_2660_x2();
+        assert_eq!(h2d_time(&cpu, 1 << 20), 0.0);
+        assert_eq!(d2h_time(&cpu, 1 << 20), 0.0);
+    }
+
+    #[test]
+    fn h2d_matches_table2_order_of_magnitude() {
+        // Table II: berlin52 h2d = 50 us (latency-dominated);
+        // pla33810 h2d = 96 us; usa115475 h2d = 287 us.
+        let spec = gtx_680_cuda();
+        let t52 = h2d_time(&spec, 52 * 8) * 1e6;
+        assert!((t52 - 46.0).abs() < 2.0, "berlin52 h2d = {t52} us");
+        let t33810 = h2d_time(&spec, 33_810 * 8) * 1e6;
+        assert!((60.0..250.0).contains(&t33810), "pla33810 h2d = {t33810} us");
+        let t115475 = h2d_time(&spec, 115_475 * 8) * 1e6;
+        assert!(
+            (200.0..700.0).contains(&t115475),
+            "usa115475 h2d = {t115475} us"
+        );
+    }
+
+    #[test]
+    fn atomics_and_latency_add_serially() {
+        let spec = gtx_680_cuda();
+        let c = PerfCounters {
+            atomic_ops: 1000,
+            ..Default::default()
+        };
+        let t = block_time(&spec, &c, 2);
+        let expected = 1000.0 * spec.atomic_cost_ns * 1e-9 + 2.0 * spec.global_latency_us * 1e-6;
+        assert!((t - expected).abs() < 1e-12);
+    }
+}

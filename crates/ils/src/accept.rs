@@ -1,0 +1,95 @@
+//! Acceptance criteria — Algorithm 1's `AcceptanceCriterion(s*, s*')`.
+
+use rand::Rng;
+
+/// Whether a freshly optimized candidate replaces the incumbent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Acceptance {
+    /// Accept strictly better candidates only (the standard ILS choice
+    /// and our default).
+    Better,
+    /// Accept better-or-equal candidates (drifts across plateaus).
+    BetterOrEqual,
+    /// Accept everything (random restart walk).
+    Always,
+    /// Metropolis rule: always accept improvements, accept a worsening
+    /// of `Δ` with probability `exp(-Δ / t)` (simulated-annealing-ish).
+    Metropolis {
+        /// Temperature in tour-length units.
+        temperature: f64,
+    },
+}
+
+impl Default for Acceptance {
+    fn default() -> Self {
+        Acceptance::Better
+    }
+}
+
+impl Acceptance {
+    /// Decide whether `candidate` (length) replaces `incumbent` (length).
+    pub fn accept<R: Rng + ?Sized>(&self, incumbent: i64, candidate: i64, rng: &mut R) -> bool {
+        match self {
+            Acceptance::Better => candidate < incumbent,
+            Acceptance::BetterOrEqual => candidate <= incumbent,
+            Acceptance::Always => true,
+            Acceptance::Metropolis { temperature } => {
+                if candidate <= incumbent {
+                    true
+                } else if *temperature <= 0.0 {
+                    false
+                } else {
+                    let delta = (candidate - incumbent) as f64;
+                    rng.gen_bool((-delta / temperature).exp().clamp(0.0, 1.0))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn better_only_accepts_strict_improvements() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let a = Acceptance::Better;
+        assert!(a.accept(100, 99, &mut rng));
+        assert!(!a.accept(100, 100, &mut rng));
+        assert!(!a.accept(100, 101, &mut rng));
+    }
+
+    #[test]
+    fn better_or_equal_accepts_plateaus() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert!(Acceptance::BetterOrEqual.accept(100, 100, &mut rng));
+    }
+
+    #[test]
+    fn always_accepts_anything() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert!(Acceptance::Always.accept(100, 1000, &mut rng));
+    }
+
+    #[test]
+    fn metropolis_accepts_improvements_and_sometimes_worsenings() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let m = Acceptance::Metropolis { temperature: 50.0 };
+        assert!(m.accept(100, 90, &mut rng));
+        // Over many trials, a small worsening is accepted sometimes but
+        // not always.
+        let trials = 2000;
+        let accepted = (0..trials)
+            .filter(|_| m.accept(100, 110, &mut rng))
+            .count();
+        assert!(accepted > trials / 10, "accepted {accepted}");
+        assert!(accepted < trials, "accepted {accepted}");
+        // Zero temperature degenerates to Better(-or-equal).
+        let cold = Acceptance::Metropolis { temperature: 0.0 };
+        assert!(!cold.accept(100, 101, &mut rng));
+        assert!(cold.accept(100, 100, &mut rng));
+    }
+}

@@ -1,0 +1,306 @@
+//! # tsp-ils
+//!
+//! Iterated Local Search — the paper's Algorithm 1:
+//!
+//! ```text
+//! s0 <- GenerateInitialSolution()
+//! s* <- 2optLocalSearch(s0)            # accelerated step
+//! while termination condition not met:
+//!     s' <- Perturbation(s*)           # double bridge
+//!     s*' <- 2optLocalSearch(s')       # accelerated step
+//!     s* <- AcceptanceCriterion(s*, s*')
+//! ```
+//!
+//! The local-search step is any [`TwoOptEngine`] — plugging in the GPU
+//! engine reproduces the paper's §V experiment ("We have also implemented
+//! the Iterated Local Search algorithm and used the GPU version of 2-opt
+//! to test its performance"), and the recorded convergence trace
+//! regenerates Fig. 11.
+
+pub mod accept;
+pub mod multistart;
+pub mod perturb;
+
+pub use accept::Acceptance;
+pub use multistart::parallel_multistart;
+pub use perturb::Perturbation;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tsp_2opt::{optimize, EngineError, SearchOptions, StepProfile, TwoOptEngine};
+use tsp_core::{Instance, Tour};
+
+/// Termination and behaviour knobs for [`iterated_local_search`].
+#[derive(Debug, Clone, Copy)]
+pub struct IlsOptions {
+    /// Stop after this many perturbation iterations.
+    pub max_iterations: Option<u64>,
+    /// Stop once the accumulated *modeled* time exceeds this budget
+    /// (seconds) — the x-axis of Fig. 11.
+    pub max_modeled_seconds: Option<f64>,
+    /// Stop once real wall-clock time exceeds this budget (seconds).
+    pub max_host_seconds: Option<f64>,
+    /// RNG seed (perturbations are deterministic given the seed).
+    pub seed: u64,
+    /// Perturbation operator.
+    pub perturbation: Perturbation,
+    /// Acceptance criterion.
+    pub acceptance: Acceptance,
+    /// Under non-elitist acceptance, reset the incumbent to the best
+    /// tour after this many iterations without improving the best
+    /// (`None` = never restart).
+    pub stagnation_restart: Option<u64>,
+}
+
+impl Default for IlsOptions {
+    fn default() -> Self {
+        IlsOptions {
+            max_iterations: Some(100),
+            max_modeled_seconds: None,
+            max_host_seconds: None,
+            seed: 0x2013,
+            perturbation: Perturbation::DoubleBridge,
+            acceptance: Acceptance::Better,
+            stagnation_restart: None,
+        }
+    }
+}
+
+/// One point of the convergence trace (Fig. 11's curve).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TracePoint {
+    /// Perturbation iteration (0 = the initial descent).
+    pub iteration: u64,
+    /// Accumulated modeled time when this length was reached, seconds.
+    pub modeled_seconds: f64,
+    /// Accumulated wall-clock time, seconds.
+    pub host_seconds: f64,
+    /// Best tour length known at this time.
+    pub best_length: i64,
+}
+
+/// Result of an ILS run.
+#[derive(Debug, Clone)]
+pub struct IlsOutcome {
+    /// The best tour found.
+    pub best: Tour,
+    /// Its length.
+    pub best_length: i64,
+    /// Perturbation iterations performed.
+    pub iterations: u64,
+    /// Iterations whose candidate was accepted.
+    pub accepted: u64,
+    /// Stagnation restarts performed (see
+    /// [`IlsOptions::stagnation_restart`]).
+    pub restarts: u64,
+    /// Aggregate cost over every local-search sweep.
+    pub profile: StepProfile,
+    /// Total wall-clock seconds.
+    pub host_seconds: f64,
+    /// Convergence trace: one point per improvement of the best length.
+    pub trace: Vec<TracePoint>,
+}
+
+/// Run Algorithm 1 starting from `initial`.
+pub fn iterated_local_search<E: TwoOptEngine + ?Sized>(
+    engine: &mut E,
+    inst: &Instance,
+    initial: Tour,
+    opts: IlsOptions,
+) -> Result<IlsOutcome, EngineError> {
+    let wall = std::time::Instant::now();
+    let mut rng = SmallRng::seed_from_u64(opts.seed);
+    let mut profile = StepProfile::default();
+    let mut trace = Vec::new();
+
+    // s* <- 2optLocalSearch(s0)
+    let mut best = initial;
+    let stats = optimize(engine, inst, &mut best, SearchOptions::default())?;
+    profile.accumulate(&stats.profile);
+    let mut best_length = stats.final_length;
+    trace.push(TracePoint {
+        iteration: 0,
+        modeled_seconds: profile.modeled_seconds(),
+        host_seconds: wall.elapsed().as_secs_f64(),
+        best_length,
+    });
+
+    let mut iterations = 0u64;
+    let mut accepted = 0u64;
+    let mut restarts = 0u64;
+    let mut since_improvement = 0u64;
+    // Incumbent for the acceptance criterion (may differ from `best`
+    // under non-elitist acceptance).
+    let mut incumbent = best.clone();
+    let mut incumbent_length = best_length;
+
+    loop {
+        if let Some(max) = opts.max_iterations {
+            if iterations >= max {
+                break;
+            }
+        }
+        if let Some(max) = opts.max_modeled_seconds {
+            if profile.modeled_seconds() >= max {
+                break;
+            }
+        }
+        if let Some(max) = opts.max_host_seconds {
+            if wall.elapsed().as_secs_f64() >= max {
+                break;
+            }
+        }
+        iterations += 1;
+
+        // s' <- Perturbation(s*)
+        let mut candidate = incumbent.clone();
+        opts.perturbation.apply(&mut candidate, &mut rng);
+        // s*' <- 2optLocalSearch(s')
+        let stats = optimize(engine, inst, &mut candidate, SearchOptions::default())?;
+        profile.accumulate(&stats.profile);
+        let candidate_length = stats.final_length;
+
+        // s* <- AcceptanceCriterion(s*, s*')
+        if opts
+            .acceptance
+            .accept(incumbent_length, candidate_length, &mut rng)
+        {
+            incumbent = candidate;
+            incumbent_length = candidate_length;
+            accepted += 1;
+        }
+        if incumbent_length < best_length {
+            best = incumbent.clone();
+            best_length = incumbent_length;
+            since_improvement = 0;
+            trace.push(TracePoint {
+                iteration: iterations,
+                modeled_seconds: profile.modeled_seconds(),
+                host_seconds: wall.elapsed().as_secs_f64(),
+                best_length,
+            });
+        } else {
+            since_improvement += 1;
+            if let Some(limit) = opts.stagnation_restart {
+                if since_improvement >= limit {
+                    incumbent = best.clone();
+                    incumbent_length = best_length;
+                    restarts += 1;
+                    since_improvement = 0;
+                }
+            }
+        }
+    }
+
+    Ok(IlsOutcome {
+        best,
+        best_length,
+        iterations,
+        accepted,
+        restarts,
+        profile,
+        host_seconds: wall.elapsed().as_secs_f64(),
+        trace,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsp_2opt::SequentialTwoOpt;
+    use tsp_tsplib::{generate, Style};
+
+    #[test]
+    fn ils_improves_on_plain_two_opt() {
+        let inst = generate("ils", 80, Style::Uniform, 1);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let start = Tour::random(80, &mut rng);
+
+        // Plain descent.
+        let mut plain = start.clone();
+        let mut eng = SequentialTwoOpt::new();
+        let stats = optimize(&mut eng, &inst, &mut plain, SearchOptions::default()).unwrap();
+
+        // 60 ILS kicks from the same start.
+        let out = iterated_local_search(
+            &mut eng,
+            &inst,
+            start,
+            IlsOptions {
+                max_iterations: Some(60),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            out.best_length <= stats.final_length,
+            "ILS {} vs plain {}",
+            out.best_length,
+            stats.final_length
+        );
+        out.best.validate().unwrap();
+        assert_eq!(out.iterations, 60);
+    }
+
+    #[test]
+    fn trace_is_monotone_in_time_and_length() {
+        let inst = generate("trace", 60, Style::Uniform, 5);
+        let mut rng = SmallRng::seed_from_u64(6);
+        let start = Tour::random(60, &mut rng);
+        let mut eng = SequentialTwoOpt::new();
+        let out = iterated_local_search(
+            &mut eng,
+            &inst,
+            start,
+            IlsOptions {
+                max_iterations: Some(40),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(!out.trace.is_empty());
+        for w in out.trace.windows(2) {
+            assert!(w[0].modeled_seconds <= w[1].modeled_seconds);
+            assert!(w[0].best_length > w[1].best_length);
+        }
+        assert_eq!(out.trace.last().unwrap().best_length, out.best_length);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let inst = generate("det", 50, Style::Uniform, 7);
+        let start = Tour::identity(50);
+        let mut eng = SequentialTwoOpt::new();
+        let opts = IlsOptions {
+            max_iterations: Some(20),
+            seed: 99,
+            ..Default::default()
+        };
+        let a = iterated_local_search(&mut eng, &inst, start.clone(), opts).unwrap();
+        let b = iterated_local_search(&mut eng, &inst, start, opts).unwrap();
+        assert_eq!(a.best_length, b.best_length);
+        assert_eq!(a.best.as_slice(), b.best.as_slice());
+        assert_eq!(a.accepted, b.accepted);
+    }
+
+    #[test]
+    fn modeled_time_budget_terminates() {
+        let inst = generate("budget", 120, Style::Uniform, 8);
+        let start = Tour::identity(120);
+        let mut eng = SequentialTwoOpt::new();
+        let out = iterated_local_search(
+            &mut eng,
+            &inst,
+            start,
+            IlsOptions {
+                max_iterations: None,
+                max_modeled_seconds: Some(0.05),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // It ran some iterations, then stopped on the time budget.
+        assert!(out.profile.modeled_seconds() >= 0.05);
+        assert!(out.iterations > 0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Perturbation operators for Iterated Local Search.
+//!
+//! The paper uses "a simple double-bridge move as a perturbation
+//! technique" (§V); the others are provided for experimentation.
+
+use rand::Rng;
+use tsp_core::Tour;
+
+/// How to kick a tour out of a 2-opt local minimum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Perturbation {
+    /// The classic 4-opt double bridge (the paper's choice).
+    #[default]
+    DoubleBridge,
+    /// `count` independent double bridges — a stronger kick for when the
+    /// search stagnates.
+    MultiBridge {
+        /// Number of double-bridge applications.
+        count: u8,
+    },
+    /// Reverse a random segment (a random 2-opt move; a *weak* kick that
+    /// plain 2-opt can often undo — included to let the benches show why
+    /// the double bridge is the right choice).
+    RandomReversal,
+}
+
+impl Perturbation {
+    /// Apply the perturbation in place.
+    pub fn apply<R: Rng + ?Sized>(&self, tour: &mut Tour, rng: &mut R) {
+        match self {
+            Perturbation::DoubleBridge => tour.double_bridge(rng),
+            Perturbation::MultiBridge { count } => {
+                for _ in 0..*count {
+                    tour.double_bridge(rng);
+                }
+            }
+            Perturbation::RandomReversal => {
+                let n = tour.len();
+                if n >= 4 {
+                    let i = rng.gen_range(0..n - 2);
+                    let j = rng.gen_range(i + 1..n - 1);
+                    tour.apply_two_opt(i, j);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_perturbations_preserve_validity() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for p in [
+            Perturbation::DoubleBridge,
+            Perturbation::MultiBridge { count: 3 },
+            Perturbation::RandomReversal,
+        ] {
+            let mut t = Tour::identity(64);
+            for _ in 0..25 {
+                p.apply(&mut t, &mut rng);
+                t.validate().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn double_bridge_changes_the_tour() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut t = Tour::identity(64);
+        Perturbation::DoubleBridge.apply(&mut t, &mut rng);
+        assert_ne!(t.as_slice(), Tour::identity(64).as_slice());
+    }
+}

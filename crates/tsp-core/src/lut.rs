@@ -1,0 +1,169 @@
+//! Distance look-up tables and the memory accounting of the paper's
+//! Table I.
+//!
+//! §II.B of the paper contrasts two ways of obtaining a distance:
+//! a precomputed O(n²) **LUT** versus recomputing from O(n)
+//! **coordinates**. Table I tabulates the footprint of both across the
+//! TSPLIB instances; the LUT explodes (fnl4461 already needs ~76 MB while
+//! its coordinates fit in ~35 kB), which is why the GPU kernels ship
+//! coordinates and burn FLOPs instead of bandwidth.
+
+use crate::instance::Instance;
+use crate::point::Point;
+
+/// A materialised full `n × n` distance table.
+///
+/// Stored row-major as `i32`, matching the 4-byte entries Table I assumes
+/// (`n² × 4` bytes).
+#[derive(Debug, Clone)]
+pub struct DistanceLut {
+    n: usize,
+    d: Vec<i32>,
+}
+
+impl DistanceLut {
+    /// Precompute all pairwise distances of `inst`.
+    pub fn build(inst: &Instance) -> Self {
+        let n = inst.len();
+        let mut d = vec![0i32; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let w = inst.dist(i, j);
+                d[i * n + j] = w;
+                d[j * n + i] = w;
+            }
+        }
+        DistanceLut { n, d }
+    }
+
+    /// Number of cities.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when the table is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Distance between cities `i` and `j` (O(1) lookup).
+    #[inline]
+    pub fn dist(&self, i: usize, j: usize) -> i32 {
+        debug_assert!(i < self.n && j < self.n);
+        self.d[i * self.n + j]
+    }
+
+    /// Actual bytes held by this table.
+    pub fn bytes(&self) -> usize {
+        self.d.len() * core::mem::size_of::<i32>()
+    }
+}
+
+/// Memory footprint of the two distance strategies for an instance of
+/// size `n` — the paper's Table I generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryFootprint {
+    /// Number of cities.
+    pub n: usize,
+    /// Bytes needed for the full LUT: `n² × sizeof(i32)`.
+    pub lut_bytes: u64,
+    /// Bytes needed for raw coordinates: `n × sizeof(float2)`.
+    pub coord_bytes: u64,
+    /// Bytes needed for route + coordinates (the *unordered* kernel input,
+    /// Fig. 5): `n × sizeof(u32) + n × sizeof(float2)`.
+    pub route_plus_coord_bytes: u64,
+}
+
+impl MemoryFootprint {
+    /// Compute the footprint for an instance of `n` cities.
+    pub fn for_size(n: usize) -> Self {
+        let n64 = n as u64;
+        MemoryFootprint {
+            n,
+            lut_bytes: n64 * n64 * core::mem::size_of::<i32>() as u64,
+            coord_bytes: n64 * Point::DEVICE_BYTES as u64,
+            route_plus_coord_bytes: n64 * core::mem::size_of::<u32>() as u64
+                + n64 * Point::DEVICE_BYTES as u64,
+        }
+    }
+
+    /// LUT footprint in mebibytes (the unit of Table I's third column).
+    pub fn lut_mib(&self) -> f64 {
+        self.lut_bytes as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Coordinate footprint in kibibytes (Table I's fourth column).
+    pub fn coord_kib(&self) -> f64 {
+        self.coord_bytes as f64 / 1024.0
+    }
+}
+
+/// Maximum number of cities whose *ordered* coordinates fit in
+/// `shared_bytes` of on-chip memory — the paper's 6144-city bound for
+/// 48 kB (`48·1024 / (4·2)`).
+#[inline]
+pub fn max_cities_in_shared(shared_bytes: usize) -> usize {
+    shared_bytes / Point::DEVICE_BYTES
+}
+
+/// Maximum *sub-problem* size for the division scheme of §IV.B, where two
+/// coordinate ranges must fit: 3072 cities for 48 kB
+/// (`48·1024 / (2·2·4)`).
+#[inline]
+pub fn max_tile_in_shared(shared_bytes: usize) -> usize {
+    shared_bytes / (2 * Point::DEVICE_BYTES)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::Metric;
+
+    #[test]
+    fn lut_matches_direct_computation() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.0, 10.0),
+            Point::new(10.0, 10.0),
+            Point::new(10.0, 0.0),
+            Point::new(5.0, 5.0),
+        ];
+        let inst = Instance::new("p5", Metric::Euc2d, pts).unwrap();
+        let lut = DistanceLut::build(&inst);
+        for i in 0..5 {
+            for j in 0..5 {
+                assert_eq!(lut.dist(i, j), inst.dist(i, j));
+            }
+        }
+        assert_eq!(lut.bytes(), 25 * 4);
+    }
+
+    #[test]
+    fn footprints_match_table_1_rows() {
+        // Table I: kroE100 -> LUT 0.04 MB, coords 0.78 kB.
+        let f = MemoryFootprint::for_size(100);
+        assert!((f.lut_mib() - 0.0381).abs() < 0.01, "{}", f.lut_mib());
+        assert!((f.coord_kib() - 0.781).abs() < 0.01, "{}", f.coord_kib());
+        // Table I: fnl4461 -> LUT ~75.9 MB, coords ~34.9 kB.
+        let f = MemoryFootprint::for_size(4461);
+        assert!((f.lut_mib() - 75.92).abs() < 0.5, "{}", f.lut_mib());
+        assert!((f.coord_kib() - 34.85).abs() < 0.5, "{}", f.coord_kib());
+    }
+
+    #[test]
+    fn shared_memory_capacity_bounds_match_paper() {
+        // §IV.A: 48 kB of shared memory limits us to 6144 cities.
+        assert_eq!(max_cities_in_shared(48 * 1024), 6144);
+        // §IV.B: two ranges halve that to 3072.
+        assert_eq!(max_tile_in_shared(48 * 1024), 3072);
+    }
+
+    #[test]
+    fn route_plus_coord_is_larger_than_ordered() {
+        let f = MemoryFootprint::for_size(1000);
+        assert!(f.route_plus_coord_bytes > f.coord_bytes);
+        assert_eq!(f.route_plus_coord_bytes, 1000 * 4 + 1000 * 8);
+    }
+}

@@ -1,0 +1,208 @@
+//! Explicit distance matrices (TSPLIB95 `EDGE_WEIGHT_FORMAT`).
+//!
+//! Symmetric instances in TSPLIB may carry their weights as an explicit
+//! matrix instead of coordinates. We store a full row-major `n × n` matrix
+//! internally (simple, cache-friendly) and provide constructors for every
+//! triangular layout of the spec.
+
+use crate::error::CoreError;
+
+/// A fully materialised symmetric distance matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExplicitMatrix {
+    n: usize,
+    /// Row-major `n * n` weights.
+    w: Vec<i32>,
+}
+
+impl ExplicitMatrix {
+    /// Build from a full row-major matrix. The matrix must be square,
+    /// symmetric and zero on the diagonal.
+    pub fn from_full(n: usize, w: Vec<i32>) -> Result<Self, CoreError> {
+        if w.len() != n * n {
+            return Err(CoreError::InvalidMatrix(format!(
+                "expected {} entries for FULL_MATRIX of size {n}, got {}",
+                n * n,
+                w.len()
+            )));
+        }
+        let m = ExplicitMatrix { n, w };
+        for i in 0..n {
+            if m.get(i, i) != 0 {
+                return Err(CoreError::InvalidMatrix(format!(
+                    "diagonal entry ({i},{i}) is {} (must be 0)",
+                    m.get(i, i)
+                )));
+            }
+            for j in (i + 1)..n {
+                if m.get(i, j) != m.get(j, i) {
+                    return Err(CoreError::InvalidMatrix(format!(
+                        "asymmetric entries at ({i},{j}): {} vs {}",
+                        m.get(i, j),
+                        m.get(j, i)
+                    )));
+                }
+            }
+        }
+        Ok(m)
+    }
+
+    /// Build from `UPPER_ROW` data: row `i` lists `w(i, i+1) .. w(i, n-1)`,
+    /// diagonal excluded.
+    pub fn from_upper_row(n: usize, vals: &[i32]) -> Result<Self, CoreError> {
+        let expected = n * (n - 1) / 2;
+        if vals.len() != expected {
+            return Err(CoreError::InvalidMatrix(format!(
+                "expected {expected} entries for UPPER_ROW of size {n}, got {}",
+                vals.len()
+            )));
+        }
+        let mut w = vec![0i32; n * n];
+        let mut k = 0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                w[i * n + j] = vals[k];
+                w[j * n + i] = vals[k];
+                k += 1;
+            }
+        }
+        Ok(ExplicitMatrix { n, w })
+    }
+
+    /// Build from `LOWER_DIAG_ROW` data: row `i` lists
+    /// `w(i, 0) .. w(i, i)`, diagonal included.
+    pub fn from_lower_diag_row(n: usize, vals: &[i32]) -> Result<Self, CoreError> {
+        let expected = n * (n + 1) / 2;
+        if vals.len() != expected {
+            return Err(CoreError::InvalidMatrix(format!(
+                "expected {expected} entries for LOWER_DIAG_ROW of size {n}, got {}",
+                vals.len()
+            )));
+        }
+        let mut w = vec![0i32; n * n];
+        let mut k = 0;
+        for i in 0..n {
+            for j in 0..=i {
+                w[i * n + j] = vals[k];
+                w[j * n + i] = vals[k];
+                k += 1;
+            }
+        }
+        for i in 0..n {
+            if w[i * n + i] != 0 {
+                return Err(CoreError::InvalidMatrix(format!(
+                    "diagonal entry ({i},{i}) is {} (must be 0)",
+                    w[i * n + i]
+                )));
+            }
+        }
+        Ok(ExplicitMatrix { n, w })
+    }
+
+    /// Build from `UPPER_DIAG_ROW` data: row `i` lists
+    /// `w(i, i) .. w(i, n-1)`, diagonal included.
+    pub fn from_upper_diag_row(n: usize, vals: &[i32]) -> Result<Self, CoreError> {
+        let expected = n * (n + 1) / 2;
+        if vals.len() != expected {
+            return Err(CoreError::InvalidMatrix(format!(
+                "expected {expected} entries for UPPER_DIAG_ROW of size {n}, got {}",
+                vals.len()
+            )));
+        }
+        let mut w = vec![0i32; n * n];
+        let mut k = 0;
+        for i in 0..n {
+            for j in i..n {
+                w[i * n + j] = vals[k];
+                w[j * n + i] = vals[k];
+                k += 1;
+            }
+        }
+        Ok(ExplicitMatrix { n, w })
+    }
+
+    /// Number of cities.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when the matrix is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Weight between cities `i` and `j`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> i32 {
+        debug_assert!(i < self.n && j < self.n);
+        self.w[i * self.n + j]
+    }
+
+    /// Bytes used by the stored matrix.
+    pub fn bytes(&self) -> usize {
+        self.w.len() * core::mem::size_of::<i32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_matrix_round_trip() {
+        // 3 cities: d(0,1)=1, d(0,2)=2, d(1,2)=3
+        let m = ExplicitMatrix::from_full(3, vec![0, 1, 2, 1, 0, 3, 2, 3, 0]).unwrap();
+        assert_eq!(m.get(0, 1), 1);
+        assert_eq!(m.get(2, 1), 3);
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn full_matrix_rejects_asymmetry() {
+        let err = ExplicitMatrix::from_full(2, vec![0, 1, 2, 0]).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidMatrix(_)));
+    }
+
+    #[test]
+    fn full_matrix_rejects_nonzero_diagonal() {
+        let err = ExplicitMatrix::from_full(2, vec![5, 1, 1, 0]).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidMatrix(_)));
+    }
+
+    #[test]
+    fn full_matrix_rejects_wrong_size() {
+        let err = ExplicitMatrix::from_full(3, vec![0; 8]).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidMatrix(_)));
+    }
+
+    #[test]
+    fn upper_row_matches_full() {
+        let ur = ExplicitMatrix::from_upper_row(3, &[1, 2, 3]).unwrap();
+        let full = ExplicitMatrix::from_full(3, vec![0, 1, 2, 1, 0, 3, 2, 3, 0]).unwrap();
+        assert_eq!(ur, full);
+    }
+
+    #[test]
+    fn lower_diag_row_matches_full() {
+        // rows: [0], [1,0], [2,3,0]
+        let ld = ExplicitMatrix::from_lower_diag_row(3, &[0, 1, 0, 2, 3, 0]).unwrap();
+        let full = ExplicitMatrix::from_full(3, vec![0, 1, 2, 1, 0, 3, 2, 3, 0]).unwrap();
+        assert_eq!(ld, full);
+    }
+
+    #[test]
+    fn upper_diag_row_matches_full() {
+        // rows: [0,1,2], [0,3], [0]
+        let ud = ExplicitMatrix::from_upper_diag_row(3, &[0, 1, 2, 0, 3, 0]).unwrap();
+        let full = ExplicitMatrix::from_full(3, vec![0, 1, 2, 1, 0, 3, 2, 3, 0]).unwrap();
+        assert_eq!(ud, full);
+    }
+
+    #[test]
+    fn bytes_accounting() {
+        let m = ExplicitMatrix::from_upper_row(4, &[1, 2, 3, 4, 5, 6]).unwrap();
+        assert_eq!(m.bytes(), 16 * 4);
+    }
+}

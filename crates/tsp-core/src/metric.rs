@@ -1,0 +1,227 @@
+//! TSPLIB95 edge-weight functions.
+//!
+//! The paper evaluates exclusively on 2-D Euclidean (`EUC_2D`) TSPLIB
+//! instances with the classic nearest-integer rounding, but a library a
+//! downstream user would adopt must read the rest of the TSPLIB catalogue,
+//! so every coordinate-based weight function of the TSPLIB95 spec that
+//! applies to 2-D data is implemented here, plus explicit matrices (see
+//! [`crate::matrix`]).
+
+use crate::point::Point;
+use serde::{Deserialize, Serialize};
+
+/// Edge-weight function identifiers, mirroring the TSPLIB95
+/// `EDGE_WEIGHT_TYPE` keyword.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Metric {
+    /// Rounded 2-D Euclidean distance — the paper's metric (Listing 1).
+    Euc2d,
+    /// 2-D Euclidean distance rounded *up*.
+    Ceil2d,
+    /// Manhattan (L1) distance, rounded.
+    Man2d,
+    /// Maximum (L∞) distance.
+    Max2d,
+    /// Pseudo-Euclidean distance of the `att` instances.
+    Att,
+    /// Geographical distance (coordinates are DDD.MM latitude/longitude).
+    Geo,
+    /// Distances come from an explicit matrix
+    /// ([`crate::matrix::ExplicitMatrix`]); there is no coordinate formula.
+    Explicit,
+}
+
+/// Mean Earth radius used by TSPLIB's `GEO` metric, in kilometres.
+pub const GEO_EARTH_RADIUS: f64 = 6378.388;
+
+impl Metric {
+    /// TSPLIB95 keyword for this metric.
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            Metric::Euc2d => "EUC_2D",
+            Metric::Ceil2d => "CEIL_2D",
+            Metric::Man2d => "MAN_2D",
+            Metric::Max2d => "MAX_2D",
+            Metric::Att => "ATT",
+            Metric::Geo => "GEO",
+            Metric::Explicit => "EXPLICIT",
+        }
+    }
+
+    /// Parse a TSPLIB95 `EDGE_WEIGHT_TYPE` keyword.
+    pub fn from_keyword(kw: &str) -> Option<Metric> {
+        Some(match kw.trim() {
+            "EUC_2D" => Metric::Euc2d,
+            "CEIL_2D" => Metric::Ceil2d,
+            "MAN_2D" => Metric::Man2d,
+            "MAX_2D" => Metric::Max2d,
+            "ATT" => Metric::Att,
+            "GEO" => Metric::Geo,
+            "EXPLICIT" => Metric::Explicit,
+            _ => return None,
+        })
+    }
+
+    /// `true` when the metric is computed from node coordinates.
+    pub fn is_coordinate_based(&self) -> bool {
+        !matches!(self, Metric::Explicit)
+    }
+
+    /// Integer distance between two points under this metric.
+    ///
+    /// # Panics
+    /// Panics for [`Metric::Explicit`]; explicit distances live in an
+    /// [`crate::matrix::ExplicitMatrix`] and are dispatched by
+    /// [`crate::Instance::dist`].
+    #[inline]
+    pub fn dist(&self, a: &Point, b: &Point) -> i32 {
+        match self {
+            Metric::Euc2d => a.euc_2d(b),
+            Metric::Ceil2d => ceil_2d(a, b),
+            Metric::Man2d => man_2d(a, b),
+            Metric::Max2d => max_2d(a, b),
+            Metric::Att => att(a, b),
+            Metric::Geo => geo(a, b),
+            Metric::Explicit => {
+                panic!("EXPLICIT metric has no coordinate formula; use Instance::dist")
+            }
+        }
+    }
+}
+
+/// `CEIL_2D`: Euclidean distance rounded up to the next integer.
+#[inline]
+pub fn ceil_2d(a: &Point, b: &Point) -> i32 {
+    let dx = (a.x - b.x) as f64;
+    let dy = (a.y - b.y) as f64;
+    (dx * dx + dy * dy).sqrt().ceil() as i32
+}
+
+/// `MAN_2D`: rounded L1 distance.
+#[inline]
+pub fn man_2d(a: &Point, b: &Point) -> i32 {
+    let dx = (a.x - b.x).abs() as f64;
+    let dy = (a.y - b.y).abs() as f64;
+    (dx + dy + 0.5) as i32
+}
+
+/// `MAX_2D`: L∞ distance (each component rounded to nearest first, per
+/// the TSPLIB95 spec).
+#[inline]
+pub fn max_2d(a: &Point, b: &Point) -> i32 {
+    let dx = ((a.x - b.x).abs() as f64 + 0.5) as i32;
+    let dy = ((a.y - b.y).abs() as f64 + 0.5) as i32;
+    dx.max(dy)
+}
+
+/// `ATT`: the pseudo-Euclidean metric of att48/att532.
+#[inline]
+pub fn att(a: &Point, b: &Point) -> i32 {
+    let dx = (a.x - b.x) as f64;
+    let dy = (a.y - b.y) as f64;
+    let rij = ((dx * dx + dy * dy) / 10.0).sqrt();
+    let tij = (rij + 0.5).floor();
+    if tij < rij {
+        tij as i32 + 1
+    } else {
+        tij as i32
+    }
+}
+
+/// Convert a TSPLIB `DDD.MM` coordinate to radians.
+#[inline]
+fn geo_radians(coord: f64) -> f64 {
+    let deg = coord.trunc();
+    let min = coord - deg;
+    std::f64::consts::PI * (deg + 5.0 * min / 3.0) / 180.0
+}
+
+/// `GEO`: geographical distance on the idealized sphere, in kilometres.
+#[inline]
+pub fn geo(a: &Point, b: &Point) -> i32 {
+    let lat_a = geo_radians(a.x as f64);
+    let lon_a = geo_radians(a.y as f64);
+    let lat_b = geo_radians(b.x as f64);
+    let lon_b = geo_radians(b.y as f64);
+    let q1 = (lon_a - lon_b).cos();
+    let q2 = (lat_a - lat_b).cos();
+    let q3 = (lat_a + lat_b).cos();
+    // Clamp against floating-point drift past ±1, which would make acos NaN.
+    let arg = (0.5 * ((1.0 + q1) * q2 - (1.0 - q1) * q3)).clamp(-1.0, 1.0);
+    (GEO_EARTH_RADIUS * arg.acos() + 1.0) as i32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f32, y: f32) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn keyword_round_trip() {
+        for m in [
+            Metric::Euc2d,
+            Metric::Ceil2d,
+            Metric::Man2d,
+            Metric::Max2d,
+            Metric::Att,
+            Metric::Geo,
+            Metric::Explicit,
+        ] {
+            assert_eq!(Metric::from_keyword(m.keyword()), Some(m));
+        }
+        assert_eq!(Metric::from_keyword("NO_SUCH"), None);
+    }
+
+    #[test]
+    fn euc_2d_345_triangle() {
+        assert_eq!(Metric::Euc2d.dist(&p(0.0, 0.0), &p(3.0, 4.0)), 5);
+    }
+
+    #[test]
+    fn ceil_2d_rounds_up() {
+        assert_eq!(Metric::Ceil2d.dist(&p(0.0, 0.0), &p(1.0, 1.0)), 2);
+        assert_eq!(Metric::Ceil2d.dist(&p(0.0, 0.0), &p(3.0, 4.0)), 5);
+    }
+
+    #[test]
+    fn man_2d_sums_components() {
+        assert_eq!(Metric::Man2d.dist(&p(0.0, 0.0), &p(3.0, 4.0)), 7);
+        assert_eq!(Metric::Man2d.dist(&p(1.0, 1.0), &p(-1.0, -1.0)), 4);
+    }
+
+    #[test]
+    fn max_2d_takes_larger_component() {
+        assert_eq!(Metric::Max2d.dist(&p(0.0, 0.0), &p(3.0, 4.0)), 4);
+        assert_eq!(Metric::Max2d.dist(&p(0.0, 0.0), &p(-6.0, 2.0)), 6);
+    }
+
+    #[test]
+    fn att_matches_spec_shape() {
+        // ATT distance is ceil-like on sqrt(d2/10).
+        // d2 = 90 -> rij = 3.0 -> tij = 3.
+        assert_eq!(att(&p(0.0, 0.0), &p(3.0, 9.0)), 3);
+        // d2 = 100 -> rij = sqrt(10) = 3.162 -> tij = nint = 3 < rij -> 4.
+        assert_eq!(att(&p(0.0, 0.0), &p(10.0, 0.0)), 4);
+    }
+
+    #[test]
+    fn geo_is_symmetric() {
+        let a = p(49.30, 8.33); // ~ ulysses-style DDD.MM data
+        let b = p(36.08, -86.46);
+        assert_eq!(geo(&a, &b), geo(&b, &a));
+        // Note: the TSPLIB GEO formula gives d(i,i) = (int)(0 + 1.0) = 1;
+        // self-distances are never used by tours, so this is by design.
+        assert_eq!(geo(&a, &a), 1);
+        // Distances between far-apart places are thousands of km.
+        assert!(geo(&a, &b) > 5000, "got {}", geo(&a, &b));
+    }
+
+    #[test]
+    #[should_panic(expected = "EXPLICIT")]
+    fn explicit_panics_on_coordinate_dispatch() {
+        let _ = Metric::Explicit.dist(&p(0.0, 0.0), &p(1.0, 1.0));
+    }
+}

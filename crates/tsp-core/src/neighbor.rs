@@ -1,0 +1,143 @@
+//! k-nearest-neighbour candidate lists.
+//!
+//! The paper's §VI/§VII name **neighbourhood pruning** as the natural next
+//! step ("simple ideas such as neighborhood pruning can be applied at the
+//! cost of the quality of the solution"). Candidate lists restrict the
+//! 2-opt neighbourhood to pairs whose first removed edge endpoint is near
+//! the second, dropping the sweep from O(n²) to O(n·k). This module builds
+//! the lists; the pruned search itself lives in `tsp-2opt::pruned`.
+
+use crate::instance::Instance;
+
+/// Per-city lists of the `k` nearest other cities, sorted by distance.
+#[derive(Debug, Clone)]
+pub struct NeighborLists {
+    k: usize,
+    /// Flattened `n × k` city indices.
+    lists: Vec<u32>,
+}
+
+impl NeighborLists {
+    /// Build lists of the `k` nearest neighbours for every city.
+    ///
+    /// `k` is clamped to `n - 1`. Complexity O(n² + n·k·log k) via
+    /// selection; fine for the instance sizes the lists are worthwhile on.
+    pub fn build(inst: &Instance, k: usize) -> Self {
+        let n = inst.len();
+        let k = k.min(n.saturating_sub(1));
+        let mut lists = Vec::with_capacity(n * k);
+        let mut scratch: Vec<(i32, u32)> = Vec::with_capacity(n - 1);
+        for i in 0..n {
+            scratch.clear();
+            for j in 0..n {
+                if i != j {
+                    scratch.push((inst.dist(i, j), j as u32));
+                }
+            }
+            // Partial selection of the k smallest, then sort those.
+            if k < scratch.len() {
+                scratch.select_nth_unstable(k - 1);
+                scratch.truncate(k);
+            }
+            scratch.sort_unstable();
+            lists.extend(scratch.iter().map(|&(_, j)| j));
+        }
+        NeighborLists { k, lists }
+    }
+
+    /// Number of neighbours per city.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of cities.
+    #[inline]
+    pub fn len(&self) -> usize {
+        if self.k == 0 {
+            0
+        } else {
+            self.lists.len() / self.k
+        }
+    }
+
+    /// `true` when no lists were built.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.lists.is_empty()
+    }
+
+    /// The neighbours of city `c`, nearest first.
+    #[inline]
+    pub fn neighbors(&self, c: usize) -> &[u32] {
+        &self.lists[c * self.k..(c + 1) * self.k]
+    }
+
+    /// Bytes held by the lists (for memory-budget reporting).
+    pub fn bytes(&self) -> usize {
+        self.lists.len() * core::mem::size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::Metric;
+    use crate::point::Point;
+
+    fn line_instance(n: usize) -> Instance {
+        // Cities on a line at x = 0, 1, 2, ... so nearest neighbours are
+        // trivially the adjacent indices.
+        let pts = (0..n).map(|i| Point::new(i as f32, 0.0)).collect();
+        Instance::new("line", Metric::Euc2d, pts).unwrap()
+    }
+
+    #[test]
+    fn nearest_on_a_line() {
+        let inst = line_instance(10);
+        let nl = NeighborLists::build(&inst, 3);
+        assert_eq!(nl.k(), 3);
+        assert_eq!(nl.len(), 10);
+        // City 0's nearest are 1, 2, 3.
+        assert_eq!(nl.neighbors(0), &[1, 2, 3]);
+        // City 5's nearest are 4 and 6 (tie broken by index), then 3 or 7.
+        let nb5 = nl.neighbors(5);
+        assert!(nb5.contains(&4) && nb5.contains(&6));
+    }
+
+    #[test]
+    fn k_clamped_to_n_minus_1() {
+        let inst = line_instance(4);
+        let nl = NeighborLists::build(&inst, 100);
+        assert_eq!(nl.k(), 3);
+        assert_eq!(nl.neighbors(0), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn lists_never_contain_self() {
+        let inst = line_instance(12);
+        let nl = NeighborLists::build(&inst, 5);
+        for c in 0..12 {
+            assert!(!nl.neighbors(c).contains(&(c as u32)));
+        }
+    }
+
+    #[test]
+    fn lists_are_sorted_by_distance() {
+        let inst = line_instance(20);
+        let nl = NeighborLists::build(&inst, 7);
+        for c in 0..20 {
+            let ds: Vec<i32> = nl.neighbors(c).iter().map(|&j| inst.dist(c, j as usize)).collect();
+            let mut sorted = ds.clone();
+            sorted.sort_unstable();
+            assert_eq!(ds, sorted);
+        }
+    }
+
+    #[test]
+    fn bytes_accounting() {
+        let inst = line_instance(8);
+        let nl = NeighborLists::build(&inst, 2);
+        assert_eq!(nl.bytes(), 8 * 2 * 4);
+    }
+}

@@ -1,0 +1,85 @@
+//! 2-D point type — the `float2` of the paper's CUDA/OpenCL kernels.
+
+use serde::{Deserialize, Serialize};
+
+/// A city location in the plane.
+///
+/// Coordinates are `f32` to match the paper's kernels (Listing 1 computes
+/// distances in single precision: `sqrtf(dx*dx + dy*dy) + 0.5f`). TSPLIB
+/// files may carry more precision; parsing truncates to `f32` exactly as a
+/// GPU port would.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// X coordinate.
+    pub x: f32,
+    /// Y coordinate.
+    pub y: f32,
+}
+
+impl Point {
+    /// Create a point from its coordinates.
+    #[inline]
+    pub const fn new(x: f32, y: f32) -> Self {
+        Point { x, y }
+    }
+
+    /// Squared Euclidean distance to `other`, in `f32` as on the device.
+    #[inline]
+    pub fn dist2(&self, other: &Point) -> f32 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// The paper's Listing 1: rounded integer Euclidean distance,
+    /// `(int)(sqrtf(dx*dx + dy*dy) + 0.5f)`.
+    #[inline]
+    pub fn euc_2d(&self, other: &Point) -> i32 {
+        (self.dist2(other).sqrt() + 0.5) as i32
+    }
+
+    /// Size in bytes of one point on the device (`float2`).
+    pub const DEVICE_BYTES: usize = 8;
+}
+
+impl From<(f32, f32)> for Point {
+    fn from((x, y): (f32, f32)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x as f32, y as f32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_distance_rounds_to_nearest() {
+        let a = Point::new(0.0, 0.0);
+        assert_eq!(a.euc_2d(&Point::new(3.0, 4.0)), 5);
+        // 1.4142... rounds to 1.
+        assert_eq!(a.euc_2d(&Point::new(1.0, 1.0)), 1);
+        // 2.236... rounds to 2.
+        assert_eq!(a.euc_2d(&Point::new(1.0, 2.0)), 2);
+        // 2.828... rounds to 3.
+        assert_eq!(a.euc_2d(&Point::new(2.0, 2.0)), 3);
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        let a = Point::new(12.5, -3.75);
+        let b = Point::new(-7.25, 99.0);
+        assert_eq!(a.euc_2d(&b), b.euc_2d(&a));
+        assert_eq!(a.euc_2d(&a), 0);
+    }
+
+    #[test]
+    fn device_size_matches_float2() {
+        assert_eq!(Point::DEVICE_BYTES, core::mem::size_of::<Point>());
+    }
+}

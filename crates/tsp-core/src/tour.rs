@@ -1,0 +1,344 @@
+//! Tours: permutations of the cities, plus the move primitives used by
+//! 2-opt and Iterated Local Search.
+
+use crate::error::CoreError;
+use crate::instance::Instance;
+use crate::point::Point;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A closed tour visiting every city exactly once.
+///
+/// The tour is stored as the visiting order `order[0], order[1], …,
+/// order[n-1], order[0]`. City indices are `u32` (the paper's route array
+/// uses 32-bit indices; Table I accounts `n * sizeof(route data type)`
+/// with 4-byte entries).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tour {
+    order: Vec<u32>,
+}
+
+impl Tour {
+    /// Wrap a visiting order, validating that it is a permutation of
+    /// `0..n`.
+    pub fn new(order: Vec<u32>) -> Result<Self, CoreError> {
+        let n = order.len();
+        let mut seen = vec![false; n];
+        for &c in &order {
+            let c = c as usize;
+            if c >= n {
+                return Err(CoreError::InvalidTour(format!(
+                    "city {c} out of range for tour of length {n}"
+                )));
+            }
+            if seen[c] {
+                return Err(CoreError::InvalidTour(format!("city {c} visited twice")));
+            }
+            seen[c] = true;
+        }
+        Ok(Tour { order })
+    }
+
+    /// The identity tour `0, 1, …, n-1`.
+    pub fn identity(n: usize) -> Self {
+        Tour {
+            order: (0..n as u32).collect(),
+        }
+    }
+
+    /// A uniformly random tour.
+    pub fn random<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Self {
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.shuffle(rng);
+        Tour { order }
+    }
+
+    /// Number of cities.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// `true` when the tour is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// City at tour position `pos`.
+    #[inline]
+    pub fn city(&self, pos: usize) -> u32 {
+        self.order[pos]
+    }
+
+    /// The visiting order as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[u32] {
+        &self.order
+    }
+
+    /// Consume the tour, returning the visiting order.
+    pub fn into_inner(self) -> Vec<u32> {
+        self.order
+    }
+
+    /// Total tour length under `inst`, including the closing edge
+    /// `order[n-1] -> order[0]`.
+    pub fn length(&self, inst: &Instance) -> i64 {
+        let n = self.order.len();
+        if n < 2 {
+            return 0;
+        }
+        let mut total = 0i64;
+        for k in 0..n {
+            let a = self.order[k] as usize;
+            let b = self.order[(k + 1) % n] as usize;
+            total += inst.dist(a, b) as i64;
+        }
+        total
+    }
+
+    /// Check the permutation invariant (used by tests and debug builds).
+    pub fn validate(&self) -> Result<(), CoreError> {
+        Tour::new(self.order.clone()).map(|_| ())
+    }
+
+    /// Apply the 2-opt move for the candidate pair `(i, j)` (tour
+    /// positions, `i < j`): remove edges `(i, i+1)` and `(j, j+1)`,
+    /// reconnect by reversing the segment `order[i+1..=j]` (the paper's
+    /// Fig. 1/2).
+    ///
+    /// `j == i + 1` is a no-op (the reversed segment has length 1), which
+    /// matches the zero delta such pairs evaluate to.
+    #[inline]
+    pub fn apply_two_opt(&mut self, i: usize, j: usize) {
+        debug_assert!(i < j && j < self.order.len());
+        self.order[i + 1..=j].reverse();
+    }
+
+    /// Reverse an arbitrary segment `[from..=to]` of the visiting order.
+    pub fn reverse_segment(&mut self, from: usize, to: usize) {
+        debug_assert!(from <= to && to < self.order.len());
+        self.order[from..=to].reverse();
+    }
+
+    /// The double-bridge 4-opt perturbation used by the paper's ILS (§V:
+    /// "We used a simple double-bridge move as a perturbation technique").
+    ///
+    /// Picks three random cut points `0 < a < b < c < n` and rearranges the
+    /// four segments `A B C D` into `A C B D`. The move cannot be undone by
+    /// any sequence of 2-opt moves that only shortens the tour, which is
+    /// exactly why ILS uses it to escape 2-opt local minima.
+    pub fn double_bridge<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let n = self.order.len();
+        if n < 8 {
+            // Too small for three distinct interior cut points to matter;
+            // fall back to a random 2-exchange.
+            if n >= 4 {
+                let i = rng.gen_range(0..n - 2);
+                let j = rng.gen_range(i + 1..n - 1);
+                self.apply_two_opt(i, j);
+            }
+            return;
+        }
+        let mut cuts = [
+            rng.gen_range(1..n),
+            rng.gen_range(1..n),
+            rng.gen_range(1..n),
+        ];
+        cuts.sort_unstable();
+        let [a, b, c] = cuts;
+        if a == b || b == c {
+            // Degenerate draw: retry (probability of repeated degeneracy
+            // vanishes quickly).
+            return self.double_bridge(rng);
+        }
+        let mut next = Vec::with_capacity(n);
+        next.extend_from_slice(&self.order[..a]);
+        next.extend_from_slice(&self.order[b..c]);
+        next.extend_from_slice(&self.order[a..b]);
+        next.extend_from_slice(&self.order[c..]);
+        self.order = next;
+    }
+
+    /// Coordinates in visiting order — the paper's **Optimization 2**
+    /// (Fig. 6): the host materialises `ordered_coordinates[k] =
+    /// coordinates[route[k]]` before the device copy, so the kernel needs
+    /// neither the route array nor the indirection.
+    ///
+    /// # Errors
+    /// Fails when the instance is not coordinate-based.
+    pub fn ordered_points(&self, inst: &Instance) -> Result<Vec<Point>, CoreError> {
+        if !inst.is_coordinate_based() {
+            return Err(CoreError::MissingCoordinates);
+        }
+        Ok(self
+            .order
+            .iter()
+            .map(|&c| inst.point(c as usize))
+            .collect())
+    }
+
+    /// Iterate over the tour's edges as position pairs `(k, k+1 mod n)`.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        let n = self.order.len();
+        (0..n).map(move |k| (self.order[k], self.order[(k + 1) % n]))
+    }
+
+    /// Number of undirected edges this tour shares with `other` — the
+    /// standard tour-similarity measure (n shared edges ⇔ identical
+    /// cycles up to rotation/reflection). O(n).
+    ///
+    /// # Panics
+    /// Panics when the tours have different lengths.
+    pub fn shared_edges(&self, other: &Tour) -> usize {
+        assert_eq!(self.len(), other.len(), "tours must have equal length");
+        let n = self.len();
+        if n < 2 {
+            return 0;
+        }
+        // successor/predecessor of each city in `other`.
+        let mut next = vec![0u32; n];
+        let mut prev = vec![0u32; n];
+        for (a, b) in other.edges() {
+            next[a as usize] = b;
+            prev[b as usize] = a;
+        }
+        self.edges()
+            .filter(|&(a, b)| next[a as usize] == b || prev[a as usize] == b)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::Metric;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn square() -> Instance {
+        Instance::new(
+            "square4",
+            Metric::Euc2d,
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(0.0, 10.0),
+                Point::new(10.0, 10.0),
+                Point::new(10.0, 0.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn identity_tour_length_on_square() {
+        let inst = square();
+        let t = Tour::identity(4);
+        assert_eq!(t.length(&inst), 40);
+    }
+
+    #[test]
+    fn crossing_tour_is_longer_and_two_opt_fixes_it() {
+        let inst = square();
+        // 0 -> 2 -> 1 -> 3 crosses the square's diagonals.
+        let mut t = Tour::new(vec![0, 2, 1, 3]).unwrap();
+        let before = t.length(&inst);
+        assert_eq!(before, 48); // two sides + two diagonals = 10+14+10+14
+        // Reversing positions 1..=2 yields 0 -> 1 -> 2 -> 3.
+        t.apply_two_opt(0, 2);
+        assert_eq!(t.as_slice(), &[0, 1, 2, 3]);
+        assert_eq!(t.length(&inst), 40);
+    }
+
+    #[test]
+    fn new_rejects_duplicates_and_out_of_range() {
+        assert!(Tour::new(vec![0, 1, 1]).is_err());
+        assert!(Tour::new(vec![0, 1, 3]).is_err());
+        assert!(Tour::new(vec![0, 1, 2]).is_ok());
+    }
+
+    #[test]
+    fn adjacent_two_opt_is_identity() {
+        let mut t = Tour::identity(6);
+        t.apply_two_opt(2, 3);
+        assert_eq!(t.as_slice(), &[0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn double_bridge_preserves_permutation() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        for n in [8usize, 9, 50, 257] {
+            let mut t = Tour::random(n, &mut rng);
+            for _ in 0..20 {
+                t.double_bridge(&mut rng);
+                t.validate().unwrap();
+                assert_eq!(t.len(), n);
+            }
+        }
+    }
+
+    #[test]
+    fn double_bridge_small_n_still_valid() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for n in [3usize, 4, 5, 6, 7] {
+            let mut t = Tour::identity(n);
+            for _ in 0..10 {
+                t.double_bridge(&mut rng);
+                t.validate().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn ordered_points_follows_route() {
+        let inst = square();
+        let t = Tour::new(vec![2, 0, 3, 1]).unwrap();
+        let pts = t.ordered_points(&inst).unwrap();
+        assert_eq!(pts[0], Point::new(10.0, 10.0));
+        assert_eq!(pts[1], Point::new(0.0, 0.0));
+        assert_eq!(pts[3], Point::new(0.0, 10.0));
+    }
+
+    #[test]
+    fn edges_wrap_around() {
+        let t = Tour::new(vec![3, 1, 0, 2]).unwrap();
+        let edges: Vec<_> = t.edges().collect();
+        assert_eq!(edges, vec![(3, 1), (1, 0), (0, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn shared_edges_counts_undirected_overlap() {
+        let a = Tour::identity(6);
+        // Same cycle reversed: all 6 edges shared.
+        let r = Tour::new(vec![5, 4, 3, 2, 1, 0]).unwrap();
+        assert_eq!(a.shared_edges(&r), 6);
+        // Same cycle rotated: all 6 edges shared.
+        let rot = Tour::new(vec![2, 3, 4, 5, 0, 1]).unwrap();
+        assert_eq!(a.shared_edges(&rot), 6);
+        // One 2-opt move changes exactly 2 edges.
+        let mut b = a.clone();
+        b.apply_two_opt(1, 4);
+        assert_eq!(a.shared_edges(&b), 4);
+        // Self-similarity is n.
+        assert_eq!(a.shared_edges(&a), 6);
+    }
+
+    #[test]
+    fn shared_edges_of_disjoint_cycles() {
+        // 0-1-2-3 vs 0-2-1-3: edges {01,12,23,30} vs {02,21,13,30}
+        // share {12, 30} = 2.
+        let a = Tour::identity(4);
+        let b = Tour::new(vec![0, 2, 1, 3]).unwrap();
+        assert_eq!(a.shared_edges(&b), 2);
+    }
+
+    #[test]
+    fn random_tours_are_valid() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10 {
+            let t = Tour::random(100, &mut rng);
+            t.validate().unwrap();
+        }
+    }
+}

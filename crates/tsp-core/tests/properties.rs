@@ -1,0 +1,131 @@
+//! Property tests for the core data structures.
+
+use proptest::prelude::*;
+use tsp_core::{lut::DistanceLut, metric, Instance, Metric, Point, Tour};
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-10_000i32..10_000, -10_000i32..10_000)
+        .prop_map(|(x, y)| Point::new(x as f32, y as f32))
+}
+
+fn arb_instance(metric: Metric) -> impl Strategy<Value = Instance> {
+    proptest::collection::vec(arb_point(), 3..30)
+        .prop_map(move |pts| Instance::new("prop", metric, pts).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn euclidean_distance_is_a_near_metric(a in arb_point(), b in arb_point(), c in arb_point()) {
+        // Symmetry and identity hold exactly.
+        prop_assert_eq!(a.euc_2d(&b), b.euc_2d(&a));
+        prop_assert_eq!(a.euc_2d(&a), 0);
+        prop_assert!(a.euc_2d(&b) >= 0);
+        // Rounding can break the triangle inequality by at most 1 per
+        // rounding site (2 total).
+        prop_assert!(a.euc_2d(&c) <= a.euc_2d(&b) + b.euc_2d(&c) + 2);
+    }
+
+    #[test]
+    fn all_coordinate_metrics_are_symmetric_nonnegative(
+        a in arb_point(),
+        b in arb_point(),
+    ) {
+        for m in [Metric::Euc2d, Metric::Ceil2d, Metric::Man2d, Metric::Max2d, Metric::Att] {
+            prop_assert_eq!(m.dist(&a, &b), m.dist(&b, &a), "{:?}", m);
+            prop_assert!(m.dist(&a, &b) >= 0, "{:?}", m);
+            prop_assert_eq!(m.dist(&a, &a), 0, "{:?}", m);
+        }
+    }
+
+    #[test]
+    fn ceil_dominates_round_dominates_components(a in arb_point(), b in arb_point()) {
+        let e = a.euc_2d(&b);
+        let c = metric::ceil_2d(&a, &b);
+        let mx = metric::max_2d(&a, &b);
+        let mn = metric::man_2d(&a, &b);
+        prop_assert!(c >= e);
+        prop_assert!(c <= e + 1);
+        // L_inf <= L2(+1 rounding slack) <= L1 (+ slack).
+        prop_assert!(mx <= e + 1);
+        prop_assert!(e <= mn + 1);
+    }
+
+    #[test]
+    fn tour_length_is_rotation_invariant(inst in arb_instance(Metric::Euc2d), rot in 0usize..30) {
+        let n = inst.len();
+        let t = Tour::identity(n);
+        let mut rotated: Vec<u32> = (0..n as u32).collect();
+        rotated.rotate_left(rot % n);
+        let tr = Tour::new(rotated).unwrap();
+        prop_assert_eq!(t.length(&inst), tr.length(&inst));
+    }
+
+    #[test]
+    fn tour_length_is_reversal_invariant(inst in arb_instance(Metric::Euc2d)) {
+        let n = inst.len();
+        let t = Tour::identity(n);
+        let mut rev: Vec<u32> = (0..n as u32).collect();
+        rev.reverse();
+        let tr = Tour::new(rev).unwrap();
+        prop_assert_eq!(t.length(&inst), tr.length(&inst));
+    }
+
+    #[test]
+    fn two_opt_is_an_involution(
+        inst in arb_instance(Metric::Euc2d),
+        i_raw in 0usize..100,
+        j_raw in 0usize..100,
+    ) {
+        let n = inst.len();
+        let i = i_raw % (n - 2);
+        let j = i + 1 + (j_raw % (n - 1 - i));
+        let t0 = Tour::identity(n);
+        let mut t = t0.clone();
+        t.apply_two_opt(i, j);
+        t.apply_two_opt(i, j);
+        prop_assert_eq!(t.as_slice(), t0.as_slice());
+    }
+
+    #[test]
+    fn lut_agrees_with_direct_distances(inst in arb_instance(Metric::Euc2d)) {
+        let lut = DistanceLut::build(&inst);
+        let n = inst.len();
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert_eq!(lut.dist(i, j), inst.dist(i, j));
+            }
+        }
+        prop_assert_eq!(lut.bytes(), n * n * 4);
+    }
+
+    #[test]
+    fn ordered_points_is_route_indexed(inst in arb_instance(Metric::Euc2d), seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let t = Tour::random(inst.len(), &mut rng);
+        let pts = t.ordered_points(&inst).unwrap();
+        for (k, p) in pts.iter().enumerate() {
+            prop_assert_eq!(*p, inst.point(t.city(k) as usize));
+        }
+    }
+
+    #[test]
+    fn neighbor_lists_are_true_nearest(inst in arb_instance(Metric::Euc2d), k in 1usize..6) {
+        use tsp_core::neighbor::NeighborLists;
+        let nl = NeighborLists::build(&inst, k);
+        let n = inst.len();
+        let k = nl.k();
+        for c in 0..n {
+            let nb = nl.neighbors(c);
+            // The k-th neighbour's distance equals the true k-th
+            // smallest distance.
+            let mut all: Vec<i32> = (0..n).filter(|&j| j != c).map(|j| inst.dist(c, j)).collect();
+            all.sort_unstable();
+            for (rank, &j) in nb.iter().enumerate() {
+                prop_assert_eq!(inst.dist(c, j as usize), all[rank], "city {} rank {}", c, rank);
+            }
+        }
+    }
+}

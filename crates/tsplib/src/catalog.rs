@@ -1,0 +1,157 @@
+//! The paper-instance catalog: synthetic stand-ins with the exact sizes
+//! of every TSPLIB/VLSI/national instance the paper evaluates.
+//!
+//! Table II runs 27 instances from berlin52 (52 cities) to lrb744710
+//! (744 710 cities). The originals cannot be redistributed here, so each
+//! entry generates a deterministic synthetic instance of the same size,
+//! with a spatial style matched to the original's family:
+//! drilling/board problems (`pr`, `pcb`, `fl`, `pla`) → jittered grid;
+//! geographic/national sets (`usa`, `sw`, `d`, `ara`, `lra`, `lrb`,
+//! `sra`, `vm`, `fnl`) → clustered; synthetic randoms (`rat`, `rl`,
+//! `kro`, `ch`, `ts`, `berlin`) → uniform.
+
+use crate::generator::{generate, Style};
+use tsp_core::Instance;
+
+/// One catalog row.
+#[derive(Debug, Clone, Copy)]
+pub struct CatalogEntry {
+    /// Original TSPLIB name the stand-in mirrors.
+    pub paper_name: &'static str,
+    /// Number of cities.
+    pub n: usize,
+    /// Generation style for the stand-in.
+    pub style: Style,
+    /// Optimal/best-known length of the *original* (for documentation
+    /// only; stand-ins have different optima), where the paper's Table II
+    /// quotes tour lengths.
+    pub paper_mf_length: Option<u64>,
+}
+
+/// Seed shared by all catalog stand-ins.
+pub const CATALOG_SEED: u64 = 0x2013_1EEE;
+
+const UNIFORM: Style = Style::Uniform;
+const GRID: Style = Style::Grid;
+
+const fn clustered(c: usize) -> Style {
+    Style::Clustered { clusters: c }
+}
+
+/// All Table II instances, in the paper's row order.
+pub const TABLE2_INSTANCES: &[CatalogEntry] = &[
+    CatalogEntry { paper_name: "berlin52", n: 52, style: UNIFORM, paper_mf_length: None },
+    CatalogEntry { paper_name: "kroE100", n: 100, style: UNIFORM, paper_mf_length: None },
+    CatalogEntry { paper_name: "ch130", n: 130, style: UNIFORM, paper_mf_length: None },
+    CatalogEntry { paper_name: "ch150", n: 150, style: UNIFORM, paper_mf_length: None },
+    CatalogEntry { paper_name: "kroA200", n: 200, style: UNIFORM, paper_mf_length: None },
+    CatalogEntry { paper_name: "ts225", n: 225, style: GRID, paper_mf_length: None },
+    CatalogEntry { paper_name: "pr299", n: 299, style: GRID, paper_mf_length: None },
+    CatalogEntry { paper_name: "pr439", n: 439, style: GRID, paper_mf_length: None },
+    CatalogEntry { paper_name: "rat783", n: 783, style: UNIFORM, paper_mf_length: None },
+    CatalogEntry { paper_name: "vm1084", n: 1084, style: clustered(12), paper_mf_length: None },
+    CatalogEntry { paper_name: "pr2392", n: 2392, style: GRID, paper_mf_length: None },
+    CatalogEntry { paper_name: "pcb3038", n: 3038, style: GRID, paper_mf_length: None },
+    CatalogEntry { paper_name: "fl3795", n: 3795, style: GRID, paper_mf_length: None },
+    CatalogEntry { paper_name: "fnl4461", n: 4461, style: clustered(20), paper_mf_length: None },
+    CatalogEntry { paper_name: "rl5915", n: 5915, style: UNIFORM, paper_mf_length: None },
+    CatalogEntry { paper_name: "pla7397", n: 7397, style: GRID, paper_mf_length: None },
+    CatalogEntry { paper_name: "usa13509", n: 13509, style: clustered(40), paper_mf_length: None },
+    CatalogEntry { paper_name: "d15112", n: 15112, style: clustered(40), paper_mf_length: None },
+    CatalogEntry { paper_name: "d18512", n: 18512, style: clustered(48), paper_mf_length: None },
+    CatalogEntry { paper_name: "sw24978", n: 24978, style: clustered(60), paper_mf_length: None },
+    CatalogEntry { paper_name: "pla33810", n: 33810, style: GRID, paper_mf_length: None },
+    CatalogEntry { paper_name: "pla85900", n: 85900, style: GRID, paper_mf_length: None },
+    CatalogEntry { paper_name: "sra104815", n: 104815, style: clustered(128), paper_mf_length: None },
+    CatalogEntry { paper_name: "usa115475", n: 115475, style: clustered(128), paper_mf_length: None },
+    CatalogEntry { paper_name: "ara238025", n: 238025, style: clustered(192), paper_mf_length: None },
+    CatalogEntry { paper_name: "lra498378", n: 498378, style: clustered(256), paper_mf_length: None },
+    CatalogEntry { paper_name: "lrb744710", n: 744710, style: clustered(256), paper_mf_length: None },
+];
+
+/// Table I's 12 instances (memory-footprint comparison).
+pub const TABLE1_SIZES: &[(&str, usize)] = &[
+    ("kroE100", 100),
+    ("ch130", 130),
+    ("ch150", 150),
+    ("kroA200", 200),
+    ("ts225", 225),
+    ("pr299", 299),
+    ("pr439", 439),
+    ("rat783", 783),
+    ("vm1084", 1084),
+    ("pr2392", 2392),
+    ("pcb3038", 3038),
+    ("fnl4461", 4461),
+];
+
+impl CatalogEntry {
+    /// The stand-in's name (`syn-<paper name>`).
+    pub fn name(&self) -> String {
+        format!("syn-{}", self.paper_name)
+    }
+
+    /// Generate the stand-in instance (deterministic).
+    pub fn instance(&self) -> Instance {
+        generate(&self.name(), self.n, self.style, CATALOG_SEED)
+    }
+}
+
+/// Find a catalog entry by its paper name (e.g. `"pr2392"`).
+pub fn by_name(paper_name: &str) -> Option<&'static CatalogEntry> {
+    TABLE2_INSTANCES
+        .iter()
+        .find(|e| e.paper_name.eq_ignore_ascii_case(paper_name))
+}
+
+/// Entries whose size does not exceed `max_n` — the harnesses use this to
+/// bound functional (as opposed to analytic) execution.
+pub fn up_to(max_n: usize) -> impl Iterator<Item = &'static CatalogEntry> {
+    TABLE2_INSTANCES.iter().filter(move |e| e.n <= max_n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_all_27_rows_in_order() {
+        assert_eq!(TABLE2_INSTANCES.len(), 27);
+        assert_eq!(TABLE2_INSTANCES[0].paper_name, "berlin52");
+        assert_eq!(TABLE2_INSTANCES[26].paper_name, "lrb744710");
+        // Sizes are non-decreasing, as in the paper's table.
+        for w in TABLE2_INSTANCES.windows(2) {
+            assert!(w[0].n <= w[1].n);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let e = by_name("pr2392").unwrap();
+        assert_eq!(e.n, 2392);
+        assert_eq!(by_name("PR2392").unwrap().n, 2392);
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn instances_generate_with_right_sizes() {
+        for e in up_to(1100) {
+            let inst = e.instance();
+            assert_eq!(inst.len(), e.n, "{}", e.paper_name);
+            assert_eq!(inst.name(), e.name());
+        }
+    }
+
+    #[test]
+    fn up_to_filters() {
+        assert_eq!(up_to(250).count(), 6); // 52,100,130,150,200,225
+        assert_eq!(up_to(1_000_000).count(), 27);
+    }
+
+    #[test]
+    fn table1_sizes_match_paper() {
+        assert_eq!(TABLE1_SIZES.len(), 12);
+        assert_eq!(TABLE1_SIZES[0], ("kroE100", 100));
+        assert_eq!(TABLE1_SIZES[11], ("fnl4461", 4461));
+    }
+}

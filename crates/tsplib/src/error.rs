@@ -1,0 +1,80 @@
+//! Error type for TSPLIB parsing and I/O.
+
+use std::fmt;
+
+/// Errors from reading or writing TSPLIB data.
+#[derive(Debug)]
+pub enum TsplibError {
+    /// A required header keyword was absent.
+    MissingKeyword(&'static str),
+    /// A line could not be tokenized.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Structurally valid but semantically broken input.
+    Invalid(String),
+    /// `EDGE_WEIGHT_TYPE` not supported by this library.
+    UnsupportedEdgeWeightType(String),
+    /// `EDGE_WEIGHT_FORMAT` not supported by this library.
+    UnsupportedEdgeWeightFormat(String),
+    /// `TYPE` is not a symmetric TSP.
+    UnsupportedType(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for TsplibError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TsplibError::MissingKeyword(kw) => write!(f, "missing required keyword {kw}"),
+            TsplibError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            TsplibError::Invalid(msg) => write!(f, "invalid instance: {msg}"),
+            TsplibError::UnsupportedEdgeWeightType(t) => {
+                write!(f, "unsupported EDGE_WEIGHT_TYPE: {t}")
+            }
+            TsplibError::UnsupportedEdgeWeightFormat(t) => {
+                write!(f, "unsupported EDGE_WEIGHT_FORMAT: {t}")
+            }
+            TsplibError::UnsupportedType(t) => {
+                write!(f, "unsupported TYPE: {t} (only TSP is handled)")
+            }
+            TsplibError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TsplibError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TsplibError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TsplibError {
+    fn from(e: std::io::Error) -> Self {
+        TsplibError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            TsplibError::MissingKeyword("DIMENSION").to_string(),
+            "missing required keyword DIMENSION"
+        );
+        let e = TsplibError::Syntax {
+            line: 7,
+            message: "bad token".into(),
+        };
+        assert_eq!(e.to_string(), "line 7: bad token");
+    }
+}

@@ -1,0 +1,185 @@
+//! Deterministic synthetic instance generators.
+//!
+//! The paper benchmarks on TSPLIB files we cannot redistribute here, so
+//! the harnesses run on synthetic stand-ins with the same sizes. The
+//! 2-opt kernel cost is a function of `n` alone (a dense triangular
+//! sweep), and point *distribution* only affects tour-quality numbers —
+//! for those, uniform and clustered point fields are the standard
+//! surrogates (cf. the DIMACS TSP Challenge generators).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use tsp_core::{Instance, Metric, Point};
+
+/// Spatial structure of generated points.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Style {
+    /// i.i.d. uniform in a square — like the `rat`/`rl` random instances.
+    Uniform,
+    /// Gaussian clusters — like the clustered DIMACS generators; a
+    /// reasonable surrogate for road-network instances (`sw`, `usa`...).
+    Clustered {
+        /// Number of cluster centres.
+        clusters: usize,
+    },
+    /// A jittered grid — like drilled-board instances (`pcb`, `pr`).
+    Grid,
+}
+
+/// Side length of the generated square, chosen so coordinates stay well
+/// inside `f32`/`i32` range while average nearest-neighbour distances
+/// remain O(100) like typical TSPLIB data.
+fn field_side(n: usize) -> f32 {
+    // Keep density constant: side grows with sqrt(n).
+    (n as f64).sqrt() as f32 * 100.0
+}
+
+/// Generate a deterministic synthetic instance.
+///
+/// The same `(name, n, style, seed)` always yields the same instance, so
+/// every experiment in the repository is reproducible.
+pub fn generate(name: &str, n: usize, style: Style, seed: u64) -> Instance {
+    let mut rng = SmallRng::seed_from_u64(seed ^ fxhash(name));
+    let side = field_side(n);
+    let points = match style {
+        Style::Uniform => (0..n)
+            .map(|_| Point::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side)))
+            .collect(),
+        Style::Clustered { clusters } => {
+            let clusters = clusters.max(1);
+            let centers: Vec<Point> = (0..clusters)
+                .map(|_| Point::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side)))
+                .collect();
+            let sigma = side / (clusters as f32).sqrt() / 6.0;
+            (0..n)
+                .map(|_| {
+                    let c = centers[rng.gen_range(0..clusters)];
+                    let (gx, gy) = gaussian_pair(&mut rng);
+                    Point::new(c.x + gx * sigma, c.y + gy * sigma)
+                })
+                .collect()
+        }
+        Style::Grid => {
+            let cols = (n as f64).sqrt().ceil() as usize;
+            let pitch = side / cols as f32;
+            (0..n)
+                .map(|i| {
+                    let r = i / cols;
+                    let c = i % cols;
+                    let jx: f32 = rng.gen_range(-0.2..0.2);
+                    let jy: f32 = rng.gen_range(-0.2..0.2);
+                    Point::new(
+                        (c as f32 + 0.5 + jx) * pitch,
+                        (r as f32 + 0.5 + jy) * pitch,
+                    )
+                })
+                .collect()
+        }
+    };
+    Instance::new(name, Metric::Euc2d, points)
+        .expect("generator sizes are >= 3")
+        .with_comment(format!("synthetic {style:?} n={n} seed={seed}"))
+}
+
+/// A standard Box–Muller pair of standard normals.
+fn gaussian_pair<R: Rng>(rng: &mut R) -> (f32, f32) {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let r = (-2.0 * u1.ln()).sqrt();
+    let th = 2.0 * std::f64::consts::PI * u2;
+    ((r * th.cos()) as f32, (r * th.sin()) as f32)
+}
+
+/// Tiny deterministic string hash (FxHash-style) to fold instance names
+/// into seeds without pulling in a hashing crate.
+fn fxhash(s: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in s.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate("det", 64, Style::Uniform, 7);
+        let b = generate("det", 64, Style::Uniform, 7);
+        assert_eq!(a.points(), b.points());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate("det", 64, Style::Uniform, 7);
+        let b = generate("det", 64, Style::Uniform, 8);
+        assert_ne!(a.points(), b.points());
+    }
+
+    #[test]
+    fn different_names_differ() {
+        let a = generate("alpha", 64, Style::Uniform, 7);
+        let b = generate("beta", 64, Style::Uniform, 7);
+        assert_ne!(a.points(), b.points());
+    }
+
+    #[test]
+    fn all_styles_produce_requested_size() {
+        for style in [
+            Style::Uniform,
+            Style::Clustered { clusters: 5 },
+            Style::Grid,
+        ] {
+            let inst = generate("sz", 123, style, 1);
+            assert_eq!(inst.len(), 123);
+        }
+    }
+
+    #[test]
+    fn uniform_points_stay_in_field() {
+        let inst = generate("bounds", 500, Style::Uniform, 3);
+        let side = field_side(500);
+        for p in inst.points() {
+            assert!(p.x >= 0.0 && p.x <= side);
+            assert!(p.y >= 0.0 && p.y <= side);
+        }
+    }
+
+    #[test]
+    fn clustered_points_cluster() {
+        // Clustered instances should have a *shorter* greedy tour than a
+        // uniform field of the same size: verify simple statistical
+        // structure — mean nearest-neighbor distance is smaller.
+        let u = generate("c", 300, Style::Uniform, 11);
+        let c = generate("c", 300, Style::Clustered { clusters: 6 }, 11);
+        let mean_nn = |inst: &Instance| -> f64 {
+            let n = inst.len();
+            let mut sum = 0f64;
+            for i in 0..n {
+                let mut best = i32::MAX;
+                for j in 0..n {
+                    if i != j {
+                        best = best.min(inst.dist(i, j));
+                    }
+                }
+                sum += best as f64;
+            }
+            sum / n as f64
+        };
+        assert!(mean_nn(&c) < mean_nn(&u));
+    }
+
+    #[test]
+    fn grid_is_roughly_regular() {
+        let inst = generate("g", 100, Style::Grid, 1);
+        // 10x10 grid with pitch 100: nearest neighbour of every interior
+        // point is ~pitch away, never tiny.
+        for i in 0..inst.len() {
+            for j in (i + 1)..inst.len() {
+                assert!(inst.dist(i, j) > 30, "points {i},{j} too close");
+            }
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! TSPLIB `.tour` files (TYPE: TOUR) — reading reference/optimal tours
+//! and exporting solutions for external verification.
+
+use crate::error::TsplibError;
+use std::fmt::Write as _;
+use tsp_core::Tour;
+
+/// Parse a TSPLIB tour file into a [`Tour`].
+///
+/// Expects a `TOUR_SECTION` of 1-based city ids, optionally terminated
+/// by `-1`, and validates the permutation.
+pub fn parse_tour(text: &str) -> Result<Tour, TsplibError> {
+    let mut ids: Vec<i64> = Vec::new();
+    let mut in_section = false;
+    let mut dimension: Option<usize> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "EOF" {
+            break;
+        }
+        if line == "TOUR_SECTION" {
+            in_section = true;
+            continue;
+        }
+        if !in_section {
+            if let Some((key, value)) = line.split_once(':') {
+                let key = key.trim().to_uppercase();
+                if key == "DIMENSION" {
+                    dimension =
+                        Some(value.trim().parse().map_err(|_| TsplibError::Syntax {
+                            line: lineno + 1,
+                            message: "DIMENSION is not an integer".into(),
+                        })?);
+                } else if key == "TYPE" && value.trim() != "TOUR" {
+                    return Err(TsplibError::UnsupportedType(value.trim().to_string()));
+                }
+            }
+            continue;
+        }
+        for tok in line.split_whitespace() {
+            let id: i64 = tok.parse().map_err(|_| TsplibError::Syntax {
+                line: lineno + 1,
+                message: format!("invalid city id `{tok}`"),
+            })?;
+            if id == -1 {
+                in_section = false;
+                break;
+            }
+            ids.push(id);
+        }
+    }
+    if ids.is_empty() {
+        return Err(TsplibError::Invalid("tour file has no TOUR_SECTION entries".into()));
+    }
+    if let Some(d) = dimension {
+        if ids.len() != d {
+            return Err(TsplibError::Invalid(format!(
+                "DIMENSION is {d} but the tour lists {} cities",
+                ids.len()
+            )));
+        }
+    }
+    let order: Result<Vec<u32>, TsplibError> = ids
+        .iter()
+        .map(|&id| {
+            if id >= 1 && id <= ids.len() as i64 {
+                Ok((id - 1) as u32)
+            } else {
+                Err(TsplibError::Invalid(format!(
+                    "city id {id} out of range 1..={}",
+                    ids.len()
+                )))
+            }
+        })
+        .collect();
+    Tour::new(order?).map_err(|e| TsplibError::Invalid(e.to_string()))
+}
+
+/// Render a [`Tour`] as a TSPLIB tour file.
+pub fn write_tour(name: &str, tour: &Tour) -> String {
+    let mut out = String::new();
+    writeln!(out, "NAME: {name}").unwrap();
+    writeln!(out, "TYPE: TOUR").unwrap();
+    writeln!(out, "DIMENSION: {}", tour.len()).unwrap();
+    writeln!(out, "TOUR_SECTION").unwrap();
+    for &c in tour.as_slice() {
+        writeln!(out, "{}", c + 1).unwrap();
+    }
+    writeln!(out, "-1").unwrap();
+    writeln!(out, "EOF").unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let t = Tour::new(vec![2, 0, 3, 1]).unwrap();
+        let text = write_tour("rt", &t);
+        let back = parse_tour(&text).unwrap();
+        assert_eq!(back.as_slice(), t.as_slice());
+    }
+
+    #[test]
+    fn parses_without_terminator_or_dimension() {
+        let text = "NAME: x\nTYPE: TOUR\nTOUR_SECTION\n3 1 2\nEOF\n";
+        let t = parse_tour(text).unwrap();
+        assert_eq!(t.as_slice(), &[2, 0, 1]);
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        let text = "TOUR_SECTION\n1 2 2\n-1\n";
+        assert!(matches!(parse_tour(text), Err(TsplibError::Invalid(_))));
+    }
+
+    #[test]
+    fn rejects_out_of_range_ids() {
+        let text = "TOUR_SECTION\n1 2 9\n-1\n";
+        assert!(matches!(parse_tour(text), Err(TsplibError::Invalid(_))));
+    }
+
+    #[test]
+    fn rejects_dimension_mismatch() {
+        let text = "DIMENSION: 4\nTOUR_SECTION\n1 2 3\n-1\n";
+        assert!(matches!(parse_tour(text), Err(TsplibError::Invalid(_))));
+    }
+
+    #[test]
+    fn rejects_wrong_type() {
+        let text = "TYPE: TSP\nTOUR_SECTION\n1 2 3\n-1\n";
+        assert!(matches!(parse_tour(text), Err(TsplibError::UnsupportedType(_))));
+    }
+
+    #[test]
+    fn rejects_empty_section() {
+        assert!(parse_tour("TOUR_SECTION\n-1\n").is_err());
+        assert!(parse_tour("NAME: x\n").is_err());
+    }
+}

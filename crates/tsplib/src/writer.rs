@@ -1,0 +1,82 @@
+//! TSPLIB95 writer — enables round-trip tests and exporting generated
+//! instances for use with other solvers.
+
+use std::fmt::Write as _;
+use tsp_core::{Instance, Metric};
+
+/// Render an instance as TSPLIB95 text.
+///
+/// Coordinate instances emit a `NODE_COORD_SECTION`; explicit instances
+/// emit a `FULL_MATRIX` `EDGE_WEIGHT_SECTION`.
+pub fn write(inst: &Instance) -> String {
+    let mut out = String::new();
+    writeln!(out, "NAME: {}", inst.name()).unwrap();
+    writeln!(out, "TYPE: TSP").unwrap();
+    if !inst.comment().is_empty() {
+        writeln!(out, "COMMENT: {}", inst.comment()).unwrap();
+    }
+    writeln!(out, "DIMENSION: {}", inst.len()).unwrap();
+    writeln!(out, "EDGE_WEIGHT_TYPE: {}", inst.metric().keyword()).unwrap();
+    if inst.metric() == Metric::Explicit {
+        writeln!(out, "EDGE_WEIGHT_FORMAT: FULL_MATRIX").unwrap();
+        writeln!(out, "EDGE_WEIGHT_SECTION").unwrap();
+        let n = inst.len();
+        for i in 0..n {
+            let row: Vec<String> = (0..n).map(|j| inst.dist(i, j).to_string()).collect();
+            writeln!(out, "{}", row.join(" ")).unwrap();
+        }
+    } else {
+        writeln!(out, "NODE_COORD_SECTION").unwrap();
+        for (i, p) in inst.points().iter().enumerate() {
+            writeln!(out, "{} {} {}", i + 1, p.x, p.y).unwrap();
+        }
+    }
+    writeln!(out, "EOF").unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use tsp_core::{ExplicitMatrix, Point};
+
+    #[test]
+    fn coordinate_round_trip() {
+        let inst = Instance::new(
+            "rt4",
+            Metric::Euc2d,
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(0.0, 10.0),
+                Point::new(10.0, 10.0),
+                Point::new(10.0, 0.0),
+            ],
+        )
+        .unwrap()
+        .with_comment("round trip");
+        let text = write(&inst);
+        let back = parse(&text).unwrap();
+        assert_eq!(back.name(), "rt4");
+        assert_eq!(back.comment(), "round trip");
+        assert_eq!(back.len(), 4);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(back.dist(i, j), inst.dist(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_round_trip() {
+        let m = ExplicitMatrix::from_upper_row(3, &[4, 8, 15]).unwrap();
+        let inst = Instance::from_matrix("em3", m, None).unwrap();
+        let text = write(&inst);
+        let back = parse(&text).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(back.dist(i, j), inst.dist(i, j));
+            }
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Head-to-head: the three engines on the same instance — verifies they
+//! pick identical moves and contrasts their modeled per-sweep cost
+//! (the single-run comparison behind the paper's Fig. 10).
+//!
+//! ```text
+//! cargo run --release -p tsp-apps --example gpu_vs_cpu -- [n]
+//! ```
+
+use gpu_sim::spec;
+use tsp_2opt::{CpuParallelTwoOpt, GpuTwoOpt, SequentialTwoOpt, TwoOptEngine};
+use tsp_core::Tour;
+use tsp_tsplib::{generate, Style};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2000);
+    let inst = generate("gpu-vs-cpu", n, Style::Uniform, 3);
+    let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(1);
+    let tour = Tour::random(n, &mut rng);
+    println!(
+        "one full 2-opt sweep on {} cities ({} candidate pairs)\n",
+        n,
+        tsp_2opt::indexing::pair_count(n)
+    );
+
+    let mut engines: Vec<Box<dyn TwoOptEngine>> = vec![
+        Box::new(SequentialTwoOpt::new()),
+        Box::new(CpuParallelTwoOpt::with_spec(spec::xeon_e5_2660_x2())),
+        Box::new(GpuTwoOpt::new(spec::gtx_680_cuda())),
+        Box::new(GpuTwoOpt::new(spec::radeon_7970())),
+    ];
+
+    let mut reference = None;
+    let mut baseline_time = None;
+    println!(
+        "{:<45} {:>12} {:>14} {:>10}",
+        "engine", "modeled", "Mchecks/s", "speedup"
+    );
+    println!("{}", "-".repeat(85));
+    for engine in engines.iter_mut() {
+        let start = std::time::Instant::now();
+        let (mv, prof) = engine
+            .best_move(&inst, &tour)
+            .expect("engines run on coordinate instances");
+        let host = start.elapsed().as_secs_f64();
+        match &reference {
+            None => reference = Some(mv),
+            Some(r) => assert_eq!(
+                &mv, r,
+                "engines must agree bit-for-bit on the best move"
+            ),
+        }
+        let t = prof.modeled_seconds();
+        let speedup = match baseline_time {
+            None => {
+                baseline_time = Some(t);
+                1.0
+            }
+            Some(b) => b / t,
+        };
+        println!(
+            "{:<45} {:>9.3} ms {:>12.0} {:>9.1}x   (host: {:.1} ms)",
+            engine.name(),
+            t * 1e3,
+            prof.checks_per_second() / 1e6,
+            speedup,
+            host * 1e3,
+        );
+    }
+    let mv = reference.flatten().expect("a random tour has improving moves");
+    println!(
+        "\nall engines found the same best move: delta {} at positions ({}, {})",
+        mv.delta, mv.i, mv.j
+    );
+}

@@ -1,0 +1,127 @@
+//! A small TSP solver CLI over the library: load a TSPLIB file (or a
+//! catalog stand-in), construct, run ILS with the chosen 2-opt engine.
+//!
+//! ```text
+//! cargo run --release -p tsp-apps --example solve_tsp -- pr2392 --engine gpu --iters 20
+//! cargo run --release -p tsp-apps --example solve_tsp -- path/to/file.tsp --engine cpu
+//! ```
+//!
+//! Arguments:
+//! * `<instance>` — a `.tsp` file path, or a paper instance name from
+//!   the catalog (`berlin52` … `lrb744710`), or `rand:<n>`;
+//! * `--engine gpu|cpu|seq` — which 2-opt engine drives the ILS
+//!   (default `gpu`);
+//! * `--iters <k>` — ILS perturbation iterations (default 10);
+//! * `--construction mf|nn|hilbert|random` — initial tour (default `mf`);
+//! * `--out <file.tour>` — export the best tour as a TSPLIB tour file.
+
+use gpu_sim::spec;
+use tsp_2opt::{CpuParallelTwoOpt, GpuTwoOpt, SequentialTwoOpt, TwoOptEngine};
+use tsp_construction::{multiple_fragment, nearest_neighbor, space_filling};
+use tsp_core::{Instance, Tour};
+use tsp_ils::{iterated_local_search, IlsOptions};
+
+fn load_instance(arg: &str) -> Instance {
+    if let Some(n) = arg.strip_prefix("rand:") {
+        let n: usize = n.parse().expect("rand:<n> needs an integer");
+        return tsp_tsplib::generate(&format!("rand{n}"), n, tsp_tsplib::Style::Uniform, 7);
+    }
+    if arg.ends_with(".tsp") {
+        return tsp_tsplib::load(arg).unwrap_or_else(|e| panic!("cannot load {arg}: {e}"));
+    }
+    match tsp_tsplib::catalog::by_name(arg) {
+        Some(entry) => entry.instance(),
+        None => panic!("unknown instance `{arg}` (not a .tsp path, not in the catalog)"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: solve_tsp <instance> [--engine gpu|cpu|seq] [--iters k] [--construction mf|nn|hilbert|random]");
+        std::process::exit(2);
+    }
+    let mut engine_kind = "gpu".to_string();
+    let mut construction = "mf".to_string();
+    let mut iters: u64 = 10;
+    let mut instance_arg = String::new();
+    let mut out_path: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--engine" => engine_kind = it.next().expect("--engine needs a value"),
+            "--iters" => {
+                iters = it
+                    .next()
+                    .expect("--iters needs a value")
+                    .parse()
+                    .expect("--iters needs an integer")
+            }
+            "--construction" => construction = it.next().expect("--construction needs a value"),
+            "--out" => out_path = Some(it.next().expect("--out needs a path")),
+            other => instance_arg = other.to_string(),
+        }
+    }
+
+    let inst = load_instance(&instance_arg);
+    println!("instance: {} ({} cities)", inst.name(), inst.len());
+
+    let initial = match construction.as_str() {
+        "mf" => multiple_fragment(&inst),
+        "nn" => nearest_neighbor(&inst, 0),
+        "hilbert" => space_filling(&inst),
+        "random" => {
+            let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(7);
+            Tour::random(inst.len(), &mut rng)
+        }
+        other => panic!("unknown construction `{other}`"),
+    };
+    println!(
+        "initial tour ({construction}): length {}",
+        initial.length(&inst)
+    );
+
+    let mut engine: Box<dyn TwoOptEngine> = match engine_kind.as_str() {
+        "gpu" => Box::new(GpuTwoOpt::new(spec::gtx_680_cuda())),
+        "cpu" => Box::new(CpuParallelTwoOpt::new()),
+        "seq" => Box::new(SequentialTwoOpt::new()),
+        other => panic!("unknown engine `{other}`"),
+    };
+    println!("engine: {}", engine.name());
+
+    let out = iterated_local_search(
+        engine.as_mut(),
+        &inst,
+        initial,
+        IlsOptions {
+            max_iterations: Some(iters),
+            ..Default::default()
+        },
+    )
+    .expect("ILS runs on coordinate instances");
+
+    println!("\nconvergence trace (improvements only):");
+    for p in &out.trace {
+        println!(
+            "  iter {:>4}  modeled {:>10.3} ms  length {}",
+            p.iteration,
+            p.modeled_seconds * 1e3,
+            p.best_length
+        );
+    }
+    println!(
+        "\nbest length: {}  ({} ILS iterations, {} accepted)",
+        out.best_length, out.iterations, out.accepted
+    );
+    println!(
+        "modeled device time: {:.3} s | host wall time: {:.3} s",
+        out.profile.modeled_seconds(),
+        out.host_seconds
+    );
+
+    if let Some(path) = out_path {
+        let text = tsp_tsplib::write_tour(inst.name(), &out.best);
+        std::fs::write(&path, text).expect("cannot write tour file");
+        println!("tour written to {path}");
+    }
+}

@@ -1,0 +1,177 @@
+//! Cross-crate behavioural tests of the ILS layer (Algorithm 1).
+
+use gpu_sim::spec;
+use tsp_2opt::{GpuTwoOpt, SequentialTwoOpt};
+use tsp_core::Tour;
+use tsp_ils::{iterated_local_search, Acceptance, IlsOptions, Perturbation};
+use tsp_tsplib::{generate, Style};
+
+fn opts(iters: u64, seed: u64) -> IlsOptions {
+    IlsOptions {
+        max_iterations: Some(iters),
+        seed,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn gpu_and_cpu_ils_follow_identical_quality_trajectories() {
+    // Same seed + bit-identical local searches => identical sequences of
+    // tours; only the modeled time axis differs. This is the invariant
+    // behind Fig. 11's comparison.
+    let inst = generate("ils-traj", 150, Style::Uniform, 5);
+    let start = Tour::identity(150);
+
+    let mut gpu = GpuTwoOpt::new(spec::gtx_680_cuda());
+    let a = iterated_local_search(&mut gpu, &inst, start.clone(), opts(25, 77)).unwrap();
+    let mut cpu = SequentialTwoOpt::new();
+    let b = iterated_local_search(&mut cpu, &inst, start, opts(25, 77)).unwrap();
+
+    assert_eq!(a.best_length, b.best_length);
+    assert_eq!(a.best.as_slice(), b.best.as_slice());
+    assert_eq!(a.accepted, b.accepted);
+    assert_eq!(a.trace.len(), b.trace.len());
+    for (pa, pb) in a.trace.iter().zip(&b.trace) {
+        assert_eq!(pa.iteration, pb.iteration);
+        assert_eq!(pa.best_length, pb.best_length);
+    }
+    // The modeled GPU timeline runs faster than the sequential one.
+    assert!(
+        a.profile.modeled_seconds() < b.profile.modeled_seconds(),
+        "gpu {} vs cpu {}",
+        a.profile.modeled_seconds(),
+        b.profile.modeled_seconds()
+    );
+}
+
+#[test]
+fn acceptance_criteria_order_by_final_quality_sanely() {
+    let inst = generate("ils-accept", 120, Style::Uniform, 8);
+    let start = Tour::identity(120);
+    let run = |acceptance| {
+        let mut eng = SequentialTwoOpt::new();
+        iterated_local_search(
+            &mut eng,
+            &inst,
+            start.clone(),
+            IlsOptions {
+                max_iterations: Some(40),
+                acceptance,
+                seed: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    };
+    let better = run(Acceptance::Better);
+    let always = run(Acceptance::Always);
+    // Elitist acceptance must not lose to a pure random walk here, and
+    // both must at least reach a 2-opt local minimum's quality.
+    assert!(better.best_length <= always.best_length + always.best_length / 20);
+    assert!(better.accepted <= better.iterations);
+    assert_eq!(always.accepted, always.iterations);
+}
+
+#[test]
+fn perturbation_strength_affects_exploration() {
+    let inst = generate("ils-perturb", 100, Style::Uniform, 2);
+    let start = Tour::identity(100);
+    for perturbation in [
+        Perturbation::DoubleBridge,
+        Perturbation::MultiBridge { count: 4 },
+        Perturbation::RandomReversal,
+    ] {
+        let mut eng = SequentialTwoOpt::new();
+        let out = iterated_local_search(
+            &mut eng,
+            &inst,
+            start.clone(),
+            IlsOptions {
+                max_iterations: Some(15),
+                perturbation,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        out.best.validate().unwrap();
+        assert!(out.iterations == 15);
+        assert!(!out.trace.is_empty());
+    }
+}
+
+#[test]
+fn stagnation_restart_recovers_a_random_walk() {
+    // Under Always-acceptance the incumbent random-walks away from the
+    // best; stagnation restarts snap it back, so the restarted run never
+    // ends with an incumbent-driven best worse than the plain walk's.
+    let inst = generate("ils-restart", 120, Style::Uniform, 12);
+    let start = Tour::identity(120);
+    let run = |restart| {
+        let mut eng = SequentialTwoOpt::new();
+        iterated_local_search(
+            &mut eng,
+            &inst,
+            start.clone(),
+            IlsOptions {
+                max_iterations: Some(40),
+                acceptance: Acceptance::Always,
+                stagnation_restart: restart,
+                seed: 9,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    };
+    let without = run(None);
+    let with = run(Some(4));
+    assert_eq!(without.restarts, 0);
+    assert!(with.restarts > 0, "no restart triggered");
+    // Both remain valid and tracked.
+    with.best.validate().unwrap();
+    assert!(with.best_length <= with.trace.first().unwrap().best_length);
+}
+
+#[test]
+fn parallel_multistart_runs_gpu_chains() {
+    use tsp_ils::parallel_multistart;
+    let inst = generate("ils-ms", 100, Style::Uniform, 14);
+    let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(15);
+    let starts: Vec<Tour> = (0..3).map(|_| Tour::random(100, &mut rng)).collect();
+    let (best, all) = parallel_multistart(
+        || GpuTwoOpt::new(spec::gtx_680_cuda()),
+        &inst,
+        starts,
+        IlsOptions {
+            max_iterations: Some(8),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(all.len(), 3);
+    for o in &all {
+        assert!(best.best_length <= o.best_length);
+        o.best.validate().unwrap();
+    }
+}
+
+#[test]
+fn budget_termination_works_under_each_engine() {
+    let inst = generate("ils-budget", 200, Style::Uniform, 6);
+    let start = Tour::identity(200);
+    let mut gpu = GpuTwoOpt::new(spec::gtx_680_cuda());
+    let out = iterated_local_search(
+        &mut gpu,
+        &inst,
+        start,
+        IlsOptions {
+            max_iterations: None,
+            max_modeled_seconds: Some(0.01),
+            seed: 1,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(out.profile.modeled_seconds() >= 0.01);
+    // It must have stopped shortly after the budget, not run forever.
+    assert!(out.profile.modeled_seconds() < 0.1);
+}

@@ -1,0 +1,129 @@
+//! End-to-end pipeline tests spanning every crate: instance generation →
+//! construction → 2-opt descent (all engines) → ILS.
+
+use gpu_sim::spec;
+use tsp_2opt::{optimize, CpuParallelTwoOpt, GpuTwoOpt, SearchOptions, SequentialTwoOpt};
+use tsp_construction::{multiple_fragment, nearest_neighbor, space_filling};
+use tsp_core::Tour;
+use tsp_ils::{iterated_local_search, IlsOptions};
+use tsp_tsplib::{generate, Style};
+
+#[test]
+fn full_pipeline_on_every_backend_agrees() {
+    let inst = generate("pipe", 300, Style::Clustered { clusters: 6 }, 11);
+    let start = multiple_fragment(&inst);
+    let initial_len = start.length(&inst);
+
+    let mut results = Vec::new();
+    {
+        let mut t = start.clone();
+        let mut e = SequentialTwoOpt::new();
+        let s = optimize(&mut e, &inst, &mut t, SearchOptions::default()).unwrap();
+        results.push((t, s));
+    }
+    {
+        let mut t = start.clone();
+        let mut e = CpuParallelTwoOpt::new();
+        let s = optimize(&mut e, &inst, &mut t, SearchOptions::default()).unwrap();
+        results.push((t, s));
+    }
+    for dev in [spec::gtx_680_cuda(), spec::radeon_7970()] {
+        let mut t = start.clone();
+        let mut e = GpuTwoOpt::new(dev);
+        let s = optimize(&mut e, &inst, &mut t, SearchOptions::default()).unwrap();
+        results.push((t, s));
+    }
+
+    let (ref_tour, ref_stats) = &results[0];
+    for (t, s) in &results[1..] {
+        assert_eq!(t.as_slice(), ref_tour.as_slice());
+        assert_eq!(s.final_length, ref_stats.final_length);
+        assert_eq!(s.sweeps, ref_stats.sweeps);
+    }
+    assert!(ref_stats.final_length < initial_len);
+    assert!(ref_stats.reached_local_minimum);
+    ref_tour.validate().unwrap();
+}
+
+#[test]
+fn every_construction_feeds_the_descent() {
+    let inst = generate("constructions", 200, Style::Uniform, 4);
+    let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(2);
+    let starts = vec![
+        ("mf", multiple_fragment(&inst)),
+        ("nn", nearest_neighbor(&inst, 0)),
+        ("hilbert", space_filling(&inst)),
+        ("random", Tour::random(200, &mut rng)),
+    ];
+    let mut final_lengths = Vec::new();
+    for (name, mut tour) in starts {
+        let mut e = GpuTwoOpt::new(spec::gtx_680_cuda());
+        let s = optimize(&mut e, &inst, &mut tour, SearchOptions::default()).unwrap();
+        assert!(s.reached_local_minimum, "{name}");
+        tour.validate().unwrap();
+        final_lengths.push((name, s.initial_length, s.final_length));
+    }
+    // All local minima land in a sane band: within 20% of each other.
+    let best = final_lengths.iter().map(|&(_, _, f)| f).min().unwrap();
+    for (name, initial, fin) in &final_lengths {
+        assert!(fin <= initial, "{name}");
+        assert!(
+            (*fin - best) as f64 / best as f64 <= 0.20,
+            "{name}: {fin} vs best {best}"
+        );
+    }
+}
+
+#[test]
+fn ils_with_gpu_engine_beats_plain_descent() {
+    let inst = generate("ils-pipe", 250, Style::Uniform, 9);
+    let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(1);
+    let start = Tour::random(250, &mut rng);
+
+    let mut plain = start.clone();
+    let mut e = GpuTwoOpt::new(spec::gtx_680_cuda());
+    let plain_stats = optimize(&mut e, &inst, &mut plain, SearchOptions::default()).unwrap();
+
+    let out = iterated_local_search(
+        &mut e,
+        &inst,
+        start,
+        IlsOptions {
+            max_iterations: Some(50),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(
+        out.best_length <= plain_stats.final_length,
+        "ILS {} vs plain {}",
+        out.best_length,
+        plain_stats.final_length
+    );
+    out.best.validate().unwrap();
+}
+
+#[test]
+fn explicit_matrix_instances_run_on_the_sequential_engine() {
+    // Build a small explicit instance from generated coordinates, then
+    // check the LUT path agrees with the coordinate path.
+    let coord_inst = generate("explicit-src", 60, Style::Uniform, 3);
+    let n = coord_inst.len();
+    let mut w = vec![0i32; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            w[i * n + j] = coord_inst.dist(i, j);
+        }
+    }
+    let matrix = tsp_core::ExplicitMatrix::from_full(n, w).unwrap();
+    let explicit_inst = tsp_core::Instance::from_matrix("explicit", matrix, None).unwrap();
+
+    let start = multiple_fragment(&coord_inst);
+    let mut t1 = start.clone();
+    let mut t2 = start;
+    let mut e = SequentialTwoOpt::new();
+    let s1 = optimize(&mut e, &coord_inst, &mut t1, SearchOptions::default()).unwrap();
+    let s2 = optimize(&mut e, &explicit_inst, &mut t2, SearchOptions::default()).unwrap();
+    assert_eq!(s1.final_length, s2.final_length);
+    assert_eq!(t1.as_slice(), t2.as_slice());
+}

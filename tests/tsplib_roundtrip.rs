@@ -1,0 +1,97 @@
+//! Property tests for TSPLIB I/O: writer → parser is the identity on
+//! the distance function.
+
+use proptest::prelude::*;
+use tsp_core::{ExplicitMatrix, Instance, Metric, Point};
+use tsp_tsplib::{parse, write};
+
+fn arb_points() -> impl Strategy<Value = Vec<Point>> {
+    proptest::collection::vec((-5000i32..5000, -5000i32..5000), 3..40).prop_map(|v| {
+        v.into_iter()
+            .map(|(x, y)| Point::new(x as f32, y as f32))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn coordinate_round_trip_preserves_distances(pts in arb_points()) {
+        let n = pts.len();
+        let inst = Instance::new("prop-rt", Metric::Euc2d, pts).unwrap();
+        let back = parse(&write(&inst)).unwrap();
+        prop_assert_eq!(back.len(), n);
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert_eq!(back.dist(i, j), inst.dist(i, j), "({}, {})", i, j);
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_round_trip_preserves_distances(
+        n in 3usize..15,
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let vals: Vec<i32> = (0..n * (n - 1) / 2).map(|_| rng.gen_range(1..10_000)).collect();
+        let m = ExplicitMatrix::from_upper_row(n, &vals).unwrap();
+        let inst = Instance::from_matrix("prop-em", m, None).unwrap();
+        let back = parse(&write(&inst)).unwrap();
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert_eq!(back.dist(i, j), inst.dist(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_text(text in "\\PC{0,400}") {
+        // Outcome may be Ok or Err; it must not panic.
+        let _ = parse(&text);
+    }
+
+    #[test]
+    fn parser_never_panics_on_structured_garbage(
+        dim in 0usize..20,
+        body in proptest::collection::vec((0usize..25, -1000.0f64..1000.0, -1000.0f64..1000.0), 0..25),
+    ) {
+        let mut text = format!(
+            "NAME: garbage\nTYPE: TSP\nDIMENSION: {dim}\nEDGE_WEIGHT_TYPE: EUC_2D\nNODE_COORD_SECTION\n"
+        );
+        for (id, x, y) in body {
+            text.push_str(&format!("{id} {x} {y}\n"));
+        }
+        text.push_str("EOF\n");
+        let _ = parse(&text);
+    }
+}
+
+#[test]
+fn all_supported_metrics_round_trip() {
+    for metric in [
+        Metric::Euc2d,
+        Metric::Ceil2d,
+        Metric::Man2d,
+        Metric::Max2d,
+        Metric::Att,
+        Metric::Geo,
+    ] {
+        let pts = vec![
+            Point::new(10.25, 20.5),
+            Point::new(30.0, 4.0),
+            Point::new(18.5, 19.25),
+            Point::new(2.0, 40.75),
+        ];
+        let inst = Instance::new("metric-rt", metric, pts).unwrap();
+        let back = parse(&write(&inst)).unwrap();
+        assert_eq!(back.metric(), metric);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(back.dist(i, j), inst.dist(i, j), "{metric:?} ({i},{j})");
+            }
+        }
+    }
+}
