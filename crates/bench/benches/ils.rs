@@ -47,7 +47,7 @@ fn configured() -> Criterion {
         .warm_up_time(std::time::Duration::from_millis(500))
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = configured();
     targets = bench_ils_iteration

@@ -31,7 +31,10 @@ fn bench_kernels(c: &mut Criterion) {
                 out.fill(EMPTY_KEY);
                 dev.launch(
                     LaunchConfig::new(32, 1024),
-                    &OrderedSharedKernel { coords: &coords, out: &out },
+                    &OrderedSharedKernel {
+                        coords: &coords,
+                        out: &out,
+                    },
                 )
                 .unwrap()
             })
@@ -45,7 +48,11 @@ fn bench_kernels(c: &mut Criterion) {
         let out = dev.alloc_atomic(1, EMPTY_KEY).unwrap();
         b.iter(|| {
             out.fill(EMPTY_KEY);
-            let k = TiledKernel { coords: &coords, out: &out, tile: 1250 };
+            let k = TiledKernel {
+                coords: &coords,
+                out: &out,
+                tile: 1250,
+            };
             let grid = k.grid_dim();
             dev.launch(LaunchConfig::new(grid, 1024), &k).unwrap()
         })
@@ -60,7 +67,7 @@ fn configured() -> Criterion {
         .warm_up_time(std::time::Duration::from_millis(500))
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = configured();
     targets = bench_kernels

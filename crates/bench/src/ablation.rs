@@ -66,12 +66,18 @@ pub fn striding_variants(n: usize) -> Vec<Row> {
     vec![
         Row {
             label: format!("strided, {} blocks (paper)", dev.compute_units * 4),
-            values: vec![fmt_time(strided.kernel_seconds), format!("{:.0}", strided.gflops())],
+            values: vec![
+                fmt_time(strided.kernel_seconds),
+                format!("{:.0}", strided.gflops()),
+            ],
             metric: strided.kernel_seconds,
         },
         Row {
             label: format!("one thread per pair, {one_per_pair_grid} blocks"),
-            values: vec![fmt_time(flat.kernel_seconds), format!("{:.0}", flat.gflops())],
+            values: vec![
+                fmt_time(flat.kernel_seconds),
+                format!("{:.0}", flat.gflops()),
+            ],
             metric: flat.kernel_seconds,
         },
     ]
@@ -165,8 +171,7 @@ pub fn multi_device_scaling(n: usize) -> Vec<Row> {
     let tour = Tour::identity(n);
     (1..=4usize)
         .map(|count| {
-            let mut eng =
-                tsp_2opt::MultiGpuTwoOpt::homogeneous(spec::gtx_680_cuda(), count);
+            let mut eng = tsp_2opt::MultiGpuTwoOpt::homogeneous(spec::gtx_680_cuda(), count);
             let (_, p) = eng.best_move(&inst, &tour).expect("kernel runs");
             Row {
                 label: format!("{count} x GTX 680"),
@@ -203,6 +208,61 @@ pub fn transfer_overlap(sizes: &[usize]) -> Vec<Row> {
                     label: format!("n = {n}, overlapped"),
                     values: vec![fmt_time(pp.modeled_seconds())],
                     metric: pp.modeled_seconds(),
+                },
+            ]
+        })
+        .collect()
+}
+
+/// Device-resident descent vs. the serial Algorithm-2 pipeline: same
+/// random start, capped descents, modeled per-descent totals. The
+/// resident pipeline replaces the per-sweep coordinate upload with an
+/// on-device segment reversal, so its advantage grows with `n` (the
+/// upload costs `latency + 8n bytes` per sweep; the reversal only moves
+/// the reversed segment through global memory).
+pub fn device_resident(sizes: &[usize]) -> Vec<Row> {
+    let dev = spec::gtx_680_cuda();
+    let opts = SearchOptions {
+        max_sweeps: Some(5),
+    };
+    sizes
+        .iter()
+        .flat_map(|&n| {
+            let inst = generate("abl-resident", n, Style::Uniform, 13);
+            let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(14);
+            let start = Tour::random(n, &mut rng);
+
+            let mut t_serial = start.clone();
+            let mut serial = GpuTwoOpt::new(dev.clone());
+            let a = optimize(&mut serial, &inst, &mut t_serial, opts).expect("descent");
+
+            let mut t_resident = start.clone();
+            let mut resident = GpuTwoOpt::new(dev.clone()).with_strategy(Strategy::DeviceResident);
+            let b = optimize(&mut resident, &inst, &mut t_resident, opts).expect("descent");
+            assert_eq!(
+                t_serial.as_slice(),
+                t_resident.as_slice(),
+                "pipelines must walk the same descent"
+            );
+
+            [
+                Row {
+                    label: format!("n = {n}, serial Algorithm 2 (paper)"),
+                    values: vec![
+                        fmt_time(a.profile.modeled_seconds()),
+                        fmt_time(a.profile.h2d_seconds),
+                        fmt_time(a.profile.reversal_seconds),
+                    ],
+                    metric: a.profile.modeled_seconds(),
+                },
+                Row {
+                    label: format!("n = {n}, device-resident"),
+                    values: vec![
+                        fmt_time(b.profile.modeled_seconds()),
+                        fmt_time(b.profile.h2d_seconds),
+                        fmt_time(b.profile.reversal_seconds),
+                    ],
+                    metric: b.profile.modeled_seconds(),
                 },
             ]
         })
@@ -282,10 +342,7 @@ mod tests {
         let rows = tile_sizes(20_000);
         // Staging overhead shrinks with tile size: the largest tile must
         // beat the smallest clearly.
-        assert!(
-            rows.last().unwrap().metric < rows[0].metric,
-            "{rows:?}"
-        );
+        assert!(rows.last().unwrap().metric < rows[0].metric, "{rows:?}");
     }
 
     #[test]
@@ -323,6 +380,28 @@ mod tests {
         assert!(small_gain > large_gain, "{small_gain} vs {large_gain}");
         assert!(small_gain > 1.25, "small-instance gain {small_gain}");
         assert!(large_gain < 1.25, "large-instance gain {large_gain}");
+    }
+
+    #[test]
+    fn device_resident_wins_from_a_thousand_cities() {
+        // ISSUE acceptance: the modeled per-descent total of the
+        // resident pipeline is strictly below serial Algorithm 2 for
+        // n >= 1000 (1536 here); at 512 the rows exist for the report
+        // but no ordering is asserted (upload latency is small there).
+        let rows = device_resident(&[512, 1536]);
+        assert_eq!(rows.len(), 4);
+        let serial_1536 = rows[2].metric;
+        let resident_1536 = rows[3].metric;
+        assert!(
+            resident_1536 < serial_1536,
+            "resident {resident_1536} vs serial {serial_1536}"
+        );
+        // The steady state really dropped the upload: the resident
+        // descent's accumulated H2D is one refresh, far below serial's
+        // five sweeps' worth.
+        let serial_h2d = &rows[2].values[1];
+        let resident_h2d = &rows[3].values[1];
+        assert_ne!(serial_h2d, resident_h2d);
     }
 
     #[test]

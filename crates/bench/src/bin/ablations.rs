@@ -68,4 +68,12 @@ fn main() {
             &ablation::transfer_overlap(&[200, 1000, 4000]),
         )
     );
+    print!(
+        "{}",
+        ablation::render(
+            "Serial Algorithm 2 vs device-resident descent (5 sweeps)",
+            &["configuration", "total", "h2d", "reversal"],
+            &ablation::device_resident(&[512, 1536]),
+        )
+    );
 }

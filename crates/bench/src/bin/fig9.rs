@@ -18,5 +18,7 @@ fn main() {
         "{}",
         tsp_bench::common::ascii_chart("GFLOP/s vs problem size (log x)", &xs, &series, 16, 72)
     );
-    println!("\nPaper reference points: 680 GFLOP/s (GTX 680 CUDA), 830 GFLOP/s (Radeon 7970 OpenCL).");
+    println!(
+        "\nPaper reference points: 680 GFLOP/s (GTX 680 CUDA), 830 GFLOP/s (Radeon 7970 OpenCL)."
+    );
 }

@@ -9,10 +9,7 @@
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let csv = args.iter().any(|a| a == "--csv");
-    let cap: usize = args
-        .iter()
-        .find_map(|s| s.parse().ok())
-        .unwrap_or(2500);
+    let cap: usize = args.iter().find_map(|s| s.parse().ok()).unwrap_or(2500);
     eprintln!("running functional rows up to n = {cap} (argument overrides)...");
     let rows = tsp_bench::table2::compute(cap);
     if csv {

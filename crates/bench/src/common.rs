@@ -52,7 +52,7 @@ pub fn fmt_count(v: u64) -> String {
     let s = v.to_string();
     let mut out = String::new();
     for (i, ch) in s.chars().enumerate() {
-        if i > 0 && (s.len() - i) % 3 == 0 {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
             out.push(',');
         }
         out.push(ch);
@@ -82,7 +82,10 @@ pub fn ascii_chart(
         .flat_map(|(_, ys)| ys.iter().copied())
         .fold(f64::MAX, f64::min)
         .min(y_max);
-    let (lx0, lx1) = (xs[0].max(1e-300).log10(), xs[xs.len() - 1].max(1e-300).log10());
+    let (lx0, lx1) = (
+        xs[0].max(1e-300).log10(),
+        xs[xs.len() - 1].max(1e-300).log10(),
+    );
     let span = (y_max - y_min).max(1e-300);
 
     let mut grid = vec![vec![' '; width]; height];
@@ -131,7 +134,10 @@ mod tests {
         let s = ascii_chart(
             "t",
             &xs,
-            &[("up", vec![0.0, 50.0, 100.0]), ("down", vec![100.0, 50.0, 0.0])],
+            &[
+                ("up", vec![0.0, 50.0, 100.0]),
+                ("down", vec![100.0, 50.0, 0.0]),
+            ],
             8,
             40,
         );
@@ -154,10 +160,7 @@ mod tests {
     fn table_aligns_columns() {
         let t = render_table(
             &["a", "bb"],
-            &[
-                vec!["1".into(), "2".into()],
-                vec!["333".into(), "4".into()],
-            ],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

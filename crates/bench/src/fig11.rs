@@ -102,7 +102,10 @@ pub fn render(c: &Convergence) -> String {
         })
         .collect();
     out.push_str("GPU (GTX 680 CUDA):\n");
-    out.push_str(&render_table(&["iter", "modeled time", "best length"], &rows));
+    out.push_str(&render_table(
+        &["iter", "modeled time", "best length"],
+        &rows,
+    ));
     let rows: Vec<Vec<String>> = c
         .cpu
         .iter()
@@ -115,7 +118,10 @@ pub fn render(c: &Convergence) -> String {
         })
         .collect();
     out.push_str("\nSequential CPU:\n");
-    out.push_str(&render_table(&["iter", "modeled time", "best length"], &rows));
+    out.push_str(&render_table(
+        &["iter", "modeled time", "best length"],
+        &rows,
+    ));
     out.push_str(&format!(
         "\nConvergence speedup to final quality: {:.0}x (paper: up to 300x at n = 24978)\n",
         c.speedup_to_quality

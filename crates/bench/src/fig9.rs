@@ -104,9 +104,17 @@ mod tests {
     fn peak_values_match_paper_observations() {
         let curves = compute();
         // §V: 680 GFLOP/s GTX 680 CUDA, 830 GFLOP/s Radeon 7970.
-        let gtx = curve(&curves, "GTX 680 (CUDA)").gflops.last().copied().unwrap();
+        let gtx = curve(&curves, "GTX 680 (CUDA)")
+            .gflops
+            .last()
+            .copied()
+            .unwrap();
         assert!((600.0..760.0).contains(&gtx), "GTX peak {gtx}");
-        let radeon = curve(&curves, "7970 (OpenCL)").gflops.last().copied().unwrap();
+        let radeon = curve(&curves, "7970 (OpenCL)")
+            .gflops
+            .last()
+            .copied()
+            .unwrap();
         assert!((740.0..920.0).contains(&radeon), "Radeon peak {radeon}");
     }
 
@@ -117,8 +125,8 @@ mod tests {
         assert!(gtx.gflops[0] < gtx.gflops[4]);
         assert!(gtx.gflops[4] < *gtx.gflops.last().unwrap());
         let xeon = curve(&curves, "Xeon");
-        let spread = xeon.gflops.iter().cloned().fold(f64::MIN, f64::max)
-            / xeon.gflops[2].max(1e-9);
+        let spread =
+            xeon.gflops.iter().cloned().fold(f64::MIN, f64::max) / xeon.gflops[2].max(1e-9);
         assert!(spread < 1.5, "CPU curve should be nearly flat: {spread}");
     }
 

@@ -46,10 +46,7 @@ pub fn render(rows: &[Row]) -> String {
             ]
         })
         .collect();
-    render_table(
-        &["Problem", "Cities", "LUT (MB)", "Coords (kB)"],
-        &body,
-    )
+    render_table(&["Problem", "Cities", "LUT (MB)", "Coords (kB)"], &body)
 }
 
 #[cfg(test)]

@@ -13,7 +13,7 @@
 
 use crate::common::{fmt_time, render_table};
 use gpu_sim::spec;
-use tsp_2opt::gpu::model::model_auto_sweep;
+use tsp_2opt::gpu::model::{model_auto_sweep, model_device_resident_sweep};
 use tsp_2opt::{optimize, GpuTwoOpt, SearchOptions, TwoOptEngine};
 use tsp_construction::multiple_fragment;
 use tsp_tsplib::catalog::TABLE2_INSTANCES;
@@ -33,6 +33,9 @@ pub struct Row {
     pub d2h_s: f64,
     /// Modeled total sweep time, seconds.
     pub total_s: f64,
+    /// Modeled steady-state sweep of the device-resident pipeline
+    /// (on-device reversal of a worst-case n/2 segment, no H2D), seconds.
+    pub resident_total_s: f64,
     /// Candidate checks per second (millions).
     pub mchecks_per_s: f64,
     /// Modeled time from the MF tour to the first 2-opt local minimum.
@@ -78,6 +81,7 @@ pub fn compute(max_functional_n: usize) -> Vec<Row> {
                 h2d_s: sweep.h2d_seconds,
                 d2h_s: sweep.d2h_seconds,
                 total_s: sweep.modeled_seconds(),
+                resident_total_s: model_device_resident_sweep(&dev_spec, n, n / 2).total_seconds(),
                 mchecks_per_s: sweep.checks_per_second() / 1e6,
                 time_to_min_s: stats.modeled_seconds(),
                 sweeps: stats.sweeps,
@@ -95,6 +99,7 @@ pub fn compute(max_functional_n: usize) -> Vec<Row> {
                 h2d_s: m.h2d_seconds,
                 d2h_s: m.d2h_seconds,
                 total_s: m.total_seconds(),
+                resident_total_s: model_device_resident_sweep(&dev_spec, n, n / 2).total_seconds(),
                 mchecks_per_s: m.checks_per_second() / 1e6,
                 time_to_min_s: sweeps as f64 * m.total_seconds(),
                 sweeps,
@@ -110,17 +115,18 @@ pub fn compute(max_functional_n: usize) -> Vec<Row> {
 /// Render as CSV for external processing.
 pub fn to_csv(rows: &[Row]) -> String {
     let mut out = String::from(
-        "problem,cities,kernel_s,h2d_s,d2h_s,total_s,mchecks_per_s,time_to_min_s,sweeps,mf_len,twoopt_len,functional\n",
+        "problem,cities,kernel_s,h2d_s,d2h_s,total_s,resident_total_s,mchecks_per_s,time_to_min_s,sweeps,mf_len,twoopt_len,functional\n",
     );
     for r in rows {
         out.push_str(&format!(
-            "{},{},{:.9},{:.9},{:.9},{:.9},{:.1},{:.6},{},{},{},{}\n",
+            "{},{},{:.9},{:.9},{:.9},{:.9},{:.9},{:.1},{:.6},{},{},{},{}\n",
             r.name,
             r.n,
             r.kernel_s,
             r.h2d_s,
             r.d2h_s,
             r.total_s,
+            r.resident_total_s,
             r.mchecks_per_s,
             r.time_to_min_s,
             r.sweeps,
@@ -145,6 +151,7 @@ pub fn render(rows: &[Row]) -> String {
                 fmt_time(r.h2d_s),
                 fmt_time(r.d2h_s),
                 fmt_time(r.total_s),
+                fmt_time(r.resident_total_s),
                 format!("{:.0}", r.mchecks_per_s),
                 format!("{tilde}{}", fmt_time(r.time_to_min_s)),
                 r.initial_len.map_or("-".into(), |v| v.to_string()),
@@ -160,6 +167,7 @@ pub fn render(rows: &[Row]) -> String {
             "H2D",
             "D2H",
             "Total",
+            "Resident",
             "Mchecks/s",
             "To 1st min",
             "MF len",
@@ -233,5 +241,25 @@ mod tests {
         assert!(s.contains("syn-berlin52"));
         assert!(s.contains('~'));
         assert!(s.contains("Mchecks/s"));
+        assert!(s.contains("Resident"));
+    }
+
+    #[test]
+    fn resident_column_beats_serial_for_large_rows() {
+        let rows = compute(60);
+        for r in &rows {
+            assert!(r.resident_total_s > 0.0, "{}", r.name);
+            // From ~1000 cities the per-sweep upload exceeds the
+            // worst-case on-device reversal.
+            if r.n >= 1000 {
+                assert!(
+                    r.resident_total_s < r.total_s,
+                    "{}: resident {} vs serial {}",
+                    r.name,
+                    r.resident_total_s,
+                    r.total_s
+                );
+            }
+        }
     }
 }

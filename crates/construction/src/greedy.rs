@@ -54,7 +54,11 @@ pub fn multiple_fragment_knn(inst: &Instance, k: usize) -> Tour {
     let mut edges: Vec<(i32, u32, u32)> = Vec::with_capacity(n * k);
     for i in 0..n {
         for j in grid.knn(i, k) {
-            let (a, b) = if (i as u32) < j { (i as u32, j) } else { (j, i as u32) };
+            let (a, b) = if (i as u32) < j {
+                (i as u32, j)
+            } else {
+                (j, i as u32)
+            };
             edges.push((inst.dist(a as usize, b as usize), a, b));
         }
     }
@@ -75,10 +79,10 @@ fn build_from_edges(
     let mut accepted = 0usize;
 
     let add = |a: usize,
-                   b: usize,
-                   degree: &mut Vec<u8>,
-                   adj: &mut Vec<[u32; 2]>,
-                   uf: &mut UnionFind|
+               b: usize,
+               degree: &mut Vec<u8>,
+               adj: &mut Vec<[u32; 2]>,
+               uf: &mut UnionFind|
      -> bool {
         if degree[a] >= 2 || degree[b] >= 2 || !uf.union(a, b) {
             return false;
@@ -110,7 +114,7 @@ fn build_from_edges(
                     continue;
                 }
                 let d = inst.dist(a, b);
-                if best.map_or(true, |(bd, _, _)| d < bd) {
+                if best.is_none_or(|(bd, _, _)| d < bd) {
                     best = Some((d, a, b));
                 }
             }
@@ -179,8 +183,7 @@ mod tests {
         let exact = multiple_fragment_exact(&inst);
         let knn = multiple_fragment_knn(&inst, 10);
         knn.validate().unwrap();
-        let gap = (knn.length(&inst) - exact.length(&inst)) as f64
-            / exact.length(&inst) as f64;
+        let gap = (knn.length(&inst) - exact.length(&inst)) as f64 / exact.length(&inst) as f64;
         assert!(gap.abs() < 0.10, "k-NN MF gap vs exact = {gap:.3}");
     }
 
@@ -198,11 +201,8 @@ mod tests {
     fn works_on_explicit_matrices() {
         use tsp_core::ExplicitMatrix;
         // A 4-cycle where 0-1,1-2,2-3,3-0 are cheap.
-        let m = ExplicitMatrix::from_full(
-            4,
-            vec![0, 1, 9, 1, 1, 0, 1, 9, 9, 1, 0, 1, 1, 9, 1, 0],
-        )
-        .unwrap();
+        let m = ExplicitMatrix::from_full(4, vec![0, 1, 9, 1, 1, 0, 1, 9, 9, 1, 0, 1, 1, 9, 1, 0])
+            .unwrap();
         let inst = Instance::from_matrix("cyc", m, None).unwrap();
         let t = multiple_fragment(&inst);
         assert_eq!(t.length(&inst), 4);

@@ -29,8 +29,8 @@ fn nearest_neighbor_scan(inst: &Instance, start: usize) -> Tour {
     for _ in 1..n {
         let mut best = usize::MAX;
         let mut best_d = i32::MAX;
-        for j in 0..n {
-            if !visited[j] {
+        for (j, &seen) in visited.iter().enumerate() {
+            if !seen {
                 let d = inst.dist(cur, j);
                 if d < best_d {
                     best_d = d;
@@ -59,11 +59,7 @@ fn nearest_neighbor_grid(inst: &Instance, start: usize) -> Tour {
         let mut next = None;
         let mut k = 8;
         while k <= 4096 {
-            if let Some(&j) = grid
-                .knn(cur, k)
-                .iter()
-                .find(|&&j| !visited[j as usize])
-            {
+            if let Some(&j) = grid.knn(cur, k).iter().find(|&&j| !visited[j as usize]) {
                 next = Some(j as usize);
                 break;
             }
@@ -114,8 +110,7 @@ mod tests {
         b.validate().unwrap();
         // Both are greedy NN; the grid version may differ on distance
         // ties only, so lengths must be very close.
-        let gap =
-            (a.length(&inst) - b.length(&inst)).abs() as f64 / a.length(&inst) as f64;
+        let gap = (a.length(&inst) - b.length(&inst)).abs() as f64 / a.length(&inst) as f64;
         assert!(gap < 0.02, "gap {gap}");
     }
 

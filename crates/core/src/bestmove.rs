@@ -134,7 +134,17 @@ mod tests {
 
     #[test]
     fn improves_is_strictly_negative() {
-        assert!(BestMove { delta: -1, i: 0, j: 1 }.improves());
-        assert!(!BestMove { delta: 0, i: 0, j: 1 }.improves());
+        assert!(BestMove {
+            delta: -1,
+            i: 0,
+            j: 1
+        }
+        .improves());
+        assert!(!BestMove {
+            delta: 0,
+            i: 0,
+            j: 1
+        }
+        .improves());
     }
 }

@@ -136,6 +136,7 @@ impl TwoOptEngine for CpuParallelTwoOpt {
             pairs_checked: pairs,
             flops: flops_for_pairs(pairs),
             kernel_seconds: model_cpu_sweep_seconds(&self.spec, pairs),
+            reversal_seconds: 0.0,
             h2d_seconds: 0.0,
             d2h_seconds: 0.0,
         };
@@ -155,12 +156,7 @@ mod tests {
         use rand::Rng;
         let mut rng = SmallRng::seed_from_u64(seed);
         let pts = (0..n)
-            .map(|_| {
-                Point::new(
-                    rng.gen_range(0.0..1000.0f32),
-                    rng.gen_range(0.0..1000.0f32),
-                )
-            })
+            .map(|_| Point::new(rng.gen_range(0.0..1000.0f32), rng.gen_range(0.0..1000.0f32)))
             .collect();
         Instance::new(format!("rand{n}"), Metric::Euc2d, pts).unwrap()
     }

@@ -32,7 +32,10 @@ pub struct DlbStats {
 /// sweeps, exactly like [`crate::pruned`].
 pub fn optimize(inst: &Instance, tour: &mut Tour, k: usize) -> DlbStats {
     let n = tour.len();
-    let mut stats = DlbStats { moves: 0, checks: 0 };
+    let mut stats = DlbStats {
+        moves: 0,
+        checks: 0,
+    };
     if n < 4 {
         return stats;
     }
@@ -143,12 +146,7 @@ mod tests {
     fn random_instance(n: usize, seed: u64) -> Instance {
         let mut rng = SmallRng::seed_from_u64(seed);
         let pts = (0..n)
-            .map(|_| {
-                Point::new(
-                    rng.gen_range(0.0..1000.0f32),
-                    rng.gen_range(0.0..1000.0f32),
-                )
-            })
+            .map(|_| Point::new(rng.gen_range(0.0..1000.0f32), rng.gen_range(0.0..1000.0f32)))
             .collect();
         Instance::new(format!("rand{n}"), Metric::Euc2d, pts).unwrap()
     }

@@ -1,0 +1,87 @@
+//! Where a kernel's route-ordered coordinates live in global memory.
+//!
+//! The serial Algorithm-2 engine re-uploads the host-ordered coordinates
+//! every sweep into an immutable [`DeviceBuffer`]. The device-resident
+//! pipeline instead keeps them in an [`AtomicDeviceBuffer`] of packed
+//! 64-bit words (the simulator's only kernel-writable memory), so the
+//! segment-reversal kernel can apply the previous sweep's move in place.
+//! The evaluation kernels are generic over [`CoordSource`], which keeps
+//! the two paths running *identical* staging and evaluation code — and
+//! therefore identical work counters, so the serial path's modeled times
+//! are untouched by the resident machinery.
+
+use gpu_sim::{AtomicDeviceBuffer, DeviceBuffer};
+use tsp_core::Point;
+
+/// A global-memory array of route-ordered coordinates, readable one
+/// point (8 bytes) at a time. Implementors only provide the access;
+/// kernels account the traffic themselves.
+pub trait CoordSource: Sync {
+    /// Number of points.
+    fn len(&self) -> usize;
+
+    /// `true` when the source holds no points.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The point at route position `k` — one 8-byte global read.
+    fn get(&self, k: usize) -> Point;
+}
+
+impl CoordSource for &DeviceBuffer<Point> {
+    #[inline]
+    fn len(&self) -> usize {
+        DeviceBuffer::len(self)
+    }
+
+    #[inline]
+    fn get(&self, k: usize) -> Point {
+        self.as_slice()[k]
+    }
+}
+
+/// Route-ordered coordinates resident in an atomic word buffer, one
+/// [`Point::to_device_word`]-packed point per 64-bit word.
+pub struct ResidentCoords<'a>(pub &'a AtomicDeviceBuffer);
+
+impl CoordSource for ResidentCoords<'_> {
+    #[inline]
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    #[inline]
+    fn get(&self, k: usize) -> Point {
+        Point::from_device_word(self.0.load(k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{spec, Device};
+
+    #[test]
+    fn both_sources_serve_the_same_points() {
+        let dev = Device::new(spec::gtx_680_cuda());
+        let pts = vec![
+            Point::new(1.0, 2.0),
+            Point::new(-3.5, 4.25),
+            Point::new(0.0, -0.0),
+        ];
+        let (plain, _) = dev.copy_to_device(&pts).unwrap();
+        let words: Vec<u64> = pts.iter().map(|p| p.to_device_word()).collect();
+        let resident = dev.alloc_atomic(words.len(), 0).unwrap();
+        dev.upload_atomic(&resident, &words).unwrap();
+
+        let a = &plain;
+        let b = ResidentCoords(&resident);
+        assert_eq!(CoordSource::len(&a), b.len());
+        for k in 0..pts.len() {
+            let (pa, pb) = (a.get(k), b.get(k));
+            assert_eq!(pa.x.to_bits(), pb.x.to_bits());
+            assert_eq!(pa.y.to_bits(), pb.y.to_bits());
+        }
+    }
+}

@@ -11,13 +11,21 @@
 //!    packed atomic-min reduction);
 //! 4. read the one-word result back (modeled D2H);
 //! 5. the caller applies the move on the host and repeats.
+//!
+//! The [`Strategy::DeviceResident`] variant breaks with step 1/2: the
+//! coordinates are uploaded **once**, a [`SegmentReversalKernel`] applies
+//! the previous sweep's move in place between evaluations, and the packed
+//! best-move word is the only steady-state PCIe traffic. The serial path
+//! above stays untouched as the faithful Algorithm-2 baseline.
 
 use crate::bestmove::{unpack, BestMove, EMPTY_KEY, MAX_POSITION};
+use crate::gpu::coords::ResidentCoords;
+use crate::gpu::reverse::SegmentReversalKernel;
 use crate::gpu::small::{GlobalOnlyKernel, OrderedSharedKernel, UnorderedSharedKernel};
 use crate::gpu::tiled::{auto_tile, TiledKernel};
-use crate::indexing::pair_count;
+use crate::indexing::{pair_count, tile_pair_count};
 use crate::search::{EngineError, StepProfile, TwoOptEngine};
-use gpu_sim::{Device, DeviceSpec, LaunchConfig};
+use gpu_sim::{AtomicDeviceBuffer, Device, DeviceSpec, LaunchConfig};
 use tsp_core::{Instance, Point, Tour};
 
 /// Kernel selection strategy.
@@ -38,6 +46,45 @@ pub enum Strategy {
     GlobalOnly,
     /// Ablation: route-indirected coordinates (Optimization 2 off).
     Unordered,
+    /// Device-resident descent: coordinates uploaded once, the previous
+    /// sweep's move applied on device by the segment-reversal kernel;
+    /// the evaluation kernel (shared or tiled, same thresholds as
+    /// [`Strategy::Auto`]) reads the resident array. The steady-state
+    /// sweep cost is `reversal + kernel + d2h` — no per-sweep upload.
+    DeviceResident,
+}
+
+/// Which evaluation kernel the resident pipeline runs — resolved once
+/// per instance size with the same thresholds as [`Strategy::Auto`].
+#[derive(Debug, Clone, Copy)]
+enum ResidentEval {
+    Shared,
+    Tiled { tile: usize },
+}
+
+/// Per-instance state of the device-resident pipeline: the resident
+/// coordinate words, a host mirror of the route they encode (to detect
+/// external tour edits, e.g. an ILS perturbation), the move announced
+/// last sweep but not yet applied on device, and the cached launch
+/// plans — geometry is recomputed only when the instance size changes.
+struct ResidentState {
+    coords: AtomicDeviceBuffer,
+    mirror: Vec<u32>,
+    pending: Option<BestMove>,
+    eval: ResidentEval,
+    eval_cfg: LaunchConfig,
+    reverse_cfg: LaunchConfig,
+}
+
+/// How to bring the resident coordinates in sync with the caller's tour
+/// before evaluating a sweep.
+enum SyncAction {
+    /// Already in sync (repeated query without an applied move).
+    InSync,
+    /// The pending move explains the tour exactly: reverse on device.
+    Reverse { from: usize, len: usize },
+    /// Anything else (first sweep, size change, external edit): re-upload.
+    Refresh,
 }
 
 /// GPU 2-opt engine over a simulated device.
@@ -48,6 +95,7 @@ pub struct GpuTwoOpt {
     grid_dim: u32,
     overlap_transfers: bool,
     ordered: Vec<Point>,
+    resident: Option<ResidentState>,
 }
 
 impl GpuTwoOpt {
@@ -64,6 +112,7 @@ impl GpuTwoOpt {
             grid_dim,
             overlap_transfers: false,
             ordered: Vec::new(),
+            resident: None,
         }
     }
 
@@ -118,6 +167,70 @@ impl GpuTwoOpt {
             s => s,
         }
     }
+
+    /// (Re)build the resident pipeline state for an instance of `n`
+    /// cities, caching the evaluation plan and launch geometries. A
+    /// fresh state starts with an empty mirror, which forces the first
+    /// sweep down the [`SyncAction::Refresh`] (upload) path.
+    fn ensure_resident_state(&mut self, n: usize) -> Result<(), EngineError> {
+        if self
+            .resident
+            .as_ref()
+            .is_some_and(|st| st.coords.len() == n)
+        {
+            return Ok(());
+        }
+        let spec = self.device.spec();
+        let shared = spec.shared_mem_per_block;
+        let (eval, eval_cfg) = if n * Point::DEVICE_BYTES <= shared {
+            (
+                ResidentEval::Shared,
+                LaunchConfig::new(self.grid_dim, self.block_dim),
+            )
+        } else {
+            let tile = auto_tile(n, shared, self.grid_dim);
+            let tiles = ((n - 1) as u64).div_ceil(tile as u64);
+            let grid = tile_pair_count(tiles) as u32;
+            (
+                ResidentEval::Tiled { tile },
+                LaunchConfig::new(grid, self.block_dim),
+            )
+        };
+        // The reversal moves at most n/2 words; one block per compute
+        // unit saturates the modeled global pipe without wave overhead.
+        let reverse_cfg = LaunchConfig::new(spec.compute_units, self.block_dim);
+        self.resident = Some(ResidentState {
+            coords: self.device.alloc_atomic(n, 0)?,
+            mirror: Vec::new(),
+            pending: None,
+            eval,
+            eval_cfg,
+            reverse_cfg,
+        });
+        Ok(())
+    }
+
+    /// Decide how to sync the resident coordinates with `tour`. When the
+    /// move announced last sweep explains the tour exactly, the mirror is
+    /// updated in place and the device gets a reversal; any divergence
+    /// (first sweep, external tour edit) falls back to a full upload.
+    fn resident_sync_action(&mut self, tour: &Tour) -> SyncAction {
+        let st = self.resident.as_mut().expect("state built by caller");
+        match st.pending.take() {
+            Some(m) => {
+                let from = m.i as usize + 1;
+                let len = (m.j - m.i) as usize;
+                st.mirror[from..from + len].reverse();
+                if st.mirror == tour.as_slice() {
+                    SyncAction::Reverse { from, len }
+                } else {
+                    SyncAction::Refresh
+                }
+            }
+            None if st.mirror == tour.as_slice() => SyncAction::InSync,
+            None => SyncAction::Refresh,
+        }
+    }
 }
 
 impl TwoOptEngine for GpuTwoOpt {
@@ -149,13 +262,18 @@ impl TwoOptEngine for GpuTwoOpt {
             )));
         }
 
-        // Host-side ordering (Optimization 2).
-        self.ordered.clear();
-        self.ordered
-            .extend(tour.as_slice().iter().map(|&c| inst.point(c as usize)));
+        let resolved = self.resolve(n);
+
+        // Host-side ordering (Optimization 2) — skipped by the resident
+        // pipeline, which keeps the ordered array on the device.
+        if !matches!(resolved, Strategy::DeviceResident) {
+            self.ordered.clear();
+            self.ordered
+                .extend(tour.as_slice().iter().map(|&c| inst.point(c as usize)));
+        }
 
         let out = self.device.alloc_atomic(1, EMPTY_KEY)?;
-        let (kernel_profile, h2d_seconds) = match self.resolve(n) {
+        let (kernel_profile, h2d_seconds, reversal_seconds) = match resolved {
             Strategy::Shared => {
                 let (coords, h2d) = self.device.copy_to_device(&self.ordered)?;
                 let k = OrderedSharedKernel {
@@ -165,7 +283,7 @@ impl TwoOptEngine for GpuTwoOpt {
                 let p = self
                     .device
                     .launch(LaunchConfig::new(self.grid_dim, self.block_dim), &k)?;
-                (p, h2d.seconds)
+                (p, h2d.seconds, 0.0)
             }
             Strategy::GlobalOnly => {
                 let (coords, h2d) = self.device.copy_to_device(&self.ordered)?;
@@ -176,7 +294,7 @@ impl TwoOptEngine for GpuTwoOpt {
                 let p = self
                     .device
                     .launch(LaunchConfig::new(self.grid_dim, self.block_dim), &k)?;
-                (p, h2d.seconds)
+                (p, h2d.seconds, 0.0)
             }
             Strategy::Unordered => {
                 // Fig. 5 layout: city-indexed coordinates + the route.
@@ -190,13 +308,11 @@ impl TwoOptEngine for GpuTwoOpt {
                 let p = self
                     .device
                     .launch(LaunchConfig::new(self.grid_dim, self.block_dim), &k)?;
-                (p, h2d_a.seconds + h2d_b.seconds)
+                (p, h2d_a.seconds + h2d_b.seconds, 0.0)
             }
             Strategy::Tiled { tile } => {
                 if tile == 0 {
-                    return Err(EngineError::Unsupported(
-                        "tile size must be nonzero".into(),
-                    ));
+                    return Err(EngineError::Unsupported("tile size must be nonzero".into()));
                 }
                 let (coords, h2d) = self.device.copy_to_device(&self.ordered)?;
                 let k = TiledKernel {
@@ -208,13 +324,68 @@ impl TwoOptEngine for GpuTwoOpt {
                 let p = self
                     .device
                     .launch(LaunchConfig::new(grid, self.block_dim), &k)?;
-                (p, h2d.seconds)
+                (p, h2d.seconds, 0.0)
+            }
+            Strategy::DeviceResident => {
+                self.ensure_resident_state(n)?;
+                let (h2d, reversal) = match self.resident_sync_action(tour) {
+                    SyncAction::InSync => (0.0, 0.0),
+                    SyncAction::Reverse { from, len } => {
+                        let st = self.resident.as_ref().expect("state built above");
+                        let k = SegmentReversalKernel {
+                            coords: &st.coords,
+                            from,
+                            len,
+                        };
+                        let p = self.device.launch(st.reverse_cfg, &k)?;
+                        (0.0, p.seconds)
+                    }
+                    SyncAction::Refresh => {
+                        let words: Vec<u64> = tour
+                            .as_slice()
+                            .iter()
+                            .map(|&c| inst.point(c as usize).to_device_word())
+                            .collect();
+                        let st = self.resident.as_mut().expect("state built above");
+                        st.mirror.clear();
+                        st.mirror.extend_from_slice(tour.as_slice());
+                        let t = self.device.upload_atomic(&st.coords, &words)?;
+                        (t.seconds, 0.0)
+                    }
+                };
+                let st = self.resident.as_ref().expect("state built above");
+                let p = match st.eval {
+                    ResidentEval::Shared => self.device.launch(
+                        st.eval_cfg,
+                        &OrderedSharedKernel {
+                            coords: ResidentCoords(&st.coords),
+                            out: &out,
+                        },
+                    )?,
+                    ResidentEval::Tiled { tile } => self.device.launch(
+                        st.eval_cfg,
+                        &TiledKernel {
+                            coords: ResidentCoords(&st.coords),
+                            out: &out,
+                            tile,
+                        },
+                    )?,
+                };
+                (p, h2d, reversal)
             }
             Strategy::Auto => unreachable!("resolved above"),
         };
 
         let (words, d2h) = self.device.copy_from_device(&out);
         let best = unpack(words[0]).filter(BestMove::improves);
+
+        // Remember the move we just announced so the next sweep can apply
+        // it on device instead of re-uploading.
+        if matches!(resolved, Strategy::DeviceResident) {
+            if let Some(st) = self.resident.as_mut() {
+                st.pending = best;
+            }
+        }
 
         // Under overlapped streams the H2D copy hides behind the kernel;
         // report the hidden portion as zero so modeled_seconds() reflects
@@ -228,6 +399,7 @@ impl TwoOptEngine for GpuTwoOpt {
             pairs_checked: pair_count(n),
             flops: kernel_profile.counters.flops,
             kernel_seconds,
+            reversal_seconds,
             h2d_seconds,
             d2h_seconds: d2h.seconds,
         };
@@ -249,12 +421,7 @@ mod tests {
     fn random_instance(n: usize, seed: u64) -> Instance {
         let mut rng = SmallRng::seed_from_u64(seed);
         let pts = (0..n)
-            .map(|_| {
-                Point::new(
-                    rng.gen_range(0.0..1000.0f32),
-                    rng.gen_range(0.0..1000.0f32),
-                )
-            })
+            .map(|_| Point::new(rng.gen_range(0.0..1000.0f32), rng.gen_range(0.0..1000.0f32)))
             .collect();
         Instance::new(format!("rand{n}"), Metric::Euc2d, pts).unwrap()
     }
@@ -272,15 +439,121 @@ mod tests {
             Strategy::Tiled { tile: 17 },
             Strategy::GlobalOnly,
             Strategy::Unordered,
+            Strategy::DeviceResident,
         ] {
             let mut gpu = GpuTwoOpt::new(spec::gtx_680_cuda()).with_strategy(strategy);
             let (got, prof) = gpu.best_move(&inst, &tour).unwrap();
             assert_eq!(got, expected, "{strategy:?}");
             assert_eq!(prof.pairs_checked, pair_count(80));
             assert!(prof.kernel_seconds > 0.0);
+            // Every pipeline pays an upload on its first sweep — the
+            // resident one included.
             assert!(prof.h2d_seconds > 0.0);
             assert!(prof.d2h_seconds > 0.0);
         }
+    }
+
+    #[test]
+    fn device_resident_descent_matches_serial_pipeline() {
+        let inst = random_instance(60, 21);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let start = Tour::random(60, &mut rng);
+
+        let mut t_serial = start.clone();
+        let mut t_resident = start.clone();
+        let mut serial = GpuTwoOpt::new(spec::gtx_680_cuda());
+        let mut resident =
+            GpuTwoOpt::new(spec::gtx_680_cuda()).with_strategy(Strategy::DeviceResident);
+        let a = optimize(&mut serial, &inst, &mut t_serial, SearchOptions::default()).unwrap();
+        let b = optimize(
+            &mut resident,
+            &inst,
+            &mut t_resident,
+            SearchOptions::default(),
+        )
+        .unwrap();
+
+        assert_eq!(t_serial.as_slice(), t_resident.as_slice());
+        assert_eq!(a.final_length, b.final_length);
+        assert_eq!(a.sweeps, b.sweeps);
+        assert!(b.reached_local_minimum);
+        // Only the first sweep uploads: the accumulated H2D equals one
+        // refresh, and the on-device reversals carry the rest.
+        assert!(b.profile.h2d_seconds < a.profile.h2d_seconds);
+        assert!(b.profile.reversal_seconds > 0.0);
+        assert_eq!(a.profile.reversal_seconds, 0.0);
+    }
+
+    #[test]
+    fn device_resident_steady_state_has_no_upload() {
+        let inst = random_instance(120, 3);
+        let mut rng = SmallRng::seed_from_u64(15);
+        let mut tour = Tour::random(120, &mut rng);
+        let mut gpu = GpuTwoOpt::new(spec::gtx_680_cuda()).with_strategy(Strategy::DeviceResident);
+
+        // Sweep 1: cold start — the refresh upload is paid here.
+        let (mv, p1) = gpu.best_move(&inst, &tour).unwrap();
+        assert!(p1.h2d_seconds > 0.0);
+        assert_eq!(p1.reversal_seconds, 0.0);
+        let m = mv.expect("a random 120-city tour has an improving move");
+        tour.apply_two_opt(m.i as usize, m.j as usize);
+
+        // Sweep 2: steady state — reversal replaces the upload, and the
+        // move still matches the serial reference.
+        let (mv2, p2) = gpu.best_move(&inst, &tour).unwrap();
+        assert_eq!(p2.h2d_seconds, 0.0);
+        assert!(p2.reversal_seconds > 0.0);
+        assert!(
+            (p2.modeled_seconds() - (p2.kernel_seconds + p2.reversal_seconds + p2.d2h_seconds))
+                .abs()
+                < 1e-18
+        );
+        let mut seq = SequentialTwoOpt::new();
+        let (expected, _) = seq.best_move(&inst, &tour).unwrap();
+        assert_eq!(mv2, expected);
+    }
+
+    #[test]
+    fn device_resident_recovers_from_external_tour_edits() {
+        // An ILS-style perturbation between sweeps invalidates the
+        // resident coordinates; the engine must fall back to a refresh
+        // and still answer correctly.
+        let inst = random_instance(90, 33);
+        let mut tour = Tour::identity(90);
+        let mut gpu = GpuTwoOpt::new(spec::gtx_680_cuda()).with_strategy(Strategy::DeviceResident);
+        let (mv, _) = gpu.best_move(&inst, &tour).unwrap();
+        let m = mv.expect("identity tour of a random instance improves");
+        tour.apply_two_opt(m.i as usize, m.j as usize);
+        // External edit the engine was never told about.
+        tour.apply_two_opt(10, 60);
+
+        let (got, p) = gpu.best_move(&inst, &tour).unwrap();
+        assert!(p.h2d_seconds > 0.0, "divergence must force a re-upload");
+        assert_eq!(p.reversal_seconds, 0.0);
+        let mut seq = SequentialTwoOpt::new();
+        let (expected, _) = seq.best_move(&inst, &tour).unwrap();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn device_resident_uses_tiled_eval_past_shared_capacity() {
+        let mut s = spec::gtx_680_cuda();
+        s.shared_mem_per_block = 512; // 64 points max -> 65 needs tiles
+        let inst = random_instance(65, 44);
+        let mut tour = Tour::identity(65);
+        let mut gpu = GpuTwoOpt::new(s).with_strategy(Strategy::DeviceResident);
+        let (mv, _) = gpu.best_move(&inst, &tour).unwrap();
+        let mut seq = SequentialTwoOpt::new();
+        let (expected, _) = seq.best_move(&inst, &tour).unwrap();
+        assert_eq!(mv, expected);
+        // And the reversal path works on the tiled eval too.
+        let m = mv.unwrap();
+        tour.apply_two_opt(m.i as usize, m.j as usize);
+        let (mv2, p2) = gpu.best_move(&inst, &tour).unwrap();
+        let (expected2, _) = seq.best_move(&inst, &tour).unwrap();
+        assert_eq!(mv2, expected2);
+        assert_eq!(p2.h2d_seconds, 0.0);
+        assert!(p2.reversal_seconds > 0.0);
     }
 
     #[test]
@@ -352,7 +625,9 @@ mod tests {
         let tour = Tour::identity(100);
         assert!(matches!(
             gpu.best_move(&inst, &tour),
-            Err(EngineError::Sim(gpu_sim::SimError::SharedMemExceeded { .. }))
+            Err(EngineError::Sim(
+                gpu_sim::SimError::SharedMemExceeded { .. }
+            ))
         ));
     }
 

@@ -12,15 +12,27 @@
 //! * [`engine`] — the [`GpuTwoOpt`] engine that drives
 //!   Algorithm 2 end-to-end (copy → kernel → read result) and picks the
 //!   right kernel for the instance size.
+//! * [`coords`] / [`reverse`] — the device-resident pipeline: the
+//!   evaluation kernels read coordinates through a [`CoordSource`]
+//!   (either the per-sweep upload buffer or a resident atomic array),
+//!   and [`SegmentReversalKernel`] applies the previous sweep's move in
+//!   place so the steady state never re-uploads.
+//!
+//! [`CoordSource`]: coords::CoordSource
+//! [`SegmentReversalKernel`]: reverse::SegmentReversalKernel
 
+pub mod coords;
 pub mod engine;
 pub mod model;
 pub mod multi;
 pub mod oropt_kernel;
+pub mod reverse;
 pub mod small;
 pub mod tiled;
 
+pub use coords::{CoordSource, ResidentCoords};
 pub use engine::{GpuTwoOpt, Strategy};
-pub use model::{model_auto_sweep, ModeledSweep};
+pub use model::{model_auto_sweep, model_device_resident_sweep, model_reversal, ModeledSweep};
 pub use multi::MultiGpuTwoOpt;
 pub use oropt_kernel::GpuOrOpt;
+pub use reverse::SegmentReversalKernel;

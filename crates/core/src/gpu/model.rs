@@ -25,6 +25,9 @@ pub struct ModeledSweep {
     pub flops: u64,
     /// Modeled kernel time, seconds.
     pub kernel_seconds: f64,
+    /// Modeled on-device segment reversal applying the previous sweep's
+    /// move (device-resident pipeline; zero for the re-upload pipelines).
+    pub reversal_seconds: f64,
     /// Modeled host→device copy (ordered coordinates), seconds.
     pub h2d_seconds: f64,
     /// Modeled device→host copy (one result word), seconds.
@@ -32,9 +35,9 @@ pub struct ModeledSweep {
 }
 
 impl ModeledSweep {
-    /// Kernel + transfer time — the "GPU total time" column.
+    /// Kernel + reversal + transfer time — the "GPU total time" column.
     pub fn total_seconds(&self) -> f64 {
-        self.kernel_seconds + self.h2d_seconds + self.d2h_seconds
+        self.kernel_seconds + self.reversal_seconds + self.h2d_seconds + self.d2h_seconds
     }
 
     /// Achieved GFLOP/s over the kernel time (Fig. 9's metric).
@@ -151,6 +154,39 @@ pub fn model_auto_sweep(spec: &DeviceSpec, n: usize) -> ModeledSweep {
     }
 }
 
+/// Model the segment-reversal kernel applying a 2-opt move that reverses
+/// `seg_len` positions, with the engine's reversal launch (one block per
+/// compute unit, maximum block size). Returns the kernel time in seconds.
+pub fn model_reversal(spec: &DeviceSpec, seg_len: usize) -> f64 {
+    let cfg = LaunchConfig::new(spec.compute_units, spec.max_threads_per_block.min(1024));
+    let swaps = (seg_len / 2) as u64;
+    let total_threads = cfg.total_threads();
+    let mut block_times = Vec::with_capacity(cfg.grid_dim as usize);
+    for b in 0..cfg.grid_dim as u64 {
+        let t0 = b * cfg.block_dim as u64;
+        let t1 = t0 + cfg.block_dim as u64;
+        let done = strided_iterations(swaps, total_threads, t0, t1);
+        let c = PerfCounters {
+            global_read_bytes: done * 16,
+            global_write_bytes: done * 16,
+            ..Default::default()
+        };
+        block_times.push(timing::block_time(spec, &c, 1));
+    }
+    timing::kernel_time(spec, &block_times)
+}
+
+/// Model one steady-state sweep of the device-resident pipeline: the
+/// auto-selected evaluation kernel reading the resident array, preceded
+/// by an on-device reversal of `seg_len` positions, with **no** H2D
+/// upload — only the one-word result readback crosses PCIe.
+pub fn model_device_resident_sweep(spec: &DeviceSpec, n: usize, seg_len: usize) -> ModeledSweep {
+    let mut m = model_auto_sweep(spec, n);
+    m.h2d_seconds = 0.0;
+    m.reversal_seconds = model_reversal(spec, seg_len);
+    m
+}
+
 fn finish(
     spec: &DeviceSpec,
     n: usize,
@@ -162,6 +198,7 @@ fn finish(
         pairs,
         flops,
         kernel_seconds: timing::kernel_time(spec, block_times),
+        reversal_seconds: 0.0,
         h2d_seconds: timing::h2d_time(spec, (n * Point::DEVICE_BYTES) as u64),
         d2h_seconds: timing::d2h_time(spec, 8),
     }
@@ -192,11 +229,7 @@ mod tests {
             let tour = Tour::identity(n);
             let mut eng = GpuTwoOpt::new(spec::gtx_680_cuda());
             let (_, prof) = eng.best_move(&inst, &tour).unwrap();
-            let m = model_small_sweep(
-                &spec::gtx_680_cuda(),
-                n,
-                LaunchConfig::new(8 * 4, 1024),
-            );
+            let m = model_small_sweep(&spec::gtx_680_cuda(), n, LaunchConfig::new(8 * 4, 1024));
             assert_eq!(m.flops, prof.flops, "n={n}");
             assert!(
                 (m.kernel_seconds - prof.kernel_seconds).abs() < 1e-12,
@@ -248,6 +281,125 @@ mod tests {
             "gflops = {}",
             m.gflops()
         );
+    }
+
+    #[test]
+    fn resident_model_matches_functional_steady_state_exactly() {
+        use crate::search::{optimize, SearchOptions};
+        let n = 300;
+        let inst = instance(n);
+        let mut tour = Tour::identity(n);
+        let dev_spec = spec::gtx_680_cuda();
+        let mut eng = GpuTwoOpt::new(dev_spec.clone()).with_strategy(Strategy::DeviceResident);
+
+        // Sweep 1 (cold): pays the upload and announces a move.
+        let (mv, _) = eng.best_move(&inst, &tour).unwrap();
+        let m1 = mv.expect("identity tour improves");
+        tour.apply_two_opt(m1.i as usize, m1.j as usize);
+        // Sweep 2 (steady state): reversal + eval + d2h only.
+        let (_, prof) = eng.best_move(&inst, &tour).unwrap();
+
+        let seg_len = (m1.j - m1.i) as usize;
+        let m = model_device_resident_sweep(&dev_spec, n, seg_len);
+        assert_eq!(m.flops, prof.flops);
+        assert_eq!(prof.h2d_seconds, 0.0);
+        assert_eq!(m.h2d_seconds, 0.0);
+        assert!((m.kernel_seconds - prof.kernel_seconds).abs() < 1e-12);
+        assert!((m.reversal_seconds - prof.reversal_seconds).abs() < 1e-12);
+        assert!((m.d2h_seconds - prof.d2h_seconds).abs() < 1e-15);
+
+        // And the full descent's accumulated profile stays consistent:
+        // reversal time only ever comes from the resident pipeline.
+        let stats = optimize(&mut eng, &inst, &mut tour, SearchOptions::default()).unwrap();
+        assert!(stats.profile.reversal_seconds >= 0.0);
+    }
+
+    #[test]
+    fn resident_sweep_beats_serial_sweep_from_a_thousand_cities() {
+        // The economics the pipeline exists for: the per-sweep H2D upload
+        // (latency + n·8 bytes over PCIe) costs more than an on-device
+        // reversal of even the worst-case n/2 segment once n >= 1000.
+        let dev_spec = spec::gtx_680_cuda();
+        for n in [1000usize, 2000, 6144, 10_000, 100_000] {
+            let serial = model_auto_sweep(&dev_spec, n);
+            let resident = model_device_resident_sweep(&dev_spec, n, n / 2);
+            assert!(
+                resident.total_seconds() < serial.total_seconds(),
+                "n={n}: resident {} vs serial {}",
+                resident.total_seconds(),
+                serial.total_seconds()
+            );
+        }
+    }
+
+    #[test]
+    fn reversal_scales_with_segment_length_but_stays_cheap() {
+        let dev_spec = spec::gtx_680_cuda();
+        let short = model_reversal(&dev_spec, 10);
+        let long = model_reversal(&dev_spec, 100_000);
+        assert!(short <= long);
+        // Even a 100k-position reversal (800 kB of traffic on a 192 GB/s
+        // pipe) stays well under the 46 us upload latency it replaces.
+        assert!(long < 46e-6, "reversal of 100k positions = {long} s");
+    }
+
+    #[test]
+    fn serial_model_golden_values_are_unchanged() {
+        // Regression pin: the device-resident machinery must not perturb
+        // the serial Algorithm-2 model by a single bit. These literals
+        // were captured from `model_auto_sweep` before the resident
+        // pipeline landed; a drift here means the eval kernels' counter
+        // accounting changed.
+        let dev_spec = spec::gtx_680_cuda();
+        let golden: [(usize, f64, f64, f64, u64); 5] = [
+            (
+                52,
+                1.896_318_501_407_977_2e-5,
+                4.616_64e-5,
+                1.050_32e-5,
+                40_800,
+            ),
+            (
+                512,
+                2.468_990_879_670_491e-5,
+                4.763_84e-5,
+                1.050_32e-5,
+                4_169_760,
+            ),
+            (
+                1000,
+                4.204_277_728_743_747e-5,
+                4.92e-5,
+                1.050_32e-5,
+                15_952_032,
+            ),
+            (
+                6144,
+                9.066_012_474_257_135e-4,
+                6.566_08e-5,
+                1.050_32e-5,
+                603_684_896,
+            ),
+            (
+                33_810,
+                2.844_794_654_015_886_7e-2,
+                1.541_92e-4,
+                1.050_32e-5,
+                18_288_234_752,
+            ),
+        ];
+        for (n, kernel, h2d, d2h, flops) in golden {
+            let m = model_auto_sweep(&dev_spec, n);
+            assert_eq!(m.flops, flops, "n={n}");
+            assert!(
+                (m.kernel_seconds - kernel).abs() <= kernel * 1e-12,
+                "n={n}: kernel {} vs golden {kernel}",
+                m.kernel_seconds
+            );
+            assert!((m.h2d_seconds - h2d).abs() <= h2d * 1e-12, "n={n}");
+            assert!((m.d2h_seconds - d2h).abs() <= d2h * 1e-12, "n={n}");
+            assert_eq!(m.reversal_seconds, 0.0, "serial sweeps never reverse");
+        }
     }
 
     #[test]

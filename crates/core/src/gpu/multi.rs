@@ -197,14 +197,17 @@ impl Kernel for TiledRangeKernel<'_> {
                         let (li, lj) = index_to_pair(k);
                         (a_start + li as usize, a_start + lj as usize)
                     } else {
-                        ((k % na as u64) as usize + a_start, (k / na as u64) as usize + b_start)
+                        (
+                            (k % na as u64) as usize + a_start,
+                            (k / na as u64) as usize + b_start,
+                        )
                     };
                     let pi = shared.a[i - a_start];
                     let pi1 = shared.a[i + 1 - a_start];
                     let pj = shared.b[j - b_start];
                     let pj1 = shared.b[j + 1 - b_start];
-                    let d = (pi.euc_2d(&pj) + pi1.euc_2d(&pj1))
-                        - (pi.euc_2d(&pi1) + pj.euc_2d(&pj1));
+                    let d =
+                        (pi.euc_2d(&pj) + pi1.euc_2d(&pj1)) - (pi.euc_2d(&pi1) + pj.euc_2d(&pj1));
                     let key = crate::bestmove::pack(d, i as u32, j as u32);
                     if key < best {
                         best = key;
@@ -251,7 +254,12 @@ impl MultiGpuTwoOpt {
             .min()
             .expect("nonempty")
             .min(1024);
-        let grid_dim = specs.iter().map(|s| s.compute_units).min().expect("nonempty") * 4;
+        let grid_dim = specs
+            .iter()
+            .map(|s| s.compute_units)
+            .min()
+            .expect("nonempty")
+            * 4;
         MultiGpuTwoOpt {
             devices: specs.into_iter().map(Device::new).collect(),
             block_dim,
@@ -333,8 +341,7 @@ impl TwoOptEngine for MultiGpuTwoOpt {
                 let (words, d2h) = dev.copy_from_device(&out);
                 best_key = best_key.min(words[RESULT_SLOT]);
                 profile.flops += p.counters.flops;
-                per_device_seconds =
-                    per_device_seconds.max(h2d.seconds + p.seconds + d2h.seconds);
+                per_device_seconds = per_device_seconds.max(h2d.seconds + p.seconds + d2h.seconds);
                 // Attribute the device's own split for reporting.
                 profile.kernel_seconds = profile.kernel_seconds.max(p.seconds);
                 profile.h2d_seconds = profile.h2d_seconds.max(h2d.seconds);
@@ -372,8 +379,7 @@ impl TwoOptEngine for MultiGpuTwoOpt {
                 let (words, d2h) = dev.copy_from_device(&out);
                 best_key = best_key.min(words[RESULT_SLOT]);
                 profile.flops += p.counters.flops;
-                per_device_seconds =
-                    per_device_seconds.max(h2d.seconds + p.seconds + d2h.seconds);
+                per_device_seconds = per_device_seconds.max(h2d.seconds + p.seconds + d2h.seconds);
                 profile.kernel_seconds = profile.kernel_seconds.max(p.seconds);
                 profile.h2d_seconds = profile.h2d_seconds.max(h2d.seconds);
                 profile.d2h_seconds = profile.d2h_seconds.max(d2h.seconds);
@@ -383,8 +389,7 @@ impl TwoOptEngine for MultiGpuTwoOpt {
         // Report the concurrent makespan as the kernel time so that
         // modeled_seconds() == max over devices (transfers are already
         // folded into the per-device maxima above; avoid double count).
-        profile.kernel_seconds =
-            per_device_seconds - profile.h2d_seconds - profile.d2h_seconds;
+        profile.kernel_seconds = per_device_seconds - profile.h2d_seconds - profile.d2h_seconds;
         Ok((unpack(best_key).filter(BestMove::improves), profile))
     }
 }
@@ -402,12 +407,7 @@ mod tests {
     fn random_instance(n: usize, seed: u64) -> Instance {
         let mut rng = SmallRng::seed_from_u64(seed);
         let pts = (0..n)
-            .map(|_| {
-                Point::new(
-                    rng.gen_range(0.0..1000.0f32),
-                    rng.gen_range(0.0..1000.0f32),
-                )
-            })
+            .map(|_| Point::new(rng.gen_range(0.0..1000.0f32), rng.gen_range(0.0..1000.0f32)))
             .collect();
         Instance::new(format!("rand{n}"), Metric::Euc2d, pts).unwrap()
     }

@@ -31,7 +31,9 @@ use crate::delta::FLOPS_PER_CHECK;
 use crate::gpu::small::{block_reduce, RESULT_SLOT};
 use crate::oropt::OrOptMove;
 use crate::search::{EngineError, StepProfile};
-use gpu_sim::{AtomicDeviceBuffer, Device, DeviceBuffer, DeviceSpec, Kernel, LaunchConfig, ThreadCtx};
+use gpu_sim::{
+    AtomicDeviceBuffer, Device, DeviceBuffer, DeviceSpec, Kernel, LaunchConfig, ThreadCtx,
+};
 use tsp_core::{Instance, Point, Tour};
 
 /// Maximum relocated-segment length (the classic Or-opt choice).
@@ -50,7 +52,9 @@ const POS_MASK: u64 = (1 << POS_BITS) - 1;
 pub fn pack_oropt(delta: i32, s: u32, combo: u32, j: u32) -> u64 {
     debug_assert!(combo < COMBOS as u32);
     let biased = (delta as i64 + DELTA_BIAS).clamp(0, DELTA_MASK as i64) as u64;
-    (biased << (2 * POS_BITS + 3)) | ((s as u64) << (POS_BITS + 3)) | ((combo as u64) << POS_BITS)
+    (biased << (2 * POS_BITS + 3))
+        | ((s as u64) << (POS_BITS + 3))
+        | ((combo as u64) << POS_BITS)
         | j as u64
 }
 
@@ -90,7 +94,11 @@ fn oropt_delta_ordered(pts: &[Point], s: usize, e: usize, j: usize, reversed: bo
     let seg_e = pts[e];
     let ja = pts[j];
     let jb = pts[j + 1];
-    let (head, tail) = if reversed { (seg_e, seg_s) } else { (seg_s, seg_e) };
+    let (head, tail) = if reversed {
+        (seg_e, seg_s)
+    } else {
+        (seg_s, seg_e)
+    };
     (prev.euc_2d(&next) + ja.euc_2d(&head) + tail.euc_2d(&jb))
         - (prev.euc_2d(&seg_s) + seg_e.euc_2d(&next) + ja.euc_2d(&jb))
 }
@@ -255,6 +263,7 @@ impl GpuOrOpt {
             pairs_checked: COMBOS * (n as u64) * (n as u64),
             flops: p.counters.flops,
             kernel_seconds: p.seconds,
+            reversal_seconds: 0.0,
             h2d_seconds: h2d.seconds,
             d2h_seconds: d2h.seconds,
         };
@@ -274,12 +283,7 @@ mod tests {
     fn random_instance(n: usize, seed: u64) -> Instance {
         let mut rng = SmallRng::seed_from_u64(seed);
         let pts = (0..n)
-            .map(|_| {
-                Point::new(
-                    rng.gen_range(0.0..1000.0f32),
-                    rng.gen_range(0.0..1000.0f32),
-                )
-            })
+            .map(|_| Point::new(rng.gen_range(0.0..1000.0f32), rng.gen_range(0.0..1000.0f32)))
             .collect();
         Instance::new(format!("rand{n}"), Metric::Euc2d, pts).unwrap()
     }
@@ -322,9 +326,11 @@ mod tests {
             let (got, prof) = gpu.best_move(&inst, &tour).unwrap();
             match (expected, got) {
                 (Some(e), Some(g)) => {
-                    assert_eq!((g.delta, g.s, g.e, g.reversed, g.j),
-                               (e.delta, e.s, e.e, e.reversed, e.j),
-                               "seed {seed}");
+                    assert_eq!(
+                        (g.delta, g.s, g.e, g.reversed, g.j),
+                        (e.delta, e.s, e.e, e.reversed, e.j),
+                        "seed {seed}"
+                    );
                 }
                 (None, None) => {}
                 other => panic!("seed {seed}: mismatch {other:?}"),

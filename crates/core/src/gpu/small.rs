@@ -19,6 +19,7 @@
 use crate::bestmove::{pack, EMPTY_KEY};
 use crate::cpu_model::BYTES_PER_CHECK;
 use crate::delta::{delta_ordered, FLOPS_PER_CHECK};
+use crate::gpu::coords::CoordSource;
 use crate::indexing::{index_to_pair, pair_count};
 use gpu_sim::{AtomicDeviceBuffer, DeviceBuffer, Kernel, ThreadCtx};
 use tsp_core::Point;
@@ -27,9 +28,14 @@ use tsp_core::Point;
 pub const RESULT_SLOT: usize = 0;
 
 /// The paper's main kernel: staged, route-ordered coordinates.
-pub struct OrderedSharedKernel<'a> {
+///
+/// Generic over where the ordered coordinates live ([`CoordSource`]):
+/// a plain [`DeviceBuffer`] for the serial re-upload pipeline, or the
+/// resident atomic buffer for the device-resident one. Both run the
+/// same staging/evaluation loops and account identical work.
+pub struct OrderedSharedKernel<'a, C: CoordSource> {
     /// Route-ordered coordinates (`ordered_coordinates` of Fig. 6).
-    pub coords: &'a DeviceBuffer<Point>,
+    pub coords: C,
     /// One-word output: packed best move.
     pub out: &'a AtomicDeviceBuffer,
 }
@@ -41,7 +47,7 @@ pub struct StagedShared {
     scratch: Vec<u64>,
 }
 
-impl Kernel for OrderedSharedKernel<'_> {
+impl<C: CoordSource> Kernel for OrderedSharedKernel<'_, C> {
     type Shared = StagedShared;
 
     fn shared_bytes(&self) -> usize {
@@ -67,11 +73,10 @@ impl Kernel for OrderedSharedKernel<'_> {
                 if shared.scratch.is_empty() {
                     shared.scratch = vec![EMPTY_KEY; ctx.block_dim as usize];
                 }
-                let src = self.coords.as_slice();
                 let mut k = ctx.thread_idx as usize;
                 let mut loads = 0u64;
                 while k < n {
-                    shared.coords[k] = src[k];
+                    shared.coords[k] = self.coords.get(k);
                     loads += 1;
                     k += ctx.block_dim as usize;
                 }
@@ -114,11 +119,7 @@ impl Kernel for OrderedSharedKernel<'_> {
 /// atomic-min — the "Get best global pair" step of Fig. 4. (A real
 /// kernel uses a log2(block) tree; the traffic and the single atomic are
 /// what the cost model sees either way.)
-pub(crate) fn block_reduce(
-    ctx: &mut ThreadCtx<'_>,
-    scratch: &[u64],
-    out: &AtomicDeviceBuffer,
-) {
+pub(crate) fn block_reduce(ctx: &mut ThreadCtx<'_>, scratch: &[u64], out: &AtomicDeviceBuffer) {
     if ctx.thread_idx != 0 {
         return;
     }
@@ -208,8 +209,8 @@ impl Kernel for UnorderedSharedKernel<'_> {
                     let (iu, ju) = index_to_pair(k);
                     let (i, j) = (iu as usize, ju as usize);
                     let (pi, pi1, pj, pj1) = (at(i), at(i + 1), at(j), at(j + 1));
-                    let d = (pi.euc_2d(&pj) + pi1.euc_2d(&pj1))
-                        - (pi.euc_2d(&pi1) + pj.euc_2d(&pj1));
+                    let d =
+                        (pi.euc_2d(&pj) + pi1.euc_2d(&pj1)) - (pi.euc_2d(&pi1) + pj.euc_2d(&pj1));
                     let key = pack(d, iu as u32, ju as u32);
                     if key < best {
                         best = key;
@@ -342,17 +343,27 @@ mod tests {
         let o3 = dev.alloc_atomic(1, EMPTY_KEY).unwrap();
         dev.launch(
             LaunchConfig::new(2, 16),
-            &OrderedSharedKernel { coords: &ordered, out: &o1 },
+            &OrderedSharedKernel {
+                coords: &ordered,
+                out: &o1,
+            },
         )
         .unwrap();
         dev.launch(
             LaunchConfig::new(2, 16),
-            &UnorderedSharedKernel { coords: &cbuf, route: &rbuf, out: &o2 },
+            &UnorderedSharedKernel {
+                coords: &cbuf,
+                route: &rbuf,
+                out: &o2,
+            },
         )
         .unwrap();
         dev.launch(
             LaunchConfig::new(2, 16),
-            &GlobalOnlyKernel { coords: &ordered, out: &o3 },
+            &GlobalOnlyKernel {
+                coords: &ordered,
+                out: &o3,
+            },
         )
         .unwrap();
         assert_eq!(o1.load(0), o2.load(0));
@@ -374,20 +385,36 @@ mod tests {
 
         let out = dev.alloc_atomic(1, EMPTY_KEY).unwrap();
         let t_ordered = dev
-            .launch(cfg, &OrderedSharedKernel { coords: &ordered, out: &out })
+            .launch(
+                cfg,
+                &OrderedSharedKernel {
+                    coords: &ordered,
+                    out: &out,
+                },
+            )
             .unwrap()
             .seconds;
         out.fill(EMPTY_KEY);
         let t_unordered = dev
             .launch(
                 cfg,
-                &UnorderedSharedKernel { coords: &ordered, route: &rbuf, out: &out },
+                &UnorderedSharedKernel {
+                    coords: &ordered,
+                    route: &rbuf,
+                    out: &out,
+                },
             )
             .unwrap()
             .seconds;
         out.fill(EMPTY_KEY);
         let t_global = dev
-            .launch(cfg, &GlobalOnlyKernel { coords: &ordered, out: &out })
+            .launch(
+                cfg,
+                &GlobalOnlyKernel {
+                    coords: &ordered,
+                    out: &out,
+                },
+            )
             .unwrap()
             .seconds;
         assert!(
@@ -411,9 +438,16 @@ mod tests {
         let (cbuf, _) = dev.copy_to_device(&pts).unwrap();
         let (rbuf, _) = dev.copy_to_device(&route).unwrap();
         let out = dev.alloc_atomic(1, EMPTY_KEY).unwrap();
-        let ok = OrderedSharedKernel { coords: &cbuf, out: &out };
+        let ok = OrderedSharedKernel {
+            coords: &cbuf,
+            out: &out,
+        };
         assert_eq!(ok.shared_bytes(), 48 * 1024);
-        let uk = UnorderedSharedKernel { coords: &cbuf, route: &rbuf, out: &out };
+        let uk = UnorderedSharedKernel {
+            coords: &cbuf,
+            route: &rbuf,
+            out: &out,
+        };
         assert!(uk.shared_bytes() > 48 * 1024);
         assert!(dev.launch(LaunchConfig::new(1, 32), &uk).is_err());
     }

@@ -20,11 +20,12 @@
 //! big rectangular ones.
 
 use crate::bestmove::{pack, EMPTY_KEY};
-use crate::gpu::small::block_reduce;
 use crate::cpu_model::BYTES_PER_CHECK;
 use crate::delta::FLOPS_PER_CHECK;
+use crate::gpu::coords::CoordSource;
+use crate::gpu::small::block_reduce;
 use crate::indexing::{index_to_pair, index_to_tile_pair, tile_pair_count};
-use gpu_sim::{AtomicDeviceBuffer, DeviceBuffer, Kernel, ThreadCtx};
+use gpu_sim::{AtomicDeviceBuffer, Kernel, ThreadCtx};
 use tsp_core::Point;
 
 /// Largest tile (in positions) usable with `shared_bytes` of on-chip
@@ -49,17 +50,18 @@ pub fn auto_tile(n: usize, shared_bytes: usize, min_grid: u32) -> usize {
     tile_for_occupancy.clamp(1, cap)
 }
 
-/// The tiled kernel. One block per tile pair.
-pub struct TiledKernel<'a> {
+/// The tiled kernel. One block per tile pair. Generic over where the
+/// ordered coordinates live ([`CoordSource`]), like the shared kernel.
+pub struct TiledKernel<'a, C: CoordSource> {
     /// Route-ordered coordinates (full array, global memory).
-    pub coords: &'a DeviceBuffer<Point>,
+    pub coords: C,
     /// One-word output: packed best move.
     pub out: &'a AtomicDeviceBuffer,
     /// Tile size in positions.
     pub tile: usize,
 }
 
-impl TiledKernel<'_> {
+impl<C: CoordSource> TiledKernel<'_, C> {
     /// Number of *positions* in the pair space (`i, j ∈ [0, n-1)`).
     #[inline]
     fn positions(&self) -> usize {
@@ -92,7 +94,7 @@ pub struct TiledShared {
     scratch: Vec<u64>,
 }
 
-impl Kernel for TiledKernel<'_> {
+impl<C: CoordSource> Kernel for TiledKernel<'_, C> {
     type Shared = TiledShared;
 
     fn shared_bytes(&self) -> usize {
@@ -126,17 +128,16 @@ impl Kernel for TiledKernel<'_> {
                     shared.scratch = vec![EMPTY_KEY; ctx.block_dim as usize];
                 }
                 // Cooperative strided load of both ranges.
-                let src = self.coords.as_slice();
                 let mut loads = 0u64;
                 let mut k = ctx.thread_idx as usize;
                 while k < a_len {
-                    shared.a[k] = src[a_start + k];
+                    shared.a[k] = self.coords.get(a_start + k);
                     loads += 1;
                     k += ctx.block_dim as usize;
                 }
                 let mut k = ctx.thread_idx as usize;
                 while k < b_len {
-                    shared.b[k] = src[b_start + k];
+                    shared.b[k] = self.coords.get(b_start + k);
                     loads += 1;
                     k += ctx.block_dim as usize;
                 }
@@ -171,8 +172,8 @@ impl Kernel for TiledKernel<'_> {
                     let pi1 = shared.a[i + 1 - a_start];
                     let pj = shared.b[j - b_start];
                     let pj1 = shared.b[j + 1 - b_start];
-                    let d = (pi.euc_2d(&pj) + pi1.euc_2d(&pj1))
-                        - (pi.euc_2d(&pi1) + pj.euc_2d(&pj1));
+                    let d =
+                        (pi.euc_2d(&pj) + pi1.euc_2d(&pj1)) - (pi.euc_2d(&pi1) + pj.euc_2d(&pj1));
                     let key = pack(d, i as u32, j as u32);
                     if key < best {
                         best = key;
@@ -205,7 +206,10 @@ mod tests {
         (0..n)
             .map(|i| {
                 let a = i as f32 * 2.399963; // golden-angle scatter
-                Point::new(500.0 + 400.0 * a.cos(), 500.0 + 400.0 * a.sin() * (i % 7) as f32 / 7.0)
+                Point::new(
+                    500.0 + 400.0 * a.cos(),
+                    500.0 + 400.0 * a.sin() * (i % 7) as f32 / 7.0,
+                )
             })
             .collect()
     }
@@ -226,7 +230,10 @@ mod tests {
             let o_ref = dev.alloc_atomic(1, EMPTY_KEY).unwrap();
             dev.launch(
                 LaunchConfig::new(4, 64),
-                &OrderedSharedKernel { coords: &coords, out: &o_ref },
+                &OrderedSharedKernel {
+                    coords: &coords,
+                    out: &o_ref,
+                },
             )
             .unwrap();
             for tile in [3usize, 7, 50, 64] {
@@ -252,7 +259,11 @@ mod tests {
         let pts = wavy_points(100);
         let (coords, _) = dev.copy_to_device(&pts).unwrap();
         let out = dev.alloc_atomic(1, EMPTY_KEY).unwrap();
-        let k = TiledKernel { coords: &coords, out: &out, tile: 30 };
+        let k = TiledKernel {
+            coords: &coords,
+            out: &out,
+            tile: 30,
+        };
         // positions = 99 -> ceil(99/30) = 4 tiles -> 10 tile pairs.
         assert_eq!(k.tiles(), 4);
         assert_eq!(k.grid_dim(), 10);
@@ -272,20 +283,30 @@ mod tests {
         // The untiled kernel must refuse...
         let err = dev.launch(
             LaunchConfig::new(1, 32),
-            &OrderedSharedKernel { coords: &coords, out: &out },
+            &OrderedSharedKernel {
+                coords: &coords,
+                out: &out,
+            },
         );
         assert!(err.is_err());
         // ...while the tiled kernel fits and agrees with a big-shared
         // reference device.
         let tile = max_tile_for_shared(1024);
-        let k = TiledKernel { coords: &coords, out: &out, tile };
+        let k = TiledKernel {
+            coords: &coords,
+            out: &out,
+            tile,
+        };
         dev.launch(LaunchConfig::new(k.grid_dim(), 64), &k).unwrap();
         let big = Device::new(spec::gtx_680_cuda());
         let (coords2, _) = big.copy_to_device(&pts).unwrap();
         let o2 = big.alloc_atomic(1, EMPTY_KEY).unwrap();
         big.launch(
             LaunchConfig::new(8, 128),
-            &OrderedSharedKernel { coords: &coords2, out: &o2 },
+            &OrderedSharedKernel {
+                coords: &coords2,
+                out: &o2,
+            },
         )
         .unwrap();
         assert_eq!(unpack(out.load(0)), unpack(o2.load(0)));

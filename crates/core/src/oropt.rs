@@ -45,13 +45,15 @@ fn relocation_delta(
     let seg_e = city(e);
     let ja = city(j);
     let jb = city(j + 1);
-    let removed = inst.dist(prev, seg_s) as i64
-        + inst.dist(seg_e, next) as i64
-        + inst.dist(ja, jb) as i64;
-    let (head, tail) = if reversed { (seg_e, seg_s) } else { (seg_s, seg_e) };
-    let added = inst.dist(prev, next) as i64
-        + inst.dist(ja, head) as i64
-        + inst.dist(tail, jb) as i64;
+    let removed =
+        inst.dist(prev, seg_s) as i64 + inst.dist(seg_e, next) as i64 + inst.dist(ja, jb) as i64;
+    let (head, tail) = if reversed {
+        (seg_e, seg_s)
+    } else {
+        (seg_s, seg_e)
+    };
+    let added =
+        inst.dist(prev, next) as i64 + inst.dist(ja, head) as i64 + inst.dist(tail, jb) as i64;
     added - removed
 }
 
@@ -109,7 +111,7 @@ pub fn best_move(inst: &Instance, tour: &Tour, max_len: usize) -> (Option<OrOptM
                     // matches the GPU kernel's packed-key ordering so the
                     // engines agree bit-for-bit.
                     if delta < 0
-                        && best.map_or(true, |b| {
+                        && best.is_none_or(|b| {
                             (delta, s, e, u8::from(reversed), j)
                                 < (b.delta, b.s, b.e, u8::from(b.reversed), b.j)
                         })
@@ -151,12 +153,7 @@ mod tests {
     fn random_instance(n: usize, seed: u64) -> Instance {
         let mut rng = SmallRng::seed_from_u64(seed);
         let pts = (0..n)
-            .map(|_| {
-                Point::new(
-                    rng.gen_range(0.0..1000.0f32),
-                    rng.gen_range(0.0..1000.0f32),
-                )
-            })
+            .map(|_| Point::new(rng.gen_range(0.0..1000.0f32), rng.gen_range(0.0..1000.0f32)))
             .collect();
         Instance::new(format!("rand{n}"), Metric::Euc2d, pts).unwrap()
     }
@@ -182,7 +179,13 @@ mod tests {
                         let mut t = tour.clone();
                         apply(
                             &mut t,
-                            &OrOptMove { s, e, j, reversed, delta },
+                            &OrOptMove {
+                                s,
+                                e,
+                                j,
+                                reversed,
+                                delta,
+                            },
                         );
                         t.validate().unwrap();
                         assert_eq!(

@@ -97,6 +97,7 @@ impl TwoOptEngine for PrunedTwoOpt {
             pairs_checked: checked,
             flops: flops_for_pairs(checked),
             kernel_seconds: model_cpu_sweep_seconds(&self.spec, checked),
+            reversal_seconds: 0.0,
             h2d_seconds: 0.0,
             d2h_seconds: 0.0,
         };
@@ -117,12 +118,7 @@ mod tests {
     fn random_instance(n: usize, seed: u64) -> Instance {
         let mut rng = SmallRng::seed_from_u64(seed);
         let pts = (0..n)
-            .map(|_| {
-                Point::new(
-                    rng.gen_range(0.0..1000.0f32),
-                    rng.gen_range(0.0..1000.0f32),
-                )
-            })
+            .map(|_| Point::new(rng.gen_range(0.0..1000.0f32), rng.gen_range(0.0..1000.0f32)))
             .collect();
         Instance::new(format!("rand{n}"), Metric::Euc2d, pts).unwrap()
     }
@@ -168,8 +164,7 @@ mod tests {
         // Pruned does less work...
         assert!(s_pruned.profile.pairs_checked < s_full.profile.pairs_checked);
         // ...and lands within 15% of the full 2-opt local minimum.
-        let gap = (s_pruned.final_length - s_full.final_length) as f64
-            / s_full.final_length as f64;
+        let gap = (s_pruned.final_length - s_full.final_length) as f64 / s_full.final_length as f64;
         assert!(gap < 0.15, "pruned gap = {gap:.3}");
     }
 

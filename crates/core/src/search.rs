@@ -22,6 +22,10 @@ pub struct StepProfile {
     pub flops: u64,
     /// Modeled kernel execution time, seconds.
     pub kernel_seconds: f64,
+    /// Modeled time of the on-device segment reversal that applied the
+    /// previous sweep's move (device-resident pipeline only; zero for
+    /// engines that re-upload the coordinates each sweep).
+    pub reversal_seconds: f64,
     /// Modeled host→device transfer time, seconds.
     pub h2d_seconds: f64,
     /// Modeled device→host transfer time, seconds.
@@ -29,11 +33,11 @@ pub struct StepProfile {
 }
 
 impl StepProfile {
-    /// Modeled end-to-end time of the step (kernel + both transfers) —
-    /// the paper's "GPU total time" column.
+    /// Modeled end-to-end time of the step (kernel + reversal + both
+    /// transfers) — the paper's "GPU total time" column.
     #[inline]
     pub fn modeled_seconds(&self) -> f64 {
-        self.kernel_seconds + self.h2d_seconds + self.d2h_seconds
+        self.kernel_seconds + self.reversal_seconds + self.h2d_seconds + self.d2h_seconds
     }
 
     /// Accumulate another step into this one.
@@ -41,6 +45,7 @@ impl StepProfile {
         self.pairs_checked += other.pairs_checked;
         self.flops += other.flops;
         self.kernel_seconds += other.kernel_seconds;
+        self.reversal_seconds += other.reversal_seconds;
         self.h2d_seconds += other.h2d_seconds;
         self.d2h_seconds += other.d2h_seconds;
     }
@@ -231,6 +236,7 @@ mod tests {
                     pairs_checked: 10,
                     flops: 320,
                     kernel_seconds: 1e-6,
+                    reversal_seconds: 0.0,
                     h2d_seconds: 5e-7,
                     d2h_seconds: 5e-7,
                 },
@@ -258,7 +264,14 @@ mod tests {
         let inst = square();
         let mut tour = Tour::new(vec![0, 2, 1, 3]).unwrap();
         let mut engine = Scripted {
-            moves: vec![Some(BestMove { delta: -8, i: 0, j: 2 }), None],
+            moves: vec![
+                Some(BestMove {
+                    delta: -8,
+                    i: 0,
+                    j: 2,
+                }),
+                None,
+            ],
             cursor: 0,
         };
         let stats = optimize(&mut engine, &inst, &mut tour, SearchOptions::default()).unwrap();
@@ -279,14 +292,23 @@ mod tests {
         // An engine that would loop forever on zero-delta "improvements"
         // is guarded by the strict improves() check; here we cap sweeps.
         let mut engine = Scripted {
-            moves: vec![Some(BestMove { delta: -1, i: 1, j: 2 }); 100],
+            moves: vec![
+                Some(BestMove {
+                    delta: -1,
+                    i: 1,
+                    j: 2
+                });
+                100
+            ],
             cursor: 0,
         };
         let stats = optimize(
             &mut engine,
             &inst,
             &mut tour,
-            SearchOptions { max_sweeps: Some(3) },
+            SearchOptions {
+                max_sweeps: Some(3),
+            },
         )
         .unwrap();
         assert_eq!(stats.sweeps, 3);
@@ -298,7 +320,11 @@ mod tests {
         let inst = square();
         let mut tour = Tour::identity(4);
         let mut engine = Scripted {
-            moves: vec![Some(BestMove { delta: 0, i: 0, j: 2 })],
+            moves: vec![Some(BestMove {
+                delta: 0,
+                i: 0,
+                j: 2,
+            })],
             cursor: 0,
         };
         let stats = optimize(&mut engine, &inst, &mut tour, SearchOptions::default()).unwrap();
@@ -326,5 +352,23 @@ mod tests {
     fn checks_per_second_guards_zero_time() {
         let p = StepProfile::default();
         assert_eq!(p.checks_per_second(), 0.0);
+    }
+
+    #[test]
+    fn reversal_time_counts_toward_modeled_seconds() {
+        let mut total = StepProfile::default();
+        let step = StepProfile {
+            pairs_checked: 1,
+            flops: 4,
+            kernel_seconds: 2e-6,
+            reversal_seconds: 3e-7,
+            h2d_seconds: 0.0,
+            d2h_seconds: 1e-7,
+        };
+        assert!((step.modeled_seconds() - 2.4e-6).abs() < 1e-18);
+        total.accumulate(&step);
+        total.accumulate(&step);
+        assert!((total.reversal_seconds - 6e-7).abs() < 1e-18);
+        assert!((total.modeled_seconds() - 4.8e-6).abs() < 1e-18);
     }
 }

@@ -126,6 +126,7 @@ impl TwoOptEngine for SequentialTwoOpt {
             pairs_checked: checked,
             flops: flops_for_pairs(checked),
             kernel_seconds: model_cpu_sweep_seconds(&self.spec, checked),
+            reversal_seconds: 0.0,
             h2d_seconds: 0.0,
             d2h_seconds: 0.0,
         };

@@ -198,12 +198,7 @@ mod tests {
     fn random_instance(n: usize, seed: u64) -> Instance {
         let mut rng = SmallRng::seed_from_u64(seed);
         let pts = (0..n)
-            .map(|_| {
-                Point::new(
-                    rng.gen_range(0.0..1000.0f32),
-                    rng.gen_range(0.0..1000.0f32),
-                )
-            })
+            .map(|_| Point::new(rng.gen_range(0.0..1000.0f32), rng.gen_range(0.0..1000.0f32)))
             .collect();
         Instance::new(format!("rand{n}"), Metric::Euc2d, pts).unwrap()
     }
@@ -222,7 +217,13 @@ mod tests {
                         let mut t = tour.clone();
                         apply(
                             &mut t,
-                            &ThreeOptMove { i, j, k, reconnection: r, delta },
+                            &ThreeOptMove {
+                                i,
+                                j,
+                                k,
+                                reconnection: r,
+                                delta,
+                            },
                         );
                         t.validate().unwrap();
                         assert_eq!(

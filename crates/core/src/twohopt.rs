@@ -84,7 +84,7 @@ pub fn best_move(inst: &Instance, tour: &Tour) -> (Option<ScoredMove>, u64) {
     }
     let mut best: Option<ScoredMove> = None;
     let consider = |mv: Move, delta: i64, best: &mut Option<ScoredMove>| {
-        if delta < 0 && best.map_or(true, |b| delta < b.delta) {
+        if delta < 0 && best.is_none_or(|b| delta < b.delta) {
             *best = Some(ScoredMove { mv, delta });
         }
     };
@@ -143,12 +143,7 @@ mod tests {
     fn random_instance(n: usize, seed: u64) -> Instance {
         let mut rng = SmallRng::seed_from_u64(seed);
         let pts = (0..n)
-            .map(|_| {
-                Point::new(
-                    rng.gen_range(0.0..1000.0f32),
-                    rng.gen_range(0.0..1000.0f32),
-                )
-            })
+            .map(|_| Point::new(rng.gen_range(0.0..1000.0f32), rng.gen_range(0.0..1000.0f32)))
             .collect();
         Instance::new(format!("rand{n}"), Metric::Euc2d, pts).unwrap()
     }
@@ -193,9 +188,10 @@ mod tests {
     #[test]
     fn quality_beats_two_opt_on_average() {
         // Per-seed outcomes are noisy (different descent paths), but the
-        // richer neighbourhood must win in aggregate.
+        // richer neighbourhood must win in aggregate. Sixteen seeds keep
+        // the aggregate robust to the PRNG stream in use.
         let (mut sum2, mut sum25) = (0i64, 0i64);
-        for seed in 0..6 {
+        for seed in 0..16 {
             let inst = random_instance(60, seed);
             let mut rng = SmallRng::seed_from_u64(seed + 50);
             let start = Tour::random(60, &mut rng);

@@ -102,12 +102,7 @@ mod tests {
     fn random_instance(n: usize, seed: u64) -> Instance {
         let mut rng = SmallRng::seed_from_u64(seed);
         let pts = (0..n)
-            .map(|_| {
-                Point::new(
-                    rng.gen_range(0.0..1000.0f32),
-                    rng.gen_range(0.0..1000.0f32),
-                )
-            })
+            .map(|_| Point::new(rng.gen_range(0.0..1000.0f32), rng.gen_range(0.0..1000.0f32)))
             .collect();
         Instance::new(format!("rand{n}"), Metric::Euc2d, pts).unwrap()
     }
@@ -138,8 +133,7 @@ mod tests {
 
             let mut plain = start.clone();
             let mut eng = crate::sequential::SequentialTwoOpt::new();
-            let s =
-                optimize(&mut eng, &inst, &mut plain, SearchOptions::default()).unwrap();
+            let s = optimize(&mut eng, &inst, &mut plain, SearchOptions::default()).unwrap();
             sum2 += s.final_length;
 
             let mut vnd_tour = start;

@@ -1,14 +1,16 @@
 //! Property tests for the kernel building blocks of tsp-2opt.
 
+use gpu_sim::{spec, Device, LaunchConfig};
 use proptest::prelude::*;
 use tsp_2opt::bestmove::{pack, unpack, BestMove, EMPTY_KEY, MAX_POSITION};
 use tsp_2opt::gpu::model::{model_small_sweep, model_tiled_sweep};
 use tsp_2opt::gpu::oropt_kernel::{pack_oropt, unpack_oropt};
+use tsp_2opt::gpu::reverse::SegmentReversalKernel;
 use tsp_2opt::indexing::{
     index_to_pair, index_to_tile_pair, iterations_per_thread, pair_count, pair_to_index,
     tile_pair_count,
 };
-use gpu_sim::{spec, LaunchConfig};
+use tsp_core::{Point, Tour};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
@@ -106,5 +108,87 @@ proptest! {
         prop_assert_eq!(m.flops, pair_count(n) * 32);
         let tiles = ((n - 1) as u64).div_ceil(tile as u64);
         prop_assert!(tile_pair_count(tiles) >= 1);
+    }
+}
+
+/// Deterministic but irregular coordinates for the reversal tests; the
+/// values only need to be distinguishable bit patterns.
+fn scatter_points(n: usize) -> Vec<Point> {
+    (0..n)
+        .map(|i| {
+            let a = i as f32 * 2.399963;
+            Point::new(
+                1000.0 * a.sin() + i as f32,
+                1000.0 * a.cos() - i as f32 * 0.5,
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The on-device segment reversal is bit-equal to the host-side
+    /// [`Tour::reverse_segment_wrapping`] for arbitrary `(from, len)`,
+    /// including wrap-around and degenerate (0/1-length) segments, under
+    /// arbitrary launch geometry — and the result stays a permutation of
+    /// the input points.
+    #[test]
+    fn device_reversal_matches_host_for_any_segment(
+        n in 4usize..200,
+        from_seed in 0usize..1_000_000,
+        len_seed in 0usize..1_000_000,
+        grid in 1u32..12,
+        block in 1u32..129,
+    ) {
+        let from = from_seed % n;
+        let len = len_seed % (n + 1);
+        let pts = scatter_points(n);
+
+        let dev = Device::new(spec::gtx_680_cuda());
+        let words: Vec<u64> = pts.iter().map(|p| p.to_device_word()).collect();
+        let buf = dev.alloc_atomic(n, 0).unwrap();
+        dev.upload_atomic(&buf, &words).unwrap();
+        dev.launch(
+            LaunchConfig::new(grid, block),
+            &SegmentReversalKernel { coords: &buf, from, len },
+        )
+        .unwrap();
+        let got = buf.to_vec();
+
+        // Host reference: permute the positions, then gather.
+        let mut order = Tour::identity(n);
+        order.reverse_segment_wrapping(from, len);
+        let want: Vec<u64> = order
+            .as_slice()
+            .iter()
+            .map(|&c| words[c as usize])
+            .collect();
+        prop_assert_eq!(&got, &want, "n={} from={} len={}", n, from, len);
+
+        // Permutation invariant: same multiset of packed points.
+        let mut a = got;
+        let mut b = words;
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    /// In-bounds segments: the wrapping host primitive agrees with the
+    /// plain slice reversal that `Tour::apply_two_opt` performs, so the
+    /// resident pipeline and the serial driver apply identical moves.
+    #[test]
+    fn wrapping_reversal_equals_two_opt_application(
+        n in 4usize..300,
+        i_seed in 0usize..1_000_000,
+        j_seed in 0usize..1_000_000,
+    ) {
+        let i = i_seed % (n - 2);
+        let j = i + 1 + j_seed % (n - 2 - i);
+        let mut via_move = Tour::identity(n);
+        via_move.apply_two_opt(i, j);
+        let mut via_wrap = Tour::identity(n);
+        via_wrap.reverse_segment_wrapping(i + 1, j - i);
+        prop_assert_eq!(via_move.as_slice(), via_wrap.as_slice(), "i={} j={}", i, j);
     }
 }

@@ -31,7 +31,10 @@ pub struct LaunchConfig {
 impl LaunchConfig {
     /// Convenience constructor.
     pub fn new(grid_dim: u32, block_dim: u32) -> Self {
-        LaunchConfig { grid_dim, block_dim }
+        LaunchConfig {
+            grid_dim,
+            block_dim,
+        }
     }
 
     /// Total threads in the launch.

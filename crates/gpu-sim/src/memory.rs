@@ -193,9 +193,29 @@ impl AtomicDeviceBuffer {
         }
     }
 
+    /// Overwrite the whole buffer from the host (a fresh H2D copy into an
+    /// existing allocation — the refresh path of a device-resident
+    /// pipeline). Lengths must match. Use
+    /// [`crate::Device::upload_atomic`] when the transfer cost matters.
+    pub fn overwrite(&self, src: &[u64]) -> Result<(), SimError> {
+        if src.len() != self.words.len() {
+            return Err(SimError::SizeMismatch {
+                dst: self.words.len(),
+                src: src.len(),
+            });
+        }
+        for (w, &v) in self.words.iter().zip(src) {
+            w.store(v, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
     /// Copy the contents back to the host.
     pub fn to_vec(&self) -> Vec<u64> {
-        self.words.iter().map(|w| w.load(Ordering::Relaxed)).collect()
+        self.words
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed))
+            .collect()
     }
 
     /// Size in bytes on the device.
@@ -230,7 +250,13 @@ mod tests {
     fn pool_rejects_over_capacity() {
         let pool = MemoryPool::new(100);
         let err = DeviceBuffer::new(vec![0u64; 20], pool.clone()).unwrap_err();
-        assert!(matches!(err, SimError::OutOfMemory { requested: 160, available: 100 }));
+        assert!(matches!(
+            err,
+            SimError::OutOfMemory {
+                requested: 160,
+                available: 100
+            }
+        ));
         // Failed allocations must not leak accounting.
         assert_eq!(pool.allocated(), 0);
     }
@@ -252,6 +278,15 @@ mod tests {
         buf.fetch_min(0, 100);
         buf.fetch_min(0, 7);
         assert_eq!(buf.load(0), 7);
+    }
+
+    #[test]
+    fn atomic_buffer_overwrite_checks_length() {
+        let pool = MemoryPool::new(1024);
+        let buf = AtomicDeviceBuffer::new(3, 0, pool).unwrap();
+        assert!(buf.overwrite(&[1, 2]).is_err());
+        buf.overwrite(&[7, 8, 9]).unwrap();
+        assert_eq!(buf.to_vec(), vec![7, 8, 9]);
     }
 
     #[test]

@@ -45,9 +45,9 @@ impl Event {
     /// Modeled duration of the event.
     pub fn seconds(&self) -> f64 {
         match self {
-            Event::Kernel { seconds, .. } | Event::H2d { seconds, .. } | Event::D2h { seconds, .. } => {
-                *seconds
-            }
+            Event::Kernel { seconds, .. }
+            | Event::H2d { seconds, .. }
+            | Event::D2h { seconds, .. } => *seconds,
         }
     }
 }

@@ -26,8 +26,8 @@ pub fn block_time(spec: &DeviceSpec, c: &PerfCounters, phases_touching_global: u
     // Global bandwidth is a whole-device resource; approximate a block's
     // share as the full pipe divided among the compute units (uniform
     // pressure assumption — kernels here are homogeneous).
-    let global = c.global_bytes() as f64
-        / (spec.global_bandwidth_gbs * 1e9 / spec.compute_units as f64);
+    let global =
+        c.global_bytes() as f64 / (spec.global_bandwidth_gbs * 1e9 / spec.compute_units as f64);
     let overlap = compute.max(shared).max(global);
     let atomics = c.atomic_ops as f64 * spec.atomic_cost_ns * 1e-9;
     let latency = phases_touching_global as f64 * spec.global_latency_us * 1e-6;
@@ -51,10 +51,7 @@ pub fn schedule_makespan(compute_units: u32, block_times: &[f64]) -> f64 {
             .expect("at least one slot");
         free_at[idx] += t;
     }
-    free_at
-        .iter()
-        .cloned()
-        .fold(0.0, f64::max)
+    free_at.iter().cloned().fold(0.0, f64::max)
 }
 
 /// Modeled kernel time: launch overhead plus the block-schedule makespan.
@@ -137,6 +134,35 @@ mod tests {
     }
 
     #[test]
+    fn global_writes_are_priced_like_reads() {
+        // A segment-reversal kernel does no arithmetic: its cost is pure
+        // global traffic, half reads and half writes. Both directions
+        // must travel on the same modeled pipe.
+        let spec = gtx_680_cuda();
+        let write_only = PerfCounters {
+            global_write_bytes: 1 << 20,
+            ..Default::default()
+        };
+        let read_only = PerfCounters {
+            global_read_bytes: 1 << 20,
+            ..Default::default()
+        };
+        let tw = block_time(&spec, &write_only, 1);
+        let tr = block_time(&spec, &read_only, 1);
+        assert!(tw > spec.global_latency_us * 1e-6, "writes must cost time");
+        assert_eq!(tw, tr);
+        // Mixed traffic sums: 2x the bytes -> the bandwidth term doubles.
+        let both = PerfCounters {
+            global_read_bytes: 1 << 20,
+            global_write_bytes: 1 << 20,
+            ..Default::default()
+        };
+        let latency = spec.global_latency_us * 1e-6;
+        let tb = block_time(&spec, &both, 1);
+        assert!((tb - latency - 2.0 * (tr - latency)).abs() < 1e-15);
+    }
+
+    #[test]
     fn transfers_are_free_on_cpu() {
         let cpu = xeon_e5_2660_x2();
         assert_eq!(h2d_time(&cpu, 1 << 20), 0.0);
@@ -151,7 +177,10 @@ mod tests {
         let t52 = h2d_time(&spec, 52 * 8) * 1e6;
         assert!((t52 - 46.0).abs() < 2.0, "berlin52 h2d = {t52} us");
         let t33810 = h2d_time(&spec, 33_810 * 8) * 1e6;
-        assert!((60.0..250.0).contains(&t33810), "pla33810 h2d = {t33810} us");
+        assert!(
+            (60.0..250.0).contains(&t33810),
+            "pla33810 h2d = {t33810} us"
+        );
         let t115475 = h2d_time(&spec, 115_475 * 8) * 1e6;
         assert!(
             (200.0..700.0).contains(&t115475),

@@ -116,7 +116,9 @@ fn executor_visits_every_thread_exactly_once() {
     let dev = Device::new(spec::gtx_680_cuda());
     for (g, b) in [(1u32, 1u32), (3, 7), (16, 256), (5, 33)] {
         let out = dev.alloc_atomic(1, 0).unwrap();
-        let p = dev.launch(LaunchConfig::new(g, b), &IdSum { out: &out }).unwrap();
+        let p = dev
+            .launch(LaunchConfig::new(g, b), &IdSum { out: &out })
+            .unwrap();
         let t = g as u64 * b as u64;
         assert_eq!(out.load(0), t * (t - 1) / 2, "{g}x{b}");
         assert_eq!(p.counters.flops, t);

@@ -3,10 +3,11 @@
 use rand::Rng;
 
 /// Whether a freshly optimized candidate replaces the incumbent.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum Acceptance {
     /// Accept strictly better candidates only (the standard ILS choice
     /// and our default).
+    #[default]
     Better,
     /// Accept better-or-equal candidates (drifts across plateaus).
     BetterOrEqual,
@@ -18,12 +19,6 @@ pub enum Acceptance {
         /// Temperature in tour-length units.
         temperature: f64,
     },
-}
-
-impl Default for Acceptance {
-    fn default() -> Self {
-        Acceptance::Better
-    }
 }
 
 impl Acceptance {
@@ -82,9 +77,7 @@ mod tests {
         // Over many trials, a small worsening is accepted sometimes but
         // not always.
         let trials = 2000;
-        let accepted = (0..trials)
-            .filter(|_| m.accept(100, 110, &mut rng))
-            .count();
+        let accepted = (0..trials).filter(|_| m.accept(100, 110, &mut rng)).count();
         assert!(accepted > trials / 10, "accepted {accepted}");
         assert!(accepted < trials, "accepted {accepted}");
         // Zero temperature degenerates to Better(-or-equal).

@@ -40,7 +40,10 @@ where
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("chain panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("chain panicked"))
+            .collect()
     });
 
     let mut outcomes = Vec::with_capacity(results.len());

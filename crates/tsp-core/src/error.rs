@@ -35,11 +35,17 @@ impl fmt::Display for CoreError {
             }
             CoreError::InvalidTour(msg) => write!(f, "invalid tour: {msg}"),
             CoreError::CityOutOfRange { index, n } => {
-                write!(f, "city index {index} out of range for instance of size {n}")
+                write!(
+                    f,
+                    "city index {index} out of range for instance of size {n}"
+                )
             }
             CoreError::InvalidMatrix(msg) => write!(f, "invalid distance matrix: {msg}"),
             CoreError::MissingCoordinates => {
-                write!(f, "metric requires node coordinates but the instance has none")
+                write!(
+                    f,
+                    "metric requires node coordinates but the instance has none"
+                )
             }
         }
     }
@@ -54,7 +60,10 @@ mod tests {
     #[test]
     fn display_is_human_readable() {
         let e = CoreError::InstanceTooSmall { n: 2, min: 4 };
-        assert_eq!(e.to_string(), "instance has 2 cities but at least 4 are required");
+        assert_eq!(
+            e.to_string(),
+            "instance has 2 cities but at least 4 are required"
+        );
         let e = CoreError::CityOutOfRange { index: 9, n: 5 };
         assert!(e.to_string().contains("9"));
         assert!(e.to_string().contains("5"));

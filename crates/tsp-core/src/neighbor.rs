@@ -54,11 +54,7 @@ impl NeighborLists {
     /// Number of cities.
     #[inline]
     pub fn len(&self) -> usize {
-        if self.k == 0 {
-            0
-        } else {
-            self.lists.len() / self.k
-        }
+        self.lists.len().checked_div(self.k).unwrap_or(0)
     }
 
     /// `true` when no lists were built.
@@ -127,7 +123,11 @@ mod tests {
         let inst = line_instance(20);
         let nl = NeighborLists::build(&inst, 7);
         for c in 0..20 {
-            let ds: Vec<i32> = nl.neighbors(c).iter().map(|&j| inst.dist(c, j as usize)).collect();
+            let ds: Vec<i32> = nl
+                .neighbors(c)
+                .iter()
+                .map(|&j| inst.dist(c, j as usize))
+                .collect();
             let mut sorted = ds.clone();
             sorted.sort_unstable();
             assert_eq!(ds, sorted);

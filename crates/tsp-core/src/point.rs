@@ -40,6 +40,21 @@ impl Point {
 
     /// Size in bytes of one point on the device (`float2`).
     pub const DEVICE_BYTES: usize = 8;
+
+    /// Pack the point into one 64-bit device word (`x` in the low half,
+    /// `y` in the high half) — the layout device-resident coordinate
+    /// buffers use, since kernel-visible writes go through 64-bit atomic
+    /// words.
+    #[inline]
+    pub fn to_device_word(self) -> u64 {
+        self.x.to_bits() as u64 | ((self.y.to_bits() as u64) << 32)
+    }
+
+    /// Unpack a point from its 64-bit device word.
+    #[inline]
+    pub fn from_device_word(w: u64) -> Self {
+        Point::new(f32::from_bits(w as u32), f32::from_bits((w >> 32) as u32))
+    }
 }
 
 impl From<(f32, f32)> for Point {
@@ -81,5 +96,23 @@ mod tests {
     #[test]
     fn device_size_matches_float2() {
         assert_eq!(Point::DEVICE_BYTES, core::mem::size_of::<Point>());
+    }
+
+    #[test]
+    fn device_word_roundtrip_is_bit_exact() {
+        for p in [
+            Point::new(0.0, 0.0),
+            Point::new(-0.0, 1.5),
+            Point::new(1234.5678, -99.25),
+            Point::new(f32::MIN_POSITIVE, f32::MAX),
+        ] {
+            let q = Point::from_device_word(p.to_device_word());
+            assert_eq!(p.x.to_bits(), q.x.to_bits());
+            assert_eq!(p.y.to_bits(), q.y.to_bits());
+        }
+        // Known layout: x occupies the low 32 bits.
+        let w = Point::new(1.0, 2.0).to_device_word();
+        assert_eq!(w as u32, 1.0f32.to_bits());
+        assert_eq!((w >> 32) as u32, 2.0f32.to_bits());
     }
 }

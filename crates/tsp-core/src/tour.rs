@@ -122,6 +122,29 @@ impl Tour {
         self.order[from..=to].reverse();
     }
 
+    /// Reverse the cyclic segment of `len` positions starting at `from`,
+    /// allowing the segment to wrap past the end of the order — the host
+    /// mirror of the device reversal kernel's swap schedule: swap `k`
+    /// exchanges positions `(from + k) mod n` and `(from + len - 1 - k)
+    /// mod n` for `k < len / 2`. `len <= 1` is a no-op.
+    ///
+    /// # Panics
+    /// Panics when the tour is non-empty and `from` is out of range, or
+    /// when `len` exceeds the tour length.
+    pub fn reverse_segment_wrapping(&mut self, from: usize, len: usize) {
+        let n = self.order.len();
+        if n == 0 || len <= 1 {
+            return;
+        }
+        assert!(from < n, "segment start {from} out of range for {n}");
+        assert!(len <= n, "segment of {len} positions exceeds tour of {n}");
+        for k in 0..len / 2 {
+            let a = (from + k) % n;
+            let b = (from + len - 1 - k) % n;
+            self.order.swap(a, b);
+        }
+    }
+
     /// The double-bridge 4-opt perturbation used by the paper's ILS (§V:
     /// "We used a simple double-bridge move as a perturbation technique").
     ///
@@ -172,11 +195,7 @@ impl Tour {
         if !inst.is_coordinate_based() {
             return Err(CoreError::MissingCoordinates);
         }
-        Ok(self
-            .order
-            .iter()
-            .map(|&c| inst.point(c as usize))
-            .collect())
+        Ok(self.order.iter().map(|&c| inst.point(c as usize)).collect())
     }
 
     /// Iterate over the tour's edges as position pairs `(k, k+1 mod n)`.
@@ -245,7 +264,7 @@ mod tests {
         let mut t = Tour::new(vec![0, 2, 1, 3]).unwrap();
         let before = t.length(&inst);
         assert_eq!(before, 48); // two sides + two diagonals = 10+14+10+14
-        // Reversing positions 1..=2 yields 0 -> 1 -> 2 -> 3.
+                                // Reversing positions 1..=2 yields 0 -> 1 -> 2 -> 3.
         t.apply_two_opt(0, 2);
         assert_eq!(t.as_slice(), &[0, 1, 2, 3]);
         assert_eq!(t.length(&inst), 40);
@@ -331,6 +350,37 @@ mod tests {
         let a = Tour::identity(4);
         let b = Tour::new(vec![0, 2, 1, 3]).unwrap();
         assert_eq!(a.shared_edges(&b), 2);
+    }
+
+    #[test]
+    fn wrapping_reversal_agrees_with_slice_reversal_inside_bounds() {
+        let mut a = Tour::new(vec![4, 0, 3, 1, 5, 2]).unwrap();
+        let mut b = a.clone();
+        a.reverse_segment(1, 4);
+        b.reverse_segment_wrapping(1, 4);
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn wrapping_reversal_wraps_past_the_end() {
+        // Segment of 4 starting at position 4 of a 6-tour covers
+        // positions 4, 5, 0, 1 -> reversed order 1, 0, 5, 4.
+        let mut t = Tour::identity(6);
+        t.reverse_segment_wrapping(4, 4);
+        assert_eq!(t.as_slice(), &[5, 4, 2, 3, 1, 0]);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn wrapping_reversal_degenerate_segments_are_noops() {
+        let mut t = Tour::new(vec![2, 0, 1]).unwrap();
+        let orig = t.clone();
+        t.reverse_segment_wrapping(1, 0);
+        t.reverse_segment_wrapping(2, 1);
+        assert_eq!(t, orig);
+        // A full-length wrap reversal is still a permutation.
+        t.reverse_segment_wrapping(2, 3);
+        t.validate().unwrap();
     }
 
     #[test]

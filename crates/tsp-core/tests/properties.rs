@@ -4,8 +4,7 @@ use proptest::prelude::*;
 use tsp_core::{lut::DistanceLut, metric, Instance, Metric, Point, Tour};
 
 fn arb_point() -> impl Strategy<Value = Point> {
-    (-10_000i32..10_000, -10_000i32..10_000)
-        .prop_map(|(x, y)| Point::new(x as f32, y as f32))
+    (-10_000i32..10_000, -10_000i32..10_000).prop_map(|(x, y)| Point::new(x as f32, y as f32))
 }
 
 fn arb_instance(metric: Metric) -> impl Strategy<Value = Instance> {
@@ -116,7 +115,6 @@ proptest! {
         use tsp_core::neighbor::NeighborLists;
         let nl = NeighborLists::build(&inst, k);
         let n = inst.len();
-        let k = nl.k();
         for c in 0..n {
             let nb = nl.neighbors(c);
             // The k-th neighbour's distance equals the true k-th

@@ -40,33 +40,168 @@ const fn clustered(c: usize) -> Style {
 
 /// All Table II instances, in the paper's row order.
 pub const TABLE2_INSTANCES: &[CatalogEntry] = &[
-    CatalogEntry { paper_name: "berlin52", n: 52, style: UNIFORM, paper_mf_length: None },
-    CatalogEntry { paper_name: "kroE100", n: 100, style: UNIFORM, paper_mf_length: None },
-    CatalogEntry { paper_name: "ch130", n: 130, style: UNIFORM, paper_mf_length: None },
-    CatalogEntry { paper_name: "ch150", n: 150, style: UNIFORM, paper_mf_length: None },
-    CatalogEntry { paper_name: "kroA200", n: 200, style: UNIFORM, paper_mf_length: None },
-    CatalogEntry { paper_name: "ts225", n: 225, style: GRID, paper_mf_length: None },
-    CatalogEntry { paper_name: "pr299", n: 299, style: GRID, paper_mf_length: None },
-    CatalogEntry { paper_name: "pr439", n: 439, style: GRID, paper_mf_length: None },
-    CatalogEntry { paper_name: "rat783", n: 783, style: UNIFORM, paper_mf_length: None },
-    CatalogEntry { paper_name: "vm1084", n: 1084, style: clustered(12), paper_mf_length: None },
-    CatalogEntry { paper_name: "pr2392", n: 2392, style: GRID, paper_mf_length: None },
-    CatalogEntry { paper_name: "pcb3038", n: 3038, style: GRID, paper_mf_length: None },
-    CatalogEntry { paper_name: "fl3795", n: 3795, style: GRID, paper_mf_length: None },
-    CatalogEntry { paper_name: "fnl4461", n: 4461, style: clustered(20), paper_mf_length: None },
-    CatalogEntry { paper_name: "rl5915", n: 5915, style: UNIFORM, paper_mf_length: None },
-    CatalogEntry { paper_name: "pla7397", n: 7397, style: GRID, paper_mf_length: None },
-    CatalogEntry { paper_name: "usa13509", n: 13509, style: clustered(40), paper_mf_length: None },
-    CatalogEntry { paper_name: "d15112", n: 15112, style: clustered(40), paper_mf_length: None },
-    CatalogEntry { paper_name: "d18512", n: 18512, style: clustered(48), paper_mf_length: None },
-    CatalogEntry { paper_name: "sw24978", n: 24978, style: clustered(60), paper_mf_length: None },
-    CatalogEntry { paper_name: "pla33810", n: 33810, style: GRID, paper_mf_length: None },
-    CatalogEntry { paper_name: "pla85900", n: 85900, style: GRID, paper_mf_length: None },
-    CatalogEntry { paper_name: "sra104815", n: 104815, style: clustered(128), paper_mf_length: None },
-    CatalogEntry { paper_name: "usa115475", n: 115475, style: clustered(128), paper_mf_length: None },
-    CatalogEntry { paper_name: "ara238025", n: 238025, style: clustered(192), paper_mf_length: None },
-    CatalogEntry { paper_name: "lra498378", n: 498378, style: clustered(256), paper_mf_length: None },
-    CatalogEntry { paper_name: "lrb744710", n: 744710, style: clustered(256), paper_mf_length: None },
+    CatalogEntry {
+        paper_name: "berlin52",
+        n: 52,
+        style: UNIFORM,
+        paper_mf_length: None,
+    },
+    CatalogEntry {
+        paper_name: "kroE100",
+        n: 100,
+        style: UNIFORM,
+        paper_mf_length: None,
+    },
+    CatalogEntry {
+        paper_name: "ch130",
+        n: 130,
+        style: UNIFORM,
+        paper_mf_length: None,
+    },
+    CatalogEntry {
+        paper_name: "ch150",
+        n: 150,
+        style: UNIFORM,
+        paper_mf_length: None,
+    },
+    CatalogEntry {
+        paper_name: "kroA200",
+        n: 200,
+        style: UNIFORM,
+        paper_mf_length: None,
+    },
+    CatalogEntry {
+        paper_name: "ts225",
+        n: 225,
+        style: GRID,
+        paper_mf_length: None,
+    },
+    CatalogEntry {
+        paper_name: "pr299",
+        n: 299,
+        style: GRID,
+        paper_mf_length: None,
+    },
+    CatalogEntry {
+        paper_name: "pr439",
+        n: 439,
+        style: GRID,
+        paper_mf_length: None,
+    },
+    CatalogEntry {
+        paper_name: "rat783",
+        n: 783,
+        style: UNIFORM,
+        paper_mf_length: None,
+    },
+    CatalogEntry {
+        paper_name: "vm1084",
+        n: 1084,
+        style: clustered(12),
+        paper_mf_length: None,
+    },
+    CatalogEntry {
+        paper_name: "pr2392",
+        n: 2392,
+        style: GRID,
+        paper_mf_length: None,
+    },
+    CatalogEntry {
+        paper_name: "pcb3038",
+        n: 3038,
+        style: GRID,
+        paper_mf_length: None,
+    },
+    CatalogEntry {
+        paper_name: "fl3795",
+        n: 3795,
+        style: GRID,
+        paper_mf_length: None,
+    },
+    CatalogEntry {
+        paper_name: "fnl4461",
+        n: 4461,
+        style: clustered(20),
+        paper_mf_length: None,
+    },
+    CatalogEntry {
+        paper_name: "rl5915",
+        n: 5915,
+        style: UNIFORM,
+        paper_mf_length: None,
+    },
+    CatalogEntry {
+        paper_name: "pla7397",
+        n: 7397,
+        style: GRID,
+        paper_mf_length: None,
+    },
+    CatalogEntry {
+        paper_name: "usa13509",
+        n: 13509,
+        style: clustered(40),
+        paper_mf_length: None,
+    },
+    CatalogEntry {
+        paper_name: "d15112",
+        n: 15112,
+        style: clustered(40),
+        paper_mf_length: None,
+    },
+    CatalogEntry {
+        paper_name: "d18512",
+        n: 18512,
+        style: clustered(48),
+        paper_mf_length: None,
+    },
+    CatalogEntry {
+        paper_name: "sw24978",
+        n: 24978,
+        style: clustered(60),
+        paper_mf_length: None,
+    },
+    CatalogEntry {
+        paper_name: "pla33810",
+        n: 33810,
+        style: GRID,
+        paper_mf_length: None,
+    },
+    CatalogEntry {
+        paper_name: "pla85900",
+        n: 85900,
+        style: GRID,
+        paper_mf_length: None,
+    },
+    CatalogEntry {
+        paper_name: "sra104815",
+        n: 104815,
+        style: clustered(128),
+        paper_mf_length: None,
+    },
+    CatalogEntry {
+        paper_name: "usa115475",
+        n: 115475,
+        style: clustered(128),
+        paper_mf_length: None,
+    },
+    CatalogEntry {
+        paper_name: "ara238025",
+        n: 238025,
+        style: clustered(192),
+        paper_mf_length: None,
+    },
+    CatalogEntry {
+        paper_name: "lra498378",
+        n: 498378,
+        style: clustered(256),
+        paper_mf_length: None,
+    },
+    CatalogEntry {
+        paper_name: "lrb744710",
+        n: 744710,
+        style: clustered(256),
+        paper_mf_length: None,
+    },
 ];
 
 /// Table I's 12 instances (memory-footprint comparison).

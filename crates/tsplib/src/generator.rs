@@ -68,10 +68,7 @@ pub fn generate(name: &str, n: usize, style: Style, seed: u64) -> Instance {
                     let c = i % cols;
                     let jx: f32 = rng.gen_range(-0.2..0.2);
                     let jy: f32 = rng.gen_range(-0.2..0.2);
-                    Point::new(
-                        (c as f32 + 0.5 + jx) * pitch,
-                        (r as f32 + 0.5 + jy) * pitch,
-                    )
+                    Point::new((c as f32 + 0.5 + jx) * pitch, (r as f32 + 0.5 + jy) * pitch)
                 })
                 .collect()
         }

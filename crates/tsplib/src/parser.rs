@@ -89,12 +89,10 @@ pub fn parse(text: &str) -> Result<Instance, TsplibError> {
 
         match section {
             Section::Header => {
-                let (key, value) = line
-                    .split_once(':')
-                    .ok_or_else(|| TsplibError::Syntax {
-                        line: lineno + 1,
-                        message: format!("expected `KEY: value`, got `{line}`"),
-                    })?;
+                let (key, value) = line.split_once(':').ok_or_else(|| TsplibError::Syntax {
+                    line: lineno + 1,
+                    message: format!("expected `KEY: value`, got `{line}`"),
+                })?;
                 header.insert(key.trim().to_uppercase(), value.trim().to_string());
             }
             Section::NodeCoords => {

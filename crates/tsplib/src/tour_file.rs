@@ -29,11 +29,10 @@ pub fn parse_tour(text: &str) -> Result<Tour, TsplibError> {
             if let Some((key, value)) = line.split_once(':') {
                 let key = key.trim().to_uppercase();
                 if key == "DIMENSION" {
-                    dimension =
-                        Some(value.trim().parse().map_err(|_| TsplibError::Syntax {
-                            line: lineno + 1,
-                            message: "DIMENSION is not an integer".into(),
-                        })?);
+                    dimension = Some(value.trim().parse().map_err(|_| TsplibError::Syntax {
+                        line: lineno + 1,
+                        message: "DIMENSION is not an integer".into(),
+                    })?);
                 } else if key == "TYPE" && value.trim() != "TOUR" {
                     return Err(TsplibError::UnsupportedType(value.trim().to_string()));
                 }
@@ -53,7 +52,9 @@ pub fn parse_tour(text: &str) -> Result<Tour, TsplibError> {
         }
     }
     if ids.is_empty() {
-        return Err(TsplibError::Invalid("tour file has no TOUR_SECTION entries".into()));
+        return Err(TsplibError::Invalid(
+            "tour file has no TOUR_SECTION entries".into(),
+        ));
     }
     if let Some(d) = dimension {
         if ids.len() != d {
@@ -134,7 +135,10 @@ mod tests {
     #[test]
     fn rejects_wrong_type() {
         let text = "TYPE: TSP\nTOUR_SECTION\n1 2 3\n-1\n";
-        assert!(matches!(parse_tour(text), Err(TsplibError::UnsupportedType(_))));
+        assert!(matches!(
+            parse_tour(text),
+            Err(TsplibError::UnsupportedType(_))
+        ));
     }
 
     #[test]

@@ -47,10 +47,7 @@ fn main() {
         let host = start.elapsed().as_secs_f64();
         match &reference {
             None => reference = Some(mv),
-            Some(r) => assert_eq!(
-                &mv, r,
-                "engines must agree bit-for-bit on the best move"
-            ),
+            Some(r) => assert_eq!(&mv, r, "engines must agree bit-for-bit on the best move"),
         }
         let t = prof.modeled_seconds();
         let speedup = match baseline_time {
@@ -69,7 +66,9 @@ fn main() {
             host * 1e3,
         );
     }
-    let mv = reference.flatten().expect("a random tour has improving moves");
+    let mv = reference
+        .flatten()
+        .expect("a random tour has improving moves");
     println!(
         "\nall engines found the same best move: delta {} at positions ({}, {})",
         mv.delta, mv.i, mv.j

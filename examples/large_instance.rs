@@ -50,10 +50,7 @@ fn main() {
     );
     println!("  host wall time: {:.2} s", start.elapsed().as_secs_f64());
     let mv = mv.expect("a random tour has improving moves");
-    println!(
-        "  best move: delta {} at ({}, {})",
-        mv.delta, mv.i, mv.j
-    );
+    println!("  best move: delta {} at ({}, {})", mv.delta, mv.i, mv.j);
 
     // Cross-check against the sequential engine (on a smaller instance
     // this would be instant; here it is the slow path — skip above 30k).

@@ -23,8 +23,8 @@ fn main() {
     let timeline = Timeline::new();
     timeline.set_label("2opt-sweep");
     let mut engine = GpuTwoOpt::new(spec::gtx_680_cuda()).with_timeline(timeline.clone());
-    let stats = optimize(&mut engine, &inst, &mut tour, SearchOptions::default())
-        .expect("descent runs");
+    let stats =
+        optimize(&mut engine, &inst, &mut tour, SearchOptions::default()).expect("descent runs");
 
     println!(
         "descent on {n} cities: {} sweeps to the local minimum ({} -> {})\n",

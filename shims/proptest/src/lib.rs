@@ -1,0 +1,566 @@
+//! Offline stand-in for `proptest` (the API subset this workspace uses).
+//!
+//! Implements deterministic random-input testing: the `proptest!` macro,
+//! `Strategy` with `prop_map` / `prop_flat_map` / `prop_perturb`, range
+//! and tuple strategies, `Just`, `any::<T>()`, `collection::vec`, a
+//! printable-string strategy for `&str` patterns, and the assertion
+//! macros. **No shrinking** — a failing case reports its case index and
+//! seed instead of a minimized input; cases are reproducible because the
+//! per-test RNG stream is seeded from the test's name.
+
+pub mod test_runner {
+    /// The RNG handed to strategies and `prop_perturb` closures. A type
+    /// alias so the caller's `use rand::Rng` applies to it directly.
+    pub type TestRng = rand::rngs::SmallRng;
+
+    /// Why a strategy failed to produce a tree (never happens here; kept
+    /// for API compatibility with `new_tree(..).unwrap()`).
+    #[derive(Debug, Clone)]
+    pub struct Reason(pub String);
+
+    /// A failed (or rejected) test case.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        msg: String,
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError { msg: msg.into() }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.msg)
+        }
+    }
+
+    /// Drives strategies outside the `proptest!` macro.
+    pub struct TestRunner {
+        rng: TestRng,
+    }
+
+    impl Default for TestRunner {
+        fn default() -> Self {
+            use rand::SeedableRng;
+            TestRunner {
+                rng: TestRng::seed_from_u64(0x70_72_6F_70_74_65_73_74),
+            }
+        }
+    }
+
+    impl TestRunner {
+        pub fn rng(&mut self) -> &mut TestRng {
+            &mut self.rng
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::{Reason, TestRng, TestRunner};
+
+    /// A generator of test values. Unlike upstream proptest there is no
+    /// shrinking; `generate` is the whole contract.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        fn prop_perturb<U, F: Fn(Self::Value, TestRng) -> U>(self, f: F) -> Perturb<Self, F>
+        where
+            Self: Sized,
+        {
+            Perturb { inner: self, f }
+        }
+
+        fn new_tree(&self, runner: &mut TestRunner) -> Result<SampledTree<Self::Value>, Reason>
+        where
+            Self::Value: Clone,
+        {
+            Ok(SampledTree(self.generate(runner.rng())))
+        }
+    }
+
+    /// A sampled value pretending to be a shrink tree.
+    pub trait ValueTree {
+        type Value;
+        fn current(&self) -> Self::Value;
+    }
+
+    pub struct SampledTree<T>(T);
+
+    impl<T: Clone> ValueTree for SampledTree<T> {
+        type Value = T;
+        fn current(&self) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    pub struct Perturb<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value, TestRng) -> U> Strategy for Perturb<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            use rand::{RngCore, SeedableRng};
+            let fork = TestRng::seed_from_u64(rng.next_u64());
+            (self.f)(self.inner.generate(rng), fork)
+        }
+    }
+
+    macro_rules! sampled_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    use rand::Rng;
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    use rand::Rng;
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    sampled_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize, f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A 0)
+        (A 0, B 1)
+        (A 0, B 1, C 2)
+        (A 0, B 1, C 2, D 3)
+        (A 0, B 1, C 2, D 3, E 4)
+        (A 0, B 1, C 2, D 3, E 4, F 5)
+    }
+
+    /// A `&str` pattern strategy. Upstream proptest interprets the string
+    /// as a regex; this shim supports the printable-text patterns the
+    /// test-suite uses (`\PC{m,n}`) by generating printable ASCII of a
+    /// length drawn from the trailing `{m,n}` repetition (default 0..=64).
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            use rand::Rng;
+            let (min, max) = repeat_bounds(self).unwrap_or((0, 64));
+            let len = rng.gen_range(min..=max.max(min));
+            (0..len)
+                .map(|_| {
+                    let c = rng.gen_range(0x20u32..0x7F);
+                    char::from_u32(c).unwrap()
+                })
+                .collect()
+        }
+    }
+
+    fn repeat_bounds(pattern: &str) -> Option<(usize, usize)> {
+        let open = pattern.rfind('{')?;
+        let close = pattern[open..].find('}')? + open;
+        let body = &pattern[open + 1..close];
+        let (lo, hi) = body.split_once(',')?;
+        Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+    }
+
+    /// Types with a canonical "whole domain" strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    use rand::RngCore;
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            use rand::RngCore;
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    pub struct ArbAny<A>(core::marker::PhantomData<A>);
+
+    impl<A: Arbitrary> Strategy for ArbAny<A> {
+        type Value = A;
+        fn generate(&self, rng: &mut TestRng) -> A {
+            A::arbitrary(rng)
+        }
+    }
+
+    /// The full-domain strategy for `A`.
+    pub fn any<A: Arbitrary>() -> ArbAny<A> {
+        ArbAny(core::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `vec(element, sizes)` — a vector of values from `element` whose
+    /// length is drawn from `sizes`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            use rand::Rng;
+            let len = rng.gen_range(self.size.min..=self.size.max);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Macro-internal driver: runs `body` for `cfg.cases` deterministic
+/// seeds derived from the test name, panicking on the first failure.
+pub fn run_proptest<F>(name: &str, cfg: &ProptestConfig, mut body: F)
+where
+    F: FnMut(&mut test_runner::TestRng) -> Result<(), test_runner::TestCaseError>,
+{
+    use rand::SeedableRng;
+    let base = fnv1a(name.as_bytes());
+    for case in 0..cfg.cases {
+        let seed = base ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = test_runner::TestRng::seed_from_u64(seed);
+        if let Err(e) = body(&mut rng) {
+            panic!(
+                "proptest '{name}' failed at case {case}/{} (seed {seed:#x}): {e}",
+                cfg.cases
+            );
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01B3);
+    }
+    h
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])+
+      fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])+
+        fn $name() {
+            let cfg = $cfg;
+            $crate::run_proptest(
+                stringify!($name),
+                &cfg,
+                |__proptest_rng| -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), __proptest_rng);)+
+                    $body
+                    ::core::result::Result::Ok(())
+                },
+            );
+        }
+        $crate::__proptest_body! { ($cfg) $($rest)* }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left), stringify!($right), l, r,
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `{} == {}` ({})\n  left: {:?}\n right: {:?}",
+                    stringify!($left), stringify!($right), ::std::format!($($fmt)+), l, r,
+                ),
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(, $($fmt:tt)+)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `{} != {}`\n  both: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    l,
+                ),
+            ));
+        }
+    }};
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy, ValueTree};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 10i32..20, y in 0u64..=5) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!(y <= 5);
+        }
+
+        #[test]
+        fn combinators_compose(
+            v in crate::collection::vec((0i32..100, 0i32..100).prop_map(|(a, b)| a + b), 3..10),
+            s in "\\PC{0,40}",
+            w in (1usize..5).prop_flat_map(|n| crate::collection::vec(0u8..10, n)),
+        ) {
+            prop_assert!(v.len() >= 3 && v.len() < 10);
+            prop_assert!(v.iter().all(|&x| (0..200).contains(&x)));
+            prop_assert!(s.len() <= 40);
+            prop_assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+            prop_assert!(!w.is_empty() && w.len() < 5);
+        }
+
+        #[test]
+        fn perturb_forks_an_rng(n in 4usize..10, pair in Just(()).prop_perturb(|_, mut rng| {
+            use rand::Rng;
+            (rng.gen_range(0usize..100), rng.gen_range(0usize..100))
+        })) {
+            prop_assert!(n >= 4);
+            prop_assert!(pair.0 < 100 && pair.1 < 100);
+        }
+
+        #[test]
+        fn assume_skips_without_failing(a in 0i32..10) {
+            prop_assume!(a % 2 == 0);
+            prop_assert_eq!(a % 2, 0);
+        }
+    }
+
+    #[test]
+    fn runner_and_trees_sample_values() {
+        use crate::test_runner::TestRunner;
+        let mut runner = TestRunner::default();
+        let tree = (0u32..7).new_tree(&mut runner).unwrap();
+        assert!(tree.current() < 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic_with_case_info() {
+        crate::run_proptest("always_fails", &ProptestConfig::with_cases(3), |_| {
+            Err(TestCaseError::fail("nope"))
+        });
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut first: Vec<u64> = Vec::new();
+        crate::run_proptest("det", &ProptestConfig::with_cases(5), |rng| {
+            use rand::RngCore;
+            first.push(rng.next_u64());
+            Ok(())
+        });
+        let mut second: Vec<u64> = Vec::new();
+        crate::run_proptest("det", &ProptestConfig::with_cases(5), |rng| {
+            use rand::RngCore;
+            second.push(rng.next_u64());
+            Ok(())
+        });
+        assert_eq!(first, second);
+    }
+}

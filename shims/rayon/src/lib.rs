@@ -1,0 +1,189 @@
+//! Offline stand-in for `rayon` (the subset this workspace uses).
+//!
+//! `into_par_iter().map(..).collect()` / `.reduce(..)` over ranges and
+//! vectors, executed on std scoped threads with order-preserving chunked
+//! fan-out. No work stealing — items are split into `current_num_threads`
+//! contiguous chunks up front, which matches how the workspace uses the
+//! API (uniform per-item cost across a block grid or a pair space).
+//! Panics in worker closures propagate to the caller like rayon's do.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads a parallel iterator will fan out to.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, ParallelIterator};
+}
+
+pub mod iter {
+    use super::current_num_threads;
+
+    /// Conversion into a (materialized) parallel iterator.
+    pub trait IntoParallelIterator {
+        type Item: Send;
+        fn into_par_iter(self) -> ParIter<Self::Item>;
+    }
+
+    /// Marker trait mirroring rayon's `ParallelIterator`; the combinators
+    /// the workspace uses are inherent methods on the concrete adapters.
+    pub trait ParallelIterator {}
+
+    /// A materialized parallel iterator over `items`.
+    pub struct ParIter<T: Send> {
+        items: Vec<T>,
+    }
+
+    impl<T: Send> ParallelIterator for ParIter<T> {}
+
+    macro_rules! range_into_par_iter {
+        ($($t:ty),*) => {$(
+            impl IntoParallelIterator for core::ops::Range<$t> {
+                type Item = $t;
+                fn into_par_iter(self) -> ParIter<$t> {
+                    ParIter { items: self.collect() }
+                }
+            }
+        )*};
+    }
+
+    range_into_par_iter!(u32, u64, usize, i32, i64);
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        fn into_par_iter(self) -> ParIter<T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl<T: Send> ParIter<T> {
+        pub fn map<U, F>(self, f: F) -> Map<T, F>
+        where
+            U: Send,
+            F: Fn(T) -> U + Sync,
+        {
+            Map {
+                items: self.items,
+                f,
+            }
+        }
+
+        pub fn count(self) -> usize {
+            self.items.len()
+        }
+    }
+
+    /// The `map` adapter; terminal ops run the parallel fan-out.
+    pub struct Map<T: Send, F> {
+        items: Vec<T>,
+        f: F,
+    }
+
+    impl<T: Send, U: Send, F: Fn(T) -> U + Sync> ParallelIterator for Map<T, F> {}
+
+    impl<T: Send, U: Send, F: Fn(T) -> U + Sync> Map<T, F> {
+        pub fn collect<C: From<Vec<U>>>(self) -> C {
+            C::from(par_map(self.items, &self.f))
+        }
+
+        /// Rayon-style reduce: fold the mapped values with `op`, seeded by
+        /// `identity`. `op` must be associative and `identity()` neutral,
+        /// exactly as rayon requires.
+        pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> U
+        where
+            ID: Fn() -> U + Sync,
+            OP: Fn(U, U) -> U + Sync,
+        {
+            par_map(self.items, &self.f)
+                .into_iter()
+                .fold(identity(), op)
+        }
+    }
+
+    /// Order-preserving parallel map over contiguous chunks.
+    fn par_map<T: Send, U: Send>(items: Vec<T>, f: &(impl Fn(T) -> U + Sync)) -> Vec<U> {
+        let n = items.len();
+        let workers = current_num_threads().min(n);
+        if workers <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        let chunk = n.div_ceil(workers);
+        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+        let mut it = items.into_iter();
+        loop {
+            let c: Vec<T> = it.by_ref().take(chunk).collect();
+            if c.is_empty() {
+                break;
+            }
+            chunks.push(c);
+        }
+        let mut out: Vec<U> = Vec::with_capacity(n);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<U>>()))
+                .collect();
+            for h in handles {
+                // Propagate worker panics to the caller, like rayon.
+                out.extend(h.join().expect("rayon shim: worker thread panicked"));
+            }
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0u64..10_000).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v.len(), 10_000);
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i as u64 * 2);
+        }
+    }
+
+    #[test]
+    fn reduce_folds_all_items() {
+        let total: u64 = (1u64..=100)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|x| x)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 5050);
+    }
+
+    #[test]
+    fn reduce_with_option_mirrors_cpu_parallel_usage() {
+        let best = (0u64..1000)
+            .into_par_iter()
+            .map(|x| if x % 7 == 0 { Some(x) } else { None })
+            .reduce(
+                || None,
+                |a, b| match (a, b) {
+                    (None, x) => x,
+                    (x, None) => x,
+                    (Some(a), Some(b)) => Some(a.max(b)),
+                },
+            );
+        assert_eq!(best, Some(994));
+    }
+
+    #[test]
+    fn empty_input_yields_identity() {
+        let v: Vec<u32> = Vec::new();
+        let sum = v.into_par_iter().map(|x| x).reduce(|| 0, |a, b| a + b);
+        assert_eq!(sum, 0);
+    }
+
+    #[test]
+    fn current_num_threads_is_positive() {
+        assert!(super::current_num_threads() >= 1);
+    }
+}

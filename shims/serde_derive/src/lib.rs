@@ -1,0 +1,46 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace only ever *derives* `Serialize`/`Deserialize` (no
+//! serializer crate is present), so the derives here expand to plain
+//! marker-trait impls for the deriving type, ignoring generics-free
+//! struct/enum bodies. All deriving types in this workspace are concrete
+//! (no type parameters), which keeps the hand-rolled expansion trivial.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Pull the type identifier out of `struct Foo {...}` / `enum Foo {...}`,
+/// skipping attributes, visibility, and doc comments.
+fn type_ident(input: TokenStream) -> Option<String> {
+    let mut saw_kw = false;
+    for tt in input {
+        match tt {
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if saw_kw {
+                    return Some(s);
+                }
+                if s == "struct" || s == "enum" || s == "union" {
+                    saw_kw = true;
+                }
+            }
+            _ => continue,
+        }
+    }
+    None
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_ident(input).expect("serde_derive shim: no type name");
+    format!("impl serde::Serialize for {name} {{}}")
+        .parse()
+        .unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_ident(input).expect("serde_derive shim: no type name");
+    format!("impl<'de> serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .unwrap()
+}

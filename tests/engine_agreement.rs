@@ -3,16 +3,16 @@
 
 use gpu_sim::spec;
 use proptest::prelude::*;
-use tsp_2opt::{CpuParallelTwoOpt, GpuTwoOpt, SequentialTwoOpt, Strategy as GpuStrategy, TwoOptEngine};
+use tsp_2opt::{
+    CpuParallelTwoOpt, GpuTwoOpt, SequentialTwoOpt, Strategy as GpuStrategy, TwoOptEngine,
+};
 use tsp_core::{Instance, Metric, Point, Tour};
 
 /// An arbitrary instance: n in [4, 60], coordinates on a grid (integral
 /// f32 so distance rounding is stable).
 fn arb_instance() -> impl Strategy<Value = Instance> {
     (4usize..60)
-        .prop_flat_map(|n| {
-            proptest::collection::vec((0i32..2000, 0i32..2000), n)
-        })
+        .prop_flat_map(|n| proptest::collection::vec((0i32..2000, 0i32..2000), n))
         .prop_map(|coords| {
             let pts: Vec<Point> = coords
                 .into_iter()

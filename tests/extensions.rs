@@ -6,7 +6,7 @@
 use gpu_sim::spec;
 use tsp_2opt::gpu::oropt_kernel::GpuOrOpt;
 use tsp_2opt::verify::is_two_opt_minimum;
-use tsp_2opt::{dlb, oropt, threeopt, twohopt, vnd, MultiGpuTwoOpt, TwoOptEngine};
+use tsp_2opt::{dlb, oropt, threeopt, twohopt, vnd, MultiGpuTwoOpt};
 use tsp_construction::multiple_fragment;
 use tsp_core::Tour;
 use tsp_tsplib::{generate, Style};
@@ -103,8 +103,7 @@ fn timeline_observes_a_whole_vnd_run() {
     let inst = generate("timeline", 80, Style::Uniform, 6);
     let timeline = gpu_sim::Timeline::new();
     timeline.set_label("2opt");
-    let mut two =
-        tsp_2opt::GpuTwoOpt::new(spec::gtx_680_cuda()).with_timeline(timeline.clone());
+    let mut two = tsp_2opt::GpuTwoOpt::new(spec::gtx_680_cuda()).with_timeline(timeline.clone());
     let mut or = GpuOrOpt::new(spec::gtx_680_cuda());
     let mut tour = multiple_fragment(&inst);
     let stats = vnd::optimize_vnd(&mut two, &mut or, &inst, &mut tour).unwrap();

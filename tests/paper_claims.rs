@@ -28,13 +28,21 @@ fn table2_single_run_shape_matches_the_paper() {
     let row = |name: &str| rows.iter().find(|r| r.name.contains(name)).unwrap();
     // berlin52 total ~81 us in the paper.
     let b = row("berlin52");
-    assert!((40e-6..200e-6).contains(&b.total_s), "berlin52 {}", b.total_s);
+    assert!(
+        (40e-6..200e-6).contains(&b.total_s),
+        "berlin52 {}",
+        b.total_s
+    );
     // usa13509 total ~4.8 ms in the paper.
     let u = row("usa13509");
     assert!((2e-3..12e-3).contains(&u.total_s), "usa13509 {}", u.total_s);
     // lrb744710 kernel ~13 s in the paper.
     let l = row("lrb744710");
-    assert!((5.0..30.0).contains(&l.kernel_s), "lrb744710 {}", l.kernel_s);
+    assert!(
+        (5.0..30.0).contains(&l.kernel_s),
+        "lrb744710 {}",
+        l.kernel_s
+    );
     // checks/s saturates near the paper's ~21,652 M/s.
     assert!(
         (18_000.0..24_000.0).contains(&l.mchecks_per_s),
@@ -92,7 +100,11 @@ fn fig11_convergence_separates_gpu_from_cpu() {
         c.gpu.last().unwrap().best_length,
         c.cpu.last().unwrap().best_length
     );
-    assert!(c.speedup_to_quality > 5.0, "speedup {}", c.speedup_to_quality);
+    assert!(
+        c.speedup_to_quality > 5.0,
+        "speedup {}",
+        c.speedup_to_quality
+    );
     // §V: no substantial advantage below ~200 cities.
     let small = fig11::compute(80, 6, 0x2013);
     assert!(small.speedup_to_quality < c.speedup_to_quality);

@@ -13,8 +13,7 @@ fn shared_memory_limit_forces_the_division_scheme() {
     let n = 6145;
     let inst = generate("limit", n, Style::Uniform, 1);
     let tour = Tour::identity(n);
-    let mut forced_shared =
-        GpuTwoOpt::new(spec::gtx_680_cuda()).with_strategy(Strategy::Shared);
+    let mut forced_shared = GpuTwoOpt::new(spec::gtx_680_cuda()).with_strategy(Strategy::Shared);
     match forced_shared.best_move(&inst, &tour) {
         Err(tsp_2opt::EngineError::Sim(SimError::SharedMemExceeded { requested, limit })) => {
             assert_eq!(requested, n * 8);

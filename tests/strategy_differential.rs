@@ -1,0 +1,162 @@
+//! Differential suite across every kernel strategy.
+//!
+//! All pipelines — the serial re-upload ones (`Auto`, `Shared`, `Tiled`,
+//! `GlobalOnly`, `Unordered`) and the device-resident one — implement
+//! the *same* best-improvement 2-opt semantics, so on any instance they
+//! must return the identical packed best move. This suite pins that
+//! across spatial structure (uniform and clustered fields) and across
+//! the size ladder the kernels specialize over: tiny (n = 8), the
+//! paper's berlin52, a mid shared-memory size (512), the largest size
+//! that still fits every shared variant (3073), and one past both the
+//! `Shared` (6144 points) and `Unordered` (4096 points) capacities
+//! (7000), where the capacity-limited strategies must error instead of
+//! answering wrongly.
+
+use gpu_sim::{spec, SimError};
+use tsp_2opt::{
+    optimize, BestMove, EngineError, GpuTwoOpt, SearchOptions, SequentialTwoOpt, Strategy,
+    TwoOptEngine,
+};
+use tsp_core::{Instance, Tour};
+use tsp_tsplib::{generate, Style};
+
+/// Tour used for every differential check: deterministic and decidedly
+/// non-optimal, so an improving move exists at every size.
+fn scrambled_tour(n: usize) -> Tour {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    let mut rng = SmallRng::seed_from_u64(0x5eed ^ n as u64);
+    Tour::random(n, &mut rng)
+}
+
+/// A tile size valid at every n (capacity 3071) that still produces a
+/// multi-tile decomposition for all but the smallest instances.
+fn tile_for(n: usize) -> usize {
+    (n / 8).clamp(3, 3071)
+}
+
+fn reference_move(inst: &Instance, tour: &Tour) -> Option<BestMove> {
+    let mut seq = SequentialTwoOpt::new();
+    let (mv, _) = seq.best_move(inst, tour).unwrap();
+    mv
+}
+
+fn strategy_move(inst: &Instance, tour: &Tour, strategy: Strategy) -> Option<BestMove> {
+    let mut gpu = GpuTwoOpt::new(spec::gtx_680_cuda()).with_strategy(strategy);
+    let (mv, _) = gpu.best_move(inst, tour).unwrap();
+    mv
+}
+
+fn instances_of(n: usize) -> Vec<Instance> {
+    vec![
+        generate("diff-uniform", n, Style::Uniform, 7),
+        generate("diff-clustered", n, Style::Clustered { clusters: 5 }, 7),
+    ]
+}
+
+fn assert_all_strategies_agree(n: usize) {
+    for inst in instances_of(n) {
+        let tour = scrambled_tour(n);
+        let expected = reference_move(&inst, &tour);
+        for strategy in [
+            Strategy::Auto,
+            Strategy::Shared,
+            Strategy::Tiled { tile: tile_for(n) },
+            Strategy::GlobalOnly,
+            Strategy::Unordered,
+            Strategy::DeviceResident,
+        ] {
+            let got = strategy_move(&inst, &tour, strategy);
+            assert_eq!(got, expected, "{} n={n} {strategy:?}", inst.name());
+        }
+    }
+}
+
+#[test]
+fn all_strategies_agree_tiny() {
+    assert_all_strategies_agree(8);
+}
+
+#[test]
+fn all_strategies_agree_berlin52_sized() {
+    assert_all_strategies_agree(52);
+}
+
+#[test]
+fn all_strategies_agree_mid_shared() {
+    assert_all_strategies_agree(512);
+}
+
+#[test]
+fn all_strategies_agree_at_shared_variant_capacity() {
+    // 3073 * 8 B = 24.6 kB (ordered) and 3073 * 12 B = 36.9 kB
+    // (unordered) both fit the 48 kB limit; past the 3071-position tile
+    // capacity, so the tiled path genuinely decomposes.
+    assert_all_strategies_agree(3073);
+}
+
+#[test]
+fn capable_strategies_agree_past_shared_capacity() {
+    let n = 7000;
+    for inst in instances_of(n) {
+        let tour = scrambled_tour(n);
+        let expected = reference_move(&inst, &tour);
+        for strategy in [
+            Strategy::Auto,
+            Strategy::Tiled { tile: tile_for(n) },
+            Strategy::GlobalOnly,
+            Strategy::DeviceResident,
+        ] {
+            let got = strategy_move(&inst, &tour, strategy);
+            assert_eq!(got, expected, "{} n={n} {strategy:?}", inst.name());
+        }
+    }
+}
+
+#[test]
+fn capacity_limited_strategies_error_past_shared_capacity() {
+    // 7000 points: 56 kB ordered (> 48 kB) and 84 kB unordered — both
+    // forced variants must refuse, not truncate.
+    let n = 7000;
+    let inst = generate("diff-uniform", n, Style::Uniform, 7);
+    let tour = scrambled_tour(n);
+    for strategy in [Strategy::Shared, Strategy::Unordered] {
+        let mut gpu = GpuTwoOpt::new(spec::gtx_680_cuda()).with_strategy(strategy);
+        assert!(
+            matches!(
+                gpu.best_move(&inst, &tour),
+                Err(EngineError::Sim(SimError::SharedMemExceeded { .. }))
+            ),
+            "{strategy:?} must exceed shared memory at n={n}"
+        );
+    }
+}
+
+#[test]
+fn device_resident_descent_tracks_serial_descent() {
+    // Beyond single sweeps: a capped descent (reversal kernel active
+    // from sweep 2 on) stays move-for-move identical to the serial
+    // Algorithm-2 pipeline.
+    let n = 512;
+    let inst = generate("diff-descent", n, Style::Clustered { clusters: 5 }, 3);
+    let opts = SearchOptions {
+        max_sweeps: Some(10),
+    };
+
+    let mut t_serial = scrambled_tour(n);
+    let mut serial = GpuTwoOpt::new(spec::gtx_680_cuda());
+    let a = optimize(&mut serial, &inst, &mut t_serial, opts).unwrap();
+
+    let mut t_resident = scrambled_tour(n);
+    let mut resident = GpuTwoOpt::new(spec::gtx_680_cuda()).with_strategy(Strategy::DeviceResident);
+    let b = optimize(&mut resident, &inst, &mut t_resident, opts).unwrap();
+
+    assert_eq!(t_serial.as_slice(), t_resident.as_slice());
+    assert_eq!(a.final_length, b.final_length);
+    assert_eq!(a.sweeps, b.sweeps);
+    // The resident pipeline paid one upload and n-1 reversals; the
+    // serial one paid n uploads and no reversals.
+    assert!(b.profile.reversal_seconds > 0.0);
+    assert_eq!(a.profile.reversal_seconds, 0.0);
+    assert!(b.profile.h2d_seconds < a.profile.h2d_seconds);
+}
