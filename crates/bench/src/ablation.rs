@@ -30,6 +30,12 @@ pub struct Row {
 
 /// Ablation 1 + 2: kernel variants at one size (modeled sweep time).
 pub fn memory_variants(n: usize) -> Vec<Row> {
+    memory_variants_traced(n, &tsp_trace::Recorder::disabled())
+}
+
+/// [`memory_variants`] with a [`tsp_trace::Recorder`] attached, so the
+/// trace shows the three kernel variants side by side.
+pub fn memory_variants_traced(n: usize, recorder: &tsp_trace::Recorder) -> Vec<Row> {
     let dev = spec::gtx_680_cuda();
     let inst = generate("abl-mem", n, Style::Uniform, 1);
     let tour = Tour::identity(n);
@@ -40,7 +46,9 @@ pub fn memory_variants(n: usize) -> Vec<Row> {
     ]
     .into_iter()
     .map(|(label, strategy)| {
-        let mut eng = GpuTwoOpt::new(dev.clone()).with_strategy(strategy);
+        let mut eng = GpuTwoOpt::new(dev.clone())
+            .with_strategy(strategy)
+            .with_recorder(recorder.clone());
         let (_, p) = eng.best_move(&inst, &tour).expect("kernel runs");
         Row {
             label: label.into(),

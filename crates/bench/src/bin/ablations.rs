@@ -1,17 +1,27 @@
 //! Runs the ablation studies of DESIGN.md §5.
+//!
+//! Usage: `ablations [--trace-out <path>]`
+//!   --trace-out — write a Chrome-trace JSON of the kernel memory
+//!                 variants ablation (load in https://ui.perfetto.dev).
 
 use tsp_bench::ablation;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (trace_out, _) = tsp_bench::trace::split_trace_out(&args);
+    let recorder = tsp_bench::trace::recorder_for(&trace_out);
     println!("Ablation studies (GTX 680 CUDA model)\n");
     print!(
         "{}",
         ablation::render(
             "Optimization 1 & 2: kernel memory variants (n = 2048, one sweep)",
             &["variant", "kernel", "total", "checks/s"],
-            &ablation::memory_variants(2048),
+            &ablation::memory_variants_traced(2048, &recorder),
         )
     );
+    if let Some(path) = &trace_out {
+        tsp_bench::trace::write_trace(path, &recorder);
+    }
     print!(
         "{}",
         ablation::render(

@@ -1,18 +1,25 @@
 //! Regenerates the paper's Fig. 11 (ILS convergence, GPU vs CPU).
 //!
-//! Usage: `fig11 [n] [iterations] [--csv]`
-//!   n          — instance size (default 600; the paper uses 24978,
-//!                which takes far longer to run functionally)
-//!   iterations — ILS perturbation count (default 30)
+//! Usage: `fig11 [n] [iterations] [--csv] [--trace-out <path>]`
+//!   n           — instance size (default 600; the paper uses 24978,
+//!                 which takes far longer to run functionally)
+//!   iterations  — ILS perturbation count (default 30)
+//!   --trace-out — write a Chrome-trace JSON of the GPU run
+//!                 (load in https://ui.perfetto.dev).
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let (trace_out, args) = tsp_bench::trace::split_trace_out(&args);
     let csv = args.iter().any(|a| a == "--csv");
     let mut nums = args.iter().filter_map(|s| s.parse::<u64>().ok());
     let n: usize = nums.next().unwrap_or(600) as usize;
     let iters: u64 = nums.next().unwrap_or(30);
     eprintln!("running ILS on a clustered instance of n = {n}, {iters} iterations...");
-    let c = tsp_bench::fig11::compute(n, iters, 0x2013);
+    let recorder = tsp_bench::trace::recorder_for(&trace_out);
+    let c = tsp_bench::fig11::compute_traced(n, iters, 0x2013, &recorder);
+    if let Some(path) = &trace_out {
+        tsp_bench::trace::write_trace(path, &recorder);
+    }
     if csv {
         print!("{}", tsp_bench::fig11::to_csv(&c));
     } else {

@@ -1,8 +1,20 @@
 //! Regenerates the paper's Fig. 9 (GFLOP/s during 2-opt, 8 devices).
+//!
+//! Usage: `fig9 [--csv] [--trace-out <path>]`
+//!   --trace-out — the figure itself is model-priced, so this records a
+//!                 small functional sweep sample of the kernels the
+//!                 model prices (load in https://ui.perfetto.dev).
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (trace_out, args) = tsp_bench::trace::split_trace_out(&args);
+    if let Some(path) = &trace_out {
+        let recorder = tsp_trace::Recorder::enabled();
+        tsp_bench::trace::traced_sweep_sample(&[128, 512, 2048], &recorder);
+        tsp_bench::trace::write_trace(path, &recorder);
+    }
     let curves = tsp_bench::fig9::compute();
-    if std::env::args().any(|a| a == "--csv") {
+    if args.iter().any(|a| a == "--csv") {
         print!("{}", tsp_bench::fig9::to_csv(&curves));
         return;
     }

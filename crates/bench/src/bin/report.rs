@@ -93,5 +93,17 @@ fn main() {
     );
     write(out, "ablations.txt", &ab);
 
+    eprintln!("== Traces (Chrome JSON; load in https://ui.perfetto.dev)");
+    write(
+        out,
+        "ils.trace.json",
+        &tsp_bench::trace::ils_trace_json(512, 3, 0x2013),
+    );
+    write(
+        out,
+        "BENCH_trace.json",
+        &tsp_bench::trace::bench_trace_json(150, 0x2013),
+    );
+
     eprintln!("\nreport complete: {}", out.display());
 }

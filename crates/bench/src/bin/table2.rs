@@ -1,17 +1,24 @@
 //! Regenerates the paper's Table II (2-opt single-run timings on the
 //! GTX 680).
 //!
-//! Usage: `table2 [max_functional_n] [--csv]`
+//! Usage: `table2 [max_functional_n] [--csv] [--trace-out <path>]`
 //!   max_functional_n — rows up to this size run functionally
 //!                      (default 2500; larger rows are model-priced and
 //!                      marked `~`).
+//!   --trace-out      — write a Chrome-trace JSON of the functional rows
+//!                      (load in https://ui.perfetto.dev).
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let (trace_out, args) = tsp_bench::trace::split_trace_out(&args);
     let csv = args.iter().any(|a| a == "--csv");
     let cap: usize = args.iter().find_map(|s| s.parse().ok()).unwrap_or(2500);
     eprintln!("running functional rows up to n = {cap} (argument overrides)...");
-    let rows = tsp_bench::table2::compute(cap);
+    let recorder = tsp_bench::trace::recorder_for(&trace_out);
+    let rows = tsp_bench::table2::compute_traced(cap, &recorder);
+    if let Some(path) = &trace_out {
+        tsp_bench::trace::write_trace(path, &recorder);
+    }
     if csv {
         print!("{}", tsp_bench::table2::to_csv(&rows));
         return;

@@ -11,6 +11,7 @@ use gpu_sim::spec;
 use tsp_2opt::{GpuTwoOpt, SequentialTwoOpt};
 use tsp_core::Tour;
 use tsp_ils::{iterated_local_search, IlsOptions, TracePoint};
+use tsp_trace::Recorder;
 use tsp_tsplib::{generate, Style};
 
 /// Result of the convergence experiment.
@@ -39,6 +40,13 @@ pub fn time_to_reach(trace: &[TracePoint], target: i64) -> Option<f64> {
 /// Run the experiment: same instance, same seed, same iteration budget,
 /// GPU engine vs. sequential CPU engine.
 pub fn compute(n: usize, iterations: u64, seed: u64) -> Convergence {
+    compute_traced(n, iterations, seed, &Recorder::disabled())
+}
+
+/// [`compute`] with a [`Recorder`] attached to the GPU run (kernel,
+/// transfer and ILS telemetry); the CPU baseline stays untraced so the
+/// trace shows exactly one engine's timeline.
+pub fn compute_traced(n: usize, iterations: u64, seed: u64, recorder: &Recorder) -> Convergence {
     // Clustered points mirror the sw (Sweden) road-network instance.
     let inst = generate("fig11", n, Style::Clustered { clusters: 24 }, seed);
     let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(seed);
@@ -49,8 +57,12 @@ pub fn compute(n: usize, iterations: u64, seed: u64) -> Convergence {
         seed,
         ..Default::default()
     };
-    let mut gpu_engine = GpuTwoOpt::new(spec::gtx_680_cuda());
-    let gpu = iterated_local_search(&mut gpu_engine, &inst, start.clone(), opts)
+    let gpu_opts = IlsOptions {
+        recorder: recorder.clone(),
+        ..opts.clone()
+    };
+    let mut gpu_engine = GpuTwoOpt::new(spec::gtx_680_cuda()).with_recorder(recorder.clone());
+    let gpu = iterated_local_search(&mut gpu_engine, &inst, start.clone(), gpu_opts)
         .expect("generated instances are coordinate-based");
     let mut cpu_engine = SequentialTwoOpt::new();
     let cpu = iterated_local_search(&mut cpu_engine, &inst, start, opts)

@@ -17,6 +17,12 @@
 //!
 //! Criterion micro-benches (wall-clock, on *this* host) live in
 //! `benches/` and run with `cargo bench`.
+//!
+//! The `table2`, `fig9`, `fig11` and `ablations` binaries additionally
+//! understand `--trace-out <path>`: the run executes with a
+//! [`tsp_trace::Recorder`] attached and a Chrome-trace JSON (loadable
+//! in <https://ui.perfetto.dev>) is written to `<path>`, with metrics
+//! and roofline summaries on stderr. See [`trace`].
 
 pub mod ablation;
 pub mod common;
@@ -25,3 +31,4 @@ pub mod fig11;
 pub mod fig9;
 pub mod table1;
 pub mod table2;
+pub mod trace;

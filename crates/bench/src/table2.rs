@@ -14,8 +14,9 @@
 use crate::common::{fmt_time, render_table};
 use gpu_sim::spec;
 use tsp_2opt::gpu::model::{model_auto_sweep, model_device_resident_sweep};
-use tsp_2opt::{optimize, GpuTwoOpt, SearchOptions, TwoOptEngine};
+use tsp_2opt::{optimize_with_recorder, GpuTwoOpt, SearchOptions, TwoOptEngine};
 use tsp_construction::multiple_fragment;
+use tsp_trace::Recorder;
 use tsp_tsplib::catalog::TABLE2_INSTANCES;
 
 /// One row of Table II.
@@ -53,6 +54,12 @@ pub struct Row {
 /// Compute Table II. Rows with `n <= max_functional_n` run functionally;
 /// the rest are model-priced.
 pub fn compute(max_functional_n: usize) -> Vec<Row> {
+    compute_traced(max_functional_n, &Recorder::disabled())
+}
+
+/// [`compute`] with a [`Recorder`] attached to every functional row's
+/// engine and descent (the `--trace-out` path of the `table2` binary).
+pub fn compute_traced(max_functional_n: usize, recorder: &Recorder) -> Vec<Row> {
     let dev_spec = spec::gtx_680_cuda();
     let mut rows = Vec::new();
     // Sweeps-per-city ratio observed on functional rows, used to
@@ -65,14 +72,20 @@ pub fn compute(max_functional_n: usize) -> Vec<Row> {
             let inst = entry.instance();
             let mut tour = multiple_fragment(&inst);
             let initial_len = tour.length(&inst);
-            let mut engine = GpuTwoOpt::new(dev_spec.clone());
+            let mut engine = GpuTwoOpt::new(dev_spec.clone()).with_recorder(recorder.clone());
             // One sweep for the single-run columns.
             let (_, sweep) = engine
                 .best_move(&inst, &tour)
                 .expect("catalog instances are coordinate-based");
             // Full descent for the time-to-minimum columns.
-            let stats = optimize(&mut engine, &inst, &mut tour, SearchOptions::default())
-                .expect("descent cannot fail on a valid instance");
+            let stats = optimize_with_recorder(
+                &mut engine,
+                &inst,
+                &mut tour,
+                SearchOptions::default(),
+                recorder,
+            )
+            .expect("descent cannot fail on a valid instance");
             sweep_ratio = stats.sweeps as f64 / n as f64;
             rows.push(Row {
                 name: entry.name(),

@@ -151,6 +151,16 @@ impl GpuTwoOpt {
         self
     }
 
+    /// Attach a structured-event recorder to the underlying device;
+    /// every sweep's transfers and kernel launches are recorded, and a
+    /// `TraceEvent::Device` describing the device is emitted immediately.
+    /// Pair with `optimize_with_recorder` (same recorder) for
+    /// sweep-level context around the device events.
+    pub fn with_recorder(mut self, recorder: gpu_sim::Recorder) -> Self {
+        self.device.attach_recorder(recorder);
+        self
+    }
+
     /// Resolve `Auto` for an instance of `n` cities.
     fn resolve(&self, n: usize) -> Strategy {
         match self.strategy {

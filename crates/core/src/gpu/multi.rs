@@ -59,6 +59,10 @@ impl Kernel for RangeKernel<'_> {
         3
     }
 
+    fn label(&self) -> &str {
+        "2opt-eval-range"
+    }
+
     fn run(&self, phase: usize, ctx: &mut ThreadCtx<'_>, shared: &mut RangeShared) {
         let n = self.coords.len();
         match phase {
@@ -150,6 +154,10 @@ impl Kernel for TiledRangeKernel<'_> {
 
     fn num_phases(&self) -> usize {
         3
+    }
+
+    fn label(&self) -> &str {
+        "2opt-eval-tiled-range"
     }
 
     fn run(&self, phase: usize, ctx: &mut ThreadCtx<'_>, shared: &mut TiledRangeShared) {

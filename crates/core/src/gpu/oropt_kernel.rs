@@ -135,6 +135,10 @@ impl Kernel for OrOptKernel<'_> {
         3
     }
 
+    fn label(&self) -> &str {
+        "oropt-eval"
+    }
+
     fn run(&self, phase: usize, ctx: &mut ThreadCtx<'_>, shared: &mut OrOptShared) {
         let n = self.coords.len();
         match phase {

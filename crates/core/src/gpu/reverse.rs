@@ -54,6 +54,10 @@ impl Kernel for SegmentReversalKernel<'_> {
         1
     }
 
+    fn label(&self) -> &str {
+        "2opt-reverse"
+    }
+
     fn run(&self, phase: usize, ctx: &mut ThreadCtx<'_>, _shared: &mut ()) {
         debug_assert_eq!(phase, 0, "SegmentReversalKernel has 1 phase");
         let n = self.coords.len();

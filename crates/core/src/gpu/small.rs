@@ -65,6 +65,10 @@ impl<C: CoordSource> Kernel for OrderedSharedKernel<'_, C> {
         3
     }
 
+    fn label(&self) -> &str {
+        "2opt-eval-shared"
+    }
+
     fn run(&self, phase: usize, ctx: &mut ThreadCtx<'_>, shared: &mut StagedShared) {
         let n = self.coords.len();
         match phase {
@@ -177,6 +181,10 @@ impl Kernel for UnorderedSharedKernel<'_> {
         3
     }
 
+    fn label(&self) -> &str {
+        "2opt-eval-unordered"
+    }
+
     fn run(&self, phase: usize, ctx: &mut ThreadCtx<'_>, shared: &mut UnorderedShared) {
         let n = self.coords.len();
         match phase {
@@ -255,6 +263,10 @@ impl Kernel for GlobalOnlyKernel<'_> {
 
     fn num_phases(&self) -> usize {
         2
+    }
+
+    fn label(&self) -> &str {
+        "2opt-eval-global"
     }
 
     fn run(&self, phase: usize, ctx: &mut ThreadCtx<'_>, scratch: &mut Vec<u64>) {

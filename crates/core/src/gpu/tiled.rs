@@ -113,6 +113,10 @@ impl<C: CoordSource> Kernel for TiledKernel<'_, C> {
         3
     }
 
+    fn label(&self) -> &str {
+        "2opt-eval-tiled"
+    }
+
     fn run(&self, phase: usize, ctx: &mut ThreadCtx<'_>, shared: &mut TiledShared) {
         let (ta, tb) = index_to_tile_pair(ctx.block_idx as u64);
         let (a_start, a_end) = self.tile_range(ta);

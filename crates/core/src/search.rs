@@ -11,6 +11,7 @@
 use crate::bestmove::BestMove;
 use std::time::Instant;
 use tsp_core::{CoreError, Instance, Tour};
+use tsp_trace::{Recorder, SweepCost, TraceEvent};
 
 /// Cost of one `best_move` evaluation (one full sweep of the candidate
 /// pairs).
@@ -58,6 +59,19 @@ impl StepProfile {
             return 0.0;
         }
         self.pairs_checked as f64 / t
+    }
+}
+
+impl From<StepProfile> for SweepCost {
+    fn from(p: StepProfile) -> Self {
+        SweepCost {
+            pairs_checked: p.pairs_checked,
+            flops: p.flops,
+            kernel_seconds: p.kernel_seconds,
+            reversal_seconds: p.reversal_seconds,
+            h2d_seconds: p.h2d_seconds,
+            d2h_seconds: p.d2h_seconds,
+        }
     }
 }
 
@@ -169,8 +183,27 @@ pub fn optimize<E: TwoOptEngine + ?Sized>(
     tour: &mut Tour,
     opts: SearchOptions,
 ) -> Result<SearchStats, EngineError> {
+    optimize_with_recorder(engine, inst, tour, opts, &Recorder::disabled())
+}
+
+/// [`optimize`], additionally emitting descent/sweep events on
+/// `recorder`. With a disabled recorder this is exactly [`optimize`] —
+/// the instrumentation is a handful of skipped branches, so modeled
+/// times and chosen moves are identical either way.
+pub fn optimize_with_recorder<E: TwoOptEngine + ?Sized>(
+    engine: &mut E,
+    inst: &Instance,
+    tour: &mut Tour,
+    opts: SearchOptions,
+    recorder: &Recorder,
+) -> Result<SearchStats, EngineError> {
     let start = Instant::now();
     let initial_length = tour.length(inst);
+    recorder.record_with(|| TraceEvent::DescentBegin {
+        engine: engine.name(),
+        n: inst.len(),
+        initial_length,
+    });
     let mut profile = StepProfile::default();
     let mut sweeps = 0u64;
     let mut improving_moves = 0u64;
@@ -182,7 +215,18 @@ pub fn optimize<E: TwoOptEngine + ?Sized>(
                 break;
             }
         }
+        recorder.record(TraceEvent::SweepBegin { sweep: sweeps });
         let (mv, step) = engine.best_move(inst, tour)?;
+        let improving = matches!(&mv, Some(m) if m.improves());
+        recorder.record_with(|| TraceEvent::SweepEnd {
+            sweep: sweeps,
+            cost: step.into(),
+            improving,
+            delta: match &mv {
+                Some(m) if m.improves() => m.delta.into(),
+                _ => 0,
+            },
+        });
         sweeps += 1;
         profile.accumulate(&step);
         match mv {
@@ -197,9 +241,14 @@ pub fn optimize<E: TwoOptEngine + ?Sized>(
         }
     }
 
+    let final_length = tour.length(inst);
+    recorder.record(TraceEvent::DescentEnd {
+        sweeps,
+        final_length,
+    });
     Ok(SearchStats {
         initial_length,
-        final_length: tour.length(inst),
+        final_length,
         sweeps,
         improving_moves,
         profile,
@@ -332,6 +381,73 @@ mod tests {
         assert!(stats.reached_local_minimum);
         // The zero-delta move must NOT have been applied.
         assert_eq!(tour.as_slice(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn recorder_sees_descent_and_sweep_events() {
+        let inst = square();
+        let mut tour = Tour::new(vec![0, 2, 1, 3]).unwrap();
+        let mut engine = Scripted {
+            moves: vec![
+                Some(BestMove {
+                    delta: -8,
+                    i: 0,
+                    j: 2,
+                }),
+                None,
+            ],
+            cursor: 0,
+        };
+        let rec = Recorder::enabled();
+        let stats = optimize_with_recorder(
+            &mut engine,
+            &inst,
+            &mut tour,
+            SearchOptions::default(),
+            &rec,
+        )
+        .unwrap();
+        let events = rec.events();
+        assert!(matches!(
+            &events[0],
+            TraceEvent::DescentBegin { engine, n, initial_length }
+                if engine == "scripted" && *n == 4 && *initial_length == 48
+        ));
+        assert!(matches!(events[1], TraceEvent::SweepBegin { sweep: 0 }));
+        match &events[2] {
+            TraceEvent::SweepEnd {
+                sweep,
+                cost,
+                improving,
+                delta,
+            } => {
+                assert_eq!(*sweep, 0);
+                assert!(*improving);
+                assert_eq!(*delta, -8);
+                assert_eq!(cost.pairs_checked, 10);
+                assert!((cost.modeled_seconds() - 2e-6).abs() < 1e-15);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(events[3], TraceEvent::SweepBegin { sweep: 1 }));
+        assert!(matches!(
+            &events[4],
+            TraceEvent::SweepEnd {
+                sweep: 1,
+                improving: false,
+                delta: 0,
+                ..
+            }
+        ));
+        assert!(matches!(
+            &events[5],
+            TraceEvent::DescentEnd {
+                sweeps: 2,
+                final_length: 40
+            }
+        ));
+        assert_eq!(events.len(), 6);
+        assert_eq!(stats.sweeps, 2);
     }
 
     #[test]

@@ -10,6 +10,7 @@ use crate::timeline::Timeline;
 use crate::timing;
 use rayon::prelude::*;
 use std::sync::Arc;
+use tsp_trace::{Recorder, TraceEvent};
 
 /// A simulated compute device.
 ///
@@ -23,6 +24,7 @@ pub struct Device {
     spec: DeviceSpec,
     pool: Arc<MemoryPool>,
     timeline: Option<Timeline>,
+    recorder: Recorder,
 }
 
 impl Device {
@@ -33,6 +35,7 @@ impl Device {
             spec,
             pool,
             timeline: None,
+            recorder: Recorder::disabled(),
         }
     }
 
@@ -45,6 +48,20 @@ impl Device {
     /// The attached timeline, if any.
     pub fn timeline(&self) -> Option<&Timeline> {
         self.timeline.as_ref()
+    }
+
+    /// Attach a structured-event [`Recorder`]; subsequent launches and
+    /// transfers are recorded on it. Emits one
+    /// [`TraceEvent::Device`] describing this device so downstream
+    /// consumers (roofline reports, trace viewers) know the roofs.
+    pub fn attach_recorder(&mut self, recorder: Recorder) {
+        recorder.record_with(|| TraceEvent::Device(self.spec.trace_info()));
+        self.recorder = recorder;
+    }
+
+    /// The attached recorder (disabled by default).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// The device's specification.
@@ -83,6 +100,7 @@ impl Device {
         if let Some(t) = &self.timeline {
             t.record_h2d(bytes, seconds);
         }
+        self.recorder.record(TraceEvent::H2d { bytes, seconds });
         Ok((buf, TransferProfile { seconds, bytes }))
     }
 
@@ -109,6 +127,7 @@ impl Device {
         if let Some(t) = &self.timeline {
             t.record_h2d(bytes, seconds);
         }
+        self.recorder.record(TraceEvent::H2d { bytes, seconds });
         Ok(TransferProfile { seconds, bytes })
     }
 
@@ -121,6 +140,7 @@ impl Device {
         if let Some(t) = &self.timeline {
             t.record_d2h(bytes, seconds);
         }
+        self.recorder.record(TraceEvent::D2h { bytes, seconds });
         (words, TransferProfile { seconds, bytes })
     }
 
@@ -145,6 +165,41 @@ impl Device {
         &self,
         cfg: LaunchConfig,
         kernel: &K,
+    ) -> Result<KernelProfile, SimError> {
+        self.launch_inner(cfg, kernel, None)
+    }
+
+    /// [`Device::launch`] with a per-launch profiler label, overriding
+    /// [`Kernel::label`] for this launch only — the replacement for the
+    /// deprecated sticky `Timeline::set_label`.
+    pub fn launch_labeled<K: Kernel>(
+        &self,
+        cfg: LaunchConfig,
+        kernel: &K,
+        label: &str,
+    ) -> Result<KernelProfile, SimError> {
+        self.launch_inner(cfg, kernel, Some(label))
+    }
+
+    /// Resolve the label for one launch: per-launch override, then the
+    /// deprecated sticky timeline label, then the kernel's own.
+    fn resolve_label<K: Kernel>(&self, kernel: &K, label: Option<&str>) -> String {
+        if let Some(l) = label {
+            return l.to_string();
+        }
+        if let Some(t) = &self.timeline {
+            if let Some(sticky) = t.sticky_label() {
+                return sticky;
+            }
+        }
+        kernel.label().to_string()
+    }
+
+    fn launch_inner<K: Kernel>(
+        &self,
+        cfg: LaunchConfig,
+        kernel: &K,
+        label: Option<&str>,
     ) -> Result<KernelProfile, SimError> {
         if cfg.grid_dim == 0 || cfg.block_dim == 0 {
             return Err(SimError::InvalidLaunch(format!(
@@ -197,8 +252,18 @@ impl Device {
             total += *c;
         }
         let seconds = timing::kernel_time(&self.spec, &block_times);
-        if let Some(t) = &self.timeline {
-            t.record_kernel(seconds, total);
+        if self.timeline.is_some() || self.recorder.is_enabled() {
+            let resolved = self.resolve_label(kernel, label);
+            if let Some(t) = &self.timeline {
+                t.record_kernel(seconds, total, &resolved);
+            }
+            self.recorder.record_with(|| TraceEvent::Kernel {
+                label: resolved.clone(),
+                seconds,
+                grid_dim: cfg.grid_dim,
+                block_dim: cfg.block_dim,
+                counters: total.into(),
+            });
         }
         Ok(KernelProfile {
             seconds,
@@ -350,6 +415,119 @@ mod tests {
         // Length mismatches are rejected without touching the buffer.
         assert!(dev.upload_atomic(&buf, &[9]).is_err());
         assert_eq!(buf.to_vec(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn recorder_captures_device_transfers_and_kernels() {
+        let mut dev = Device::new(gtx_680_cuda());
+        let rec = Recorder::enabled();
+        dev.attach_recorder(rec.clone());
+        let data: Vec<u32> = (1..=64).collect();
+        let (buf, h2d) = dev.copy_to_device(&data).unwrap();
+        let out = dev.alloc_atomic(1, 0).unwrap();
+        let kernel = SumSquares {
+            data: &buf,
+            out: &out,
+        };
+        let profile = dev.launch(LaunchConfig::new(2, 32), &kernel).unwrap();
+        let (_, d2h) = dev.copy_from_device(&out);
+
+        let events = rec.events();
+        assert!(matches!(events[0], TraceEvent::Device(_)));
+        assert!(matches!(events[1], TraceEvent::H2d { bytes, seconds }
+                if bytes == 256 && seconds == h2d.seconds));
+        match &events[2] {
+            TraceEvent::Kernel {
+                label,
+                seconds,
+                grid_dim,
+                block_dim,
+                counters,
+            } => {
+                assert_eq!(label, "kernel"); // SumSquares keeps the default
+                assert_eq!(*seconds, profile.seconds);
+                assert_eq!((*grid_dim, *block_dim), (2, 32));
+                assert_eq!(counters.flops, profile.counters.flops);
+                assert_eq!(
+                    counters.global_read_bytes,
+                    profile.counters.global_read_bytes
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(events[3], TraceEvent::D2h { bytes, seconds }
+                if bytes == 8 && seconds == d2h.seconds));
+    }
+
+    #[test]
+    fn launch_labeled_overrides_kernel_label() {
+        let mut dev = Device::new(gtx_680_cuda());
+        let rec = Recorder::enabled();
+        dev.attach_recorder(rec.clone());
+        let timeline = Timeline::new();
+        dev.attach_timeline(timeline.clone());
+        let data = vec![1u32; 8];
+        let (buf, _) = dev.copy_to_device(&data).unwrap();
+        let out = dev.alloc_atomic(1, 0).unwrap();
+        let kernel = SumSquares {
+            data: &buf,
+            out: &out,
+        };
+        dev.launch_labeled(LaunchConfig::new(1, 8), &kernel, "custom-pass")
+            .unwrap();
+        // Both sinks see the same resolved label.
+        assert!(rec.events().iter().any(|e| matches!(
+            e,
+            TraceEvent::Kernel { label, .. } if label == "custom-pass"
+        )));
+        assert!(timeline.events().iter().any(|e| matches!(
+            e,
+            crate::timeline::Event::Kernel { label, .. } if label == "custom-pass"
+        )));
+    }
+
+    #[test]
+    fn sticky_label_still_wins_over_kernel_default_while_deprecated() {
+        let mut dev = Device::new(gtx_680_cuda());
+        let timeline = Timeline::new();
+        dev.attach_timeline(timeline.clone());
+        #[allow(deprecated)]
+        timeline.set_label("legacy-sweep");
+        let data = vec![1u32; 8];
+        let (buf, _) = dev.copy_to_device(&data).unwrap();
+        let out = dev.alloc_atomic(1, 0).unwrap();
+        let kernel = SumSquares {
+            data: &buf,
+            out: &out,
+        };
+        dev.launch(LaunchConfig::new(1, 8), &kernel).unwrap();
+        // The sticky label applies to plain launches…
+        assert!(timeline.events().iter().any(|e| matches!(
+            e,
+            crate::timeline::Event::Kernel { label, .. } if label == "legacy-sweep"
+        )));
+        // …but an explicit per-launch label still takes precedence.
+        dev.launch_labeled(LaunchConfig::new(1, 8), &kernel, "explicit")
+            .unwrap();
+        assert!(timeline.events().iter().any(|e| matches!(
+            e,
+            crate::timeline::Event::Kernel { label, .. } if label == "explicit"
+        )));
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let dev = Device::new(gtx_680_cuda());
+        assert!(!dev.recorder().is_enabled());
+        let data = vec![1u32; 8];
+        let (buf, _) = dev.copy_to_device(&data).unwrap();
+        let out = dev.alloc_atomic(1, 0).unwrap();
+        let kernel = SumSquares {
+            data: &buf,
+            out: &out,
+        };
+        dev.launch(LaunchConfig::new(1, 8), &kernel).unwrap();
+        assert!(dev.recorder().is_empty());
     }
 
     #[test]

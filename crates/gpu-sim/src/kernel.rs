@@ -128,6 +128,13 @@ pub trait Kernel: Sync {
 
     /// Run one thread's portion of `phase`.
     fn run(&self, phase: usize, ctx: &mut ThreadCtx<'_>, shared: &mut Self::Shared);
+
+    /// Profiler label for launches of this kernel (the name a real
+    /// profiler would show). Override per kernel; a per-launch override
+    /// is available through [`crate::Device::launch_labeled`].
+    fn label(&self) -> &str {
+        "kernel"
+    }
 }
 
 #[cfg(test)]

@@ -78,3 +78,4 @@ pub use memory::{AtomicDeviceBuffer, DeviceBuffer, MemoryPool};
 pub use profile::{KernelProfile, TransferProfile};
 pub use spec::{Api, DeviceKind, DeviceSpec};
 pub use timeline::{Event, Timeline};
+pub use tsp_trace::{Recorder, TraceEvent};

@@ -104,6 +104,18 @@ impl DeviceSpec {
     pub fn needs_transfers(&self) -> bool {
         self.kind == DeviceKind::Gpu
     }
+
+    /// The roofline-relevant slice of this spec, as recorded in traces.
+    pub fn trace_info(&self) -> tsp_trace::DeviceInfo {
+        tsp_trace::DeviceInfo {
+            name: self.name.clone(),
+            compute_units: self.compute_units,
+            sustained_gflops: self.sustained_gflops(),
+            shared_bandwidth_gbs: self.shared_bandwidth_gbs,
+            global_bandwidth_gbs: self.global_bandwidth_gbs,
+            pcie_bandwidth_gbs: self.pcie_bandwidth_gbs,
+        }
+    }
 }
 
 /// GeForce GTX 680 driven by CUDA — the paper's headline device

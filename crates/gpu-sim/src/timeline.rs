@@ -17,8 +17,9 @@ use std::sync::Arc;
 pub enum Event {
     /// A kernel launch.
     Kernel {
-        /// Label (defaults to `"kernel"`; set one with
-        /// [`Timeline::set_label`]).
+        /// Label, resolved at launch: a per-launch override
+        /// ([`crate::Device::launch_labeled`]) wins, then the deprecated
+        /// sticky label, then [`crate::Kernel::label`].
         label: String,
         /// Modeled seconds.
         seconds: f64,
@@ -70,20 +71,32 @@ impl Timeline {
         Self::default()
     }
 
-    /// Label subsequent kernel launches (e.g. `"2opt-shared"`).
+    /// Label *all* subsequent kernel launches until changed again.
+    #[deprecated(
+        since = "0.2.0",
+        note = "a sticky label is a side channel that mislabels interleaved \
+                launches; implement `Kernel::label` on the kernel or use \
+                `Device::launch_labeled` for a per-launch override"
+    )]
     pub fn set_label(&self, label: impl Into<String>) {
         self.inner.lock().label = label.into();
     }
 
-    pub(crate) fn record_kernel(&self, seconds: f64, counters: PerfCounters) {
-        let mut g = self.inner.lock();
-        let label = if g.label.is_empty() {
-            "kernel".to_string()
+    /// The sticky label set through the deprecated [`Timeline::set_label`],
+    /// if any. Kept so `Device` can honour old callers during the
+    /// deprecation window.
+    pub(crate) fn sticky_label(&self) -> Option<String> {
+        let g = self.inner.lock();
+        if g.label.is_empty() {
+            None
         } else {
-            g.label.clone()
-        };
-        g.events.push(Event::Kernel {
-            label,
+            Some(g.label.clone())
+        }
+    }
+
+    pub(crate) fn record_kernel(&self, seconds: f64, counters: PerfCounters, label: &str) {
+        self.inner.lock().events.push(Event::Kernel {
+            label: label.to_string(),
             seconds,
             counters,
         });
@@ -138,50 +151,70 @@ impl Timeline {
         transfers / total
     }
 
-    /// A per-label summary report, profiler-style.
+    /// A per-label summary report, profiler-style. Kernel rows include
+    /// arithmetic intensity (FLOPs per global byte); transfer rows show
+    /// `-` where the concept does not apply.
     pub fn report(&self) -> String {
         use std::collections::BTreeMap;
         let g = self.inner.lock();
-        // label -> (calls, seconds, flops)
-        let mut rows: BTreeMap<String, (u64, f64, u64)> = BTreeMap::new();
+        // label -> (calls, seconds, counters, is_kernel)
+        let mut rows: BTreeMap<String, (u64, f64, PerfCounters, bool)> = BTreeMap::new();
         for e in &g.events {
-            let (key, secs, flops) = match e {
+            let (key, secs, counters, is_kernel) = match e {
                 Event::Kernel {
                     label,
                     seconds,
                     counters,
-                } => (label.clone(), *seconds, counters.flops),
-                Event::H2d { seconds, .. } => ("[H2D copy]".to_string(), *seconds, 0),
-                Event::D2h { seconds, .. } => ("[D2H copy]".to_string(), *seconds, 0),
+                } => (label.clone(), *seconds, *counters, true),
+                Event::H2d { seconds, .. } => (
+                    "[H2D copy]".to_string(),
+                    *seconds,
+                    PerfCounters::new(),
+                    false,
+                ),
+                Event::D2h { seconds, .. } => (
+                    "[D2H copy]".to_string(),
+                    *seconds,
+                    PerfCounters::new(),
+                    false,
+                ),
             };
-            let r = rows.entry(key).or_insert((0, 0.0, 0));
+            let r = rows
+                .entry(key)
+                .or_insert((0, 0.0, PerfCounters::new(), is_kernel));
             r.0 += 1;
             r.1 += secs;
-            r.2 += flops;
+            r.2 += counters;
         }
         let total: f64 = g.events.iter().map(Event::seconds).sum();
         let mut out = String::new();
         writeln!(
             out,
-            "{:<20} {:>8} {:>14} {:>14} {:>8} {:>10}",
-            "activity", "calls", "total", "mean", "share", "GFLOP/s"
+            "{:<20} {:>8} {:>14} {:>14} {:>8} {:>10} {:>8}",
+            "activity", "calls", "total", "mean", "share", "GFLOP/s", "AI"
         )
         .unwrap();
-        for (label, (calls, secs, flops)) in rows {
-            let gf = if secs > 0.0 && flops > 0 {
-                format!("{:.0}", flops as f64 / secs / 1e9)
+        for (label, (calls, secs, counters, is_kernel)) in rows {
+            let gf = if secs > 0.0 && counters.flops > 0 {
+                format!("{:.0}", counters.flops as f64 / secs / 1e9)
+            } else {
+                "-".to_string()
+            };
+            let ai = if is_kernel && counters.global_bytes() > 0 {
+                format!("{:.2}", counters.arithmetic_intensity())
             } else {
                 "-".to_string()
             };
             writeln!(
                 out,
-                "{:<20} {:>8} {:>11.3} ms {:>11.3} us {:>7.1}% {:>10}",
+                "{:<20} {:>8} {:>11.3} ms {:>11.3} us {:>7.1}% {:>10} {:>8}",
                 label,
                 calls,
                 secs * 1e3,
                 secs / calls as f64 * 1e6,
                 100.0 * secs / total.max(1e-300),
-                gf
+                gf,
+                ai
             )
             .unwrap();
         }
@@ -196,14 +229,15 @@ mod tests {
     #[test]
     fn records_and_summarizes() {
         let t = Timeline::new();
-        t.set_label("sweep");
         t.record_h2d(1000, 50e-6);
         t.record_kernel(
             100e-6,
             PerfCounters {
                 flops: 1_000_000,
+                global_read_bytes: 40_000,
                 ..Default::default()
             },
+            "sweep",
         );
         t.record_d2h(8, 11e-6);
         assert_eq!(t.len(), 3);
@@ -213,18 +247,19 @@ mod tests {
         assert!(report.contains("sweep"));
         assert!(report.contains("[H2D copy]"));
         assert!(report.contains("[D2H copy]"));
+        // The kernel row carries its arithmetic intensity (1e6 / 4e4 = 25).
+        assert!(report.contains("25.00"), "report:\n{report}");
         t.clear();
         assert!(t.is_empty());
         assert_eq!(t.transfer_share(), 0.0);
     }
 
     #[test]
-    fn default_label_is_kernel() {
+    fn sticky_label_is_exposed_while_deprecated() {
         let t = Timeline::new();
-        t.record_kernel(1e-6, PerfCounters::default());
-        match &t.events()[0] {
-            Event::Kernel { label, .. } => assert_eq!(label, "kernel"),
-            other => panic!("unexpected {other:?}"),
-        }
+        assert_eq!(t.sticky_label(), None);
+        #[allow(deprecated)]
+        t.set_label("legacy");
+        assert_eq!(t.sticky_label(), Some("legacy".to_string()));
     }
 }

@@ -27,11 +27,12 @@ pub use perturb::Perturbation;
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use tsp_2opt::{optimize, EngineError, SearchOptions, StepProfile, TwoOptEngine};
+use tsp_2opt::{optimize_with_recorder, EngineError, SearchOptions, StepProfile, TwoOptEngine};
 use tsp_core::{Instance, Tour};
+use tsp_trace::{Recorder, TraceEvent};
 
 /// Termination and behaviour knobs for [`iterated_local_search`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct IlsOptions {
     /// Stop after this many perturbation iterations.
     pub max_iterations: Option<u64>,
@@ -50,6 +51,11 @@ pub struct IlsOptions {
     /// tour after this many iterations without improving the best
     /// (`None` = never restart).
     pub stagnation_restart: Option<u64>,
+    /// Structured-event recorder for descent/sweep/iteration telemetry
+    /// (disabled by default — zero cost when unused). Attach the *same*
+    /// recorder to the engine's device (`GpuTwoOpt::with_recorder`) to
+    /// interleave kernel and transfer events with the ILS events.
+    pub recorder: Recorder,
 }
 
 impl Default for IlsOptions {
@@ -62,6 +68,7 @@ impl Default for IlsOptions {
             perturbation: Perturbation::DoubleBridge,
             acceptance: Acceptance::Better,
             stagnation_restart: None,
+            recorder: Recorder::disabled(),
         }
     }
 }
@@ -115,7 +122,13 @@ pub fn iterated_local_search<E: TwoOptEngine + ?Sized>(
 
     // s* <- 2optLocalSearch(s0)
     let mut best = initial;
-    let stats = optimize(engine, inst, &mut best, SearchOptions::default())?;
+    let stats = optimize_with_recorder(
+        engine,
+        inst,
+        &mut best,
+        SearchOptions::default(),
+        &opts.recorder,
+    )?;
     profile.accumulate(&stats.profile);
     let mut best_length = stats.final_length;
     trace.push(TracePoint {
@@ -151,24 +164,42 @@ pub fn iterated_local_search<E: TwoOptEngine + ?Sized>(
             }
         }
         iterations += 1;
+        opts.recorder.record(TraceEvent::IterationBegin {
+            iteration: iterations,
+        });
 
         // s' <- Perturbation(s*)
         let mut candidate = incumbent.clone();
         opts.perturbation.apply(&mut candidate, &mut rng);
+        opts.recorder.record_with(|| TraceEvent::Perturbation {
+            kind: format!("{:?}", opts.perturbation),
+        });
         // s*' <- 2optLocalSearch(s')
-        let stats = optimize(engine, inst, &mut candidate, SearchOptions::default())?;
+        let stats = optimize_with_recorder(
+            engine,
+            inst,
+            &mut candidate,
+            SearchOptions::default(),
+            &opts.recorder,
+        )?;
         profile.accumulate(&stats.profile);
         let candidate_length = stats.final_length;
 
         // s* <- AcceptanceCriterion(s*, s*')
-        if opts
+        let took = opts
             .acceptance
-            .accept(incumbent_length, candidate_length, &mut rng)
-        {
+            .accept(incumbent_length, candidate_length, &mut rng);
+        if took {
             incumbent = candidate;
             incumbent_length = candidate_length;
             accepted += 1;
         }
+        opts.recorder.record_with(|| TraceEvent::IterationEnd {
+            iteration: iterations,
+            candidate_length,
+            accepted: took,
+            best_length: best_length.min(incumbent_length),
+        });
         if incumbent_length < best_length {
             best = incumbent.clone();
             best_length = incumbent_length;
@@ -207,7 +238,7 @@ pub fn iterated_local_search<E: TwoOptEngine + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tsp_2opt::SequentialTwoOpt;
+    use tsp_2opt::{optimize, SequentialTwoOpt};
     use tsp_tsplib::{generate, Style};
 
     #[test]
@@ -276,11 +307,88 @@ mod tests {
             seed: 99,
             ..Default::default()
         };
-        let a = iterated_local_search(&mut eng, &inst, start.clone(), opts).unwrap();
+        let a = iterated_local_search(&mut eng, &inst, start.clone(), opts.clone()).unwrap();
         let b = iterated_local_search(&mut eng, &inst, start, opts).unwrap();
         assert_eq!(a.best_length, b.best_length);
         assert_eq!(a.best.as_slice(), b.best.as_slice());
         assert_eq!(a.accepted, b.accepted);
+    }
+
+    #[test]
+    fn recorder_captures_iteration_telemetry() {
+        let inst = generate("rec", 60, Style::Uniform, 9);
+        let start = Tour::identity(60);
+        let mut eng = SequentialTwoOpt::new();
+        let rec = Recorder::enabled();
+        let out = iterated_local_search(
+            &mut eng,
+            &inst,
+            start,
+            IlsOptions {
+                max_iterations: Some(5),
+                recorder: rec.clone(),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let events = rec.events();
+        let begins = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::IterationBegin { .. }))
+            .count();
+        let perturbs = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Perturbation { kind } if kind == "DoubleBridge"))
+            .count();
+        let descents = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::DescentEnd { .. }))
+            .count();
+        assert_eq!(begins, 5);
+        assert_eq!(perturbs, 5);
+        // Initial descent + one per iteration.
+        assert_eq!(descents, 6);
+        // The last IterationEnd carries the final best length.
+        let last_best = events
+            .iter()
+            .rev()
+            .find_map(|e| match e {
+                TraceEvent::IterationEnd { best_length, .. } => Some(*best_length),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(last_best, out.best_length);
+    }
+
+    #[test]
+    fn tracing_does_not_change_the_search() {
+        let inst = generate("inert", 70, Style::Uniform, 11);
+        let start = Tour::identity(70);
+        let opts = IlsOptions {
+            max_iterations: Some(8),
+            seed: 41,
+            ..Default::default()
+        };
+        let mut eng = SequentialTwoOpt::new();
+        let plain = iterated_local_search(&mut eng, &inst, start.clone(), opts.clone()).unwrap();
+        let mut eng = SequentialTwoOpt::new();
+        let traced = iterated_local_search(
+            &mut eng,
+            &inst,
+            start,
+            IlsOptions {
+                recorder: Recorder::enabled(),
+                ..opts
+            },
+        )
+        .unwrap();
+        assert_eq!(plain.best_length, traced.best_length);
+        assert_eq!(plain.best.as_slice(), traced.best.as_slice());
+        assert_eq!(plain.accepted, traced.accepted);
+        assert_eq!(
+            plain.profile.modeled_seconds().to_bits(),
+            traced.profile.modeled_seconds().to_bits()
+        );
     }
 
     #[test]

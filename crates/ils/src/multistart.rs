@@ -24,6 +24,7 @@ where
     F: Fn() -> E + Sync,
 {
     assert!(!starts.is_empty(), "at least one start is required");
+    let opts = &opts;
     let results: Vec<Result<IlsOutcome, EngineError>> = std::thread::scope(|scope| {
         let handles: Vec<_> = starts
             .into_iter()
@@ -34,7 +35,7 @@ where
                     let mut engine = factory();
                     let chain_opts = IlsOptions {
                         seed: opts.seed.wrapping_add(i as u64),
-                        ..opts
+                        ..opts.clone()
                     };
                     iterated_local_search(&mut engine, inst, start, chain_opts)
                 })

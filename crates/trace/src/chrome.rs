@@ -1,0 +1,346 @@
+//! Chrome Trace Event exporter (load in Perfetto or `chrome://tracing`).
+//!
+//! ## How modeled time becomes timestamps
+//!
+//! The simulator produces *durations*, not wall-clock timestamps, so the
+//! exporter lays events onto a single synthetic clock, in microseconds:
+//! every kernel launch and transfer advances the clock by its modeled
+//! duration, serialized in recording order (the simulated device has one
+//! stream). Sweep and descent spans open at the current clock and close
+//! at the clock their inner device events advanced to; a sweep with *no*
+//! device events under it (a CPU engine) advances the clock by its own
+//! `SweepCost::modeled_seconds` instead, so CPU and GPU traces share the
+//! same time axis.
+//!
+//! ## Track layout
+//!
+//! One process (pid 1, named after the recorded device) with four
+//! threads: kernels (tid 1), transfers (tid 2), sweeps/descents (tid 3)
+//! and ILS iterations (tid 4). Kernels and transfers are complete events
+//! (`ph:"X"`); descents, sweeps and iterations are `ph:"B"`/`ph:"E"`
+//! pairs; perturbations are instants (`ph:"i"`); the incumbent best
+//! length is a counter track (`ph:"C"`).
+
+use crate::event::TraceEvent;
+use crate::json::Json;
+
+/// The single process id used by the export.
+pub const PID: u64 = 1;
+/// Track of kernel launches.
+pub const TID_KERNELS: u64 = 1;
+/// Track of PCIe transfers.
+pub const TID_TRANSFERS: u64 = 2;
+/// Track of descent/sweep spans.
+pub const TID_SWEEPS: u64 = 3;
+/// Track of ILS iterations.
+pub const TID_ILS: u64 = 4;
+
+fn meta(name: &str, tid: Option<u64>, value: &str) -> Json {
+    let mut e = Json::obj();
+    e.set("ph", Json::from("M"))
+        .set("name", Json::from(name))
+        .set("pid", Json::from(PID));
+    if let Some(tid) = tid {
+        e.set("tid", Json::from(tid));
+    }
+    let mut args = Json::obj();
+    args.set("name", Json::from(value));
+    e.set("args", args);
+    e
+}
+
+fn complete(name: &str, cat: &str, tid: u64, ts_us: f64, dur_us: f64, args: Json) -> Json {
+    let mut e = Json::obj();
+    e.set("ph", Json::from("X"))
+        .set("name", Json::from(name))
+        .set("cat", Json::from(cat))
+        .set("pid", Json::from(PID))
+        .set("tid", Json::from(tid))
+        .set("ts", Json::Num(ts_us))
+        .set("dur", Json::Num(dur_us))
+        .set("args", args);
+    e
+}
+
+fn begin(name: &str, cat: &str, tid: u64, ts_us: f64, args: Json) -> Json {
+    let mut e = Json::obj();
+    e.set("ph", Json::from("B"))
+        .set("name", Json::from(name))
+        .set("cat", Json::from(cat))
+        .set("pid", Json::from(PID))
+        .set("tid", Json::from(tid))
+        .set("ts", Json::Num(ts_us))
+        .set("args", args);
+    e
+}
+
+fn end(tid: u64, ts_us: f64, args: Json) -> Json {
+    let mut e = Json::obj();
+    e.set("ph", Json::from("E"))
+        .set("pid", Json::from(PID))
+        .set("tid", Json::from(tid))
+        .set("ts", Json::Num(ts_us))
+        .set("args", args);
+    e
+}
+
+/// Serialize `events` as a Chrome Trace Event JSON document, one trace
+/// event per line (stable output: same events, same bytes).
+pub fn chrome_trace(events: &[TraceEvent]) -> String {
+    let mut out: Vec<Json> = Vec::new();
+
+    let process_name = events
+        .iter()
+        .find_map(|e| match e {
+            TraceEvent::Device(info) => Some(format!("{} (modeled)", info.name)),
+            _ => None,
+        })
+        .unwrap_or_else(|| "tsp (modeled)".to_string());
+    out.push(meta("process_name", None, &process_name));
+    out.push(meta("thread_name", Some(TID_KERNELS), "kernels"));
+    out.push(meta("thread_name", Some(TID_TRANSFERS), "transfers"));
+    out.push(meta("thread_name", Some(TID_SWEEPS), "local search"));
+    out.push(meta("thread_name", Some(TID_ILS), "ILS"));
+
+    // The synthetic clock, microseconds.
+    let mut clock = 0.0f64;
+    let mut sweep_begin = 0.0f64;
+
+    for event in events {
+        match event {
+            TraceEvent::Device(_) => {}
+            TraceEvent::Kernel {
+                label,
+                seconds,
+                grid_dim,
+                block_dim,
+                counters,
+            } => {
+                let dur = seconds * 1e6;
+                let mut args = Json::obj();
+                args.set("grid_dim", Json::from(*grid_dim))
+                    .set("block_dim", Json::from(*block_dim))
+                    .set("flops", Json::from(counters.flops))
+                    .set("shared_bytes", Json::from(counters.shared_bytes))
+                    .set("global_bytes", Json::from(counters.global_bytes()))
+                    .set("atomic_ops", Json::from(counters.atomic_ops))
+                    .set(
+                        "arithmetic_intensity",
+                        Json::from(counters.arithmetic_intensity()),
+                    );
+                out.push(complete(label, "kernel", TID_KERNELS, clock, dur, args));
+                clock += dur;
+            }
+            TraceEvent::H2d { bytes, seconds } | TraceEvent::D2h { bytes, seconds } => {
+                let name = if matches!(event, TraceEvent::H2d { .. }) {
+                    "H2D"
+                } else {
+                    "D2H"
+                };
+                let dur = seconds * 1e6;
+                let mut args = Json::obj();
+                args.set("bytes", Json::from(*bytes));
+                out.push(complete(name, "transfer", TID_TRANSFERS, clock, dur, args));
+                clock += dur;
+            }
+            TraceEvent::DescentBegin {
+                engine,
+                n,
+                initial_length,
+            } => {
+                let mut args = Json::obj();
+                args.set("engine", Json::from(engine.as_str()))
+                    .set("n", Json::from(*n))
+                    .set("initial_length", Json::from(*initial_length));
+                out.push(begin("descent", "search", TID_SWEEPS, clock, args));
+            }
+            TraceEvent::SweepBegin { sweep } => {
+                sweep_begin = clock;
+                let mut args = Json::obj();
+                args.set("sweep", Json::from(*sweep));
+                out.push(begin("sweep", "search", TID_SWEEPS, clock, args));
+            }
+            TraceEvent::SweepEnd {
+                sweep,
+                cost,
+                improving,
+                delta,
+            } => {
+                // Device events already moved the clock; a CPU sweep (no
+                // device events) advances it by its own modeled cost.
+                clock = clock.max(sweep_begin + cost.modeled_seconds() * 1e6);
+                let mut args = Json::obj();
+                args.set("sweep", Json::from(*sweep))
+                    .set("pairs_checked", Json::from(cost.pairs_checked))
+                    .set("improving", Json::from(*improving))
+                    .set("delta", Json::from(*delta));
+                out.push(end(TID_SWEEPS, clock, args));
+            }
+            TraceEvent::DescentEnd {
+                sweeps,
+                final_length,
+            } => {
+                let mut args = Json::obj();
+                args.set("sweeps", Json::from(*sweeps))
+                    .set("final_length", Json::from(*final_length));
+                out.push(end(TID_SWEEPS, clock, args));
+            }
+            TraceEvent::IterationBegin { iteration } => {
+                let mut args = Json::obj();
+                args.set("iteration", Json::from(*iteration));
+                out.push(begin("iteration", "ils", TID_ILS, clock, args));
+            }
+            TraceEvent::Perturbation { kind } => {
+                let mut e = Json::obj();
+                e.set("ph", Json::from("i"))
+                    .set("name", Json::from(format!("perturb: {kind}")))
+                    .set("cat", Json::from("ils"))
+                    .set("s", Json::from("t"))
+                    .set("pid", Json::from(PID))
+                    .set("tid", Json::from(TID_ILS))
+                    .set("ts", Json::Num(clock));
+                out.push(e);
+            }
+            TraceEvent::IterationEnd {
+                iteration,
+                candidate_length,
+                accepted,
+                best_length,
+            } => {
+                let mut args = Json::obj();
+                args.set("iteration", Json::from(*iteration))
+                    .set("candidate_length", Json::from(*candidate_length))
+                    .set("accepted", Json::from(*accepted));
+                out.push(end(TID_ILS, clock, args));
+                let mut counter = Json::obj();
+                let mut cargs = Json::obj();
+                cargs.set("best_length", Json::from(*best_length));
+                counter
+                    .set("ph", Json::from("C"))
+                    .set("name", Json::from("best_length"))
+                    .set("pid", Json::from(PID))
+                    .set("ts", Json::Num(clock))
+                    .set("args", cargs);
+                out.push(counter);
+            }
+        }
+    }
+
+    let mut text = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    for (i, e) in out.iter().enumerate() {
+        if i > 0 {
+            text.push_str(",\n");
+        }
+        text.push_str(&e.to_string());
+    }
+    text.push_str("\n]}\n");
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{DeviceInfo, KernelCounters, SweepCost};
+    use crate::json;
+
+    fn device() -> TraceEvent {
+        TraceEvent::Device(DeviceInfo {
+            name: "TestDev".into(),
+            compute_units: 8,
+            sustained_gflops: 680.0,
+            shared_bandwidth_gbs: 1400.0,
+            global_bandwidth_gbs: 192.0,
+            pcie_bandwidth_gbs: 2.5,
+        })
+    }
+
+    #[test]
+    fn clock_serializes_device_events() {
+        // Durations are exact binary fractions so the µs timestamps are
+        // exact decimals.
+        let events = vec![
+            device(),
+            TraceEvent::H2d {
+                bytes: 1024,
+                seconds: 0.0001220703125, // 2^-13 s = 122.0703125 µs
+            },
+            TraceEvent::Kernel {
+                label: "k1".into(),
+                seconds: 0.000244140625, // 2^-12 s = 244.140625 µs
+                grid_dim: 2,
+                block_dim: 32,
+                counters: KernelCounters {
+                    flops: 4096,
+                    shared_bytes: 2048,
+                    global_read_bytes: 1024,
+                    global_write_bytes: 0,
+                    atomic_ops: 2,
+                },
+            },
+        ];
+        let text = chrome_trace(&events);
+        let doc = json::parse(&text).expect("exporter output must parse");
+        let list = doc.get("traceEvents").and_then(Json::as_array).unwrap();
+        let kernel = list
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("k1"))
+            .expect("kernel event present");
+        assert_eq!(kernel.get("ph").and_then(Json::as_str), Some("X"));
+        // The kernel starts when the H2D copy ends.
+        assert_eq!(kernel.get("ts").and_then(Json::as_f64), Some(122.0703125));
+        assert_eq!(kernel.get("dur").and_then(Json::as_f64), Some(244.140625));
+    }
+
+    #[test]
+    fn cpu_sweeps_advance_the_clock_by_their_modeled_cost() {
+        let events = vec![
+            TraceEvent::SweepBegin { sweep: 0 },
+            TraceEvent::SweepEnd {
+                sweep: 0,
+                cost: SweepCost {
+                    kernel_seconds: 0.000030517578125, // 2^-15 s
+                    ..Default::default()
+                },
+                improving: false,
+                delta: 0,
+            },
+            TraceEvent::SweepBegin { sweep: 1 },
+        ];
+        let text = chrome_trace(&events);
+        let doc = json::parse(&text).unwrap();
+        let list = doc.get("traceEvents").and_then(Json::as_array).unwrap();
+        let second_begin = list
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("B"))
+            .nth(1)
+            .unwrap();
+        assert_eq!(
+            second_begin.get("ts").and_then(Json::as_f64),
+            Some(30.517578125)
+        );
+    }
+
+    #[test]
+    fn process_name_defaults_without_a_device_event() {
+        let text = chrome_trace(&[TraceEvent::SweepBegin { sweep: 0 }]);
+        assert!(text.contains("tsp (modeled)"));
+    }
+
+    #[test]
+    fn output_is_deterministic() {
+        let events = vec![
+            device(),
+            TraceEvent::IterationBegin { iteration: 1 },
+            TraceEvent::Perturbation {
+                kind: "DoubleBridge".into(),
+            },
+            TraceEvent::IterationEnd {
+                iteration: 1,
+                candidate_length: 90,
+                accepted: true,
+                best_length: 90,
+            },
+        ];
+        assert_eq!(chrome_trace(&events), chrome_trace(&events));
+    }
+}

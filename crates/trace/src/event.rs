@@ -1,0 +1,217 @@
+//! The structured event schema shared by every layer of the stack.
+//!
+//! `tsp-trace` is a leaf crate — `gpu-sim`, `tsp-2opt`, `tsp-ils` and
+//! `tsp-bench` all depend on it — so the payload types here are
+//! self-contained mirrors of the producers' types ([`KernelCounters`]
+//! mirrors `gpu_sim::PerfCounters`, [`SweepCost`] mirrors
+//! `tsp_2opt::StepProfile`, [`DeviceInfo`] carries the roofline-relevant
+//! slice of `gpu_sim::DeviceSpec`). The producers convert at the record
+//! site.
+
+/// Work counters of one kernel launch (mirror of `gpu_sim::PerfCounters`).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct KernelCounters {
+    /// Floating-point operations.
+    pub flops: u64,
+    /// Bytes moved through on-chip shared memory (reads + writes).
+    pub shared_bytes: u64,
+    /// Bytes read from global device memory.
+    pub global_read_bytes: u64,
+    /// Bytes written to global device memory.
+    pub global_write_bytes: u64,
+    /// Global atomic operations.
+    pub atomic_ops: u64,
+}
+
+impl KernelCounters {
+    /// Total global memory traffic in bytes.
+    #[inline]
+    pub fn global_bytes(&self) -> u64 {
+        self.global_read_bytes + self.global_write_bytes
+    }
+
+    /// Arithmetic intensity: FLOPs per byte of global traffic (0 when the
+    /// launch touched no global memory).
+    #[inline]
+    pub fn arithmetic_intensity(&self) -> f64 {
+        let bytes = self.global_bytes();
+        if bytes == 0 {
+            return 0.0;
+        }
+        self.flops as f64 / bytes as f64
+    }
+}
+
+/// The roofline-relevant slice of the active device specification,
+/// recorded once when a recorder is attached to a device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceInfo {
+    /// Marketing name, e.g. `"GeForce GTX 680 (CUDA)"`.
+    pub name: String,
+    /// Streaming multiprocessors / CPU cores.
+    pub compute_units: u32,
+    /// Sustained whole-device throughput on this workload, GFLOP/s.
+    pub sustained_gflops: f64,
+    /// Aggregate on-chip (shared memory / cache) bandwidth, GB/s.
+    pub shared_bandwidth_gbs: f64,
+    /// Global memory bandwidth, GB/s.
+    pub global_bandwidth_gbs: f64,
+    /// Effective PCIe bandwidth, GB/s (0 for CPUs).
+    pub pcie_bandwidth_gbs: f64,
+}
+
+/// Modeled cost of one local-search sweep (mirror of
+/// `tsp_2opt::StepProfile`).
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct SweepCost {
+    /// Candidate pairs evaluated.
+    pub pairs_checked: u64,
+    /// FLOPs performed.
+    pub flops: u64,
+    /// Modeled kernel execution time, seconds.
+    pub kernel_seconds: f64,
+    /// Modeled on-device segment reversal time, seconds.
+    pub reversal_seconds: f64,
+    /// Modeled host→device transfer time, seconds.
+    pub h2d_seconds: f64,
+    /// Modeled device→host transfer time, seconds.
+    pub d2h_seconds: f64,
+}
+
+impl SweepCost {
+    /// Modeled end-to-end time of the sweep.
+    #[inline]
+    pub fn modeled_seconds(&self) -> f64 {
+        self.kernel_seconds + self.reversal_seconds + self.h2d_seconds + self.d2h_seconds
+    }
+}
+
+/// One structured event, in recording order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A recorder was attached to a device (emitted once per attach).
+    Device(DeviceInfo),
+    /// A kernel launch with its modeled duration and launch config.
+    Kernel {
+        /// Kernel label (from `Kernel::label` or a per-launch override).
+        label: String,
+        /// Modeled seconds.
+        seconds: f64,
+        /// Blocks in the grid.
+        grid_dim: u32,
+        /// Threads per block.
+        block_dim: u32,
+        /// Aggregated work counters over all blocks.
+        counters: KernelCounters,
+    },
+    /// A host→device copy.
+    H2d {
+        /// Bytes moved.
+        bytes: u64,
+        /// Modeled seconds.
+        seconds: f64,
+    },
+    /// A device→host copy.
+    D2h {
+        /// Bytes moved.
+        bytes: u64,
+        /// Modeled seconds.
+        seconds: f64,
+    },
+    /// A best-improvement descent started.
+    DescentBegin {
+        /// Engine name (device + strategy).
+        engine: String,
+        /// Instance size.
+        n: usize,
+        /// Tour length before the descent.
+        initial_length: i64,
+    },
+    /// One neighbourhood sweep started (0-based index within the descent).
+    SweepBegin {
+        /// Sweep index within the descent.
+        sweep: u64,
+    },
+    /// The sweep finished: its cost and the decision taken.
+    SweepEnd {
+        /// Sweep index within the descent.
+        sweep: u64,
+        /// Modeled cost of the sweep.
+        cost: SweepCost,
+        /// `true` when an improving move was found and applied.
+        improving: bool,
+        /// The applied move's length delta (0 when not improving).
+        delta: i64,
+    },
+    /// The descent reached its stop condition.
+    DescentEnd {
+        /// Sweeps performed.
+        sweeps: u64,
+        /// Tour length at the end.
+        final_length: i64,
+    },
+    /// An ILS perturbation iteration started (1-based; the initial
+    /// descent is iteration 0 and emits no iteration events).
+    IterationBegin {
+        /// Iteration number.
+        iteration: u64,
+    },
+    /// The perturbation applied at the top of an iteration.
+    Perturbation {
+        /// Operator name, e.g. `"DoubleBridge"`.
+        kind: String,
+    },
+    /// An ILS iteration finished with its acceptance decision.
+    IterationEnd {
+        /// Iteration number.
+        iteration: u64,
+        /// Local-minimum length of the perturbed candidate.
+        candidate_length: i64,
+        /// `true` when the acceptance criterion took the candidate.
+        accepted: bool,
+        /// Best length known after this iteration.
+        best_length: i64,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_intensity_is_flops_per_global_byte() {
+        let c = KernelCounters {
+            flops: 640,
+            global_read_bytes: 48,
+            global_write_bytes: 16,
+            ..Default::default()
+        };
+        assert_eq!(c.global_bytes(), 64);
+        assert!((c.arithmetic_intensity() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic_intensity_is_zero_safe() {
+        let c = KernelCounters {
+            flops: 1_000_000,
+            shared_bytes: 4096,
+            ..Default::default()
+        };
+        assert_eq!(c.global_bytes(), 0);
+        assert_eq!(c.arithmetic_intensity(), 0.0);
+        assert_eq!(KernelCounters::default().arithmetic_intensity(), 0.0);
+    }
+
+    #[test]
+    fn sweep_cost_sums_all_channels() {
+        let s = SweepCost {
+            pairs_checked: 10,
+            flops: 320,
+            kernel_seconds: 1e-6,
+            reversal_seconds: 2e-7,
+            h2d_seconds: 3e-7,
+            d2h_seconds: 5e-7,
+        };
+        assert!((s.modeled_seconds() - 2e-6).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,33 @@
+//! End-to-end tracing and metrics for the GPU-accelerated 2-opt stack.
+//!
+//! The crate is a dependency-free leaf of the workspace: `gpu-sim`,
+//! `tsp-2opt`, `tsp-ils` and `tsp-bench` all record into the same
+//! [`Recorder`] handle, producing one ordered stream of [`TraceEvent`]s
+//! covering kernel launches (with work counters), PCIe transfers,
+//! local-search sweeps and ILS iterations.
+//!
+//! Three consumers sit on top of the stream:
+//!
+//! - [`chrome_trace`] serializes it as a Chrome Trace Event JSON document
+//!   that loads in Perfetto / `chrome://tracing`, with modeled durations
+//!   laid onto a synthetic timeline;
+//! - [`MetricsSnapshot`] aggregates per-kernel call counts, modeled time,
+//!   achieved GFLOP/s and arithmetic intensity, plus transfer totals;
+//! - [`RooflineReport`] classifies each kernel compute- vs
+//!   bandwidth-bound against the recorded device's roofs.
+//!
+//! Everything is modeled time — the simulator's analytic cost model — so
+//! traces are deterministic: the same run produces the same bytes.
+
+pub mod chrome;
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod recorder;
+pub mod roofline;
+
+pub use chrome::chrome_trace;
+pub use event::{DeviceInfo, KernelCounters, SweepCost, TraceEvent};
+pub use metrics::{KernelStats, MetricsSnapshot, TransferStats};
+pub use recorder::Recorder;
+pub use roofline::{Bound, RooflineEntry, RooflineReport};

@@ -1,0 +1,392 @@
+//! Aggregated metrics over a recorded event stream: per-kernel call
+//! counts, modeled time, achieved GFLOP/s and arithmetic intensity,
+//! transfer totals and the device/host traffic split.
+
+use crate::event::{DeviceInfo, KernelCounters, TraceEvent};
+use crate::json::Json;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Aggregate over every launch of one kernel label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelStats {
+    /// Kernel label.
+    pub label: String,
+    /// Number of launches.
+    pub calls: u64,
+    /// Total modeled seconds across launches.
+    pub seconds: f64,
+    /// Summed work counters across launches.
+    pub counters: KernelCounters,
+}
+
+impl KernelStats {
+    /// Achieved throughput in GFLOP/s over all launches.
+    ///
+    /// Same formula as `gpu_sim::KernelProfile::gflops` — for a single
+    /// launch the two agree bit-for-bit (the sums reduce to the launch's
+    /// own values).
+    pub fn gflops(&self) -> f64 {
+        if self.seconds <= 0.0 {
+            0.0
+        } else {
+            self.counters.flops as f64 / self.seconds / 1e9
+        }
+    }
+
+    /// Mean modeled seconds per launch.
+    pub fn mean_seconds(&self) -> f64 {
+        if self.calls == 0 {
+            0.0
+        } else {
+            self.seconds / self.calls as f64
+        }
+    }
+
+    /// FLOPs per global byte over all launches.
+    pub fn arithmetic_intensity(&self) -> f64 {
+        self.counters.arithmetic_intensity()
+    }
+}
+
+/// Aggregate over one transfer direction.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct TransferStats {
+    /// Number of copies.
+    pub calls: u64,
+    /// Total bytes moved.
+    pub bytes: u64,
+    /// Total modeled seconds.
+    pub seconds: f64,
+}
+
+/// A metrics snapshot computed from a recorded event stream.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Device the events were recorded on, when known.
+    pub device: Option<DeviceInfo>,
+    /// Per-kernel aggregates, sorted by label.
+    pub kernels: Vec<KernelStats>,
+    /// Host→device transfer totals.
+    pub h2d: TransferStats,
+    /// Device→host transfer totals.
+    pub d2h: TransferStats,
+    /// Local-search sweeps observed.
+    pub sweeps: u64,
+    /// Descents observed.
+    pub descents: u64,
+    /// ILS iterations observed.
+    pub iterations: u64,
+    /// ILS perturbations observed.
+    pub perturbations: u64,
+    /// Best tour length after the last ILS iteration, when any ran.
+    pub best_length: Option<i64>,
+}
+
+impl MetricsSnapshot {
+    /// Aggregate a recorded event stream.
+    pub fn from_events(events: &[TraceEvent]) -> Self {
+        let mut snap = MetricsSnapshot::default();
+        let mut kernels: BTreeMap<String, KernelStats> = BTreeMap::new();
+        for event in events {
+            match event {
+                TraceEvent::Device(info) => snap.device = Some(info.clone()),
+                TraceEvent::Kernel {
+                    label,
+                    seconds,
+                    counters,
+                    ..
+                } => {
+                    let k = kernels.entry(label.clone()).or_insert_with(|| KernelStats {
+                        label: label.clone(),
+                        calls: 0,
+                        seconds: 0.0,
+                        counters: KernelCounters::default(),
+                    });
+                    k.calls += 1;
+                    k.seconds += seconds;
+                    k.counters.flops += counters.flops;
+                    k.counters.shared_bytes += counters.shared_bytes;
+                    k.counters.global_read_bytes += counters.global_read_bytes;
+                    k.counters.global_write_bytes += counters.global_write_bytes;
+                    k.counters.atomic_ops += counters.atomic_ops;
+                }
+                TraceEvent::H2d { bytes, seconds } => {
+                    snap.h2d.calls += 1;
+                    snap.h2d.bytes += bytes;
+                    snap.h2d.seconds += seconds;
+                }
+                TraceEvent::D2h { bytes, seconds } => {
+                    snap.d2h.calls += 1;
+                    snap.d2h.bytes += bytes;
+                    snap.d2h.seconds += seconds;
+                }
+                TraceEvent::SweepEnd { .. } => snap.sweeps += 1,
+                TraceEvent::DescentEnd { .. } => snap.descents += 1,
+                TraceEvent::Perturbation { .. } => snap.perturbations += 1,
+                TraceEvent::IterationEnd { best_length, .. } => {
+                    snap.iterations += 1;
+                    snap.best_length = Some(*best_length);
+                }
+                TraceEvent::DescentBegin { .. }
+                | TraceEvent::SweepBegin { .. }
+                | TraceEvent::IterationBegin { .. } => {}
+            }
+        }
+        snap.kernels = kernels.into_values().collect();
+        snap
+    }
+
+    /// Look up one kernel's aggregate by label.
+    pub fn kernel(&self, label: &str) -> Option<&KernelStats> {
+        self.kernels.iter().find(|k| k.label == label)
+    }
+
+    /// Total modeled kernel seconds.
+    pub fn kernel_seconds(&self) -> f64 {
+        self.kernels.iter().map(|k| k.seconds).sum()
+    }
+
+    /// PCIe transfer share of total modeled device time (0 when nothing
+    /// was recorded).
+    pub fn transfer_share(&self) -> f64 {
+        let transfers = self.h2d.seconds + self.d2h.seconds;
+        let total = self.kernel_seconds() + transfers;
+        if total <= 0.0 {
+            0.0
+        } else {
+            transfers / total
+        }
+    }
+
+    /// Human-readable snapshot.
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        s.push_str("== metrics snapshot ==\n");
+        if let Some(dev) = &self.device {
+            let _ = writeln!(
+                s,
+                "device: {} ({} CUs, {:.1} GFLOP/s sustained, {:.0} GB/s global)",
+                dev.name, dev.compute_units, dev.sustained_gflops, dev.global_bandwidth_gbs
+            );
+        }
+        let _ = writeln!(
+            s,
+            "{:<24} {:>7} {:>13} {:>13} {:>10} {:>8}",
+            "kernel", "calls", "total s", "mean s", "GFLOP/s", "AI"
+        );
+        for k in &self.kernels {
+            let _ = writeln!(
+                s,
+                "{:<24} {:>7} {:>13.6e} {:>13.6e} {:>10.2} {:>8.2}",
+                k.label,
+                k.calls,
+                k.seconds,
+                k.mean_seconds(),
+                k.gflops(),
+                k.arithmetic_intensity()
+            );
+        }
+        let _ = writeln!(
+            s,
+            "h2d: {} copies, {} bytes, {:.6e} s",
+            self.h2d.calls, self.h2d.bytes, self.h2d.seconds
+        );
+        let _ = writeln!(
+            s,
+            "d2h: {} copies, {} bytes, {:.6e} s",
+            self.d2h.calls, self.d2h.bytes, self.d2h.seconds
+        );
+        let _ = writeln!(
+            s,
+            "transfer share of modeled device time: {:.2}%",
+            self.transfer_share() * 100.0
+        );
+        let _ = writeln!(
+            s,
+            "sweeps: {}, descents: {}, ILS iterations: {}, perturbations: {}",
+            self.sweeps, self.descents, self.iterations, self.perturbations
+        );
+        if let Some(best) = self.best_length {
+            let _ = writeln!(s, "final best length: {best}");
+        }
+        s
+    }
+
+    /// Machine-readable snapshot.
+    pub fn to_json(&self) -> Json {
+        let mut root = Json::obj();
+        if let Some(dev) = &self.device {
+            let mut d = Json::obj();
+            d.set("name", Json::from(dev.name.as_str()))
+                .set("compute_units", Json::from(dev.compute_units))
+                .set("sustained_gflops", Json::from(dev.sustained_gflops))
+                .set("shared_bandwidth_gbs", Json::from(dev.shared_bandwidth_gbs))
+                .set("global_bandwidth_gbs", Json::from(dev.global_bandwidth_gbs))
+                .set("pcie_bandwidth_gbs", Json::from(dev.pcie_bandwidth_gbs));
+            root.set("device", d);
+        } else {
+            root.set("device", Json::Null);
+        }
+        let mut kernels = Vec::new();
+        for k in &self.kernels {
+            let mut e = Json::obj();
+            e.set("label", Json::from(k.label.as_str()))
+                .set("calls", Json::from(k.calls))
+                .set("seconds", Json::from(k.seconds))
+                .set("mean_seconds", Json::from(k.mean_seconds()))
+                .set("gflops", Json::from(k.gflops()))
+                .set("arithmetic_intensity", Json::from(k.arithmetic_intensity()))
+                .set("flops", Json::from(k.counters.flops))
+                .set("shared_bytes", Json::from(k.counters.shared_bytes))
+                .set("global_bytes", Json::from(k.counters.global_bytes()))
+                .set("atomic_ops", Json::from(k.counters.atomic_ops));
+            kernels.push(e);
+        }
+        root.set("kernels", Json::Arr(kernels));
+        for (name, t) in [("h2d", &self.h2d), ("d2h", &self.d2h)] {
+            let mut e = Json::obj();
+            e.set("calls", Json::from(t.calls))
+                .set("bytes", Json::from(t.bytes))
+                .set("seconds", Json::from(t.seconds));
+            root.set(name, e);
+        }
+        root.set("transfer_share", Json::from(self.transfer_share()))
+            .set("sweeps", Json::from(self.sweeps))
+            .set("descents", Json::from(self.descents))
+            .set("iterations", Json::from(self.iterations))
+            .set("perturbations", Json::from(self.perturbations))
+            .set(
+                "best_length",
+                match self.best_length {
+                    Some(v) => Json::from(v),
+                    None => Json::Null,
+                },
+            );
+        root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel(label: &str, seconds: f64, flops: u64, global: u64) -> TraceEvent {
+        TraceEvent::Kernel {
+            label: label.into(),
+            seconds,
+            grid_dim: 1,
+            block_dim: 32,
+            counters: KernelCounters {
+                flops,
+                global_read_bytes: global,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn aggregates_per_label_sorted() {
+        let events = vec![
+            kernel("b", 0.5, 100, 10),
+            kernel("a", 0.25, 40, 8),
+            kernel("b", 0.5, 100, 10),
+        ];
+        let snap = MetricsSnapshot::from_events(&events);
+        assert_eq!(snap.kernels.len(), 2);
+        assert_eq!(snap.kernels[0].label, "a");
+        assert_eq!(snap.kernels[1].label, "b");
+        let b = snap.kernel("b").unwrap();
+        assert_eq!(b.calls, 2);
+        assert_eq!(b.counters.flops, 200);
+        assert!((b.seconds - 1.0).abs() < 1e-15);
+        assert!((b.mean_seconds() - 0.5).abs() < 1e-15);
+        assert!((b.gflops() - 200.0 / 1e9).abs() < 1e-18);
+        assert!((b.arithmetic_intensity() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_launch_gflops_matches_profile_formula() {
+        // The KernelProfile::gflops formula, applied directly.
+        let seconds = 0.000244140625f64;
+        let flops = 123_457u64;
+        let reference = flops as f64 / seconds / 1e9;
+        let snap = MetricsSnapshot::from_events(&[kernel("k", seconds, flops, 64)]);
+        assert_eq!(
+            snap.kernel("k").unwrap().gflops().to_bits(),
+            reference.to_bits()
+        );
+    }
+
+    #[test]
+    fn gflops_is_zero_safe() {
+        let k = KernelStats {
+            label: "k".into(),
+            calls: 0,
+            seconds: 0.0,
+            counters: KernelCounters::default(),
+        };
+        assert_eq!(k.gflops(), 0.0);
+        assert_eq!(k.mean_seconds(), 0.0);
+    }
+
+    #[test]
+    fn transfer_share_counts_both_directions() {
+        let events = vec![
+            kernel("k", 0.75, 1, 1),
+            TraceEvent::H2d {
+                bytes: 100,
+                seconds: 0.125,
+            },
+            TraceEvent::D2h {
+                bytes: 50,
+                seconds: 0.125,
+            },
+        ];
+        let snap = MetricsSnapshot::from_events(&events);
+        assert_eq!(snap.h2d.calls, 1);
+        assert_eq!(snap.d2h.bytes, 50);
+        assert!((snap.transfer_share() - 0.25).abs() < 1e-15);
+        assert_eq!(MetricsSnapshot::default().transfer_share(), 0.0);
+    }
+
+    #[test]
+    fn ils_counters_and_text_render() {
+        let events = vec![
+            TraceEvent::SweepEnd {
+                sweep: 0,
+                cost: Default::default(),
+                improving: true,
+                delta: -5,
+            },
+            TraceEvent::DescentEnd {
+                sweeps: 1,
+                final_length: 100,
+            },
+            TraceEvent::Perturbation {
+                kind: "DoubleBridge".into(),
+            },
+            TraceEvent::IterationEnd {
+                iteration: 1,
+                candidate_length: 95,
+                accepted: true,
+                best_length: 95,
+            },
+        ];
+        let snap = MetricsSnapshot::from_events(&events);
+        assert_eq!(
+            (
+                snap.sweeps,
+                snap.descents,
+                snap.iterations,
+                snap.perturbations
+            ),
+            (1, 1, 1, 1)
+        );
+        assert_eq!(snap.best_length, Some(95));
+        let text = snap.to_text();
+        assert!(text.contains("final best length: 95"));
+        let json = snap.to_json();
+        assert_eq!(json.get("best_length").and_then(Json::as_f64), Some(95.0));
+    }
+}

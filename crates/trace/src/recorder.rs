@@ -1,0 +1,134 @@
+//! The recorder handle threaded through device, search and ILS layers.
+
+use crate::event::TraceEvent;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// A cheap, cloneable handle onto a shared event buffer.
+///
+/// A disabled recorder (the default) carries no buffer at all: recording
+/// through it is a single branch on an `Option`, so instrumented hot
+/// paths cost nothing when nobody is listening. Clones of an enabled
+/// recorder share one buffer, which is how a single trace ends up
+/// covering the device, the descent driver and the ILS loop at once.
+#[derive(Debug, Default, Clone)]
+pub struct Recorder {
+    inner: Option<Arc<Mutex<Vec<TraceEvent>>>>,
+}
+
+fn lock(buf: &Mutex<Vec<TraceEvent>>) -> MutexGuard<'_, Vec<TraceEvent>> {
+    buf.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Recorder {
+    /// A recorder that collects events.
+    pub fn enabled() -> Self {
+        Recorder {
+            inner: Some(Arc::new(Mutex::new(Vec::new()))),
+        }
+    }
+
+    /// A recorder that drops everything (same as `Recorder::default()`).
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// `true` when events are being collected.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Record one event (no-op when disabled).
+    #[inline]
+    pub fn record(&self, event: TraceEvent) {
+        if let Some(buf) = &self.inner {
+            lock(buf).push(event);
+        }
+    }
+
+    /// Record the event produced by `make`, building it only when the
+    /// recorder is enabled — use this when constructing the event
+    /// allocates (labels, engine names).
+    #[inline]
+    pub fn record_with(&self, make: impl FnOnce() -> TraceEvent) {
+        if let Some(buf) = &self.inner {
+            lock(buf).push(make());
+        }
+    }
+
+    /// Snapshot of all recorded events, in order (empty when disabled).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        match &self.inner {
+            Some(buf) => lock(buf).clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        match &self.inner {
+            Some(buf) => lock(buf).len(),
+            None => 0,
+        }
+    }
+
+    /// `true` when nothing has been recorded (always for disabled).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop all recorded events, keeping the buffer alive.
+    pub fn clear(&self) {
+        if let Some(buf) = &self.inner {
+            lock(buf).clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_drops_everything() {
+        let r = Recorder::disabled();
+        assert!(!r.is_enabled());
+        r.record(TraceEvent::SweepBegin { sweep: 0 });
+        r.record_with(|| panic!("must not be called when disabled"));
+        assert!(r.is_empty());
+        assert_eq!(r.events(), Vec::new());
+    }
+
+    #[test]
+    fn default_is_disabled() {
+        assert!(!Recorder::default().is_enabled());
+    }
+
+    #[test]
+    fn clones_share_one_buffer() {
+        let a = Recorder::enabled();
+        let b = a.clone();
+        a.record(TraceEvent::SweepBegin { sweep: 0 });
+        b.record(TraceEvent::SweepBegin { sweep: 1 });
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.events(), a.events());
+        a.clear();
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn events_preserve_order() {
+        let r = Recorder::enabled();
+        for i in 0..10 {
+            r.record(TraceEvent::SweepBegin { sweep: i });
+        }
+        let got = r.events();
+        for (i, e) in got.iter().enumerate() {
+            assert_eq!(
+                e,
+                &TraceEvent::SweepBegin { sweep: i as u64 },
+                "event {i} out of order"
+            );
+        }
+    }
+}

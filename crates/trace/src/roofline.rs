@@ -1,0 +1,261 @@
+//! Roofline classification of recorded kernels against the active
+//! device: is each kernel compute-bound or global-bandwidth-bound, and
+//! how far is it from its attainable ceiling?
+//!
+//! This is the quantitative check on the paper's locality argument: the
+//! shared-memory 2-opt kernels should sit at high arithmetic intensity
+//! (right of the ridge point, compute-bound) while naïve global-memory
+//! variants sit left of it, pinned to the bandwidth roof.
+
+use crate::event::TraceEvent;
+use crate::json::Json;
+use crate::metrics::MetricsSnapshot;
+use std::fmt::Write as _;
+
+/// Which roof limits a kernel on this device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bound {
+    /// Limited by sustained FLOP throughput.
+    Compute,
+    /// Limited by global memory bandwidth.
+    Bandwidth,
+}
+
+impl Bound {
+    /// Short display name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Bound::Compute => "compute",
+            Bound::Bandwidth => "bandwidth",
+        }
+    }
+}
+
+/// Roofline placement of one kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RooflineEntry {
+    /// Kernel label.
+    pub label: String,
+    /// FLOPs per global byte over all launches.
+    pub arithmetic_intensity: f64,
+    /// Achieved GFLOP/s.
+    pub achieved_gflops: f64,
+    /// min(sustained, AI × global bandwidth) — the roof above this kernel.
+    pub attainable_gflops: f64,
+    /// Which roof is the binding one.
+    pub bound: Bound,
+}
+
+impl RooflineEntry {
+    /// Achieved / attainable, in `[0, 1]`-ish (modeled kernels can sit at
+    /// exactly 1.0 on their roof).
+    pub fn efficiency(&self) -> f64 {
+        if self.attainable_gflops <= 0.0 {
+            0.0
+        } else {
+            self.achieved_gflops / self.attainable_gflops
+        }
+    }
+}
+
+/// A roofline report: every recorded kernel placed against the device's
+/// compute and bandwidth roofs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RooflineReport {
+    /// Device name.
+    pub device: String,
+    /// Sustained compute roof, GFLOP/s.
+    pub sustained_gflops: f64,
+    /// Global bandwidth roof, GB/s.
+    pub global_bandwidth_gbs: f64,
+    /// AI at which the two roofs meet (FLOPs/byte); kernels right of it
+    /// are compute-bound.
+    pub ridge_intensity: f64,
+    /// Per-kernel placements, sorted by label.
+    pub kernels: Vec<RooflineEntry>,
+}
+
+impl RooflineReport {
+    /// Build a report from a recorded event stream. Returns `None` when
+    /// the stream has no `Device` event (no roofs to classify against).
+    pub fn from_events(events: &[TraceEvent]) -> Option<Self> {
+        Self::from_snapshot(&MetricsSnapshot::from_events(events))
+    }
+
+    /// Build a report from an existing metrics snapshot.
+    pub fn from_snapshot(snap: &MetricsSnapshot) -> Option<Self> {
+        let dev = snap.device.as_ref()?;
+        let sustained = dev.sustained_gflops;
+        let bw = dev.global_bandwidth_gbs;
+        let mut kernels = Vec::with_capacity(snap.kernels.len());
+        for k in &snap.kernels {
+            let ai = k.arithmetic_intensity();
+            // AI of 0 means the kernel touched no global memory at all:
+            // there is no bandwidth roof over it, only the compute roof.
+            let (attainable, bound) = if ai == 0.0 {
+                (sustained, Bound::Compute)
+            } else {
+                let bw_roof = ai * bw; // GFLOP/s, since AI is FLOPs/byte and bw is GB/s
+                if bw_roof < sustained {
+                    (bw_roof, Bound::Bandwidth)
+                } else {
+                    (sustained, Bound::Compute)
+                }
+            };
+            kernels.push(RooflineEntry {
+                label: k.label.clone(),
+                arithmetic_intensity: ai,
+                achieved_gflops: k.gflops(),
+                attainable_gflops: attainable,
+                bound,
+            });
+        }
+        Some(RooflineReport {
+            device: dev.name.clone(),
+            sustained_gflops: sustained,
+            global_bandwidth_gbs: bw,
+            ridge_intensity: if bw > 0.0 { sustained / bw } else { 0.0 },
+            kernels,
+        })
+    }
+
+    /// Look up one kernel's placement by label.
+    pub fn kernel(&self, label: &str) -> Option<&RooflineEntry> {
+        self.kernels.iter().find(|k| k.label == label)
+    }
+
+    /// Human-readable report.
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        s.push_str("== roofline report ==\n");
+        let _ = writeln!(
+            s,
+            "device: {} (sustained {:.1} GFLOP/s, global {:.0} GB/s, ridge at {:.2} FLOPs/byte)",
+            self.device, self.sustained_gflops, self.global_bandwidth_gbs, self.ridge_intensity
+        );
+        let _ = writeln!(
+            s,
+            "{:<24} {:>10} {:>12} {:>12} {:>7} {:>10}",
+            "kernel", "AI", "achieved", "attainable", "eff", "bound"
+        );
+        for k in &self.kernels {
+            let _ = writeln!(
+                s,
+                "{:<24} {:>10.2} {:>12.2} {:>12.2} {:>6.0}% {:>10}",
+                k.label,
+                k.arithmetic_intensity,
+                k.achieved_gflops,
+                k.attainable_gflops,
+                k.efficiency() * 100.0,
+                k.bound.as_str()
+            );
+        }
+        s
+    }
+
+    /// Machine-readable report.
+    pub fn to_json(&self) -> Json {
+        let mut root = Json::obj();
+        root.set("device", Json::from(self.device.as_str()))
+            .set("sustained_gflops", Json::from(self.sustained_gflops))
+            .set(
+                "global_bandwidth_gbs",
+                Json::from(self.global_bandwidth_gbs),
+            )
+            .set("ridge_intensity", Json::from(self.ridge_intensity));
+        let mut kernels = Vec::new();
+        for k in &self.kernels {
+            let mut e = Json::obj();
+            e.set("label", Json::from(k.label.as_str()))
+                .set("arithmetic_intensity", Json::from(k.arithmetic_intensity))
+                .set("achieved_gflops", Json::from(k.achieved_gflops))
+                .set("attainable_gflops", Json::from(k.attainable_gflops))
+                .set("efficiency", Json::from(k.efficiency()))
+                .set("bound", Json::from(k.bound.as_str()));
+            kernels.push(e);
+        }
+        root.set("kernels", Json::Arr(kernels));
+        root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{DeviceInfo, KernelCounters};
+
+    fn device() -> TraceEvent {
+        TraceEvent::Device(DeviceInfo {
+            name: "TestDev".into(),
+            compute_units: 8,
+            sustained_gflops: 640.0,
+            shared_bandwidth_gbs: 1400.0,
+            global_bandwidth_gbs: 160.0,
+            pcie_bandwidth_gbs: 2.5,
+        })
+    }
+
+    fn kernel(label: &str, flops: u64, global: u64) -> TraceEvent {
+        TraceEvent::Kernel {
+            label: label.into(),
+            seconds: 1e-3,
+            grid_dim: 1,
+            block_dim: 32,
+            counters: KernelCounters {
+                flops,
+                global_read_bytes: global,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn classifies_against_both_roofs() {
+        // Ridge point: 640 / 160 = 4 FLOPs/byte.
+        let events = vec![
+            device(),
+            kernel("low-ai", 1_000, 1_000), // AI 1 → bandwidth roof 160
+            kernel("high-ai", 1_000_000, 10_000), // AI 100 → compute roof 640
+        ];
+        let report = RooflineReport::from_events(&events).unwrap();
+        assert!((report.ridge_intensity - 4.0).abs() < 1e-12);
+        let low = report.kernel("low-ai").unwrap();
+        assert_eq!(low.bound, Bound::Bandwidth);
+        assert!((low.attainable_gflops - 160.0).abs() < 1e-9);
+        let high = report.kernel("high-ai").unwrap();
+        assert_eq!(high.bound, Bound::Compute);
+        assert!((high.attainable_gflops - 640.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_ai_kernel_is_compute_bound() {
+        let events = vec![device(), kernel("on-chip", 1_000, 0)];
+        let report = RooflineReport::from_events(&events).unwrap();
+        let k = report.kernel("on-chip").unwrap();
+        assert_eq!(k.bound, Bound::Compute);
+        assert_eq!(k.arithmetic_intensity, 0.0);
+        assert!((k.attainable_gflops - 640.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_device_event_means_no_report() {
+        assert!(RooflineReport::from_events(&[kernel("k", 10, 10)]).is_none());
+    }
+
+    #[test]
+    fn text_and_json_render() {
+        let events = vec![device(), kernel("k", 1_000, 1_000)];
+        let report = RooflineReport::from_events(&events).unwrap();
+        let text = report.to_text();
+        assert!(text.contains("roofline report"));
+        assert!(text.contains("bandwidth"));
+        let json = report.to_json();
+        assert_eq!(json.get("device").and_then(Json::as_str), Some("TestDev"));
+        assert_eq!(
+            json.get("kernels")
+                .and_then(Json::as_array)
+                .map(<[Json]>::len),
+            Some(1)
+        );
+    }
+}

@@ -1,0 +1,162 @@
+//! Golden-file test for the Chrome-trace exporter: a scripted run with
+//! two kernels and one transfer must serialize to byte-identical,
+//! schema-valid JSON forever. Durations are exact binary fractions of a
+//! second so every microsecond timestamp is an exact decimal.
+
+use tsp_trace::json::{self, Json};
+use tsp_trace::{chrome_trace, DeviceInfo, KernelCounters, SweepCost, TraceEvent};
+
+const GOLDEN: &str = include_str!("golden/two_kernels_one_transfer.trace.json");
+
+fn scripted_run() -> Vec<TraceEvent> {
+    vec![
+        TraceEvent::Device(DeviceInfo {
+            name: "GoldenDev".to_string(),
+            compute_units: 8,
+            sustained_gflops: 680.0,
+            shared_bandwidth_gbs: 1400.0,
+            global_bandwidth_gbs: 192.0,
+            pcie_bandwidth_gbs: 2.5,
+        }),
+        TraceEvent::DescentBegin {
+            engine: "golden-engine".to_string(),
+            n: 16,
+            initial_length: 1000,
+        },
+        TraceEvent::SweepBegin { sweep: 0 },
+        TraceEvent::H2d {
+            bytes: 1024,
+            seconds: 0.0001220703125, // 2^-13 s = 122.0703125 µs
+        },
+        TraceEvent::Kernel {
+            label: "2opt-eval-shared".to_string(),
+            seconds: 0.000244140625, // 2^-12 s = 244.140625 µs
+            grid_dim: 2,
+            block_dim: 64,
+            counters: KernelCounters {
+                flops: 4096,
+                shared_bytes: 2048,
+                global_read_bytes: 512,
+                global_write_bytes: 64,
+                atomic_ops: 2,
+            },
+        },
+        TraceEvent::Kernel {
+            label: "2opt-reverse".to_string(),
+            seconds: 0.00006103515625, // 2^-14 s = 61.03515625 µs
+            grid_dim: 1,
+            block_dim: 64,
+            counters: KernelCounters {
+                flops: 0,
+                shared_bytes: 0,
+                global_read_bytes: 128,
+                global_write_bytes: 128,
+                atomic_ops: 0,
+            },
+        },
+        TraceEvent::SweepEnd {
+            sweep: 0,
+            cost: SweepCost {
+                pairs_checked: 120,
+                flops: 4096,
+                kernel_seconds: 0.00030517578125,
+                reversal_seconds: 0.0,
+                h2d_seconds: 0.0001220703125,
+                d2h_seconds: 0.0,
+            },
+            improving: true,
+            delta: -40,
+        },
+        TraceEvent::DescentEnd {
+            sweeps: 1,
+            final_length: 960,
+        },
+    ]
+}
+
+#[test]
+fn exporter_output_matches_golden_bytes() {
+    let actual = chrome_trace(&scripted_run());
+    if std::env::var_os("REGEN_GOLDEN").is_some() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/golden/two_kernels_one_transfer.trace.json"
+        );
+        std::fs::write(path, &actual).expect("write golden");
+    }
+    assert_eq!(
+        actual, GOLDEN,
+        "chrome exporter output drifted from the committed golden file; \
+         if the change is intentional, rerun with REGEN_GOLDEN=1 and \
+         review the diff"
+    );
+}
+
+#[test]
+fn golden_is_schema_valid_chrome_trace() {
+    let doc = json::parse(GOLDEN).expect("golden file must be valid JSON");
+    assert_eq!(
+        doc.get("displayTimeUnit").and_then(Json::as_str),
+        Some("ms")
+    );
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+
+    for e in events {
+        let ph = e
+            .get("ph")
+            .and_then(Json::as_str)
+            .expect("every event has a ph");
+        assert!(
+            matches!(ph, "M" | "X" | "B" | "E" | "i" | "C"),
+            "unexpected phase {ph:?}"
+        );
+        assert_eq!(e.get("pid").and_then(Json::as_f64), Some(1.0));
+        if ph != "M" {
+            let ts = e.get("ts").and_then(Json::as_f64);
+            if ph == "C" {
+                assert!(ts.is_some(), "{ph} event missing ts");
+            } else {
+                let ts = ts.expect("timed event has ts");
+                assert!(ts >= 0.0, "negative timestamp");
+                assert!(
+                    e.get("tid").and_then(Json::as_f64).is_some(),
+                    "{ph} event missing tid"
+                );
+            }
+        }
+        if ph == "X" {
+            let dur = e
+                .get("dur")
+                .and_then(Json::as_f64)
+                .expect("complete event has dur");
+            assert!(dur > 0.0, "complete event with non-positive dur");
+        }
+    }
+
+    // The two kernels sit on the kernel track, back to back after the
+    // transfer.
+    let xs: Vec<&Json> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+        .collect();
+    assert_eq!(xs.len(), 3, "one transfer + two kernels");
+    let h2d = xs[0];
+    assert_eq!(h2d.get("name").and_then(Json::as_str), Some("H2D"));
+    assert_eq!(h2d.get("ts").and_then(Json::as_f64), Some(0.0));
+    assert_eq!(h2d.get("dur").and_then(Json::as_f64), Some(122.0703125));
+    let k1 = xs[1];
+    assert_eq!(
+        k1.get("name").and_then(Json::as_str),
+        Some("2opt-eval-shared")
+    );
+    assert_eq!(k1.get("ts").and_then(Json::as_f64), Some(122.0703125));
+    assert_eq!(k1.get("dur").and_then(Json::as_f64), Some(244.140625));
+    let k2 = xs[2];
+    assert_eq!(k2.get("name").and_then(Json::as_str), Some("2opt-reverse"));
+    assert_eq!(k2.get("ts").and_then(Json::as_f64), Some(366.2109375));
+    assert_eq!(k2.get("dur").and_then(Json::as_f64), Some(61.03515625));
+}

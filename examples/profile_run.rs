@@ -20,8 +20,9 @@ fn main() {
     let inst = generate("profile", n, Style::Uniform, 21);
     let mut tour = multiple_fragment(&inst);
 
+    // Kernels carry their own labels (Kernel::label), so no sticky
+    // set_label is needed.
     let timeline = Timeline::new();
-    timeline.set_label("2opt-sweep");
     let mut engine = GpuTwoOpt::new(spec::gtx_680_cuda()).with_timeline(timeline.clone());
     let stats =
         optimize(&mut engine, &inst, &mut tour, SearchOptions::default()).expect("descent runs");

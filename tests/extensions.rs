@@ -102,7 +102,6 @@ fn tour_file_round_trips_a_solved_tour() {
 fn timeline_observes_a_whole_vnd_run() {
     let inst = generate("timeline", 80, Style::Uniform, 6);
     let timeline = gpu_sim::Timeline::new();
-    timeline.set_label("2opt");
     let mut two = tsp_2opt::GpuTwoOpt::new(spec::gtx_680_cuda()).with_timeline(timeline.clone());
     let mut or = GpuOrOpt::new(spec::gtx_680_cuda());
     let mut tour = multiple_fragment(&inst);
