@@ -230,9 +230,7 @@ pub fn transfer_overlap(sizes: &[usize]) -> Vec<Row> {
 /// the reversed segment through global memory).
 pub fn device_resident(sizes: &[usize]) -> Vec<Row> {
     let dev = spec::gtx_680_cuda();
-    let opts = SearchOptions {
-        max_sweeps: Some(5),
-    };
+    let opts = SearchOptions::new().with_max_sweeps(5u64);
     sizes
         .iter()
         .flat_map(|&n| {

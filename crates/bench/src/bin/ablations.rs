@@ -2,7 +2,7 @@
 //!
 //! Usage: `ablations [--trace-out <path>]`
 //!   --trace-out — write a Chrome-trace JSON of the kernel memory
-//!                 variants ablation (load in https://ui.perfetto.dev).
+//!                 variants ablation (load in <https://ui.perfetto.dev>).
 
 use tsp_bench::ablation;
 

@@ -5,7 +5,7 @@
 //!                 which takes far longer to run functionally)
 //!   iterations  — ILS perturbation count (default 30)
 //!   --trace-out — write a Chrome-trace JSON of the GPU run
-//!                 (load in https://ui.perfetto.dev).
+//!                 (load in <https://ui.perfetto.dev>).
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -3,7 +3,7 @@
 //! Usage: `fig9 [--csv] [--trace-out <path>]`
 //!   --trace-out — the figure itself is model-priced, so this records a
 //!                 small functional sweep sample of the kernels the
-//!                 model prices (load in https://ui.perfetto.dev).
+//!                 model prices (load in <https://ui.perfetto.dev>).
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -1,0 +1,36 @@
+//! Modeled device/stream scaling of sharded ILS multistart; writes
+//! `BENCH_scaling.json` with `--json-out <path>`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_out = None;
+    let mut rest = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--json-out" {
+            json_out = it.next();
+        } else if let Some(p) = a.strip_prefix("--json-out=") {
+            json_out = Some(p.to_string());
+        } else {
+            rest.push(a);
+        }
+    }
+    let n: usize = rest.first().and_then(|s| s.parse().ok()).unwrap_or(96);
+    let shards: usize = rest.get(1).and_then(|s| s.parse().ok()).unwrap_or(32);
+    let iterations: u64 = rest.get(2).and_then(|s| s.parse().ok()).unwrap_or(2);
+
+    let rows = tsp_bench::fig_scaling::compute(n, shards, iterations, 0x2013);
+    if rest.iter().any(|a| a == "--csv") {
+        print!("{}", tsp_bench::fig_scaling::to_csv(&rows));
+    } else {
+        println!(
+            "Sharded multistart scaling — {shards} chains, n = {n}, {iterations} ILS iterations\n"
+        );
+        print!("{}", tsp_bench::fig_scaling::render(&rows));
+    }
+    if let Some(path) = json_out {
+        std::fs::write(&path, tsp_bench::fig_scaling::to_json(&rows))
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
+}

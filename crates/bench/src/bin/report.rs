@@ -93,7 +93,17 @@ fn main() {
     );
     write(out, "ablations.txt", &ab);
 
-    eprintln!("== Traces (Chrome JSON; load in https://ui.perfetto.dev)");
+    eprintln!("== Scaling (sharded multistart, 32 chains over device pools, n = 96)");
+    let sc = tsp_bench::fig_scaling::compute(96, 32, 2, 0x2013);
+    write(out, "scaling.txt", &tsp_bench::fig_scaling::render(&sc));
+    write(out, "scaling.csv", &tsp_bench::fig_scaling::to_csv(&sc));
+    write(
+        out,
+        "BENCH_scaling.json",
+        &tsp_bench::fig_scaling::to_json(&sc),
+    );
+
+    eprintln!("== Traces (Chrome JSON; load in <https://ui.perfetto.dev>)");
     write(
         out,
         "ils.trace.json",

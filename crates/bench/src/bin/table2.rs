@@ -6,7 +6,7 @@
 //!                      (default 2500; larger rows are model-priced and
 //!                      marked `~`).
 //!   --trace-out      — write a Chrome-trace JSON of the functional rows
-//!                      (load in https://ui.perfetto.dev).
+//!                      (load in <https://ui.perfetto.dev>).
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -52,15 +52,10 @@ pub fn compute_traced(n: usize, iterations: u64, seed: u64, recorder: &Recorder)
     let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(seed);
     let start = Tour::random(n, &mut rng);
 
-    let opts = IlsOptions {
-        max_iterations: Some(iterations),
-        seed,
-        ..Default::default()
-    };
-    let gpu_opts = IlsOptions {
-        recorder: recorder.clone(),
-        ..opts.clone()
-    };
+    let opts = IlsOptions::new()
+        .with_max_iterations(iterations)
+        .with_seed(seed);
+    let gpu_opts = opts.clone().with_recorder(recorder.clone());
     let mut gpu_engine = GpuTwoOpt::new(spec::gtx_680_cuda()).with_recorder(recorder.clone());
     let gpu = iterated_local_search(&mut gpu_engine, &inst, start.clone(), gpu_opts)
         .expect("generated instances are coordinate-based");

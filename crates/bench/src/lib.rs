@@ -14,6 +14,7 @@
 //! | Fig. 10 (speedup vs CPU) | [`fig10`] | `cargo run -p tsp-bench --bin fig10` |
 //! | Fig. 11 (ILS convergence) | [`fig11`] | `cargo run -p tsp-bench --bin fig11` |
 //! | Ablations (DESIGN.md §5) | [`ablation`] | `cargo run -p tsp-bench --bin ablations` |
+//! | Pool scaling (DESIGN.md §9, not in the paper) | [`fig_scaling`] | `cargo run -p tsp-bench --bin fig_scaling` |
 //!
 //! Criterion micro-benches (wall-clock, on *this* host) live in
 //! `benches/` and run with `cargo bench`.
@@ -29,6 +30,7 @@ pub mod common;
 pub mod fig10;
 pub mod fig11;
 pub mod fig9;
+pub mod fig_scaling;
 pub mod table1;
 pub mod table2;
 pub mod trace;

@@ -70,12 +70,10 @@ pub fn traced_ils(n: usize, iterations: u64, seed: u64, recorder: &Recorder) -> 
     let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(seed);
     let start = Tour::random(n, &mut rng);
     let mut engine = GpuTwoOpt::new(spec::gtx_680_cuda()).with_recorder(recorder.clone());
-    let opts = IlsOptions {
-        max_iterations: Some(iterations),
-        seed,
-        recorder: recorder.clone(),
-        ..Default::default()
-    };
+    let opts = IlsOptions::new()
+        .with_max_iterations(iterations)
+        .with_seed(seed)
+        .with_recorder(recorder.clone());
     iterated_local_search(&mut engine, &inst, start, opts)
         .expect("generated instances are coordinate-based")
 }

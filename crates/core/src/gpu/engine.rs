@@ -25,8 +25,61 @@ use crate::gpu::small::{GlobalOnlyKernel, OrderedSharedKernel, UnorderedSharedKe
 use crate::gpu::tiled::{auto_tile, TiledKernel};
 use crate::indexing::{pair_count, tile_pair_count};
 use crate::search::{EngineError, StepProfile, TwoOptEngine};
-use gpu_sim::{AtomicDeviceBuffer, Device, DeviceSpec, LaunchConfig};
+use gpu_sim::{
+    AtomicDeviceBuffer, Device, DeviceBuffer, DeviceSpec, Kernel, KernelProfile, LaunchConfig,
+    SimError, StreamId, TransferProfile,
+};
+use std::sync::Arc;
 use tsp_core::{Instance, Point, Tour};
+
+/// Route a launch to the engine's stream when it has one, to the serial
+/// device path otherwise. Free functions (not methods) so call sites can
+/// hold disjoint borrows of the engine's other fields.
+fn dev_launch<K: Kernel>(
+    device: &Device,
+    stream: Option<StreamId>,
+    cfg: LaunchConfig,
+    kernel: &K,
+) -> Result<KernelProfile, SimError> {
+    match stream {
+        Some(s) => device.launch_on(s, cfg, kernel),
+        None => device.launch(cfg, kernel),
+    }
+}
+
+fn dev_copy_to_device<T: Copy>(
+    device: &Device,
+    stream: Option<StreamId>,
+    data: &[T],
+) -> Result<(DeviceBuffer<T>, TransferProfile), SimError> {
+    match stream {
+        Some(s) => device.copy_to_device_on(s, data),
+        None => device.copy_to_device(data),
+    }
+}
+
+fn dev_upload_atomic(
+    device: &Device,
+    stream: Option<StreamId>,
+    buf: &AtomicDeviceBuffer,
+    words: &[u64],
+) -> Result<TransferProfile, SimError> {
+    match stream {
+        Some(s) => device.upload_atomic_on(s, buf, words),
+        None => device.upload_atomic(buf, words),
+    }
+}
+
+fn dev_copy_from_device(
+    device: &Device,
+    stream: Option<StreamId>,
+    buf: &AtomicDeviceBuffer,
+) -> Result<(Vec<u64>, TransferProfile), SimError> {
+    match stream {
+        Some(s) => device.copy_from_device_on(s, buf),
+        None => Ok(device.copy_from_device(buf)),
+    }
+}
 
 /// Kernel selection strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,7 +142,8 @@ enum SyncAction {
 
 /// GPU 2-opt engine over a simulated device.
 pub struct GpuTwoOpt {
-    device: Device,
+    device: Arc<Device>,
+    stream: Option<StreamId>,
     strategy: Strategy,
     block_dim: u32,
     grid_dim: u32,
@@ -103,10 +157,19 @@ impl GpuTwoOpt {
     /// and the default launch geometry (4 blocks per compute unit, the
     /// device's maximum block size).
     pub fn new(spec: DeviceSpec) -> Self {
+        Self::from_device(Arc::new(Device::new(spec)))
+    }
+
+    /// Engine over an existing (possibly shared) device, submitting on
+    /// the device's implicit serial path. Use [`GpuTwoOpt::on_stream`] to
+    /// share the device across concurrent engines.
+    pub fn from_device(device: Arc<Device>) -> Self {
+        let spec = device.spec();
         let block_dim = spec.max_threads_per_block.min(1024);
         let grid_dim = spec.compute_units * 4;
         GpuTwoOpt {
-            device: Device::new(spec),
+            device,
+            stream: None,
             strategy: Strategy::Auto,
             block_dim,
             grid_dim,
@@ -114,6 +177,16 @@ impl GpuTwoOpt {
             ordered: Vec::new(),
             resident: None,
         }
+    }
+
+    /// Engine over a shared device, submitting every transfer and launch
+    /// on `stream`. Results are bit-identical to the serial path; modeled
+    /// time is resolved by `Device::synchronize`, which lays the queued
+    /// ops of all streams onto the device's engines with overlap.
+    pub fn on_stream(device: Arc<Device>, stream: StreamId) -> Self {
+        let mut engine = Self::from_device(device);
+        engine.stream = Some(stream);
+        engine
     }
 
     /// Model double-buffered streams: inside the descent loop the next
@@ -146,8 +219,15 @@ impl GpuTwoOpt {
 
     /// Attach a profiler timeline to the underlying device; every sweep's
     /// H2D copy, kernel launch and D2H readback is recorded on it.
+    ///
+    /// # Panics
+    /// When the device is already shared (another engine holds it):
+    /// attach sinks before handing the device out, or attach them through
+    /// `DevicePool::attach_recorder` for pooled devices.
     pub fn with_timeline(mut self, timeline: gpu_sim::Timeline) -> Self {
-        self.device.attach_timeline(timeline);
+        Arc::get_mut(&mut self.device)
+            .expect("attach the timeline before the device is shared")
+            .attach_timeline(timeline);
         self
     }
 
@@ -156,8 +236,13 @@ impl GpuTwoOpt {
     /// `TraceEvent::Device` describing the device is emitted immediately.
     /// Pair with `optimize_with_recorder` (same recorder) for
     /// sweep-level context around the device events.
+    ///
+    /// # Panics
+    /// When the device is already shared — see [`GpuTwoOpt::with_timeline`].
     pub fn with_recorder(mut self, recorder: gpu_sim::Recorder) -> Self {
-        self.device.attach_recorder(recorder);
+        Arc::get_mut(&mut self.device)
+            .expect("attach the recorder before the device is shared")
+            .attach_recorder(recorder);
         self
     }
 
@@ -285,55 +370,68 @@ impl TwoOptEngine for GpuTwoOpt {
         let out = self.device.alloc_atomic(1, EMPTY_KEY)?;
         let (kernel_profile, h2d_seconds, reversal_seconds) = match resolved {
             Strategy::Shared => {
-                let (coords, h2d) = self.device.copy_to_device(&self.ordered)?;
+                let (coords, h2d) = dev_copy_to_device(&self.device, self.stream, &self.ordered)?;
                 let k = OrderedSharedKernel {
                     coords: &coords,
                     out: &out,
                 };
-                let p = self
-                    .device
-                    .launch(LaunchConfig::new(self.grid_dim, self.block_dim), &k)?;
+                let p = dev_launch(
+                    &self.device,
+                    self.stream,
+                    LaunchConfig::new(self.grid_dim, self.block_dim),
+                    &k,
+                )?;
                 (p, h2d.seconds, 0.0)
             }
             Strategy::GlobalOnly => {
-                let (coords, h2d) = self.device.copy_to_device(&self.ordered)?;
+                let (coords, h2d) = dev_copy_to_device(&self.device, self.stream, &self.ordered)?;
                 let k = GlobalOnlyKernel {
                     coords: &coords,
                     out: &out,
                 };
-                let p = self
-                    .device
-                    .launch(LaunchConfig::new(self.grid_dim, self.block_dim), &k)?;
+                let p = dev_launch(
+                    &self.device,
+                    self.stream,
+                    LaunchConfig::new(self.grid_dim, self.block_dim),
+                    &k,
+                )?;
                 (p, h2d.seconds, 0.0)
             }
             Strategy::Unordered => {
                 // Fig. 5 layout: city-indexed coordinates + the route.
-                let (coords, h2d_a) = self.device.copy_to_device(inst.points())?;
-                let (route, h2d_b) = self.device.copy_to_device(tour.as_slice())?;
+                let (coords, h2d_a) = dev_copy_to_device(&self.device, self.stream, inst.points())?;
+                let (route, h2d_b) =
+                    dev_copy_to_device(&self.device, self.stream, tour.as_slice())?;
                 let k = UnorderedSharedKernel {
                     coords: &coords,
                     route: &route,
                     out: &out,
                 };
-                let p = self
-                    .device
-                    .launch(LaunchConfig::new(self.grid_dim, self.block_dim), &k)?;
+                let p = dev_launch(
+                    &self.device,
+                    self.stream,
+                    LaunchConfig::new(self.grid_dim, self.block_dim),
+                    &k,
+                )?;
                 (p, h2d_a.seconds + h2d_b.seconds, 0.0)
             }
             Strategy::Tiled { tile } => {
                 if tile == 0 {
                     return Err(EngineError::Unsupported("tile size must be nonzero".into()));
                 }
-                let (coords, h2d) = self.device.copy_to_device(&self.ordered)?;
+                let (coords, h2d) = dev_copy_to_device(&self.device, self.stream, &self.ordered)?;
                 let k = TiledKernel {
                     coords: &coords,
                     out: &out,
                     tile,
                 };
                 let grid = k.grid_dim();
-                let p = self
-                    .device
-                    .launch(LaunchConfig::new(grid, self.block_dim), &k)?;
+                let p = dev_launch(
+                    &self.device,
+                    self.stream,
+                    LaunchConfig::new(grid, self.block_dim),
+                    &k,
+                )?;
                 (p, h2d.seconds, 0.0)
             }
             Strategy::DeviceResident => {
@@ -347,7 +445,7 @@ impl TwoOptEngine for GpuTwoOpt {
                             from,
                             len,
                         };
-                        let p = self.device.launch(st.reverse_cfg, &k)?;
+                        let p = dev_launch(&self.device, self.stream, st.reverse_cfg, &k)?;
                         (0.0, p.seconds)
                     }
                     SyncAction::Refresh => {
@@ -359,20 +457,24 @@ impl TwoOptEngine for GpuTwoOpt {
                         let st = self.resident.as_mut().expect("state built above");
                         st.mirror.clear();
                         st.mirror.extend_from_slice(tour.as_slice());
-                        let t = self.device.upload_atomic(&st.coords, &words)?;
+                        let t = dev_upload_atomic(&self.device, self.stream, &st.coords, &words)?;
                         (t.seconds, 0.0)
                     }
                 };
                 let st = self.resident.as_ref().expect("state built above");
                 let p = match st.eval {
-                    ResidentEval::Shared => self.device.launch(
+                    ResidentEval::Shared => dev_launch(
+                        &self.device,
+                        self.stream,
                         st.eval_cfg,
                         &OrderedSharedKernel {
                             coords: ResidentCoords(&st.coords),
                             out: &out,
                         },
                     )?,
-                    ResidentEval::Tiled { tile } => self.device.launch(
+                    ResidentEval::Tiled { tile } => dev_launch(
+                        &self.device,
+                        self.stream,
                         st.eval_cfg,
                         &TiledKernel {
                             coords: ResidentCoords(&st.coords),
@@ -386,7 +488,7 @@ impl TwoOptEngine for GpuTwoOpt {
             Strategy::Auto => unreachable!("resolved above"),
         };
 
-        let (words, d2h) = self.device.copy_from_device(&out);
+        let (words, d2h) = dev_copy_from_device(&self.device, self.stream, &out)?;
         let best = unpack(words[0]).filter(BestMove::improves);
 
         // Remember the move we just announced so the next sweep can apply
@@ -655,6 +757,49 @@ mod tests {
         // Never better than the ideal max(kernel, h2d) + d2h bound.
         let ideal = pa.kernel_seconds.max(pa.h2d_seconds) + pa.d2h_seconds;
         assert!((pb.modeled_seconds() - ideal).abs() < 1e-12);
+    }
+
+    #[test]
+    fn streamed_engines_share_a_device_and_match_serial_bit_for_bit() {
+        let inst = random_instance(70, 9);
+        let mut rng = SmallRng::seed_from_u64(41);
+        let start_a = Tour::random(70, &mut rng);
+        let start_b = Tour::random(70, &mut rng);
+
+        // Serial reference descents, one private device each.
+        let run_serial = |start: &Tour| {
+            let mut t = start.clone();
+            let mut e = GpuTwoOpt::new(spec::gtx_680_cuda());
+            let s = optimize(&mut e, &inst, &mut t, SearchOptions::default()).unwrap();
+            (t, s)
+        };
+        let (ta, sa) = run_serial(&start_a);
+        let (tb, sb) = run_serial(&start_b);
+
+        // Two streamed engines sharing one device.
+        let device = Arc::new(Device::new(spec::gtx_680_cuda()));
+        let s0 = device.create_stream();
+        let s1 = device.create_stream();
+        let mut ea = GpuTwoOpt::on_stream(device.clone(), s0);
+        let mut eb = GpuTwoOpt::on_stream(device.clone(), s1);
+        let mut ta2 = start_a.clone();
+        let mut tb2 = start_b.clone();
+        let sa2 = optimize(&mut ea, &inst, &mut ta2, SearchOptions::default()).unwrap();
+        let sb2 = optimize(&mut eb, &inst, &mut tb2, SearchOptions::default()).unwrap();
+
+        // Identical tours and identical per-sweep modeled durations.
+        assert_eq!(ta.as_slice(), ta2.as_slice());
+        assert_eq!(tb.as_slice(), tb2.as_slice());
+        assert_eq!(sa.final_length, sa2.final_length);
+        assert_eq!(sb.final_length, sb2.final_length);
+        assert_eq!(sa.profile, sa2.profile);
+        assert_eq!(sb.profile, sb2.profile);
+
+        // The shared device's schedule overlaps the two descents.
+        let report = device.synchronize();
+        assert_eq!(report.streams, 2);
+        assert!(report.overlap() > 0.0);
+        assert!(report.wall_seconds < report.busy_seconds);
     }
 
     #[test]

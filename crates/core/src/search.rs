@@ -128,11 +128,30 @@ pub trait TwoOptEngine {
 }
 
 /// Options for [`optimize`].
+///
+/// Non-exhaustive: construct with [`SearchOptions::new`] (or `default()`)
+/// and customize through the setters, so future fields are not semver
+/// breaks.
 #[derive(Debug, Clone, Copy, Default)]
+#[non_exhaustive]
 pub struct SearchOptions {
     /// Stop after this many sweeps even if not at a local minimum
     /// (`None` = run to the local minimum).
     pub max_sweeps: Option<u64>,
+}
+
+impl SearchOptions {
+    /// Defaults: run to the local minimum.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stop after `max` sweeps even if not at a local minimum. Pass
+    /// `None` to run to the local minimum (the default).
+    pub fn with_max_sweeps(mut self, max: impl Into<Option<u64>>) -> Self {
+        self.max_sweeps = max.into();
+        self
+    }
 }
 
 /// Statistics of one local-search descent.

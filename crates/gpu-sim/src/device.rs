@@ -6,8 +6,11 @@ use crate::kernel::{Kernel, LaunchConfig, ThreadCtx};
 use crate::memory::{AtomicDeviceBuffer, DeviceBuffer, MemoryPool};
 use crate::profile::{KernelProfile, TransferProfile};
 use crate::spec::DeviceSpec;
+use crate::stream::EngineClass;
+use crate::stream::{self, EventId, QueuedOp, StreamId, StreamReport, StreamTable};
 use crate::timeline::Timeline;
 use crate::timing;
+use parking_lot::Mutex;
 use rayon::prelude::*;
 use std::sync::Arc;
 use tsp_trace::{Recorder, TraceEvent};
@@ -22,21 +25,37 @@ use tsp_trace::{Recorder, TraceEvent};
 /// exactly like `__syncthreads()`.
 pub struct Device {
     spec: DeviceSpec,
+    index: u32,
     pool: Arc<MemoryPool>,
     timeline: Option<Timeline>,
     recorder: Recorder,
+    streams: Mutex<StreamTable>,
 }
 
 impl Device {
     /// Bring up a device with the given spec.
     pub fn new(spec: DeviceSpec) -> Self {
+        Self::with_index(spec, 0)
+    }
+
+    /// Bring up a device carrying a pool index, used to label its stream
+    /// trace tracks (`DevicePool` numbers its devices this way).
+    pub fn with_index(spec: DeviceSpec, index: u32) -> Self {
         let pool = MemoryPool::new(spec.global_mem_bytes);
         Device {
             spec,
+            index,
             pool,
             timeline: None,
             recorder: Recorder::disabled(),
+            streams: Mutex::new(StreamTable::default()),
         }
+    }
+
+    /// This device's index within its pool (0 for standalone devices).
+    #[inline]
+    pub fn index(&self) -> u32 {
+        self.index
     }
 
     /// Attach a profiler [`Timeline`]; subsequent launches and transfers
@@ -166,7 +185,7 @@ impl Device {
         cfg: LaunchConfig,
         kernel: &K,
     ) -> Result<KernelProfile, SimError> {
-        self.launch_inner(cfg, kernel, None)
+        self.launch_inner(cfg, kernel, None, None)
     }
 
     /// [`Device::launch`] with a per-launch profiler label, overriding
@@ -178,21 +197,180 @@ impl Device {
         kernel: &K,
         label: &str,
     ) -> Result<KernelProfile, SimError> {
-        self.launch_inner(cfg, kernel, Some(label))
+        self.launch_inner(cfg, kernel, Some(label), None)
     }
 
-    /// Resolve the label for one launch: per-launch override, then the
-    /// deprecated sticky timeline label, then the kernel's own.
-    fn resolve_label<K: Kernel>(&self, kernel: &K, label: Option<&str>) -> String {
-        if let Some(l) = label {
-            return l.to_string();
+    // ---- Streams -------------------------------------------------------
+
+    /// Create a new stream on this device. Streams live for the device's
+    /// lifetime; ops submitted with the `_on` methods queue on them and
+    /// are laid onto the device's engines by [`Device::synchronize`].
+    pub fn create_stream(&self) -> StreamId {
+        let mut table = self.streams.lock();
+        table.queues.push(Vec::new());
+        StreamId(table.queues.len() - 1)
+    }
+
+    /// Streams created on this device so far.
+    pub fn stream_count(&self) -> usize {
+        self.streams.lock().queues.len()
+    }
+
+    fn check_stream(table: &StreamTable, stream: StreamId) -> Result<(), SimError> {
+        if stream.0 >= table.queues.len() {
+            return Err(SimError::InvalidStream {
+                index: stream.0,
+                count: table.queues.len(),
+            });
         }
-        if let Some(t) = &self.timeline {
-            if let Some(sticky) = t.sticky_label() {
-                return sticky;
+        Ok(())
+    }
+
+    fn enqueue(&self, stream: StreamId, op: QueuedOp) -> Result<(), SimError> {
+        let mut table = self.streams.lock();
+        Self::check_stream(&table, stream)?;
+        table.queues[stream.0].push(op);
+        Ok(())
+    }
+
+    /// [`Device::launch`] on a stream: the kernel executes functionally
+    /// right now (results are schedule-independent), but its modeled time
+    /// queues on `stream` and is only placed on the device timeline by
+    /// [`Device::synchronize`]. The returned profile carries the op's
+    /// *duration*; its position in time is the scheduler's business.
+    pub fn launch_on<K: Kernel>(
+        &self,
+        stream: StreamId,
+        cfg: LaunchConfig,
+        kernel: &K,
+    ) -> Result<KernelProfile, SimError> {
+        self.launch_inner(cfg, kernel, None, Some(stream))
+    }
+
+    /// [`Device::launch_on`] with a per-launch label.
+    pub fn launch_labeled_on<K: Kernel>(
+        &self,
+        stream: StreamId,
+        cfg: LaunchConfig,
+        kernel: &K,
+        label: &str,
+    ) -> Result<KernelProfile, SimError> {
+        self.launch_inner(cfg, kernel, Some(label), Some(stream))
+    }
+
+    /// [`Device::copy_to_device`] on a stream.
+    pub fn copy_to_device_on<T: Copy>(
+        &self,
+        stream: StreamId,
+        data: &[T],
+    ) -> Result<(DeviceBuffer<T>, TransferProfile), SimError> {
+        let buf = self.alloc(data.to_vec())?;
+        let bytes = buf.bytes();
+        let seconds = timing::h2d_time(&self.spec, bytes);
+        self.enqueue(
+            stream,
+            QueuedOp::Exec {
+                engine: EngineClass::CopyH2d,
+                label: "H2D".into(),
+                seconds,
+                bytes,
+            },
+        )?;
+        Ok((buf, TransferProfile { seconds, bytes }))
+    }
+
+    /// [`Device::upload_atomic`] on a stream.
+    pub fn upload_atomic_on(
+        &self,
+        stream: StreamId,
+        buf: &AtomicDeviceBuffer,
+        words: &[u64],
+    ) -> Result<TransferProfile, SimError> {
+        buf.overwrite(words)?;
+        let bytes = buf.bytes();
+        let seconds = timing::h2d_time(&self.spec, bytes);
+        self.enqueue(
+            stream,
+            QueuedOp::Exec {
+                engine: EngineClass::CopyH2d,
+                label: "H2D".into(),
+                seconds,
+                bytes,
+            },
+        )?;
+        Ok(TransferProfile { seconds, bytes })
+    }
+
+    /// [`Device::copy_from_device`] on a stream. Unlike the serial
+    /// variant this is fallible: the stream handle is validated.
+    pub fn copy_from_device_on(
+        &self,
+        stream: StreamId,
+        buf: &AtomicDeviceBuffer,
+    ) -> Result<(Vec<u64>, TransferProfile), SimError> {
+        let words = buf.to_vec();
+        let bytes = buf.bytes();
+        let seconds = timing::d2h_time(&self.spec, bytes);
+        self.enqueue(
+            stream,
+            QueuedOp::Exec {
+                engine: EngineClass::CopyD2h,
+                label: "D2H".into(),
+                seconds,
+                bytes,
+            },
+        )?;
+        Ok((words, TransferProfile { seconds, bytes }))
+    }
+
+    /// Record an event at the current tail of `stream`. The event fires
+    /// (for [`Device::wait_event`] purposes) when all work submitted to
+    /// the stream before this call has finished.
+    pub fn record_event(&self, stream: StreamId) -> Result<EventId, SimError> {
+        let mut table = self.streams.lock();
+        Self::check_stream(&table, stream)?;
+        let id = table.n_events;
+        table.n_events += 1;
+        table.queues[stream.0].push(QueuedOp::Record(id));
+        Ok(EventId(id))
+    }
+
+    /// Make `stream` wait for `event` before running anything submitted
+    /// after this call. Events are scoped to one `synchronize` epoch: a
+    /// handle from before the last synchronize is rejected.
+    pub fn wait_event(&self, stream: StreamId, event: EventId) -> Result<(), SimError> {
+        let mut table = self.streams.lock();
+        Self::check_stream(&table, stream)?;
+        if event.0 >= table.n_events {
+            return Err(SimError::InvalidStream {
+                index: event.0,
+                count: table.n_events,
+            });
+        }
+        table.queues[stream.0].push(QueuedOp::Wait(event.0));
+        Ok(())
+    }
+
+    /// Drain every stream: run the deterministic overlap scheduler over
+    /// all queued ops, emit [`TraceEvent::StreamOp`]/
+    /// [`TraceEvent::StreamSync`] on the attached recorder, and return
+    /// the resolved schedule. Streams survive (and keep their ids);
+    /// queued ops and events are consumed.
+    pub fn synchronize(&self) -> StreamReport {
+        let taken = {
+            let mut table = self.streams.lock();
+            let n = table.queues.len();
+            let taken = std::mem::take(&mut *table);
+            table.queues = vec![Vec::new(); n];
+            taken
+        };
+        let report = stream::schedule(self.index, &self.spec, taken);
+        if self.recorder.is_enabled() && !report.ops.is_empty() {
+            for e in report.trace_events() {
+                self.recorder.record(e);
             }
         }
-        kernel.label().to_string()
+        report
     }
 
     fn launch_inner<K: Kernel>(
@@ -200,7 +378,11 @@ impl Device {
         cfg: LaunchConfig,
         kernel: &K,
         label: Option<&str>,
+        stream: Option<StreamId>,
     ) -> Result<KernelProfile, SimError> {
+        if let Some(s) = stream {
+            Self::check_stream(&self.streams.lock(), s)?;
+        }
         if cfg.grid_dim == 0 || cfg.block_dim == 0 {
             return Err(SimError::InvalidLaunch(format!(
                 "grid {} x block {} must both be nonzero",
@@ -252,8 +434,21 @@ impl Device {
             total += *c;
         }
         let seconds = timing::kernel_time(&self.spec, &block_times);
-        if self.timeline.is_some() || self.recorder.is_enabled() {
-            let resolved = self.resolve_label(kernel, label);
+        if let Some(s) = stream {
+            // Streamed launches defer their timing to the scheduler; the
+            // legacy serialized timeline/recorder records don't apply.
+            let resolved = label.unwrap_or_else(|| kernel.label()).to_string();
+            self.enqueue(
+                s,
+                QueuedOp::Exec {
+                    engine: EngineClass::Compute,
+                    label: resolved,
+                    seconds,
+                    bytes: 0,
+                },
+            )?;
+        } else if self.timeline.is_some() || self.recorder.is_enabled() {
+            let resolved = label.unwrap_or_else(|| kernel.label()).to_string();
             if let Some(t) = &self.timeline {
                 t.record_kernel(seconds, total, &resolved);
             }
@@ -487,32 +682,104 @@ mod tests {
     }
 
     #[test]
-    fn sticky_label_still_wins_over_kernel_default_while_deprecated() {
+    fn streamed_ops_defer_timing_to_synchronize() {
         let mut dev = Device::new(gtx_680_cuda());
-        let timeline = Timeline::new();
-        dev.attach_timeline(timeline.clone());
-        #[allow(deprecated)]
-        timeline.set_label("legacy-sweep");
+        let rec = Recorder::enabled();
+        dev.attach_recorder(rec.clone());
+        let s0 = dev.create_stream();
+        let s1 = dev.create_stream();
+        assert_eq!((s0.index(), s1.index()), (0, 1));
+
+        let data: Vec<u32> = (1..=64).collect();
+        let (b0, h2d) = dev.copy_to_device_on(s0, &data).unwrap();
+        let (b1, _) = dev.copy_to_device_on(s1, &data).unwrap();
+        let o0 = dev.alloc_atomic(1, 0).unwrap();
+        let o1 = dev.alloc_atomic(1, 0).unwrap();
+        let k0 = SumSquares {
+            data: &b0,
+            out: &o0,
+        };
+        let k1 = SumSquares {
+            data: &b1,
+            out: &o1,
+        };
+        let p0 = dev.launch_on(s0, LaunchConfig::new(2, 32), &k0).unwrap();
+        dev.launch_labeled_on(s1, LaunchConfig::new(2, 32), &k1, "shard-1")
+            .unwrap();
+
+        // Functional results are available immediately, before sync.
+        let expected: u64 = (1..=64u64).map(|v| v * v).sum();
+        assert_eq!(o0.load(0), expected);
+        assert_eq!(o1.load(0), expected);
+        // No legacy Kernel/H2d events were recorded for streamed ops.
+        assert!(!rec
+            .events()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Kernel { .. } | TraceEvent::H2d { .. })));
+
+        let report = dev.synchronize();
+        assert_eq!(report.streams, 2);
+        assert_eq!(report.ops.len(), 4);
+        let expected_busy = 2.0 * h2d.seconds + 2.0 * p0.seconds;
+        assert!((report.busy_seconds - expected_busy).abs() < 1e-15);
+        // The two streams overlap: copies serialize on the H2D engine but
+        // hide behind the other stream's compute.
+        assert!(report.wall_seconds < report.busy_seconds);
+        assert!(report.overlap() > 0.0);
+        // The per-launch label survives into the schedule.
+        assert!(report.ops.iter().any(|o| o.label == "shard-1"));
+        // Synchronize emitted the stream events on the recorder.
+        let events = rec.events();
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| matches!(e, TraceEvent::StreamOp { .. }))
+                .count(),
+            4
+        );
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::StreamSync { streams: 2, .. })));
+        // Queues drained; a second sync is a no-op.
+        let empty = dev.synchronize();
+        assert_eq!(empty.ops.len(), 0);
+    }
+
+    #[test]
+    fn stream_schedule_matches_events_and_rejects_foreign_handles() {
+        let dev = Device::new(gtx_680_cuda());
+        let s0 = dev.create_stream();
+        let s1 = dev.create_stream();
         let data = vec![1u32; 8];
-        let (buf, _) = dev.copy_to_device(&data).unwrap();
+        let (buf, _) = dev.copy_to_device_on(s0, &data).unwrap();
         let out = dev.alloc_atomic(1, 0).unwrap();
         let kernel = SumSquares {
             data: &buf,
             out: &out,
         };
-        dev.launch(LaunchConfig::new(1, 8), &kernel).unwrap();
-        // The sticky label applies to plain launches…
-        assert!(timeline.events().iter().any(|e| matches!(
-            e,
-            crate::timeline::Event::Kernel { label, .. } if label == "legacy-sweep"
-        )));
-        // …but an explicit per-launch label still takes precedence.
-        dev.launch_labeled(LaunchConfig::new(1, 8), &kernel, "explicit")
-            .unwrap();
-        assert!(timeline.events().iter().any(|e| matches!(
-            e,
-            crate::timeline::Event::Kernel { label, .. } if label == "explicit"
-        )));
+        let ev = dev.record_event(s0).unwrap();
+        dev.wait_event(s1, ev).unwrap();
+        dev.launch_on(s1, LaunchConfig::new(1, 8), &kernel).unwrap();
+        let report = dev.synchronize();
+        // s1's kernel cannot start before s0's copy (the event) finishes.
+        let copy_end = report.ops[0].start_seconds + report.ops[0].seconds;
+        let kernel_op = report
+            .ops
+            .iter()
+            .find(|o| o.label == "kernel")
+            .expect("kernel scheduled");
+        assert!(kernel_op.start_seconds >= copy_end);
+
+        // Foreign/invalid handles are rejected, not silently accepted.
+        let bogus = StreamId(7);
+        assert!(matches!(
+            dev.launch_on(bogus, LaunchConfig::new(1, 8), &kernel),
+            Err(SimError::InvalidStream { index: 7, count: 2 })
+        ));
+        assert!(dev.copy_to_device_on(bogus, &data).is_err());
+        assert!(dev.record_event(bogus).is_err());
+        // Events are scoped to a synchronize epoch.
+        assert!(dev.wait_event(s1, ev).is_err());
     }
 
     #[test]

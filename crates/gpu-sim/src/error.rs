@@ -30,6 +30,14 @@ pub enum SimError {
         /// Elements in the source.
         src: usize,
     },
+    /// A `StreamId` (or an `EventId`) was used on a device that never
+    /// created it — stream handles are only valid on the minting device.
+    InvalidStream {
+        /// The offending stream or event index.
+        index: usize,
+        /// How many the device has.
+        count: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -50,6 +58,10 @@ impl fmt::Display for SimError {
             SimError::SizeMismatch { dst, src } => {
                 write!(f, "copy size mismatch: destination {dst} elements, source {src}")
             }
+            SimError::InvalidStream { index, count } => write!(
+                f,
+                "stream/event index {index} is not valid on this device ({count} exist)"
+            ),
         }
     }
 }

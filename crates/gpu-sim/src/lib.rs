@@ -65,8 +65,10 @@ pub mod device;
 pub mod error;
 pub mod kernel;
 pub mod memory;
+pub mod pool;
 pub mod profile;
 pub mod spec;
+pub mod stream;
 pub mod timeline;
 pub mod timing;
 
@@ -75,7 +77,9 @@ pub use device::Device;
 pub use error::SimError;
 pub use kernel::{Kernel, LaunchConfig, ThreadCtx};
 pub use memory::{AtomicDeviceBuffer, DeviceBuffer, MemoryPool};
+pub use pool::DevicePool;
 pub use profile::{KernelProfile, TransferProfile};
 pub use spec::{Api, DeviceKind, DeviceSpec};
+pub use stream::{EngineClass, EventId, ScheduledOp, StreamId, StreamReport};
 pub use timeline::{Event, Timeline};
 pub use tsp_trace::{Recorder, TraceEvent};

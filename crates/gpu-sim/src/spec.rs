@@ -78,6 +78,11 @@ pub struct DeviceSpec {
     pub d2h_latency_us: f64,
     /// Effective PCIe bandwidth, GB/s (0 for CPUs: no copies needed).
     pub pcie_bandwidth_gbs: f64,
+    /// Independent DMA copy engines. Devices with 2 can overlap an H2D
+    /// and a D2H transfer with each other (and with compute); devices
+    /// with 1 serialize all copies onto one engine. CPUs keep 1: their
+    /// copies are free anyway ([`DeviceSpec::needs_transfers`]).
+    pub copy_engines: u32,
 }
 
 impl DeviceSpec {
@@ -141,6 +146,7 @@ pub fn gtx_680_cuda() -> DeviceSpec {
         h2d_latency_us: 46.0,
         d2h_latency_us: 10.5,
         pcie_bandwidth_gbs: 2.5,
+        copy_engines: 2, // GK104 ships two copy engines
     }
 }
 
@@ -178,6 +184,7 @@ pub fn radeon_7970() -> DeviceSpec {
         h2d_latency_us: 55.0,
         d2h_latency_us: 12.0,
         pcie_bandwidth_gbs: 2.2,
+        copy_engines: 2, // GCN dual DMA engines
     }
 }
 
@@ -211,6 +218,7 @@ pub fn radeon_6990_single() -> DeviceSpec {
         h2d_latency_us: 60.0,
         d2h_latency_us: 14.0,
         pcie_bandwidth_gbs: 2.0,
+        copy_engines: 1, // single VLIW-era DMA engine
     }
 }
 
@@ -259,6 +267,7 @@ pub fn xeon_e5_2660_x2() -> DeviceSpec {
         h2d_latency_us: 0.0,
         d2h_latency_us: 0.0,
         pcie_bandwidth_gbs: 0.0,
+        copy_engines: 1,
     }
 }
 

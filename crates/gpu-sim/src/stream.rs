@@ -1,0 +1,449 @@
+//! Streams, events and the deterministic overlap scheduler.
+//!
+//! ## Model
+//!
+//! Real CUDA/OpenCL streams decouple *correctness* (ops on one stream run
+//! in order; ops on different streams may overlap subject to events) from
+//! *performance* (how much overlap the hardware's engines actually
+//! deliver). The simulator mirrors that split:
+//!
+//! - **Functional execution happens at submit time.** `launch_on`,
+//!   `copy_to_device_on` etc. run the kernel / copy immediately, so
+//!   results are identical to the serial path bit for bit — streams only
+//!   re-time the schedule, never the data. This is sound because each
+//!   stream's ops execute in program order and cross-stream work in this
+//!   codebase is data-independent (independent ILS shards).
+//! - **Timing is resolved at [`crate::Device::synchronize`]**
+//!   (`Device` lives in [`crate::device`]): every submitted op was
+//!   recorded as a `QueuedOp` on its stream, and `synchronize` runs the
+//!   event-driven list scheduler in `schedule` to lay those durations
+//!   onto the device's engines.
+//!
+//! ## Engines
+//!
+//! A device has one compute engine plus [`DeviceSpec::copy_engines`] DMA
+//! engines (`DeviceSpec` lives in [`crate::spec`]). H2D copies use copy
+//! engine 0 and D2H copies use the *last* copy engine, so a dual-engine
+//! device overlaps the two directions while a single-engine device
+//! serializes them — the distinction the paper-era hardware actually had.
+//!
+//! ## Determinism
+//!
+//! The schedule depends only on the per-stream op sequences, never on
+//! host-thread interleaving: ready ops are started in min-start-time
+//! order with ties broken by lowest stream id. Work-stealing in
+//! `DevicePool` therefore cannot change a single modeled timestamp.
+
+use crate::spec::DeviceSpec;
+use tsp_trace::TraceEvent;
+
+/// Handle to one stream of a device, created by `Device::create_stream`.
+///
+/// The wrapped index is private: a `StreamId` is only meaningful on the
+/// device that minted it, and `Device` validates that on every use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StreamId(pub(crate) usize);
+
+impl StreamId {
+    /// Index of this stream on its device (0-based creation order).
+    #[inline]
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// Handle to a recorded event, created by `Device::record_event`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(pub(crate) usize);
+
+/// Which engine an operation occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineClass {
+    /// Kernel execution.
+    Compute,
+    /// Host→device DMA.
+    CopyH2d,
+    /// Device→host DMA.
+    CopyD2h,
+}
+
+impl EngineClass {
+    /// Stable name used in traces.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EngineClass::Compute => "compute",
+            EngineClass::CopyH2d => "h2d",
+            EngineClass::CopyD2h => "d2h",
+        }
+    }
+}
+
+/// One op recorded on a stream's queue at submit time.
+#[derive(Debug, Clone)]
+pub(crate) enum QueuedOp {
+    /// A timed operation occupying an engine.
+    Exec {
+        engine: EngineClass,
+        label: String,
+        seconds: f64,
+        bytes: u64,
+    },
+    /// Record event `.0` at the stream's current position (zero cost).
+    Record(usize),
+    /// Block the stream until event `.0` has been recorded and all work
+    /// preceding its record has finished (zero cost).
+    Wait(usize),
+}
+
+/// Per-device stream state: one op queue per stream.
+#[derive(Debug, Default)]
+pub(crate) struct StreamTable {
+    pub(crate) queues: Vec<Vec<QueuedOp>>,
+    pub(crate) n_events: usize,
+}
+
+/// One operation with its scheduler-assigned start time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduledOp {
+    /// Stream the op was submitted on.
+    pub stream: u32,
+    /// Engine the op occupied.
+    pub engine: EngineClass,
+    /// Kernel label or transfer direction.
+    pub label: String,
+    /// Start time on the device clock, seconds.
+    pub start_seconds: f64,
+    /// Modeled duration, seconds.
+    pub seconds: f64,
+    /// Bytes moved (0 for kernels).
+    pub bytes: u64,
+}
+
+/// Outcome of one `Device::synchronize`: the resolved schedule plus its
+/// busy/wall summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamReport {
+    /// Device index within its pool (0 for standalone devices).
+    pub device: u32,
+    /// Streams that carried at least one op.
+    pub streams: u32,
+    /// Every op with its assigned start time, in start order.
+    pub ops: Vec<ScheduledOp>,
+    /// Sum of all op durations — the work submitted.
+    pub busy_seconds: f64,
+    /// Schedule makespan — the modeled time to drain all streams.
+    pub wall_seconds: f64,
+}
+
+impl StreamReport {
+    /// Fraction of busy time hidden by overlap: `(busy - wall) / busy`,
+    /// clamped at 0. A serial schedule scores 0; two fully overlapped
+    /// equal-length streams score 0.5.
+    pub fn overlap(&self) -> f64 {
+        if self.busy_seconds <= 0.0 {
+            return 0.0;
+        }
+        ((self.busy_seconds - self.wall_seconds) / self.busy_seconds).max(0.0)
+    }
+
+    /// The trace events describing this schedule, in emission order.
+    pub(crate) fn trace_events(&self) -> impl Iterator<Item = TraceEvent> + '_ {
+        let ops = self.ops.iter().map(move |op| TraceEvent::StreamOp {
+            device: self.device,
+            stream: op.stream,
+            engine: op.engine.name().to_string(),
+            label: op.label.clone(),
+            start_seconds: op.start_seconds,
+            seconds: op.seconds,
+            bytes: op.bytes,
+        });
+        ops.chain(std::iter::once(TraceEvent::StreamSync {
+            device: self.device,
+            streams: self.streams,
+            busy_seconds: self.busy_seconds,
+            wall_seconds: self.wall_seconds,
+        }))
+    }
+}
+
+/// Engine slot assignment: the compute engine is slot 0; copy engines
+/// follow. H2D maps to the first copy engine and D2H to the last, so
+/// `copy_engines >= 2` overlaps the two directions.
+fn engine_slot(engine: EngineClass, copy_engines: usize) -> usize {
+    match engine {
+        EngineClass::Compute => 0,
+        EngineClass::CopyH2d => 1,
+        EngineClass::CopyD2h => copy_engines, // == 1 + (copy_engines - 1)
+    }
+}
+
+/// Event-driven greedy list scheduler.
+///
+/// Repeatedly: resolve all zero-cost record/wait ops at the queue heads,
+/// then among streams whose head is a ready `Exec` op pick the one with
+/// the minimum feasible start time `max(stream_ready, engine_free)`,
+/// breaking ties by lowest stream id, and commit it. Runs until every
+/// queue drains; panics on a genuine event deadlock (a cycle of waits),
+/// which is a programming error in the submitting code.
+pub(crate) fn schedule(device_index: u32, spec: &DeviceSpec, table: StreamTable) -> StreamReport {
+    let copy_engines = spec.copy_engines.max(1) as usize;
+    let n_streams = table.queues.len();
+    let mut cursors = vec![0usize; n_streams];
+    let mut stream_ready = vec![0.0f64; n_streams];
+    let mut engine_free = vec![0.0f64; 1 + copy_engines];
+    // When an event is recorded, the modeled time all work before the
+    // record completes at. `None` until recorded.
+    let mut event_time: Vec<Option<f64>> = vec![None; table.n_events];
+
+    let mut ops: Vec<ScheduledOp> = Vec::new();
+    let mut busy = 0.0f64;
+
+    loop {
+        // Phase 1: resolve zero-cost ops until a fixed point. Record is
+        // always resolvable; Wait resolves once its event is recorded.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for s in 0..n_streams {
+                while let Some(op) = table.queues[s].get(cursors[s]) {
+                    match op {
+                        QueuedOp::Record(e) => {
+                            event_time[*e] = Some(stream_ready[s]);
+                            cursors[s] += 1;
+                            changed = true;
+                        }
+                        QueuedOp::Wait(e) => {
+                            if let Some(t) = event_time[*e] {
+                                stream_ready[s] = stream_ready[s].max(t);
+                                cursors[s] += 1;
+                                changed = true;
+                            } else {
+                                break;
+                            }
+                        }
+                        QueuedOp::Exec { .. } => break,
+                    }
+                }
+            }
+        }
+
+        // Phase 2: among ready Exec heads, commit the earliest-starting
+        // one (ties: lowest stream id — `<` on candidate keeps the first).
+        let mut pick: Option<(usize, f64, usize)> = None; // (stream, start, slot)
+        for s in 0..n_streams {
+            if let Some(QueuedOp::Exec { engine, .. }) = table.queues[s].get(cursors[s]) {
+                let slot = engine_slot(*engine, copy_engines);
+                let start = stream_ready[s].max(engine_free[slot]);
+                if pick.is_none_or(|(_, best, _)| start < best) {
+                    pick = Some((s, start, slot));
+                }
+            }
+        }
+
+        let Some((s, start, slot)) = pick else {
+            if table.queues.iter().zip(&cursors).any(|(q, &c)| c < q.len()) {
+                panic!("stream scheduler deadlock: a Wait's event is never recorded");
+            }
+            break;
+        };
+        let Some(QueuedOp::Exec {
+            engine,
+            label,
+            seconds,
+            bytes,
+        }) = table.queues[s].get(cursors[s])
+        else {
+            unreachable!("picked head is an Exec op");
+        };
+        let finish = start + seconds;
+        stream_ready[s] = finish;
+        engine_free[slot] = finish;
+        busy += seconds;
+        ops.push(ScheduledOp {
+            stream: s as u32,
+            engine: *engine,
+            label: label.clone(),
+            start_seconds: start,
+            seconds: *seconds,
+            bytes: *bytes,
+        });
+        cursors[s] += 1;
+    }
+
+    // Present in start order (stable: equal starts keep commit order,
+    // which already breaks ties by stream id).
+    ops.sort_by(|a, b| a.start_seconds.total_cmp(&b.start_seconds));
+    let wall = ops
+        .iter()
+        .map(|op| op.start_seconds + op.seconds)
+        .fold(0.0f64, f64::max);
+    let streams = {
+        let mut ids: Vec<u32> = ops.iter().map(|op| op.stream).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len() as u32
+    };
+    StreamReport {
+        device: device_index,
+        streams,
+        ops,
+        busy_seconds: busy,
+        wall_seconds: wall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::gtx_680_cuda;
+
+    fn exec(engine: EngineClass, label: &str, seconds: f64) -> QueuedOp {
+        QueuedOp::Exec {
+            engine,
+            label: label.into(),
+            seconds,
+            bytes: 0,
+        }
+    }
+
+    fn run(queues: Vec<Vec<QueuedOp>>, n_events: usize) -> StreamReport {
+        schedule(0, &gtx_680_cuda(), StreamTable { queues, n_events })
+    }
+
+    #[test]
+    fn single_stream_serializes_in_program_order() {
+        let r = run(
+            vec![vec![
+                exec(EngineClass::CopyH2d, "h2d", 1.0),
+                exec(EngineClass::Compute, "k", 2.0),
+                exec(EngineClass::CopyD2h, "d2h", 0.5),
+            ]],
+            0,
+        );
+        assert_eq!(r.ops.len(), 3);
+        assert_eq!(r.ops[0].start_seconds, 0.0);
+        assert_eq!(r.ops[1].start_seconds, 1.0);
+        assert_eq!(r.ops[2].start_seconds, 3.0);
+        assert_eq!(r.wall_seconds, 3.5);
+        assert_eq!(r.busy_seconds, 3.5);
+        assert_eq!(r.overlap(), 0.0);
+    }
+
+    #[test]
+    fn two_streams_overlap_compute_with_copies() {
+        // Stream 0: copy(1) then compute(2). Stream 1: copy(1) then
+        // compute(2). The copies share the H2D engine (serialize) but
+        // overlap with the other stream's compute.
+        let q = |label: &str| {
+            vec![
+                exec(EngineClass::CopyH2d, label, 1.0),
+                exec(EngineClass::Compute, label, 2.0),
+            ]
+        };
+        let r = run(vec![q("a"), q("b")], 0);
+        // s0: h2d [0,1), compute [1,3). s1: h2d [1,2), compute [3,5)
+        // (compute engine busy with s0 until 3).
+        assert_eq!(r.wall_seconds, 5.0);
+        assert_eq!(r.busy_seconds, 6.0);
+        assert!(r.overlap() > 0.0);
+        // Versus serial on one stream: wall would be 6.
+        let serial = run(vec![[q("a"), q("b")].concat()], 0);
+        assert_eq!(serial.wall_seconds, 6.0);
+    }
+
+    #[test]
+    fn copy_engine_count_gates_bidirectional_overlap() {
+        // One stream pushing D2H while another pushes H2D: with two copy
+        // engines they overlap; with one they serialize.
+        let queues = || {
+            vec![
+                vec![exec(EngineClass::CopyH2d, "up", 1.0)],
+                vec![exec(EngineClass::CopyD2h, "down", 1.0)],
+            ]
+        };
+        let dual = run(queues(), 0);
+        assert_eq!(dual.wall_seconds, 1.0);
+
+        let mut single_spec = gtx_680_cuda();
+        single_spec.copy_engines = 1;
+        let single = schedule(
+            0,
+            &single_spec,
+            StreamTable {
+                queues: queues(),
+                n_events: 0,
+            },
+        );
+        assert_eq!(single.wall_seconds, 2.0);
+    }
+
+    #[test]
+    fn events_order_across_streams() {
+        // Stream 0 computes then records; stream 1 waits on the event
+        // before its own compute, so it cannot start before t=2 even
+        // though the compute engine is the only dependency otherwise.
+        let queues = vec![
+            vec![
+                exec(EngineClass::Compute, "producer", 2.0),
+                QueuedOp::Record(0),
+            ],
+            vec![
+                QueuedOp::Wait(0),
+                exec(EngineClass::CopyH2d, "consumer", 1.0),
+            ],
+        ];
+        let r = run(queues, 1);
+        let consumer = r.ops.iter().find(|o| o.label == "consumer").unwrap();
+        assert_eq!(consumer.start_seconds, 2.0);
+    }
+
+    #[test]
+    fn wait_before_record_still_resolves() {
+        // Stream 0 waits on an event stream 1 records after its op —
+        // phase 1 alone can't resolve the wait until stream 1's exec has
+        // been committed, exercising the outer loop's re-resolution.
+        let queues = vec![
+            vec![QueuedOp::Wait(0), exec(EngineClass::Compute, "after", 1.0)],
+            vec![
+                exec(EngineClass::CopyH2d, "before", 1.5),
+                QueuedOp::Record(0),
+            ],
+        ];
+        let r = run(queues, 1);
+        let after = r.ops.iter().find(|o| o.label == "after").unwrap();
+        assert_eq!(after.start_seconds, 1.5);
+        assert_eq!(r.wall_seconds, 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn unrecorded_event_panics() {
+        run(
+            vec![vec![
+                QueuedOp::Wait(0),
+                exec(EngineClass::Compute, "never", 1.0),
+            ]],
+            1,
+        );
+    }
+
+    #[test]
+    fn schedule_is_deterministic_under_tie() {
+        // Two identical streams: stream 0 must win the tie every time.
+        let q = || vec![exec(EngineClass::Compute, "same", 1.0)];
+        let a = run(vec![q(), q()], 0);
+        let b = run(vec![q(), q()], 0);
+        assert_eq!(a, b);
+        assert_eq!(a.ops[0].stream, 0);
+        assert_eq!(a.ops[1].stream, 1);
+    }
+
+    #[test]
+    fn empty_table_reports_zero() {
+        let r = run(vec![vec![], vec![]], 0);
+        assert_eq!(r.streams, 0);
+        assert_eq!(r.busy_seconds, 0.0);
+        assert_eq!(r.wall_seconds, 0.0);
+        assert_eq!(r.overlap(), 0.0);
+    }
+}

@@ -18,8 +18,8 @@ pub enum Event {
     /// A kernel launch.
     Kernel {
         /// Label, resolved at launch: a per-launch override
-        /// ([`crate::Device::launch_labeled`]) wins, then the deprecated
-        /// sticky label, then [`crate::Kernel::label`].
+        /// ([`crate::Device::launch_labeled`]) wins over
+        /// [`crate::Kernel::label`].
         label: String,
         /// Modeled seconds.
         seconds: f64,
@@ -62,36 +62,12 @@ pub struct Timeline {
 #[derive(Debug, Default)]
 struct TimelineInner {
     events: Vec<Event>,
-    label: String,
 }
 
 impl Timeline {
     /// A fresh, empty timeline.
     pub fn new() -> Self {
         Self::default()
-    }
-
-    /// Label *all* subsequent kernel launches until changed again.
-    #[deprecated(
-        since = "0.2.0",
-        note = "a sticky label is a side channel that mislabels interleaved \
-                launches; implement `Kernel::label` on the kernel or use \
-                `Device::launch_labeled` for a per-launch override"
-    )]
-    pub fn set_label(&self, label: impl Into<String>) {
-        self.inner.lock().label = label.into();
-    }
-
-    /// The sticky label set through the deprecated [`Timeline::set_label`],
-    /// if any. Kept so `Device` can honour old callers during the
-    /// deprecation window.
-    pub(crate) fn sticky_label(&self) -> Option<String> {
-        let g = self.inner.lock();
-        if g.label.is_empty() {
-            None
-        } else {
-            Some(g.label.clone())
-        }
     }
 
     pub(crate) fn record_kernel(&self, seconds: f64, counters: PerfCounters, label: &str) {
@@ -252,14 +228,5 @@ mod tests {
         t.clear();
         assert!(t.is_empty());
         assert_eq!(t.transfer_share(), 0.0);
-    }
-
-    #[test]
-    fn sticky_label_is_exposed_while_deprecated() {
-        let t = Timeline::new();
-        assert_eq!(t.sticky_label(), None);
-        #[allow(deprecated)]
-        t.set_label("legacy");
-        assert_eq!(t.sticky_label(), Some("legacy".to_string()));
     }
 }

@@ -22,7 +22,7 @@ pub mod multistart;
 pub mod perturb;
 
 pub use accept::Acceptance;
-pub use multistart::parallel_multistart;
+pub use multistart::{parallel_multistart, ShardedMultistart, ShardedOutcome};
 pub use perturb::Perturbation;
 
 use rand::rngs::SmallRng;
@@ -32,7 +32,12 @@ use tsp_core::{Instance, Tour};
 use tsp_trace::{Recorder, TraceEvent};
 
 /// Termination and behaviour knobs for [`iterated_local_search`].
+///
+/// The struct is `#[non_exhaustive]`: build it with
+/// [`IlsOptions::default`] (or [`IlsOptions::new`]) and the `with_*`
+/// setters, so new knobs can be added without breaking downstream code.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct IlsOptions {
     /// Stop after this many perturbation iterations.
     pub max_iterations: Option<u64>,
@@ -70,6 +75,61 @@ impl Default for IlsOptions {
             stagnation_restart: None,
             recorder: Recorder::disabled(),
         }
+    }
+}
+
+impl IlsOptions {
+    /// Alias for [`IlsOptions::default`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set (or with `None`, disable) the iteration budget.
+    pub fn with_max_iterations(mut self, max: impl Into<Option<u64>>) -> Self {
+        self.max_iterations = max.into();
+        self
+    }
+
+    /// Set (or with `None`, disable) the modeled-time budget, seconds.
+    pub fn with_max_modeled_seconds(mut self, max: impl Into<Option<f64>>) -> Self {
+        self.max_modeled_seconds = max.into();
+        self
+    }
+
+    /// Set (or with `None`, disable) the wall-clock budget, seconds.
+    pub fn with_max_host_seconds(mut self, max: impl Into<Option<f64>>) -> Self {
+        self.max_host_seconds = max.into();
+        self
+    }
+
+    /// Set the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the perturbation operator.
+    pub fn with_perturbation(mut self, perturbation: Perturbation) -> Self {
+        self.perturbation = perturbation;
+        self
+    }
+
+    /// Set the acceptance criterion.
+    pub fn with_acceptance(mut self, acceptance: Acceptance) -> Self {
+        self.acceptance = acceptance;
+        self
+    }
+
+    /// Set (or with `None`, disable) the stagnation-restart threshold.
+    pub fn with_stagnation_restart(mut self, limit: impl Into<Option<u64>>) -> Self {
+        self.stagnation_restart = limit.into();
+        self
+    }
+
+    /// Attach a structured-event recorder.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 }
 

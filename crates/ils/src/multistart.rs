@@ -6,6 +6,8 @@
 //! chains from different starts on host threads, and keep the best.
 
 use crate::{iterated_local_search, IlsOptions, IlsOutcome};
+use gpu_sim::{Device, DevicePool, StreamId, StreamReport};
+use std::sync::Arc;
 use tsp_2opt::{EngineError, TwoOptEngine};
 use tsp_core::{Instance, Tour};
 
@@ -58,6 +60,137 @@ where
         .map(|(i, _)| i)
         .expect("nonempty");
     Ok((outcomes[best_idx].clone(), outcomes))
+}
+
+/// Result of a [`ShardedMultistart`] run.
+#[derive(Debug, Clone)]
+pub struct ShardedOutcome {
+    /// The best chain's outcome (ties broken by lowest chain index,
+    /// exactly like [`parallel_multistart`]).
+    pub best: IlsOutcome,
+    /// Every chain's outcome, in start order.
+    pub chains: Vec<IlsOutcome>,
+    /// One modeled-schedule report per device, in pool order.
+    pub reports: Vec<StreamReport>,
+}
+
+impl ShardedOutcome {
+    /// Modeled wall time of the run: the slowest device's makespan
+    /// (devices run concurrently).
+    pub fn wall_seconds(&self) -> f64 {
+        self.reports
+            .iter()
+            .map(|r| r.wall_seconds)
+            .fold(0.0, f64::max)
+    }
+
+    /// Total modeled busy time summed over every device's engines.
+    pub fn busy_seconds(&self) -> f64 {
+        self.reports.iter().map(|r| r.busy_seconds).sum()
+    }
+
+    /// Modeled chain throughput, chains per second of wall time.
+    pub fn throughput(&self) -> f64 {
+        self.chains.len() as f64 / self.wall_seconds()
+    }
+
+    /// Fraction of per-device busy time hidden by overlap, averaged
+    /// over devices weighted by busy time. Zero on a one-stream pool
+    /// with a single copy engine; positive once streams overlap
+    /// transfers with compute.
+    pub fn overlap(&self) -> f64 {
+        let busy = self.busy_seconds();
+        if busy == 0.0 {
+            return 0.0;
+        }
+        self.reports
+            .iter()
+            .map(|r| r.overlap() * r.busy_seconds)
+            .sum::<f64>()
+            / busy
+    }
+}
+
+/// Multi-start ILS sharded across the devices and streams of a
+/// [`DevicePool`].
+///
+/// Each starting tour becomes one independent ILS chain, pinned to a
+/// pool lane (device × stream) by `chain index % lanes` and executed on
+/// a work-stealing host thread. Chain `i` runs with RNG seed
+/// `opts.seed + i` — the same contract as [`parallel_multistart`] — so
+/// for any pool shape the per-chain outcomes and the reduced best tour
+/// are **bit-identical** to the host-threaded version; only the modeled
+/// schedule (and thus [`ShardedOutcome::wall_seconds`]) changes with
+/// the device and stream counts.
+pub struct ShardedMultistart {
+    pool: DevicePool,
+}
+
+impl ShardedMultistart {
+    /// Shard over `pool`.
+    pub fn new(pool: DevicePool) -> Self {
+        ShardedMultistart { pool }
+    }
+
+    /// The underlying pool.
+    pub fn pool(&self) -> &DevicePool {
+        &self.pool
+    }
+
+    /// Run one ILS chain per starting tour across the pool and keep the
+    /// best. `factory` builds a chain's engine on its assigned device
+    /// and stream — typically `GpuTwoOpt::on_stream` composed with a
+    /// strategy:
+    ///
+    /// ```ignore
+    /// let sharded = ShardedMultistart::new(pool);
+    /// let out = sharded.run(
+    ///     |device, stream| GpuTwoOpt::on_stream(device.clone(), stream),
+    ///     &inst,
+    ///     starts,
+    ///     IlsOptions::default(),
+    /// )?;
+    /// ```
+    pub fn run<E, F>(
+        &self,
+        factory: F,
+        inst: &Instance,
+        starts: Vec<Tour>,
+        opts: IlsOptions,
+    ) -> Result<ShardedOutcome, EngineError>
+    where
+        E: TwoOptEngine + Send,
+        F: Fn(&Arc<Device>, StreamId) -> E + Sync,
+    {
+        assert!(!starts.is_empty(), "at least one start is required");
+        let opts = &opts;
+        let results: Vec<Result<IlsOutcome, EngineError>> =
+            self.pool.run(starts.len(), |i, device, stream| {
+                let mut engine = factory(device, stream);
+                let chain_opts = IlsOptions {
+                    seed: opts.seed.wrapping_add(i as u64),
+                    ..opts.clone()
+                };
+                iterated_local_search(&mut engine, inst, starts[i].clone(), chain_opts)
+            });
+
+        let reports = self.pool.synchronize();
+        let mut chains = Vec::with_capacity(results.len());
+        for r in results {
+            chains.push(r?);
+        }
+        let best_idx = chains
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, o)| o.best_length)
+            .map(|(i, _)| i)
+            .expect("nonempty");
+        Ok(ShardedOutcome {
+            best: chains[best_idx].clone(),
+            chains,
+            reports,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -116,5 +249,80 @@ mod tests {
             Vec::new(),
             IlsOptions::default(),
         );
+    }
+
+    #[test]
+    fn sharded_matches_host_threaded_multistart_bit_for_bit() {
+        let inst = generate("shard", 64, Style::Uniform, 12);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let starts: Vec<Tour> = (0..6).map(|_| Tour::random(64, &mut rng)).collect();
+        let opts = IlsOptions::new().with_max_iterations(8u64).with_seed(21);
+
+        let (best, all) = parallel_multistart(
+            || tsp_2opt::GpuTwoOpt::new(gpu_sim::spec::gtx_680_cuda()),
+            &inst,
+            starts.clone(),
+            opts.clone(),
+        )
+        .unwrap();
+
+        let pool = DevicePool::homogeneous(gpu_sim::spec::gtx_680_cuda(), 2, 2);
+        let sharded = ShardedMultistart::new(pool);
+        let out = sharded
+            .run(
+                |device, stream| tsp_2opt::GpuTwoOpt::on_stream(device.clone(), stream),
+                &inst,
+                starts,
+                opts,
+            )
+            .unwrap();
+
+        assert_eq!(out.chains.len(), all.len());
+        for (a, b) in all.iter().zip(&out.chains) {
+            assert_eq!(a.best_length, b.best_length);
+            assert_eq!(a.best.as_slice(), b.best.as_slice());
+            assert_eq!(a.profile, b.profile);
+        }
+        assert_eq!(out.best.best_length, best.best_length);
+        assert_eq!(out.best.best.as_slice(), best.best.as_slice());
+        assert_eq!(out.reports.len(), 2);
+        assert!(out.wall_seconds() > 0.0);
+        assert!(out.busy_seconds() >= out.wall_seconds());
+        assert!(out.throughput() > 0.0);
+    }
+
+    #[test]
+    fn sharded_schedule_is_independent_of_worker_interleaving() {
+        // Run the same sharded workload twice; the modeled schedule (and
+        // hence every report) must be identical even though host threads
+        // steal lanes in nondeterministic real-time order.
+        let inst = generate("shard-det", 48, Style::Uniform, 13);
+        let mut rng = SmallRng::seed_from_u64(8);
+        let starts: Vec<Tour> = (0..5).map(|_| Tour::random(48, &mut rng)).collect();
+        let opts = IlsOptions::new().with_max_iterations(5u64);
+
+        let run = || {
+            let pool = DevicePool::homogeneous(gpu_sim::spec::gtx_680_cuda(), 2, 2);
+            ShardedMultistart::new(pool)
+                .run(
+                    |device, stream| tsp_2opt::GpuTwoOpt::on_stream(device.clone(), stream),
+                    &inst,
+                    starts.clone(),
+                    opts.clone(),
+                )
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.wall_seconds().to_bits(), b.wall_seconds().to_bits());
+        assert_eq!(a.busy_seconds().to_bits(), b.busy_seconds().to_bits());
+        for (ra, rb) in a.reports.iter().zip(&b.reports) {
+            assert_eq!(ra.ops.len(), rb.ops.len());
+            for (oa, ob) in ra.ops.iter().zip(&rb.ops) {
+                assert_eq!(oa.stream, ob.stream);
+                assert_eq!(oa.start_seconds.to_bits(), ob.start_seconds.to_bits());
+                assert_eq!(oa.seconds.to_bits(), ob.seconds.to_bits());
+            }
+        }
     }
 }

@@ -26,6 +26,10 @@ use crate::json::Json;
 
 /// The single process id used by the export.
 pub const PID: u64 = 1;
+/// Stream-scheduled ops render in their own process per device, so the
+/// device × stream grid reads as one track per stream: pid =
+/// `STREAM_PID_BASE + device`, tid = `stream + 1`.
+pub const STREAM_PID_BASE: u64 = 10;
 /// Track of kernel launches.
 pub const TID_KERNELS: u64 = 1;
 /// Track of PCIe transfers.
@@ -35,11 +39,11 @@ pub const TID_SWEEPS: u64 = 3;
 /// Track of ILS iterations.
 pub const TID_ILS: u64 = 4;
 
-fn meta(name: &str, tid: Option<u64>, value: &str) -> Json {
+fn meta_for(pid: u64, name: &str, tid: Option<u64>, value: &str) -> Json {
     let mut e = Json::obj();
     e.set("ph", Json::from("M"))
         .set("name", Json::from(name))
-        .set("pid", Json::from(PID));
+        .set("pid", Json::from(pid));
     if let Some(tid) = tid {
         e.set("tid", Json::from(tid));
     }
@@ -49,17 +53,33 @@ fn meta(name: &str, tid: Option<u64>, value: &str) -> Json {
     e
 }
 
-fn complete(name: &str, cat: &str, tid: u64, ts_us: f64, dur_us: f64, args: Json) -> Json {
+fn meta(name: &str, tid: Option<u64>, value: &str) -> Json {
+    meta_for(PID, name, tid, value)
+}
+
+fn complete_for(
+    pid: u64,
+    name: &str,
+    cat: &str,
+    tid: u64,
+    ts_us: f64,
+    dur_us: f64,
+    args: Json,
+) -> Json {
     let mut e = Json::obj();
     e.set("ph", Json::from("X"))
         .set("name", Json::from(name))
         .set("cat", Json::from(cat))
-        .set("pid", Json::from(PID))
+        .set("pid", Json::from(pid))
         .set("tid", Json::from(tid))
         .set("ts", Json::Num(ts_us))
         .set("dur", Json::Num(dur_us))
         .set("args", args);
     e
+}
+
+fn complete(name: &str, cat: &str, tid: u64, ts_us: f64, dur_us: f64, args: Json) -> Json {
+    complete_for(PID, name, cat, tid, ts_us, dur_us, args)
 }
 
 fn begin(name: &str, cat: &str, tid: u64, ts_us: f64, args: Json) -> Json {
@@ -101,6 +121,38 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
     out.push(meta("thread_name", Some(TID_TRANSFERS), "transfers"));
     out.push(meta("thread_name", Some(TID_SWEEPS), "local search"));
     out.push(meta("thread_name", Some(TID_ILS), "ILS"));
+
+    // One process per device carrying stream ops, one thread per stream —
+    // the device × stream grid of the overlap scheduler. Collected up
+    // front so the track metadata precedes the slices.
+    let mut stream_tracks: Vec<(u32, u32)> = events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::StreamOp { device, stream, .. } => Some((*device, *stream)),
+            _ => None,
+        })
+        .collect();
+    stream_tracks.sort_unstable();
+    stream_tracks.dedup();
+    let mut last_device = None;
+    for &(device, stream) in &stream_tracks {
+        let pid = STREAM_PID_BASE + u64::from(device);
+        if last_device != Some(device) {
+            out.push(meta_for(
+                pid,
+                "process_name",
+                None,
+                &format!("device {device} (streams)"),
+            ));
+            last_device = Some(device);
+        }
+        out.push(meta_for(
+            pid,
+            "thread_name",
+            Some(u64::from(stream) + 1),
+            &format!("stream {stream}"),
+        ));
+    }
 
     // The synthetic clock, microseconds.
     let mut clock = 0.0f64;
@@ -223,6 +275,51 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
                     .set("args", cargs);
                 out.push(counter);
             }
+            TraceEvent::StreamOp {
+                device,
+                stream,
+                engine,
+                label,
+                start_seconds,
+                seconds,
+                bytes,
+            } => {
+                // Stream ops carry their own scheduler-resolved start
+                // times; they never touch the legacy serialized clock.
+                let mut args = Json::obj();
+                args.set("engine", Json::from(engine.as_str()))
+                    .set("bytes", Json::from(*bytes));
+                out.push(complete_for(
+                    STREAM_PID_BASE + u64::from(*device),
+                    label,
+                    "stream",
+                    u64::from(*stream) + 1,
+                    start_seconds * 1e6,
+                    seconds * 1e6,
+                    args,
+                ));
+            }
+            TraceEvent::StreamSync {
+                device,
+                streams,
+                busy_seconds,
+                wall_seconds,
+            } => {
+                let mut e = Json::obj();
+                let mut args = Json::obj();
+                args.set("streams", Json::from(*streams))
+                    .set("busy_us", Json::Num(busy_seconds * 1e6))
+                    .set("wall_us", Json::Num(wall_seconds * 1e6));
+                e.set("ph", Json::from("i"))
+                    .set("name", Json::from("synchronize"))
+                    .set("cat", Json::from("stream"))
+                    .set("s", Json::from("p"))
+                    .set("pid", Json::from(STREAM_PID_BASE + u64::from(*device)))
+                    .set("tid", Json::from(0u64))
+                    .set("ts", Json::Num(wall_seconds * 1e6))
+                    .set("args", args);
+                out.push(e);
+            }
         }
     }
 
@@ -324,6 +421,92 @@ mod tests {
     fn process_name_defaults_without_a_device_event() {
         let text = chrome_trace(&[TraceEvent::SweepBegin { sweep: 0 }]);
         assert!(text.contains("tsp (modeled)"));
+    }
+
+    #[test]
+    fn stream_ops_render_on_their_own_device_stream_tracks() {
+        let events = vec![
+            device(),
+            // A legacy kernel: stays on pid 1 and drives the synthetic clock.
+            TraceEvent::Kernel {
+                label: "legacy".into(),
+                seconds: 0.000244140625,
+                grid_dim: 1,
+                block_dim: 32,
+                counters: KernelCounters::default(),
+            },
+            // Two overlapping stream ops on device 1, streams 0 and 1.
+            TraceEvent::StreamOp {
+                device: 1,
+                stream: 0,
+                engine: "compute".into(),
+                label: "sweep".into(),
+                start_seconds: 0.0,
+                seconds: 0.000030517578125,
+                bytes: 0,
+            },
+            TraceEvent::StreamOp {
+                device: 1,
+                stream: 1,
+                engine: "h2d".into(),
+                label: "h2d".into(),
+                start_seconds: 0.0000152587890625,
+                seconds: 0.000030517578125,
+                bytes: 4096,
+            },
+            TraceEvent::StreamSync {
+                device: 1,
+                streams: 2,
+                busy_seconds: 0.00006103515625,
+                wall_seconds: 0.0000457763671875,
+            },
+        ];
+        let text = chrome_trace(&events);
+        let doc = json::parse(&text).unwrap();
+        let list = doc.get("traceEvents").and_then(Json::as_array).unwrap();
+
+        // Stream track metadata: one process per device, one thread per stream.
+        assert!(text.contains("device 1 (streams)"));
+        assert!(text.contains("stream 0"));
+        assert!(text.contains("stream 1"));
+
+        let sweep = list
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("sweep"))
+            .expect("stream op present");
+        assert_eq!(
+            sweep.get("pid").and_then(Json::as_f64),
+            Some((STREAM_PID_BASE + 1) as f64)
+        );
+        assert_eq!(sweep.get("tid").and_then(Json::as_f64), Some(1.0));
+        // Stream ops use the scheduler's start time, not the legacy clock.
+        assert_eq!(sweep.get("ts").and_then(Json::as_f64), Some(0.0));
+        assert_eq!(sweep.get("dur").and_then(Json::as_f64), Some(30.517578125));
+
+        let copy = list
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("h2d"))
+            .unwrap();
+        assert_eq!(copy.get("tid").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(copy.get("ts").and_then(Json::as_f64), Some(15.2587890625));
+
+        // The legacy kernel is untouched: pid 1, clock starts at 0.
+        let legacy = list
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("legacy"))
+            .unwrap();
+        assert_eq!(legacy.get("pid").and_then(Json::as_f64), Some(PID as f64));
+        assert_eq!(legacy.get("ts").and_then(Json::as_f64), Some(0.0));
+
+        let sync = list
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("synchronize"))
+            .expect("sync instant present");
+        assert_eq!(sync.get("ph").and_then(Json::as_str), Some("i"));
+        assert_eq!(
+            sync.get("pid").and_then(Json::as_f64),
+            Some((STREAM_PID_BASE + 1) as f64)
+        );
     }
 
     #[test]

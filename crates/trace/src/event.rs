@@ -172,6 +172,41 @@ pub enum TraceEvent {
         /// Best length known after this iteration.
         best_length: i64,
     },
+    /// A stream-scheduled device operation with its resolved start time.
+    ///
+    /// Unlike [`TraceEvent::Kernel`]/[`TraceEvent::H2d`]/[`TraceEvent::D2h`]
+    /// (recorded at submit time, serialized on one implicit stream), these
+    /// are emitted when `Device::synchronize` runs the deterministic
+    /// overlap scheduler — each op carries the *start timestamp* the
+    /// scheduler assigned, so viewers can draw one track per
+    /// device × stream with real concurrency.
+    StreamOp {
+        /// Device index within its pool.
+        device: u32,
+        /// Stream index on that device.
+        stream: u32,
+        /// Engine class the op occupied: `"compute"`, `"h2d"` or `"d2h"`.
+        engine: String,
+        /// Kernel label, or the transfer direction for copies.
+        label: String,
+        /// Scheduled start time on the device clock, seconds.
+        start_seconds: f64,
+        /// Modeled duration, seconds.
+        seconds: f64,
+        /// Bytes moved (0 for kernel launches).
+        bytes: u64,
+    },
+    /// Per-device summary of one `Device::synchronize` call.
+    StreamSync {
+        /// Device index within its pool.
+        device: u32,
+        /// Streams that carried at least one op.
+        streams: u32,
+        /// Sum of all op durations (work submitted), seconds.
+        busy_seconds: f64,
+        /// Schedule makespan (time to drain all streams), seconds.
+        wall_seconds: f64,
+    },
 }
 
 #[cfg(test)]

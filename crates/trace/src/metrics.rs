@@ -81,6 +81,16 @@ pub struct MetricsSnapshot {
     pub perturbations: u64,
     /// Best tour length after the last ILS iteration, when any ran.
     pub best_length: Option<i64>,
+    /// Stream-scheduled device ops observed (see `TraceEvent::StreamOp`).
+    pub stream_ops: u64,
+    /// `Device::synchronize` calls observed.
+    pub stream_syncs: u64,
+    /// Total busy time across all stream syncs (sum of op durations),
+    /// seconds.
+    pub stream_busy_seconds: f64,
+    /// Total wall time across all stream syncs (schedule makespans),
+    /// seconds.
+    pub stream_wall_seconds: f64,
 }
 
 impl MetricsSnapshot {
@@ -128,6 +138,16 @@ impl MetricsSnapshot {
                     snap.iterations += 1;
                     snap.best_length = Some(*best_length);
                 }
+                TraceEvent::StreamOp { .. } => snap.stream_ops += 1,
+                TraceEvent::StreamSync {
+                    busy_seconds,
+                    wall_seconds,
+                    ..
+                } => {
+                    snap.stream_syncs += 1;
+                    snap.stream_busy_seconds += busy_seconds;
+                    snap.stream_wall_seconds += wall_seconds;
+                }
                 TraceEvent::DescentBegin { .. }
                 | TraceEvent::SweepBegin { .. }
                 | TraceEvent::IterationBegin { .. } => {}
@@ -145,6 +165,18 @@ impl MetricsSnapshot {
     /// Total modeled kernel seconds.
     pub fn kernel_seconds(&self) -> f64 {
         self.kernels.iter().map(|k| k.seconds).sum()
+    }
+
+    /// Achieved stream overlap: the fraction of submitted busy time
+    /// hidden by concurrent execution, `(busy - wall) / busy`, clamped
+    /// at 0. A fully serial schedule (or no stream activity at all)
+    /// scores 0; 0.5 means the streams squeezed two seconds of work
+    /// into every wall second.
+    pub fn stream_overlap(&self) -> f64 {
+        if self.stream_busy_seconds <= 0.0 {
+            return 0.0;
+        }
+        ((self.stream_busy_seconds - self.stream_wall_seconds) / self.stream_busy_seconds).max(0.0)
     }
 
     /// PCIe transfer share of total modeled device time (0 when nothing
@@ -207,6 +239,17 @@ impl MetricsSnapshot {
             "sweeps: {}, descents: {}, ILS iterations: {}, perturbations: {}",
             self.sweeps, self.descents, self.iterations, self.perturbations
         );
+        if self.stream_syncs > 0 {
+            let _ = writeln!(
+                s,
+                "streams: {} ops over {} syncs, busy {:.6e} s / wall {:.6e} s, overlap {:.2}%",
+                self.stream_ops,
+                self.stream_syncs,
+                self.stream_busy_seconds,
+                self.stream_wall_seconds,
+                self.stream_overlap() * 100.0
+            );
+        }
         if let Some(best) = self.best_length {
             let _ = writeln!(s, "final best length: {best}");
         }
@@ -251,6 +294,14 @@ impl MetricsSnapshot {
                 .set("seconds", Json::from(t.seconds));
             root.set(name, e);
         }
+        let mut streams = Json::obj();
+        streams
+            .set("ops", Json::from(self.stream_ops))
+            .set("syncs", Json::from(self.stream_syncs))
+            .set("busy_seconds", Json::from(self.stream_busy_seconds))
+            .set("wall_seconds", Json::from(self.stream_wall_seconds))
+            .set("overlap", Json::from(self.stream_overlap()));
+        root.set("streams", streams);
         root.set("transfer_share", Json::from(self.transfer_share()))
             .set("sweeps", Json::from(self.sweeps))
             .set("descents", Json::from(self.descents))
@@ -348,6 +399,57 @@ mod tests {
         assert_eq!(snap.d2h.bytes, 50);
         assert!((snap.transfer_share() - 0.25).abs() < 1e-15);
         assert_eq!(MetricsSnapshot::default().transfer_share(), 0.0);
+    }
+
+    #[test]
+    fn stream_overlap_is_hidden_fraction_of_busy_time() {
+        let events = vec![
+            TraceEvent::StreamOp {
+                device: 0,
+                stream: 0,
+                engine: "h2d".into(),
+                label: "H2D".into(),
+                start_seconds: 0.0,
+                seconds: 0.5,
+                bytes: 100,
+            },
+            TraceEvent::StreamOp {
+                device: 0,
+                stream: 1,
+                engine: "compute".into(),
+                label: "sweep".into(),
+                start_seconds: 0.25,
+                seconds: 0.5,
+                bytes: 0,
+            },
+            TraceEvent::StreamSync {
+                device: 0,
+                streams: 2,
+                busy_seconds: 1.0,
+                wall_seconds: 0.75,
+            },
+        ];
+        let snap = MetricsSnapshot::from_events(&events);
+        assert_eq!(snap.stream_ops, 2);
+        assert_eq!(snap.stream_syncs, 1);
+        assert!((snap.stream_overlap() - 0.25).abs() < 1e-15);
+        let text = snap.to_text();
+        assert!(text.contains("overlap 25.00%"), "text:\n{text}");
+        let json = snap.to_json();
+        let overlap = json
+            .get("streams")
+            .and_then(|s| s.get("overlap"))
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert!((overlap - 0.25).abs() < 1e-15);
+        // Serial schedules and empty snapshots score zero.
+        assert_eq!(MetricsSnapshot::default().stream_overlap(), 0.0);
+        let serial = MetricsSnapshot {
+            stream_busy_seconds: 1.0,
+            stream_wall_seconds: 1.0,
+            ..Default::default()
+        };
+        assert_eq!(serial.stream_overlap(), 0.0);
     }
 
     #[test]

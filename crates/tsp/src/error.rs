@@ -1,0 +1,116 @@
+//! The workspace-wide error type.
+//!
+//! Every layer of the stack keeps its own precise error enum
+//! ([`SimError`], [`CoreError`], [`TsplibError`], `EngineError`);
+//! [`TspError`] is the union the facade surfaces, so one `?` works
+//! across loading an instance, building an engine and running a solve.
+
+use gpu_sim::SimError;
+use std::fmt;
+use tsp_2opt::EngineError;
+use tsp_core::CoreError;
+use tsp_tsplib::TsplibError;
+
+/// Any error the TSP stack can raise, by originating layer.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum TspError {
+    /// Simulated-device failure (launch config, memory, streams, …).
+    Sim(SimError),
+    /// Core data-structure failure (invalid tour, bad matrix, …).
+    Core(CoreError),
+    /// TSPLIB parsing or I/O failure.
+    Tsplib(TsplibError),
+    /// The requested configuration cannot run (e.g. a GPU engine on an
+    /// explicit-matrix instance, or streams on a CPU engine).
+    Unsupported(String),
+}
+
+impl fmt::Display for TspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TspError::Sim(e) => write!(f, "simulator error: {e}"),
+            TspError::Core(e) => write!(f, "core error: {e}"),
+            TspError::Tsplib(e) => write!(f, "tsplib error: {e}"),
+            TspError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TspError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TspError::Sim(e) => Some(e),
+            TspError::Core(e) => Some(e),
+            TspError::Tsplib(e) => Some(e),
+            TspError::Unsupported(_) => None,
+        }
+    }
+}
+
+impl From<SimError> for TspError {
+    fn from(e: SimError) -> Self {
+        TspError::Sim(e)
+    }
+}
+
+impl From<CoreError> for TspError {
+    fn from(e: CoreError) -> Self {
+        TspError::Core(e)
+    }
+}
+
+impl From<TsplibError> for TspError {
+    fn from(e: TsplibError) -> Self {
+        TspError::Tsplib(e)
+    }
+}
+
+impl From<std::io::Error> for TspError {
+    fn from(e: std::io::Error) -> Self {
+        TspError::Tsplib(TsplibError::Io(e))
+    }
+}
+
+/// `EngineError` flattens: its `Sim`/`Core` arms map onto the matching
+/// [`TspError`] arms rather than nesting a fourth level.
+impl From<EngineError> for TspError {
+    fn from(e: EngineError) -> Self {
+        match e {
+            EngineError::Sim(e) => TspError::Sim(e),
+            EngineError::Core(e) => TspError::Core(e),
+            EngineError::Unsupported(msg) => TspError::Unsupported(msg),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_layer_converts_and_displays() {
+        let e: TspError = CoreError::MissingCoordinates.into();
+        assert!(e.to_string().starts_with("core error:"));
+
+        let e: TspError = TsplibError::MissingKeyword("DIMENSION").into();
+        assert!(e.to_string().contains("DIMENSION"));
+
+        let e: TspError = EngineError::Unsupported("matrix instance".into()).into();
+        assert!(
+            matches!(e, TspError::Unsupported(_)),
+            "EngineError flattens"
+        );
+
+        let e: TspError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(matches!(e, TspError::Tsplib(TsplibError::Io(_))));
+    }
+
+    #[test]
+    fn source_chain_reaches_the_layer_error() {
+        use std::error::Error;
+        let e: TspError = CoreError::MissingCoordinates.into();
+        assert!(e.source().is_some());
+        assert!(TspError::Unsupported("x".into()).source().is_none());
+    }
+}

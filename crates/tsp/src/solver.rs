@@ -1,0 +1,597 @@
+//! The [`Solver`] facade.
+//!
+//! One builder configures the whole stack — device spec, pool shape,
+//! kernel strategy, construction heuristic, descent/ILS knobs,
+//! tracing sinks — and [`Solver::run`] drives construction → local
+//! search (→ ILS → sharded multistart) end to end, returning a single
+//! [`Solution`] and a single error type ([`TspError`]).
+
+use crate::TspError;
+use gpu_sim::{DevicePool, DeviceSpec, Recorder, StreamReport, Timeline};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tsp_2opt::{
+    optimize_with_recorder, CpuParallelTwoOpt, GpuTwoOpt, SearchOptions, SequentialTwoOpt,
+    StepProfile, Strategy, TwoOptEngine,
+};
+use tsp_construction::{multiple_fragment, nearest_neighbor, space_filling};
+use tsp_core::{Instance, Tour};
+use tsp_ils::{
+    iterated_local_search, IlsOptions, IlsOutcome, ShardedMultistart, ShardedOutcome, TracePoint,
+};
+
+/// Which local-search engine executes the sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum EngineKind {
+    /// The simulated-GPU engine (the paper's kernels). Default.
+    #[default]
+    Gpu,
+    /// Multi-threaded host engine.
+    CpuParallel,
+    /// Single-threaded reference engine.
+    Sequential,
+}
+
+/// Construction heuristic for the initial tour(s).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum Construction {
+    /// Greedy multiple-fragment (Bentley). Default.
+    #[default]
+    MultipleFragment,
+    /// Nearest neighbour from city 0.
+    NearestNeighbor,
+    /// Hilbert space-filling curve order.
+    SpaceFilling,
+    /// Uniform random permutation from the given seed. Under restarts,
+    /// chain `i` draws from `seed + i`, so every chain gets a distinct
+    /// start (the deterministic heuristics give all chains the same
+    /// start and rely on ILS seeds for diversity).
+    Random(u64),
+    /// The identity permutation `0, 1, …, n-1`.
+    Identity,
+}
+
+/// Configures and builds a [`Solver`].
+///
+/// ```
+/// use tsp::prelude::*;
+///
+/// let inst = tsp_tsplib::generate("demo", 64, tsp_tsplib::Style::Uniform, 1);
+/// let solution = Solver::builder()
+///     .engine(EngineKind::Gpu)
+///     .device(spec::gtx_680_cuda())
+///     .strategy(Strategy::Auto)
+///     .ils(IlsOptions::default().with_max_iterations(5u64))
+///     .build()
+///     .run(&inst)
+///     .unwrap();
+/// assert!(solution.length <= solution.initial_length);
+/// ```
+#[derive(Clone)]
+pub struct SolverBuilder {
+    engine: EngineKind,
+    spec: DeviceSpec,
+    devices: usize,
+    streams: usize,
+    restarts: usize,
+    strategy: Strategy,
+    launch: Option<(u32, u32)>,
+    overlapped_transfers: bool,
+    construction: Construction,
+    search: SearchOptions,
+    ils: Option<IlsOptions>,
+    timeline: Option<Timeline>,
+    recorder: Option<Recorder>,
+}
+
+impl Default for SolverBuilder {
+    fn default() -> Self {
+        SolverBuilder {
+            engine: EngineKind::Gpu,
+            spec: gpu_sim::spec::gtx_680_cuda(),
+            devices: 1,
+            streams: 1,
+            restarts: 1,
+            strategy: Strategy::Auto,
+            launch: None,
+            overlapped_transfers: false,
+            construction: Construction::MultipleFragment,
+            search: SearchOptions::default(),
+            ils: None,
+            timeline: None,
+            recorder: None,
+        }
+    }
+}
+
+impl SolverBuilder {
+    /// Start from the defaults: one GTX 680, `Strategy::Auto`,
+    /// multiple-fragment construction, plain 2-opt descent.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Select the engine kind (default [`EngineKind::Gpu`]).
+    pub fn engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Device spec for GPU engines (default the paper's GTX 680).
+    pub fn device(mut self, spec: DeviceSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// Shard restarts over `n` simulated devices (default 1; GPU only).
+    pub fn devices(mut self, n: usize) -> Self {
+        self.devices = n;
+        self
+    }
+
+    /// Streams per device (default 1; GPU only). With more than one,
+    /// concurrent chains overlap transfers and kernels on each device.
+    pub fn streams(mut self, s: usize) -> Self {
+        self.streams = s;
+        self
+    }
+
+    /// Run `k` independent ILS chains (seed `i` = ILS seed + `i`) and
+    /// keep the best (default 1). Implies ILS with default options if
+    /// [`SolverBuilder::ils`] was not called.
+    pub fn restarts(mut self, k: usize) -> Self {
+        self.restarts = k;
+        self
+    }
+
+    /// Kernel selection strategy (default [`Strategy::Auto`]).
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Override the launch geometry (e.g. the paper's 28 × 1024).
+    pub fn launch(mut self, grid_dim: u32, block_dim: u32) -> Self {
+        self.launch = Some((grid_dim, block_dim));
+        self
+    }
+
+    /// Model double-buffered transfers inside a descent (see
+    /// `GpuTwoOpt::with_overlapped_transfers`).
+    pub fn overlapped_transfers(mut self, on: bool) -> Self {
+        self.overlapped_transfers = on;
+        self
+    }
+
+    /// Construction heuristic for the initial tour (default
+    /// [`Construction::MultipleFragment`]).
+    pub fn construction(mut self, construction: Construction) -> Self {
+        self.construction = construction;
+        self
+    }
+
+    /// Descent options applied to every local-search call.
+    pub fn search(mut self, search: SearchOptions) -> Self {
+        self.search = search;
+        self
+    }
+
+    /// Enable ILS around the descent with these options.
+    pub fn ils(mut self, opts: IlsOptions) -> Self {
+        self.ils = Some(opts);
+        self
+    }
+
+    /// Attach a profiler timeline (single-device runs only).
+    pub fn timeline(mut self, timeline: Timeline) -> Self {
+        self.timeline = Some(timeline);
+        self
+    }
+
+    /// Attach a structured-event recorder; it receives device events
+    /// (kernels, transfers, stream schedules) and search events
+    /// (sweeps, descents, ILS iterations).
+    pub fn recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Finalize the configuration.
+    pub fn build(self) -> Solver {
+        Solver { cfg: self }
+    }
+}
+
+/// Result of a [`Solver::run`].
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct Solution {
+    /// The best tour found.
+    pub tour: Tour,
+    /// Its length.
+    pub length: i64,
+    /// Length of the constructed initial tour.
+    pub initial_length: i64,
+    /// ILS iterations of the best chain (0 for a plain descent).
+    pub iterations: u64,
+    /// Independent chains run (1 unless restarts were requested).
+    pub chains: usize,
+    /// Aggregate modeled cost over every sweep of every chain.
+    pub profile: StepProfile,
+    /// Real host time, seconds.
+    pub host_seconds: f64,
+    /// Convergence trace of the best chain (ILS runs only).
+    pub trace: Vec<TracePoint>,
+    /// Per-device modeled schedules (sharded runs only).
+    pub reports: Vec<StreamReport>,
+}
+
+impl Solution {
+    /// Total modeled device time across all chains, seconds.
+    pub fn modeled_seconds(&self) -> f64 {
+        self.profile.modeled_seconds()
+    }
+
+    /// Modeled wall time: the slowest device's makespan on sharded
+    /// runs, otherwise the serial modeled time.
+    pub fn wall_seconds(&self) -> f64 {
+        if self.reports.is_empty() {
+            self.modeled_seconds()
+        } else {
+            self.reports
+                .iter()
+                .map(|r| r.wall_seconds)
+                .fold(0.0, f64::max)
+        }
+    }
+
+    /// Fraction of modeled busy time hidden by stream/device overlap
+    /// (0 for serial runs).
+    pub fn overlap(&self) -> f64 {
+        let busy: f64 = self.reports.iter().map(|r| r.busy_seconds).sum();
+        if busy == 0.0 {
+            return 0.0;
+        }
+        self.reports
+            .iter()
+            .map(|r| r.overlap() * r.busy_seconds)
+            .sum::<f64>()
+            / busy
+    }
+}
+
+/// The configured facade. Build with [`Solver::builder`], run with
+/// [`Solver::run`] or [`Solver::run_from`].
+pub struct Solver {
+    cfg: SolverBuilder,
+}
+
+impl Solver {
+    /// Start configuring a solver.
+    pub fn builder() -> SolverBuilder {
+        SolverBuilder::new()
+    }
+
+    /// Construct an initial tour and solve.
+    pub fn run(&self, inst: &Instance) -> Result<Solution, TspError> {
+        let start = self.construct(inst, 0);
+        self.run_from(inst, start)
+    }
+
+    /// Solve from the given initial tour. Under restarts the first
+    /// chain uses `start` and the remaining chains use freshly
+    /// constructed tours.
+    pub fn run_from(&self, inst: &Instance, start: Tour) -> Result<Solution, TspError> {
+        let cfg = &self.cfg;
+        if cfg.devices == 0 || cfg.streams == 0 || cfg.restarts == 0 {
+            return Err(TspError::Unsupported(
+                "devices, streams and restarts must all be at least 1".into(),
+            ));
+        }
+        let pooled = cfg.devices > 1 || cfg.streams > 1;
+        if pooled && cfg.engine != EngineKind::Gpu {
+            return Err(TspError::Unsupported(
+                "multi-device / multi-stream runs require the GPU engine".into(),
+            ));
+        }
+        if pooled && cfg.timeline.is_some() {
+            return Err(TspError::Unsupported(
+                "timelines attach to a single device; use a recorder on pooled runs".into(),
+            ));
+        }
+        let initial_length = start.length(inst);
+
+        if cfg.restarts > 1 || pooled {
+            return self.run_sharded(inst, start, initial_length);
+        }
+
+        // Single chain: one engine, serial submission path.
+        let mut engine = self.single_engine();
+        match &cfg.ils {
+            None => {
+                let mut tour = start;
+                let recorder = cfg.recorder.clone().unwrap_or_else(Recorder::disabled);
+                let stats = optimize_with_recorder(
+                    engine.as_mut(),
+                    inst,
+                    &mut tour,
+                    cfg.search,
+                    &recorder,
+                )?;
+                Ok(Solution {
+                    length: stats.final_length,
+                    tour,
+                    initial_length,
+                    iterations: 0,
+                    chains: 1,
+                    profile: stats.profile,
+                    host_seconds: stats.host_seconds,
+                    trace: Vec::new(),
+                    reports: Vec::new(),
+                })
+            }
+            Some(opts) => {
+                let outcome =
+                    iterated_local_search(engine.as_mut(), inst, start, self.ils_opts(opts))?;
+                Ok(solution_from_outcome(
+                    outcome,
+                    initial_length,
+                    1,
+                    Vec::new(),
+                ))
+            }
+        }
+    }
+
+    /// Restarts (and/or pool shards): every chain is an independent ILS
+    /// run; outcomes are bit-identical to `parallel_multistart` under
+    /// the same seeds regardless of the pool shape.
+    fn run_sharded(
+        &self,
+        inst: &Instance,
+        start: Tour,
+        initial_length: i64,
+    ) -> Result<Solution, TspError> {
+        let cfg = &self.cfg;
+        let opts = self.ils_opts(cfg.ils.as_ref().unwrap_or(&IlsOptions::default()));
+        let starts: Vec<Tour> = (0..cfg.restarts)
+            .map(|i| {
+                if i == 0 {
+                    start.clone()
+                } else {
+                    self.construct(inst, i as u64)
+                }
+            })
+            .collect();
+
+        match cfg.engine {
+            EngineKind::Gpu => {
+                let mut pool = DevicePool::homogeneous(cfg.spec.clone(), cfg.devices, cfg.streams);
+                if let Some(rec) = &cfg.recorder {
+                    pool.attach_recorder(rec.clone());
+                }
+                let sharded = ShardedMultistart::new(pool);
+                let out = sharded.run(
+                    |device, stream| {
+                        self.gpu_engine_on(GpuTwoOpt::on_stream(device.clone(), stream))
+                    },
+                    inst,
+                    starts,
+                    opts,
+                )?;
+                let ShardedOutcome {
+                    best,
+                    chains,
+                    reports,
+                } = out;
+                let mut profile = StepProfile::default();
+                for c in &chains {
+                    profile.accumulate(&c.profile);
+                }
+                let mut solution =
+                    solution_from_outcome(best, initial_length, chains.len(), reports);
+                solution.profile = profile;
+                Ok(solution)
+            }
+            EngineKind::CpuParallel => {
+                let (best, chains) =
+                    tsp_ils::parallel_multistart(CpuParallelTwoOpt::new, inst, starts, opts)?;
+                Ok(aggregate_host_chains(best, &chains, initial_length))
+            }
+            EngineKind::Sequential => {
+                let (best, chains) =
+                    tsp_ils::parallel_multistart(SequentialTwoOpt::new, inst, starts, opts)?;
+                Ok(aggregate_host_chains(best, &chains, initial_length))
+            }
+        }
+    }
+
+    /// The configured ILS options plus the facade-level recorder.
+    fn ils_opts(&self, opts: &IlsOptions) -> IlsOptions {
+        match &self.cfg.recorder {
+            Some(rec) => opts.clone().with_recorder(rec.clone()),
+            None => opts.clone(),
+        }
+    }
+
+    /// One engine on a private device (serial path).
+    fn single_engine(&self) -> Box<dyn TwoOptEngine> {
+        match self.cfg.engine {
+            EngineKind::Gpu => {
+                let mut engine = self.gpu_engine_on(GpuTwoOpt::new(self.cfg.spec.clone()));
+                if let Some(tl) = &self.cfg.timeline {
+                    engine = engine.with_timeline(tl.clone());
+                }
+                if let Some(rec) = &self.cfg.recorder {
+                    engine = engine.with_recorder(rec.clone());
+                }
+                Box::new(engine)
+            }
+            EngineKind::CpuParallel => Box::new(CpuParallelTwoOpt::new()),
+            EngineKind::Sequential => Box::new(SequentialTwoOpt::new()),
+        }
+    }
+
+    /// Apply the strategy/launch/overlap knobs to a GPU engine.
+    fn gpu_engine_on(&self, engine: GpuTwoOpt) -> GpuTwoOpt {
+        let mut engine = engine.with_strategy(self.cfg.strategy);
+        if let Some((grid, block)) = self.cfg.launch {
+            engine = engine.with_launch(grid, block);
+        }
+        if self.cfg.overlapped_transfers {
+            engine = engine.with_overlapped_transfers();
+        }
+        engine
+    }
+
+    /// Build chain `i`'s initial tour.
+    fn construct(&self, inst: &Instance, chain: u64) -> Tour {
+        match self.cfg.construction {
+            Construction::MultipleFragment => multiple_fragment(inst),
+            Construction::NearestNeighbor => nearest_neighbor(inst, 0),
+            Construction::SpaceFilling => space_filling(inst),
+            Construction::Random(seed) => {
+                let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(chain));
+                Tour::random(inst.len(), &mut rng)
+            }
+            Construction::Identity => Tour::identity(inst.len()),
+        }
+    }
+}
+
+fn solution_from_outcome(
+    outcome: IlsOutcome,
+    initial_length: i64,
+    chains: usize,
+    reports: Vec<StreamReport>,
+) -> Solution {
+    Solution {
+        tour: outcome.best,
+        length: outcome.best_length,
+        initial_length,
+        iterations: outcome.iterations,
+        chains,
+        profile: outcome.profile,
+        host_seconds: outcome.host_seconds,
+        trace: outcome.trace,
+        reports,
+    }
+}
+
+fn aggregate_host_chains(best: IlsOutcome, chains: &[IlsOutcome], initial_length: i64) -> Solution {
+    let mut profile = StepProfile::default();
+    for c in chains {
+        profile.accumulate(&c.profile);
+    }
+    let mut solution = solution_from_outcome(best, initial_length, chains.len(), Vec::new());
+    solution.profile = profile;
+    solution
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsp_tsplib::{generate, Style};
+
+    fn instance(n: usize, seed: u64) -> Instance {
+        generate(&format!("solver{n}"), n, Style::Uniform, seed)
+    }
+
+    #[test]
+    fn plain_descent_reaches_a_local_minimum() {
+        let inst = instance(72, 3);
+        let s = Solver::builder().build().run(&inst).unwrap();
+        assert!(s.length <= s.initial_length);
+        assert_eq!(s.iterations, 0);
+        assert_eq!(s.chains, 1);
+        assert!(s.reports.is_empty());
+        assert!(s.modeled_seconds() > 0.0);
+        s.tour.validate().unwrap();
+    }
+
+    #[test]
+    fn facade_descent_matches_raw_engine() {
+        let inst = instance(64, 4);
+        let start = Tour::identity(64);
+
+        let facade = Solver::builder()
+            .construction(Construction::Identity)
+            .build()
+            .run_from(&inst, start.clone())
+            .unwrap();
+
+        let mut raw_tour = start;
+        let mut raw = GpuTwoOpt::new(gpu_sim::spec::gtx_680_cuda());
+        let stats =
+            tsp_2opt::optimize(&mut raw, &inst, &mut raw_tour, SearchOptions::default()).unwrap();
+
+        assert_eq!(facade.tour.as_slice(), raw_tour.as_slice());
+        assert_eq!(facade.length, stats.final_length);
+        assert_eq!(facade.profile, stats.profile);
+    }
+
+    #[test]
+    fn ils_facade_matches_raw_ils() {
+        let inst = instance(60, 5);
+        let opts = IlsOptions::default().with_max_iterations(6u64).with_seed(9);
+
+        let facade = Solver::builder()
+            .construction(Construction::Identity)
+            .ils(opts.clone())
+            .build()
+            .run(&inst)
+            .unwrap();
+
+        let mut raw = GpuTwoOpt::new(gpu_sim::spec::gtx_680_cuda());
+        let outcome = iterated_local_search(&mut raw, &inst, Tour::identity(60), opts).unwrap();
+
+        assert_eq!(facade.length, outcome.best_length);
+        assert_eq!(facade.tour.as_slice(), outcome.best.as_slice());
+        assert_eq!(facade.iterations, outcome.iterations);
+    }
+
+    #[test]
+    fn sharded_facade_reduces_over_all_chains() {
+        let inst = instance(56, 6);
+        let s = Solver::builder()
+            .construction(Construction::Random(11))
+            .ils(IlsOptions::default().with_max_iterations(4u64))
+            .devices(2)
+            .streams(2)
+            .restarts(6)
+            .build()
+            .run(&inst)
+            .unwrap();
+        assert_eq!(s.chains, 6);
+        assert_eq!(s.reports.len(), 2);
+        assert!(s.wall_seconds() > 0.0);
+        assert!(s.wall_seconds() < s.modeled_seconds());
+        s.tour.validate().unwrap();
+    }
+
+    #[test]
+    fn cpu_engines_run_and_reject_pooling() {
+        let inst = instance(40, 7);
+        for kind in [EngineKind::CpuParallel, EngineKind::Sequential] {
+            let s = Solver::builder().engine(kind).build().run(&inst).unwrap();
+            assert!(s.length <= s.initial_length);
+
+            let err = Solver::builder()
+                .engine(kind)
+                .streams(2)
+                .build()
+                .run(&inst)
+                .unwrap_err();
+            assert!(matches!(err, TspError::Unsupported(_)));
+        }
+    }
+
+    #[test]
+    fn zero_shapes_are_rejected() {
+        let inst = instance(32, 8);
+        let err = Solver::builder().devices(0).build().run(&inst).unwrap_err();
+        assert!(matches!(err, TspError::Unsupported(_)));
+    }
+}

@@ -93,10 +93,7 @@ fn main() {
         engine.as_mut(),
         &inst,
         initial,
-        IlsOptions {
-            max_iterations: Some(iters),
-            ..Default::default()
-        },
+        IlsOptions::new().with_max_iterations(iters),
     )
     .expect("ILS runs on coordinate instances");
 

@@ -1,6 +1,7 @@
-//! Run a traced GPU ILS chain and write the Chrome-trace JSON — the CI
-//! smoke proving the end-to-end tracing pipeline produces a valid,
-//! non-empty trace from a real run.
+//! Run a traced, sharded GPU ILS through the `tsp::Solver` facade and
+//! write the Chrome-trace JSON — the CI smoke proving the end-to-end
+//! pipeline (facade → device pool → stream scheduler → trace exporter)
+//! produces a valid, non-empty trace with per-device×stream tracks.
 //!
 //! ```text
 //! cargo run --release -p tsp-apps --example traced_ils -- [n] [iterations] [out.trace.json]
@@ -8,10 +9,13 @@
 //!
 //! Load the output in <https://ui.perfetto.dev> (or `chrome://tracing`):
 //! kernels and PCIe transfers appear as duration slices on their own
-//! tracks, sweeps and ILS iterations as nested spans, and the best tour
-//! length as a counter track.
+//! tracks, sweeps and ILS iterations as nested spans, the best tour
+//! length as a counter track, and each simulated device contributes one
+//! "device N (streams)" process with one track per stream showing the
+//! overlapped schedule.
 
-use tsp_trace::{chrome_trace, json, MetricsSnapshot, Recorder, RooflineReport};
+use tsp::prelude::*;
+use tsp_trace::{chrome_trace, json, MetricsSnapshot, RooflineReport};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -22,15 +26,41 @@ fn main() {
         .cloned()
         .unwrap_or_else(|| "ils.trace.json".into());
 
+    let inst = tsp::tsplib::generate(
+        "traced-ils",
+        n,
+        tsp::tsplib::Style::Clustered { clusters: 16 },
+        0x2013,
+    );
     let recorder = Recorder::enabled();
-    let outcome = tsp_bench::trace::traced_ils(n, iterations, 0x2013, &recorder);
+    let solution = Solver::builder()
+        .construction(Construction::Random(0x2013))
+        .ils(
+            IlsOptions::default()
+                .with_max_iterations(iterations)
+                .with_seed(0x2013),
+        )
+        .devices(2)
+        .streams(2)
+        .restarts(4)
+        .recorder(recorder.clone())
+        .build()
+        .run(&inst)
+        .expect("generated instances are coordinate-based");
     println!(
-        "best length after {iterations} iterations on n = {n}: {}",
-        outcome.best_length
+        "best length after {iterations} iterations x {} chains on n = {n}: {}",
+        solution.chains, solution.length
+    );
+    println!(
+        "modeled wall {:.3} ms over {} devices, stream overlap {:.1}%",
+        solution.wall_seconds() * 1e3,
+        solution.reports.len(),
+        solution.overlap() * 100.0
     );
 
-    // Self-check before writing: the document must re-parse and carry a
-    // non-empty traceEvents array whose entries all have ph and pid.
+    // Self-check before writing: the document must re-parse, carry a
+    // non-empty traceEvents array whose entries all have ph and pid,
+    // and include at least one per-stream track (pid >= 10).
     let events = recorder.events();
     let text = chrome_trace(&events);
     let parsed = json::parse(&text).expect("exporter emits valid JSON");
@@ -39,16 +69,22 @@ fn main() {
         .and_then(json::Json::as_array)
         .expect("traceEvents array");
     assert!(!trace_events.is_empty(), "trace must be non-empty");
+    let mut stream_tracks = 0usize;
     for e in trace_events {
         assert!(
             e.get("ph").is_some() && e.get("pid").is_some(),
             "malformed event"
         );
+        if e.get("pid").and_then(json::Json::as_f64).unwrap_or(0.0) >= 10.0 {
+            stream_tracks += 1;
+        }
     }
+    assert!(stream_tracks > 0, "no per-stream events in the trace");
     std::fs::write(&out, &text).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
     println!(
-        "wrote {out} ({} events; load in https://ui.perfetto.dev)",
-        trace_events.len()
+        "wrote {out} ({} events, {} on stream tracks; load in https://ui.perfetto.dev)",
+        trace_events.len(),
+        stream_tracks
     );
 
     let snapshot = MetricsSnapshot::from_events(&events);

@@ -7,11 +7,7 @@ use tsp_ils::{iterated_local_search, Acceptance, IlsOptions, Perturbation};
 use tsp_tsplib::{generate, Style};
 
 fn opts(iters: u64, seed: u64) -> IlsOptions {
-    IlsOptions {
-        max_iterations: Some(iters),
-        seed,
-        ..Default::default()
-    }
+    IlsOptions::new().with_max_iterations(iters).with_seed(seed)
 }
 
 #[test]
@@ -54,12 +50,10 @@ fn acceptance_criteria_order_by_final_quality_sanely() {
             &mut eng,
             &inst,
             start.clone(),
-            IlsOptions {
-                max_iterations: Some(40),
-                acceptance,
-                seed: 3,
-                ..Default::default()
-            },
+            IlsOptions::new()
+                .with_max_iterations(40u64)
+                .with_acceptance(acceptance)
+                .with_seed(3),
         )
         .unwrap()
     };
@@ -86,11 +80,9 @@ fn perturbation_strength_affects_exploration() {
             &mut eng,
             &inst,
             start.clone(),
-            IlsOptions {
-                max_iterations: Some(15),
-                perturbation,
-                ..Default::default()
-            },
+            IlsOptions::new()
+                .with_max_iterations(15u64)
+                .with_perturbation(perturbation),
         )
         .unwrap();
         out.best.validate().unwrap();
@@ -112,13 +104,11 @@ fn stagnation_restart_recovers_a_random_walk() {
             &mut eng,
             &inst,
             start.clone(),
-            IlsOptions {
-                max_iterations: Some(40),
-                acceptance: Acceptance::Always,
-                stagnation_restart: restart,
-                seed: 9,
-                ..Default::default()
-            },
+            IlsOptions::new()
+                .with_max_iterations(40u64)
+                .with_acceptance(Acceptance::Always)
+                .with_stagnation_restart(restart)
+                .with_seed(9),
         )
         .unwrap()
     };
@@ -141,10 +131,7 @@ fn parallel_multistart_runs_gpu_chains() {
         || GpuTwoOpt::new(spec::gtx_680_cuda()),
         &inst,
         starts,
-        IlsOptions {
-            max_iterations: Some(8),
-            ..Default::default()
-        },
+        IlsOptions::new().with_max_iterations(8u64),
     )
     .unwrap();
     assert_eq!(all.len(), 3);
@@ -163,12 +150,10 @@ fn budget_termination_works_under_each_engine() {
         &mut gpu,
         &inst,
         start,
-        IlsOptions {
-            max_iterations: None,
-            max_modeled_seconds: Some(0.01),
-            seed: 1,
-            ..Default::default()
-        },
+        IlsOptions::new()
+            .with_max_iterations(None)
+            .with_max_modeled_seconds(0.01)
+            .with_seed(1),
     )
     .unwrap();
     assert!(out.profile.modeled_seconds() >= 0.01);

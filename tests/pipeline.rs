@@ -88,10 +88,7 @@ fn ils_with_gpu_engine_beats_plain_descent() {
         &mut e,
         &inst,
         start,
-        IlsOptions {
-            max_iterations: Some(50),
-            ..Default::default()
-        },
+        IlsOptions::new().with_max_iterations(50u64),
     )
     .unwrap();
     assert!(

@@ -52,9 +52,7 @@ fn engine_allocations_are_released_every_sweep() {
         &mut engine,
         &inst,
         &mut tour,
-        SearchOptions {
-            max_sweeps: Some(10),
-        },
+        SearchOptions::new().with_max_sweeps(10u64),
     )
     .unwrap();
     // No buffers may survive between sweeps.

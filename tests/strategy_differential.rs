@@ -139,9 +139,7 @@ fn device_resident_descent_tracks_serial_descent() {
     // Algorithm-2 pipeline.
     let n = 512;
     let inst = generate("diff-descent", n, Style::Clustered { clusters: 5 }, 3);
-    let opts = SearchOptions {
-        max_sweeps: Some(10),
-    };
+    let opts = SearchOptions::new().with_max_sweeps(10u64);
 
     let mut t_serial = scrambled_tour(n);
     let mut serial = GpuTwoOpt::new(spec::gtx_680_cuda());

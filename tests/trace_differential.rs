@@ -102,21 +102,14 @@ fn tracing_is_invisible_to_ils() {
     let n = 120;
     let inst = generate("trace-ils", n, Style::Clustered { clusters: 4 }, 9);
     let start = scrambled_tour(n);
-    let opts = IlsOptions {
-        max_iterations: Some(4),
-        seed: 9,
-        ..Default::default()
-    };
+    let opts = IlsOptions::new().with_max_iterations(4u64).with_seed(9);
 
     let mut plain = GpuTwoOpt::new(spec::gtx_680_cuda());
     let a = iterated_local_search(&mut plain, &inst, start.clone(), opts.clone()).unwrap();
 
     let recorder = Recorder::enabled();
     let mut traced = GpuTwoOpt::new(spec::gtx_680_cuda()).with_recorder(recorder.clone());
-    let traced_opts = IlsOptions {
-        recorder: recorder.clone(),
-        ..opts
-    };
+    let traced_opts = opts.with_recorder(recorder.clone());
     let b = iterated_local_search(&mut traced, &inst, start, traced_opts).unwrap();
 
     assert_eq!(a.best_length, b.best_length);
@@ -177,12 +170,10 @@ fn thousand_city_ils_trace_covers_every_event_kind_and_exports() {
     let inst = generate("trace-1000", n, Style::Clustered { clusters: 8 }, 5);
     let start = multiple_fragment(&inst);
     let mut engine = GpuTwoOpt::new(spec::gtx_680_cuda()).with_recorder(recorder.clone());
-    let opts = IlsOptions {
-        max_iterations: Some(2),
-        seed: 5,
-        recorder: recorder.clone(),
-        ..Default::default()
-    };
+    let opts = IlsOptions::new()
+        .with_max_iterations(2u64)
+        .with_seed(5)
+        .with_recorder(recorder.clone());
     iterated_local_search(&mut engine, &inst, start, opts).unwrap();
 
     let events = recorder.events();
