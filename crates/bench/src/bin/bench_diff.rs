@@ -1,0 +1,73 @@
+//! Compare a current bench snapshot against a committed baseline.
+//!
+//! ```text
+//! bench_diff [--tol R] [--tol SUBSTR=R]... [--advisory] <baseline.json> <current.json>
+//! ```
+//!
+//! `--tol R` sets the default relative tolerance (default 0.05);
+//! `--tol SUBSTR=R` overrides it for leaf paths containing `SUBSTR`.
+//! With `--advisory` regressions are reported but the exit code stays 0
+//! (for CI jobs that are informational at first).
+//!
+//! Exit status: 0 clean or advisory, 1 regression, 2 usage/IO error.
+
+use tsp_bench::diff::{diff_files, Tolerances};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_diff [--tol R] [--tol SUBSTR=R]... [--advisory] <baseline.json> <current.json>"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut tol = Tolerances::default();
+    let mut advisory = false;
+    let mut files = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--advisory" {
+            advisory = true;
+        } else if a == "--tol" || a.starts_with("--tol=") {
+            let value = match a.strip_prefix("--tol=") {
+                Some(v) => v.to_string(),
+                None => args.next().unwrap_or_else(|| usage()),
+            };
+            match value.split_once('=') {
+                Some((key, r)) => match r.parse::<f64>() {
+                    Ok(r) => tol.overrides.push((key.to_string(), r)),
+                    Err(_) => usage(),
+                },
+                None => match value.parse::<f64>() {
+                    Ok(r) => tol.rel = r,
+                    Err(_) => usage(),
+                },
+            }
+        } else if a.starts_with("--") {
+            usage();
+        } else {
+            files.push(a);
+        }
+    }
+    let [baseline, current] = files.as_slice() else {
+        usage();
+    };
+
+    match diff_files(baseline, current, &tol) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.has_regressions() {
+                if advisory {
+                    eprintln!("(advisory mode: regressions do not fail the job)");
+                } else {
+                    std::process::exit(1);
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("bench_diff: {e}");
+            std::process::exit(2);
+        }
+    }
+}

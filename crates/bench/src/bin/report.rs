@@ -103,6 +103,10 @@ fn main() {
         &tsp_bench::fig_scaling::to_json(&sc),
     );
 
+    eprintln!("== Convergence journals (per kernel strategy, n = 256)");
+    let cj = tsp_bench::convergence::compute(256, 8, 0x2013);
+    write(out, "convergence.csv", &tsp_bench::convergence::to_csv(&cj));
+
     eprintln!("== Traces (Chrome JSON; load in <https://ui.perfetto.dev>)");
     write(
         out,
@@ -113,6 +117,11 @@ fn main() {
         out,
         "BENCH_trace.json",
         &tsp_bench::trace::bench_trace_json(150, 0x2013),
+    );
+    write(
+        out,
+        "BENCH_metrics.json",
+        &tsp_bench::trace::bench_metrics_json(150, 0x2013),
     );
 
     eprintln!("\nreport complete: {}", out.display());

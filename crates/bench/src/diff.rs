@@ -1,0 +1,351 @@
+//! Bench-snapshot regression diffing.
+//!
+//! Every `BENCH_*.json` artifact the `report` binary emits is pure
+//! JSON with numeric leaves (modeled seconds, GFLOP/s, overlap
+//! fractions, scaling ratios, workload counters). [`diff`] flattens
+//! two such snapshots into dotted-path/number pairs, compares each
+//! shared leaf under a relative tolerance, and classifies the change
+//! by a per-key *direction* heuristic — more modeled seconds is a
+//! regression, fewer GFLOP/s is a regression, and a change to a
+//! deterministic workload counter (bytes, flops, row counts) is
+//! flagged no matter the sign, because the modeled pipeline is
+//! bit-reproducible and any drift there means the workload itself
+//! changed.
+//!
+//! The `bench_diff` binary wraps this for CI:
+//!
+//! ```text
+//! bench_diff crates/bench/baselines/BENCH_scaling.json reports/BENCH_scaling.json
+//! bench_diff --tol 0.02 --tol seconds=0.10 baseline.json current.json
+//! bench_diff --advisory baseline.json current.json   # report, exit 0
+//! ```
+//!
+//! Exit status: 0 when clean (or `--advisory`), 1 on any regression or
+//! structural mismatch, 2 on usage/IO errors.
+
+use tsp_trace::json::{self, Json};
+
+/// How a numeric leaf is judged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Bigger numbers are regressions (times, shares of overhead).
+    HigherIsWorse,
+    /// Smaller numbers are regressions (throughput, speedup, overlap).
+    LowerIsWorse,
+    /// Any drift beyond tolerance is a regression (deterministic
+    /// workload counters and configuration echoes).
+    AnyChange,
+}
+
+/// Classify a leaf by the last segment of its path. The heuristics
+/// mirror the vocabulary of the snapshot writers (`fig_scaling`,
+/// `MetricsSnapshot::to_json`): timing keys end in `seconds`,
+/// throughput keys are `gflops` / `speedup` / `throughput` /
+/// `overlap`, everything else is treated as a deterministic counter.
+pub fn direction_for(path: &str) -> Direction {
+    let leaf = path
+        .rsplit('.')
+        .next()
+        .unwrap_or(path)
+        .trim_end_matches(|c: char| c == ']' || c.is_ascii_digit())
+        .trim_end_matches('[');
+    if leaf.contains("seconds") || leaf.ends_with("share") {
+        Direction::HigherIsWorse
+    } else if leaf.contains("gflops")
+        || leaf.contains("speedup")
+        || leaf.contains("throughput")
+        || leaf.contains("overlap")
+    {
+        Direction::LowerIsWorse
+    } else {
+        Direction::AnyChange
+    }
+}
+
+/// Relative tolerances: a default plus substring-matched per-path
+/// overrides (first match wins, in insertion order).
+#[derive(Debug, Clone)]
+pub struct Tolerances {
+    /// Default relative tolerance.
+    pub rel: f64,
+    /// `(substring, tolerance)` overrides applied to matching paths.
+    pub overrides: Vec<(String, f64)>,
+}
+
+impl Default for Tolerances {
+    fn default() -> Self {
+        Tolerances {
+            rel: 0.05,
+            overrides: Vec::new(),
+        }
+    }
+}
+
+impl Tolerances {
+    /// The tolerance that applies to `path`.
+    pub fn for_path(&self, path: &str) -> f64 {
+        self.overrides
+            .iter()
+            .find(|(needle, _)| path.contains(needle.as_str()))
+            .map(|(_, tol)| *tol)
+            .unwrap_or(self.rel)
+    }
+}
+
+/// One compared leaf that moved.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Dotted path of the leaf (`rows[3].wall_seconds`).
+    pub path: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// `(current - baseline) / |baseline|` (`inf` off a zero baseline).
+    pub rel_change: f64,
+    /// Tolerance that applied.
+    pub tolerance: f64,
+    /// Direction used to judge it.
+    pub direction: Direction,
+    /// Whether the change counts as a regression.
+    pub regression: bool,
+}
+
+/// Result of a snapshot comparison.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// Leaves whose value moved at all, in path order.
+    pub findings: Vec<Finding>,
+    /// Leaves present on one side only (always regressions).
+    pub structure_errors: Vec<String>,
+    /// Numeric leaves compared.
+    pub compared: usize,
+}
+
+impl DiffReport {
+    /// Whether the current snapshot regressed the baseline.
+    pub fn has_regressions(&self) -> bool {
+        !self.structure_errors.is_empty() || self.findings.iter().any(|f| f.regression)
+    }
+
+    /// Human-readable summary (one line per moved leaf).
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        for e in &self.structure_errors {
+            s += &format!("STRUCTURE  {e}\n");
+        }
+        for f in &self.findings {
+            let pct = if f.rel_change.is_finite() {
+                format!("{:+.2}%", 100.0 * f.rel_change)
+            } else {
+                "new-from-zero".to_string()
+            };
+            s += &format!(
+                "{}  {}  {} -> {}  ({pct}, tol {:.2}%)\n",
+                if f.regression {
+                    "REGRESSION"
+                } else {
+                    "ok        "
+                },
+                f.path,
+                f.baseline,
+                f.current,
+                100.0 * f.tolerance,
+            );
+        }
+        let regressions =
+            self.structure_errors.len() + self.findings.iter().filter(|f| f.regression).count();
+        s += &format!(
+            "{} leaves compared, {} moved, {} regression(s)\n",
+            self.compared,
+            self.findings.len(),
+            regressions,
+        );
+        s
+    }
+}
+
+/// Flatten every numeric leaf of `json` into `(path, value)` pairs, in
+/// document order. Strings, bools and nulls are ignored (they are
+/// labels, not measurements) — except that they still contribute to
+/// the path space, so a string-vs-number swap shows up as a missing
+/// leaf on one side.
+pub fn flatten(json: &Json) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    walk(json, String::new(), &mut out);
+    out
+}
+
+fn walk(json: &Json, path: String, out: &mut Vec<(String, f64)>) {
+    match json {
+        Json::Num(v) => out.push((path, *v)),
+        Json::Arr(items) => {
+            for (i, item) in items.iter().enumerate() {
+                walk(item, format!("{path}[{i}]"), out);
+            }
+        }
+        Json::Obj(pairs) => {
+            for (k, v) in pairs {
+                let child = if path.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{path}.{k}")
+                };
+                walk(v, child, out);
+            }
+        }
+        Json::Null | Json::Bool(_) | Json::Str(_) => {}
+    }
+}
+
+/// Compare `current` against `baseline` under `tol`.
+pub fn diff(baseline: &Json, current: &Json, tol: &Tolerances) -> DiffReport {
+    let base = flatten(baseline);
+    let cur = flatten(current);
+    let mut report = DiffReport::default();
+
+    let cur_map: std::collections::BTreeMap<&str, f64> =
+        cur.iter().map(|(p, v)| (p.as_str(), *v)).collect();
+    let base_paths: std::collections::BTreeSet<&str> =
+        base.iter().map(|(p, _)| p.as_str()).collect();
+
+    for (path, b) in &base {
+        let Some(&c) = cur_map.get(path.as_str()) else {
+            report
+                .structure_errors
+                .push(format!("{path}: present in baseline, missing in current"));
+            continue;
+        };
+        report.compared += 1;
+        if b == &c || (b.is_nan() && c.is_nan()) {
+            continue;
+        }
+        let rel_change = if *b == 0.0 {
+            if c == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY * c.signum()
+            }
+        } else {
+            (c - b) / b.abs()
+        };
+        let tolerance = tol.for_path(path);
+        let direction = direction_for(path);
+        let regression = match direction {
+            Direction::HigherIsWorse => rel_change > tolerance,
+            Direction::LowerIsWorse => rel_change < -tolerance,
+            Direction::AnyChange => rel_change.abs() > tolerance,
+        };
+        report.findings.push(Finding {
+            path: path.clone(),
+            baseline: *b,
+            current: c,
+            rel_change,
+            tolerance,
+            direction,
+            regression,
+        });
+    }
+    for (path, _) in &cur {
+        if !base_paths.contains(path.as_str()) {
+            report
+                .structure_errors
+                .push(format!("{path}: missing in baseline, present in current"));
+        }
+    }
+    report
+}
+
+/// Parse both files and diff them. Returns `Err` with a message on
+/// IO/parse failures (the binary maps this to exit code 2).
+pub fn diff_files(baseline: &str, current: &str, tol: &Tolerances) -> Result<DiffReport, String> {
+    let read = |path: &str| -> Result<Json, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))
+    };
+    Ok(diff(&read(baseline)?, &read(current)?, tol))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scaling_like(wall: f64, gflops: f64) -> Json {
+        let mut row = Json::obj();
+        row.set("devices", Json::from(2.0))
+            .set("wall_seconds", Json::from(wall))
+            .set("gflops", Json::from(gflops))
+            .set("overlap", Json::from(0.5));
+        let mut root = Json::obj();
+        root.set("experiment", Json::from("x"))
+            .set("rows", Json::Arr(vec![row]));
+        root
+    }
+
+    #[test]
+    fn identical_snapshots_are_clean() {
+        let a = scaling_like(1.0, 100.0);
+        let report = diff(&a, &a, &Tolerances::default());
+        assert!(!report.has_regressions());
+        assert!(report.findings.is_empty());
+        assert_eq!(report.compared, 4);
+    }
+
+    #[test]
+    fn ten_percent_slowdown_fails_the_default_tolerance() {
+        let base = scaling_like(1.0, 100.0);
+        let slow = scaling_like(1.1, 100.0);
+        let report = diff(&base, &slow, &Tolerances::default());
+        assert!(report.has_regressions());
+        let f = &report.findings[0];
+        assert_eq!(f.path, "rows[0].wall_seconds");
+        assert_eq!(f.direction, Direction::HigherIsWorse);
+        assert!((f.rel_change - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedups_regress_downward_only() {
+        let base = scaling_like(1.0, 100.0);
+        let faster = scaling_like(1.0, 130.0); // +30% GFLOP/s: fine
+        assert!(!diff(&base, &faster, &Tolerances::default()).has_regressions());
+        let slower = scaling_like(1.0, 80.0); // -20% GFLOP/s: regression
+        let report = diff(&base, &slower, &Tolerances::default());
+        assert!(report.has_regressions());
+        assert_eq!(report.findings[0].direction, Direction::LowerIsWorse);
+    }
+
+    #[test]
+    fn counter_drift_flags_in_either_direction() {
+        let mut base = Json::obj();
+        base.set("flops", Json::from(1000.0));
+        let mut fewer = Json::obj();
+        fewer.set("flops", Json::from(800.0));
+        let report = diff(&base, &fewer, &Tolerances::default());
+        assert!(report.has_regressions());
+        assert_eq!(report.findings[0].direction, Direction::AnyChange);
+    }
+
+    #[test]
+    fn overrides_take_precedence_over_the_default() {
+        let base = scaling_like(1.0, 100.0);
+        let slow = scaling_like(1.1, 100.0);
+        let tol = Tolerances {
+            rel: 0.05,
+            overrides: vec![("wall_seconds".into(), 0.25)],
+        };
+        assert!(!diff(&base, &slow, &tol).has_regressions());
+    }
+
+    #[test]
+    fn structural_mismatch_is_a_regression() {
+        let base = scaling_like(1.0, 100.0);
+        let mut cur = Json::obj();
+        cur.set("experiment", Json::from("x"))
+            .set("rows", Json::Arr(vec![]));
+        let report = diff(&base, &cur, &Tolerances::default());
+        assert!(report.has_regressions());
+        assert_eq!(report.structure_errors.len(), 4);
+        let text = report.render();
+        assert!(text.contains("STRUCTURE"));
+    }
+}

@@ -15,6 +15,13 @@
 //! | Fig. 11 (ILS convergence) | [`fig11`] | `cargo run -p tsp-bench --bin fig11` |
 //! | Ablations (DESIGN.md §5) | [`ablation`] | `cargo run -p tsp-bench --bin ablations` |
 //! | Pool scaling (DESIGN.md §9, not in the paper) | [`fig_scaling`] | `cargo run -p tsp-bench --bin fig_scaling` |
+//! | Convergence journals per strategy (DESIGN.md §10) | [`convergence`] | via `report` (`convergence.csv`) |
+//! | Bench regression gate (DESIGN.md §10) | [`diff`] | `cargo run -p tsp-bench --bin bench_diff` |
+//!
+//! Committed baselines of the deterministic snapshots live in
+//! `baselines/` and are checked by the `baselines` integration test;
+//! regenerate intentionally with
+//! `REGEN_BASELINE=1 cargo test -p tsp-bench --test baselines`.
 //!
 //! Criterion micro-benches (wall-clock, on *this* host) live in
 //! `benches/` and run with `cargo bench`.
@@ -27,6 +34,8 @@
 
 pub mod ablation;
 pub mod common;
+pub mod convergence;
+pub mod diff;
 pub mod fig10;
 pub mod fig11;
 pub mod fig9;

@@ -112,6 +112,21 @@ pub fn bench_trace_json(cap: usize, seed: u64) -> String {
     chrome_trace(&recorder.events())
 }
 
+/// Metrics snapshot of the same mini-run as [`bench_trace_json`], as
+/// compact JSON — the `report` binary's `BENCH_metrics.json` and the
+/// regression baseline `crates/bench/baselines/BENCH_metrics.json`
+/// (aggregates only, so the committed file stays small while still
+/// pinning per-kernel seconds, GFLOP/s and transfer volumes).
+pub fn bench_metrics_json(cap: usize, seed: u64) -> String {
+    let recorder = Recorder::enabled();
+    crate::table2::compute_traced(cap, &recorder);
+    crate::ablation::memory_variants_traced(512, &recorder);
+    crate::fig11::compute_traced(200, 5, seed, &recorder);
+    MetricsSnapshot::from_events(&recorder.events())
+        .to_json()
+        .to_string()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,91 @@
+//! Regression gate: the deterministic bench snapshots must match the
+//! committed baselines in `crates/bench/baselines/` bit for bit (zero
+//! tolerance — the modeled pipeline has no noise, so any drift is a
+//! real change to the workload or the cost model).
+//!
+//! After an *intentional* change, regenerate with:
+//!
+//! ```text
+//! REGEN_BASELINE=1 cargo test -p tsp-bench --test baselines
+//! git diff crates/bench/baselines/   # review the drift, then commit
+//! ```
+//!
+//! CI runs `bench_diff` against the same files (see
+//! `.github/workflows/ci.yml`), so the committed baseline is both the
+//! test fixture and the CI reference.
+
+use std::fs;
+use std::path::PathBuf;
+
+use tsp_bench::diff::{diff, Tolerances};
+use tsp_trace::json;
+
+fn baseline_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("baselines")
+        .join(name)
+}
+
+fn check(name: &str, current: &str) {
+    let path = baseline_path(name);
+    if std::env::var("REGEN_BASELINE").is_ok() {
+        fs::write(&path, current).unwrap_or_else(|e| panic!("cannot write {path:?}: {e}"));
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let baseline = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {path:?}: {e}\n(regenerate with REGEN_BASELINE=1 \
+             cargo test -p tsp-bench --test baselines)"
+        )
+    });
+    // Fast path: the writers are byte-stable, so equality is expected.
+    if baseline == current {
+        return;
+    }
+    // Otherwise produce an actionable per-leaf report.
+    let base = json::parse(&baseline).expect("baseline is valid JSON");
+    let cur = json::parse(current).expect("current snapshot is valid JSON");
+    let zero = Tolerances {
+        rel: 0.0,
+        overrides: Vec::new(),
+    };
+    let report = diff(&base, &cur, &zero);
+    panic!(
+        "{name} drifted from the committed baseline:\n{}\
+         (intentional? REGEN_BASELINE=1 cargo test -p tsp-bench --test baselines)",
+        report.render()
+    );
+}
+
+#[test]
+fn scaling_snapshot_matches_the_committed_baseline() {
+    let sc = tsp_bench::fig_scaling::compute(96, 32, 2, 0x2013);
+    check("BENCH_scaling.json", &tsp_bench::fig_scaling::to_json(&sc));
+}
+
+#[test]
+fn metrics_snapshot_matches_the_committed_baseline() {
+    check(
+        "BENCH_metrics.json",
+        &tsp_bench::trace::bench_metrics_json(150, 0x2013),
+    );
+}
+
+#[test]
+fn trace_snapshot_matches_the_committed_baseline() {
+    check(
+        "BENCH_trace.json",
+        &tsp_bench::trace::bench_trace_json(150, 0x2013),
+    );
+}
+
+#[test]
+fn bench_diff_passes_the_committed_baseline_against_itself() {
+    let path = baseline_path("BENCH_scaling.json");
+    let text = fs::read_to_string(&path).expect("committed baseline present");
+    let parsed = json::parse(&text).expect("valid JSON");
+    let report = diff(&parsed, &parsed, &Tolerances::default());
+    assert!(!report.has_regressions());
+    assert!(report.compared > 0);
+}

@@ -246,6 +246,21 @@ impl GpuTwoOpt {
         self
     }
 
+    /// Attach a live-metrics telemetry handle to the underlying device;
+    /// every launch and transfer updates counters/histograms on its
+    /// registry. Pair with `optimize_observed` (same handle) for
+    /// sweep-level metrics around the device ones.
+    ///
+    /// # Panics
+    /// When the device is already shared — see [`GpuTwoOpt::with_timeline`];
+    /// use `DevicePool::attach_telemetry` for pooled devices.
+    pub fn with_telemetry(mut self, telemetry: &gpu_sim::Telemetry) -> Self {
+        Arc::get_mut(&mut self.device)
+            .expect("attach telemetry before the device is shared")
+            .attach_telemetry(telemetry);
+        self
+    }
+
     /// Resolve `Auto` for an instance of `n` cities.
     fn resolve(&self, n: usize) -> Strategy {
         match self.strategy {

@@ -11,6 +11,7 @@
 use crate::bestmove::BestMove;
 use std::time::Instant;
 use tsp_core::{CoreError, Instance, Tour};
+use tsp_telemetry::{Counter, Histogram, Registry, Telemetry, DELTA_BUCKETS};
 use tsp_trace::{Recorder, SweepCost, TraceEvent};
 
 /// Cost of one `best_move` evaluation (one full sweep of the candidate
@@ -192,6 +193,42 @@ impl SearchStats {
     }
 }
 
+/// Live-metric instruments of the descent driver, resolved against the
+/// shared registry once per [`optimize_observed`] call (the sweep loop
+/// itself never touches the registry lock).
+struct SearchMetrics {
+    sweeps: Counter,
+    moves_found: Counter,
+    moves_applied: Counter,
+    descents: Counter,
+    move_delta: Histogram,
+}
+
+impl SearchMetrics {
+    fn register(registry: &Registry) -> Self {
+        SearchMetrics {
+            sweeps: registry.counter("tsp_search_sweeps_total", "Neighbourhood sweeps performed"),
+            moves_found: registry.counter(
+                "tsp_search_improving_found_total",
+                "Sweeps whose best move was strictly improving",
+            ),
+            moves_applied: registry.counter(
+                "tsp_search_moves_applied_total",
+                "Improving 2-opt moves applied to a tour",
+            ),
+            descents: registry.counter(
+                "tsp_search_descents_total",
+                "Local-search descents completed",
+            ),
+            move_delta: registry.histogram(
+                "tsp_search_move_delta",
+                "Magnitude of applied best-move improvements (tour length units)",
+                DELTA_BUCKETS,
+            ),
+        }
+    }
+}
+
 /// Run best-improvement 2-opt descent on `tour` until a local minimum
 /// (or `opts.max_sweeps`), applying moves on the host exactly as the
 /// paper does (the kernel finds the move; the CPU reverses the segment
@@ -216,7 +253,25 @@ pub fn optimize_with_recorder<E: TwoOptEngine + ?Sized>(
     opts: SearchOptions,
     recorder: &Recorder,
 ) -> Result<SearchStats, EngineError> {
+    optimize_observed(engine, inst, tour, opts, recorder, &Telemetry::detached())
+}
+
+/// [`optimize_with_recorder`], additionally updating sweep/move
+/// counters and the best-move delta histogram on `telemetry`'s
+/// registry. Like the recorder, a detached handle reduces every added
+/// instruction to a skipped `Option` branch — the move sequence and
+/// modeled times are bit-identical with telemetry on or off (pinned by
+/// `tests/telemetry_differential.rs`).
+pub fn optimize_observed<E: TwoOptEngine + ?Sized>(
+    engine: &mut E,
+    inst: &Instance,
+    tour: &mut Tour,
+    opts: SearchOptions,
+    recorder: &Recorder,
+    telemetry: &Telemetry,
+) -> Result<SearchStats, EngineError> {
     let start = Instant::now();
+    let metrics = telemetry.registry().map(|r| SearchMetrics::register(r));
     let initial_length = tour.length(inst);
     recorder.record_with(|| TraceEvent::DescentBegin {
         engine: engine.name(),
@@ -248,10 +303,20 @@ pub fn optimize_with_recorder<E: TwoOptEngine + ?Sized>(
         });
         sweeps += 1;
         profile.accumulate(&step);
+        if let Some(m) = &metrics {
+            m.sweeps.inc();
+            if improving {
+                m.moves_found.inc();
+            }
+        }
         match mv {
             Some(m) if m.improves() => {
                 tour.apply_two_opt(m.i as usize, m.j as usize);
                 improving_moves += 1;
+                if let Some(metrics) = &metrics {
+                    metrics.moves_applied.inc();
+                    metrics.move_delta.observe(-f64::from(m.delta));
+                }
             }
             _ => {
                 reached_local_minimum = true;
@@ -265,6 +330,9 @@ pub fn optimize_with_recorder<E: TwoOptEngine + ?Sized>(
         sweeps,
         final_length,
     });
+    if let Some(m) = &metrics {
+        m.descents.inc();
+    }
     Ok(SearchStats {
         initial_length,
         final_length,
@@ -467,6 +535,49 @@ mod tests {
         ));
         assert_eq!(events.len(), 6);
         assert_eq!(stats.sweeps, 2);
+    }
+
+    #[test]
+    fn telemetry_counts_sweeps_moves_and_deltas() {
+        let inst = square();
+        let mut tour = Tour::new(vec![0, 2, 1, 3]).unwrap();
+        let mut engine = Scripted {
+            moves: vec![
+                Some(BestMove {
+                    delta: -8,
+                    i: 0,
+                    j: 2,
+                }),
+                None,
+            ],
+            cursor: 0,
+        };
+        let telemetry = Telemetry::attached();
+        optimize_observed(
+            &mut engine,
+            &inst,
+            &mut tour,
+            SearchOptions::default(),
+            &Recorder::disabled(),
+            &telemetry,
+        )
+        .unwrap();
+        let reg = telemetry.registry().unwrap();
+        assert_eq!(reg.counter_value("tsp_search_sweeps_total"), Some(2.0));
+        assert_eq!(
+            reg.counter_value("tsp_search_improving_found_total"),
+            Some(1.0)
+        );
+        assert_eq!(
+            reg.counter_value("tsp_search_moves_applied_total"),
+            Some(1.0)
+        );
+        assert_eq!(reg.counter_value("tsp_search_descents_total"), Some(1.0));
+        // The applied move's magnitude lands in the delta histogram.
+        assert_eq!(
+            reg.histogram_totals("tsp_search_move_delta"),
+            Some((8.0, 1))
+        );
     }
 
     #[test]

@@ -4,6 +4,7 @@ use crate::counters::PerfCounters;
 use crate::error::SimError;
 use crate::kernel::{Kernel, LaunchConfig, ThreadCtx};
 use crate::memory::{AtomicDeviceBuffer, DeviceBuffer, MemoryPool};
+use crate::metrics::DeviceTelemetry;
 use crate::profile::{KernelProfile, TransferProfile};
 use crate::spec::DeviceSpec;
 use crate::stream::EngineClass;
@@ -13,6 +14,7 @@ use crate::timing;
 use parking_lot::Mutex;
 use rayon::prelude::*;
 use std::sync::Arc;
+use tsp_telemetry::Telemetry;
 use tsp_trace::{Recorder, TraceEvent};
 
 /// A simulated compute device.
@@ -29,6 +31,7 @@ pub struct Device {
     pool: Arc<MemoryPool>,
     timeline: Option<Timeline>,
     recorder: Recorder,
+    telemetry: Option<DeviceTelemetry>,
     streams: Mutex<StreamTable>,
 }
 
@@ -48,6 +51,7 @@ impl Device {
             pool,
             timeline: None,
             recorder: Recorder::disabled(),
+            telemetry: None,
             streams: Mutex::new(StreamTable::default()),
         }
     }
@@ -81,6 +85,22 @@ impl Device {
     /// The attached recorder (disabled by default).
     pub fn recorder(&self) -> &Recorder {
         &self.recorder
+    }
+
+    /// Attach a live-metrics [`Telemetry`] handle; subsequent launches,
+    /// transfers and synchronizations update counters/histograms on its
+    /// registry (labeled with this device's pool index). A detached
+    /// handle detaches: the hot paths go back to a single `Option`
+    /// branch.
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.telemetry = telemetry
+            .registry()
+            .map(|r| DeviceTelemetry::register(r, self.index));
+    }
+
+    /// `true` when a telemetry registry is attached.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry.is_some()
     }
 
     /// The device's specification.
@@ -120,6 +140,9 @@ impl Device {
             t.record_h2d(bytes, seconds);
         }
         self.recorder.record(TraceEvent::H2d { bytes, seconds });
+        if let Some(t) = &self.telemetry {
+            t.h2d(bytes, seconds);
+        }
         Ok((buf, TransferProfile { seconds, bytes }))
     }
 
@@ -147,6 +170,9 @@ impl Device {
             t.record_h2d(bytes, seconds);
         }
         self.recorder.record(TraceEvent::H2d { bytes, seconds });
+        if let Some(t) = &self.telemetry {
+            t.h2d(bytes, seconds);
+        }
         Ok(TransferProfile { seconds, bytes })
     }
 
@@ -160,6 +186,9 @@ impl Device {
             t.record_d2h(bytes, seconds);
         }
         self.recorder.record(TraceEvent::D2h { bytes, seconds });
+        if let Some(t) = &self.telemetry {
+            t.d2h(bytes, seconds);
+        }
         (words, TransferProfile { seconds, bytes })
     }
 
@@ -276,6 +305,9 @@ impl Device {
                 bytes,
             },
         )?;
+        if let Some(t) = &self.telemetry {
+            t.h2d(bytes, seconds);
+        }
         Ok((buf, TransferProfile { seconds, bytes }))
     }
 
@@ -298,6 +330,9 @@ impl Device {
                 bytes,
             },
         )?;
+        if let Some(t) = &self.telemetry {
+            t.h2d(bytes, seconds);
+        }
         Ok(TransferProfile { seconds, bytes })
     }
 
@@ -320,6 +355,9 @@ impl Device {
                 bytes,
             },
         )?;
+        if let Some(t) = &self.telemetry {
+            t.d2h(bytes, seconds);
+        }
         Ok((words, TransferProfile { seconds, bytes }))
     }
 
@@ -368,6 +406,11 @@ impl Device {
         if self.recorder.is_enabled() && !report.ops.is_empty() {
             for e in report.trace_events() {
                 self.recorder.record(e);
+            }
+        }
+        if let Some(t) = &self.telemetry {
+            if !report.ops.is_empty() {
+                t.sync(&report);
             }
         }
         report
@@ -434,6 +477,9 @@ impl Device {
             total += *c;
         }
         let seconds = timing::kernel_time(&self.spec, &block_times);
+        if let Some(t) = &self.telemetry {
+            t.kernel(seconds);
+        }
         if let Some(s) = stream {
             // Streamed launches defer their timing to the scheduler; the
             // legacy serialized timeline/recorder records don't apply.
@@ -780,6 +826,94 @@ mod tests {
         assert!(dev.record_event(bogus).is_err());
         // Events are scoped to a synchronize epoch.
         assert!(dev.wait_event(s1, ev).is_err());
+    }
+
+    #[test]
+    fn telemetry_counts_launches_and_transfers_exactly() {
+        let mut dev = Device::new(gtx_680_cuda());
+        let telemetry = Telemetry::attached();
+        dev.attach_telemetry(&telemetry);
+        assert!(dev.telemetry_enabled());
+        let data: Vec<u32> = (1..=64).collect();
+        let (buf, h2d) = dev.copy_to_device(&data).unwrap();
+        let out = dev.alloc_atomic(1, 0).unwrap();
+        let kernel = SumSquares {
+            data: &buf,
+            out: &out,
+        };
+        let profile = dev.launch(LaunchConfig::new(2, 32), &kernel).unwrap();
+        let (_, d2h) = dev.copy_from_device(&out);
+
+        let reg = telemetry.registry().unwrap();
+        let dev0: [(&str, &str); 1] = [("device", "0")];
+        assert_eq!(
+            reg.counter_value_with("tsp_gpu_kernel_launches_total", &dev0),
+            Some(1.0)
+        );
+        // Histogram sum carries the exact modeled seconds.
+        assert_eq!(
+            reg.histogram_totals_with("tsp_gpu_kernel_seconds", &dev0),
+            Some((profile.seconds, 1))
+        );
+        assert_eq!(
+            reg.counter_value_with("tsp_gpu_h2d_bytes_total", &dev0),
+            Some(256.0)
+        );
+        assert_eq!(
+            reg.histogram_totals_with("tsp_gpu_h2d_seconds", &dev0),
+            Some((h2d.seconds, 1))
+        );
+        assert_eq!(
+            reg.histogram_totals_with("tsp_gpu_d2h_seconds", &dev0),
+            Some((d2h.seconds, 1))
+        );
+    }
+
+    #[test]
+    fn telemetry_counts_streamed_work_and_sync_occupancy() {
+        let mut dev = Device::new(gtx_680_cuda());
+        let telemetry = Telemetry::attached();
+        dev.attach_telemetry(&telemetry);
+        let s0 = dev.create_stream();
+        let data: Vec<u32> = (1..=64).collect();
+        let (buf, _) = dev.copy_to_device_on(s0, &data).unwrap();
+        let out = dev.alloc_atomic(1, 0).unwrap();
+        let kernel = SumSquares {
+            data: &buf,
+            out: &out,
+        };
+        dev.launch_on(s0, LaunchConfig::new(2, 32), &kernel)
+            .unwrap();
+        let report = dev.synchronize();
+
+        let reg = telemetry.registry().unwrap();
+        let dev0: [(&str, &str); 1] = [("device", "0")];
+        // Streamed launches and copies still count at submit time…
+        assert_eq!(
+            reg.counter_value_with("tsp_gpu_kernel_launches_total", &dev0),
+            Some(1.0)
+        );
+        assert_eq!(
+            reg.counter_value_with("tsp_gpu_h2d_transfers_total", &dev0),
+            Some(1.0)
+        );
+        // …and the synchronize reports schedule-level occupancy.
+        assert_eq!(
+            reg.counter_value_with("tsp_gpu_stream_ops_total", &dev0),
+            Some(2.0)
+        );
+        assert_eq!(
+            reg.counter_value_with("tsp_gpu_stream_busy_seconds_total", &dev0),
+            Some(report.busy_seconds)
+        );
+        assert_eq!(
+            reg.counter_value_with("tsp_gpu_stream_wall_seconds_total", &dev0),
+            Some(report.wall_seconds)
+        );
+        assert_eq!(
+            reg.gauge_value_with("tsp_gpu_stream_overlap", &dev0),
+            Some(report.overlap())
+        );
     }
 
     #[test]

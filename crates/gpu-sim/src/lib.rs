@@ -65,6 +65,7 @@ pub mod device;
 pub mod error;
 pub mod kernel;
 pub mod memory;
+mod metrics;
 pub mod pool;
 pub mod profile;
 pub mod spec;
@@ -82,4 +83,5 @@ pub use profile::{KernelProfile, TransferProfile};
 pub use spec::{Api, DeviceKind, DeviceSpec};
 pub use stream::{EngineClass, EventId, ScheduledOp, StreamId, StreamReport};
 pub use timeline::{Event, Timeline};
+pub use tsp_telemetry::Telemetry;
 pub use tsp_trace::{Recorder, TraceEvent};

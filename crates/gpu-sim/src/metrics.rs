@@ -1,0 +1,162 @@
+//! Live metric bundles for the device layer.
+//!
+//! Instruments are resolved against the shared registry exactly once,
+//! when telemetry is attached — the launch/transfer hot paths then
+//! cost one `Option` branch plus a handful of relaxed atomic updates,
+//! and never touch the registry lock.
+
+use crate::stream::StreamReport;
+use tsp_telemetry::{Counter, Gauge, Histogram, Registry, SECONDS_BUCKETS};
+
+/// Per-device instruments, labeled by pool index.
+pub(crate) struct DeviceTelemetry {
+    kernel_launches: Counter,
+    kernel_seconds: Histogram,
+    h2d_transfers: Counter,
+    h2d_bytes: Counter,
+    h2d_seconds: Histogram,
+    d2h_transfers: Counter,
+    d2h_bytes: Counter,
+    d2h_seconds: Histogram,
+    stream_ops: Counter,
+    stream_syncs: Counter,
+    stream_busy_seconds: Counter,
+    stream_wall_seconds: Counter,
+    stream_overlap: Gauge,
+}
+
+impl DeviceTelemetry {
+    pub(crate) fn register(registry: &Registry, device: u32) -> Self {
+        let idx = device.to_string();
+        let labels: [(&str, &str); 1] = [("device", idx.as_str())];
+        DeviceTelemetry {
+            kernel_launches: registry.counter_with(
+                "tsp_gpu_kernel_launches_total",
+                "Kernel launches (serial and streamed)",
+                &labels,
+            ),
+            kernel_seconds: registry.histogram_with(
+                "tsp_gpu_kernel_seconds",
+                "Modeled kernel seconds per launch",
+                &labels,
+                SECONDS_BUCKETS,
+            ),
+            h2d_transfers: registry.counter_with(
+                "tsp_gpu_h2d_transfers_total",
+                "Host-to-device transfers",
+                &labels,
+            ),
+            h2d_bytes: registry.counter_with(
+                "tsp_gpu_h2d_bytes_total",
+                "Host-to-device bytes moved",
+                &labels,
+            ),
+            h2d_seconds: registry.histogram_with(
+                "tsp_gpu_h2d_seconds",
+                "Modeled PCIe seconds per host-to-device transfer",
+                &labels,
+                SECONDS_BUCKETS,
+            ),
+            d2h_transfers: registry.counter_with(
+                "tsp_gpu_d2h_transfers_total",
+                "Device-to-host transfers",
+                &labels,
+            ),
+            d2h_bytes: registry.counter_with(
+                "tsp_gpu_d2h_bytes_total",
+                "Device-to-host bytes moved",
+                &labels,
+            ),
+            d2h_seconds: registry.histogram_with(
+                "tsp_gpu_d2h_seconds",
+                "Modeled PCIe seconds per device-to-host transfer",
+                &labels,
+                SECONDS_BUCKETS,
+            ),
+            stream_ops: registry.counter_with(
+                "tsp_gpu_stream_ops_total",
+                "Ops placed by the stream scheduler",
+                &labels,
+            ),
+            stream_syncs: registry.counter_with(
+                "tsp_gpu_stream_syncs_total",
+                "Device synchronizations that scheduled work",
+                &labels,
+            ),
+            stream_busy_seconds: registry.counter_with(
+                "tsp_gpu_stream_busy_seconds_total",
+                "Modeled engine-busy seconds across synchronizations",
+                &labels,
+            ),
+            stream_wall_seconds: registry.counter_with(
+                "tsp_gpu_stream_wall_seconds_total",
+                "Modeled makespan seconds across synchronizations",
+                &labels,
+            ),
+            stream_overlap: registry.gauge_with(
+                "tsp_gpu_stream_overlap",
+                "Fraction of busy time hidden by stream overlap in the last synchronization",
+                &labels,
+            ),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn kernel(&self, seconds: f64) {
+        self.kernel_launches.inc();
+        self.kernel_seconds.observe(seconds);
+    }
+
+    #[inline]
+    pub(crate) fn h2d(&self, bytes: u64, seconds: f64) {
+        self.h2d_transfers.inc();
+        self.h2d_bytes.add(bytes as f64);
+        self.h2d_seconds.observe(seconds);
+    }
+
+    #[inline]
+    pub(crate) fn d2h(&self, bytes: u64, seconds: f64) {
+        self.d2h_transfers.inc();
+        self.d2h_bytes.add(bytes as f64);
+        self.d2h_seconds.observe(seconds);
+    }
+
+    pub(crate) fn sync(&self, report: &StreamReport) {
+        self.stream_ops.add(report.ops.len() as f64);
+        self.stream_syncs.inc();
+        self.stream_busy_seconds.add(report.busy_seconds);
+        self.stream_wall_seconds.add(report.wall_seconds);
+        self.stream_overlap.set(report.overlap());
+    }
+}
+
+/// Per-lane job counters for [`crate::DevicePool`], labeled by the
+/// lane's device and stream so a scrape shows how evenly a batch
+/// spread over the pool.
+pub(crate) struct PoolTelemetry {
+    lane_jobs: Vec<Counter>,
+}
+
+impl PoolTelemetry {
+    pub(crate) fn register(registry: &Registry, lanes: &[(u32, usize)]) -> Self {
+        let lane_jobs = lanes
+            .iter()
+            .map(|(device, stream)| {
+                registry.counter_with(
+                    "tsp_pool_lane_jobs_total",
+                    "Jobs executed per pool lane (device x stream)",
+                    &[
+                        ("device", device.to_string().as_str()),
+                        ("stream", stream.to_string().as_str()),
+                    ],
+                )
+            })
+            .collect();
+        PoolTelemetry { lane_jobs }
+    }
+
+    #[inline]
+    pub(crate) fn job(&self, lane: usize) {
+        self.lane_jobs[lane].inc();
+    }
+}

@@ -16,10 +16,12 @@
 //! matter how the OS schedules the workers.
 
 use crate::device::Device;
+use crate::metrics::PoolTelemetry;
 use crate::spec::DeviceSpec;
 use crate::stream::{StreamId, StreamReport};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use tsp_telemetry::Telemetry;
 use tsp_trace::Recorder;
 
 /// A fixed set of simulated devices sharing a work queue.
@@ -27,6 +29,7 @@ pub struct DevicePool {
     devices: Vec<Arc<Device>>,
     streams: Vec<Vec<StreamId>>,
     streams_per_device: usize,
+    telemetry: Option<PoolTelemetry>,
 }
 
 impl DevicePool {
@@ -56,6 +59,7 @@ impl DevicePool {
             devices,
             streams,
             streams_per_device,
+            telemetry: None,
         }
     }
 
@@ -73,6 +77,27 @@ impl DevicePool {
                 .expect("attach_recorder must be called before the pool is shared")
                 .attach_recorder(recorder.clone());
         }
+    }
+
+    /// Attach a live-metrics handle to every device and register one
+    /// job counter per lane (labeled `device`/`stream`), so a scrape
+    /// shows pool lane utilization. Must be called before the pool is
+    /// used (the devices are still exclusively owned here).
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        for d in &mut self.devices {
+            Arc::get_mut(d)
+                .expect("attach_telemetry must be called before the pool is shared")
+                .attach_telemetry(telemetry);
+        }
+        self.telemetry = telemetry.registry().map(|r| {
+            let lanes: Vec<(u32, usize)> = (0..self.lanes())
+                .map(|l| {
+                    let (d, s) = self.lane(l);
+                    (d.index(), s.index())
+                })
+                .collect();
+            PoolTelemetry::register(r, &lanes)
+        });
     }
 
     /// Devices in the pool.
@@ -130,6 +155,9 @@ impl DevicePool {
                     let mut job = lane;
                     while job < jobs {
                         *slots[job].lock() = Some(f(job, device, stream));
+                        if let Some(t) = &self.telemetry {
+                            t.job(lane);
+                        }
                         job += lanes;
                     }
                 });
@@ -201,5 +229,27 @@ mod tests {
     #[should_panic(expected = "at least one device")]
     fn empty_pool_is_rejected() {
         DevicePool::new(vec![], 1);
+    }
+
+    #[test]
+    fn telemetry_counts_jobs_per_lane() {
+        let mut pool = DevicePool::homogeneous(gtx_680_cuda(), 2, 2);
+        let telemetry = Telemetry::attached();
+        pool.attach_telemetry(&telemetry);
+        // 10 jobs over 4 lanes: lanes 0,1 run 3 jobs, lanes 2,3 run 2.
+        pool.run(10, |job, _, _| job);
+        let reg = telemetry.registry().unwrap();
+        let jobs = |device: &str, stream: &str| {
+            reg.counter_value_with(
+                "tsp_pool_lane_jobs_total",
+                &[("device", device), ("stream", stream)],
+            )
+        };
+        assert_eq!(jobs("0", "0"), Some(3.0));
+        assert_eq!(jobs("1", "0"), Some(3.0));
+        assert_eq!(jobs("0", "1"), Some(2.0));
+        assert_eq!(jobs("1", "1"), Some(2.0));
+        // Every device got the per-device bundle too.
+        assert!(pool.devices().iter().all(|d| d.telemetry_enabled()));
     }
 }

@@ -27,8 +27,9 @@ pub use perturb::Perturbation;
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use tsp_2opt::{optimize_with_recorder, EngineError, SearchOptions, StepProfile, TwoOptEngine};
+use tsp_2opt::{optimize_observed, EngineError, SearchOptions, StepProfile, TwoOptEngine};
 use tsp_core::{Instance, Tour};
+use tsp_telemetry::{Counter, Gauge, Journal, JournalEvent, JournalRecord, Registry, Telemetry};
 use tsp_trace::{Recorder, TraceEvent};
 
 /// Termination and behaviour knobs for [`iterated_local_search`].
@@ -61,6 +62,19 @@ pub struct IlsOptions {
     /// recorder to the engine's device (`GpuTwoOpt::with_recorder`) to
     /// interleave kernel and transfer events with the ILS events.
     pub recorder: Recorder,
+    /// Live-metrics handle (disabled by default — zero cost when
+    /// unused). When attached, the run maintains the `tsp_ils_*` metric
+    /// families (iterations, acceptance rate, best length, …) and the
+    /// descents feed the `tsp_search_*` families. Attach the *same*
+    /// handle to the engine's device (`GpuTwoOpt::with_telemetry`) to
+    /// add the `tsp_gpu_*` families.
+    pub telemetry: Telemetry,
+    /// Convergence journal (disabled by default — zero cost when
+    /// unused). When attached, the run appends one [`JournalRecord`] per
+    /// notable event: the initial descent, every iteration
+    /// (improved/accepted/rejected), stagnation restarts, and a final
+    /// summary record.
+    pub journal: Journal,
 }
 
 impl Default for IlsOptions {
@@ -74,6 +88,8 @@ impl Default for IlsOptions {
             acceptance: Acceptance::Better,
             stagnation_restart: None,
             recorder: Recorder::disabled(),
+            telemetry: Telemetry::detached(),
+            journal: Journal::detached(),
         }
     }
 }
@@ -131,6 +147,18 @@ impl IlsOptions {
         self.recorder = recorder;
         self
     }
+
+    /// Attach a live-metrics handle.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Attach a convergence journal.
+    pub fn with_journal(mut self, journal: Journal) -> Self {
+        self.journal = journal;
+        self
+    }
 }
 
 /// One point of the convergence trace (Fig. 11's curve).
@@ -168,6 +196,55 @@ pub struct IlsOutcome {
     pub trace: Vec<TracePoint>,
 }
 
+/// The `tsp_ils_*` metric families, resolved once per run so the loop
+/// never touches the registry lock.
+struct IlsMetrics {
+    iterations: Counter,
+    accepted: Counter,
+    improvements: Counter,
+    restarts: Counter,
+    acceptance_rate: Gauge,
+    best_length: Gauge,
+    time_to_best: Gauge,
+    efficacy: Gauge,
+}
+
+impl IlsMetrics {
+    fn register(registry: &Registry) -> Self {
+        IlsMetrics {
+            iterations: registry.counter(
+                "tsp_ils_iterations_total",
+                "Perturbation iterations performed",
+            ),
+            accepted: registry.counter(
+                "tsp_ils_accepted_total",
+                "Iterations whose candidate was accepted by the acceptance criterion",
+            ),
+            improvements: registry.counter(
+                "tsp_ils_improvements_total",
+                "Iterations that improved the best-known tour length",
+            ),
+            restarts: registry.counter(
+                "tsp_ils_restarts_total",
+                "Stagnation restarts (incumbent reset to the best tour)",
+            ),
+            acceptance_rate: registry.gauge(
+                "tsp_ils_acceptance_rate",
+                "Accepted iterations / total iterations so far (0 to 1)",
+            ),
+            best_length: registry.gauge("tsp_ils_best_length", "Best tour length found so far"),
+            time_to_best: registry.gauge(
+                "tsp_ils_time_to_best_seconds",
+                "Modeled seconds elapsed when the current best was found",
+            ),
+            efficacy: registry.gauge(
+                "tsp_ils_perturbation_efficacy",
+                "Improving iterations / total iterations so far (0 to 1)",
+            ),
+        }
+    }
+}
+
 /// Run Algorithm 1 starting from `initial`.
 pub fn iterated_local_search<E: TwoOptEngine + ?Sized>(
     engine: &mut E,
@@ -179,15 +256,17 @@ pub fn iterated_local_search<E: TwoOptEngine + ?Sized>(
     let mut rng = SmallRng::seed_from_u64(opts.seed);
     let mut profile = StepProfile::default();
     let mut trace = Vec::new();
+    let metrics = opts.telemetry.registry().map(|r| IlsMetrics::register(r));
 
     // s* <- 2optLocalSearch(s0)
     let mut best = initial;
-    let stats = optimize_with_recorder(
+    let stats = optimize_observed(
         engine,
         inst,
         &mut best,
         SearchOptions::default(),
         &opts.recorder,
+        &opts.telemetry,
     )?;
     profile.accumulate(&stats.profile);
     let mut best_length = stats.final_length;
@@ -196,6 +275,19 @@ pub fn iterated_local_search<E: TwoOptEngine + ?Sized>(
         modeled_seconds: profile.modeled_seconds(),
         host_seconds: wall.elapsed().as_secs_f64(),
         best_length,
+    });
+    if let Some(m) = &metrics {
+        m.best_length.set(best_length as f64);
+        m.time_to_best.set(profile.modeled_seconds());
+    }
+    opts.journal.record_with(|| JournalRecord {
+        chain: 0,
+        iteration: 0,
+        modeled_seconds: profile.modeled_seconds(),
+        wall_seconds: wall.elapsed().as_secs_f64(),
+        tour_length: best_length,
+        gap_to_best: 0.0,
+        event: JournalEvent::Initial,
     });
 
     let mut iterations = 0u64;
@@ -235,12 +327,13 @@ pub fn iterated_local_search<E: TwoOptEngine + ?Sized>(
             kind: format!("{:?}", opts.perturbation),
         });
         // s*' <- 2optLocalSearch(s')
-        let stats = optimize_with_recorder(
+        let stats = optimize_observed(
             engine,
             inst,
             &mut candidate,
             SearchOptions::default(),
             &opts.recorder,
+            &opts.telemetry,
         )?;
         profile.accumulate(&stats.profile);
         let candidate_length = stats.final_length;
@@ -260,7 +353,8 @@ pub fn iterated_local_search<E: TwoOptEngine + ?Sized>(
             accepted: took,
             best_length: best_length.min(incumbent_length),
         });
-        if incumbent_length < best_length {
+        let improved = incumbent_length < best_length;
+        if improved {
             best = incumbent.clone();
             best_length = incumbent_length;
             since_improvement = 0;
@@ -278,10 +372,61 @@ pub fn iterated_local_search<E: TwoOptEngine + ?Sized>(
                     incumbent_length = best_length;
                     restarts += 1;
                     since_improvement = 0;
+                    if let Some(m) = &metrics {
+                        m.restarts.inc();
+                    }
+                    opts.journal.record_with(|| JournalRecord {
+                        chain: 0,
+                        iteration: iterations,
+                        modeled_seconds: profile.modeled_seconds(),
+                        wall_seconds: wall.elapsed().as_secs_f64(),
+                        tour_length: best_length,
+                        gap_to_best: 0.0,
+                        event: JournalEvent::Restart,
+                    });
                 }
             }
         }
+        if let Some(m) = &metrics {
+            m.iterations.inc();
+            if took {
+                m.accepted.inc();
+            }
+            m.acceptance_rate.set(accepted as f64 / iterations as f64);
+            if improved {
+                m.improvements.inc();
+                m.best_length.set(best_length as f64);
+                m.time_to_best.set(profile.modeled_seconds());
+            }
+            m.efficacy
+                .set(trace.len().saturating_sub(1) as f64 / iterations as f64);
+        }
+        opts.journal.record_with(|| JournalRecord {
+            chain: 0,
+            iteration: iterations,
+            modeled_seconds: profile.modeled_seconds(),
+            wall_seconds: wall.elapsed().as_secs_f64(),
+            tour_length: candidate_length,
+            gap_to_best: (candidate_length - best_length) as f64 / best_length as f64,
+            event: if improved {
+                JournalEvent::Improved
+            } else if took {
+                JournalEvent::Accepted
+            } else {
+                JournalEvent::Rejected
+            },
+        });
     }
+
+    opts.journal.record_with(|| JournalRecord {
+        chain: 0,
+        iteration: iterations,
+        modeled_seconds: profile.modeled_seconds(),
+        wall_seconds: wall.elapsed().as_secs_f64(),
+        tour_length: best_length,
+        gap_to_best: 0.0,
+        event: JournalEvent::Final,
+    });
 
     Ok(IlsOutcome {
         best,
@@ -448,6 +593,101 @@ mod tests {
         assert_eq!(
             plain.profile.modeled_seconds().to_bits(),
             traced.profile.modeled_seconds().to_bits()
+        );
+    }
+
+    #[test]
+    fn telemetry_and_journal_capture_the_run() {
+        let inst = generate("live", 80, Style::Uniform, 17);
+        let start = Tour::identity(80);
+        let mut eng = SequentialTwoOpt::new();
+        let telemetry = Telemetry::attached();
+        let journal = Journal::attached();
+        let out = iterated_local_search(
+            &mut eng,
+            &inst,
+            start,
+            IlsOptions {
+                max_iterations: Some(12),
+                telemetry: telemetry.clone(),
+                journal: journal.clone(),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+
+        let reg = telemetry.registry().unwrap();
+        assert_eq!(
+            reg.counter_value("tsp_ils_iterations_total"),
+            Some(out.iterations as f64)
+        );
+        assert_eq!(
+            reg.counter_value("tsp_ils_accepted_total"),
+            Some(out.accepted as f64)
+        );
+        assert_eq!(
+            reg.gauge_value("tsp_ils_best_length"),
+            Some(out.best_length as f64)
+        );
+        let rate = reg.gauge_value("tsp_ils_acceptance_rate").unwrap();
+        assert!((0.0..=1.0).contains(&rate));
+        assert_eq!(rate, out.accepted as f64 / out.iterations as f64);
+        let efficacy = reg.gauge_value("tsp_ils_perturbation_efficacy").unwrap();
+        assert!((0.0..=1.0).contains(&efficacy));
+        // The descents fed the search-layer families too.
+        assert!(reg.counter_value("tsp_search_sweeps_total").unwrap() > 0.0);
+
+        // Journal: Initial, one record per iteration, then Final.
+        let records = journal.records();
+        assert_eq!(records.len() as u64, out.iterations + 2);
+        assert_eq!(records[0].event, JournalEvent::Initial);
+        assert_eq!(records.last().unwrap().event, JournalEvent::Final);
+        assert_eq!(records.last().unwrap().tour_length, out.best_length);
+        for w in records.windows(2) {
+            assert!(w[0].iteration <= w[1].iteration);
+            assert!(w[0].modeled_seconds <= w[1].modeled_seconds);
+        }
+        // Improved records are at-the-time best lengths: gap 0.
+        for r in &records {
+            if r.event == JournalEvent::Improved {
+                assert_eq!(r.gap_to_best, 0.0);
+            }
+            assert_eq!(r.chain, 0);
+        }
+        // The JSONL round-trips.
+        let parsed = tsp_telemetry::parse_jsonl(&journal.to_jsonl()).unwrap();
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn telemetry_is_inert_for_the_search() {
+        let inst = generate("inert-tel", 70, Style::Uniform, 19);
+        let start = Tour::identity(70);
+        let opts = IlsOptions {
+            max_iterations: Some(8),
+            seed: 43,
+            ..Default::default()
+        };
+        let mut eng = SequentialTwoOpt::new();
+        let plain = iterated_local_search(&mut eng, &inst, start.clone(), opts.clone()).unwrap();
+        let mut eng = SequentialTwoOpt::new();
+        let observed = iterated_local_search(
+            &mut eng,
+            &inst,
+            start,
+            IlsOptions {
+                telemetry: Telemetry::attached(),
+                journal: Journal::attached(),
+                ..opts
+            },
+        )
+        .unwrap();
+        assert_eq!(plain.best_length, observed.best_length);
+        assert_eq!(plain.best.as_slice(), observed.best.as_slice());
+        assert_eq!(plain.accepted, observed.accepted);
+        assert_eq!(
+            plain.profile.modeled_seconds().to_bits(),
+            observed.profile.modeled_seconds().to_bits()
         );
     }
 

@@ -37,6 +37,7 @@ where
                     let mut engine = factory();
                     let chain_opts = IlsOptions {
                         seed: opts.seed.wrapping_add(i as u64),
+                        journal: opts.journal.for_chain(i as u64),
                         ..opts.clone()
                     };
                     iterated_local_search(&mut engine, inst, start, chain_opts)
@@ -169,6 +170,7 @@ impl ShardedMultistart {
                 let mut engine = factory(device, stream);
                 let chain_opts = IlsOptions {
                     seed: opts.seed.wrapping_add(i as u64),
+                    journal: opts.journal.for_chain(i as u64),
                     ..opts.clone()
                 };
                 iterated_local_search(&mut engine, inst, starts[i].clone(), chain_opts)
@@ -289,6 +291,33 @@ mod tests {
         assert!(out.wall_seconds() > 0.0);
         assert!(out.busy_seconds() >= out.wall_seconds());
         assert!(out.throughput() > 0.0);
+    }
+
+    #[test]
+    fn multistart_journal_stamps_chain_ids() {
+        let inst = generate("ms-journal", 60, Style::Uniform, 9);
+        let mut rng = SmallRng::seed_from_u64(10);
+        let starts: Vec<Tour> = (0..3).map(|_| Tour::random(60, &mut rng)).collect();
+        let journal = tsp_telemetry::Journal::attached();
+        let opts = IlsOptions {
+            max_iterations: Some(4),
+            journal: journal.clone(),
+            ..Default::default()
+        };
+        let (_, all) = parallel_multistart(SequentialTwoOpt::new, &inst, starts, opts).unwrap();
+
+        let records = journal.records();
+        // Every chain contributed Initial + per-iteration + Final records.
+        let expected: usize = all.iter().map(|o| o.iterations as usize + 2).sum();
+        assert_eq!(records.len(), expected);
+        for chain in 0..3u64 {
+            let of_chain: Vec<_> = records.iter().filter(|r| r.chain == chain).collect();
+            assert_eq!(of_chain.len() as u64, all[chain as usize].iterations + 2);
+            assert_eq!(
+                of_chain.last().unwrap().tour_length,
+                all[chain as usize].best_length
+            );
+        }
     }
 
     #[test]

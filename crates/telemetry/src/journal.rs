@@ -1,0 +1,271 @@
+//! The per-run convergence journal: an append-only stream of
+//! quality-over-time records emitted by ILS / multistart / sharded
+//! runs, rendered as JSON Lines (one object per line).
+//!
+//! Like `tsp_trace::Recorder`, a detached journal carries no buffer:
+//! recording is one branch on an `Option`. Clones share the buffer,
+//! and [`Journal::for_chain`] stamps a clone with a chain id so the
+//! records of concurrent multistart chains remain distinguishable in
+//! one stream.
+
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use tsp_trace::json::{self, Json};
+
+/// What happened at a journal record's point in the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalEvent {
+    /// The initial descent finished; the run's first incumbent.
+    Initial,
+    /// A perturbed candidate became the new best tour.
+    Improved,
+    /// A candidate was accepted as the incumbent without improving
+    /// the best.
+    Accepted,
+    /// A candidate was rejected; the incumbent stands.
+    Rejected,
+    /// Stagnation triggered a restart from the best tour.
+    Restart,
+    /// The run ended; the record carries the final best.
+    Final,
+}
+
+impl JournalEvent {
+    /// Stable lowercase name used in the JSONL stream and CSV.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JournalEvent::Initial => "initial",
+            JournalEvent::Improved => "improved",
+            JournalEvent::Accepted => "accepted",
+            JournalEvent::Rejected => "rejected",
+            JournalEvent::Restart => "restart",
+            JournalEvent::Final => "final",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<Self> {
+        Some(match s {
+            "initial" => JournalEvent::Initial,
+            "improved" => JournalEvent::Improved,
+            "accepted" => JournalEvent::Accepted,
+            "rejected" => JournalEvent::Rejected,
+            "restart" => JournalEvent::Restart,
+            "final" => JournalEvent::Final,
+            _ => return None,
+        })
+    }
+}
+
+/// One line of the convergence journal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalRecord {
+    /// Multistart chain the record belongs to (0 for single runs).
+    pub chain: u64,
+    /// ILS iteration (0 = initial descent).
+    pub iteration: u64,
+    /// Modeled GPU seconds consumed so far by this chain.
+    pub modeled_seconds: f64,
+    /// Host wall-clock seconds elapsed so far in this chain.
+    pub wall_seconds: f64,
+    /// Tour length the event is about (candidate or incumbent).
+    pub tour_length: i64,
+    /// Relative gap of `tour_length` to the chain's best-so-far:
+    /// `(tour_length - best) / best`, 0 when this record *is* the best.
+    pub gap_to_best: f64,
+    /// What happened.
+    pub event: JournalEvent,
+}
+
+impl JournalRecord {
+    /// The record as one JSON object (insertion-ordered keys).
+    pub fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.set("chain", Json::from(self.chain as f64))
+            .set("iteration", Json::from(self.iteration as f64))
+            .set("modeled_seconds", Json::from(self.modeled_seconds))
+            .set("wall_seconds", Json::from(self.wall_seconds))
+            .set("tour_length", Json::from(self.tour_length as f64))
+            .set("gap_to_best", Json::from(self.gap_to_best))
+            .set("event", Json::from(self.event.as_str()));
+        o
+    }
+
+    /// Parse one journal object back into a record.
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        let num = |key: &str| {
+            j.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("journal record missing numeric {key:?}"))
+        };
+        let event = j
+            .get("event")
+            .and_then(Json::as_str)
+            .and_then(JournalEvent::from_str)
+            .ok_or_else(|| "journal record missing a known event".to_string())?;
+        Ok(JournalRecord {
+            chain: num("chain")? as u64,
+            iteration: num("iteration")? as u64,
+            modeled_seconds: num("modeled_seconds")?,
+            wall_seconds: num("wall_seconds")?,
+            tour_length: num("tour_length")? as i64,
+            gap_to_best: num("gap_to_best")?,
+            event,
+        })
+    }
+}
+
+/// A cheap, cloneable handle onto a shared record buffer.
+#[derive(Debug, Default, Clone)]
+pub struct Journal {
+    inner: Option<Arc<Mutex<Vec<JournalRecord>>>>,
+    /// Chain id stamped onto records pushed through this handle.
+    chain: u64,
+}
+
+fn lock(buf: &Mutex<Vec<JournalRecord>>) -> MutexGuard<'_, Vec<JournalRecord>> {
+    buf.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Journal {
+    /// A journal that collects records.
+    pub fn attached() -> Self {
+        Journal {
+            inner: Some(Arc::new(Mutex::new(Vec::new()))),
+            chain: 0,
+        }
+    }
+
+    /// A journal that drops everything (same as `Journal::default()`).
+    pub fn detached() -> Self {
+        Self::default()
+    }
+
+    /// `true` when records are being collected.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// A handle onto the same buffer that stamps `chain` onto every
+    /// record — used by multistart to tell concurrent chains apart.
+    pub fn for_chain(&self, chain: u64) -> Journal {
+        Journal {
+            inner: self.inner.clone(),
+            chain,
+        }
+    }
+
+    /// The chain id this handle stamps.
+    pub fn chain(&self) -> u64 {
+        self.chain
+    }
+
+    /// Append one record, stamping this handle's chain id (no-op when
+    /// detached). The closure only runs when the journal is attached.
+    #[inline]
+    pub fn record_with(&self, make: impl FnOnce() -> JournalRecord) {
+        if let Some(buf) = &self.inner {
+            let mut rec = make();
+            rec.chain = self.chain;
+            lock(buf).push(rec);
+        }
+    }
+
+    /// Snapshot of all records, in append order (empty when detached).
+    pub fn records(&self) -> Vec<JournalRecord> {
+        match &self.inner {
+            Some(buf) => lock(buf).clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Number of recorded entries.
+    pub fn len(&self) -> usize {
+        match &self.inner {
+            Some(buf) => lock(buf).len(),
+            None => 0,
+        }
+    }
+
+    /// `true` when nothing has been recorded (always for detached).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The whole journal as JSON Lines (one object per line).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for rec in self.records() {
+            out.push_str(&rec.to_json().to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Parse a JSONL journal stream back into records; blank lines are
+/// skipped, any malformed line is an error.
+pub fn parse_jsonl(text: &str) -> Result<Vec<JournalRecord>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let j = json::parse(line).map_err(|e| format!("line {}: {e:?}", lineno + 1))?;
+        out.push(JournalRecord::from_json(&j).map_err(|e| format!("line {}: {e}", lineno + 1))?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(iteration: u64, length: i64, event: JournalEvent) -> JournalRecord {
+        JournalRecord {
+            chain: 0,
+            iteration,
+            modeled_seconds: iteration as f64 * 0.25,
+            wall_seconds: iteration as f64 * 0.5,
+            tour_length: length,
+            gap_to_best: 0.0,
+            event,
+        }
+    }
+
+    #[test]
+    fn detached_journal_drops_everything() {
+        let j = Journal::detached();
+        j.record_with(|| panic!("must not run when detached"));
+        assert!(j.is_empty());
+        assert_eq!(j.to_jsonl(), "");
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let j = Journal::attached();
+        j.record_with(|| rec(0, 1000, JournalEvent::Initial));
+        j.record_with(|| rec(1, 990, JournalEvent::Improved));
+        j.for_chain(3)
+            .record_with(|| rec(2, 995, JournalEvent::Rejected));
+        let text = j.to_jsonl();
+        assert_eq!(text.lines().count(), 3);
+        let parsed = parse_jsonl(&text).expect("writer output must parse");
+        assert_eq!(parsed, j.records());
+        assert_eq!(parsed[2].chain, 3);
+    }
+
+    #[test]
+    fn for_chain_shares_the_buffer() {
+        let j = Journal::attached();
+        let c = j.for_chain(7);
+        c.record_with(|| rec(0, 100, JournalEvent::Initial));
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.records()[0].chain, 7);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_jsonl("{\"chain\":0}\n").is_err());
+        assert!(parse_jsonl("not json\n").is_err());
+    }
+}

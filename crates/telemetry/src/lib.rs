@@ -1,0 +1,41 @@
+//! Live telemetry for the TSP workspace: a lock-light metrics
+//! registry with Prometheus text exposition, an embedded scrape
+//! server, and a per-run convergence journal.
+//!
+//! Where `tsp-trace` answers *"what happened?"* after a run (event
+//! stream → Chrome trace / `MetricsSnapshot`), this crate answers
+//! *"what is happening right now?"*: instrumented layers update
+//! shared atomic counters, gauges and histograms that a scraper can
+//! read mid-run through [`MetricsServer`], and the [`Journal`]
+//! records how tour quality evolves per iteration.
+//!
+//! The two are deliberately split: the recorder owns a growing event
+//! buffer (heavyweight, replayable), the registry owns fixed atomic
+//! cells (constant memory, scrapable). Both share the same
+//! zero-cost-when-disabled contract — a detached [`Telemetry`] or
+//! [`Journal`] handle is one `Option` branch on the hot path.
+//!
+//! ```
+//! use tsp_telemetry::{Telemetry, SECONDS_BUCKETS};
+//!
+//! let telemetry = Telemetry::attached();
+//! let registry = telemetry.registry().unwrap();
+//! let launches = registry.counter("tsp_gpu_kernel_launches_total", "Kernel launches");
+//! let seconds = registry.histogram("tsp_gpu_kernel_seconds", "Modeled seconds", SECONDS_BUCKETS);
+//! launches.inc();
+//! seconds.observe(3.2e-4);
+//! assert!(telemetry.expose().contains("tsp_gpu_kernel_launches_total 1"));
+//! ```
+
+pub mod journal;
+pub mod prometheus;
+pub mod registry;
+pub mod server;
+
+pub use journal::{parse_jsonl, Journal, JournalEvent, JournalRecord};
+pub use prometheus::{parse_text, FamilySummary, CONTENT_TYPE};
+pub use registry::{
+    exponential_buckets, Counter, Gauge, Histogram, MetricKind, Registry, Telemetry, DELTA_BUCKETS,
+    SECONDS_BUCKETS,
+};
+pub use server::{http_get, MetricsServer};

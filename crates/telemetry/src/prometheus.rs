@@ -1,0 +1,410 @@
+//! Prometheus text exposition format 0.0.4: a deterministic writer
+//! for the registry, plus a small strict parser used by the smoke
+//! tests to prove a scraped payload is well-formed.
+//!
+//! The writer orders families by name and samples by label set (both
+//! `BTreeMap`s), so two exposures of the same registry state are
+//! byte-identical — which is what lets a golden file pin the format.
+
+use crate::registry::{Family, Instrument, Labels};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// The content type a conforming scrape endpoint must declare.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Render `{k="v",...}`, with an optional trailing `le` pair; empty
+/// label sets render as nothing.
+fn fmt_labels(labels: &Labels, le: Option<f64>) -> String {
+    let mut pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some(le) = le {
+        pairs.push(format!("le=\"{}\"", fmt_value(le)));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+pub(crate) fn expose(families: &BTreeMap<String, Family>) -> String {
+    let mut out = String::new();
+    for (name, family) in families {
+        let _ = writeln!(out, "# HELP {name} {}", escape_help(&family.help));
+        let _ = writeln!(out, "# TYPE {name} {}", family.kind.as_str());
+        for (labels, inst) in &family.samples {
+            match inst {
+                Instrument::Counter(c) => {
+                    let _ = writeln!(
+                        out,
+                        "{name}{} {}",
+                        fmt_labels(labels, None),
+                        fmt_value(c.value())
+                    );
+                }
+                Instrument::Gauge(g) => {
+                    let _ = writeln!(
+                        out,
+                        "{name}{} {}",
+                        fmt_labels(labels, None),
+                        fmt_value(g.value())
+                    );
+                }
+                Instrument::Histogram(h) => {
+                    let cumulative = h.cumulative_counts();
+                    for (i, &bound) in h.bounds().iter().enumerate() {
+                        let _ = writeln!(
+                            out,
+                            "{name}_bucket{} {}",
+                            fmt_labels(labels, Some(bound)),
+                            cumulative[i]
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{name}_bucket{} {}",
+                        fmt_labels(labels, Some(f64::INFINITY)),
+                        cumulative[h.bounds().len()]
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{name}_sum{} {}",
+                        fmt_labels(labels, None),
+                        fmt_value(h.sum())
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{name}_count{} {}",
+                        fmt_labels(labels, None),
+                        h.count()
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+/// One family seen while parsing an exposition payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FamilySummary {
+    /// Family name from its `# TYPE` line.
+    pub name: String,
+    /// The declared kind (`counter`, `gauge`, `histogram`, ...).
+    pub kind: String,
+    /// Number of sample lines attributed to the family.
+    pub samples: usize,
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.chars().enumerate().all(|(i, c)| {
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+        })
+}
+
+fn parse_value(s: &str) -> Result<f64, String> {
+    match s {
+        "+Inf" | "Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        _ => s.parse().map_err(|_| format!("bad sample value {s:?}")),
+    }
+}
+
+/// Parse `name[{labels}] value` into its parts.
+fn parse_sample(line: &str) -> Result<(String, Labels, f64), String> {
+    let (name_part, rest) = match line.find('{') {
+        Some(brace) => {
+            let close = line
+                .rfind('}')
+                .ok_or_else(|| format!("unterminated label set: {line:?}"))?;
+            (&line[..brace], {
+                let labels = &line[brace + 1..close];
+                let value = line[close + 1..].trim();
+                (Some(labels), value)
+            })
+        }
+        None => {
+            let mut it = line.splitn(2, ' ');
+            let name = it.next().unwrap_or_default();
+            let value = it.next().unwrap_or_default().trim();
+            (name, (None, value))
+        }
+    };
+    let (labels_src, value_src) = rest;
+    if !valid_metric_name(name_part) {
+        return Err(format!("invalid metric name {name_part:?}"));
+    }
+    let mut labels = Vec::new();
+    if let Some(src) = labels_src {
+        let mut chars = src.chars().peekable();
+        while chars.peek().is_some() {
+            let mut key = String::new();
+            for c in chars.by_ref() {
+                if c == '=' {
+                    break;
+                }
+                key.push(c);
+            }
+            if !valid_metric_name(&key) {
+                return Err(format!("invalid label name {key:?} in {line:?}"));
+            }
+            if chars.next() != Some('"') {
+                return Err(format!("label value must be quoted in {line:?}"));
+            }
+            let mut value = String::new();
+            loop {
+                match chars.next() {
+                    Some('\\') => match chars.next() {
+                        Some('\\') => value.push('\\'),
+                        Some('"') => value.push('"'),
+                        Some('n') => value.push('\n'),
+                        other => return Err(format!("bad escape {other:?} in {line:?}")),
+                    },
+                    Some('"') => break,
+                    Some(c) => value.push(c),
+                    None => return Err(format!("unterminated label value in {line:?}")),
+                }
+            }
+            labels.push((key, value));
+            match chars.next() {
+                Some(',') | None => {}
+                Some(c) => {
+                    return Err(format!(
+                        "expected ',' between labels, got {c:?} in {line:?}"
+                    ))
+                }
+            }
+        }
+    }
+    let value = parse_value(value_src)?;
+    Ok((name_part.to_string(), labels, value))
+}
+
+/// Strictly parse a text-format 0.0.4 payload.
+///
+/// Every sample line must follow a `# TYPE` declaration for its
+/// family (histogram samples may use the `_bucket`/`_sum`/`_count`
+/// suffixes), histograms must carry a `+Inf` bucket with
+/// non-decreasing cumulative counts, and `_count` must equal the
+/// `+Inf` bucket. Returns one [`FamilySummary`] per family, in
+/// payload order.
+pub fn parse_text(text: &str) -> Result<Vec<FamilySummary>, String> {
+    let mut order: Vec<String> = Vec::new();
+    let mut kinds: BTreeMap<String, String> = BTreeMap::new();
+    let mut sample_counts: BTreeMap<String, usize> = BTreeMap::new();
+    // (family, labels-without-le) -> sorted bucket samples and counts.
+    let mut buckets: BTreeMap<(String, Labels), Vec<(f64, f64)>> = BTreeMap::new();
+    let mut counts: BTreeMap<(String, Labels), f64> = BTreeMap::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: String| format!("line {}: {msg}", lineno + 1);
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if let Some(decl) = comment.strip_prefix("TYPE ") {
+                let mut it = decl.splitn(2, ' ');
+                let name = it.next().unwrap_or_default().to_string();
+                let kind = it.next().unwrap_or_default().to_string();
+                if !valid_metric_name(&name) {
+                    return Err(err(format!("invalid family name {name:?}")));
+                }
+                if !matches!(
+                    kind.as_str(),
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ) {
+                    return Err(err(format!("unknown metric kind {kind:?}")));
+                }
+                if kinds.insert(name.clone(), kind).is_some() {
+                    return Err(err(format!("duplicate TYPE for {name}")));
+                }
+                order.push(name);
+            } else if let Some(decl) = comment.strip_prefix("HELP ") {
+                let name = decl.split(' ').next().unwrap_or_default();
+                if !valid_metric_name(name) {
+                    return Err(err(format!("invalid family name {name:?}")));
+                }
+            }
+            // Other comments are legal and ignored.
+            continue;
+        }
+        let (name, labels, value) = parse_sample(line).map_err(err)?;
+        // Attribute the sample to a declared family.
+        let family = if kinds.contains_key(&name) {
+            name.clone()
+        } else {
+            let stripped = ["_bucket", "_sum", "_count"]
+                .iter()
+                .find_map(|suffix| name.strip_suffix(suffix).map(|f| (f.to_string(), *suffix)));
+            match stripped {
+                Some((f, suffix)) if kinds.get(&f).map(String::as_str) == Some("histogram") => {
+                    let mut base = labels.clone();
+                    if suffix == "_bucket" {
+                        let le_pos = base.iter().position(|(k, _)| k == "le").ok_or_else(|| {
+                            err(format!("histogram bucket without le label: {line:?}"))
+                        })?;
+                        let (_, le) = base.remove(le_pos);
+                        let le = parse_value(&le).map_err(err)?;
+                        buckets
+                            .entry((f.clone(), base))
+                            .or_default()
+                            .push((le, value));
+                    } else if suffix == "_count" {
+                        counts.insert((f.clone(), base), value);
+                    }
+                    f
+                }
+                _ => return Err(err(format!("sample {name:?} has no preceding # TYPE"))),
+            }
+        };
+        *sample_counts.entry(family).or_insert(0) += 1;
+    }
+
+    for ((family, labels), mut series) in buckets {
+        series.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("le bounds are ordered"));
+        let last = series.last().expect("non-empty by construction");
+        if last.0 != f64::INFINITY {
+            return Err(format!("histogram {family} is missing its +Inf bucket"));
+        }
+        for w in series.windows(2) {
+            if w[0].1 > w[1].1 {
+                return Err(format!(
+                    "histogram {family} has decreasing cumulative buckets"
+                ));
+            }
+        }
+        match counts.get(&(family.clone(), labels)) {
+            Some(&count) if count == last.1 => {}
+            Some(&count) => {
+                return Err(format!(
+                    "histogram {family}: _count {count} != +Inf bucket {}",
+                    last.1
+                ))
+            }
+            None => return Err(format!("histogram {family} is missing _count")),
+        }
+    }
+
+    Ok(order
+        .into_iter()
+        .map(|name| FamilySummary {
+            kind: kinds[&name].clone(),
+            samples: sample_counts.get(&name).copied().unwrap_or(0),
+            name,
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{Registry, SECONDS_BUCKETS};
+
+    fn sample_registry() -> Registry {
+        let r = Registry::new();
+        r.counter("tsp_sweeps_total", "Total descent sweeps")
+            .add(3.0);
+        r.gauge("tsp_best_length", "Best tour length").set(1234.0);
+        let h = r.histogram("tsp_kernel_seconds", "Modeled kernel time", SECONDS_BUCKETS);
+        h.observe(2e-6);
+        h.observe(5e-4);
+        r.counter_with(
+            "tsp_lane_jobs_total",
+            "Jobs per lane",
+            &[("device", "0"), ("stream", "1")],
+        )
+        .inc();
+        r
+    }
+
+    #[test]
+    fn exposition_round_trips_through_the_parser() {
+        let text = sample_registry().expose();
+        let families = parse_text(&text).expect("writer output must parse");
+        let names: Vec<&str> = families.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "tsp_best_length",
+                "tsp_kernel_seconds",
+                "tsp_lane_jobs_total",
+                "tsp_sweeps_total"
+            ]
+        );
+        let hist = families
+            .iter()
+            .find(|f| f.name == "tsp_kernel_seconds")
+            .unwrap();
+        assert_eq!(hist.kind, "histogram");
+        // 8 finite buckets + +Inf + sum + count.
+        assert_eq!(hist.samples, SECONDS_BUCKETS.len() + 3);
+    }
+
+    #[test]
+    fn exposition_is_deterministic() {
+        assert_eq!(sample_registry().expose(), sample_registry().expose());
+    }
+
+    #[test]
+    fn parser_rejects_untyped_samples() {
+        assert!(parse_text("tsp_orphan_total 1\n").is_err());
+    }
+
+    #[test]
+    fn parser_rejects_missing_inf_bucket() {
+        let text = "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 0.5\nh_count 1\n";
+        assert!(parse_text(text).unwrap_err().contains("+Inf"));
+    }
+
+    #[test]
+    fn parser_rejects_count_mismatch() {
+        let text = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_sum 0.5\nh_count 1\n";
+        assert!(parse_text(text).unwrap_err().contains("_count"));
+    }
+
+    #[test]
+    fn parser_handles_escaped_label_values() {
+        let text = "# TYPE f counter\nf{path=\"a\\\\b\\\"c\"} 1\n";
+        let families = parse_text(text).expect("escapes are legal");
+        assert_eq!(families[0].samples, 1);
+    }
+
+    #[test]
+    fn label_values_are_escaped_on_the_way_out() {
+        let r = Registry::new();
+        r.counter_with("tsp_esc_total", "t", &[("k", "a\"b\\c")])
+            .inc();
+        let text = r.expose();
+        assert!(text.contains("a\\\"b\\\\c"), "{text}");
+        parse_text(&text).expect("escaped output must re-parse");
+    }
+}

@@ -1,0 +1,623 @@
+//! The metrics registry and its three instrument kinds.
+//!
+//! Everything here is built from `std` atomics so the hot path never
+//! takes a lock: `Counter` and `Gauge` are one shared `AtomicU64`
+//! holding `f64` bits, `Histogram` is a fixed vector of bucket
+//! counters plus an exact running sum/count. The registry itself is a
+//! `Mutex<BTreeMap>` that is only locked when an instrument is
+//! registered or the whole registry is exposed — never per
+//! observation ("lock-light").
+//!
+//! `f64` addition is exact for integer values up to 2^53, so counters
+//! incremented by whole numbers never drift, and histogram sums
+//! accumulate in observation order — on a single-threaded run they
+//! are bit-identical to the same fold done after the fact (which is
+//! what `telemetry_matches_snapshot` pins against
+//! `tsp_trace::MetricsSnapshot`).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Label set attached to one sample: ordered `(key, value)` pairs.
+pub type Labels = Vec<(String, String)>;
+
+/// Add `v` to an `AtomicU64` interpreted as `f64` bits (CAS loop).
+fn f64_add(cell: &AtomicU64, v: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = (f64::from_bits(cur) + v).to_bits();
+        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+/// A monotonically increasing value. Cloning shares the cell.
+#[derive(Clone, Default)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A free-standing counter (not attached to any registry).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1.0);
+    }
+
+    /// Increment by `v`; negative increments are ignored so the
+    /// counter stays monotonic even on caller bugs.
+    #[inline]
+    pub fn add(&self, v: f64) {
+        if v > 0.0 {
+            f64_add(&self.cell, v);
+        }
+    }
+
+    /// Current value.
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.cell.load(Ordering::Relaxed))
+    }
+}
+
+impl fmt::Debug for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Counter({})", self.value())
+    }
+}
+
+/// A value that can move both ways. Cloning shares the cell.
+#[derive(Clone, Default)]
+pub struct Gauge {
+    cell: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// A free-standing gauge (not attached to any registry).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.cell.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Add `v` (may be negative).
+    #[inline]
+    pub fn add(&self, v: f64) {
+        f64_add(&self.cell, v);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.cell.load(Ordering::Relaxed))
+    }
+}
+
+impl fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gauge({})", self.value())
+    }
+}
+
+struct HistogramCore {
+    /// Upper bounds of the finite buckets, strictly increasing. An
+    /// implicit `+Inf` bucket always follows.
+    bounds: Vec<f64>,
+    /// Cumulative-free per-bucket hit counts; `counts[bounds.len()]`
+    /// is the `+Inf` bucket. Exposition accumulates them into the
+    /// cumulative form the text format requires.
+    counts: Vec<AtomicU64>,
+    /// Exact running sum of every observed value (`f64` bits).
+    sum: AtomicU64,
+    /// Number of observations.
+    count: AtomicU64,
+}
+
+/// A fixed-bucket histogram with an exact sum and count.
+#[derive(Clone)]
+pub struct Histogram {
+    core: Arc<HistogramCore>,
+}
+
+impl Histogram {
+    /// A free-standing histogram over the given finite bucket upper
+    /// bounds (a `+Inf` bucket is appended automatically).
+    ///
+    /// # Panics
+    /// If `bounds` is not strictly increasing or contains a non-finite
+    /// value.
+    pub fn new(bounds: &[f64]) -> Self {
+        for w in bounds.windows(2) {
+            assert!(w[0] < w[1], "histogram bounds must be strictly increasing");
+        }
+        assert!(
+            bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite (+Inf is implicit)"
+        );
+        let counts = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            core: Arc::new(HistogramCore {
+                bounds: bounds.to_vec(),
+                counts,
+                sum: AtomicU64::new(0),
+                count: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn observe(&self, v: f64) {
+        let idx = self
+            .core
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.core.bounds.len());
+        self.core.counts[idx].fetch_add(1, Ordering::Relaxed);
+        f64_add(&self.core.sum, v);
+        self.core.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Exact sum of all observed values.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.core.sum.load(Ordering::Relaxed))
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.core.count.load(Ordering::Relaxed)
+    }
+
+    /// Finite bucket upper bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.core.bounds
+    }
+
+    /// Cumulative bucket counts, one per finite bound plus the final
+    /// `+Inf` bucket (equal to [`Histogram::count`]).
+    pub fn cumulative_counts(&self) -> Vec<u64> {
+        let mut acc = 0u64;
+        self.core
+            .counts
+            .iter()
+            .map(|c| {
+                acc += c.load(Ordering::Relaxed);
+                acc
+            })
+            .collect()
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Histogram(count={}, sum={})", self.count(), self.sum())
+    }
+}
+
+/// `count` exponential bucket bounds starting at `start`, each
+/// `factor` times the previous — the usual shape for modeled seconds.
+pub fn exponential_buckets(start: f64, factor: f64, count: usize) -> Vec<f64> {
+    assert!(start > 0.0 && factor > 1.0 && count > 0);
+    let mut out = Vec::with_capacity(count);
+    let mut b = start;
+    for _ in 0..count {
+        out.push(b);
+        b *= factor;
+    }
+    out
+}
+
+/// Default bucket bounds for modeled kernel/transfer seconds
+/// (1 µs … 10 s, decades).
+pub const SECONDS_BUCKETS: &[f64] = &[1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0];
+
+/// Default bucket bounds for tour-length improvement magnitudes.
+pub const DELTA_BUCKETS: &[f64] = &[1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6, 1e7];
+
+/// The kind of a metric family, as exposed in `# TYPE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic counter.
+    Counter,
+    /// Settable gauge.
+    Gauge,
+    /// Fixed-bucket histogram.
+    Histogram,
+}
+
+impl MetricKind {
+    /// The lowercase name used by the text format.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+pub(crate) enum Instrument {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+pub(crate) struct Family {
+    pub(crate) kind: MetricKind,
+    pub(crate) help: String,
+    /// Samples keyed by their label set (ordered, deterministic).
+    pub(crate) samples: BTreeMap<Labels, Instrument>,
+}
+
+/// A collection of metric families with get-or-create registration.
+///
+/// Handles returned by the `counter`/`gauge`/`histogram` methods share
+/// storage with the registry: updating a handle is lock-free, and the
+/// registry lock is only taken here (registration) and in
+/// [`Registry::expose`].
+#[derive(Default)]
+pub struct Registry {
+    families: Mutex<BTreeMap<String, Family>>,
+}
+
+fn lock(m: &Mutex<BTreeMap<String, Family>>) -> MutexGuard<'_, BTreeMap<String, Family>> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.chars().enumerate().all(|(i, c)| {
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+        })
+}
+
+fn owned_labels(labels: &[(&str, &str)]) -> Labels {
+    labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn instrument(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        kind: MetricKind,
+        make: impl FnOnce() -> Instrument,
+    ) -> Instrument {
+        assert!(valid_name(name), "invalid metric name {name:?}");
+        let mut families = lock(&self.families);
+        let family = families.entry(name.to_string()).or_insert_with(|| Family {
+            kind,
+            help: help.to_string(),
+            samples: BTreeMap::new(),
+        });
+        assert!(
+            family.kind == kind,
+            "metric {name} already registered as a {}",
+            family.kind.as_str()
+        );
+        let inst = family
+            .samples
+            .entry(owned_labels(labels))
+            .or_insert_with(make);
+        match inst {
+            Instrument::Counter(c) => Instrument::Counter(c.clone()),
+            Instrument::Gauge(g) => Instrument::Gauge(g.clone()),
+            Instrument::Histogram(h) => Instrument::Histogram(h.clone()),
+        }
+    }
+
+    /// Get or create the unlabeled counter `name`.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Get or create the counter `name` with the given label set.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.instrument(name, help, labels, MetricKind::Counter, || {
+            Instrument::Counter(Counter::new())
+        }) {
+            Instrument::Counter(c) => c,
+            _ => unreachable!("kind checked above"),
+        }
+    }
+
+    /// Get or create the unlabeled gauge `name`.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Get or create the gauge `name` with the given label set.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.instrument(name, help, labels, MetricKind::Gauge, || {
+            Instrument::Gauge(Gauge::new())
+        }) {
+            Instrument::Gauge(g) => g,
+            _ => unreachable!("kind checked above"),
+        }
+    }
+
+    /// Get or create the unlabeled histogram `name` over `bounds`.
+    pub fn histogram(&self, name: &str, help: &str, bounds: &[f64]) -> Histogram {
+        self.histogram_with(name, help, &[], bounds)
+    }
+
+    /// Get or create the histogram `name` with the given label set.
+    /// `bounds` only applies on first creation; later callers share
+    /// the existing buckets.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+    ) -> Histogram {
+        match self.instrument(name, help, labels, MetricKind::Histogram, || {
+            Instrument::Histogram(Histogram::new(bounds))
+        }) {
+            Instrument::Histogram(h) => h,
+            _ => unreachable!("kind checked above"),
+        }
+    }
+
+    fn lookup(&self, name: &str, labels: &[(&str, &str)]) -> Option<Instrument> {
+        let families = lock(&self.families);
+        let family = families.get(name)?;
+        let inst = family.samples.get(&owned_labels(labels))?;
+        Some(match inst {
+            Instrument::Counter(c) => Instrument::Counter(c.clone()),
+            Instrument::Gauge(g) => Instrument::Gauge(g.clone()),
+            Instrument::Histogram(h) => Instrument::Histogram(h.clone()),
+        })
+    }
+
+    /// Current value of the unlabeled counter `name`, if registered.
+    pub fn counter_value(&self, name: &str) -> Option<f64> {
+        self.counter_value_with(name, &[])
+    }
+
+    /// Current value of a labeled counter, if registered.
+    pub fn counter_value_with(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        match self.lookup(name, labels)? {
+            Instrument::Counter(c) => Some(c.value()),
+            _ => None,
+        }
+    }
+
+    /// Current value of the unlabeled gauge `name`, if registered.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.gauge_value_with(name, &[])
+    }
+
+    /// Current value of a labeled gauge, if registered.
+    pub fn gauge_value_with(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        match self.lookup(name, labels)? {
+            Instrument::Gauge(g) => Some(g.value()),
+            _ => None,
+        }
+    }
+
+    /// `(sum, count)` of the unlabeled histogram `name`, if registered.
+    pub fn histogram_totals(&self, name: &str) -> Option<(f64, u64)> {
+        self.histogram_totals_with(name, &[])
+    }
+
+    /// `(sum, count)` of a labeled histogram, if registered.
+    pub fn histogram_totals_with(&self, name: &str, labels: &[(&str, &str)]) -> Option<(f64, u64)> {
+        match self.lookup(name, labels)? {
+            Instrument::Histogram(h) => Some((h.sum(), h.count())),
+            _ => None,
+        }
+    }
+
+    /// Names of all registered families, in exposition order.
+    pub fn family_names(&self) -> Vec<String> {
+        lock(&self.families).keys().cloned().collect()
+    }
+
+    /// Render the whole registry in Prometheus text format 0.0.4.
+    pub fn expose(&self) -> String {
+        crate::prometheus::expose(&lock(&self.families))
+    }
+}
+
+impl fmt::Debug for Registry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Registry({} families)", lock(&self.families).len())
+    }
+}
+
+/// A cheap, cloneable handle onto a shared [`Registry`] — the
+/// telemetry twin of `tsp_trace::Recorder`.
+///
+/// A detached handle (the default) carries no registry at all:
+/// resolving instrument bundles through it is a single branch on an
+/// `Option`, so instrumented layers cost nothing when nobody is
+/// scraping. Clones of an attached handle share one registry, which
+/// is how one scrape covers the device, the descent driver and the
+/// ILS loop at once.
+#[derive(Debug, Default, Clone)]
+pub struct Telemetry {
+    registry: Option<Arc<Registry>>,
+}
+
+impl Telemetry {
+    /// A handle onto a fresh shared registry.
+    pub fn attached() -> Self {
+        Telemetry {
+            registry: Some(Arc::new(Registry::new())),
+        }
+    }
+
+    /// A handle that records nothing (same as `Telemetry::default()`).
+    pub fn detached() -> Self {
+        Self::default()
+    }
+
+    /// Wrap an existing shared registry.
+    pub fn with_registry(registry: Arc<Registry>) -> Self {
+        Telemetry {
+            registry: Some(registry),
+        }
+    }
+
+    /// `true` when a registry is attached.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.registry.is_some()
+    }
+
+    /// The shared registry, when attached.
+    #[inline]
+    pub fn registry(&self) -> Option<&Arc<Registry>> {
+        self.registry.as_ref()
+    }
+
+    /// Prometheus text exposition (empty string when detached).
+    pub fn expose(&self) -> String {
+        self.registry
+            .as_deref()
+            .map(Registry::expose)
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_is_monotonic_and_exact() {
+        let r = Registry::new();
+        let c = r.counter("tsp_test_total", "test");
+        for _ in 0..1000 {
+            c.inc();
+        }
+        c.add(-5.0); // ignored
+        assert_eq!(c.value(), 1000.0);
+        assert_eq!(r.counter_value("tsp_test_total"), Some(1000.0));
+    }
+
+    #[test]
+    fn handles_share_storage_with_the_registry() {
+        let r = Registry::new();
+        let a = r.counter("tsp_shared_total", "test");
+        let b = r.counter("tsp_shared_total", "test");
+        a.inc();
+        b.inc();
+        assert_eq!(a.value(), 2.0);
+    }
+
+    #[test]
+    fn labeled_samples_are_distinct() {
+        let r = Registry::new();
+        let a = r.counter_with("tsp_lane_total", "test", &[("lane", "0")]);
+        let b = r.counter_with("tsp_lane_total", "test", &[("lane", "1")]);
+        a.inc();
+        a.inc();
+        b.inc();
+        assert_eq!(
+            r.counter_value_with("tsp_lane_total", &[("lane", "0")]),
+            Some(2.0)
+        );
+        assert_eq!(
+            r.counter_value_with("tsp_lane_total", &[("lane", "1")]),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let g = Gauge::new();
+        g.set(2.5);
+        g.add(-1.0);
+        assert_eq!(g.value(), 1.5);
+    }
+
+    #[test]
+    fn histogram_buckets_sum_count() {
+        let h = Histogram::new(&[1.0, 10.0]);
+        for v in [0.5, 0.9, 5.0, 100.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 0.5 + 0.9 + 5.0 + 100.0);
+        assert_eq!(h.cumulative_counts(), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn boundary_observation_lands_in_lower_bucket() {
+        // The text format's le is inclusive.
+        let h = Histogram::new(&[1.0, 10.0]);
+        h.observe(1.0);
+        assert_eq!(h.cumulative_counts(), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn exponential_buckets_shape() {
+        assert_eq!(exponential_buckets(1.0, 10.0, 3), vec![1.0, 10.0, 100.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        let _ = r.counter("tsp_kind_total", "test");
+        let _ = r.gauge("tsp_kind_total", "test");
+    }
+
+    #[test]
+    fn detached_telemetry_is_a_single_branch() {
+        let t = Telemetry::detached();
+        assert!(!t.is_enabled());
+        assert!(t.registry().is_none());
+        assert_eq!(t.expose(), "");
+    }
+
+    #[test]
+    fn clones_share_one_registry() {
+        let t = Telemetry::attached();
+        let u = t.clone();
+        t.registry().unwrap().counter("tsp_clone_total", "t").inc();
+        assert_eq!(
+            u.registry().unwrap().counter_value("tsp_clone_total"),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn concurrent_adds_do_not_lose_updates() {
+        let c = Counter::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.value(), 40_000.0);
+    }
+}

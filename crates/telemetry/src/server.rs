@@ -1,0 +1,184 @@
+//! A minimal embedded scrape endpoint: `GET /metrics` renders the
+//! attached registry in text format 0.0.4, `GET /healthz` answers
+//! `ok`. One accept-loop thread, one connection at a time — enough
+//! for a Prometheus scraper or a `curl` against a live run, with no
+//! dependency beyond `std::net`.
+
+use crate::prometheus::CONTENT_TYPE;
+use crate::registry::Telemetry;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// The scrape server. Shuts down (and joins its thread) on drop.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) {
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    // A peer that hung up mid-response is its own problem.
+    let _ = stream.write_all(response.as_bytes());
+}
+
+fn handle(mut stream: TcpStream, telemetry: &Telemetry) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let mut buf = [0u8; 4096];
+    let mut request = Vec::new();
+    // Read until the end of the request head (we ignore any body).
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                request.extend_from_slice(&buf[..n]);
+                if request.windows(4).any(|w| w == b"\r\n\r\n") || request.len() > 16 * 1024 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&request);
+    let mut parts = head.lines().next().unwrap_or_default().split_whitespace();
+    let method = parts.next().unwrap_or_default();
+    let path = parts.next().unwrap_or_default();
+    match (method, path) {
+        ("GET", "/metrics") => respond(&mut stream, "200 OK", CONTENT_TYPE, &telemetry.expose()),
+        ("GET", "/healthz") => respond(&mut stream, "200 OK", "text/plain; charset=utf-8", "ok\n"),
+        ("GET", _) => respond(
+            &mut stream,
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n",
+        ),
+        _ => respond(
+            &mut stream,
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n",
+        ),
+    }
+}
+
+impl MetricsServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// start serving the given telemetry handle in a background
+    /// thread. A detached handle serves an empty exposition.
+    pub fn spawn(telemetry: Telemetry, addr: impl ToSocketAddrs) -> io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = shutdown.clone();
+        let handle = std::thread::Builder::new()
+            .name("tsp-metrics".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if flag.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    if let Ok(stream) = conn {
+                        handle(stream, &telemetry);
+                    }
+                }
+            })?;
+        Ok(MetricsServer {
+            addr,
+            shutdown,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (port resolved when spawned with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the accept loop and join the thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            self.shutdown.store(true, Ordering::SeqCst);
+            // Unblock the accept() so the loop observes the flag.
+            let _ = TcpStream::connect(self.addr);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Blocking one-shot HTTP GET against a local server; returns
+/// `(status code, body)`. Used by the smoke example and tests to
+/// scrape without an external client.
+pub fn http_get(addr: SocketAddr, path: &str) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no header/body split"))?;
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no status code"))?;
+    Ok((status, body.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Telemetry;
+
+    #[test]
+    fn serves_metrics_and_healthz() {
+        let telemetry = Telemetry::attached();
+        telemetry
+            .registry()
+            .unwrap()
+            .counter("tsp_smoke_total", "smoke")
+            .inc();
+        let server = match MetricsServer::spawn(telemetry, "127.0.0.1:0") {
+            Ok(s) => s,
+            // Sandboxed environments may refuse to bind; the CI smoke
+            // job covers the live path.
+            Err(e) => {
+                eprintln!("skipping: cannot bind a loopback socket: {e}");
+                return;
+            }
+        };
+        let (status, body) = http_get(server.addr(), "/metrics").expect("scrape");
+        assert_eq!(status, 200);
+        assert!(body.contains("tsp_smoke_total 1"), "{body}");
+        crate::prometheus::parse_text(&body).expect("payload must parse");
+
+        let (status, body) = http_get(server.addr(), "/healthz").expect("health");
+        assert_eq!(status, 200);
+        assert_eq!(body, "ok\n");
+
+        let (status, _) = http_get(server.addr(), "/nope").expect("404");
+        assert_eq!(status, 404);
+        server.shutdown();
+    }
+}

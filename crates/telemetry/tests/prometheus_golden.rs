@@ -1,0 +1,112 @@
+//! Golden-file test for the Prometheus exposition writer: a scripted
+//! registry covering all three instrument kinds (with and without
+//! labels, including values needing label escapes) must serialize to
+//! byte-identical text-format 0.0.4 forever.
+
+use tsp_telemetry::{parse_text, Registry, SECONDS_BUCKETS};
+
+const GOLDEN: &str = include_str!("golden/scripted_registry.prom");
+
+fn scripted_registry() -> Registry {
+    let r = Registry::new();
+
+    let sweeps = r.counter("tsp_search_sweeps_total", "Completed descent sweeps");
+    sweeps.add(12.0);
+
+    let best = r.gauge("tsp_ils_best_length", "Best tour length seen so far");
+    best.set(9216.0);
+
+    let rate = r.gauge("tsp_ils_acceptance_rate", "Accepted / attempted iterations");
+    rate.set(0.625);
+
+    let kernel = r.histogram(
+        "tsp_gpu_kernel_seconds",
+        "Modeled kernel time per launch",
+        SECONDS_BUCKETS,
+    );
+    // Exact binary fractions so the sum is an exact decimal.
+    kernel.observe(0.000244140625); // 2^-12
+    kernel.observe(0.0001220703125); // 2^-13
+    kernel.observe(0.25); // 2^-2
+
+    for (device, stream, jobs) in [(0, 0, 3), (0, 1, 2), (1, 0, 3)] {
+        let lane = r.counter_with(
+            "tsp_pool_lane_jobs_total",
+            "ILS chains executed per pool lane",
+            &[
+                ("device", device.to_string().as_str()),
+                ("stream", stream.to_string().as_str()),
+            ],
+        );
+        lane.add(f64::from(jobs));
+    }
+
+    let weird = r.counter_with(
+        "tsp_label_escape_total",
+        "Label values with quotes and backslashes survive exposition",
+        &[("path", "a\\b\"c")],
+    );
+    weird.inc();
+
+    r
+}
+
+#[test]
+fn exposition_matches_golden_bytes() {
+    let actual = scripted_registry().expose();
+    if std::env::var_os("REGEN_GOLDEN").is_some() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/golden/scripted_registry.prom"
+        );
+        std::fs::write(path, &actual).expect("write golden");
+    }
+    assert_eq!(
+        actual, GOLDEN,
+        "Prometheus exposition drifted from the committed golden file; \
+         if the change is intentional, rerun with REGEN_GOLDEN=1 and \
+         review the diff"
+    );
+}
+
+#[test]
+fn golden_is_valid_text_format() {
+    let families = parse_text(GOLDEN).expect("golden must be valid text format 0.0.4");
+    let names: Vec<&str> = families.iter().map(|f| f.name.as_str()).collect();
+    assert_eq!(
+        names,
+        vec![
+            "tsp_gpu_kernel_seconds",
+            "tsp_ils_acceptance_rate",
+            "tsp_ils_best_length",
+            "tsp_label_escape_total",
+            "tsp_pool_lane_jobs_total",
+            "tsp_search_sweeps_total",
+        ],
+        "families are exposed in name order"
+    );
+
+    let hist = families
+        .iter()
+        .find(|f| f.name == "tsp_gpu_kernel_seconds")
+        .expect("histogram family present");
+    assert_eq!(hist.kind, "histogram");
+    assert_eq!(
+        hist.samples,
+        SECONDS_BUCKETS.len() + 3,
+        "finite buckets + +Inf + sum + count"
+    );
+
+    let lanes = families
+        .iter()
+        .find(|f| f.name == "tsp_pool_lane_jobs_total")
+        .expect("lane family present");
+    assert_eq!(lanes.samples, 3, "one sample per labeled lane");
+
+    // The histogram's exact-binary observations produce an exact sum.
+    assert!(
+        GOLDEN.contains("tsp_gpu_kernel_seconds_sum 0.2503662109375"),
+        "histogram sum is exact"
+    );
+    assert!(GOLDEN.contains("tsp_gpu_kernel_seconds_count 3"));
+}

@@ -17,16 +17,15 @@
 //! assert!(solution.length <= solution.initial_length);
 //! ```
 //!
-//! The pre-facade entry points (`GpuTwoOpt` + `optimize`,
-//! `iterated_local_search`, `parallel_multistart`) remain available —
-//! re-exported here as deprecated shims — but new code should go
-//! through [`Solver`].
+//! The pre-facade entry points live on in the layer crates
+//! (`tsp::twoopt`, `tsp::ils`, …); new code should go through
+//! [`Solver`].
 
 pub mod error;
 pub mod solver;
 
 pub use error::TspError;
-pub use solver::{Construction, EngineKind, Solution, Solver, SolverBuilder};
+pub use solver::{Construction, EngineKind, Solution, Solver, SolverBuilder, TelemetryOptions};
 
 // The layer crates, under stable facade names.
 pub use gpu_sim as sim;
@@ -34,94 +33,47 @@ pub use tsp_2opt as twoopt;
 pub use tsp_construction as construction;
 pub use tsp_core as core;
 pub use tsp_ils as ils;
+pub use tsp_telemetry as telemetry;
 pub use tsp_trace as trace;
 pub use tsp_tsplib as tsplib;
 
 /// Everything a typical solve needs, one `use` away.
 pub mod prelude {
     pub use crate::error::TspError;
-    pub use crate::solver::{Construction, EngineKind, Solution, Solver, SolverBuilder};
+    pub use crate::solver::{
+        Construction, EngineKind, Solution, Solver, SolverBuilder, TelemetryOptions,
+    };
     pub use gpu_sim::{spec, DevicePool, DeviceSpec, StreamId, StreamReport};
     pub use tsp_2opt::{SearchOptions, Strategy, TwoOptEngine};
     pub use tsp_core::{Instance, Metric, Point, Tour};
     pub use tsp_ils::{Acceptance, IlsOptions, Perturbation, ShardedMultistart, ShardedOutcome};
+    pub use tsp_telemetry::{Journal, JournalRecord, MetricsServer, Telemetry};
     pub use tsp_trace::Recorder;
 }
 
-/// Deprecated pre-facade engine type. `tsp_2opt::GpuTwoOpt` re-exported
-/// so old call sites keep compiling; new code configures the same
-/// engine through [`SolverBuilder`].
-#[deprecated(note = "use `tsp::Solver` (see `SolverBuilder`) instead")]
-pub type GpuTwoOpt = tsp_2opt::GpuTwoOpt;
-
-/// Deprecated pre-facade ILS entry point. Thin wrapper over
-/// `tsp_ils::iterated_local_search` returning the facade error type;
-/// new code calls [`SolverBuilder::ils`].
-#[deprecated(note = "use `tsp::Solver` with `SolverBuilder::ils` instead")]
-pub fn iterated_local_search<E: tsp_2opt::TwoOptEngine + ?Sized>(
-    engine: &mut E,
-    inst: &tsp_core::Instance,
-    initial: tsp_core::Tour,
-    opts: tsp_ils::IlsOptions,
-) -> Result<tsp_ils::IlsOutcome, TspError> {
-    tsp_ils::iterated_local_search(engine, inst, initial, opts).map_err(TspError::from)
-}
-
-/// Deprecated pre-facade multistart driver: holds the starting tours
-/// and options, runs one host thread per chain. New code calls
-/// [`SolverBuilder::restarts`] (optionally with
-/// [`SolverBuilder::devices`] / [`SolverBuilder::streams`] to shard
-/// over a device pool).
-#[deprecated(note = "use `tsp::Solver` with `SolverBuilder::restarts` instead")]
-pub struct MultiStart {
-    /// One ILS chain per starting tour.
-    pub starts: Vec<tsp_core::Tour>,
-    /// Shared options; chain `i` runs with seed `opts.seed + i`.
-    pub opts: tsp_ils::IlsOptions,
-}
-
-#[allow(deprecated)]
-impl MultiStart {
-    /// Bundle starts and options.
-    pub fn new(starts: Vec<tsp_core::Tour>, opts: tsp_ils::IlsOptions) -> Self {
-        MultiStart { starts, opts }
-    }
-
-    /// Run every chain (engine per chain from `factory`) and return
-    /// `(best, all)` exactly like `tsp_ils::parallel_multistart`.
-    pub fn run<E, F>(
-        self,
-        factory: F,
-        inst: &tsp_core::Instance,
-    ) -> Result<(tsp_ils::IlsOutcome, Vec<tsp_ils::IlsOutcome>), TspError>
-    where
-        E: tsp_2opt::TwoOptEngine + Send,
-        F: Fn() -> E + Sync,
-    {
-        tsp_ils::parallel_multistart(factory, inst, self.starts, self.opts).map_err(TspError::from)
-    }
-}
-
 #[cfg(test)]
-#[allow(deprecated)]
-mod shim_tests {
+mod facade_tests {
     use super::*;
     use tsp_core::Tour;
     use tsp_tsplib::{generate, Style};
 
+    // The facade's single-chain and multistart paths agree with the
+    // layer-crate entry points they wrap (this replaced the deprecated
+    // shim test when the shims were removed).
     #[test]
-    fn deprecated_shims_agree_with_the_facade_paths() {
+    fn facade_agrees_with_the_layer_crate_paths() {
         let inst = generate("shim", 50, Style::Uniform, 2);
         let opts = tsp_ils::IlsOptions::default()
             .with_max_iterations(4u64)
             .with_seed(17);
 
-        // Old style: engine + free function.
-        let mut engine = GpuTwoOpt::new(gpu_sim::spec::gtx_680_cuda());
+        // Layer style: engine + free function.
+        let mut engine = tsp_2opt::GpuTwoOpt::new(gpu_sim::spec::gtx_680_cuda());
         let old =
-            iterated_local_search(&mut engine, &inst, Tour::identity(50), opts.clone()).unwrap();
+            tsp_ils::iterated_local_search(&mut engine, &inst, Tour::identity(50), opts.clone())
+                .unwrap();
 
-        // New style: the facade.
+        // Facade style.
         let new = Solver::builder()
             .construction(Construction::Identity)
             .ils(opts.clone())
@@ -131,19 +83,24 @@ mod shim_tests {
         assert_eq!(old.best_length, new.length);
         assert_eq!(old.best.as_slice(), new.tour.as_slice());
 
-        // MultiStart shim delegates to parallel_multistart.
+        // Facade restarts reduce exactly like parallel_multistart.
         let starts = vec![Tour::identity(50), Tour::identity(50)];
-        let (best, all) = MultiStart::new(starts.clone(), opts.clone())
-            .run(|| GpuTwoOpt::new(gpu_sim::spec::gtx_680_cuda()), &inst)
-            .unwrap();
-        let (best2, all2) = tsp_ils::parallel_multistart(
-            || GpuTwoOpt::new(gpu_sim::spec::gtx_680_cuda()),
+        let (best, all) = tsp_ils::parallel_multistart(
+            || tsp_2opt::GpuTwoOpt::new(gpu_sim::spec::gtx_680_cuda()),
             &inst,
             starts,
-            opts,
+            opts.clone(),
         )
         .unwrap();
-        assert_eq!(best.best_length, best2.best_length);
-        assert_eq!(all.len(), all2.len());
+        let sharded = Solver::builder()
+            .construction(Construction::Identity)
+            .ils(opts)
+            .restarts(2)
+            .build()
+            .run(&inst)
+            .unwrap();
+        assert_eq!(all.len(), sharded.chains);
+        assert_eq!(best.best_length, sharded.length);
+        assert_eq!(best.best.as_slice(), sharded.tour.as_slice());
     }
 }

@@ -11,14 +11,80 @@ use gpu_sim::{DevicePool, DeviceSpec, Recorder, StreamReport, Timeline};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use tsp_2opt::{
-    optimize_with_recorder, CpuParallelTwoOpt, GpuTwoOpt, SearchOptions, SequentialTwoOpt,
-    StepProfile, Strategy, TwoOptEngine,
+    optimize_observed, CpuParallelTwoOpt, GpuTwoOpt, SearchOptions, SequentialTwoOpt, StepProfile,
+    Strategy, TwoOptEngine,
 };
 use tsp_construction::{multiple_fragment, nearest_neighbor, space_filling};
 use tsp_core::{Instance, Tour};
 use tsp_ils::{
     iterated_local_search, IlsOptions, IlsOutcome, ShardedMultistart, ShardedOutcome, TracePoint,
 };
+use tsp_telemetry::{Journal, Telemetry};
+
+/// Live-observability knobs for [`SolverBuilder::telemetry`]: a
+/// metrics-registry handle and a convergence journal. Both are
+/// disabled by default and cost a single branch per observation site
+/// when left detached.
+///
+/// ```
+/// use tsp::prelude::*;
+///
+/// let inst = tsp::tsplib::generate("obs", 48, tsp::tsplib::Style::Uniform, 1);
+/// let solution = Solver::builder()
+///     .ils(IlsOptions::default().with_max_iterations(3u64))
+///     .telemetry(TelemetryOptions::attached())
+///     .build()
+///     .run(&inst)
+///     .unwrap();
+/// // The handles come back on the Solution, ready to expose or dump.
+/// let text = solution.telemetry.expose();
+/// assert!(text.contains("tsp_ils_iterations_total"));
+/// assert!(!solution.journal.is_empty());
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct TelemetryOptions {
+    registry: Telemetry,
+    journal: Journal,
+}
+
+impl TelemetryOptions {
+    /// Both handles detached (the default).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A fresh attached registry and journal — the one-liner for "turn
+    /// everything on".
+    pub fn attached() -> Self {
+        TelemetryOptions {
+            registry: Telemetry::attached(),
+            journal: Journal::attached(),
+        }
+    }
+
+    /// Use this metrics-registry handle (share it with a
+    /// [`tsp_telemetry::MetricsServer`] to scrape a live run).
+    pub fn with_registry(mut self, registry: Telemetry) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// Use this convergence journal.
+    pub fn with_journal(mut self, journal: Journal) -> Self {
+        self.journal = journal;
+        self
+    }
+
+    /// The registry handle.
+    pub fn registry(&self) -> &Telemetry {
+        &self.registry
+    }
+
+    /// The journal handle.
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+}
 
 /// Which local-search engine executes the sweeps.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -84,6 +150,7 @@ pub struct SolverBuilder {
     ils: Option<IlsOptions>,
     timeline: Option<Timeline>,
     recorder: Option<Recorder>,
+    telemetry: TelemetryOptions,
 }
 
 impl Default for SolverBuilder {
@@ -102,6 +169,7 @@ impl Default for SolverBuilder {
             ils: None,
             timeline: None,
             recorder: None,
+            telemetry: TelemetryOptions::default(),
         }
     }
 }
@@ -198,6 +266,15 @@ impl SolverBuilder {
         self
     }
 
+    /// Attach live metrics and/or a convergence journal. The handles
+    /// are wired through every layer the run touches — device kernels
+    /// and transfers, pool lanes, search sweeps, ILS iterations — and
+    /// come back on the [`Solution`].
+    pub fn telemetry(mut self, telemetry: TelemetryOptions) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
     /// Finalize the configuration.
     pub fn build(self) -> Solver {
         Solver { cfg: self }
@@ -226,6 +303,13 @@ pub struct Solution {
     pub trace: Vec<TracePoint>,
     /// Per-device modeled schedules (sharded runs only).
     pub reports: Vec<StreamReport>,
+    /// The run's metrics-registry handle — detached unless one was
+    /// attached via [`SolverBuilder::telemetry`]; expose or snapshot
+    /// it after the run.
+    pub telemetry: Telemetry,
+    /// The run's convergence journal — detached unless one was
+    /// attached via [`SolverBuilder::telemetry`].
+    pub journal: Journal,
 }
 
 impl Solution {
@@ -313,14 +397,15 @@ impl Solver {
             None => {
                 let mut tour = start;
                 let recorder = cfg.recorder.clone().unwrap_or_else(Recorder::disabled);
-                let stats = optimize_with_recorder(
+                let stats = optimize_observed(
                     engine.as_mut(),
                     inst,
                     &mut tour,
                     cfg.search,
                     &recorder,
+                    cfg.telemetry.registry(),
                 )?;
-                Ok(Solution {
+                Ok(self.stamp(Solution {
                     length: stats.final_length,
                     tour,
                     initial_length,
@@ -330,17 +415,19 @@ impl Solver {
                     host_seconds: stats.host_seconds,
                     trace: Vec::new(),
                     reports: Vec::new(),
-                })
+                    telemetry: Telemetry::detached(),
+                    journal: Journal::detached(),
+                }))
             }
             Some(opts) => {
                 let outcome =
                     iterated_local_search(engine.as_mut(), inst, start, self.ils_opts(opts))?;
-                Ok(solution_from_outcome(
+                Ok(self.stamp(solution_from_outcome(
                     outcome,
                     initial_length,
                     1,
                     Vec::new(),
-                ))
+                )))
             }
         }
     }
@@ -372,6 +459,7 @@ impl Solver {
                 if let Some(rec) = &cfg.recorder {
                     pool.attach_recorder(rec.clone());
                 }
+                pool.attach_telemetry(cfg.telemetry.registry());
                 let sharded = ShardedMultistart::new(pool);
                 let out = sharded.run(
                     |device, stream| {
@@ -393,27 +481,37 @@ impl Solver {
                 let mut solution =
                     solution_from_outcome(best, initial_length, chains.len(), reports);
                 solution.profile = profile;
-                Ok(solution)
+                Ok(self.stamp(solution))
             }
             EngineKind::CpuParallel => {
                 let (best, chains) =
                     tsp_ils::parallel_multistart(CpuParallelTwoOpt::new, inst, starts, opts)?;
-                Ok(aggregate_host_chains(best, &chains, initial_length))
+                Ok(self.stamp(aggregate_host_chains(best, &chains, initial_length)))
             }
             EngineKind::Sequential => {
                 let (best, chains) =
                     tsp_ils::parallel_multistart(SequentialTwoOpt::new, inst, starts, opts)?;
-                Ok(aggregate_host_chains(best, &chains, initial_length))
+                Ok(self.stamp(aggregate_host_chains(best, &chains, initial_length)))
             }
         }
     }
 
-    /// The configured ILS options plus the facade-level recorder.
+    /// The configured ILS options plus the facade-level recorder and
+    /// observability handles.
     fn ils_opts(&self, opts: &IlsOptions) -> IlsOptions {
-        match &self.cfg.recorder {
-            Some(rec) => opts.clone().with_recorder(rec.clone()),
-            None => opts.clone(),
+        let mut opts = opts.clone();
+        if let Some(rec) = &self.cfg.recorder {
+            opts = opts.with_recorder(rec.clone());
         }
+        opts.with_telemetry(self.cfg.telemetry.registry().clone())
+            .with_journal(self.cfg.telemetry.journal().clone())
+    }
+
+    /// Hand the run's observability handles back on the solution.
+    fn stamp(&self, mut solution: Solution) -> Solution {
+        solution.telemetry = self.cfg.telemetry.registry().clone();
+        solution.journal = self.cfg.telemetry.journal().clone();
+        solution
     }
 
     /// One engine on a private device (serial path).
@@ -427,6 +525,7 @@ impl Solver {
                 if let Some(rec) = &self.cfg.recorder {
                     engine = engine.with_recorder(rec.clone());
                 }
+                engine = engine.with_telemetry(self.cfg.telemetry.registry());
                 Box::new(engine)
             }
             EngineKind::CpuParallel => Box::new(CpuParallelTwoOpt::new()),
@@ -477,6 +576,8 @@ fn solution_from_outcome(
         host_seconds: outcome.host_seconds,
         trace: outcome.trace,
         reports,
+        telemetry: Telemetry::detached(),
+        journal: Journal::detached(),
     }
 }
 
@@ -586,6 +687,60 @@ mod tests {
                 .unwrap_err();
             assert!(matches!(err, TspError::Unsupported(_)));
         }
+    }
+
+    #[test]
+    fn telemetry_spans_every_layer_on_a_sharded_run() {
+        let inst = instance(48, 9);
+        let s = Solver::builder()
+            .construction(Construction::Random(5))
+            .ils(IlsOptions::default().with_max_iterations(3u64))
+            .devices(2)
+            .streams(2)
+            .restarts(4)
+            .telemetry(TelemetryOptions::attached())
+            .build()
+            .run(&inst)
+            .unwrap();
+        let reg = s.telemetry.registry().unwrap();
+        // Every layer reported: devices, pool lanes, sweeps, ILS.
+        for family in [
+            "tsp_gpu_kernel_launches_total",
+            "tsp_pool_lane_jobs_total",
+            "tsp_search_sweeps_total",
+            "tsp_ils_iterations_total",
+        ] {
+            assert!(
+                reg.family_names().contains(&family.to_string()),
+                "missing {family}"
+            );
+        }
+        assert_eq!(
+            reg.counter_value("tsp_ils_iterations_total"),
+            Some(3.0 * 4.0)
+        );
+        // Journal: 4 chains, each with Initial + 3 iterations + Final.
+        assert_eq!(s.journal.len(), 4 * 5);
+        let chains: std::collections::BTreeSet<u64> =
+            s.journal.records().iter().map(|r| r.chain).collect();
+        assert_eq!(chains.len(), 4);
+
+        // A telemetry-free run of the same configuration is untouched
+        // by the observability machinery.
+        let plain = Solver::builder()
+            .construction(Construction::Random(5))
+            .ils(IlsOptions::default().with_max_iterations(3u64))
+            .devices(2)
+            .streams(2)
+            .restarts(4)
+            .build()
+            .run(&inst)
+            .unwrap();
+        assert_eq!(plain.tour.as_slice(), s.tour.as_slice());
+        assert_eq!(plain.length, s.length);
+        assert_eq!(plain.wall_seconds().to_bits(), s.wall_seconds().to_bits());
+        assert!(!plain.telemetry.is_enabled());
+        assert!(!plain.journal.is_enabled());
     }
 
     #[test]

@@ -2,6 +2,9 @@
 //! write the Chrome-trace JSON — the CI smoke proving the end-to-end
 //! pipeline (facade → device pool → stream scheduler → trace exporter)
 //! produces a valid, non-empty trace with per-device×stream tracks.
+//! The run also attaches live telemetry, serves it on an embedded
+//! `/metrics` endpoint, scrapes itself once over HTTP, and validates
+//! the Prometheus payload — the telemetry half of the CI smoke.
 //!
 //! ```text
 //! cargo run --release -p tsp-apps --example traced_ils -- [n] [iterations] [out.trace.json]
@@ -44,6 +47,7 @@ fn main() {
         .streams(2)
         .restarts(4)
         .recorder(recorder.clone())
+        .telemetry(TelemetryOptions::attached())
         .build()
         .run(&inst)
         .expect("generated instances are coordinate-based");
@@ -92,4 +96,31 @@ fn main() {
     if let Some(roofline) = RooflineReport::from_events(&events) {
         print!("\n{}", roofline.to_text());
     }
+
+    // Telemetry smoke: serve the run's registry on a loopback port,
+    // scrape it once over real HTTP, and validate the payload as
+    // Prometheus text format 0.0.4.
+    let server = MetricsServer::spawn(solution.telemetry.clone(), "127.0.0.1:0")
+        .expect("bind a loopback metrics port");
+    let (status, body) = tsp::telemetry::http_get(server.addr(), "/metrics").expect("self-scrape");
+    assert_eq!(status, 200, "metrics endpoint must answer 200");
+    let families = tsp::telemetry::parse_text(&body).expect("payload is valid Prometheus text");
+    for required in [
+        "tsp_gpu_kernel_launches_total",
+        "tsp_pool_lane_jobs_total",
+        "tsp_search_sweeps_total",
+        "tsp_ils_iterations_total",
+        "tsp_ils_best_length",
+    ] {
+        assert!(
+            families.iter().any(|f| f.name == required),
+            "scrape is missing {required}"
+        );
+    }
+    println!(
+        "telemetry: scraped {} metric families from http://{}/metrics",
+        families.len(),
+        server.addr()
+    );
+    server.shutdown();
 }
