@@ -1,0 +1,225 @@
+//! `tsp-inspect` — render flight recordings into human-readable views.
+//!
+//! Everything is derived from the recording alone; the solver is never
+//! re-run. Subcommands:
+//!
+//! ```text
+//! tsp-inspect heatmap   --recording run.jsonl [--chain N] [--buckets B] [--pgm out.pgm]
+//! tsp-inspect svg       --recording run.jsonl --gen style:n:seed [--chain N] [--iteration K] [--out t.svg]
+//! tsp-inspect timeline  --recording run.jsonl [--chain N]
+//! tsp-inspect anomalies --recording run.jsonl [--chain N] [--plateau T] [--instance f.tsp | --gen ...]
+//! ```
+//!
+//! `--instance` loads a TSPLIB file, `--gen uniform:512:42` regenerates
+//! a synthetic instance; the recording's digest header guards against
+//! passing the wrong one.
+
+use std::fs;
+use std::process::ExitCode;
+use tsp_apps::inspect::{
+    detect_anomalies, heatmap_grid, render_heatmap_pgm, render_heatmap_text, render_timeline,
+    timeline, tour_svg,
+};
+use tsp_core::Instance;
+use tsp_replay::{digest_instance, parse_recording, Recording};
+use tsp_tsplib::{generate, Style};
+
+const USAGE: &str = "usage: tsp-inspect <heatmap|svg|timeline|anomalies> --recording <file.jsonl>
+  common:     --chain N            chain to inspect (default 0)
+  heatmap:    --buckets B          grid resolution (default 32)
+              --pgm FILE           also write a PGM (P2) image
+  svg:        --iteration K        tour snapshot after ILS iteration K (default 0)
+              --out FILE           write the SVG here (default stdout)
+  anomalies:  --plateau T          non-improving run that counts as a stall (default 20)
+  instance:   --instance FILE.tsp  TSPLIB instance (svg requires one source)
+              --gen STYLE:N:SEED   regenerate, e.g. uniform:512:42";
+
+struct Args {
+    command: String,
+    recording: Option<String>,
+    chain: u64,
+    iteration: u64,
+    buckets: usize,
+    plateau: u64,
+    pgm: Option<String>,
+    out: Option<String>,
+    instance: Option<String>,
+    gen_spec: Option<String>,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let command = argv.first().cloned().ok_or("missing subcommand")?;
+    if !matches!(
+        command.as_str(),
+        "heatmap" | "svg" | "timeline" | "anomalies"
+    ) {
+        return Err(format!("unknown subcommand {command:?}"));
+    }
+    let mut args = Args {
+        command,
+        recording: None,
+        chain: 0,
+        iteration: 0,
+        buckets: 32,
+        plateau: 20,
+        pgm: None,
+        out: None,
+        instance: None,
+        gen_spec: None,
+    };
+    let mut it = argv[1..].iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--recording" => args.recording = Some(value("--recording")?),
+            "--chain" => {
+                args.chain = value("--chain")?.parse().map_err(|_| "bad --chain")?;
+            }
+            "--iteration" => {
+                args.iteration = value("--iteration")?
+                    .parse()
+                    .map_err(|_| "bad --iteration")?;
+            }
+            "--buckets" => {
+                args.buckets = value("--buckets")?.parse().map_err(|_| "bad --buckets")?;
+                if args.buckets == 0 {
+                    return Err("--buckets must be positive".into());
+                }
+            }
+            "--plateau" => {
+                args.plateau = value("--plateau")?.parse().map_err(|_| "bad --plateau")?;
+            }
+            "--pgm" => args.pgm = Some(value("--pgm")?),
+            "--out" => args.out = Some(value("--out")?),
+            "--instance" => args.instance = Some(value("--instance")?),
+            "--gen" => args.gen_spec = Some(value("--gen")?),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if args.recording.is_none() {
+        return Err("--recording is required".into());
+    }
+    Ok(args)
+}
+
+/// `style:n:seed` → a regenerated synthetic instance.
+fn parse_gen(spec: &str) -> Result<Instance, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let [style, n, seed] = parts.as_slice() else {
+        return Err(format!("--gen wants style:n:seed, got {spec:?}"));
+    };
+    let style = match *style {
+        "uniform" => Style::Uniform,
+        "clustered" => Style::Clustered { clusters: 8 },
+        "grid" => Style::Grid,
+        other => return Err(format!("unknown style {other:?} (uniform|clustered|grid)")),
+    };
+    let n: usize = n.parse().map_err(|_| format!("bad city count {n:?}"))?;
+    let seed: u64 = seed.parse().map_err(|_| format!("bad seed {seed:?}"))?;
+    Ok(generate("gen", n, style, seed))
+}
+
+/// Resolve `--instance` / `--gen` and digest-check against the header.
+fn resolve_instance(args: &Args, recording: &Recording) -> Result<Option<Instance>, String> {
+    let inst = match (&args.instance, &args.gen_spec) {
+        (Some(_), Some(_)) => return Err("pass --instance or --gen, not both".into()),
+        (Some(path), None) => tsp_tsplib::load(path).map_err(|e| format!("{path}: {e}"))?,
+        (None, Some(spec)) => parse_gen(spec)?,
+        (None, None) => return Ok(None),
+    };
+    if digest_instance(&inst) != recording.header.instance_digest {
+        return Err(format!(
+            "instance digest {:016x} does not match the recording's {:016x} — \
+             this is not the instance the run was recorded on",
+            digest_instance(&inst),
+            recording.header.instance_digest
+        ));
+    }
+    Ok(Some(inst))
+}
+
+fn emit(out: &Option<String>, content: &str) -> Result<(), String> {
+    match out {
+        Some(path) => {
+            fs::write(path, content).map_err(|e| format!("{path}: {e}"))?;
+            println!("wrote {path}");
+            Ok(())
+        }
+        None => {
+            print!("{content}");
+            Ok(())
+        }
+    }
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let args = parse_args(argv)?;
+    let path = args.recording.as_deref().unwrap();
+    let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let recording = parse_recording(&text)?;
+    if !recording.chains().contains(&args.chain) {
+        return Err(format!(
+            "recording has no chain {} (chains present: {:?})",
+            args.chain,
+            recording.chains()
+        ));
+    }
+    println!(
+        "recording: {} (n={}, {} chains, {} events)",
+        recording.header.instance_name,
+        recording.header.n,
+        recording.header.chains,
+        recording.len()
+    );
+    match args.command.as_str() {
+        "heatmap" => {
+            let grid = heatmap_grid(&recording, args.chain, args.buckets);
+            print!("{}", render_heatmap_text(&grid));
+            if let Some(pgm_path) = &args.pgm {
+                fs::write(pgm_path, render_heatmap_pgm(&grid))
+                    .map_err(|e| format!("{pgm_path}: {e}"))?;
+                println!("wrote {pgm_path}");
+            }
+            Ok(())
+        }
+        "svg" => {
+            let inst = resolve_instance(&args, &recording)?
+                .ok_or("svg needs coordinates: pass --instance or --gen")?;
+            let svg = tour_svg(&recording, args.chain, args.iteration, &inst)?;
+            emit(&args.out, &svg)
+        }
+        "timeline" => {
+            let points = timeline(&recording, args.chain);
+            print!("{}", render_timeline(&points));
+            Ok(())
+        }
+        "anomalies" => {
+            let inst = resolve_instance(&args, &recording)?;
+            let report = detect_anomalies(&recording, args.chain, inst.as_ref(), args.plateau);
+            print!("{report}");
+            if report.any() {
+                println!("status: ANOMALIES FOUND");
+            } else {
+                println!("status: clean");
+            }
+            Ok(())
+        }
+        _ => unreachable!("parse_args validated the subcommand"),
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("tsp-inspect: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

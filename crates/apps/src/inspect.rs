@@ -1,0 +1,485 @@
+//! Search introspection over flight recordings — the library half of
+//! the `tsp-inspect` binary.
+//!
+//! Everything here renders from the recording alone: no solver is
+//! re-run. Sweep events carry the applied `(i, j, delta)` moves (the
+//! heatmap and timeline), the event stream re-derives tour snapshots
+//! through [`TourReconstructor`], and the acceptance/kick events drive
+//! the stall report.
+//!
+//! [`TourReconstructor`]: tsp_replay::TourReconstructor
+
+use std::fmt;
+use tsp_core::Instance;
+use tsp_replay::{tour_at_iteration, Recording, ReplayEvent};
+
+/// Aggregate the applied moves of `chain` into a `buckets × buckets`
+/// grid over the `(i, j)` candidate matrix, each cell summing the
+/// improvement magnitude `|delta|` of the moves that landed in it.
+/// Rows index `i`, columns `j`; only the `j > i` triangle is ever
+/// populated, mirroring the kernels' candidate space.
+pub fn heatmap_grid(recording: &Recording, chain: u64, buckets: usize) -> Vec<Vec<f64>> {
+    assert!(buckets > 0, "at least one bucket");
+    let n = recording.header.n.max(1);
+    let mut grid = vec![vec![0.0f64; buckets]; buckets];
+    let scale = |pos: u32| -> usize {
+        let b = (pos as usize * buckets) / n;
+        b.min(buckets - 1)
+    };
+    for event in recording.chain_events(chain) {
+        if let ReplayEvent::Sweep { i, j, delta, .. } = event {
+            grid[scale(i)][scale(j)] += f64::from(delta.unsigned_abs());
+        }
+    }
+    grid
+}
+
+/// Render a heatmap grid as text, one shaded character per cell,
+/// scaled to the hottest cell.
+pub fn render_heatmap_text(grid: &[Vec<f64>]) -> String {
+    const SHADES: [char; 10] = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+    let max = grid
+        .iter()
+        .flatten()
+        .copied()
+        .fold(0.0f64, f64::max)
+        .max(f64::MIN_POSITIVE);
+    let mut out = String::new();
+    for row in grid {
+        for &cell in row {
+            let level = ((cell / max) * (SHADES.len() - 1) as f64).round() as usize;
+            out.push(SHADES[level.min(SHADES.len() - 1)]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a heatmap grid as a plain-text PGM (P2) image, 8-bit grey,
+/// scaled to the hottest cell.
+pub fn render_heatmap_pgm(grid: &[Vec<f64>]) -> String {
+    let h = grid.len();
+    let w = grid.first().map_or(0, Vec::len);
+    let max = grid
+        .iter()
+        .flatten()
+        .copied()
+        .fold(0.0f64, f64::max)
+        .max(f64::MIN_POSITIVE);
+    let mut out = format!("P2\n{w} {h}\n255\n");
+    for row in grid {
+        let line: Vec<String> = row
+            .iter()
+            .map(|&cell| (((cell / max) * 255.0).round() as u32).min(255).to_string())
+            .collect();
+        out.push_str(&line.join(" "));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render the chain's incumbent tour after `iteration` as an SVG
+/// drawing (closed polyline over the instance coordinates). The tour
+/// is reconstructed from the event log; `inst` only supplies the
+/// coordinates, and must match the recording's digest-checked instance.
+pub fn tour_svg(
+    recording: &Recording,
+    chain: u64,
+    iteration: u64,
+    inst: &Instance,
+) -> Result<String, String> {
+    if !inst.is_coordinate_based() {
+        return Err("SVG rendering needs a coordinate-based instance".into());
+    }
+    if inst.len() != recording.header.n {
+        return Err(format!(
+            "instance has {} cities but the recording was taken on {}",
+            inst.len(),
+            recording.header.n
+        ));
+    }
+    let tour = tour_at_iteration(recording, chain, iteration)?;
+    let pts: Vec<(f32, f32)> = tour
+        .as_slice()
+        .iter()
+        .map(|&c| {
+            let p = inst.point(c as usize);
+            (p.x, p.y)
+        })
+        .collect();
+    let (mut min_x, mut min_y, mut max_x, mut max_y) = (f32::MAX, f32::MAX, f32::MIN, f32::MIN);
+    for &(x, y) in &pts {
+        min_x = min_x.min(x);
+        min_y = min_y.min(y);
+        max_x = max_x.max(x);
+        max_y = max_y.max(y);
+    }
+    let pad = ((max_x - min_x).max(max_y - min_y) * 0.02).max(1.0);
+    let (w, h) = (max_x - min_x + 2.0 * pad, max_y - min_y + 2.0 * pad);
+    let mut path = String::new();
+    for (k, &(x, y)) in pts.iter().enumerate() {
+        let cmd = if k == 0 { 'M' } else { 'L' };
+        path.push_str(&format!("{cmd}{} {} ", x - min_x + pad, y - min_y + pad));
+    }
+    path.push('Z');
+    let mut svg = format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" viewBox=\"0 0 {w} {h}\" width=\"800\">\n\
+         <title>{} chain {chain} iteration {iteration}</title>\n\
+         <path d=\"{path}\" fill=\"none\" stroke=\"#1f4e79\" stroke-width=\"{}\"/>\n",
+        recording.header.instance_name,
+        (w.max(h) / 400.0).max(0.5),
+    );
+    let r = (w.max(h) / 250.0).max(0.75);
+    for &(x, y) in &pts {
+        svg.push_str(&format!(
+            "<circle cx=\"{}\" cy=\"{}\" r=\"{r}\" fill=\"#c0392b\"/>\n",
+            x - min_x + pad,
+            y - min_y + pad
+        ));
+    }
+    svg.push_str("</svg>\n");
+    Ok(svg)
+}
+
+/// One row of the move-delta timeline: an ILS iteration's descended
+/// candidate and the acceptance verdict.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimelinePoint {
+    /// ILS iteration (0 = the initial descent, always "accepted").
+    pub iteration: u64,
+    /// Tour length of the descended candidate.
+    pub length: i64,
+    /// Whether the acceptance criterion took it.
+    pub accepted: bool,
+}
+
+/// The candidate-length timeline of a chain, one point per iteration.
+pub fn timeline(recording: &Recording, chain: u64) -> Vec<TimelinePoint> {
+    let mut points = Vec::new();
+    for event in recording.chain_events(chain) {
+        match event {
+            ReplayEvent::DescentEnd {
+                iteration: 0,
+                length,
+                ..
+            } => points.push(TimelinePoint {
+                iteration: 0,
+                length,
+                accepted: true,
+            }),
+            ReplayEvent::Acceptance {
+                iteration,
+                candidate_length,
+                accepted,
+                ..
+            } => points.push(TimelinePoint {
+                iteration,
+                length: candidate_length,
+                accepted,
+            }),
+            _ => {}
+        }
+    }
+    points
+}
+
+/// Render a timeline as text: a sparkline over candidate lengths (low
+/// = better) and a per-iteration table of length / verdict.
+pub fn render_timeline(points: &[TimelinePoint]) -> String {
+    if points.is_empty() {
+        return "timeline: no iterations recorded\n".into();
+    }
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let min = points.iter().map(|p| p.length).min().unwrap();
+    let max = points.iter().map(|p| p.length).max().unwrap();
+    let span = (max - min).max(1) as f64;
+    let mut out = String::from("candidate length per iteration (▁ = best seen):\n  ");
+    for p in points {
+        let level = (((p.length - min) as f64 / span) * (BARS.len() - 1) as f64).round() as usize;
+        out.push(BARS[level.min(BARS.len() - 1)]);
+    }
+    out.push('\n');
+    out.push_str(&format!(
+        "  {} iterations, lengths {min}..{max}\n",
+        points.len()
+    ));
+    for p in points {
+        out.push_str(&format!(
+            "  iter {:>5}  length {:>10}  {}\n",
+            p.iteration,
+            p.length,
+            if p.accepted { "accepted" } else { "rejected" }
+        ));
+    }
+    out
+}
+
+/// Stall and data-quality findings over one chain of a recording.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AnomalyReport {
+    /// Iterations inspected (excluding the initial descent).
+    pub iterations: u64,
+    /// Longest run of consecutive iterations without improving the
+    /// best-known length.
+    pub longest_plateau: u64,
+    /// Plateau threshold the report was built with.
+    pub plateau_threshold: u64,
+    /// Acceptance rate over the trailing quarter of the run.
+    pub trailing_acceptance_rate: f64,
+    /// Acceptance rate over the whole run.
+    pub acceptance_rate: f64,
+    /// Coordinates that are NaN or infinite (needs an instance).
+    pub bad_coordinates: usize,
+    /// Pairs of cities sharing bit-identical coordinates (needs an
+    /// instance; only counted when an instance is supplied).
+    pub duplicate_coordinates: usize,
+}
+
+impl AnomalyReport {
+    /// `true` when the chain plateaued past the threshold.
+    pub fn plateaued(&self) -> bool {
+        self.longest_plateau >= self.plateau_threshold && self.plateau_threshold > 0
+    }
+
+    /// `true` when acceptances collapsed in the trailing window (under
+    /// 10% late in a run that accepted at twice that rate overall).
+    pub fn acceptance_collapsed(&self) -> bool {
+        self.iterations >= 8
+            && self.trailing_acceptance_rate < 0.1
+            && self.acceptance_rate >= 2.0 * self.trailing_acceptance_rate
+    }
+
+    /// `true` when anything in the report warrants attention.
+    pub fn any(&self) -> bool {
+        self.plateaued()
+            || self.acceptance_collapsed()
+            || self.bad_coordinates > 0
+            || self.duplicate_coordinates > 0
+    }
+}
+
+impl fmt::Display for AnomalyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "anomaly report ({} iterations):", self.iterations)?;
+        if self.plateaued() {
+            writeln!(
+                f,
+                "  PLATEAU: {} consecutive non-improving iterations (threshold {})",
+                self.longest_plateau, self.plateau_threshold
+            )?;
+        } else {
+            writeln!(
+                f,
+                "  plateau: longest non-improving run {} (threshold {})",
+                self.longest_plateau, self.plateau_threshold
+            )?;
+        }
+        if self.acceptance_collapsed() {
+            writeln!(
+                f,
+                "  ACCEPTANCE COLLAPSE: trailing rate {:.3} vs overall {:.3}",
+                self.trailing_acceptance_rate, self.acceptance_rate
+            )?;
+        } else {
+            writeln!(
+                f,
+                "  acceptance: trailing rate {:.3}, overall {:.3}",
+                self.trailing_acceptance_rate, self.acceptance_rate
+            )?;
+        }
+        if self.bad_coordinates > 0 {
+            writeln!(
+                f,
+                "  BAD COORDINATES: {} NaN/infinite",
+                self.bad_coordinates
+            )?;
+        }
+        if self.duplicate_coordinates > 0 {
+            writeln!(
+                f,
+                "  DEGENERATE COORDINATES: {} duplicated city position pair(s)",
+                self.duplicate_coordinates
+            )?;
+        }
+        if !self.any() {
+            writeln!(f, "  no anomalies")?;
+        }
+        Ok(())
+    }
+}
+
+/// Scan one chain for stalls (no-improvement plateaus, acceptance-rate
+/// collapse) and, when an instance is supplied, for NaN/degenerate
+/// coordinates.
+pub fn detect_anomalies(
+    recording: &Recording,
+    chain: u64,
+    inst: Option<&Instance>,
+    plateau_threshold: u64,
+) -> AnomalyReport {
+    let points = timeline(recording, chain);
+    let mut report = AnomalyReport {
+        plateau_threshold,
+        ..AnomalyReport::default()
+    };
+
+    let mut best = i64::MAX;
+    let mut run = 0u64;
+    let mut accepted_total = 0u64;
+    let iters: Vec<&TimelinePoint> = points.iter().filter(|p| p.iteration > 0).collect();
+    // Seed the best from the initial descent when present.
+    if let Some(initial) = points.iter().find(|p| p.iteration == 0) {
+        best = initial.length;
+    }
+    for p in &iters {
+        if p.accepted && p.length < best {
+            best = p.length;
+            run = 0;
+        } else {
+            run += 1;
+            report.longest_plateau = report.longest_plateau.max(run);
+        }
+        if p.accepted {
+            accepted_total += 1;
+        }
+    }
+    report.iterations = iters.len() as u64;
+    if !iters.is_empty() {
+        report.acceptance_rate = accepted_total as f64 / iters.len() as f64;
+        let window = (iters.len() / 4).max(1);
+        let tail = &iters[iters.len() - window..];
+        report.trailing_acceptance_rate =
+            tail.iter().filter(|p| p.accepted).count() as f64 / window as f64;
+    }
+
+    if let Some(inst) = inst {
+        if inst.is_coordinate_based() {
+            let pts: Vec<(u32, u32)> = (0..inst.len())
+                .map(|c| {
+                    let p = inst.point(c);
+                    report.bad_coordinates += usize::from(!p.x.is_finite() || !p.y.is_finite());
+                    (p.x.to_bits(), p.y.to_bits())
+                })
+                .collect();
+            let mut sorted = pts;
+            sorted.sort_unstable();
+            report.duplicate_coordinates = sorted.windows(2).filter(|w| w[0] == w[1]).count();
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsp::prelude::{Construction, FlightRecorder, IlsOptions, Solver};
+    use tsp_tsplib::{generate, Style};
+
+    fn recorded(n: usize, iters: u64) -> (Instance, Recording) {
+        let inst = generate("inspect", n, Style::Uniform, 5);
+        let flight = FlightRecorder::attached();
+        let solver = Solver::builder()
+            .construction(Construction::Random(9))
+            .ils(
+                IlsOptions::default()
+                    .with_max_iterations(iters)
+                    .with_seed(3),
+            )
+            .record(flight)
+            .build();
+        solver.run(&inst).unwrap();
+        let recording = solver.recording(&inst).unwrap();
+        (inst, recording)
+    }
+
+    #[test]
+    fn heatmap_counts_every_applied_move() {
+        let (_, rec) = recorded(48, 6);
+        let moves = rec
+            .chain_events(0)
+            .iter()
+            .filter(|e| matches!(e, ReplayEvent::Sweep { .. }))
+            .count();
+        assert!(moves > 0);
+        let grid = heatmap_grid(&rec, 0, 8);
+        let total: f64 = grid.iter().flatten().sum();
+        assert!(total > 0.0);
+        // Moves live strictly in the upper triangle (j > i buckets or
+        // the diagonal when both land in one bucket).
+        for (r, row) in grid.iter().enumerate() {
+            for (c, &cell) in row.iter().enumerate() {
+                if c < r {
+                    assert_eq!(cell, 0.0, "move bucketed below the diagonal at ({r},{c})");
+                }
+            }
+        }
+        let text = render_heatmap_text(&grid);
+        assert_eq!(text.lines().count(), 8);
+        let pgm = render_heatmap_pgm(&grid);
+        assert!(pgm.starts_with("P2\n8 8\n255\n"));
+        assert!(pgm.lines().count() == 3 + 8);
+    }
+
+    #[test]
+    fn svg_renders_without_rerunning_the_solver() {
+        let (inst, rec) = recorded(32, 4);
+        let svg = tour_svg(&rec, 0, 0, &inst).unwrap();
+        assert!(svg.starts_with("<svg"));
+        // One circle per city plus the closed tour path.
+        assert_eq!(svg.matches("<circle").count(), 32);
+        assert!(svg.contains("Z\""));
+    }
+
+    #[test]
+    fn timeline_tracks_iterations() {
+        let (_, rec) = recorded(40, 5);
+        let points = timeline(&rec, 0);
+        assert_eq!(points.len(), 6); // initial descent + 5 iterations
+        assert_eq!(points[0].iteration, 0);
+        assert!(points[0].accepted);
+        let text = render_timeline(&points);
+        assert!(text.contains("6 iterations"));
+    }
+
+    #[test]
+    fn plateau_is_flagged_on_a_stalled_chain() {
+        // A tiny instance stalls fast: Better-only acceptance on 16
+        // cities finds its best quickly and then rejects for the rest
+        // of the run — a seeded plateau.
+        let inst = generate("stall", 16, Style::Uniform, 11);
+        let flight = FlightRecorder::attached();
+        let solver = Solver::builder()
+            .construction(Construction::Random(2))
+            .ils(
+                IlsOptions::default()
+                    .with_max_iterations(30u64)
+                    .with_seed(4),
+            )
+            .record(flight)
+            .build();
+        solver.run(&inst).unwrap();
+        let rec = solver.recording(&inst).unwrap();
+        let report = detect_anomalies(&rec, 0, Some(&inst), 10);
+        assert!(report.plateaued(), "{report}");
+        assert!(report.any());
+        assert!(report.to_string().contains("PLATEAU"));
+        assert_eq!(report.bad_coordinates, 0);
+    }
+
+    #[test]
+    fn degenerate_coordinates_are_reported() {
+        use tsp_core::{Metric, Point};
+        let (_, rec) = recorded(32, 2);
+        // An instance with a duplicated city (valid geometry, zero
+        // distance between the twins).
+        let mut pts: Vec<Point> = (0..32)
+            .map(|i| Point::new(i as f32, (i % 7) as f32))
+            .collect();
+        pts[5] = pts[4];
+        let degenerate = Instance::new("twins", Metric::Euc2d, pts).unwrap();
+        let report = detect_anomalies(&rec, 0, Some(&degenerate), 1000);
+        assert_eq!(report.duplicate_coordinates, 1);
+        assert!(report.any());
+        assert!(report.to_string().contains("DEGENERATE"));
+    }
+}

@@ -6,8 +6,14 @@
 //! examples exercise, so `cargo doc -p tsp-apps` shows the whole stack.
 
 pub use gpu_sim;
+pub use tsp;
 pub use tsp_2opt;
 pub use tsp_construction;
 pub use tsp_core;
 pub use tsp_ils;
+pub use tsp_replay;
+pub use tsp_telemetry;
+pub use tsp_trace;
 pub use tsp_tsplib;
+
+pub mod inspect;

@@ -150,6 +150,8 @@ pub struct GpuTwoOpt {
     overlap_transfers: bool,
     ordered: Vec<Point>,
     resident: Option<ResidentState>,
+    /// Raw packed word read back by the last sweep (flight recording).
+    last_key: Option<u64>,
 }
 
 impl GpuTwoOpt {
@@ -176,6 +178,7 @@ impl GpuTwoOpt {
             overlap_transfers: false,
             ordered: Vec::new(),
             resident: None,
+            last_key: None,
         }
     }
 
@@ -348,6 +351,10 @@ impl TwoOptEngine for GpuTwoOpt {
         format!("gpu[{}, {:?}]", self.device.spec().name, self.strategy)
     }
 
+    fn last_best_key(&self) -> Option<u64> {
+        self.last_key
+    }
+
     fn best_move(
         &mut self,
         inst: &Instance,
@@ -504,6 +511,7 @@ impl TwoOptEngine for GpuTwoOpt {
         };
 
         let (words, d2h) = dev_copy_from_device(&self.device, self.stream, &out)?;
+        self.last_key = Some(words[0]);
         let best = unpack(words[0]).filter(BestMove::improves);
 
         // Remember the move we just announced so the next sweep can apply

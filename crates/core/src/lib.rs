@@ -75,8 +75,8 @@ pub use bestmove::BestMove;
 pub use cpu_parallel::CpuParallelTwoOpt;
 pub use gpu::{GpuOrOpt, GpuTwoOpt, MultiGpuTwoOpt, Strategy};
 pub use search::{
-    optimize, optimize_observed, optimize_with_recorder, EngineError, SearchOptions, SearchStats,
-    StepProfile, TwoOptEngine,
+    optimize, optimize_flight, optimize_observed, optimize_with_recorder, EngineError,
+    SearchOptions, SearchStats, StepProfile, TwoOptEngine,
 };
 pub use sequential::{PivotRule, SequentialTwoOpt};
 
@@ -85,8 +85,8 @@ pub mod prelude {
     pub use crate::cpu_parallel::CpuParallelTwoOpt;
     pub use crate::gpu::{GpuTwoOpt, Strategy};
     pub use crate::search::{
-        optimize, optimize_observed, optimize_with_recorder, EngineError, SearchOptions,
-        SearchStats, StepProfile, TwoOptEngine,
+        optimize, optimize_flight, optimize_observed, optimize_with_recorder, EngineError,
+        SearchOptions, SearchStats, StepProfile, TwoOptEngine,
     };
     pub use crate::sequential::{PivotRule, SequentialTwoOpt};
 }

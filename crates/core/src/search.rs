@@ -8,9 +8,10 @@
 //! can be done", §I.B). This is the `2optLocalSearch` step of the paper's
 //! Algorithm 1; ILS (crate `tsp-ils`) wraps it with perturbation.
 
-use crate::bestmove::BestMove;
+use crate::bestmove::{pack, BestMove};
 use std::time::Instant;
 use tsp_core::{CoreError, Instance, Tour};
+use tsp_replay::{FlightRecorder, ReplayEvent};
 use tsp_telemetry::{Counter, Histogram, Registry, Telemetry, DELTA_BUCKETS};
 use tsp_trace::{Recorder, SweepCost, TraceEvent};
 
@@ -126,6 +127,16 @@ pub trait TwoOptEngine {
         inst: &Instance,
         tour: &Tour,
     ) -> Result<(Option<BestMove>, StepProfile), EngineError>;
+
+    /// The raw packed best-move word produced by the most recent
+    /// [`TwoOptEngine::best_move`] call, for flight recording. Engines
+    /// without a packed reduction return `None`; the recorder then
+    /// re-packs the word from the decoded move, which is bit-identical
+    /// for every in-range move ([`crate::bestmove::pack`] round-trips
+    /// through [`crate::bestmove::unpack`]).
+    fn last_best_key(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// Options for [`optimize`].
@@ -270,6 +281,33 @@ pub fn optimize_observed<E: TwoOptEngine + ?Sized>(
     recorder: &Recorder,
     telemetry: &Telemetry,
 ) -> Result<SearchStats, EngineError> {
+    optimize_flight(
+        engine,
+        inst,
+        tour,
+        opts,
+        recorder,
+        telemetry,
+        &FlightRecorder::detached(),
+    )
+}
+
+/// [`optimize_observed`], additionally appending one
+/// [`ReplayEvent::Sweep`] per *applied* move to `flight` — the packed
+/// best-move word, the decoded `(i, j, delta)`, in application order.
+/// The sweep stream plus the start tour is enough to reconstruct every
+/// intermediate tour of the descent without re-running it. A detached
+/// flight recorder reduces to [`optimize_observed`] exactly.
+#[allow(clippy::too_many_arguments)]
+pub fn optimize_flight<E: TwoOptEngine + ?Sized>(
+    engine: &mut E,
+    inst: &Instance,
+    tour: &mut Tour,
+    opts: SearchOptions,
+    recorder: &Recorder,
+    telemetry: &Telemetry,
+    flight: &FlightRecorder,
+) -> Result<SearchStats, EngineError> {
     let start = Instant::now();
     let metrics = telemetry.registry().map(|r| SearchMetrics::register(r));
     let initial_length = tour.length(inst);
@@ -311,6 +349,14 @@ pub fn optimize_observed<E: TwoOptEngine + ?Sized>(
         }
         match mv {
             Some(m) if m.improves() => {
+                flight.record_with(|| ReplayEvent::Sweep {
+                    i: m.i,
+                    j: m.j,
+                    delta: m.delta,
+                    key: engine
+                        .last_best_key()
+                        .unwrap_or_else(|| pack(m.delta, m.i, m.j)),
+                });
                 tour.apply_two_opt(m.i as usize, m.j as usize);
                 improving_moves += 1;
                 if let Some(metrics) = &metrics {

@@ -110,6 +110,51 @@ impl DeviceSpec {
         self.kind == DeviceKind::Gpu
     }
 
+    /// A stable FNV-1a digest over every field of the spec, recorded in
+    /// flight-recording headers so a replay can refuse to run against a
+    /// device whose timing model differs from the recorded one (modeled
+    /// seconds would silently diverge). Floats are hashed by bit
+    /// pattern, so two specs digest equal iff every parameter is
+    /// bit-identical.
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        eat(self.name.as_bytes());
+        eat(&[self.kind as u8, self.api as u8]);
+        for v in [
+            u64::from(self.compute_units),
+            u64::from(self.warp_size),
+            u64::from(self.max_threads_per_block),
+            self.shared_mem_per_block as u64,
+            self.global_mem_bytes,
+            u64::from(self.copy_engines),
+        ] {
+            eat(&v.to_le_bytes());
+        }
+        for v in [
+            self.peak_gflops,
+            self.sustained_fraction,
+            self.shared_bandwidth_gbs,
+            self.global_bandwidth_gbs,
+            self.global_latency_us,
+            self.atomic_cost_ns,
+            self.launch_overhead_us,
+            self.h2d_latency_us,
+            self.d2h_latency_us,
+            self.pcie_bandwidth_gbs,
+        ] {
+            eat(&v.to_bits().to_le_bytes());
+        }
+        h
+    }
+
     /// The roofline-relevant slice of this spec, as recorded in traces.
     pub fn trace_info(&self) -> tsp_trace::DeviceInfo {
         tsp_trace::DeviceInfo {
@@ -342,6 +387,26 @@ pub fn fig10_devices() -> Vec<DeviceSpec> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn digest_separates_specs_and_is_stable() {
+        let a = gtx_680_cuda();
+        assert_eq!(a.digest(), gtx_680_cuda().digest());
+        // Every catalogued spec digests differently.
+        let digests: Vec<u64> = fig10_devices().iter().map(DeviceSpec::digest).collect();
+        let mut unique = digests.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(
+            unique.len(),
+            digests.len(),
+            "digest collision in {digests:?}"
+        );
+        // Any single timing parameter changes the digest.
+        let mut b = gtx_680_cuda();
+        b.launch_overhead_us += 1e-9;
+        assert_ne!(a.digest(), b.digest());
+    }
 
     #[test]
     fn sustained_matches_paper_observations() {

@@ -27,8 +27,9 @@ pub use perturb::Perturbation;
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use tsp_2opt::{optimize_observed, EngineError, SearchOptions, StepProfile, TwoOptEngine};
+use tsp_2opt::{optimize_flight, EngineError, SearchOptions, StepProfile, TwoOptEngine};
 use tsp_core::{Instance, Tour};
+use tsp_replay::{hash_tour, FlightRecorder, ReplayEvent};
 use tsp_telemetry::{Counter, Gauge, Journal, JournalEvent, JournalRecord, Registry, Telemetry};
 use tsp_trace::{Recorder, TraceEvent};
 
@@ -75,6 +76,15 @@ pub struct IlsOptions {
     /// (improved/accepted/rejected), stagnation restarts, and a final
     /// summary record.
     pub journal: Journal,
+    /// Flight recorder (detached by default — zero cost when unused).
+    /// When attached, the run logs every decision a replay needs: the
+    /// start tour digest, every applied 2-opt move, each kick's RNG
+    /// checkpoint and cut points, and each acceptance verdict.
+    pub flight: FlightRecorder,
+    /// Resume the perturbation/acceptance RNG from an explicit
+    /// xoshiro256++ state instead of seeding from [`IlsOptions::seed`] —
+    /// how a replayer restores a recorded run's stream mid-flight.
+    pub rng_state: Option<[u64; 4]>,
 }
 
 impl Default for IlsOptions {
@@ -90,6 +100,8 @@ impl Default for IlsOptions {
             recorder: Recorder::disabled(),
             telemetry: Telemetry::detached(),
             journal: Journal::detached(),
+            flight: FlightRecorder::detached(),
+            rng_state: None,
         }
     }
 }
@@ -157,6 +169,19 @@ impl IlsOptions {
     /// Attach a convergence journal.
     pub fn with_journal(mut self, journal: Journal) -> Self {
         self.journal = journal;
+        self
+    }
+
+    /// Attach a flight recorder.
+    pub fn with_flight(mut self, flight: FlightRecorder) -> Self {
+        self.flight = flight;
+        self
+    }
+
+    /// Resume the RNG from an explicit xoshiro256++ state (or with
+    /// `None`, seed it from [`IlsOptions::seed`] — the default).
+    pub fn with_rng_state(mut self, state: impl Into<Option<[u64; 4]>>) -> Self {
+        self.rng_state = state.into();
         self
     }
 }
@@ -253,23 +278,37 @@ pub fn iterated_local_search<E: TwoOptEngine + ?Sized>(
     opts: IlsOptions,
 ) -> Result<IlsOutcome, EngineError> {
     let wall = std::time::Instant::now();
-    let mut rng = SmallRng::seed_from_u64(opts.seed);
+    let mut rng = match opts.rng_state {
+        Some(state) => SmallRng::from_state(state),
+        None => SmallRng::seed_from_u64(opts.seed),
+    };
     let mut profile = StepProfile::default();
     let mut trace = Vec::new();
     let metrics = opts.telemetry.registry().map(|r| IlsMetrics::register(r));
 
     // s* <- 2optLocalSearch(s0)
     let mut best = initial;
-    let stats = optimize_observed(
+    opts.flight.record_with(|| ReplayEvent::Start {
+        tour_hash: hash_tour(&best),
+    });
+    let stats = optimize_flight(
         engine,
         inst,
         &mut best,
         SearchOptions::default(),
         &opts.recorder,
         &opts.telemetry,
+        &opts.flight,
     )?;
     profile.accumulate(&stats.profile);
     let mut best_length = stats.final_length;
+    opts.flight.record_with(|| ReplayEvent::DescentEnd {
+        iteration: 0,
+        sweeps: stats.sweeps,
+        length: best_length,
+        tour_hash: hash_tour(&best),
+        modeled_seconds: stats.profile.modeled_seconds(),
+    });
     trace.push(TracePoint {
         iteration: 0,
         modeled_seconds: profile.modeled_seconds(),
@@ -322,23 +361,38 @@ pub fn iterated_local_search<E: TwoOptEngine + ?Sized>(
 
         // s' <- Perturbation(s*)
         let mut candidate = incumbent.clone();
-        opts.perturbation.apply(&mut candidate, &mut rng);
+        let rng_before_kick = rng.state();
+        let kicks = opts.perturbation.apply(&mut candidate, &mut rng);
+        opts.flight.record_with(move || ReplayEvent::Kick {
+            iteration: iterations,
+            rng: rng_before_kick,
+            kicks,
+        });
         opts.recorder.record_with(|| TraceEvent::Perturbation {
             kind: format!("{:?}", opts.perturbation),
         });
         // s*' <- 2optLocalSearch(s')
-        let stats = optimize_observed(
+        let stats = optimize_flight(
             engine,
             inst,
             &mut candidate,
             SearchOptions::default(),
             &opts.recorder,
             &opts.telemetry,
+            &opts.flight,
         )?;
         profile.accumulate(&stats.profile);
         let candidate_length = stats.final_length;
+        opts.flight.record_with(|| ReplayEvent::DescentEnd {
+            iteration: iterations,
+            sweeps: stats.sweeps,
+            length: candidate_length,
+            tour_hash: hash_tour(&candidate),
+            modeled_seconds: stats.profile.modeled_seconds(),
+        });
 
         // s* <- AcceptanceCriterion(s*, s*')
+        let pre_incumbent_length = incumbent_length;
         let took = opts
             .acceptance
             .accept(incumbent_length, candidate_length, &mut rng);
@@ -347,6 +401,14 @@ pub fn iterated_local_search<E: TwoOptEngine + ?Sized>(
             incumbent_length = candidate_length;
             accepted += 1;
         }
+        opts.flight.record_with(|| ReplayEvent::Acceptance {
+            iteration: iterations,
+            incumbent_length: pre_incumbent_length,
+            candidate_length,
+            accepted: took,
+            rng: rng.state(),
+            tour_hash: hash_tour(&incumbent),
+        });
         opts.recorder.record_with(|| TraceEvent::IterationEnd {
             iteration: iterations,
             candidate_length,
@@ -372,6 +434,10 @@ pub fn iterated_local_search<E: TwoOptEngine + ?Sized>(
                     incumbent_length = best_length;
                     restarts += 1;
                     since_improvement = 0;
+                    opts.flight.record_with(|| ReplayEvent::Restart {
+                        iteration: iterations,
+                        tour_hash: hash_tour(&incumbent),
+                    });
                     if let Some(m) = &metrics {
                         m.restarts.inc();
                     }
@@ -426,6 +492,12 @@ pub fn iterated_local_search<E: TwoOptEngine + ?Sized>(
         tour_length: best_length,
         gap_to_best: 0.0,
         event: JournalEvent::Final,
+    });
+    opts.flight.record_with(|| ReplayEvent::Final {
+        iterations,
+        best_length,
+        tour_hash: hash_tour(&best),
+        modeled_seconds: profile.modeled_seconds(),
     });
 
     Ok(IlsOutcome {

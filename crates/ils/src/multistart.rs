@@ -38,6 +38,7 @@ where
                     let chain_opts = IlsOptions {
                         seed: opts.seed.wrapping_add(i as u64),
                         journal: opts.journal.for_chain(i as u64),
+                        flight: opts.flight.for_chain(i as u64),
                         ..opts.clone()
                     };
                     iterated_local_search(&mut engine, inst, start, chain_opts)
@@ -171,6 +172,7 @@ impl ShardedMultistart {
                 let chain_opts = IlsOptions {
                     seed: opts.seed.wrapping_add(i as u64),
                     journal: opts.journal.for_chain(i as u64),
+                    flight: opts.flight.for_chain(i as u64),
                     ..opts.clone()
                 };
                 iterated_local_search(&mut engine, inst, starts[i].clone(), chain_opts)

@@ -4,7 +4,7 @@
 //! technique" (§V); the others are provided for experimentation.
 
 use rand::Rng;
-use tsp_core::Tour;
+use tsp_core::{KickMove, Tour};
 
 /// How to kick a tour out of a 2-opt local minimum.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -25,14 +25,15 @@ pub enum Perturbation {
 }
 
 impl Perturbation {
-    /// Apply the perturbation in place.
-    pub fn apply<R: Rng + ?Sized>(&self, tour: &mut Tour, rng: &mut R) {
+    /// Apply the perturbation in place, returning the concrete
+    /// [`KickMove`]s drawn (in application order) so a flight recording
+    /// can replay them without the RNG. The draws are identical whether
+    /// or not anyone keeps the returned moves.
+    pub fn apply<R: Rng + ?Sized>(&self, tour: &mut Tour, rng: &mut R) -> Vec<KickMove> {
         match self {
-            Perturbation::DoubleBridge => tour.double_bridge(rng),
+            Perturbation::DoubleBridge => vec![tour.double_bridge(rng)],
             Perturbation::MultiBridge { count } => {
-                for _ in 0..*count {
-                    tour.double_bridge(rng);
-                }
+                (0..*count).map(|_| tour.double_bridge(rng)).collect()
             }
             Perturbation::RandomReversal => {
                 let n = tour.len();
@@ -40,6 +41,9 @@ impl Perturbation {
                     let i = rng.gen_range(0..n - 2);
                     let j = rng.gen_range(i + 1..n - 1);
                     tour.apply_two_opt(i, j);
+                    vec![KickMove::SegmentReversal { i, j }]
+                } else {
+                    vec![KickMove::Noop]
                 }
             }
         }
@@ -62,8 +66,15 @@ mod tests {
         ] {
             let mut t = Tour::identity(64);
             for _ in 0..25 {
-                p.apply(&mut t, &mut rng);
+                let before = t.clone();
+                let kicks = p.apply(&mut t, &mut rng);
                 t.validate().unwrap();
+                // The returned moves replay to the same tour.
+                let mut replayed = before;
+                for k in &kicks {
+                    replayed.apply_kick(k);
+                }
+                assert_eq!(replayed, t, "{p:?}");
             }
         }
     }

@@ -1,0 +1,245 @@
+//! The divergence bisector: given an expected event stream (a
+//! recording) and an actual one (a live re-run), find the first event
+//! where they disagree and build a structured diagnosis.
+//!
+//! Both streams are deterministic appends, so prefix equality is
+//! monotone in the prefix length — which is what makes binary search
+//! valid: if prefixes of length `m` match, so do all shorter ones.
+
+use crate::event::ReplayEvent;
+use crate::recorder::FlightEntry;
+use std::fmt;
+
+fn prefix_eq(expected: &[ReplayEvent], actual: &[ReplayEvent], len: usize) -> bool {
+    expected[..len]
+        .iter()
+        .zip(&actual[..len])
+        .all(|(e, a)| e.bit_eq(a))
+}
+
+/// Index of the first event where the streams disagree (an index equal
+/// to the shorter length means one stream is a strict prefix of the
+/// other), or `None` when they are bit-identical end to end.
+///
+/// Binary search on the longest matching prefix: each probe compares
+/// the candidate prefix, so the divergent event is localized in
+/// `O(n log n)` comparisons without assuming anything about how the
+/// streams behave *after* the divergence.
+pub fn first_divergence(expected: &[ReplayEvent], actual: &[ReplayEvent]) -> Option<usize> {
+    let max = expected.len().min(actual.len());
+    if prefix_eq(expected, actual, max) {
+        return if expected.len() == actual.len() {
+            None
+        } else {
+            Some(max)
+        };
+    }
+    // Invariant: prefix of length `lo` matches, prefix of length `hi`
+    // does not.
+    let (mut lo, mut hi) = (0usize, max);
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if prefix_eq(expected, actual, mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(lo)
+}
+
+/// A structured divergence diagnosis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Divergence {
+    /// Chain whose sub-stream diverged.
+    pub chain: u64,
+    /// Event index *within the chain's sub-stream* of the first
+    /// disagreement.
+    pub index: usize,
+    /// What the recording expected there (`None`: recording ended).
+    pub expected: Option<ReplayEvent>,
+    /// What the live run produced (`None`: live stream ended).
+    pub actual: Option<ReplayEvent>,
+}
+
+fn describe(f: &mut fmt::Formatter<'_>, label: &str, event: &Option<ReplayEvent>) -> fmt::Result {
+    match event {
+        None => writeln!(f, "  {label}: <stream ended>"),
+        Some(e) => {
+            writeln!(f, "  {label}: {e:?}")?;
+            if let Some(rng) = e.rng_state() {
+                writeln!(
+                    f,
+                    "    rng state: {:016x} {:016x} {:016x} {:016x}",
+                    rng[0], rng[1], rng[2], rng[3]
+                )?;
+            }
+            if let Some(h) = e.tour_hash() {
+                writeln!(f, "    tour hash: {h:016x}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "divergence at chain {} event {}{}:",
+            self.chain,
+            self.index,
+            match self.expected.as_ref().map(ReplayEvent::iteration) {
+                Some(Some(it)) => format!(" (iteration {it})"),
+                _ => String::new(),
+            }
+        )?;
+        describe(f, "expected", &self.expected)?;
+        describe(f, "actual  ", &self.actual)
+    }
+}
+
+/// Outcome of comparing a recording's stream against a live run's.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayReport {
+    /// Chains compared.
+    pub chains: usize,
+    /// Events verified bit-identical across all compared chains.
+    pub events_checked: usize,
+    /// The first divergence found (lowest chain id wins), if any.
+    pub divergence: Option<Divergence>,
+}
+
+impl ReplayReport {
+    /// `true` when every chain matched end to end.
+    pub fn is_clean(&self) -> bool {
+        self.divergence.is_none()
+    }
+}
+
+impl fmt::Display for ReplayReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.divergence {
+            None => write!(
+                f,
+                "replay clean: {} events bit-identical across {} chain(s)",
+                self.events_checked, self.chains
+            ),
+            Some(d) => write!(
+                f,
+                "replay diverged after {} clean events across {} chain(s)\n{d}",
+                self.events_checked, self.chains
+            ),
+        }
+    }
+}
+
+/// Compare two chain-stamped streams chain by chain. Chains present in
+/// only one stream count as divergent at index 0 (or at the end of the
+/// shorter sub-stream).
+pub fn compare_streams(expected: &[FlightEntry], actual: &[FlightEntry]) -> ReplayReport {
+    let split = |entries: &[FlightEntry], chain: u64| -> Vec<ReplayEvent> {
+        entries
+            .iter()
+            .filter(|e| e.chain == chain)
+            .map(|e| e.event.clone())
+            .collect()
+    };
+    let mut chains: Vec<u64> = expected.iter().chain(actual).map(|e| e.chain).collect();
+    chains.sort_unstable();
+    chains.dedup();
+
+    let mut events_checked = 0usize;
+    let mut divergence = None;
+    for &chain in &chains {
+        let exp = split(expected, chain);
+        let act = split(actual, chain);
+        match first_divergence(&exp, &act) {
+            None => events_checked += exp.len(),
+            Some(index) => {
+                events_checked += index;
+                if divergence.is_none() {
+                    divergence = Some(Divergence {
+                        chain,
+                        index,
+                        expected: exp.get(index).cloned(),
+                        actual: act.get(index).cloned(),
+                    });
+                }
+            }
+        }
+    }
+    ReplayReport {
+        chains: chains.len(),
+        events_checked,
+        divergence,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(hashes: &[u64]) -> Vec<ReplayEvent> {
+        hashes
+            .iter()
+            .map(|&h| ReplayEvent::Start { tour_hash: h })
+            .collect()
+    }
+
+    #[test]
+    fn identical_streams_are_clean() {
+        let s = stream(&[1, 2, 3, 4, 5]);
+        assert_eq!(first_divergence(&s, &s), None);
+    }
+
+    #[test]
+    fn bisection_localizes_every_position() {
+        let base: Vec<u64> = (0..97).collect();
+        for fault in 0..base.len() {
+            let mut tampered = base.clone();
+            tampered[fault] = 1_000_000 + fault as u64;
+            assert_eq!(
+                first_divergence(&stream(&base), &stream(&tampered)),
+                Some(fault),
+                "fault injected at {fault}"
+            );
+        }
+    }
+
+    #[test]
+    fn prefix_truncation_diverges_at_the_cut() {
+        let full = stream(&[1, 2, 3, 4]);
+        let cut = stream(&[1, 2]);
+        assert_eq!(first_divergence(&full, &cut), Some(2));
+        assert_eq!(first_divergence(&cut, &full), Some(2));
+        assert_eq!(first_divergence(&full, &[]), Some(0));
+    }
+
+    #[test]
+    fn compare_streams_reports_lowest_divergent_chain() {
+        let entry = |chain, h| FlightEntry {
+            chain,
+            event: ReplayEvent::Start { tour_hash: h },
+        };
+        let expected = vec![entry(0, 1), entry(1, 10), entry(0, 2), entry(1, 11)];
+        let mut actual = expected.clone();
+        let clean = compare_streams(&expected, &actual);
+        assert!(clean.is_clean());
+        assert_eq!(clean.events_checked, 4);
+        assert_eq!(clean.chains, 2);
+
+        // Tamper with chain 1's second event.
+        actual[3] = entry(1, 99);
+        let report = compare_streams(&expected, &actual);
+        let d = report.divergence.clone().expect("must diverge");
+        assert_eq!((d.chain, d.index), (1, 1));
+        assert_eq!(d.expected, Some(ReplayEvent::Start { tour_hash: 11 }));
+        assert_eq!(d.actual, Some(ReplayEvent::Start { tour_hash: 99 }));
+        // 2 clean on chain 0 + 1 clean on chain 1 before the fault.
+        assert_eq!(report.events_checked, 3);
+        let text = report.to_string();
+        assert!(text.contains("chain 1 event 1"), "{text}");
+        assert!(text.contains("tour hash"), "{text}");
+    }
+}

@@ -1,0 +1,501 @@
+//! The replay event model: one [`ReplayEvent`] per search decision,
+//! with a JSON codec built on `tsp-trace`'s hand-rolled [`Json`].
+//!
+//! Values that do not fit an `f64` exactly — packed best-move words,
+//! xoshiro256++ state words, tour digests — are encoded as fixed-width
+//! lowercase hex strings, because the JSON number type is `f64` and
+//! would silently round anything above 2^53. Tour lengths and move
+//! deltas stay plain numbers (they are sums of `i32` edge weights, far
+//! inside the exact-integer range). Modeled seconds are written through
+//! `f64` `Display`, which round-trips bit-exactly for finite values.
+
+use tsp_core::KickMove;
+use tsp_trace::json::Json;
+
+/// One recorded decision of a 2-opt/ILS run, in stream order.
+///
+/// A chain's stream is: [`Start`](ReplayEvent::Start), the initial
+/// descent ([`Sweep`](ReplayEvent::Sweep)* then
+/// [`DescentEnd`](ReplayEvent::DescentEnd) with `iteration = 0`), then
+/// per ILS iteration a [`Kick`](ReplayEvent::Kick), the descent's
+/// `Sweep`*/`DescentEnd`, an [`Acceptance`](ReplayEvent::Acceptance)
+/// and possibly a [`Restart`](ReplayEvent::Restart), and finally
+/// [`Final`](ReplayEvent::Final). Plain descents (no ILS) record
+/// `Start`, `Sweep`*, `DescentEnd`, `Final`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplayEvent {
+    /// The chain's starting tour.
+    Start {
+        /// [`crate::hash_tour`] of the start tour.
+        tour_hash: u64,
+    },
+    /// One applied improving 2-opt move.
+    Sweep {
+        /// Left tour position of the candidate pair.
+        i: u32,
+        /// Right tour position of the candidate pair.
+        j: u32,
+        /// The move's (negative) length delta.
+        delta: i32,
+        /// The packed best-move word as read back from the device
+        /// (`tsp_2opt::bestmove::pack` layout), or a host-side repack
+        /// for engines without a device word.
+        key: u64,
+    },
+    /// A local-search descent reached its stopping point.
+    DescentEnd {
+        /// ILS iteration the descent belongs to (0 = initial descent).
+        iteration: u64,
+        /// Sweeps performed, including the final unsuccessful one.
+        sweeps: u64,
+        /// Tour length at the local minimum.
+        length: i64,
+        /// Digest of the descended tour.
+        tour_hash: u64,
+        /// The descent's own modeled seconds (bit-exact).
+        modeled_seconds: f64,
+    },
+    /// A perturbation, with the RNG checkpoint taken *before* the
+    /// draws and the concrete cut points drawn.
+    Kick {
+        /// ILS iteration (1-based).
+        iteration: u64,
+        /// xoshiro256++ state before the perturbation consumed it.
+        rng: [u64; 4],
+        /// The kick moves applied, in order.
+        kicks: Vec<KickMove>,
+    },
+    /// The acceptance decision for an iteration's candidate.
+    Acceptance {
+        /// ILS iteration (1-based).
+        iteration: u64,
+        /// Incumbent length going into the decision.
+        incumbent_length: i64,
+        /// The candidate's (descended) length.
+        candidate_length: i64,
+        /// Whether the candidate was accepted.
+        accepted: bool,
+        /// xoshiro256++ state after the decision (Metropolis consumes
+        /// a draw; `Better` does not).
+        rng: [u64; 4],
+        /// Digest of the incumbent after the decision.
+        tour_hash: u64,
+    },
+    /// A stagnation restart: the incumbent was reset to the best tour.
+    Restart {
+        /// ILS iteration at which the restart fired.
+        iteration: u64,
+        /// Digest of the restored incumbent (= best tour).
+        tour_hash: u64,
+    },
+    /// End of the chain.
+    Final {
+        /// Total ILS iterations performed (0 for a plain descent).
+        iterations: u64,
+        /// Best tour length found.
+        best_length: i64,
+        /// Digest of the best tour.
+        tour_hash: u64,
+        /// Total modeled seconds over every sweep (bit-exact).
+        modeled_seconds: f64,
+    },
+}
+
+fn hex(v: u64) -> Json {
+    Json::Str(format!("{v:016x}"))
+}
+
+fn rng_json(rng: &[u64; 4]) -> Json {
+    Json::Arr(rng.iter().map(|&w| hex(w)).collect())
+}
+
+fn kick_str(kick: &KickMove) -> String {
+    match *kick {
+        KickMove::DoubleBridge { a, b, c } => format!("db:{a}:{b}:{c}"),
+        KickMove::SegmentReversal { i, j } => format!("rev:{i}:{j}"),
+        KickMove::Noop => "noop".to_string(),
+    }
+}
+
+fn parse_kick(s: &str) -> Result<KickMove, String> {
+    let parts: Vec<&str> = s.split(':').collect();
+    let num = |p: &str| {
+        p.parse::<usize>()
+            .map_err(|_| format!("bad kick operand {p:?} in {s:?}"))
+    };
+    match parts.as_slice() {
+        ["noop"] => Ok(KickMove::Noop),
+        ["db", a, b, c] => Ok(KickMove::DoubleBridge {
+            a: num(a)?,
+            b: num(b)?,
+            c: num(c)?,
+        }),
+        ["rev", i, j] => Ok(KickMove::SegmentReversal {
+            i: num(i)?,
+            j: num(j)?,
+        }),
+        _ => Err(format!("unknown kick move {s:?}")),
+    }
+}
+
+fn get_hex(obj: &Json, key: &str) -> Result<u64, String> {
+    let s = obj
+        .get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("missing hex field {key:?}"))?;
+    u64::from_str_radix(s, 16).map_err(|_| format!("bad hex in {key:?}: {s:?}"))
+}
+
+fn get_num(obj: &Json, key: &str) -> Result<f64, String> {
+    obj.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("missing numeric field {key:?}"))
+}
+
+fn get_u64(obj: &Json, key: &str) -> Result<u64, String> {
+    Ok(get_num(obj, key)? as u64)
+}
+
+fn get_i64(obj: &Json, key: &str) -> Result<i64, String> {
+    Ok(get_num(obj, key)? as i64)
+}
+
+fn get_rng(obj: &Json, key: &str) -> Result<[u64; 4], String> {
+    let arr = obj
+        .get(key)
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("missing rng field {key:?}"))?;
+    if arr.len() != 4 {
+        return Err(format!("rng state must have 4 words, got {}", arr.len()));
+    }
+    let mut out = [0u64; 4];
+    for (slot, word) in out.iter_mut().zip(arr) {
+        let s = word.as_str().ok_or("rng word must be a hex string")?;
+        *slot = u64::from_str_radix(s, 16).map_err(|_| format!("bad rng word {s:?}"))?;
+    }
+    Ok(out)
+}
+
+impl ReplayEvent {
+    /// The event's type tag as written to JSONL.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ReplayEvent::Start { .. } => "start",
+            ReplayEvent::Sweep { .. } => "sweep",
+            ReplayEvent::DescentEnd { .. } => "descent_end",
+            ReplayEvent::Kick { .. } => "kick",
+            ReplayEvent::Acceptance { .. } => "acceptance",
+            ReplayEvent::Restart { .. } => "restart",
+            ReplayEvent::Final { .. } => "final",
+        }
+    }
+
+    /// The ILS iteration the event belongs to, where defined.
+    pub fn iteration(&self) -> Option<u64> {
+        match self {
+            ReplayEvent::DescentEnd { iteration, .. }
+            | ReplayEvent::Kick { iteration, .. }
+            | ReplayEvent::Acceptance { iteration, .. }
+            | ReplayEvent::Restart { iteration, .. } => Some(*iteration),
+            _ => None,
+        }
+    }
+
+    /// The tour digest the event carries, where defined.
+    pub fn tour_hash(&self) -> Option<u64> {
+        match self {
+            ReplayEvent::Start { tour_hash }
+            | ReplayEvent::DescentEnd { tour_hash, .. }
+            | ReplayEvent::Acceptance { tour_hash, .. }
+            | ReplayEvent::Restart { tour_hash, .. }
+            | ReplayEvent::Final { tour_hash, .. } => Some(*tour_hash),
+            ReplayEvent::Sweep { .. } | ReplayEvent::Kick { .. } => None,
+        }
+    }
+
+    /// The RNG checkpoint the event carries, where defined.
+    pub fn rng_state(&self) -> Option<[u64; 4]> {
+        match self {
+            ReplayEvent::Kick { rng, .. } | ReplayEvent::Acceptance { rng, .. } => Some(*rng),
+            _ => None,
+        }
+    }
+
+    /// Structural equality with `f64` fields compared *by bit pattern*
+    /// (`PartialEq` would conflate `0.0`/`-0.0` and reject equal NaNs).
+    /// The bisector compares with this, so a replay that matches every
+    /// decision but drifts by one ulp of modeled time still diverges.
+    pub fn bit_eq(&self, other: &ReplayEvent) -> bool {
+        use ReplayEvent::*;
+        match (self, other) {
+            (
+                DescentEnd {
+                    iteration: a1,
+                    sweeps: a2,
+                    length: a3,
+                    tour_hash: a4,
+                    modeled_seconds: a5,
+                },
+                DescentEnd {
+                    iteration: b1,
+                    sweeps: b2,
+                    length: b3,
+                    tour_hash: b4,
+                    modeled_seconds: b5,
+                },
+            ) => a1 == b1 && a2 == b2 && a3 == b3 && a4 == b4 && a5.to_bits() == b5.to_bits(),
+            (
+                Final {
+                    iterations: a1,
+                    best_length: a2,
+                    tour_hash: a3,
+                    modeled_seconds: a4,
+                },
+                Final {
+                    iterations: b1,
+                    best_length: b2,
+                    tour_hash: b3,
+                    modeled_seconds: b4,
+                },
+            ) => a1 == b1 && a2 == b2 && a3 == b3 && a4.to_bits() == b4.to_bits(),
+            (a, b) => a == b,
+        }
+    }
+
+    /// Encode as a JSON object (without the chain stamp — the
+    /// [`crate::Recording`] writer adds it).
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::obj();
+        obj.set("type", Json::Str(self.kind().to_string()));
+        match self {
+            ReplayEvent::Start { tour_hash } => {
+                obj.set("tour", hex(*tour_hash));
+            }
+            ReplayEvent::Sweep { i, j, delta, key } => {
+                obj.set("i", Json::from(u64::from(*i)))
+                    .set("j", Json::from(u64::from(*j)))
+                    .set("delta", Json::from(i64::from(*delta)))
+                    .set("key", hex(*key));
+            }
+            ReplayEvent::DescentEnd {
+                iteration,
+                sweeps,
+                length,
+                tour_hash,
+                modeled_seconds,
+            } => {
+                obj.set("iter", Json::from(*iteration))
+                    .set("sweeps", Json::from(*sweeps))
+                    .set("length", Json::from(*length))
+                    .set("tour", hex(*tour_hash))
+                    .set("modeled", Json::from(*modeled_seconds));
+            }
+            ReplayEvent::Kick {
+                iteration,
+                rng,
+                kicks,
+            } => {
+                obj.set("iter", Json::from(*iteration))
+                    .set("rng", rng_json(rng))
+                    .set(
+                        "kicks",
+                        Json::Arr(kicks.iter().map(|k| Json::Str(kick_str(k))).collect()),
+                    );
+            }
+            ReplayEvent::Acceptance {
+                iteration,
+                incumbent_length,
+                candidate_length,
+                accepted,
+                rng,
+                tour_hash,
+            } => {
+                obj.set("iter", Json::from(*iteration))
+                    .set("incumbent", Json::from(*incumbent_length))
+                    .set("candidate", Json::from(*candidate_length))
+                    .set("accepted", Json::from(*accepted))
+                    .set("rng", rng_json(rng))
+                    .set("tour", hex(*tour_hash));
+            }
+            ReplayEvent::Restart {
+                iteration,
+                tour_hash,
+            } => {
+                obj.set("iter", Json::from(*iteration))
+                    .set("tour", hex(*tour_hash));
+            }
+            ReplayEvent::Final {
+                iterations,
+                best_length,
+                tour_hash,
+                modeled_seconds,
+            } => {
+                obj.set("iters", Json::from(*iterations))
+                    .set("best", Json::from(*best_length))
+                    .set("tour", hex(*tour_hash))
+                    .set("modeled", Json::from(*modeled_seconds));
+            }
+        }
+        obj
+    }
+
+    /// Decode an event object produced by [`ReplayEvent::to_json`].
+    pub fn from_json(obj: &Json) -> Result<ReplayEvent, String> {
+        let kind = obj
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or("event without a type tag")?;
+        match kind {
+            "start" => Ok(ReplayEvent::Start {
+                tour_hash: get_hex(obj, "tour")?,
+            }),
+            "sweep" => Ok(ReplayEvent::Sweep {
+                i: get_u64(obj, "i")? as u32,
+                j: get_u64(obj, "j")? as u32,
+                delta: get_i64(obj, "delta")? as i32,
+                key: get_hex(obj, "key")?,
+            }),
+            "descent_end" => Ok(ReplayEvent::DescentEnd {
+                iteration: get_u64(obj, "iter")?,
+                sweeps: get_u64(obj, "sweeps")?,
+                length: get_i64(obj, "length")?,
+                tour_hash: get_hex(obj, "tour")?,
+                modeled_seconds: get_num(obj, "modeled")?,
+            }),
+            "kick" => {
+                let kicks = obj
+                    .get("kicks")
+                    .and_then(Json::as_array)
+                    .ok_or("kick without kicks array")?
+                    .iter()
+                    .map(|k| parse_kick(k.as_str().ok_or("kick move must be a string")?))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(ReplayEvent::Kick {
+                    iteration: get_u64(obj, "iter")?,
+                    rng: get_rng(obj, "rng")?,
+                    kicks,
+                })
+            }
+            "acceptance" => Ok(ReplayEvent::Acceptance {
+                iteration: get_u64(obj, "iter")?,
+                incumbent_length: get_i64(obj, "incumbent")?,
+                candidate_length: get_i64(obj, "candidate")?,
+                accepted: obj
+                    .get("accepted")
+                    .and_then(Json::as_bool)
+                    .ok_or("acceptance without accepted flag")?,
+                rng: get_rng(obj, "rng")?,
+                tour_hash: get_hex(obj, "tour")?,
+            }),
+            "restart" => Ok(ReplayEvent::Restart {
+                iteration: get_u64(obj, "iter")?,
+                tour_hash: get_hex(obj, "tour")?,
+            }),
+            "final" => Ok(ReplayEvent::Final {
+                iterations: get_u64(obj, "iters")?,
+                best_length: get_i64(obj, "best")?,
+                tour_hash: get_hex(obj, "tour")?,
+                modeled_seconds: get_num(obj, "modeled")?,
+            }),
+            other => Err(format!("unknown event type {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsp_trace::json;
+
+    fn samples() -> Vec<ReplayEvent> {
+        vec![
+            ReplayEvent::Start {
+                tour_hash: u64::MAX,
+            },
+            ReplayEvent::Sweep {
+                i: 12,
+                j: 907,
+                delta: -314,
+                key: 0xfedc_ba98_7654_3210,
+            },
+            ReplayEvent::DescentEnd {
+                iteration: 0,
+                sweeps: 41,
+                length: 123_456_789,
+                tour_hash: 0x0123_4567_89ab_cdef,
+                modeled_seconds: 1.25e-4,
+            },
+            ReplayEvent::Kick {
+                iteration: 3,
+                rng: [u64::MAX, 1, 0, 0x8000_0000_0000_0001],
+                kicks: vec![
+                    tsp_core::KickMove::DoubleBridge { a: 3, b: 9, c: 40 },
+                    tsp_core::KickMove::SegmentReversal { i: 1, j: 5 },
+                    tsp_core::KickMove::Noop,
+                ],
+            },
+            ReplayEvent::Acceptance {
+                iteration: 3,
+                incumbent_length: 900,
+                candidate_length: 890,
+                accepted: true,
+                rng: [5, 6, 7, 8],
+                tour_hash: 77,
+            },
+            ReplayEvent::Restart {
+                iteration: 4,
+                tour_hash: 78,
+            },
+            ReplayEvent::Final {
+                iterations: 4,
+                best_length: 890,
+                tour_hash: 77,
+                modeled_seconds: 0.000244140625,
+            },
+        ]
+    }
+
+    #[test]
+    fn events_round_trip_through_json_text() {
+        for event in samples() {
+            let text = event.to_json().to_string();
+            let parsed = json::parse(&text).expect("writer output parses");
+            let back = ReplayEvent::from_json(&parsed).expect("event decodes");
+            assert!(event.bit_eq(&back), "{event:?} vs {back:?}");
+            assert_eq!(event, back);
+        }
+    }
+
+    #[test]
+    fn hex_fields_survive_above_2_pow_53() {
+        // The f64-backed JSON number type would round these; the hex
+        // string codec must not.
+        let event = ReplayEvent::Sweep {
+            i: 0,
+            j: 1,
+            delta: -1,
+            key: (1u64 << 53) + 1,
+        };
+        let text = event.to_json().to_string();
+        let back = ReplayEvent::from_json(&json::parse(&text).unwrap()).unwrap();
+        assert_eq!(event, back);
+    }
+
+    #[test]
+    fn bit_eq_distinguishes_one_ulp_of_modeled_time() {
+        let a = ReplayEvent::Final {
+            iterations: 1,
+            best_length: 10,
+            tour_hash: 1,
+            modeled_seconds: 1.0,
+        };
+        let b = ReplayEvent::Final {
+            iterations: 1,
+            best_length: 10,
+            tour_hash: 1,
+            modeled_seconds: f64::from_bits(1.0f64.to_bits() + 1),
+        };
+        assert!(a.bit_eq(&a));
+        assert!(!a.bit_eq(&b));
+    }
+}

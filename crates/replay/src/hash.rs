@@ -1,0 +1,105 @@
+//! Content digests used by recordings: FNV-1a over the bytes that
+//! determine a run — tour orders, instance geometry — so a recording
+//! can refuse to replay against the wrong inputs.
+
+use tsp_core::{Instance, Tour};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a byte slice, continuing from `state` (seed the first
+/// call with [`fnv1a_init`]).
+pub fn fnv1a(mut state: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        state ^= u64::from(b);
+        state = state.wrapping_mul(FNV_PRIME);
+    }
+    state
+}
+
+/// The FNV-1a offset basis (the starting state).
+pub fn fnv1a_init() -> u64 {
+    FNV_OFFSET
+}
+
+/// Digest of a visiting order: every recorded tour hash in a flight
+/// recording is this function over the tour at that event.
+pub fn hash_order(order: &[u32]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &c in order {
+        h = fnv1a(h, &c.to_le_bytes());
+    }
+    h
+}
+
+/// [`hash_order`] of a [`Tour`].
+pub fn hash_tour(tour: &Tour) -> u64 {
+    hash_order(tour.as_slice())
+}
+
+/// Digest of the inputs that determine every distance an engine will
+/// ever compute for `inst`: the metric, the city count, and either the
+/// coordinate bit patterns or the explicit matrix entries. Two
+/// instances with equal digests drive a deterministic solver through
+/// identical move sequences.
+pub fn digest_instance(inst: &Instance) -> u64 {
+    let mut h = FNV_OFFSET;
+    h = fnv1a(h, format!("{:?}", inst.metric()).as_bytes());
+    h = fnv1a(h, &(inst.len() as u64).to_le_bytes());
+    if inst.is_coordinate_based() {
+        for p in inst.points() {
+            h = fnv1a(h, &p.x.to_bits().to_le_bytes());
+            h = fnv1a(h, &p.y.to_bits().to_le_bytes());
+        }
+    } else {
+        for i in 0..inst.len() {
+            for j in (i + 1)..inst.len() {
+                h = fnv1a(h, &inst.dist(i, j).to_le_bytes());
+            }
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsp_core::{Metric, Point};
+
+    fn square(name: &str, jitter: f32) -> Instance {
+        Instance::new(
+            name,
+            Metric::Euc2d,
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(0.0, 10.0 + jitter),
+                Point::new(10.0, 10.0),
+                Point::new(10.0, 0.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn tour_hash_is_order_sensitive() {
+        let a = Tour::identity(8);
+        let mut b = Tour::identity(8);
+        b.apply_two_opt(1, 4);
+        assert_ne!(hash_tour(&a), hash_tour(&b));
+        assert_eq!(hash_tour(&a), hash_order(&[0, 1, 2, 3, 4, 5, 6, 7]));
+    }
+
+    #[test]
+    fn instance_digest_ignores_name_but_not_geometry() {
+        // The name is presentation, not geometry: digests must match so
+        // a renamed copy of the same instance still replays.
+        assert_eq!(
+            digest_instance(&square("a", 0.0)),
+            digest_instance(&square("b", 0.0))
+        );
+        assert_ne!(
+            digest_instance(&square("a", 0.0)),
+            digest_instance(&square("a", 0.5))
+        );
+    }
+}

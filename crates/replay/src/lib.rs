@@ -1,0 +1,41 @@
+//! # tsp-replay
+//!
+//! The flight recorder: a replayable event log of every *decision* a
+//! 2-opt/ILS run makes — applied moves with their packed best-move
+//! words, perturbation cut points, RNG checkpoints, acceptance
+//! decisions — enough to reproduce the run bit for bit, long after the
+//! fact.
+//!
+//! Where the other observability layers answer *how fast* (`tsp-trace`
+//! Chrome traces, `tsp-telemetry` metrics) and *how well*
+//! (`tsp-telemetry`'s convergence journal), a [`Recording`] answers
+//! *why*: which move was applied at each sweep, what the generator
+//! state was before each kick, and which candidates were accepted.
+//!
+//! * [`FlightRecorder`] — the zero-cost-when-detached handle threaded
+//!   through the search and ILS layers, chain-stamped for sharded
+//!   multistart exactly like the journal.
+//! * [`ReplayEvent`] — one decision; [`Recording`] — a header (instance
+//!   digest, device digest, solver configuration, start tour) plus the
+//!   chain-stamped event stream, with a JSONL codec.
+//! * [`TourReconstructor`] — re-derives the tour at any event *without
+//!   re-running the solver*, verifying tour hashes as it goes.
+//! * [`first_divergence`] / [`compare_streams`] — the divergence
+//!   bisector: binary-search two event streams to the first event where
+//!   they disagree and produce a structured [`Divergence`] diagnosis.
+//! * [`correlate_journal`] — cross-link a convergence journal's records
+//!   to the recording events that produced them.
+
+pub mod bisect;
+pub mod event;
+pub mod hash;
+pub mod reconstruct;
+pub mod recorder;
+pub mod recording;
+
+pub use bisect::{compare_streams, first_divergence, Divergence, ReplayReport};
+pub use event::ReplayEvent;
+pub use hash::{digest_instance, fnv1a, hash_order, hash_tour};
+pub use reconstruct::{tour_at_iteration, TourReconstructor};
+pub use recorder::{FlightEntry, FlightRecorder};
+pub use recording::{correlate_journal, parse_recording, Header, JournalLink, Recording};

@@ -1,0 +1,273 @@
+//! Re-derive tours from a recording *without re-running the solver*:
+//! a [`TourReconstructor`] folds a chain's event stream over the start
+//! tour, applying recorded 2-opt moves and kicks and verifying every
+//! tour digest the stream carries. This is what lets `tsp-inspect`
+//! render a tour snapshot at iteration k from the log alone.
+
+use crate::event::ReplayEvent;
+use crate::hash::hash_tour;
+use crate::recording::Recording;
+use tsp_core::Tour;
+
+/// Replays a chain's decisions over the start tour, tracking the three
+/// tours the ILS loop tracks: the `working` tour being swept, the
+/// `incumbent` of the acceptance criterion, and the `best` found.
+#[derive(Debug, Clone)]
+pub struct TourReconstructor {
+    working: Tour,
+    incumbent: Tour,
+    best: Tour,
+    best_length: Option<i64>,
+    events_applied: usize,
+}
+
+impl TourReconstructor {
+    /// Start from a chain's initial visiting order.
+    pub fn new(start: &[u32]) -> Result<TourReconstructor, String> {
+        let tour = Tour::new(start.to_vec()).map_err(|e| format!("invalid start tour: {e}"))?;
+        Ok(TourReconstructor {
+            working: tour.clone(),
+            incumbent: tour.clone(),
+            best: tour,
+            best_length: None,
+            events_applied: 0,
+        })
+    }
+
+    /// The tour currently being swept.
+    pub fn working(&self) -> &Tour {
+        &self.working
+    }
+
+    /// The acceptance criterion's incumbent.
+    pub fn incumbent(&self) -> &Tour {
+        &self.incumbent
+    }
+
+    /// The best tour seen so far.
+    pub fn best(&self) -> &Tour {
+        &self.best
+    }
+
+    /// Events applied so far.
+    pub fn events_applied(&self) -> usize {
+        self.events_applied
+    }
+
+    fn check(&self, what: &str, tour: &Tour, expected: u64) -> Result<(), String> {
+        let got = hash_tour(tour);
+        if got == expected {
+            Ok(())
+        } else {
+            Err(format!(
+                "event {}: {what} hash mismatch: recorded {expected:016x}, reconstructed {got:016x}",
+                self.events_applied
+            ))
+        }
+    }
+
+    /// Fold one event. Errors on any digest mismatch — a mismatch
+    /// means the recording and the reconstruction have diverged.
+    pub fn apply(&mut self, event: &ReplayEvent) -> Result<(), String> {
+        match event {
+            ReplayEvent::Start { tour_hash } => {
+                self.check("start tour", &self.working, *tour_hash)?;
+            }
+            ReplayEvent::Sweep { i, j, .. } => {
+                self.working.apply_two_opt(*i as usize, *j as usize);
+            }
+            ReplayEvent::DescentEnd {
+                iteration,
+                length,
+                tour_hash,
+                ..
+            } => {
+                self.check("descended tour", &self.working, *tour_hash)?;
+                if *iteration == 0 {
+                    // The initial descent's result is the first
+                    // incumbent and best.
+                    self.incumbent = self.working.clone();
+                    self.best = self.working.clone();
+                    self.best_length = Some(*length);
+                }
+            }
+            ReplayEvent::Kick { kicks, .. } => {
+                self.working = self.incumbent.clone();
+                for kick in kicks {
+                    self.working.apply_kick(kick);
+                }
+            }
+            ReplayEvent::Acceptance {
+                candidate_length,
+                accepted,
+                tour_hash,
+                ..
+            } => {
+                if *accepted {
+                    self.incumbent = self.working.clone();
+                    if self.best_length.is_none_or(|b| *candidate_length < b) {
+                        self.best = self.working.clone();
+                        self.best_length = Some(*candidate_length);
+                    }
+                } else {
+                    self.working = self.incumbent.clone();
+                }
+                self.check("post-acceptance incumbent", &self.incumbent, *tour_hash)?;
+            }
+            ReplayEvent::Restart { tour_hash, .. } => {
+                self.incumbent = self.best.clone();
+                self.check("restarted incumbent", &self.incumbent, *tour_hash)?;
+            }
+            ReplayEvent::Final { tour_hash, .. } => {
+                self.check("final best tour", &self.best, *tour_hash)?;
+            }
+        }
+        self.events_applied += 1;
+        Ok(())
+    }
+}
+
+/// The incumbent tour after ILS iteration `iteration` of `chain` (0 =
+/// after the initial descent), reconstructed from the log alone.
+pub fn tour_at_iteration(
+    recording: &Recording,
+    chain: u64,
+    iteration: u64,
+) -> Result<Tour, String> {
+    let mut r = TourReconstructor::new(start_for(recording, chain)?)?;
+    let events = recording.chain_events(chain);
+    if events.is_empty() {
+        return Err(format!("recording has no events for chain {chain}"));
+    }
+    for event in &events {
+        r.apply(event)?;
+        let done = match event {
+            ReplayEvent::DescentEnd { iteration: it, .. } => iteration == 0 && *it == 0,
+            ReplayEvent::Acceptance { iteration: it, .. } => *it == iteration,
+            _ => false,
+        };
+        if done {
+            return Ok(r.incumbent().clone());
+        }
+    }
+    Err(format!(
+        "chain {chain} never reached iteration {iteration} (stream has {} events)",
+        events.len()
+    ))
+}
+
+fn start_for(recording: &Recording, chain: u64) -> Result<&[u32], String> {
+    if chain == 0 {
+        Ok(&recording.header.start)
+    } else {
+        Err(format!(
+            "recording headers carry only chain 0's start tour; \
+             chain {chain} must be reconstructed through a replay"
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::FlightRecorder;
+    use crate::recording::Header;
+
+    fn header_for(start: &Tour, chains: u64) -> Header {
+        Header {
+            instance_name: "reconstruct".to_string(),
+            n: start.len(),
+            instance_digest: 0,
+            spec_digest: 0,
+            chains,
+            start: start.as_slice().to_vec(),
+            config: Vec::new(),
+        }
+    }
+
+    /// Script a tiny ILS-shaped stream by hand and reconstruct it.
+    #[test]
+    fn reconstruction_follows_an_ils_stream() {
+        let start = Tour::identity(10);
+        let flight = FlightRecorder::attached();
+
+        // Initial descent: one move.
+        let mut working = start.clone();
+        flight.record_with(|| ReplayEvent::Start {
+            tour_hash: hash_tour(&working),
+        });
+        working.apply_two_opt(2, 6);
+        flight.record_with(|| ReplayEvent::Sweep {
+            i: 2,
+            j: 6,
+            delta: -5,
+            key: 0,
+        });
+        let incumbent = working.clone();
+        flight.record_with(|| ReplayEvent::DescentEnd {
+            iteration: 0,
+            sweeps: 2,
+            length: 100,
+            tour_hash: hash_tour(&incumbent),
+            modeled_seconds: 1e-6,
+        });
+
+        // Iteration 1: kick, descend (no move), reject.
+        let kick = tsp_core::KickMove::DoubleBridge { a: 2, b: 5, c: 8 };
+        let mut kicked = incumbent.clone();
+        kicked.apply_kick(&kick);
+        flight.record_with(|| ReplayEvent::Kick {
+            iteration: 1,
+            rng: [1, 2, 3, 4],
+            kicks: vec![kick],
+        });
+        flight.record_with(|| ReplayEvent::DescentEnd {
+            iteration: 1,
+            sweeps: 1,
+            length: 120,
+            tour_hash: hash_tour(&kicked),
+            modeled_seconds: 1e-6,
+        });
+        flight.record_with(|| ReplayEvent::Acceptance {
+            iteration: 1,
+            incumbent_length: 100,
+            candidate_length: 120,
+            accepted: false,
+            rng: [1, 2, 3, 4],
+            tour_hash: hash_tour(&incumbent),
+        });
+        flight.record_with(|| ReplayEvent::Final {
+            iterations: 1,
+            best_length: 100,
+            tour_hash: hash_tour(&incumbent),
+            modeled_seconds: 2e-6,
+        });
+
+        let rec = Recording::from_flight(header_for(&start, 1), &flight);
+        let mut r = TourReconstructor::new(&rec.header.start).unwrap();
+        for e in rec.chain_events(0) {
+            r.apply(&e).unwrap();
+        }
+        assert_eq!(r.best().as_slice(), incumbent.as_slice());
+        assert_eq!(r.incumbent().as_slice(), incumbent.as_slice());
+
+        // Snapshot API: iteration 0 = post-initial-descent incumbent,
+        // iteration 1 = incumbent after the rejection (unchanged).
+        let t0 = tour_at_iteration(&rec, 0, 0).unwrap();
+        assert_eq!(t0.as_slice(), incumbent.as_slice());
+        let t1 = tour_at_iteration(&rec, 0, 1).unwrap();
+        assert_eq!(t1.as_slice(), incumbent.as_slice());
+        assert!(tour_at_iteration(&rec, 0, 7).is_err());
+    }
+
+    #[test]
+    fn hash_mismatch_is_detected() {
+        let start = Tour::identity(6);
+        let flight = FlightRecorder::attached();
+        flight.record_with(|| ReplayEvent::Start { tour_hash: 42 }); // wrong
+        let rec = Recording::from_flight(header_for(&start, 1), &flight);
+        let mut r = TourReconstructor::new(&rec.header.start).unwrap();
+        let err = r.apply(&rec.chain_events(0)[0]).unwrap_err();
+        assert!(err.contains("hash mismatch"), "{err}");
+    }
+}

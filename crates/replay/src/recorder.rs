@@ -1,0 +1,154 @@
+//! The [`FlightRecorder`] handle threaded through the search and ILS
+//! layers — same zero-cost-when-detached pattern as
+//! `tsp_trace::Recorder` and `tsp_telemetry::Journal`: a detached
+//! recorder carries no buffer, so instrumented hot paths pay one
+//! skipped `Option` branch; clones of an attached recorder share one
+//! buffer, and [`FlightRecorder::for_chain`] stamps a clone with a
+//! chain id so concurrent multistart chains interleave safely into one
+//! stream that can still be split back into deterministic sub-logs.
+
+use crate::event::ReplayEvent;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// One chain-stamped entry of a flight recording.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightEntry {
+    /// Multistart chain the event belongs to (0 for single runs).
+    pub chain: u64,
+    /// The recorded decision.
+    pub event: ReplayEvent,
+}
+
+/// A cheap, cloneable handle onto a shared event buffer.
+#[derive(Debug, Default, Clone)]
+pub struct FlightRecorder {
+    inner: Option<Arc<Mutex<Vec<FlightEntry>>>>,
+    /// Chain id stamped onto events pushed through this handle.
+    chain: u64,
+}
+
+fn lock(buf: &Mutex<Vec<FlightEntry>>) -> MutexGuard<'_, Vec<FlightEntry>> {
+    buf.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl FlightRecorder {
+    /// A recorder that collects events.
+    pub fn attached() -> Self {
+        FlightRecorder {
+            inner: Some(Arc::new(Mutex::new(Vec::new()))),
+            chain: 0,
+        }
+    }
+
+    /// A recorder that drops everything (same as `default()`).
+    pub fn detached() -> Self {
+        Self::default()
+    }
+
+    /// `true` when events are being collected.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// A handle onto the same buffer that stamps `chain` onto every
+    /// event — used by multistart to tell concurrent chains apart.
+    pub fn for_chain(&self, chain: u64) -> FlightRecorder {
+        FlightRecorder {
+            inner: self.inner.clone(),
+            chain,
+        }
+    }
+
+    /// The chain id this handle stamps.
+    pub fn chain(&self) -> u64 {
+        self.chain
+    }
+
+    /// Append one event, stamping this handle's chain id (no-op when
+    /// detached). The closure only runs when the recorder is attached,
+    /// so building the event (hashing a tour, snapshotting an RNG)
+    /// costs nothing on unrecorded runs.
+    #[inline]
+    pub fn record_with(&self, make: impl FnOnce() -> ReplayEvent) {
+        if let Some(buf) = &self.inner {
+            let entry = FlightEntry {
+                chain: self.chain,
+                event: make(),
+            };
+            lock(buf).push(entry);
+        }
+    }
+
+    /// Snapshot of all entries, in append order (empty when detached).
+    pub fn entries(&self) -> Vec<FlightEntry> {
+        match &self.inner {
+            Some(buf) => lock(buf).clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// The events of one chain, in their recorded (deterministic)
+    /// order — concurrent chains interleave in the shared buffer, but
+    /// each chain's sub-stream is appended by a single thread.
+    pub fn chain_events(&self, chain: u64) -> Vec<ReplayEvent> {
+        self.entries()
+            .into_iter()
+            .filter(|e| e.chain == chain)
+            .map(|e| e.event)
+            .collect()
+    }
+
+    /// Sorted, de-duplicated chain ids present in the buffer.
+    pub fn chains(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.entries().iter().map(|e| e.chain).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Number of recorded entries.
+    pub fn len(&self) -> usize {
+        match &self.inner {
+            Some(buf) => lock(buf).len(),
+            None => 0,
+        }
+    }
+
+    /// `true` when nothing has been recorded (always for detached).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(h: u64) -> ReplayEvent {
+        ReplayEvent::Start { tour_hash: h }
+    }
+
+    #[test]
+    fn detached_recorder_never_runs_the_closure() {
+        let r = FlightRecorder::detached();
+        r.record_with(|| panic!("must not run when detached"));
+        assert!(r.is_empty());
+        assert!(!r.is_enabled());
+    }
+
+    #[test]
+    fn chain_stamping_splits_back_into_sub_logs() {
+        let r = FlightRecorder::attached();
+        r.record_with(|| ev(1));
+        let c2 = r.for_chain(2);
+        c2.record_with(|| ev(20));
+        r.record_with(|| ev(2));
+        c2.record_with(|| ev(21));
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.chains(), vec![0, 2]);
+        assert_eq!(r.chain_events(0), vec![ev(1), ev(2)]);
+        assert_eq!(r.chain_events(2), vec![ev(20), ev(21)]);
+        assert_eq!(c2.chain(), 2);
+    }
+}

@@ -1,0 +1,386 @@
+//! A complete, self-describing recording: the header pins everything
+//! the events do not repeat (instance digest, device digest, solver
+//! configuration, the chain-0 start tour), and the body is the
+//! chain-stamped event stream. Serialized as JSON Lines: the first
+//! line is the header object, every following line one event with its
+//! chain stamp.
+
+use crate::event::ReplayEvent;
+use crate::recorder::{FlightEntry, FlightRecorder};
+use tsp_telemetry::{JournalEvent, JournalRecord};
+use tsp_trace::json::{self, Json};
+
+/// Format tag written to (and required from) the header line.
+pub const FORMAT: &str = "tsp-flight-recording/v1";
+
+/// The run description a replayer needs before the first event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Header {
+    /// Instance name (presentation only; the digest is authoritative).
+    pub instance_name: String,
+    /// City count.
+    pub n: usize,
+    /// [`crate::digest_instance`] of the instance.
+    pub instance_digest: u64,
+    /// `DeviceSpec::digest()` of the simulated device (0 for CPU
+    /// engines).
+    pub spec_digest: u64,
+    /// Number of multistart chains in the run.
+    pub chains: u64,
+    /// Chain 0's starting tour. Other chains derive their starts
+    /// deterministically from the recorded construction config.
+    pub start: Vec<u32>,
+    /// Solver configuration as ordered key/value pairs — the facade's
+    /// codec (`tsp::replay_config`) writes and reads these.
+    pub config: Vec<(String, String)>,
+}
+
+impl Header {
+    /// Look up one config value.
+    pub fn config_value(&self, key: &str) -> Option<&str> {
+        self.config
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn to_json(&self) -> Json {
+        let mut cfg = Json::obj();
+        for (k, v) in &self.config {
+            cfg.set(k, Json::Str(v.clone()));
+        }
+        let mut o = Json::obj();
+        o.set("format", Json::Str(FORMAT.to_string()))
+            .set("instance", Json::Str(self.instance_name.clone()))
+            .set("n", Json::from(self.n))
+            .set(
+                "instance_digest",
+                Json::Str(format!("{:016x}", self.instance_digest)),
+            )
+            .set(
+                "spec_digest",
+                Json::Str(format!("{:016x}", self.spec_digest)),
+            )
+            .set("chains", Json::from(self.chains))
+            .set(
+                "start",
+                Json::Arr(self.start.iter().map(|&c| Json::from(c)).collect()),
+            )
+            .set("config", cfg);
+        o
+    }
+
+    fn from_json(j: &Json) -> Result<Header, String> {
+        match j.get("format").and_then(Json::as_str) {
+            Some(f) if f == FORMAT => {}
+            Some(f) => return Err(format!("unsupported recording format {f:?}")),
+            None => return Err("recording header missing format tag".to_string()),
+        }
+        let hex = |key: &str| {
+            j.get(key)
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("header missing {key:?}"))
+                .and_then(|s| {
+                    u64::from_str_radix(s, 16).map_err(|_| format!("bad hex {key:?}: {s:?}"))
+                })
+        };
+        let start = j
+            .get("start")
+            .and_then(Json::as_array)
+            .ok_or("header missing start tour")?
+            .iter()
+            .map(|v| v.as_f64().map(|f| f as u32).ok_or("non-numeric start city"))
+            .collect::<Result<Vec<u32>, _>>()?;
+        let config = match j.get("config") {
+            Some(Json::Obj(pairs)) => pairs
+                .iter()
+                .map(|(k, v)| {
+                    v.as_str()
+                        .map(|s| (k.clone(), s.to_string()))
+                        .ok_or_else(|| format!("config value {k:?} must be a string"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err("header missing config object".to_string()),
+        };
+        Ok(Header {
+            instance_name: j
+                .get("instance")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            n: j.get("n")
+                .and_then(Json::as_f64)
+                .ok_or("header missing n")? as usize,
+            instance_digest: hex("instance_digest")?,
+            spec_digest: hex("spec_digest")?,
+            chains: j
+                .get("chains")
+                .and_then(Json::as_f64)
+                .ok_or("header missing chains")? as u64,
+            start,
+            config,
+        })
+    }
+}
+
+/// A header plus the chain-stamped event stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recording {
+    /// The run description.
+    pub header: Header,
+    /// The recorded events, in append order.
+    pub entries: Vec<FlightEntry>,
+}
+
+impl Recording {
+    /// Bundle a header with the entries captured by `flight`.
+    pub fn from_flight(header: Header, flight: &FlightRecorder) -> Recording {
+        Recording {
+            header,
+            entries: flight.entries(),
+        }
+    }
+
+    /// The events of one chain, in order.
+    pub fn chain_events(&self, chain: u64) -> Vec<ReplayEvent> {
+        self.entries
+            .iter()
+            .filter(|e| e.chain == chain)
+            .map(|e| e.event.clone())
+            .collect()
+    }
+
+    /// Sorted, de-duplicated chain ids present in the stream.
+    pub fn chains(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.entries.iter().map(|e| e.chain).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Total number of events.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Serialize: header line, then one event object per line.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.header.to_json().to_string());
+        out.push('\n');
+        for entry in &self.entries {
+            let mut obj = entry.event.to_json();
+            obj.set("chain", Json::from(entry.chain));
+            out.push_str(&obj.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Parse a recording written by [`Recording::to_jsonl`].
+pub fn parse_recording(text: &str) -> Result<Recording, String> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
+    let (_, head) = lines.next().ok_or("empty recording")?;
+    let header = Header::from_json(&json::parse(head).map_err(|e| format!("line 1: {e:?}"))?)?;
+    let mut entries = Vec::new();
+    for (lineno, line) in lines {
+        let obj = json::parse(line).map_err(|e| format!("line {}: {e:?}", lineno + 1))?;
+        let chain = obj
+            .get("chain")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("line {}: event without chain stamp", lineno + 1))?
+            as u64;
+        let event =
+            ReplayEvent::from_json(&obj).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        entries.push(FlightEntry { chain, event });
+    }
+    Ok(Recording { header, entries })
+}
+
+/// A journal record resolved against the recording event that produced
+/// it — the journal ↔ recording cross-link.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalLink {
+    /// Index of the journal record in the journal stream.
+    pub record: usize,
+    /// Index into [`Recording::entries`] of the matching event, or
+    /// `None` when the recording carries no counterpart (e.g. the
+    /// journal came from a different run).
+    pub entry: Option<usize>,
+}
+
+/// Cross-link a convergence journal to a recording: each journal
+/// record maps to the flight event of the same chain and iteration —
+/// `Initial` to the initial [`ReplayEvent::DescentEnd`],
+/// `Improved`/`Accepted`/`Rejected` to the iteration's
+/// [`ReplayEvent::Acceptance`], `Restart` to its
+/// [`ReplayEvent::Restart`], `Final` to [`ReplayEvent::Final`].
+///
+/// Both streams append per-chain records in the same loop, so a
+/// journal and a recording captured from the same run link completely:
+/// every [`JournalLink::entry`] is `Some`.
+pub fn correlate_journal(recording: &Recording, journal: &[JournalRecord]) -> Vec<JournalLink> {
+    journal
+        .iter()
+        .enumerate()
+        .map(|(record, jr)| {
+            let entry = recording.entries.iter().position(|e| {
+                if e.chain != jr.chain {
+                    return false;
+                }
+                match (&e.event, jr.event) {
+                    (ReplayEvent::DescentEnd { iteration: 0, .. }, JournalEvent::Initial) => true,
+                    (
+                        ReplayEvent::Acceptance { iteration, .. },
+                        JournalEvent::Improved | JournalEvent::Accepted | JournalEvent::Rejected,
+                    ) => *iteration == jr.iteration,
+                    (ReplayEvent::Restart { iteration, .. }, JournalEvent::Restart) => {
+                        *iteration == jr.iteration
+                    }
+                    (ReplayEvent::Final { .. }, JournalEvent::Final) => true,
+                    _ => false,
+                }
+            });
+            JournalLink { record, entry }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> Header {
+        Header {
+            instance_name: "rec-test".to_string(),
+            n: 5,
+            instance_digest: 0xdead_beef_dead_beef,
+            spec_digest: 0x1234_5678_9abc_def0,
+            chains: 2,
+            start: vec![0, 3, 1, 4, 2],
+            config: vec![
+                ("engine".to_string(), "gpu".to_string()),
+                ("strategy".to_string(), "tiled:64".to_string()),
+            ],
+        }
+    }
+
+    fn sample() -> Recording {
+        let flight = FlightRecorder::attached();
+        flight.record_with(|| ReplayEvent::Start { tour_hash: 11 });
+        flight.for_chain(1).record_with(|| ReplayEvent::Sweep {
+            i: 1,
+            j: 3,
+            delta: -7,
+            key: u64::MAX - 1,
+        });
+        flight.record_with(|| ReplayEvent::Final {
+            iterations: 0,
+            best_length: 40,
+            tour_hash: 11,
+            modeled_seconds: 2.5e-6,
+        });
+        Recording::from_flight(header(), &flight)
+    }
+
+    #[test]
+    fn jsonl_round_trips_with_chain_stamps() {
+        let rec = sample();
+        let text = rec.to_jsonl();
+        assert_eq!(text.lines().count(), 4);
+        let back = parse_recording(&text).expect("writer output parses");
+        assert_eq!(back, rec);
+        assert_eq!(back.chains(), vec![0, 1]);
+        assert_eq!(back.chain_events(1).len(), 1);
+        assert_eq!(back.header.config_value("strategy"), Some("tiled:64"));
+    }
+
+    #[test]
+    fn parser_rejects_wrong_format_and_garbage() {
+        assert!(parse_recording("").is_err());
+        assert!(parse_recording("{\"format\":\"bogus/v9\"}\n").is_err());
+        let mut text = sample().to_jsonl();
+        text.push_str("{\"type\":\"sweep\"}\n"); // chainless event
+        assert!(parse_recording(&text).is_err());
+    }
+
+    #[test]
+    fn journal_records_link_to_their_events() {
+        let flight = FlightRecorder::attached();
+        flight.record_with(|| ReplayEvent::DescentEnd {
+            iteration: 0,
+            sweeps: 3,
+            length: 100,
+            tour_hash: 1,
+            modeled_seconds: 1e-6,
+        });
+        flight.record_with(|| ReplayEvent::Acceptance {
+            iteration: 1,
+            incumbent_length: 100,
+            candidate_length: 90,
+            accepted: true,
+            rng: [1, 2, 3, 4],
+            tour_hash: 2,
+        });
+        flight.record_with(|| ReplayEvent::Final {
+            iterations: 1,
+            best_length: 90,
+            tour_hash: 2,
+            modeled_seconds: 2e-6,
+        });
+        let rec = Recording::from_flight(header(), &flight);
+        let journal = vec![
+            JournalRecord {
+                chain: 0,
+                iteration: 0,
+                modeled_seconds: 1e-6,
+                wall_seconds: 0.0,
+                tour_length: 100,
+                gap_to_best: 0.0,
+                event: JournalEvent::Initial,
+            },
+            JournalRecord {
+                chain: 0,
+                iteration: 1,
+                modeled_seconds: 2e-6,
+                wall_seconds: 0.0,
+                tour_length: 90,
+                gap_to_best: 0.0,
+                event: JournalEvent::Improved,
+            },
+            JournalRecord {
+                chain: 0,
+                iteration: 1,
+                modeled_seconds: 2e-6,
+                wall_seconds: 0.0,
+                tour_length: 90,
+                gap_to_best: 0.0,
+                event: JournalEvent::Final,
+            },
+            // A record from a chain the recording never saw.
+            JournalRecord {
+                chain: 9,
+                iteration: 0,
+                modeled_seconds: 0.0,
+                wall_seconds: 0.0,
+                tour_length: 0,
+                gap_to_best: 0.0,
+                event: JournalEvent::Initial,
+            },
+        ];
+        let links = correlate_journal(&rec, &journal);
+        assert_eq!(
+            links.iter().map(|l| l.entry).collect::<Vec<_>>(),
+            vec![Some(0), Some(1), Some(2), None]
+        );
+    }
+}

@@ -30,27 +30,63 @@ fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str)
     let _ = stream.write_all(response.as_bytes());
 }
 
+/// Hard cap on the request head; anything longer is answered with 400
+/// rather than buffered further.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
 fn handle(mut stream: TcpStream, telemetry: &Telemetry) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
     let mut buf = [0u8; 4096];
     let mut request = Vec::new();
+    let mut oversized = false;
     // Read until the end of the request head (we ignore any body).
     loop {
         match stream.read(&mut buf) {
             Ok(0) => break,
             Ok(n) => {
                 request.extend_from_slice(&buf[..n]);
-                if request.windows(4).any(|w| w == b"\r\n\r\n") || request.len() > 16 * 1024 {
+                if request.windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+                if request.len() > MAX_HEAD_BYTES {
+                    oversized = true;
                     break;
                 }
             }
             Err(_) => break,
         }
     }
+    if oversized {
+        return respond(
+            &mut stream,
+            "400 Bad Request",
+            "text/plain; charset=utf-8",
+            "request head too large\n",
+        );
+    }
+    // The request line must be `METHOD SP TARGET SP HTTP/x.y` with an
+    // absolute path; garbage bytes, truncated lines and non-HTTP
+    // preambles all land here and get a 400 instead of a misleading
+    // 405/404 (or a hang waiting for more input).
     let head = String::from_utf8_lossy(&request);
     let mut parts = head.lines().next().unwrap_or_default().split_whitespace();
-    let method = parts.next().unwrap_or_default();
-    let path = parts.next().unwrap_or_default();
+    let (method, path, version) = (parts.next(), parts.next(), parts.next());
+    let (Some(method), Some(path), Some(version)) = (method, path, version) else {
+        return respond(
+            &mut stream,
+            "400 Bad Request",
+            "text/plain; charset=utf-8",
+            "malformed request line\n",
+        );
+    };
+    if !version.starts_with("HTTP/") || !path.starts_with('/') || parts.next().is_some() {
+        return respond(
+            &mut stream,
+            "400 Bad Request",
+            "text/plain; charset=utf-8",
+            "malformed request line\n",
+        );
+    }
     match (method, path) {
         ("GET", "/metrics") => respond(&mut stream, "200 OK", CONTENT_TYPE, &telemetry.expose()),
         ("GET", "/healthz") => respond(&mut stream, "200 OK", "text/plain; charset=utf-8", "ok\n"),
@@ -179,6 +215,109 @@ mod tests {
 
         let (status, _) = http_get(server.addr(), "/nope").expect("404");
         assert_eq!(status, 404);
+        server.shutdown();
+    }
+
+    /// Write raw bytes at the server and return the status code it
+    /// answered with (`None` if it closed without a response).
+    fn raw_request(addr: SocketAddr, payload: &[u8]) -> Option<u16> {
+        let mut stream = TcpStream::connect(addr).ok()?;
+        stream.set_read_timeout(Some(Duration::from_secs(5))).ok()?;
+        stream.write_all(payload).ok()?;
+        let _ = stream.flush();
+        let mut response = Vec::new();
+        let _ = stream.read_to_end(&mut response);
+        let head = String::from_utf8_lossy(&response);
+        head.split_whitespace().nth(1).and_then(|s| s.parse().ok())
+    }
+
+    fn spawn_or_skip() -> Option<MetricsServer> {
+        match MetricsServer::spawn(Telemetry::attached(), "127.0.0.1:0") {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!("skipping: cannot bind a loopback socket: {e}");
+                None
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_requests_get_a_400() {
+        let Some(server) = spawn_or_skip() else {
+            return;
+        };
+        // Binary garbage, a truncated request line, a non-HTTP
+        // preamble, a relative target, and a request line with trailing
+        // junk: all malformed, all 400, none may hang or panic.
+        let cases: &[&[u8]] = &[
+            b"\x16\x03\x01\x02\x00garbage\xff\xfe\r\n\r\n",
+            b"GET\r\n\r\n",
+            b"GET /metrics\r\n\r\n",
+            b"HELO tsp\r\n\r\n",
+            b"GET metrics HTTP/1.1\r\n\r\n",
+            b"GET /metrics HTTP/1.1 extra\r\n\r\n",
+        ];
+        for case in cases {
+            assert_eq!(
+                raw_request(server.addr(), case),
+                Some(400),
+                "payload {:?}",
+                String::from_utf8_lossy(case)
+            );
+        }
+        // A well-formed non-GET stays a 405, not a 400.
+        assert_eq!(
+            raw_request(server.addr(), b"POST /metrics HTTP/1.1\r\n\r\n"),
+            Some(405)
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_request_heads_get_a_400() {
+        let Some(server) = spawn_or_skip() else {
+            return;
+        };
+        // A request line well past the head cap, never terminated: the
+        // server must answer 400 instead of buffering forever.
+        let mut payload = b"GET /".to_vec();
+        payload.extend(std::iter::repeat_n(b'a', MAX_HEAD_BYTES + 4096));
+        assert_eq!(raw_request(server.addr(), &payload), Some(400));
+        // And the server is still alive for a legitimate scrape.
+        let (status, _) = http_get(server.addr(), "/healthz").expect("alive after abuse");
+        assert_eq!(status, 200);
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_scrapes_all_succeed() {
+        let telemetry = Telemetry::attached();
+        telemetry
+            .registry()
+            .unwrap()
+            .counter("tsp_concurrent_total", "concurrency smoke")
+            .inc();
+        let server = match MetricsServer::spawn(telemetry, "127.0.0.1:0") {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("skipping: cannot bind a loopback socket: {e}");
+                return;
+            }
+        };
+        let addr = server.addr();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let (status, body) = http_get(addr, "/metrics").expect("scrape");
+                    (status, body)
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (status, body) = handle.join().expect("scraper thread");
+            assert_eq!(status, 200);
+            assert!(body.contains("tsp_concurrent_total 1"), "{body}");
+        }
         server.shutdown();
     }
 }

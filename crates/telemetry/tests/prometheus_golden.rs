@@ -43,8 +43,8 @@ fn scripted_registry() -> Registry {
 
     let weird = r.counter_with(
         "tsp_label_escape_total",
-        "Label values with quotes and backslashes survive exposition",
-        &[("path", "a\\b\"c")],
+        "Label values with quotes, backslashes and newlines survive exposition",
+        &[("path", "a\\b\"c\nd")],
     );
     weird.inc();
 
@@ -109,4 +109,17 @@ fn golden_is_valid_text_format() {
         "histogram sum is exact"
     );
     assert!(GOLDEN.contains("tsp_gpu_kernel_seconds_count 3"));
+
+    // The newline in the label value must be escaped — the golden file
+    // stays one sample per line — and must round-trip through the
+    // parser back to the raw value.
+    assert!(
+        GOLDEN.contains(r#"path="a\\b\"c\nd""#),
+        "newline label value is escaped in the exposition"
+    );
+    let escapes = families
+        .iter()
+        .find(|f| f.name == "tsp_label_escape_total")
+        .expect("escape family present");
+    assert_eq!(escapes.samples, 1);
 }

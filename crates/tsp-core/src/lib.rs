@@ -35,7 +35,7 @@ pub use instance::Instance;
 pub use matrix::ExplicitMatrix;
 pub use metric::Metric;
 pub use point::Point;
-pub use tour::Tour;
+pub use tour::{KickMove, Tour};
 
 /// Number of distinct 2-opt candidate pairs `(i, j)` enumerated by the
 /// paper's triangular scheme (Fig. 3): tour positions `0 <= i < j <= n - 2`,

@@ -7,6 +7,36 @@ use crate::point::Point;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
+/// A perturbation move in replayable form: the cut points actually
+/// drawn, with the RNG already consumed. [`Tour::double_bridge`] returns
+/// one, and [`Tour::apply_kick`] re-applies it deterministically — which
+/// is what lets a flight recording reproduce a perturbation without
+/// replaying the generator that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KickMove {
+    /// The 4-opt double bridge with sorted interior cut points
+    /// `0 < a < b < c < n`: segments `A B C D` become `A C B D`.
+    DoubleBridge {
+        /// First cut point.
+        a: usize,
+        /// Second cut point.
+        b: usize,
+        /// Third cut point.
+        c: usize,
+    },
+    /// A 2-opt style segment reversal of `order[i+1..=j]` (the small-`n`
+    /// fallback of [`Tour::double_bridge`], and the `RandomReversal`
+    /// perturbation).
+    SegmentReversal {
+        /// Left edge position of the reversed segment.
+        i: usize,
+        /// Right edge position of the reversed segment.
+        j: usize,
+    },
+    /// No structural change (tour too small to perturb).
+    Noop,
+}
+
 /// A closed tour visiting every city exactly once.
 ///
 /// The tour is stored as the visiting order `order[0], order[1], …,
@@ -152,7 +182,9 @@ impl Tour {
     /// four segments `A B C D` into `A C B D`. The move cannot be undone by
     /// any sequence of 2-opt moves that only shortens the tour, which is
     /// exactly why ILS uses it to escape 2-opt local minima.
-    pub fn double_bridge<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+    /// Returns the move actually applied (the cut points drawn), so a
+    /// recording can re-apply it later with [`Tour::apply_kick`].
+    pub fn double_bridge<R: Rng + ?Sized>(&mut self, rng: &mut R) -> KickMove {
         let n = self.order.len();
         if n < 8 {
             // Too small for three distinct interior cut points to matter;
@@ -161,8 +193,9 @@ impl Tour {
                 let i = rng.gen_range(0..n - 2);
                 let j = rng.gen_range(i + 1..n - 1);
                 self.apply_two_opt(i, j);
+                return KickMove::SegmentReversal { i, j };
             }
-            return;
+            return KickMove::Noop;
         }
         let mut cuts = [
             rng.gen_range(1..n),
@@ -176,12 +209,30 @@ impl Tour {
             // vanishes quickly).
             return self.double_bridge(rng);
         }
+        self.apply_double_bridge(a, b, c);
+        KickMove::DoubleBridge { a, b, c }
+    }
+
+    fn apply_double_bridge(&mut self, a: usize, b: usize, c: usize) {
+        let n = self.order.len();
+        debug_assert!(0 < a && a < b && b < c && c < n);
         let mut next = Vec::with_capacity(n);
         next.extend_from_slice(&self.order[..a]);
         next.extend_from_slice(&self.order[b..c]);
         next.extend_from_slice(&self.order[a..b]);
         next.extend_from_slice(&self.order[c..]);
         self.order = next;
+    }
+
+    /// Re-apply a recorded perturbation move. Deterministic: applying
+    /// the [`KickMove`] returned by [`Tour::double_bridge`] to a copy of
+    /// the pre-perturbation tour reproduces the perturbed tour exactly.
+    pub fn apply_kick(&mut self, kick: &KickMove) {
+        match *kick {
+            KickMove::DoubleBridge { a, b, c } => self.apply_double_bridge(a, b, c),
+            KickMove::SegmentReversal { i, j } => self.apply_two_opt(i, j),
+            KickMove::Noop => {}
+        }
     }
 
     /// Coordinates in visiting order — the paper's **Optimization 2**
@@ -305,6 +356,21 @@ mod tests {
             for _ in 0..10 {
                 t.double_bridge(&mut rng);
                 t.validate().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn recorded_kicks_replay_exactly() {
+        let mut rng = SmallRng::seed_from_u64(0x5eed);
+        for n in [4usize, 6, 8, 40, 129] {
+            let mut live = Tour::random(n, &mut rng);
+            for _ in 0..25 {
+                let before = live.clone();
+                let kick = live.double_bridge(&mut rng);
+                let mut replayed = before;
+                replayed.apply_kick(&kick);
+                assert_eq!(live, replayed, "n={n} kick={kick:?}");
             }
         }
     }

@@ -24,6 +24,10 @@ pub enum TspError {
     /// The requested configuration cannot run (e.g. a GPU engine on an
     /// explicit-matrix instance, or streams on a CPU engine).
     Unsupported(String),
+    /// A flight recording cannot be replayed against this solver or
+    /// instance (digest/config mismatch, malformed recording, or a
+    /// nondeterministic knob such as a wall-clock budget).
+    Replay(String),
 }
 
 impl fmt::Display for TspError {
@@ -33,6 +37,7 @@ impl fmt::Display for TspError {
             TspError::Core(e) => write!(f, "core error: {e}"),
             TspError::Tsplib(e) => write!(f, "tsplib error: {e}"),
             TspError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+            TspError::Replay(msg) => write!(f, "replay: {msg}"),
         }
     }
 }
@@ -43,7 +48,7 @@ impl std::error::Error for TspError {
             TspError::Sim(e) => Some(e),
             TspError::Core(e) => Some(e),
             TspError::Tsplib(e) => Some(e),
-            TspError::Unsupported(_) => None,
+            TspError::Unsupported(_) | TspError::Replay(_) => None,
         }
     }
 }

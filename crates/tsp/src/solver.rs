@@ -11,7 +11,7 @@ use gpu_sim::{DevicePool, DeviceSpec, Recorder, StreamReport, Timeline};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use tsp_2opt::{
-    optimize_observed, CpuParallelTwoOpt, GpuTwoOpt, SearchOptions, SequentialTwoOpt, StepProfile,
+    optimize_flight, CpuParallelTwoOpt, GpuTwoOpt, SearchOptions, SequentialTwoOpt, StepProfile,
     Strategy, TwoOptEngine,
 };
 use tsp_construction::{multiple_fragment, nearest_neighbor, space_filling};
@@ -19,6 +19,7 @@ use tsp_core::{Instance, Tour};
 use tsp_ils::{
     iterated_local_search, IlsOptions, IlsOutcome, ShardedMultistart, ShardedOutcome, TracePoint,
 };
+use tsp_replay::{hash_tour, FlightRecorder, ReplayEvent};
 use tsp_telemetry::{Journal, Telemetry};
 
 /// Live-observability knobs for [`SolverBuilder::telemetry`]: a
@@ -137,20 +138,21 @@ pub enum Construction {
 /// ```
 #[derive(Clone)]
 pub struct SolverBuilder {
-    engine: EngineKind,
-    spec: DeviceSpec,
-    devices: usize,
-    streams: usize,
-    restarts: usize,
-    strategy: Strategy,
-    launch: Option<(u32, u32)>,
-    overlapped_transfers: bool,
-    construction: Construction,
-    search: SearchOptions,
-    ils: Option<IlsOptions>,
-    timeline: Option<Timeline>,
-    recorder: Option<Recorder>,
-    telemetry: TelemetryOptions,
+    pub(crate) engine: EngineKind,
+    pub(crate) spec: DeviceSpec,
+    pub(crate) devices: usize,
+    pub(crate) streams: usize,
+    pub(crate) restarts: usize,
+    pub(crate) strategy: Strategy,
+    pub(crate) launch: Option<(u32, u32)>,
+    pub(crate) overlapped_transfers: bool,
+    pub(crate) construction: Construction,
+    pub(crate) search: SearchOptions,
+    pub(crate) ils: Option<IlsOptions>,
+    pub(crate) timeline: Option<Timeline>,
+    pub(crate) recorder: Option<Recorder>,
+    pub(crate) telemetry: TelemetryOptions,
+    pub(crate) flight: FlightRecorder,
 }
 
 impl Default for SolverBuilder {
@@ -170,6 +172,7 @@ impl Default for SolverBuilder {
             timeline: None,
             recorder: None,
             telemetry: TelemetryOptions::default(),
+            flight: FlightRecorder::detached(),
         }
     }
 }
@@ -266,6 +269,15 @@ impl SolverBuilder {
         self
     }
 
+    /// Attach a flight recorder: the run logs every decision needed to
+    /// reproduce it bit-for-bit (start-tour digest, applied moves, RNG
+    /// checkpoints, acceptance verdicts). Package the result with
+    /// [`Solver::recording`] and re-execute it with [`Solver::replay`].
+    pub fn record(mut self, flight: FlightRecorder) -> Self {
+        self.flight = flight;
+        self
+    }
+
     /// Attach live metrics and/or a convergence journal. The handles
     /// are wired through every layer the run touches — device kernels
     /// and transfers, pool lanes, search sweeps, ILS iterations — and
@@ -349,7 +361,7 @@ impl Solution {
 /// The configured facade. Build with [`Solver::builder`], run with
 /// [`Solver::run`] or [`Solver::run_from`].
 pub struct Solver {
-    cfg: SolverBuilder,
+    pub(crate) cfg: SolverBuilder,
 }
 
 impl Solver {
@@ -397,14 +409,31 @@ impl Solver {
             None => {
                 let mut tour = start;
                 let recorder = cfg.recorder.clone().unwrap_or_else(Recorder::disabled);
-                let stats = optimize_observed(
+                cfg.flight.record_with(|| ReplayEvent::Start {
+                    tour_hash: hash_tour(&tour),
+                });
+                let stats = optimize_flight(
                     engine.as_mut(),
                     inst,
                     &mut tour,
                     cfg.search,
                     &recorder,
                     cfg.telemetry.registry(),
+                    &cfg.flight,
                 )?;
+                cfg.flight.record_with(|| ReplayEvent::DescentEnd {
+                    iteration: 0,
+                    sweeps: stats.sweeps,
+                    length: stats.final_length,
+                    tour_hash: hash_tour(&tour),
+                    modeled_seconds: stats.profile.modeled_seconds(),
+                });
+                cfg.flight.record_with(|| ReplayEvent::Final {
+                    iterations: 0,
+                    best_length: stats.final_length,
+                    tour_hash: hash_tour(&tour),
+                    modeled_seconds: stats.profile.modeled_seconds(),
+                });
                 Ok(self.stamp(Solution {
                     length: stats.final_length,
                     tour,
@@ -505,6 +534,7 @@ impl Solver {
         }
         opts.with_telemetry(self.cfg.telemetry.registry().clone())
             .with_journal(self.cfg.telemetry.journal().clone())
+            .with_flight(self.cfg.flight.clone())
     }
 
     /// Hand the run's observability handles back on the solution.
@@ -546,7 +576,7 @@ impl Solver {
     }
 
     /// Build chain `i`'s initial tour.
-    fn construct(&self, inst: &Instance, chain: u64) -> Tour {
+    pub(crate) fn construct(&self, inst: &Instance, chain: u64) -> Tour {
         match self.cfg.construction {
             Construction::MultipleFragment => multiple_fragment(inst),
             Construction::NearestNeighbor => nearest_neighbor(inst, 0),

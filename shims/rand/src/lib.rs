@@ -144,6 +144,21 @@ pub mod rngs {
     }
 
     impl SmallRng {
+        /// Snapshot of the full 256-bit xoshiro256++ state.
+        ///
+        /// Together with [`SmallRng::from_state`] this lets a caller
+        /// checkpoint a generator mid-stream and later resume it (or a
+        /// copy) at exactly the same point — the flight-recorder replay
+        /// path depends on this being loss-free.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator from a [`SmallRng::state`] snapshot.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            SmallRng { s }
+        }
+
         fn splitmix64(state: &mut u64) -> u64 {
             *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
             let mut z = *state;
@@ -219,7 +234,7 @@ pub mod seq {
 mod tests {
     use super::rngs::SmallRng;
     use super::seq::SliceRandom;
-    use super::{Rng, SeedableRng};
+    use super::{Rng, RngCore, SeedableRng};
 
     #[test]
     fn seeded_streams_are_deterministic() {
@@ -263,6 +278,20 @@ mod tests {
         assert!(v.choose(&mut rng).is_some());
         let empty: [u32; 0] = [];
         assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn state_round_trip_resumes_the_exact_stream() {
+        let mut a = SmallRng::seed_from_u64(0x2013);
+        for _ in 0..17 {
+            a.next_u64();
+        }
+        let snapshot = a.state();
+        let mut b = SmallRng::from_state(snapshot);
+        assert_eq!(a, b);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
     }
 
     #[test]

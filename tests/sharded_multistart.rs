@@ -11,6 +11,7 @@ use rand::SeedableRng;
 use tsp_2opt::{GpuTwoOpt, Strategy};
 use tsp_core::Tour;
 use tsp_ils::{parallel_multistart, IlsOptions, ShardedMultistart};
+use tsp_telemetry::{Journal, JournalEvent};
 use tsp_tsplib::{generate, Style};
 
 fn random_starts(n: usize, count: usize, seed: u64) -> Vec<Tour> {
@@ -145,4 +146,70 @@ fn second_stream_strictly_reduces_modeled_wall_time_when_transfer_bound() {
     // Identical chains => identical total submitted work.
     let rel = (dual.busy_seconds() - serial.busy_seconds()).abs() / serial.busy_seconds();
     assert!(rel < 1e-9, "busy time must not change with streams");
+}
+
+#[test]
+fn journal_chain_ids_stay_dense_with_more_chains_than_lanes() {
+    // 10 chains over a 2×2 pool: every lane hosts several chains in
+    // turn, and `Journal::for_chain` must stamp each chain's records
+    // with its own id — dense (0..chains, no gaps) and collision-free
+    // (no record from chain a carrying chain b's id), regardless of
+    // which lane the chain landed on.
+    let n = 64;
+    let chains = 10usize;
+    let iterations = 3u64;
+    let inst = generate("shard-journal", n, Style::Uniform, 21);
+    let starts = random_starts(n, chains, 0xcafe);
+    let journal = Journal::attached();
+    let opts = IlsOptions::new()
+        .with_max_iterations(iterations)
+        .with_seed(0x91)
+        .with_journal(journal.clone());
+
+    let pool = DevicePool::homogeneous(spec::gtx_680_cuda(), 2, 2);
+    let out = ShardedMultistart::new(pool)
+        .run(
+            |device, stream| GpuTwoOpt::on_stream(device.clone(), stream),
+            &inst,
+            starts,
+            opts,
+        )
+        .unwrap();
+    assert_eq!(out.chains.len(), chains);
+
+    let records = journal.records();
+    let mut seen: Vec<u64> = records.iter().map(|r| r.chain).collect();
+    seen.sort_unstable();
+    seen.dedup();
+    assert_eq!(
+        seen,
+        (0..chains as u64).collect::<Vec<u64>>(),
+        "chain ids must be exactly 0..{chains}, dense and collision-free"
+    );
+
+    for chain in 0..chains as u64 {
+        let chain_records: Vec<_> = records.iter().filter(|r| r.chain == chain).collect();
+        let count = |event: JournalEvent| chain_records.iter().filter(|r| r.event == event).count();
+        assert_eq!(count(JournalEvent::Initial), 1, "chain {chain}");
+        assert_eq!(count(JournalEvent::Final), 1, "chain {chain}");
+        let verdicts = chain_records
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.event,
+                    JournalEvent::Improved | JournalEvent::Accepted | JournalEvent::Rejected
+                )
+            })
+            .count();
+        assert_eq!(
+            verdicts as u64, iterations,
+            "chain {chain}: one verdict per iteration"
+        );
+        // A chain's records appear in its own iteration order even
+        // though lanes interleave appends into the shared buffer.
+        let iters: Vec<u64> = chain_records.iter().map(|r| r.iteration).collect();
+        let mut sorted = iters.clone();
+        sorted.sort_unstable();
+        assert_eq!(iters, sorted, "chain {chain}: iterations in order");
+    }
 }
