@@ -1,0 +1,32 @@
+//! Dense vs candidate-list 2-opt: modeled per-sweep cost and
+//! functional descent quality; writes `BENCH_candidate.json` with
+//! `--json-out <path>`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_out = None;
+    let mut rest = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--json-out" {
+            json_out = it.next();
+        } else if let Some(p) = a.strip_prefix("--json-out=") {
+            json_out = Some(p.to_string());
+        } else {
+            rest.push(a);
+        }
+    }
+
+    let models = tsp_bench::fig_candidate::model_rows();
+    let quality = tsp_bench::fig_candidate::quality_rows(0x2013);
+    if rest.iter().any(|a| a == "--csv") {
+        print!("{}", tsp_bench::fig_candidate::to_csv(&models, &quality));
+    } else {
+        print!("{}", tsp_bench::fig_candidate::render(&models, &quality));
+    }
+    if let Some(path) = json_out {
+        std::fs::write(&path, tsp_bench::fig_candidate::to_json(&models, &quality))
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
+}

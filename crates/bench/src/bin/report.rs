@@ -103,9 +103,36 @@ fn main() {
         &tsp_bench::fig_scaling::to_json(&sc),
     );
 
+    eprintln!("== Dense vs candidate-list kernels (modeled + functional)");
+    let cm = tsp_bench::fig_candidate::model_rows();
+    let cq = tsp_bench::fig_candidate::quality_rows(0x2013);
+    write(
+        out,
+        "candidate.txt",
+        &tsp_bench::fig_candidate::render(&cm, &cq),
+    );
+    write(
+        out,
+        "candidate.csv",
+        &tsp_bench::fig_candidate::to_csv(&cm, &cq),
+    );
+    write(
+        out,
+        "BENCH_candidate.json",
+        &tsp_bench::fig_candidate::to_json(&cm, &cq),
+    );
+
     eprintln!("== Convergence journals (per kernel strategy, n = 256)");
     let cj = tsp_bench::convergence::compute(256, 8, 0x2013);
     write(out, "convergence.csv", &tsp_bench::convergence::to_csv(&cj));
+
+    eprintln!("== Candidate-vs-dense convergence journal (n = 256)");
+    let cc = tsp_bench::fig_candidate::convergence_journals(256, 8, 0x2013);
+    write(
+        out,
+        "candidate_convergence.csv",
+        &tsp_bench::convergence::to_csv(&cc),
+    );
 
     eprintln!("== Traces (Chrome JSON; load in <https://ui.perfetto.dev>)");
     write(

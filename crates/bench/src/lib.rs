@@ -39,6 +39,7 @@ pub mod diff;
 pub mod fig10;
 pub mod fig11;
 pub mod fig9;
+pub mod fig_candidate;
 pub mod fig_scaling;
 pub mod table1;
 pub mod table2;

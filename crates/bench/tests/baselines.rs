@@ -65,6 +65,16 @@ fn scaling_snapshot_matches_the_committed_baseline() {
 }
 
 #[test]
+fn candidate_snapshot_matches_the_committed_baseline() {
+    let models = tsp_bench::fig_candidate::model_rows();
+    let quality = tsp_bench::fig_candidate::quality_rows(0x2013);
+    check(
+        "BENCH_candidate.json",
+        &tsp_bench::fig_candidate::to_json(&models, &quality),
+    );
+}
+
+#[test]
 fn metrics_snapshot_matches_the_committed_baseline() {
     check(
         "BENCH_metrics.json",

@@ -19,11 +19,13 @@
 //! above stays untouched as the faithful Algorithm-2 baseline.
 
 use crate::bestmove::{unpack, BestMove, EMPTY_KEY, MAX_POSITION};
+use crate::gpu::candidate::CandidateSweepKernel;
 use crate::gpu::coords::ResidentCoords;
 use crate::gpu::reverse::SegmentReversalKernel;
 use crate::gpu::small::{GlobalOnlyKernel, OrderedSharedKernel, UnorderedSharedKernel};
 use crate::gpu::tiled::{auto_tile, TiledKernel};
 use crate::indexing::{pair_count, tile_pair_count};
+use crate::neighbors::CandidateLists;
 use crate::search::{EngineError, StepProfile, TwoOptEngine};
 use gpu_sim::{
     AtomicDeviceBuffer, Device, DeviceBuffer, DeviceSpec, Kernel, KernelProfile, LaunchConfig,
@@ -105,6 +107,25 @@ pub enum Strategy {
     /// [`Strategy::Auto`]) reads the resident array. The steady-state
     /// sweep cost is `reversal + kernel + d2h` — no per-sweep upload.
     DeviceResident,
+    /// Sub-quadratic candidate-list sweep (the §VII "neighborhood
+    /// pruning" future work): k-nearest-neighbour lists restrict the
+    /// move search to `O(active · k)` checks and don't-look bits shrink
+    /// the active set as cities settle. **Inexact** with respect to the
+    /// dense best move — every applied move still improves, but descent
+    /// terminates at a 2-opt local minimum *within the candidate
+    /// neighbourhood* (certified by a final all-awake sweep). This
+    /// serial variant re-uploads the lists every sweep.
+    Candidate {
+        /// Neighbours per city (clamped to `n - 1`).
+        k: usize,
+    },
+    /// [`Strategy::Candidate`] with the candidate lists uploaded once
+    /// and kept on device: the steady-state upload is coordinates,
+    /// positions and the active-city work list only.
+    CandidateResident {
+        /// Neighbours per city (clamped to `n - 1`).
+        k: usize,
+    },
 }
 
 /// Which evaluation kernel the resident pipeline runs — resolved once
@@ -129,6 +150,27 @@ struct ResidentState {
     reverse_cfg: LaunchConfig,
 }
 
+/// Per-instance state of the candidate pipeline: the host-built k-NN
+/// lists (plus, for [`Strategy::CandidateResident`], their one-time
+/// device upload), the don't-look bits, a host mirror of the route the
+/// bits were settled against, the move announced last sweep, and the
+/// cached launch geometry. Rebuilt only when the instance or `k`
+/// changes.
+struct CandidateState {
+    /// Requested (pre-clamp) `k` — part of the cache key.
+    requested_k: usize,
+    /// Cheap instance identity so a swapped instance of the same size
+    /// can't reuse stale lists.
+    fingerprint: (usize, u64, u64),
+    lists: crate::neighbors::CandidateLists,
+    /// Resident variant: the flattened lists, uploaded once.
+    lists_dev: Option<DeviceBuffer<u32>>,
+    dont_look: Vec<bool>,
+    mirror: Vec<u32>,
+    pending: Option<BestMove>,
+    eval_cfg: LaunchConfig,
+}
+
 /// How to bring the resident coordinates in sync with the caller's tour
 /// before evaluating a sweep.
 enum SyncAction {
@@ -150,6 +192,7 @@ pub struct GpuTwoOpt {
     overlap_transfers: bool,
     ordered: Vec<Point>,
     resident: Option<ResidentState>,
+    candidate: Option<CandidateState>,
     /// Raw packed word read back by the last sweep (flight recording).
     last_key: Option<u64>,
 }
@@ -178,6 +221,7 @@ impl GpuTwoOpt {
             overlap_transfers: false,
             ordered: Vec::new(),
             resident: None,
+            candidate: None,
             last_key: None,
         }
     }
@@ -344,6 +388,207 @@ impl GpuTwoOpt {
             None => SyncAction::Refresh,
         }
     }
+
+    /// The candidate pipeline's don't-look bits, `None` until a
+    /// candidate sweep has run — exposed so the differential suites can
+    /// pin don't-look-bit state across runs and replays.
+    pub fn candidate_dont_look(&self) -> Option<&[bool]> {
+        self.candidate.as_ref().map(|st| st.dont_look.as_slice())
+    }
+
+    /// (Re)build the candidate pipeline state — k-NN lists, don't-look
+    /// bits, cached launch geometry — when the instance or the requested
+    /// `k` changes. A fresh state starts with an empty mirror, which
+    /// wakes every city for the first sweep.
+    fn ensure_candidate_state(&mut self, inst: &Instance, n: usize, k: usize) {
+        // Cheap identity: size plus first/last coordinate words. Enough
+        // to catch an instance swap without hashing every point.
+        let fingerprint = (
+            n,
+            inst.point(0).to_device_word(),
+            inst.point(n - 1).to_device_word(),
+        );
+        if self.candidate.as_ref().is_some_and(|st| {
+            st.requested_k == k && st.fingerprint == fingerprint && st.dont_look.len() == n
+        }) {
+            return;
+        }
+        self.candidate = Some(CandidateState {
+            requested_k: k,
+            fingerprint,
+            lists: CandidateLists::build(inst, k),
+            lists_dev: None,
+            dont_look: vec![false; n],
+            mirror: Vec::new(),
+            pending: None,
+            eval_cfg: LaunchConfig::new(self.grid_dim, self.block_dim),
+        });
+    }
+
+    /// One `best_move` query of the candidate pipeline.
+    ///
+    /// Settles the don't-look bits against what happened since the last
+    /// sweep (our own applied move wakes its four endpoint cities; any
+    /// external edit wakes everyone), evaluates the active set, and —
+    /// when the active sweep finds nothing while some cities are asleep
+    /// — wakes everyone and runs one certifying sweep, so a `None`
+    /// answer always means a candidate-neighbourhood local minimum.
+    fn candidate_best_move(
+        &mut self,
+        tour: &Tour,
+        resident_lists: bool,
+    ) -> Result<(Option<BestMove>, StepProfile), EngineError> {
+        let n = tour.len();
+        let mut st = self.candidate.take().expect("state built by caller");
+        let k = st.lists.k();
+        if k == 0 {
+            self.candidate = Some(st);
+            return Err(EngineError::Unsupported(
+                "candidate strategies need k >= 1 neighbours per city".into(),
+            ));
+        }
+
+        // --- settle don't-look bits against the caller's tour --------
+        match st.pending.take() {
+            Some(m) => {
+                let from = m.i as usize + 1;
+                let len = (m.j - m.i) as usize;
+                st.mirror[from..from + len].reverse();
+                if st.mirror == tour.as_slice() {
+                    // Our announced move was applied verbatim: only its
+                    // four endpoint cities gained or lost an edge.
+                    for p in [m.i, m.i + 1, m.j, m.j + 1] {
+                        st.dont_look[st.mirror[p as usize] as usize] = false;
+                    }
+                } else {
+                    st.mirror.clear();
+                    st.mirror.extend_from_slice(tour.as_slice());
+                    st.dont_look.fill(false);
+                }
+            }
+            None if st.mirror == tour.as_slice() => {}
+            None => {
+                st.mirror.clear();
+                st.mirror.extend_from_slice(tour.as_slice());
+                st.dont_look.fill(false);
+            }
+        }
+
+        // City → position, shared by every sweep of this query.
+        let mut pos_host = vec![0u32; n];
+        for (p, &c) in tour.as_slice().iter().enumerate() {
+            pos_host[c as usize] = p as u32;
+        }
+
+        let mut profile = StepProfile::default();
+        let mut key = EMPTY_KEY;
+        let mut all_awake = st.dont_look.iter().all(|b| !b);
+        let result = loop {
+            if !all_awake && st.dont_look.iter().all(|b| *b) {
+                // Everyone settled since the last query: go straight to
+                // the certifying all-awake sweep.
+                st.dont_look.fill(false);
+                all_awake = true;
+            }
+            let sweep = self.candidate_sweep(&mut st, resident_lists, &pos_host);
+            let (sweep_key, sweep_profile) = match sweep {
+                Ok(r) => r,
+                Err(e) => break Err(e),
+            };
+            profile.accumulate(&sweep_profile);
+            key = sweep_key;
+            if unpack(key).filter(BestMove::improves).is_some() || all_awake {
+                break Ok(());
+            }
+            // Active-set local minimum with cities asleep: certify it
+            // against the full candidate neighbourhood.
+            st.dont_look.fill(false);
+            all_awake = true;
+        };
+        result?;
+
+        self.last_key = Some(key);
+        let best = unpack(key).filter(BestMove::improves);
+        st.pending = best;
+        self.candidate = Some(st);
+        Ok((best, profile))
+    }
+
+    /// Evaluate one candidate sweep over the currently active cities and
+    /// settle their don't-look bits from the per-slot results. Returns
+    /// the host-reduced packed best key (same u64-min tie-break as the
+    /// dense kernels' `fetch_min`) and the sweep's profile.
+    fn candidate_sweep(
+        &self,
+        st: &mut CandidateState,
+        resident_lists: bool,
+        pos_host: &[u32],
+    ) -> Result<(u64, StepProfile), EngineError> {
+        let active_cities: Vec<u32> = (0..pos_host.len() as u32)
+            .filter(|&c| !st.dont_look[c as usize])
+            .collect();
+        let m = active_cities.len();
+        let k = st.lists.k();
+
+        let (coords, h2d_a) = dev_copy_to_device(&self.device, self.stream, &self.ordered)?;
+        let (pos, h2d_b) = dev_copy_to_device(&self.device, self.stream, pos_host)?;
+        let mut h2d_seconds = h2d_a.seconds + h2d_b.seconds;
+        // The serial variant re-uploads the lists every sweep; the
+        // resident variant pays that upload exactly once.
+        let serial_lists;
+        let lists = if resident_lists {
+            if st.lists_dev.is_none() {
+                let (buf, t) = dev_copy_to_device(&self.device, self.stream, st.lists.flat())?;
+                h2d_seconds += t.seconds;
+                st.lists_dev = Some(buf);
+            }
+            st.lists_dev.as_ref().expect("uploaded above")
+        } else {
+            let (buf, t) = dev_copy_to_device(&self.device, self.stream, st.lists.flat())?;
+            h2d_seconds += t.seconds;
+            serial_lists = buf;
+            &serial_lists
+        };
+        let (active, h2d_d) = dev_copy_to_device(&self.device, self.stream, &active_cities)?;
+        h2d_seconds += h2d_d.seconds;
+
+        let out = self.device.alloc_atomic(m, EMPTY_KEY)?;
+        let kernel = CandidateSweepKernel {
+            coords: &coords,
+            pos: &pos,
+            lists,
+            k,
+            active: &active,
+            out: &out,
+        };
+        let kernel_profile = dev_launch(&self.device, self.stream, st.eval_cfg, &kernel)?;
+        let (words, d2h) = dev_copy_from_device(&self.device, self.stream, &out)?;
+
+        let mut key = EMPTY_KEY;
+        for (slot, &word) in words.iter().enumerate() {
+            if unpack(word).filter(BestMove::improves).is_none() {
+                st.dont_look[active_cities[slot] as usize] = true;
+            }
+            key = key.min(word);
+        }
+
+        let (kernel_seconds, h2d_seconds) = if self.overlap_transfers {
+            (kernel_profile.seconds.max(h2d_seconds), 0.0)
+        } else {
+            (kernel_profile.seconds, h2d_seconds)
+        };
+        Ok((
+            key,
+            StepProfile {
+                pairs_checked: (m * k) as u64,
+                flops: kernel_profile.counters.flops,
+                kernel_seconds,
+                reversal_seconds: 0.0,
+                h2d_seconds,
+                d2h_seconds: d2h.seconds,
+            },
+        ))
+    }
 }
 
 impl TwoOptEngine for GpuTwoOpt {
@@ -387,6 +632,15 @@ impl TwoOptEngine for GpuTwoOpt {
             self.ordered.clear();
             self.ordered
                 .extend(tour.as_slice().iter().map(|&c| inst.point(c as usize)));
+        }
+
+        // The candidate pipeline has its own work-list/don't-look flow
+        // (possibly two launches per query) — branch off before the
+        // single-slot dense result buffer is allocated.
+        if let Strategy::Candidate { k } | Strategy::CandidateResident { k } = resolved {
+            self.ensure_candidate_state(inst, n, k);
+            return self
+                .candidate_best_move(tour, matches!(resolved, Strategy::CandidateResident { .. }));
         }
 
         let out = self.device.alloc_atomic(1, EMPTY_KEY)?;
@@ -508,6 +762,9 @@ impl TwoOptEngine for GpuTwoOpt {
                 (p, h2d, reversal)
             }
             Strategy::Auto => unreachable!("resolved above"),
+            Strategy::Candidate { .. } | Strategy::CandidateResident { .. } => {
+                unreachable!("candidate strategies branch off above")
+            }
         };
 
         let (words, d2h) = dev_copy_from_device(&self.device, self.stream, &out)?;
@@ -823,6 +1080,149 @@ mod tests {
         assert_eq!(report.streams, 2);
         assert!(report.overlap() > 0.0);
         assert!(report.wall_seconds < report.busy_seconds);
+    }
+
+    #[test]
+    fn candidate_with_complete_lists_matches_the_dense_best_move() {
+        // With k >= n-1 the candidate neighbourhood is the full pair
+        // space, so the inexact strategy becomes exact: the host-reduced
+        // slot minimum must equal the dense kernels' fetch_min word.
+        let inst = random_instance(80, 5);
+        let mut rng = SmallRng::seed_from_u64(99);
+        let tour = Tour::random(80, &mut rng);
+        let mut seq = SequentialTwoOpt::new();
+        let (expected, _) = seq.best_move(&inst, &tour).unwrap();
+        for strategy in [
+            Strategy::Candidate { k: 79 },
+            Strategy::CandidateResident { k: 500 }, // clamped to 79
+        ] {
+            let mut gpu = GpuTwoOpt::new(spec::gtx_680_cuda()).with_strategy(strategy);
+            let (got, prof) = gpu.best_move(&inst, &tour).unwrap();
+            assert_eq!(got, expected, "{strategy:?}");
+            assert_eq!(prof.pairs_checked, 80 * 79, "{strategy:?}");
+            assert!(prof.h2d_seconds > 0.0 && prof.d2h_seconds > 0.0);
+            assert_eq!(prof.reversal_seconds, 0.0);
+        }
+    }
+
+    #[test]
+    fn candidate_descent_reaches_a_candidate_local_minimum() {
+        use crate::neighbors::CandidateLists;
+        let inst = random_instance(120, 3);
+        let mut rng = SmallRng::seed_from_u64(17);
+        let mut tour = Tour::random(120, &mut rng);
+        let mut gpu =
+            GpuTwoOpt::new(spec::gtx_680_cuda()).with_strategy(Strategy::Candidate { k: 8 });
+        let stats = optimize(&mut gpu, &inst, &mut tour, SearchOptions::default()).unwrap();
+        assert!(stats.reached_local_minimum);
+        assert!(stats.final_length < stats.initial_length);
+        tour.validate().unwrap();
+        // The termination contract: no improving move is left anywhere
+        // in the candidate neighbourhood (host-mirror certification).
+        let cl = CandidateLists::build(&inst, 8);
+        assert!(cl.best_candidate_move(&inst, &tour).is_none());
+    }
+
+    #[test]
+    fn dont_look_bits_shrink_the_active_set() {
+        let n = 150;
+        let inst = random_instance(n, 23);
+        let mut rng = SmallRng::seed_from_u64(31);
+        let mut tour = Tour::random(n, &mut rng);
+        let mut gpu =
+            GpuTwoOpt::new(spec::gtx_680_cuda()).with_strategy(Strategy::Candidate { k: 10 });
+
+        // Sweep 1: every city awake.
+        let (mv, p1) = gpu.best_move(&inst, &tour).unwrap();
+        assert_eq!(p1.pairs_checked, (n * 10) as u64);
+        let m = mv.expect("a random tour has improving candidate moves");
+        tour.apply_two_opt(m.i as usize, m.j as usize);
+
+        // Sweep 2: most cities settled; only the woken endpoints and the
+        // cities that still had improving slots stay on the work list.
+        let (_, p2) = gpu.best_move(&inst, &tour).unwrap();
+        assert!(
+            p2.pairs_checked < p1.pairs_checked,
+            "sweep 2 checked {} pairs, sweep 1 {}",
+            p2.pairs_checked,
+            p1.pairs_checked
+        );
+        let asleep = gpu
+            .candidate_dont_look()
+            .unwrap()
+            .iter()
+            .filter(|&&b| b)
+            .count();
+        assert!(asleep > 0, "some cities must have settled");
+    }
+
+    #[test]
+    fn candidate_resident_uploads_lists_once() {
+        let n = 200;
+        let inst = random_instance(n, 41);
+        let mut rng = SmallRng::seed_from_u64(8);
+        let start = Tour::random(n, &mut rng);
+
+        let run = |strategy: Strategy| {
+            let mut tour = start.clone();
+            let mut gpu = GpuTwoOpt::new(spec::gtx_680_cuda()).with_strategy(strategy);
+            let (mv, p1) = gpu.best_move(&inst, &tour).unwrap();
+            let m = mv.expect("improving move");
+            tour.apply_two_opt(m.i as usize, m.j as usize);
+            let (_, p2) = gpu.best_move(&inst, &tour).unwrap();
+            (p1, p2)
+        };
+        let (s1, s2) = run(Strategy::Candidate { k: 12 });
+        let (r1, r2) = run(Strategy::CandidateResident { k: 12 });
+        // Identical first-sweep uploads (the resident variant pays the
+        // list upload on its cold sweep too)...
+        assert!((s1.h2d_seconds - r1.h2d_seconds).abs() < 1e-15);
+        // ...but the steady state drops the n·k list transfer.
+        assert!(
+            r2.h2d_seconds < s2.h2d_seconds,
+            "resident steady-state h2d {} vs serial {}",
+            r2.h2d_seconds,
+            s2.h2d_seconds
+        );
+        // Same moves either way: the lists' home doesn't change results.
+        assert_eq!(s2.pairs_checked, r2.pairs_checked);
+    }
+
+    #[test]
+    fn candidate_recovers_from_external_tour_edits() {
+        use crate::neighbors::CandidateLists;
+        let n = 90;
+        let inst = random_instance(n, 33);
+        let mut tour = Tour::identity(n);
+        let mut gpu =
+            GpuTwoOpt::new(spec::gtx_680_cuda()).with_strategy(Strategy::Candidate { k: 6 });
+        let (mv, _) = gpu.best_move(&inst, &tour).unwrap();
+        let m = mv.expect("identity tour of a random instance improves");
+        tour.apply_two_opt(m.i as usize, m.j as usize);
+        // External edit the engine was never told about: every
+        // don't-look bit must be discarded, so the answer equals the
+        // all-awake host mirror.
+        tour.apply_two_opt(10, 60);
+        let (got, p) = gpu.best_move(&inst, &tour).unwrap();
+        assert_eq!(
+            p.pairs_checked,
+            (n * 6) as u64,
+            "external edit must wake every city"
+        );
+        let cl = CandidateLists::build(&inst, 6);
+        assert_eq!(got, cl.best_candidate_move(&inst, &tour));
+    }
+
+    #[test]
+    fn candidate_with_zero_k_is_rejected() {
+        let inst = random_instance(30, 2);
+        let tour = Tour::identity(30);
+        let mut gpu =
+            GpuTwoOpt::new(spec::gtx_680_cuda()).with_strategy(Strategy::Candidate { k: 0 });
+        assert!(matches!(
+            gpu.best_move(&inst, &tour),
+            Err(EngineError::Unsupported(_))
+        ));
     }
 
     #[test]

@@ -12,6 +12,11 @@
 //! * [`engine`] — the [`GpuTwoOpt`] engine that drives
 //!   Algorithm 2 end-to-end (copy → kernel → read result) and picks the
 //!   right kernel for the instance size.
+//! * [`candidate`] — the §VII "neighborhood pruning" follow-on: the
+//!   sub-quadratic candidate-list kernel evaluating only k-nearest-
+//!   neighbour pairs for the cities whose don't-look bits are clear
+//!   (`O(active · k)` checks, one packed output slot per active city,
+//!   no atomics), fed by [`crate::neighbors::CandidateLists`].
 //! * [`coords`] / [`reverse`] — the device-resident pipeline: the
 //!   evaluation kernels read coordinates through a [`CoordSource`]
 //!   (either the per-sweep upload buffer or a resident atomic array),
@@ -21,6 +26,7 @@
 //! [`CoordSource`]: coords::CoordSource
 //! [`SegmentReversalKernel`]: reverse::SegmentReversalKernel
 
+pub mod candidate;
 pub mod coords;
 pub mod engine;
 pub mod model;
@@ -30,9 +36,13 @@ pub mod reverse;
 pub mod small;
 pub mod tiled;
 
+pub use candidate::CandidateSweepKernel;
 pub use coords::{CoordSource, ResidentCoords};
 pub use engine::{GpuTwoOpt, Strategy};
-pub use model::{model_auto_sweep, model_device_resident_sweep, model_reversal, ModeledSweep};
+pub use model::{
+    model_auto_sweep, model_candidate_resident_sweep, model_candidate_sweep,
+    model_device_resident_sweep, model_reversal, ModeledSweep,
+};
 pub use multi::MultiGpuTwoOpt;
 pub use oropt_kernel::GpuOrOpt;
 pub use reverse::SegmentReversalKernel;

@@ -187,6 +187,79 @@ pub fn model_device_resident_sweep(spec: &DeviceSpec, n: usize, seg_len: usize) 
     m
 }
 
+/// Model one sweep of the candidate-list kernel with `active` cities
+/// still awake (don't-look bits clear) and `k` neighbours per city, at
+/// the engine's default launch geometry.
+///
+/// The serial candidate pipeline re-uploads everything each sweep: the
+/// ordered coordinates, the position array, the flattened `n × k`
+/// candidate lists and the `active`-city work list — four transfers,
+/// each paying the PCIe latency. The readback is one packed word per
+/// active city (the host settles don't-look bits from the slots).
+pub fn model_candidate_sweep(spec: &DeviceSpec, n: usize, k: usize, active: usize) -> ModeledSweep {
+    let mut m = candidate_kernel_model(spec, k, active);
+    m.h2d_seconds = timing::h2d_time(spec, (n * Point::DEVICE_BYTES) as u64)
+        + timing::h2d_time(spec, 4 * n as u64)
+        + timing::h2d_time(spec, 4 * (n * k) as u64)
+        + timing::h2d_time(spec, 4 * active as u64);
+    m
+}
+
+/// Model one sweep of the candidate pipeline with the lists resident on
+/// device: the `n × k` upload drops out, everything else is as
+/// [`model_candidate_sweep`].
+pub fn model_candidate_resident_sweep(
+    spec: &DeviceSpec,
+    n: usize,
+    k: usize,
+    active: usize,
+) -> ModeledSweep {
+    let mut m = candidate_kernel_model(spec, k, active);
+    m.h2d_seconds = timing::h2d_time(spec, (n * Point::DEVICE_BYTES) as u64)
+        + timing::h2d_time(spec, 4 * n as u64)
+        + timing::h2d_time(spec, 4 * active as u64);
+    m
+}
+
+/// Kernel + D2H cost shared by the two candidate variants. The counters
+/// mirror `CandidateSweepKernel` exactly: per handled city one work-list
+/// gather and one slot write, per check the gather-loads of
+/// [`crate::gpu::candidate::CANDIDATE_BYTES_PER_CHECK`] — skipped pairs
+/// charged like evaluated ones (SIMT lockstep).
+fn candidate_kernel_model(spec: &DeviceSpec, k: usize, active: usize) -> ModeledSweep {
+    use crate::gpu::candidate::{
+        CANDIDATE_BYTES_PER_CHECK, CANDIDATE_CITY_READ_BYTES, CANDIDATE_CITY_WRITE_BYTES,
+    };
+    let cfg = LaunchConfig::new(spec.compute_units * 4, spec.max_threads_per_block.min(1024));
+    let total_threads = cfg.total_threads();
+    let mut block_times = Vec::with_capacity(cfg.grid_dim as usize);
+    let mut flops = 0u64;
+    for b in 0..cfg.grid_dim as u64 {
+        let t0 = b * cfg.block_dim as u64;
+        let t1 = t0 + cfg.block_dim as u64;
+        let cities = strided_iterations(active as u64, total_threads, t0, t1);
+        let checks = cities * k as u64;
+        let c = PerfCounters {
+            flops: checks * FLOPS_PER_CHECK,
+            shared_bytes: 0,
+            global_read_bytes: cities * CANDIDATE_CITY_READ_BYTES
+                + checks * CANDIDATE_BYTES_PER_CHECK,
+            global_write_bytes: cities * CANDIDATE_CITY_WRITE_BYTES,
+            atomic_ops: 0,
+        };
+        flops += c.flops;
+        block_times.push(timing::block_time(spec, &c, 1));
+    }
+    ModeledSweep {
+        pairs: active as u64 * k as u64,
+        flops,
+        kernel_seconds: timing::kernel_time(spec, &block_times),
+        reversal_seconds: 0.0,
+        h2d_seconds: 0.0,
+        d2h_seconds: timing::d2h_time(spec, 8 * active as u64),
+    }
+}
+
 fn finish(
     spec: &DeviceSpec,
     n: usize,
@@ -400,6 +473,168 @@ mod tests {
             assert!((m.d2h_seconds - d2h).abs() <= d2h * 1e-12, "n={n}");
             assert_eq!(m.reversal_seconds, 0.0, "serial sweeps never reverse");
         }
+    }
+
+    #[test]
+    fn candidate_model_matches_functional_executor_exactly() {
+        use crate::search::StepProfile;
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let dev_spec = spec::gtx_680_cuda();
+        let (n, k) = (300usize, 9usize);
+        let mut rng = SmallRng::seed_from_u64(77);
+        let pts = (0..n)
+            .map(|_| Point::new(rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0)))
+            .collect();
+        let inst = Instance::new("cand-model", Metric::Euc2d, pts).unwrap();
+        let mut tour = Tour::random(n, &mut rng);
+        let mut eng =
+            GpuTwoOpt::new(dev_spec.clone()).with_strategy(Strategy::CandidateResident { k });
+
+        let close = |m: &ModeledSweep, p: &StepProfile, label: &str| {
+            assert_eq!(m.pairs, p.pairs_checked, "{label}");
+            assert_eq!(m.flops, p.flops, "{label}");
+            assert!(
+                (m.kernel_seconds - p.kernel_seconds).abs() < 1e-12,
+                "{label}: kernel {} vs functional {}",
+                m.kernel_seconds,
+                p.kernel_seconds
+            );
+            assert!((m.h2d_seconds - p.h2d_seconds).abs() < 1e-15, "{label}");
+            assert!((m.d2h_seconds - p.d2h_seconds).abs() < 1e-15, "{label}");
+        };
+
+        // Cold sweep: every city awake, lists uploaded — exactly the
+        // serial candidate model at active = n.
+        let (mv, p1) = eng.best_move(&inst, &tour).unwrap();
+        close(
+            &model_candidate_sweep(&dev_spec, n, k, n),
+            &p1,
+            "cold sweep",
+        );
+
+        // Steady state: predict the next work list on the host (cities
+        // that kept an improving slot stay awake, the applied move wakes
+        // its four endpoints), then check the resident model at that
+        // active count — the n·k list upload must have dropped out.
+        let m1 = mv.expect("random tour improves");
+        let mut awake: Vec<bool> = eng
+            .candidate_dont_look()
+            .unwrap()
+            .iter()
+            .map(|&b| !b)
+            .collect();
+        tour.apply_two_opt(m1.i as usize, m1.j as usize);
+        for p in [m1.i, m1.i + 1, m1.j, m1.j + 1] {
+            awake[tour.city(p as usize) as usize] = true;
+        }
+        let active = awake.iter().filter(|&&a| a).count();
+        let (_, p2) = eng.best_move(&inst, &tour).unwrap();
+        assert_eq!(
+            p2.pairs_checked,
+            (active * k) as u64,
+            "sweep 2 must be a single launch over the predicted work list"
+        );
+        close(
+            &model_candidate_resident_sweep(&dev_spec, n, k, active),
+            &p2,
+            "steady state",
+        );
+    }
+
+    #[test]
+    fn candidate_model_golden_values_are_unchanged() {
+        // Regression pin for the sparse-sweep cost model: FLOP counts
+        // are closed-form (active·k·32), and the seconds encode the
+        // gather-load byte accounting (40 B per check, 8 B per city in
+        // and out) plus the four-transfer upload. Captured at the
+        // engine's default gtx_680 geometry; a drift means the candidate
+        // kernel's counter accounting changed.
+        let dev_spec = spec::gtx_680_cuda();
+        // (n, k, active, flops, kernel_s, h2d_s, d2h_s, resident_h2d_s)
+        type Golden = (usize, usize, usize, u64, f64, f64, f64, f64);
+        let golden: [Golden; 3] = [
+            (
+                512,
+                16,
+                512,
+                262_144,
+                1.919_466_666_666_666_8e-5,
+                2.003_84e-4,
+                1.213_84e-5,
+                1.412_768_000_000_000_2e-4,
+            ),
+            (
+                512,
+                16,
+                37,
+                18_944,
+                9.811_333_333_333_332e-6,
+                1.996_240_000_000_000_3e-4,
+                1.061_84e-5,
+                1.405_168e-4,
+            ),
+            (
+                10_000,
+                16,
+                10_000,
+                5_120_000,
+                6.237_866_666_666_666e-5,
+                5.04e-4,
+                4.249_999_999_999_999_6e-5,
+                2.019_999_999_999_999_8e-4,
+            ),
+        ];
+        for (n, k, active, flops, kernel, h2d, d2h, resident_h2d) in golden {
+            let m = model_candidate_sweep(&dev_spec, n, k, active);
+            assert_eq!(m.pairs, (active * k) as u64, "n={n} active={active}");
+            assert_eq!(m.flops, flops, "n={n} active={active}");
+            assert!(
+                (m.kernel_seconds - kernel).abs() <= kernel * 1e-12,
+                "n={n} active={active}: kernel {} vs golden {kernel}",
+                m.kernel_seconds
+            );
+            assert!((m.h2d_seconds - h2d).abs() <= h2d * 1e-12, "n={n}");
+            assert!((m.d2h_seconds - d2h).abs() <= d2h * 1e-12, "n={n}");
+            assert_eq!(m.reversal_seconds, 0.0);
+            let r = model_candidate_resident_sweep(&dev_spec, n, k, active);
+            assert!(
+                (r.h2d_seconds - resident_h2d).abs() <= resident_h2d * 1e-12,
+                "n={n} resident h2d {} vs golden {resident_h2d}",
+                r.h2d_seconds
+            );
+            // The two variants differ in upload cost only.
+            assert_eq!(r.flops, m.flops);
+            assert_eq!(r.kernel_seconds, m.kernel_seconds);
+            assert_eq!(r.d2h_seconds, m.d2h_seconds);
+        }
+    }
+
+    #[test]
+    fn candidate_sweep_beats_dense_from_ten_thousand_cities() {
+        // The economics the candidate family exists for, pinned at the
+        // worst case for the sparse path (every city awake): cheaper
+        // than the dense sweep from n = 10⁴ at k = 16, and ≥ 10× faster
+        // than the best dense strategy at the paper-scale n = 10⁵.
+        let dev_spec = spec::gtx_680_cuda();
+        for n in [10_000usize, 31_623, 100_000] {
+            let cand = model_candidate_sweep(&dev_spec, n, 16, n).total_seconds();
+            let dense = model_auto_sweep(&dev_spec, n).total_seconds();
+            let resident = model_device_resident_sweep(&dev_spec, n, n / 2).total_seconds();
+            assert!(cand < dense, "n={n}: candidate {cand} vs dense {dense}");
+            assert!(
+                cand < resident,
+                "n={n}: candidate {cand} vs resident {resident}"
+            );
+        }
+        let cand = model_candidate_sweep(&dev_spec, 100_000, 16, 100_000).total_seconds();
+        let best_dense = model_device_resident_sweep(&dev_spec, 100_000, 50_000)
+            .total_seconds()
+            .min(model_auto_sweep(&dev_spec, 100_000).total_seconds());
+        assert!(
+            cand * 10.0 < best_dense,
+            "n=1e5 candidate sweep {cand} not 10x faster than best dense {best_dense}"
+        );
     }
 
     #[test]

@@ -62,6 +62,7 @@ pub mod dlb;
 pub mod flops;
 pub mod gpu;
 pub mod indexing;
+pub mod neighbors;
 pub mod oropt;
 pub mod pruned;
 pub mod search;
@@ -74,6 +75,7 @@ pub mod vnd;
 pub use bestmove::BestMove;
 pub use cpu_parallel::CpuParallelTwoOpt;
 pub use gpu::{GpuOrOpt, GpuTwoOpt, MultiGpuTwoOpt, Strategy};
+pub use neighbors::CandidateLists;
 pub use search::{
     optimize, optimize_flight, optimize_observed, optimize_with_recorder, EngineError,
     SearchOptions, SearchStats, StepProfile, TwoOptEngine,
@@ -84,6 +86,7 @@ pub use sequential::{PivotRule, SequentialTwoOpt};
 pub mod prelude {
     pub use crate::cpu_parallel::CpuParallelTwoOpt;
     pub use crate::gpu::{GpuTwoOpt, Strategy};
+    pub use crate::neighbors::CandidateLists;
     pub use crate::search::{
         optimize, optimize_flight, optimize_observed, optimize_with_recorder, EngineError,
         SearchOptions, SearchStats, StepProfile, TwoOptEngine,

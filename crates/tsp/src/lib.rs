@@ -28,6 +28,26 @@ pub mod solver;
 pub use error::TspError;
 pub use solver::{Construction, EngineKind, Solution, Solver, SolverBuilder, TelemetryOptions};
 
+/// Every kernel strategy, in one place, so the differential suites
+/// iterate a single list and a freshly added strategy cannot be
+/// silently skipped. `tile` parameterizes [`Strategy::Tiled`], `k` the
+/// candidate family (clamped to `n - 1` by the engine).
+///
+/// [`Strategy::Tiled`]: tsp_2opt::Strategy::Tiled
+pub fn all_strategies(tile: usize, k: usize) -> Vec<tsp_2opt::Strategy> {
+    use tsp_2opt::Strategy;
+    vec![
+        Strategy::Auto,
+        Strategy::Shared,
+        Strategy::Tiled { tile },
+        Strategy::GlobalOnly,
+        Strategy::Unordered,
+        Strategy::DeviceResident,
+        Strategy::Candidate { k },
+        Strategy::CandidateResident { k },
+    ]
+}
+
 // The layer crates, under stable facade names.
 pub use gpu_sim as sim;
 pub use tsp_2opt as twoopt;
@@ -41,6 +61,7 @@ pub use tsp_tsplib as tsplib;
 
 /// Everything a typical solve needs, one `use` away.
 pub mod prelude {
+    pub use crate::all_strategies;
     pub use crate::error::TspError;
     pub use crate::solver::{
         Construction, EngineKind, Solution, Solver, SolverBuilder, TelemetryOptions,
@@ -59,6 +80,29 @@ mod facade_tests {
     use super::*;
     use tsp_core::Tour;
     use tsp_tsplib::{generate, Style};
+
+    #[test]
+    fn all_strategies_is_exhaustive() {
+        use tsp_2opt::Strategy;
+        // Compile-time canary: a new Strategy variant breaks this match,
+        // pointing at the helper that must grow with it.
+        let list = all_strategies(8, 4);
+        for s in &list {
+            match s {
+                Strategy::Auto
+                | Strategy::Shared
+                | Strategy::Tiled { .. }
+                | Strategy::GlobalOnly
+                | Strategy::Unordered
+                | Strategy::DeviceResident
+                | Strategy::Candidate { .. }
+                | Strategy::CandidateResident { .. } => {}
+            }
+        }
+        assert_eq!(list.len(), 8);
+        assert!(list.contains(&Strategy::Tiled { tile: 8 }));
+        assert!(list.contains(&Strategy::Candidate { k: 4 }));
+    }
 
     // The facade's single-chain and multistart paths agree with the
     // layer-crate entry points they wrap (this replaced the deprecated

@@ -1,0 +1,81 @@
+//! Candidate-list 2-opt smoke run: the sub-quadratic k-NN sweep with
+//! don't-look bits, end to end on a 512-city instance.
+//!
+//! Descends with `Strategy::Candidate { k: 16 }` and its list-resident
+//! variant from the same Multiple-Fragment start, then checks the
+//! whole contract: both residencies agree bit-for-bit, the result is a
+//! valid tour no longer than the start, the host-side mirror certifies
+//! a candidate-local minimum, the candidate descent checks far fewer
+//! pairs than the dense device-resident descent, and the quality gap
+//! against that dense descent stays within 2 %.
+//!
+//! Run with: `cargo run --release --example candidate_smoke`
+//!
+//! The example is self-validating: every stage asserts, and the final
+//! line prints `CANDIDATE SMOKE OK` only if all of them held.
+
+use tsp::prelude::*;
+use tsp::tsplib::{generate, Style};
+use tsp_2opt::CandidateLists;
+
+const N: usize = 512;
+const K: usize = 16;
+
+fn descend(inst: &Instance, strategy: Strategy) -> Solution {
+    Solver::builder()
+        .construction(Construction::MultipleFragment)
+        .strategy(strategy)
+        .build()
+        .run(inst)
+        .expect("generated instances are coordinate-based")
+}
+
+fn main() {
+    let inst = generate("gen", N, Style::Uniform, 42);
+
+    // ---- candidate descent, both residencies ---------------------
+    let cand = descend(&inst, Strategy::Candidate { k: K });
+    let resident = descend(&inst, Strategy::CandidateResident { k: K });
+    assert_eq!(
+        cand.tour.as_slice(),
+        resident.tour.as_slice(),
+        "the two residency variants run the identical search"
+    );
+    assert_eq!(cand.length, resident.length);
+    assert!(cand.length <= cand.initial_length);
+    cand.tour.validate().expect("final tour is a permutation");
+    println!(
+        "candidate descent: {} -> {} ({} cities, k = {K}, {:.3} ms modeled)",
+        cand.initial_length,
+        cand.length,
+        N,
+        cand.modeled_seconds() * 1e3,
+    );
+
+    // ---- certified candidate-local minimum -----------------------
+    let lists = CandidateLists::build(&inst, K);
+    assert_eq!(
+        lists.best_candidate_move(&inst, &cand.tour),
+        None,
+        "host mirror must agree no k-NN improving move remains"
+    );
+    println!(
+        "certified: no improving move within the {}-NN neighbourhood ({} closure entries)",
+        lists.k(),
+        (0..N).map(|c| lists.closure(c).len()).sum::<usize>(),
+    );
+
+    // ---- dense cross-check ---------------------------------------
+    let dense = descend(&inst, Strategy::DeviceResident);
+    let gap = 100.0 * (cand.length - dense.length) as f64 / dense.length as f64;
+    assert!(
+        gap <= 2.0,
+        "quality gap {gap:.2}% vs the dense descent exceeds 2%"
+    );
+    println!(
+        "dense cross-check: dense {} vs candidate {} ({gap:+.2}% gap)",
+        dense.length, cand.length,
+    );
+
+    println!("CANDIDATE SMOKE OK");
+}

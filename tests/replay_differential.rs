@@ -10,14 +10,12 @@ use tsp::prelude::*;
 use tsp_replay::ReplayEvent;
 use tsp_tsplib::{generate, Style};
 
-const ALL_STRATEGIES: [Strategy; 6] = [
-    Strategy::Auto,
-    Strategy::Shared,
-    Strategy::Tiled { tile: 64 },
-    Strategy::GlobalOnly,
-    Strategy::Unordered,
-    Strategy::DeviceResident,
-];
+/// Every strategy (including the inexact candidate family — replay
+/// demands bit-identical re-execution, not dense-equal answers), from
+/// the facade helper so new strategies cannot be silently skipped.
+fn strategies() -> Vec<Strategy> {
+    all_strategies(64, 12)
+}
 
 fn builder(strategy: Strategy) -> SolverBuilder {
     Solver::builder()
@@ -34,7 +32,7 @@ fn ils_opts() -> IlsOptions {
 #[test]
 fn descent_replays_bit_identically_on_every_strategy() {
     let inst = generate("rep-descent", 128, Style::Uniform, 3);
-    for strategy in ALL_STRATEGIES {
+    for strategy in strategies() {
         let flight = FlightRecorder::attached();
         let solver = builder(strategy).record(flight).build();
         let ran = solver.run(&inst).unwrap();
@@ -63,7 +61,7 @@ fn descent_replays_bit_identically_on_every_strategy() {
 #[test]
 fn ils_replays_bit_identically_on_every_strategy() {
     let inst = generate("rep-ils", 96, Style::Clustered { clusters: 4 }, 7);
-    for strategy in ALL_STRATEGIES {
+    for strategy in strategies() {
         let flight = FlightRecorder::attached();
         let solver = builder(strategy).ils(ils_opts()).record(flight).build();
         let ran = solver.run(&inst).unwrap();
@@ -103,7 +101,11 @@ fn recording_is_invisible_to_the_run() {
     // Attached vs detached flight recorder: identical tour, length,
     // iterations, and bit-identical modeled seconds.
     let inst = generate("rep-inv", 144, Style::Uniform, 8);
-    for strategy in [Strategy::Auto, Strategy::DeviceResident] {
+    for strategy in [
+        Strategy::Auto,
+        Strategy::DeviceResident,
+        Strategy::Candidate { k: 12 },
+    ] {
         let plain = builder(strategy)
             .ils(ils_opts())
             .build()

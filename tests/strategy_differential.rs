@@ -1,21 +1,29 @@
 //! Differential suite across every kernel strategy.
 //!
-//! All pipelines — the serial re-upload ones (`Auto`, `Shared`, `Tiled`,
-//! `GlobalOnly`, `Unordered`) and the device-resident one — implement
-//! the *same* best-improvement 2-opt semantics, so on any instance they
-//! must return the identical packed best move. This suite pins that
-//! across spatial structure (uniform and clustered fields) and across
-//! the size ladder the kernels specialize over: tiny (n = 8), the
-//! paper's berlin52, a mid shared-memory size (512), the largest size
-//! that still fits every shared variant (3073), and one past both the
-//! `Shared` (6144 points) and `Unordered` (4096 points) capacities
-//! (7000), where the capacity-limited strategies must error instead of
-//! answering wrongly.
+//! All dense pipelines — the serial re-upload ones (`Auto`, `Shared`,
+//! `Tiled`, `GlobalOnly`, `Unordered`) and the device-resident one —
+//! implement the *same* best-improvement 2-opt semantics, so on any
+//! instance they must return the identical packed best move. The
+//! candidate family answers the best move *within its k-nearest
+//! neighbourhood*: with complete lists (k = n - 1) that is the dense
+//! move bit-for-bit, and with truncated lists it must match the
+//! host-side mirror [`CandidateLists::best_candidate_move`]. This suite
+//! pins both contracts across spatial structure (uniform and clustered
+//! fields) and across the size ladder the kernels specialize over: tiny
+//! (n = 8), the paper's berlin52, a mid shared-memory size (512), the
+//! largest size that still fits every shared variant (3073), and one
+//! past both the `Shared` (6144 points) and `Unordered` (4096 points)
+//! capacities (7000), where the capacity-limited strategies must error
+//! instead of answering wrongly.
+//!
+//! The strategy lists all derive from [`tsp::all_strategies`], so a
+//! freshly added strategy cannot be silently skipped here.
 
 use gpu_sim::{spec, SimError};
+use tsp::all_strategies;
 use tsp_2opt::{
-    optimize, BestMove, EngineError, GpuTwoOpt, SearchOptions, SequentialTwoOpt, Strategy,
-    TwoOptEngine,
+    optimize, BestMove, CandidateLists, EngineError, GpuTwoOpt, SearchOptions, SequentialTwoOpt,
+    Strategy, TwoOptEngine,
 };
 use tsp_core::{Instance, Tour};
 use tsp_tsplib::{generate, Style};
@@ -54,18 +62,25 @@ fn instances_of(n: usize) -> Vec<Instance> {
     ]
 }
 
-fn assert_all_strategies_agree(n: usize) {
+/// Run every strategy at instance size `n` with candidate lists of `k`
+/// neighbours. The dense strategies must reproduce the sequential best
+/// move exactly; the candidate family must reproduce it too when its
+/// lists are complete (`k = n - 1`), and otherwise must match the
+/// host-side candidate-neighbourhood mirror.
+fn assert_all_strategies_agree(n: usize, k: usize) {
     for inst in instances_of(n) {
         let tour = scrambled_tour(n);
-        let expected = reference_move(&inst, &tour);
-        for strategy in [
-            Strategy::Auto,
-            Strategy::Shared,
-            Strategy::Tiled { tile: tile_for(n) },
-            Strategy::GlobalOnly,
-            Strategy::Unordered,
-            Strategy::DeviceResident,
-        ] {
+        let dense = reference_move(&inst, &tour);
+        let sparse = if k + 1 < n {
+            CandidateLists::build(&inst, k).best_candidate_move(&inst, &tour)
+        } else {
+            dense
+        };
+        for strategy in all_strategies(tile_for(n), k) {
+            let expected = match strategy {
+                Strategy::Candidate { .. } | Strategy::CandidateResident { .. } => sparse,
+                _ => dense,
+            };
             let got = strategy_move(&inst, &tour, strategy);
             assert_eq!(got, expected, "{} n={n} {strategy:?}", inst.name());
         }
@@ -74,39 +89,49 @@ fn assert_all_strategies_agree(n: usize) {
 
 #[test]
 fn all_strategies_agree_tiny() {
-    assert_all_strategies_agree(8);
+    assert_all_strategies_agree(8, 7);
 }
 
 #[test]
 fn all_strategies_agree_berlin52_sized() {
-    assert_all_strategies_agree(52);
+    assert_all_strategies_agree(52, 51);
 }
 
 #[test]
 fn all_strategies_agree_mid_shared() {
-    assert_all_strategies_agree(512);
+    assert_all_strategies_agree(512, 511);
 }
 
 #[test]
 fn all_strategies_agree_at_shared_variant_capacity() {
     // 3073 * 8 B = 24.6 kB (ordered) and 3073 * 12 B = 36.9 kB
     // (unordered) both fit the 48 kB limit; past the 3071-position tile
-    // capacity, so the tiled path genuinely decomposes.
-    assert_all_strategies_agree(3073);
+    // capacity, so the tiled path genuinely decomposes. Complete
+    // candidate lists cost O(n² log n) host work at this size, so the
+    // candidate family runs at a realistic k = 16 and is checked against
+    // its host mirror instead of the dense move.
+    assert_all_strategies_agree(3073, 16);
 }
 
 #[test]
 fn capable_strategies_agree_past_shared_capacity() {
     let n = 7000;
+    let k = 16;
     for inst in instances_of(n) {
         let tour = scrambled_tour(n);
-        let expected = reference_move(&inst, &tour);
-        for strategy in [
-            Strategy::Auto,
-            Strategy::Tiled { tile: tile_for(n) },
-            Strategy::GlobalOnly,
-            Strategy::DeviceResident,
-        ] {
+        let dense = reference_move(&inst, &tour);
+        let sparse = CandidateLists::build(&inst, k).best_candidate_move(&inst, &tour);
+        assert!(sparse.is_some(), "a scrambled tour must have k-NN moves");
+        for strategy in all_strategies(tile_for(n), k) {
+            // The capacity-limited variants refuse at this size; the
+            // companion test below pins the exact error they raise.
+            if matches!(strategy, Strategy::Shared | Strategy::Unordered) {
+                continue;
+            }
+            let expected = match strategy {
+                Strategy::Candidate { .. } | Strategy::CandidateResident { .. } => sparse,
+                _ => dense,
+            };
             let got = strategy_move(&inst, &tour, strategy);
             assert_eq!(got, expected, "{} n={n} {strategy:?}", inst.name());
         }
