@@ -1,6 +1,7 @@
-//! `tsp-inspect` — render flight recordings into human-readable views.
+//! `tsp-inspect` — render flight recordings and profiler artifacts into
+//! human-readable views.
 //!
-//! Everything is derived from the recording alone; the solver is never
+//! Everything is derived from the artifacts alone; the solver is never
 //! re-run. Subcommands:
 //!
 //! ```text
@@ -8,23 +9,30 @@
 //! tsp-inspect svg       --recording run.jsonl --gen style:n:seed [--chain N] [--iteration K] [--out t.svg]
 //! tsp-inspect timeline  --recording run.jsonl [--chain N]
 //! tsp-inspect anomalies --recording run.jsonl [--chain N] [--plateau T] [--instance f.tsp | --gen ...]
+//! tsp-inspect flame     --input run.folded | --manifest manifest.json  [--top N]
+//! tsp-inspect mem       --input memory.json | --manifest manifest.json
 //! ```
 //!
 //! `--instance` loads a TSPLIB file, `--gen uniform:512:42` regenerates
 //! a synthetic instance; the recording's digest header guards against
-//! passing the wrong one.
+//! passing the wrong one. `flame` and `mem` read profiler output
+//! (collapsed stacks / memory-ledger JSON), either directly via
+//! `--input` or located through a run manifest's artifact index.
 
 use std::fs;
+use std::path::Path;
 use std::process::ExitCode;
 use tsp_apps::inspect::{
-    detect_anomalies, heatmap_grid, render_heatmap_pgm, render_heatmap_text, render_timeline,
-    timeline, tour_svg,
+    detect_anomalies, heatmap_grid, render_flame, render_heatmap_pgm, render_heatmap_text,
+    render_timeline, timeline, tour_svg,
 };
 use tsp_core::Instance;
+use tsp_prof::{parse_collapsed, Manifest, MemoryReport};
 use tsp_replay::{digest_instance, parse_recording, Recording};
 use tsp_tsplib::{generate, Style};
 
-const USAGE: &str = "usage: tsp-inspect <heatmap|svg|timeline|anomalies> --recording <file.jsonl>
+const USAGE: &str = "usage: tsp-inspect <heatmap|svg|timeline|anomalies|flame|mem> ...
+  recordings (--recording <file.jsonl> required):
   common:     --chain N            chain to inspect (default 0)
   heatmap:    --buckets B          grid resolution (default 32)
               --pgm FILE           also write a PGM (P2) image
@@ -32,7 +40,12 @@ const USAGE: &str = "usage: tsp-inspect <heatmap|svg|timeline|anomalies> --recor
               --out FILE           write the SVG here (default stdout)
   anomalies:  --plateau T          non-improving run that counts as a stall (default 20)
   instance:   --instance FILE.tsp  TSPLIB instance (svg requires one source)
-              --gen STYLE:N:SEED   regenerate, e.g. uniform:512:42";
+              --gen STYLE:N:SEED   regenerate, e.g. uniform:512:42
+  profiler artifacts (--input FILE or --manifest manifest.json required):
+  flame:      --input FILE         collapsed-stack file (profiler flamegraph export)
+              --top N              rows to show (default 15)
+  mem:        --input FILE         memory-ledger report JSON
+  both:       --manifest FILE      locate the artifact through a run manifest instead";
 
 struct Args {
     command: String,
@@ -41,17 +54,20 @@ struct Args {
     iteration: u64,
     buckets: usize,
     plateau: u64,
+    top: usize,
     pgm: Option<String>,
     out: Option<String>,
     instance: Option<String>,
     gen_spec: Option<String>,
+    input: Option<String>,
+    manifest: Option<String>,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let command = argv.first().cloned().ok_or("missing subcommand")?;
     if !matches!(
         command.as_str(),
-        "heatmap" | "svg" | "timeline" | "anomalies"
+        "heatmap" | "svg" | "timeline" | "anomalies" | "flame" | "mem"
     ) {
         return Err(format!("unknown subcommand {command:?}"));
     }
@@ -62,10 +78,13 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         iteration: 0,
         buckets: 32,
         plateau: 20,
+        top: 15,
         pgm: None,
         out: None,
         instance: None,
         gen_spec: None,
+        input: None,
+        manifest: None,
     };
     let mut it = argv[1..].iter();
     while let Some(flag) = it.next() {
@@ -97,10 +116,19 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--out" => args.out = Some(value("--out")?),
             "--instance" => args.instance = Some(value("--instance")?),
             "--gen" => args.gen_spec = Some(value("--gen")?),
+            "--top" => {
+                args.top = value("--top")?.parse().map_err(|_| "bad --top")?;
+                if args.top == 0 {
+                    return Err("--top must be positive".into());
+                }
+            }
+            "--input" => args.input = Some(value("--input")?),
+            "--manifest" => args.manifest = Some(value("--manifest")?),
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
-    if args.recording.is_none() {
+    let wants_recording = !matches!(args.command.as_str(), "flame" | "mem");
+    if wants_recording && args.recording.is_none() {
         return Err("--recording is required".into());
     }
     Ok(args)
@@ -142,6 +170,32 @@ fn resolve_instance(args: &Args, recording: &Recording) -> Result<Option<Instanc
     Ok(Some(inst))
 }
 
+/// Load the text of the profiler artifact a `flame`/`mem` subcommand
+/// operates on: either the file named by `--input`, or the artifact of
+/// the given `kind` indexed by a `--manifest` (paths in a manifest are
+/// relative to the manifest file itself).
+fn artifact_source(args: &Args, kind: &str) -> Result<String, String> {
+    match (&args.input, &args.manifest) {
+        (Some(_), Some(_)) => Err("pass --input or --manifest, not both".into()),
+        (Some(path), None) => fs::read_to_string(path).map_err(|e| format!("{path}: {e}")),
+        (None, Some(mpath)) => {
+            let text = fs::read_to_string(mpath).map_err(|e| format!("{mpath}: {e}"))?;
+            let manifest = Manifest::parse(&text)?;
+            let rel = manifest
+                .path_of(kind)
+                .ok_or_else(|| format!("manifest lists no {kind:?} artifact"))?;
+            let dir = Path::new(mpath).parent().unwrap_or_else(|| Path::new("."));
+            let path = dir.join(rel);
+            println!("run {}: {kind} from {}", manifest.run_id, path.display());
+            fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))
+        }
+        (None, None) => Err(format!(
+            "{} needs --input FILE or --manifest manifest.json",
+            args.command
+        )),
+    }
+}
+
 fn emit(out: &Option<String>, content: &str) -> Result<(), String> {
     match out {
         Some(path) => {
@@ -158,6 +212,26 @@ fn emit(out: &Option<String>, content: &str) -> Result<(), String> {
 
 fn run(argv: &[String]) -> Result<(), String> {
     let args = parse_args(argv)?;
+    // The profiler-artifact subcommands have no recording to load.
+    match args.command.as_str() {
+        "flame" => {
+            let text = artifact_source(&args, "flamegraph")?;
+            let stacks = parse_collapsed(&text)?;
+            return emit(&args.out, &render_flame(&stacks, args.top));
+        }
+        "mem" => {
+            let text = artifact_source(&args, "memory")?;
+            let report = MemoryReport::parse(&text)?;
+            let mut rendered = report.render();
+            rendered.push_str(if report.balanced() {
+                "status: balanced (every allocation freed)\n"
+            } else {
+                "status: UNBALANCED (live or leaked bytes remain)\n"
+            });
+            return emit(&args.out, &rendered);
+        }
+        _ => {}
+    }
     let path = args.recording.as_deref().unwrap();
     let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let recording = parse_recording(&text)?;

@@ -141,6 +141,30 @@ pub fn tour_svg(
     Ok(svg)
 }
 
+/// Render parsed collapsed-stack lines (`tsp_prof::parse_collapsed`
+/// output) as a top-`top` table: weight, share of the total, and the
+/// call path — the text half of `tsp-inspect flame`.
+pub fn render_flame(stacks: &[(String, u64)], top: usize) -> String {
+    let total: u64 = stacks.iter().map(|(_, w)| w).sum();
+    if total == 0 {
+        return "flamegraph: no stacks with nonzero weight\n".into();
+    }
+    let mut sorted: Vec<&(String, u64)> = stacks.iter().collect();
+    sorted.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    let mut out = format!(
+        "{} stacks, total weight {total} ns (modeled)\n\
+         weight ns       share   path\n",
+        stacks.len()
+    );
+    for (path, weight) in sorted.into_iter().take(top) {
+        out.push_str(&format!(
+            "{weight:<15} {:>5.1}%  {path}\n",
+            *weight as f64 / total as f64 * 100.0
+        ));
+    }
+    out
+}
+
 /// One row of the move-delta timeline: an ILS iteration's descended
 /// candidate and the acceptance verdict.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -390,6 +414,22 @@ mod tests {
         solver.run(&inst).unwrap();
         let recording = solver.recording(&inst).unwrap();
         (inst, recording)
+    }
+
+    #[test]
+    fn flame_table_ranks_by_weight_and_shows_shares() {
+        let stacks = vec![
+            ("solve;descent;sweep;kernel:dense".to_string(), 750u64),
+            ("solve;descent;sweep;h2d".to_string(), 250u64),
+        ];
+        let text = render_flame(&stacks, 10);
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].contains("total weight 1000"));
+        assert!(lines[2].contains("kernel:dense") && lines[2].contains("75.0%"));
+        assert!(lines[3].contains("h2d") && lines[3].contains("25.0%"));
+        // Top-N truncation.
+        assert_eq!(render_flame(&stacks, 1).lines().count(), 3);
+        assert!(render_flame(&[], 5).contains("no stacks"));
     }
 
     #[test]

@@ -11,6 +11,7 @@ pub use tsp_2opt;
 pub use tsp_construction;
 pub use tsp_core;
 pub use tsp_ils;
+pub use tsp_prof;
 pub use tsp_replay;
 pub use tsp_telemetry;
 pub use tsp_trace;

@@ -134,6 +134,11 @@ fn main() {
         &tsp_bench::convergence::to_csv(&cc),
     );
 
+    eprintln!("== Profiler snapshot (per kernel strategy, n = 96)");
+    let pr = tsp_bench::prof::compute(96, 0x2013);
+    write(out, "prof.txt", &tsp_bench::prof::render(&pr));
+    write(out, "BENCH_prof.json", &tsp_bench::prof::to_json(&pr));
+
     eprintln!("== Traces (Chrome JSON; load in <https://ui.perfetto.dev>)");
     write(
         out,

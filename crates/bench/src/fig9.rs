@@ -7,6 +7,7 @@
 
 use crate::common::render_table;
 use gpu_sim::{spec, DeviceKind, DeviceSpec};
+use tsp::TspError;
 use tsp_2opt::cpu_model::model_cpu_sweep_seconds;
 use tsp_2opt::delta::FLOPS_PER_CHECK;
 use tsp_2opt::gpu::model::model_auto_sweep;
@@ -70,6 +71,71 @@ pub fn to_csv(curves: &[Curve]) -> String {
         out.push('\n');
     }
     out
+}
+
+/// Parse a [`to_csv`] document back into `(sizes, curves)`.
+///
+/// Truncated or malformed input — a missing header, a ragged row, a
+/// non-numeric cell — is a [`TspError::Parse`], never a panic, so
+/// external plotting pipelines that feed edited CSVs back in get a
+/// diagnostic instead of aborting the harness.
+pub fn from_csv(text: &str) -> Result<(Vec<usize>, Vec<Curve>), TspError> {
+    let mut lines = text.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| TspError::Parse("fig9 CSV is empty: missing header row".into()))?;
+    let mut cols = header.split(',');
+    match cols.next() {
+        Some("problem_size") => {}
+        other => {
+            return Err(TspError::Parse(format!(
+                "fig9 CSV header must start with \"problem_size\", got {other:?}"
+            )))
+        }
+    }
+    let mut curves: Vec<Curve> = cols
+        .map(|device| Curve {
+            device: device.to_string(),
+            gflops: Vec::new(),
+        })
+        .collect();
+    if curves.is_empty() {
+        return Err(TspError::Parse(
+            "fig9 CSV header names no device columns".into(),
+        ));
+    }
+    let mut sizes = Vec::new();
+    let ncols = curves.len();
+    for (i, line) in lines.enumerate() {
+        let row = i + 2; // 1-based, after the header
+        let mut cells = line.split(',');
+        let size = cells
+            .next()
+            .expect("split yields at least one cell")
+            .parse::<usize>()
+            .map_err(|e| TspError::Parse(format!("fig9 CSV row {row}: bad problem size: {e}")))?;
+        sizes.push(size);
+        for curve in &mut curves {
+            let cell = cells.next().ok_or_else(|| {
+                TspError::Parse(format!(
+                    "fig9 CSV row {row} is truncated: expected {ncols} device cells"
+                ))
+            })?;
+            let gflops = cell.parse::<f64>().map_err(|e| {
+                TspError::Parse(format!(
+                    "fig9 CSV row {row}, device {:?}: bad GFLOP/s cell {cell:?}: {e}",
+                    curve.device
+                ))
+            })?;
+            curve.gflops.push(gflops);
+        }
+        if cells.next().is_some() {
+            return Err(TspError::Parse(format!(
+                "fig9 CSV row {row} has more cells than the header has columns"
+            )));
+        }
+    }
+    Ok((sizes, curves))
 }
 
 /// Render as a sizes × devices table.
@@ -157,14 +223,48 @@ mod tests {
     fn csv_is_rectangular() {
         let curves = compute();
         let csv = to_csv(&curves);
-        let mut lines = csv.lines();
-        let header_cols = lines.next().unwrap().split(',').count();
-        assert_eq!(header_cols, curves.len() + 1);
-        let mut rows = 0;
-        for line in lines {
-            assert_eq!(line.split(',').count(), header_cols, "{line}");
-            rows += 1;
+        // The parser enforces rectangularity (every row exactly one
+        // size cell plus one cell per device column).
+        let (sizes, parsed) = from_csv(&csv).expect("writer output must parse");
+        assert_eq!(sizes, SIZES);
+        assert_eq!(parsed.len(), curves.len());
+        for (p, c) in parsed.iter().zip(&curves) {
+            assert_eq!(p.device, c.device.replace(',', ";"));
+            assert_eq!(p.gflops.len(), SIZES.len());
+            for (&a, &b) in p.gflops.iter().zip(&c.gflops) {
+                // Cells are written with two decimals.
+                assert!((a - b).abs() <= 0.005 + 1e-9, "{a} vs {b}");
+            }
         }
-        assert_eq!(rows, SIZES.len());
+    }
+
+    #[test]
+    fn truncated_csv_is_a_parse_error_not_a_panic() {
+        use tsp::TspError;
+        let full = to_csv(&compute());
+
+        // Empty input: the old `lines.next().unwrap()` panicked here.
+        let err = from_csv("").unwrap_err();
+        assert!(matches!(err, TspError::Parse(_)), "{err}");
+        assert!(err.to_string().starts_with("parse error:"), "{err}");
+
+        // Wrong header.
+        assert!(from_csv("n,GTX\n100,1.0\n").is_err());
+        // Header with no device columns.
+        assert!(from_csv("problem_size\n").is_err());
+
+        // A row cut off mid-line.
+        let cut = &full[..full.find('\n').unwrap() + 20];
+        let err = from_csv(cut).unwrap_err();
+        assert!(err.to_string().contains("row 2"), "{err}");
+
+        // A non-numeric cell.
+        let bad = full.replacen("100,", "hundred,", 1);
+        assert!(from_csv(&bad).is_err());
+
+        // An extra cell.
+        let mut lines: Vec<String> = full.lines().map(String::from).collect();
+        lines[1].push_str(",9.99");
+        assert!(from_csv(&lines.join("\n")).is_err());
     }
 }

@@ -16,6 +16,7 @@
 //! | Ablations (DESIGN.md §5) | [`ablation`] | `cargo run -p tsp-bench --bin ablations` |
 //! | Pool scaling (DESIGN.md §9, not in the paper) | [`fig_scaling`] | `cargo run -p tsp-bench --bin fig_scaling` |
 //! | Convergence journals per strategy (DESIGN.md §10) | [`convergence`] | via `report` (`convergence.csv`) |
+//! | Profiler snapshot per strategy (DESIGN.md §13) | [`prof`] | via `report` (`BENCH_prof.json`) |
 //! | Bench regression gate (DESIGN.md §10) | [`diff`] | `cargo run -p tsp-bench --bin bench_diff` |
 //!
 //! Committed baselines of the deterministic snapshots live in
@@ -41,6 +42,7 @@ pub mod fig11;
 pub mod fig9;
 pub mod fig_candidate;
 pub mod fig_scaling;
+pub mod prof;
 pub mod table1;
 pub mod table2;
 pub mod trace;

@@ -75,6 +75,12 @@ fn candidate_snapshot_matches_the_committed_baseline() {
 }
 
 #[test]
+fn prof_snapshot_matches_the_committed_baseline() {
+    let rows = tsp_bench::prof::compute(96, 0x2013);
+    check("BENCH_prof.json", &tsp_bench::prof::to_json(&rows));
+}
+
+#[test]
 fn metrics_snapshot_matches_the_committed_baseline() {
     check(
         "BENCH_metrics.json",

@@ -53,10 +53,11 @@ fn dev_copy_to_device<T: Copy>(
     device: &Device,
     stream: Option<StreamId>,
     data: &[T],
+    label: &'static str,
 ) -> Result<(DeviceBuffer<T>, TransferProfile), SimError> {
     match stream {
-        Some(s) => device.copy_to_device_on(s, data),
-        None => device.copy_to_device(data),
+        Some(s) => device.copy_to_device_on_labeled(s, data, label),
+        None => device.copy_to_device_labeled(data, label),
     }
 }
 
@@ -184,6 +185,11 @@ enum SyncAction {
 
 /// GPU 2-opt engine over a simulated device.
 pub struct GpuTwoOpt {
+    // Declared (and therefore dropped) before `device`: the resident
+    // buffers must release back into the pool before the device runs
+    // its drop-time leak check.
+    resident: Option<ResidentState>,
+    candidate: Option<CandidateState>,
     device: Arc<Device>,
     stream: Option<StreamId>,
     strategy: Strategy,
@@ -191,8 +197,6 @@ pub struct GpuTwoOpt {
     grid_dim: u32,
     overlap_transfers: bool,
     ordered: Vec<Point>,
-    resident: Option<ResidentState>,
-    candidate: Option<CandidateState>,
     /// Raw packed word read back by the last sweep (flight recording).
     last_key: Option<u64>,
 }
@@ -213,6 +217,8 @@ impl GpuTwoOpt {
         let block_dim = spec.max_threads_per_block.min(1024);
         let grid_dim = spec.compute_units * 4;
         GpuTwoOpt {
+            resident: None,
+            candidate: None,
             device,
             stream: None,
             strategy: Strategy::Auto,
@@ -220,8 +226,6 @@ impl GpuTwoOpt {
             grid_dim,
             overlap_transfers: false,
             ordered: Vec::new(),
-            resident: None,
-            candidate: None,
             last_key: None,
         }
     }
@@ -308,6 +312,25 @@ impl GpuTwoOpt {
         self
     }
 
+    /// Attach a span/memory profiler to the underlying device: every
+    /// transfer and launch records a leaf span on the profiler's modeled
+    /// clock, and every buffer alloc/free/upload is journaled in its
+    /// memory ledger under this engine's buffer labels (`"coords"`,
+    /// `"positions"`, `"candidate_lists"`, `"active_set"`, `"best_out"`,
+    /// `"resident_coords"`). Pair with
+    /// [`crate::search::optimize_profiled`] (same handle) for the
+    /// structural spans around the device leaves.
+    ///
+    /// # Panics
+    /// When the device is already shared — see [`GpuTwoOpt::with_timeline`];
+    /// use `DevicePool::attach_profiler` for pooled devices.
+    pub fn with_profiler(mut self, prof: &tsp_prof::Profiler) -> Self {
+        Arc::get_mut(&mut self.device)
+            .expect("attach the profiler before the device is shared")
+            .attach_profiler(prof);
+        self
+    }
+
     /// Resolve `Auto` for an instance of `n` cities.
     fn resolve(&self, n: usize) -> Strategy {
         match self.strategy {
@@ -357,7 +380,7 @@ impl GpuTwoOpt {
         // unit saturates the modeled global pipe without wave overhead.
         let reverse_cfg = LaunchConfig::new(spec.compute_units, self.block_dim);
         self.resident = Some(ResidentState {
-            coords: self.device.alloc_atomic(n, 0)?,
+            coords: self.device.alloc_atomic_labeled(n, 0, "resident_coords")?,
             mirror: Vec::new(),
             pending: None,
             eval,
@@ -530,29 +553,41 @@ impl GpuTwoOpt {
         let m = active_cities.len();
         let k = st.lists.k();
 
-        let (coords, h2d_a) = dev_copy_to_device(&self.device, self.stream, &self.ordered)?;
-        let (pos, h2d_b) = dev_copy_to_device(&self.device, self.stream, pos_host)?;
+        let (coords, h2d_a) =
+            dev_copy_to_device(&self.device, self.stream, &self.ordered, "coords")?;
+        let (pos, h2d_b) = dev_copy_to_device(&self.device, self.stream, pos_host, "positions")?;
         let mut h2d_seconds = h2d_a.seconds + h2d_b.seconds;
         // The serial variant re-uploads the lists every sweep; the
         // resident variant pays that upload exactly once.
         let serial_lists;
         let lists = if resident_lists {
             if st.lists_dev.is_none() {
-                let (buf, t) = dev_copy_to_device(&self.device, self.stream, st.lists.flat())?;
+                let (buf, t) = dev_copy_to_device(
+                    &self.device,
+                    self.stream,
+                    st.lists.flat(),
+                    "candidate_lists",
+                )?;
                 h2d_seconds += t.seconds;
                 st.lists_dev = Some(buf);
             }
             st.lists_dev.as_ref().expect("uploaded above")
         } else {
-            let (buf, t) = dev_copy_to_device(&self.device, self.stream, st.lists.flat())?;
+            let (buf, t) = dev_copy_to_device(
+                &self.device,
+                self.stream,
+                st.lists.flat(),
+                "candidate_lists",
+            )?;
             h2d_seconds += t.seconds;
             serial_lists = buf;
             &serial_lists
         };
-        let (active, h2d_d) = dev_copy_to_device(&self.device, self.stream, &active_cities)?;
+        let (active, h2d_d) =
+            dev_copy_to_device(&self.device, self.stream, &active_cities, "active_set")?;
         h2d_seconds += h2d_d.seconds;
 
-        let out = self.device.alloc_atomic(m, EMPTY_KEY)?;
+        let out = self.device.alloc_atomic_labeled(m, EMPTY_KEY, "best_out")?;
         let kernel = CandidateSweepKernel {
             coords: &coords,
             pos: &pos,
@@ -643,10 +678,11 @@ impl TwoOptEngine for GpuTwoOpt {
                 .candidate_best_move(tour, matches!(resolved, Strategy::CandidateResident { .. }));
         }
 
-        let out = self.device.alloc_atomic(1, EMPTY_KEY)?;
+        let out = self.device.alloc_atomic_labeled(1, EMPTY_KEY, "best_out")?;
         let (kernel_profile, h2d_seconds, reversal_seconds) = match resolved {
             Strategy::Shared => {
-                let (coords, h2d) = dev_copy_to_device(&self.device, self.stream, &self.ordered)?;
+                let (coords, h2d) =
+                    dev_copy_to_device(&self.device, self.stream, &self.ordered, "coords")?;
                 let k = OrderedSharedKernel {
                     coords: &coords,
                     out: &out,
@@ -660,7 +696,8 @@ impl TwoOptEngine for GpuTwoOpt {
                 (p, h2d.seconds, 0.0)
             }
             Strategy::GlobalOnly => {
-                let (coords, h2d) = dev_copy_to_device(&self.device, self.stream, &self.ordered)?;
+                let (coords, h2d) =
+                    dev_copy_to_device(&self.device, self.stream, &self.ordered, "coords")?;
                 let k = GlobalOnlyKernel {
                     coords: &coords,
                     out: &out,
@@ -675,9 +712,10 @@ impl TwoOptEngine for GpuTwoOpt {
             }
             Strategy::Unordered => {
                 // Fig. 5 layout: city-indexed coordinates + the route.
-                let (coords, h2d_a) = dev_copy_to_device(&self.device, self.stream, inst.points())?;
+                let (coords, h2d_a) =
+                    dev_copy_to_device(&self.device, self.stream, inst.points(), "coords")?;
                 let (route, h2d_b) =
-                    dev_copy_to_device(&self.device, self.stream, tour.as_slice())?;
+                    dev_copy_to_device(&self.device, self.stream, tour.as_slice(), "positions")?;
                 let k = UnorderedSharedKernel {
                     coords: &coords,
                     route: &route,
@@ -695,7 +733,8 @@ impl TwoOptEngine for GpuTwoOpt {
                 if tile == 0 {
                     return Err(EngineError::Unsupported("tile size must be nonzero".into()));
                 }
-                let (coords, h2d) = dev_copy_to_device(&self.device, self.stream, &self.ordered)?;
+                let (coords, h2d) =
+                    dev_copy_to_device(&self.device, self.stream, &self.ordered, "coords")?;
                 let k = TiledKernel {
                     coords: &coords,
                     out: &out,

@@ -77,8 +77,8 @@ pub use cpu_parallel::CpuParallelTwoOpt;
 pub use gpu::{GpuOrOpt, GpuTwoOpt, MultiGpuTwoOpt, Strategy};
 pub use neighbors::CandidateLists;
 pub use search::{
-    optimize, optimize_flight, optimize_observed, optimize_with_recorder, EngineError,
-    SearchOptions, SearchStats, StepProfile, TwoOptEngine,
+    optimize, optimize_flight, optimize_observed, optimize_profiled, optimize_with_recorder,
+    EngineError, SearchOptions, SearchStats, StepProfile, TwoOptEngine,
 };
 pub use sequential::{PivotRule, SequentialTwoOpt};
 
@@ -88,8 +88,8 @@ pub mod prelude {
     pub use crate::gpu::{GpuTwoOpt, Strategy};
     pub use crate::neighbors::CandidateLists;
     pub use crate::search::{
-        optimize, optimize_flight, optimize_observed, optimize_with_recorder, EngineError,
-        SearchOptions, SearchStats, StepProfile, TwoOptEngine,
+        optimize, optimize_flight, optimize_observed, optimize_profiled, optimize_with_recorder,
+        EngineError, SearchOptions, SearchStats, StepProfile, TwoOptEngine,
     };
     pub use crate::sequential::{PivotRule, SequentialTwoOpt};
 }

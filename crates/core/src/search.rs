@@ -11,6 +11,7 @@
 use crate::bestmove::{pack, BestMove};
 use std::time::Instant;
 use tsp_core::{CoreError, Instance, Tour};
+use tsp_prof::Profiler;
 use tsp_replay::{FlightRecorder, ReplayEvent};
 use tsp_telemetry::{Counter, Histogram, Registry, Telemetry, DELTA_BUCKETS};
 use tsp_trace::{Recorder, SweepCost, TraceEvent};
@@ -308,6 +309,38 @@ pub fn optimize_flight<E: TwoOptEngine + ?Sized>(
     telemetry: &Telemetry,
     flight: &FlightRecorder,
 ) -> Result<SearchStats, EngineError> {
+    optimize_profiled(
+        engine,
+        inst,
+        tour,
+        opts,
+        recorder,
+        telemetry,
+        flight,
+        &Profiler::detached(),
+    )
+}
+
+/// [`optimize_flight`], additionally recording structural spans on
+/// `prof`: one `"descent"` span around the whole run, a `"sweep"` span
+/// per `best_move` query (the engine's device leaves — `h2d`,
+/// `kernel:*`, `d2h` — nest inside it when the same profiler is
+/// attached to the device), and an `"apply_move"` span around each
+/// host-side segment reversal. A detached profiler reduces to
+/// [`optimize_flight`] exactly — one skipped branch per span, pinned by
+/// `tests/prof_differential.rs`.
+#[allow(clippy::too_many_arguments)]
+pub fn optimize_profiled<E: TwoOptEngine + ?Sized>(
+    engine: &mut E,
+    inst: &Instance,
+    tour: &mut Tour,
+    opts: SearchOptions,
+    recorder: &Recorder,
+    telemetry: &Telemetry,
+    flight: &FlightRecorder,
+    prof: &Profiler,
+) -> Result<SearchStats, EngineError> {
+    let _descent = prof.span("descent");
     let start = Instant::now();
     let metrics = telemetry.registry().map(|r| SearchMetrics::register(r));
     let initial_length = tour.length(inst);
@@ -328,7 +361,10 @@ pub fn optimize_flight<E: TwoOptEngine + ?Sized>(
             }
         }
         recorder.record(TraceEvent::SweepBegin { sweep: sweeps });
-        let (mv, step) = engine.best_move(inst, tour)?;
+        let (mv, step) = {
+            let _sweep = prof.span("sweep");
+            engine.best_move(inst, tour)?
+        };
         let improving = matches!(&mv, Some(m) if m.improves());
         recorder.record_with(|| TraceEvent::SweepEnd {
             sweep: sweeps,
@@ -357,7 +393,10 @@ pub fn optimize_flight<E: TwoOptEngine + ?Sized>(
                         .last_best_key()
                         .unwrap_or_else(|| pack(m.delta, m.i, m.j)),
                 });
-                tour.apply_two_opt(m.i as usize, m.j as usize);
+                {
+                    let _apply = prof.span("apply_move");
+                    tour.apply_two_opt(m.i as usize, m.j as usize);
+                }
                 improving_moves += 1;
                 if let Some(metrics) = &metrics {
                     metrics.moves_applied.inc();

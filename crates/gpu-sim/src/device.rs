@@ -3,7 +3,7 @@
 use crate::counters::PerfCounters;
 use crate::error::SimError;
 use crate::kernel::{Kernel, LaunchConfig, ThreadCtx};
-use crate::memory::{AtomicDeviceBuffer, DeviceBuffer, MemoryPool};
+use crate::memory::{AtomicDeviceBuffer, DeviceBuffer, MemoryPool, DEFAULT_BUFFER_LABEL};
 use crate::metrics::DeviceTelemetry;
 use crate::profile::{KernelProfile, TransferProfile};
 use crate::spec::DeviceSpec;
@@ -14,6 +14,7 @@ use crate::timing;
 use parking_lot::Mutex;
 use rayon::prelude::*;
 use std::sync::Arc;
+use tsp_prof::Profiler;
 use tsp_telemetry::Telemetry;
 use tsp_trace::{Recorder, TraceEvent};
 
@@ -32,6 +33,7 @@ pub struct Device {
     timeline: Option<Timeline>,
     recorder: Recorder,
     telemetry: Option<DeviceTelemetry>,
+    prof: Profiler,
     streams: Mutex<StreamTable>,
 }
 
@@ -52,6 +54,7 @@ impl Device {
             timeline: None,
             recorder: Recorder::disabled(),
             telemetry: None,
+            prof: Profiler::detached(),
             streams: Mutex::new(StreamTable::default()),
         }
     }
@@ -89,13 +92,33 @@ impl Device {
 
     /// Attach a live-metrics [`Telemetry`] handle; subsequent launches,
     /// transfers and synchronizations update counters/histograms on its
-    /// registry (labeled with this device's pool index). A detached
-    /// handle detaches: the hot paths go back to a single `Option`
-    /// branch.
+    /// registry (labeled with this device's pool index), and the memory
+    /// pool mirrors its live/peak bytes into `tsp_device_mem_*` gauges.
+    /// A detached handle detaches the launch instruments: the hot paths
+    /// go back to a single `Option` branch.
     pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
-        self.telemetry = telemetry
-            .registry()
-            .map(|r| DeviceTelemetry::register(r, self.index));
+        self.telemetry = telemetry.registry().map(|r| {
+            let t = DeviceTelemetry::register(r, self.index);
+            let (live, peak) = t.mem_gauges();
+            self.pool.attach_mem_gauges(live, peak);
+            t
+        });
+    }
+
+    /// Attach a span/memory [`Profiler`]; subsequent launches and
+    /// transfers record leaf spans on its modeled clock, and every
+    /// allocation, release and upload in this device's global-memory
+    /// pool is journaled into its memory ledger (keyed by this device's
+    /// pool index). A detached handle keeps the hot paths at a single
+    /// branch.
+    pub fn attach_profiler(&mut self, prof: &Profiler) {
+        self.pool.attach_ledger(prof, self.index);
+        self.prof = prof.clone();
+    }
+
+    /// The attached profiler (detached by default).
+    pub fn profiler(&self) -> &Profiler {
+        &self.prof
     }
 
     /// `true` when a telemetry registry is attached.
@@ -114,16 +137,42 @@ impl Device {
         self.pool.allocated()
     }
 
+    /// High-water mark of bytes allocated on the device, tracked
+    /// unconditionally over its lifetime.
+    pub fn peak_allocated_bytes(&self) -> u64 {
+        self.pool.peak_bytes()
+    }
+
     /// Allocate a device buffer holding `data` (no transfer modeled; use
     /// [`Device::copy_to_device`] when the H2D cost matters).
     pub fn alloc<T: Copy>(&self, data: Vec<T>) -> Result<DeviceBuffer<T>, SimError> {
-        DeviceBuffer::new(data, self.pool.clone())
+        self.alloc_labeled(data, DEFAULT_BUFFER_LABEL)
+    }
+
+    /// [`Device::alloc`] journaled in the memory ledger under `label`.
+    pub fn alloc_labeled<T: Copy>(
+        &self,
+        data: Vec<T>,
+        label: &'static str,
+    ) -> Result<DeviceBuffer<T>, SimError> {
+        DeviceBuffer::new_labeled(data, self.pool.clone(), label)
     }
 
     /// Allocate an atomic buffer of `len` 64-bit words, each initialised
     /// to `init`.
     pub fn alloc_atomic(&self, len: usize, init: u64) -> Result<AtomicDeviceBuffer, SimError> {
-        AtomicDeviceBuffer::new(len, init, self.pool.clone())
+        self.alloc_atomic_labeled(len, init, DEFAULT_BUFFER_LABEL)
+    }
+
+    /// [`Device::alloc_atomic`] journaled in the memory ledger under
+    /// `label`.
+    pub fn alloc_atomic_labeled(
+        &self,
+        len: usize,
+        init: u64,
+        label: &'static str,
+    ) -> Result<AtomicDeviceBuffer, SimError> {
+        AtomicDeviceBuffer::new(len, init, self.pool.clone(), label)
     }
 
     /// Copy host data to a fresh device buffer, modeling the PCIe cost —
@@ -133,7 +182,17 @@ impl Device {
         &self,
         data: &[T],
     ) -> Result<(DeviceBuffer<T>, TransferProfile), SimError> {
-        let buf = self.alloc(data.to_vec())?;
+        self.copy_to_device_labeled(data, DEFAULT_BUFFER_LABEL)
+    }
+
+    /// [`Device::copy_to_device`] journaled in the memory ledger under
+    /// `label`.
+    pub fn copy_to_device_labeled<T: Copy>(
+        &self,
+        data: &[T],
+        label: &'static str,
+    ) -> Result<(DeviceBuffer<T>, TransferProfile), SimError> {
+        let buf = self.alloc_labeled(data.to_vec(), label)?;
         let bytes = buf.bytes();
         let seconds = timing::h2d_time(&self.spec, bytes);
         if let Some(t) = &self.timeline {
@@ -143,6 +202,8 @@ impl Device {
         if let Some(t) = &self.telemetry {
             t.h2d(bytes, seconds);
         }
+        self.pool.note_upload(bytes, label);
+        self.prof.leaf("h2d", seconds);
         Ok((buf, TransferProfile { seconds, bytes }))
     }
 
@@ -173,6 +234,8 @@ impl Device {
         if let Some(t) = &self.telemetry {
             t.h2d(bytes, seconds);
         }
+        self.pool.note_upload(bytes, buf.label());
+        self.prof.leaf("h2d", seconds);
         Ok(TransferProfile { seconds, bytes })
     }
 
@@ -189,6 +252,7 @@ impl Device {
         if let Some(t) = &self.telemetry {
             t.d2h(bytes, seconds);
         }
+        self.prof.leaf("d2h", seconds);
         (words, TransferProfile { seconds, bytes })
     }
 
@@ -293,7 +357,18 @@ impl Device {
         stream: StreamId,
         data: &[T],
     ) -> Result<(DeviceBuffer<T>, TransferProfile), SimError> {
-        let buf = self.alloc(data.to_vec())?;
+        self.copy_to_device_on_labeled(stream, data, DEFAULT_BUFFER_LABEL)
+    }
+
+    /// [`Device::copy_to_device_on`] journaled in the memory ledger
+    /// under `label`.
+    pub fn copy_to_device_on_labeled<T: Copy>(
+        &self,
+        stream: StreamId,
+        data: &[T],
+        label: &'static str,
+    ) -> Result<(DeviceBuffer<T>, TransferProfile), SimError> {
+        let buf = self.alloc_labeled(data.to_vec(), label)?;
         let bytes = buf.bytes();
         let seconds = timing::h2d_time(&self.spec, bytes);
         self.enqueue(
@@ -308,6 +383,8 @@ impl Device {
         if let Some(t) = &self.telemetry {
             t.h2d(bytes, seconds);
         }
+        self.pool.note_upload(bytes, label);
+        self.prof.leaf("h2d", seconds);
         Ok((buf, TransferProfile { seconds, bytes }))
     }
 
@@ -333,6 +410,8 @@ impl Device {
         if let Some(t) = &self.telemetry {
             t.h2d(bytes, seconds);
         }
+        self.pool.note_upload(bytes, buf.label());
+        self.prof.leaf("h2d", seconds);
         Ok(TransferProfile { seconds, bytes })
     }
 
@@ -358,6 +437,7 @@ impl Device {
         if let Some(t) = &self.telemetry {
             t.d2h(bytes, seconds);
         }
+        self.prof.leaf("d2h", seconds);
         Ok((words, TransferProfile { seconds, bytes }))
     }
 
@@ -480,6 +560,10 @@ impl Device {
         if let Some(t) = &self.telemetry {
             t.kernel(seconds);
         }
+        if self.prof.is_enabled() {
+            let resolved = label.unwrap_or_else(|| kernel.label());
+            self.prof.leaf(&format!("kernel:{resolved}"), seconds);
+        }
         if let Some(s) = stream {
             // Streamed launches defer their timing to the scheduler; the
             // legacy serialized timeline/recorder records don't apply.
@@ -511,6 +595,19 @@ impl Device {
             counters: total,
             config: cfg,
         })
+    }
+}
+
+impl Drop for Device {
+    /// A device dropped while buffers are still live is a leak: those
+    /// buffers hold their own `Arc<MemoryPool>` so the accounting stays
+    /// sound, but nothing can ever free the device's view of that
+    /// memory. Journal it so `tsp-inspect mem` can flag it.
+    fn drop(&mut self) {
+        let live = self.pool.allocated();
+        if live > 0 {
+            self.pool.note_leak(live);
+        }
     }
 }
 

@@ -77,11 +77,12 @@ pub use counters::PerfCounters;
 pub use device::Device;
 pub use error::SimError;
 pub use kernel::{Kernel, LaunchConfig, ThreadCtx};
-pub use memory::{AtomicDeviceBuffer, DeviceBuffer, MemoryPool};
+pub use memory::{AtomicDeviceBuffer, DeviceBuffer, MemoryPool, DEFAULT_BUFFER_LABEL};
 pub use pool::DevicePool;
 pub use profile::{KernelProfile, TransferProfile};
 pub use spec::{Api, DeviceKind, DeviceSpec};
 pub use stream::{EngineClass, EventId, ScheduledOp, StreamId, StreamReport};
 pub use timeline::{Event, Timeline};
+pub use tsp_prof::Profiler;
 pub use tsp_telemetry::Telemetry;
 pub use tsp_trace::{Recorder, TraceEvent};

@@ -12,13 +12,54 @@
 use crate::error::SimError;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+use tsp_prof::Profiler;
+use tsp_telemetry::Gauge;
+
+/// Label used by the unlabeled allocation entry points.
+pub const DEFAULT_BUFFER_LABEL: &str = "buffer";
+
+#[derive(Debug, Default)]
+struct PoolState {
+    allocated: u64,
+    peak: u64,
+}
+
+/// The ledger binding of a pool: a profiler handle plus the device
+/// index its events are journaled under.
+struct LedgerBinding {
+    prof: Profiler,
+    device: u32,
+}
+
+/// Live/peak gauges mirrored into a telemetry registry
+/// (`tsp_device_mem_live_bytes` / `tsp_device_mem_peak_bytes`).
+struct MemGauges {
+    live: Gauge,
+    peak: Gauge,
+}
 
 /// Shared allocation accounting for one device's global memory.
-#[derive(Debug)]
+///
+/// Besides enforcing capacity, the pool is the single choke point every
+/// buffer's reserve/release passes through — which is where the
+/// [`tsp_prof`] memory ledger and the `tsp_device_mem_*` gauges hook
+/// in. Both are attach-once ([`OnceLock`]): detached, each costs one
+/// branch per allocation.
 pub struct MemoryPool {
     capacity: u64,
-    allocated: Mutex<u64>,
+    state: Mutex<PoolState>,
+    ledger: OnceLock<LedgerBinding>,
+    gauges: OnceLock<MemGauges>,
+}
+
+impl std::fmt::Debug for MemoryPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoryPool")
+            .field("capacity", &self.capacity)
+            .field("allocated", &self.allocated())
+            .finish()
+    }
 }
 
 impl MemoryPool {
@@ -26,34 +67,103 @@ impl MemoryPool {
     pub fn new(capacity: u64) -> Arc<Self> {
         Arc::new(MemoryPool {
             capacity,
-            allocated: Mutex::new(0),
+            state: Mutex::new(PoolState::default()),
+            ledger: OnceLock::new(),
+            gauges: OnceLock::new(),
         })
+    }
+
+    /// Journal every reserve/release/upload of this pool into `prof`'s
+    /// memory ledger as `device`. Attach once, before allocating.
+    pub fn attach_ledger(&self, prof: &Profiler, device: u32) {
+        let _ = self.ledger.set(LedgerBinding {
+            prof: prof.clone(),
+            device,
+        });
+    }
+
+    /// Mirror live/peak bytes into the given gauges on every
+    /// reserve/release. Attach once, before allocating.
+    pub fn attach_mem_gauges(&self, live: Gauge, peak: Gauge) {
+        let _ = self.gauges.set(MemGauges { live, peak });
     }
 
     /// Reserve `bytes`, failing when capacity would be exceeded.
     pub fn reserve(&self, bytes: u64) -> Result<(), SimError> {
-        let mut used = self.allocated.lock();
-        let available = self.capacity - *used;
-        if bytes > available {
-            return Err(SimError::OutOfMemory {
-                requested: bytes,
-                available,
-            });
+        self.reserve_labeled(bytes, DEFAULT_BUFFER_LABEL)
+    }
+
+    /// [`MemoryPool::reserve`] journaled under `label`.
+    pub fn reserve_labeled(&self, bytes: u64, label: &'static str) -> Result<(), SimError> {
+        let (live, peak) = {
+            let mut state = self.state.lock();
+            let available = self.capacity - state.allocated;
+            if bytes > available {
+                return Err(SimError::OutOfMemory {
+                    requested: bytes,
+                    available,
+                });
+            }
+            state.allocated += bytes;
+            state.peak = state.peak.max(state.allocated);
+            (state.allocated, state.peak)
+        };
+        if let Some(g) = self.gauges.get() {
+            g.live.set(live as f64);
+            g.peak.set(peak as f64);
         }
-        *used += bytes;
+        if let Some(l) = self.ledger.get() {
+            l.prof.mem_alloc(l.device, label, bytes);
+        }
         Ok(())
     }
 
     /// Release `bytes` back to the pool.
     pub fn release(&self, bytes: u64) {
-        let mut used = self.allocated.lock();
-        debug_assert!(*used >= bytes);
-        *used = used.saturating_sub(bytes);
+        self.release_labeled(bytes, DEFAULT_BUFFER_LABEL);
+    }
+
+    /// [`MemoryPool::release`] journaled under `label`.
+    pub fn release_labeled(&self, bytes: u64, label: &'static str) {
+        let live = {
+            let mut state = self.state.lock();
+            debug_assert!(state.allocated >= bytes);
+            state.allocated = state.allocated.saturating_sub(bytes);
+            state.allocated
+        };
+        if let Some(g) = self.gauges.get() {
+            g.live.set(live as f64);
+        }
+        if let Some(l) = self.ledger.get() {
+            l.prof.mem_free(l.device, label, bytes);
+        }
+    }
+
+    /// Journal `bytes` of H2D traffic into the buffer labeled `label`
+    /// (no accounting change — uploads land in existing allocations).
+    pub fn note_upload(&self, bytes: u64, label: &'static str) {
+        if let Some(l) = self.ledger.get() {
+            l.prof.mem_upload(l.device, label, bytes);
+        }
+    }
+
+    /// Journal a leak: the owning device dropped with `bytes` live.
+    pub(crate) fn note_leak(&self, bytes: u64) {
+        if let Some(l) = self.ledger.get() {
+            l.prof.mem_leak(l.device, bytes);
+        }
     }
 
     /// Bytes currently allocated.
     pub fn allocated(&self) -> u64 {
-        *self.allocated.lock()
+        self.state.lock().allocated
+    }
+
+    /// High-water mark of allocated bytes over the pool's lifetime.
+    /// Tracked unconditionally (one max per reserve), so peak usage is
+    /// observable even without an attached ledger.
+    pub fn peak_bytes(&self) -> u64 {
+        self.state.lock().peak
     }
 
     /// Total capacity in bytes.
@@ -67,6 +177,7 @@ impl MemoryPool {
 pub struct DeviceBuffer<T> {
     data: Vec<T>,
     pool: Arc<MemoryPool>,
+    label: &'static str,
 }
 
 impl<T: Copy> DeviceBuffer<T> {
@@ -75,8 +186,25 @@ impl<T: Copy> DeviceBuffer<T> {
     /// this constructor exists for tests and for composing custom
     /// device façades.
     pub fn new(data: Vec<T>, pool: Arc<MemoryPool>) -> Result<Self, SimError> {
-        pool.reserve((data.len() * core::mem::size_of::<T>()) as u64)?;
-        Ok(DeviceBuffer { data, pool })
+        Self::new_labeled(data, pool, DEFAULT_BUFFER_LABEL)
+    }
+
+    /// [`DeviceBuffer::new`] with a ledger label: the allocation, every
+    /// upload into it, and its eventual release are journaled under
+    /// `label` when the pool has an attached ledger.
+    pub fn new_labeled(
+        data: Vec<T>,
+        pool: Arc<MemoryPool>,
+        label: &'static str,
+    ) -> Result<Self, SimError> {
+        pool.reserve_labeled((data.len() * core::mem::size_of::<T>()) as u64, label)?;
+        Ok(DeviceBuffer { data, pool, label })
+    }
+
+    /// The ledger label this buffer was allocated under.
+    #[inline]
+    pub fn label(&self) -> &'static str {
+        self.label
     }
 
     /// Kernel-side view of the buffer.
@@ -119,8 +247,10 @@ impl<T: Copy> DeviceBuffer<T> {
 
 impl<T> Drop for DeviceBuffer<T> {
     fn drop(&mut self) {
-        self.pool
-            .release((self.data.len() * core::mem::size_of::<T>()) as u64);
+        self.pool.release_labeled(
+            (self.data.len() * core::mem::size_of::<T>()) as u64,
+            self.label,
+        );
     }
 }
 
@@ -132,15 +262,28 @@ impl<T> Drop for DeviceBuffer<T> {
 pub struct AtomicDeviceBuffer {
     words: Vec<AtomicU64>,
     pool: Arc<MemoryPool>,
+    label: &'static str,
 }
 
 impl AtomicDeviceBuffer {
-    pub(crate) fn new(len: usize, init: u64, pool: Arc<MemoryPool>) -> Result<Self, SimError> {
-        pool.reserve((len * 8) as u64)?;
+    pub(crate) fn new(
+        len: usize,
+        init: u64,
+        pool: Arc<MemoryPool>,
+        label: &'static str,
+    ) -> Result<Self, SimError> {
+        pool.reserve_labeled((len * 8) as u64, label)?;
         Ok(AtomicDeviceBuffer {
             words: (0..len).map(|_| AtomicU64::new(init)).collect(),
             pool,
+            label,
         })
+    }
+
+    /// The ledger label this buffer was allocated under.
+    #[inline]
+    pub fn label(&self) -> &'static str {
+        self.label
     }
 
     /// Number of 64-bit words.
@@ -227,7 +370,8 @@ impl AtomicDeviceBuffer {
 
 impl Drop for AtomicDeviceBuffer {
     fn drop(&mut self) {
-        self.pool.release((self.words.len() * 8) as u64);
+        self.pool
+            .release_labeled((self.words.len() * 8) as u64, self.label);
     }
 }
 
@@ -273,7 +417,7 @@ mod tests {
     #[test]
     fn atomic_buffer_min_reduction() {
         let pool = MemoryPool::new(1024);
-        let buf = AtomicDeviceBuffer::new(1, u64::MAX, pool).unwrap();
+        let buf = AtomicDeviceBuffer::new(1, u64::MAX, pool, DEFAULT_BUFFER_LABEL).unwrap();
         buf.fetch_min(0, 42);
         buf.fetch_min(0, 100);
         buf.fetch_min(0, 7);
@@ -283,7 +427,7 @@ mod tests {
     #[test]
     fn atomic_buffer_overwrite_checks_length() {
         let pool = MemoryPool::new(1024);
-        let buf = AtomicDeviceBuffer::new(3, 0, pool).unwrap();
+        let buf = AtomicDeviceBuffer::new(3, 0, pool, DEFAULT_BUFFER_LABEL).unwrap();
         assert!(buf.overwrite(&[1, 2]).is_err());
         buf.overwrite(&[7, 8, 9]).unwrap();
         assert_eq!(buf.to_vec(), vec![7, 8, 9]);
@@ -292,7 +436,7 @@ mod tests {
     #[test]
     fn atomic_buffer_fill_and_roundtrip() {
         let pool = MemoryPool::new(1024);
-        let buf = AtomicDeviceBuffer::new(4, 0, pool.clone()).unwrap();
+        let buf = AtomicDeviceBuffer::new(4, 0, pool.clone(), DEFAULT_BUFFER_LABEL).unwrap();
         buf.fill(9);
         assert_eq!(buf.to_vec(), vec![9, 9, 9, 9]);
         assert_eq!(pool.allocated(), 32);

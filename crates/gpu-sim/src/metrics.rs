@@ -23,6 +23,8 @@ pub(crate) struct DeviceTelemetry {
     stream_busy_seconds: Counter,
     stream_wall_seconds: Counter,
     stream_overlap: Gauge,
+    mem_live: Gauge,
+    mem_peak: Gauge,
 }
 
 impl DeviceTelemetry {
@@ -98,7 +100,23 @@ impl DeviceTelemetry {
                 "Fraction of busy time hidden by stream overlap in the last synchronization",
                 &labels,
             ),
+            mem_live: registry.gauge_with(
+                "tsp_device_mem_live_bytes",
+                "Bytes currently allocated in the device's global-memory pool",
+                &labels,
+            ),
+            mem_peak: registry.gauge_with(
+                "tsp_device_mem_peak_bytes",
+                "High-water mark of the device's global-memory pool",
+                &labels,
+            ),
         }
+    }
+
+    /// Clones of the live/peak memory gauges, for the pool to update on
+    /// every reserve/release (see [`crate::MemoryPool::attach_mem_gauges`]).
+    pub(crate) fn mem_gauges(&self) -> (Gauge, Gauge) {
+        (self.mem_live.clone(), self.mem_peak.clone())
     }
 
     #[inline]

@@ -21,6 +21,7 @@ use crate::spec::DeviceSpec;
 use crate::stream::{StreamId, StreamReport};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use tsp_prof::Profiler;
 use tsp_telemetry::Telemetry;
 use tsp_trace::Recorder;
 
@@ -98,6 +99,19 @@ impl DevicePool {
                 .collect();
             PoolTelemetry::register(r, &lanes)
         });
+    }
+
+    /// Attach a span/memory profiler to every device: transfers and
+    /// launches record leaf spans, and each device's allocations are
+    /// journaled in the ledger under its pool index. Must be called
+    /// before the pool is used (the devices are still exclusively owned
+    /// here).
+    pub fn attach_profiler(&mut self, prof: &Profiler) {
+        for d in &mut self.devices {
+            Arc::get_mut(d)
+                .expect("attach_profiler must be called before the pool is shared")
+                .attach_profiler(prof);
+        }
     }
 
     /// Devices in the pool.

@@ -27,8 +27,9 @@ pub use perturb::Perturbation;
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use tsp_2opt::{optimize_flight, EngineError, SearchOptions, StepProfile, TwoOptEngine};
+use tsp_2opt::{optimize_profiled, EngineError, SearchOptions, StepProfile, TwoOptEngine};
 use tsp_core::{Instance, Tour};
+use tsp_prof::Profiler;
 use tsp_replay::{hash_tour, FlightRecorder, ReplayEvent};
 use tsp_telemetry::{Counter, Gauge, Journal, JournalEvent, JournalRecord, Registry, Telemetry};
 use tsp_trace::{Recorder, TraceEvent};
@@ -85,6 +86,13 @@ pub struct IlsOptions {
     /// xoshiro256++ state instead of seeding from [`IlsOptions::seed`] —
     /// how a replayer restores a recorded run's stream mid-flight.
     pub rng_state: Option<[u64; 4]>,
+    /// Span/memory profiler (detached by default — zero cost when
+    /// unused). When attached, the run nests `"ils"` → `"iteration"` →
+    /// `"kick"`/`"sweep"` spans around the descents; attach the *same*
+    /// handle to the engine's device (`GpuTwoOpt::with_profiler`) to
+    /// nest the `h2d`/`kernel:*`/`d2h` leaves and the memory ledger
+    /// under them.
+    pub prof: Profiler,
 }
 
 impl Default for IlsOptions {
@@ -102,6 +110,7 @@ impl Default for IlsOptions {
             journal: Journal::detached(),
             flight: FlightRecorder::detached(),
             rng_state: None,
+            prof: Profiler::detached(),
         }
     }
 }
@@ -182,6 +191,12 @@ impl IlsOptions {
     /// `None`, seed it from [`IlsOptions::seed`] — the default).
     pub fn with_rng_state(mut self, state: impl Into<Option<[u64; 4]>>) -> Self {
         self.rng_state = state.into();
+        self
+    }
+
+    /// Attach a span/memory profiler.
+    pub fn with_prof(mut self, prof: Profiler) -> Self {
+        self.prof = prof;
         self
     }
 }
@@ -277,6 +292,7 @@ pub fn iterated_local_search<E: TwoOptEngine + ?Sized>(
     initial: Tour,
     opts: IlsOptions,
 ) -> Result<IlsOutcome, EngineError> {
+    let _ils = opts.prof.span("ils");
     let wall = std::time::Instant::now();
     let mut rng = match opts.rng_state {
         Some(state) => SmallRng::from_state(state),
@@ -291,15 +307,19 @@ pub fn iterated_local_search<E: TwoOptEngine + ?Sized>(
     opts.flight.record_with(|| ReplayEvent::Start {
         tour_hash: hash_tour(&best),
     });
-    let stats = optimize_flight(
-        engine,
-        inst,
-        &mut best,
-        SearchOptions::default(),
-        &opts.recorder,
-        &opts.telemetry,
-        &opts.flight,
-    )?;
+    let stats = {
+        let _initial = opts.prof.span("initial_descent");
+        optimize_profiled(
+            engine,
+            inst,
+            &mut best,
+            SearchOptions::default(),
+            &opts.recorder,
+            &opts.telemetry,
+            &opts.flight,
+            &opts.prof,
+        )?
+    };
     profile.accumulate(&stats.profile);
     let mut best_length = stats.final_length;
     opts.flight.record_with(|| ReplayEvent::DescentEnd {
@@ -320,6 +340,7 @@ pub fn iterated_local_search<E: TwoOptEngine + ?Sized>(
         m.time_to_best.set(profile.modeled_seconds());
     }
     opts.journal.record_with(|| JournalRecord {
+        run_id: String::new(),
         chain: 0,
         iteration: 0,
         modeled_seconds: profile.modeled_seconds(),
@@ -355,6 +376,7 @@ pub fn iterated_local_search<E: TwoOptEngine + ?Sized>(
             }
         }
         iterations += 1;
+        let _iteration = opts.prof.span("iteration");
         opts.recorder.record(TraceEvent::IterationBegin {
             iteration: iterations,
         });
@@ -362,7 +384,10 @@ pub fn iterated_local_search<E: TwoOptEngine + ?Sized>(
         // s' <- Perturbation(s*)
         let mut candidate = incumbent.clone();
         let rng_before_kick = rng.state();
-        let kicks = opts.perturbation.apply(&mut candidate, &mut rng);
+        let kicks = {
+            let _kick = opts.prof.span("kick");
+            opts.perturbation.apply(&mut candidate, &mut rng)
+        };
         opts.flight.record_with(move || ReplayEvent::Kick {
             iteration: iterations,
             rng: rng_before_kick,
@@ -372,7 +397,7 @@ pub fn iterated_local_search<E: TwoOptEngine + ?Sized>(
             kind: format!("{:?}", opts.perturbation),
         });
         // s*' <- 2optLocalSearch(s')
-        let stats = optimize_flight(
+        let stats = optimize_profiled(
             engine,
             inst,
             &mut candidate,
@@ -380,6 +405,7 @@ pub fn iterated_local_search<E: TwoOptEngine + ?Sized>(
             &opts.recorder,
             &opts.telemetry,
             &opts.flight,
+            &opts.prof,
         )?;
         profile.accumulate(&stats.profile);
         let candidate_length = stats.final_length;
@@ -442,6 +468,7 @@ pub fn iterated_local_search<E: TwoOptEngine + ?Sized>(
                         m.restarts.inc();
                     }
                     opts.journal.record_with(|| JournalRecord {
+                        run_id: String::new(),
                         chain: 0,
                         iteration: iterations,
                         modeled_seconds: profile.modeled_seconds(),
@@ -468,6 +495,7 @@ pub fn iterated_local_search<E: TwoOptEngine + ?Sized>(
                 .set(trace.len().saturating_sub(1) as f64 / iterations as f64);
         }
         opts.journal.record_with(|| JournalRecord {
+            run_id: String::new(),
             chain: 0,
             iteration: iterations,
             modeled_seconds: profile.modeled_seconds(),
@@ -485,6 +513,7 @@ pub fn iterated_local_search<E: TwoOptEngine + ?Sized>(
     }
 
     opts.journal.record_with(|| JournalRecord {
+        run_id: String::new(),
         chain: 0,
         iteration: iterations,
         modeled_seconds: profile.modeled_seconds(),

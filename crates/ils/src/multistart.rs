@@ -41,6 +41,10 @@ where
                         flight: opts.flight.for_chain(i as u64),
                         ..opts.clone()
                     };
+                    // The profiler's span stack is thread-local, so each
+                    // chain's "chain" → "ils" subtree stays well-nested
+                    // on its own worker thread.
+                    let _chain = chain_opts.prof.span("chain");
                     iterated_local_search(&mut engine, inst, start, chain_opts)
                 })
             })
@@ -175,6 +179,8 @@ impl ShardedMultistart {
                     flight: opts.flight.for_chain(i as u64),
                     ..opts.clone()
                 };
+                // Thread-local span stack: see `parallel_multistart`.
+                let _chain = chain_opts.prof.span("chain");
                 iterated_local_search(&mut engine, inst, starts[i].clone(), chain_opts)
             });
 

@@ -1,0 +1,367 @@
+//! The device-memory ledger: every simulator allocation, free and
+//! upload journaled with a label, size and modeled timestamp, folded
+//! into live/peak accounting per device and per label.
+
+use std::collections::BTreeMap;
+use tsp_trace::json::{self, Json};
+
+/// What a ledger event records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemEventKind {
+    /// Bytes reserved in a device's global-memory pool.
+    Alloc,
+    /// Bytes released back to the pool.
+    Free,
+    /// H2D traffic into an existing allocation (or the initial fill).
+    Upload,
+    /// The device dropped with bytes still allocated.
+    Leak,
+}
+
+impl MemEventKind {
+    /// Stable wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MemEventKind::Alloc => "alloc",
+            MemEventKind::Free => "free",
+            MemEventKind::Upload => "upload",
+            MemEventKind::Leak => "leak",
+        }
+    }
+}
+
+/// One journaled ledger event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemEvent {
+    /// Device index the event happened on.
+    pub device: u32,
+    /// Buffer label (`"coords"`, `"best_out"`, ...).
+    pub label: String,
+    /// Event kind.
+    pub kind: MemEventKind,
+    /// Size of the event in bytes.
+    pub bytes: u64,
+    /// Device-wide live bytes immediately after the event.
+    pub live_bytes: u64,
+    /// The recording thread's modeled clock at event time.
+    pub modeled_seconds: f64,
+}
+
+/// Per-device totals in a [`MemoryReport`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DeviceMemory {
+    /// Device index.
+    pub device: u32,
+    /// Bytes currently allocated.
+    pub live_bytes: u64,
+    /// High-water mark of live bytes.
+    pub peak_bytes: u64,
+    /// Bytes still live when the device dropped (0 = clean).
+    pub leaked_bytes: u64,
+    /// Number of allocations.
+    pub allocs: u64,
+    /// Number of frees.
+    pub frees: u64,
+    /// Number of uploads.
+    pub uploads: u64,
+}
+
+/// Per-(device, label) totals in a [`MemoryReport`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LabelMemory {
+    /// Device index.
+    pub device: u32,
+    /// Buffer label.
+    pub label: String,
+    /// Number of allocations under this label.
+    pub allocs: u64,
+    /// Number of frees under this label.
+    pub frees: u64,
+    /// Total bytes ever allocated under this label.
+    pub alloc_bytes: u64,
+    /// Total H2D bytes uploaded into this label.
+    pub upload_bytes: u64,
+    /// Bytes currently live under this label.
+    pub live_bytes: u64,
+    /// High-water mark of this label's live bytes.
+    pub peak_bytes: u64,
+}
+
+/// A snapshot of the ledger: per-device and per-label accounting.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MemoryReport {
+    /// Per-device totals, ordered by device index.
+    pub devices: Vec<DeviceMemory>,
+    /// Per-(device, label) totals, ordered by (device, label).
+    pub labels: Vec<LabelMemory>,
+    /// Number of journaled events behind this snapshot.
+    pub events: u64,
+}
+
+impl MemoryReport {
+    /// Live bytes summed over every device.
+    pub fn live_bytes(&self) -> u64 {
+        self.devices.iter().map(|d| d.live_bytes).sum()
+    }
+
+    /// Peak bytes of one device, when it ever allocated.
+    pub fn peak_bytes(&self, device: u32) -> Option<u64> {
+        self.devices
+            .iter()
+            .find(|d| d.device == device)
+            .map(|d| d.peak_bytes)
+    }
+
+    /// The totals of one (device, label) pair.
+    pub fn label(&self, device: u32, label: &str) -> Option<&LabelMemory> {
+        self.labels
+            .iter()
+            .find(|l| l.device == device && l.label == label)
+    }
+
+    /// True when every alloc has been freed and nothing leaked: the
+    /// invariant the differential suite pins for every solve sequence.
+    pub fn balanced(&self) -> bool {
+        self.devices
+            .iter()
+            .all(|d| d.live_bytes == 0 && d.leaked_bytes == 0)
+    }
+
+    /// Serialize as a JSON document (`tsp-inspect mem` renders these).
+    pub fn to_json_string(&self) -> String {
+        let mut root = Json::obj();
+        root.set("format", Json::Str("tsp-memory-report/v1".into()));
+        root.set("events", Json::Num(self.events as f64));
+        let mut devices = Vec::new();
+        for d in &self.devices {
+            let mut o = Json::obj();
+            o.set("device", Json::Num(f64::from(d.device)));
+            o.set("live_bytes", Json::Num(d.live_bytes as f64));
+            o.set("peak_bytes", Json::Num(d.peak_bytes as f64));
+            o.set("leaked_bytes", Json::Num(d.leaked_bytes as f64));
+            o.set("allocs", Json::Num(d.allocs as f64));
+            o.set("frees", Json::Num(d.frees as f64));
+            o.set("uploads", Json::Num(d.uploads as f64));
+            devices.push(o);
+        }
+        root.set("devices", Json::Arr(devices));
+        let mut labels = Vec::new();
+        for l in &self.labels {
+            let mut o = Json::obj();
+            o.set("device", Json::Num(f64::from(l.device)));
+            o.set("label", Json::Str(l.label.clone()));
+            o.set("allocs", Json::Num(l.allocs as f64));
+            o.set("frees", Json::Num(l.frees as f64));
+            o.set("alloc_bytes", Json::Num(l.alloc_bytes as f64));
+            o.set("upload_bytes", Json::Num(l.upload_bytes as f64));
+            o.set("live_bytes", Json::Num(l.live_bytes as f64));
+            o.set("peak_bytes", Json::Num(l.peak_bytes as f64));
+            labels.push(o);
+        }
+        root.set("labels", Json::Arr(labels));
+        root.to_string()
+    }
+
+    /// Parse a document produced by [`MemoryReport::to_json_string`].
+    pub fn parse(text: &str) -> Result<MemoryReport, String> {
+        let root = json::parse(text).map_err(|e| format!("memory report: {e}"))?;
+        let num = |o: &Json, key: &str| -> Result<u64, String> {
+            o.get(key)
+                .and_then(Json::as_f64)
+                .map(|v| v as u64)
+                .ok_or_else(|| format!("memory report: missing numeric {key:?}"))
+        };
+        if root.get("format").and_then(Json::as_str) != Some("tsp-memory-report/v1") {
+            return Err("memory report: unknown format".into());
+        }
+        let mut report = MemoryReport {
+            events: num(&root, "events")?,
+            ..MemoryReport::default()
+        };
+        for d in root
+            .get("devices")
+            .and_then(Json::as_array)
+            .ok_or("memory report: missing devices")?
+        {
+            report.devices.push(DeviceMemory {
+                device: num(d, "device")? as u32,
+                live_bytes: num(d, "live_bytes")?,
+                peak_bytes: num(d, "peak_bytes")?,
+                leaked_bytes: num(d, "leaked_bytes")?,
+                allocs: num(d, "allocs")?,
+                frees: num(d, "frees")?,
+                uploads: num(d, "uploads")?,
+            });
+        }
+        for l in root
+            .get("labels")
+            .and_then(Json::as_array)
+            .ok_or("memory report: missing labels")?
+        {
+            report.labels.push(LabelMemory {
+                device: num(l, "device")? as u32,
+                label: l
+                    .get("label")
+                    .and_then(Json::as_str)
+                    .ok_or("memory report: missing label")?
+                    .to_string(),
+                allocs: num(l, "allocs")?,
+                frees: num(l, "frees")?,
+                alloc_bytes: num(l, "alloc_bytes")?,
+                upload_bytes: num(l, "upload_bytes")?,
+                live_bytes: num(l, "live_bytes")?,
+                peak_bytes: num(l, "peak_bytes")?,
+            });
+        }
+        Ok(report)
+    }
+
+    /// Render a text table: devices first, then labels.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("device   live B      peak B      leaked B    allocs  frees   uploads\n");
+        for d in &self.devices {
+            out.push_str(&format!(
+                "{:<8} {:<11} {:<11} {:<11} {:<7} {:<7} {}\n",
+                d.device, d.live_bytes, d.peak_bytes, d.leaked_bytes, d.allocs, d.frees, d.uploads
+            ));
+        }
+        out.push('\n');
+        out.push_str("device   label              live B      peak B      alloc B     allocs\n");
+        for l in &self.labels {
+            out.push_str(&format!(
+                "{:<8} {:<18} {:<11} {:<11} {:<11} {}\n",
+                l.device, l.label, l.live_bytes, l.peak_bytes, l.alloc_bytes, l.allocs
+            ));
+        }
+        out
+    }
+}
+
+/// The mutable ledger behind an attached [`crate::Profiler`].
+#[derive(Default)]
+pub(crate) struct MemLog {
+    events: Vec<MemEvent>,
+    devices: BTreeMap<u32, DeviceMemory>,
+    labels: BTreeMap<(u32, String), LabelMemory>,
+}
+
+impl MemLog {
+    pub(crate) fn apply(
+        &mut self,
+        kind: MemEventKind,
+        device: u32,
+        label: &str,
+        bytes: u64,
+        clock: f64,
+    ) {
+        let dev = self.devices.entry(device).or_insert_with(|| DeviceMemory {
+            device,
+            ..DeviceMemory::default()
+        });
+        let lab = self
+            .labels
+            .entry((device, label.to_string()))
+            .or_insert_with(|| LabelMemory {
+                device,
+                label: label.to_string(),
+                ..LabelMemory::default()
+            });
+        match kind {
+            MemEventKind::Alloc => {
+                dev.allocs += 1;
+                dev.live_bytes += bytes;
+                dev.peak_bytes = dev.peak_bytes.max(dev.live_bytes);
+                lab.allocs += 1;
+                lab.alloc_bytes += bytes;
+                lab.live_bytes += bytes;
+                lab.peak_bytes = lab.peak_bytes.max(lab.live_bytes);
+            }
+            MemEventKind::Free => {
+                dev.frees += 1;
+                dev.live_bytes = dev.live_bytes.saturating_sub(bytes);
+                lab.frees += 1;
+                lab.live_bytes = lab.live_bytes.saturating_sub(bytes);
+            }
+            MemEventKind::Upload => {
+                dev.uploads += 1;
+                lab.upload_bytes += bytes;
+            }
+            MemEventKind::Leak => {
+                dev.leaked_bytes = bytes;
+            }
+        }
+        self.events.push(MemEvent {
+            device,
+            label: label.to_string(),
+            kind,
+            bytes,
+            live_bytes: dev.live_bytes,
+            modeled_seconds: clock,
+        });
+    }
+
+    pub(crate) fn events(&self) -> &[MemEvent] {
+        &self.events
+    }
+
+    pub(crate) fn report(&self) -> MemoryReport {
+        MemoryReport {
+            devices: self.devices.values().cloned().collect(),
+            labels: self.labels.values().cloned().collect(),
+            events: self.events.len() as u64,
+        }
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.events.clear();
+        self.devices.clear();
+        self.labels.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MemoryReport {
+        let mut log = MemLog::default();
+        log.apply(MemEventKind::Alloc, 0, "coords", 640, 0.0);
+        log.apply(MemEventKind::Upload, 0, "coords", 640, 0.001);
+        log.apply(MemEventKind::Alloc, 0, "best_out", 8, 0.001);
+        log.apply(MemEventKind::Free, 0, "coords", 640, 0.002);
+        log.apply(MemEventKind::Free, 0, "best_out", 8, 0.002);
+        log.report()
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let report = sample();
+        let text = report.to_json_string();
+        let parsed = MemoryReport::parse(&text).expect("own output parses");
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(MemoryReport::parse("{}").is_err());
+        assert!(MemoryReport::parse("not json").is_err());
+    }
+
+    #[test]
+    fn render_mentions_every_label() {
+        let text = sample().render();
+        assert!(text.contains("coords"));
+        assert!(text.contains("best_out"));
+    }
+
+    #[test]
+    fn events_keep_running_live_bytes() {
+        let mut log = MemLog::default();
+        log.apply(MemEventKind::Alloc, 0, "a", 10, 0.0);
+        log.apply(MemEventKind::Alloc, 0, "b", 5, 0.0);
+        log.apply(MemEventKind::Free, 0, "a", 10, 0.0);
+        let live: Vec<u64> = log.events().iter().map(|e| e.live_bytes).collect();
+        assert_eq!(live, vec![10, 15, 5]);
+    }
+}

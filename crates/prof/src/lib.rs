@@ -1,0 +1,435 @@
+//! # tsp-prof
+//!
+//! Profiling and accounting for the GPU-accelerated 2-opt stack: a
+//! scoped **span profiler** on a dual modeled/wall clock, a
+//! **device-memory ledger** fed by the simulator's allocator, and the
+//! **run manifest** that correlates every artifact a solve produces.
+//!
+//! Like `tsp_trace::Recorder` and `tsp_telemetry::Telemetry`, the
+//! [`Profiler`] is a cheap cloneable handle: [`Profiler::detached`]
+//! costs one `Option` branch on every instrumented call and is provably
+//! bit-inert (pinned by `tests/prof_differential.rs`), while clones of
+//! an attached handle share one buffer.
+//!
+//! ## Span protocol
+//!
+//! A *span* is a scoped region opened with [`Profiler::span`] and closed
+//! when the returned [`Span`] guard drops (strictly LIFO per thread).
+//! Nested spans form a call path joined with `;` — the collapsed-stack
+//! convention — e.g. `solve;ils;iteration;descent;sweep`. Two clocks run
+//! per thread:
+//!
+//! - the **modeled clock** advances only through [`Profiler::leaf`],
+//!   which the simulator calls once per kernel launch and transfer with
+//!   the op's modeled duration (serial submission order — overlap is the
+//!   stream scheduler's business, not the profiler's);
+//! - the **wall clock** is `std::time::Instant`, measured per span.
+//!
+//! Every span therefore folds into inclusive and exclusive (self) costs
+//! on both clocks; [`ProfileReport::flamegraph`] exports the exclusive
+//! modeled nanoseconds per path as inferno-compatible collapsed stacks.
+
+mod ledger;
+mod manifest;
+mod report;
+
+pub use ledger::{DeviceMemory, LabelMemory, MemEvent, MemEventKind, MemoryReport};
+pub use manifest::{run_id_from_parts, Manifest, ManifestEntry};
+pub use report::{parse_collapsed, ProfileReport, SpanStat};
+
+use ledger::MemLog;
+use std::cell::RefCell;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+/// One open frame of a thread's span stack.
+struct Frame {
+    path: String,
+    start_clock: f64,
+    child_modeled: f64,
+    start_wall: Instant,
+    child_wall: f64,
+}
+
+/// Per-thread profiler state: the span stack and the modeled clock.
+/// Thread-local so concurrent chains (scoped threads, pool lanes) each
+/// carry an independent serial clock, matching how per-chain profiles
+/// accumulate.
+struct TlState {
+    clock: f64,
+    frames: Vec<Frame>,
+}
+
+thread_local! {
+    static TL: RefCell<TlState> = const {
+        RefCell::new(TlState { clock: 0.0, frames: Vec::new() })
+    };
+}
+
+/// One closed span, as recorded into the shared buffer.
+#[derive(Debug, Clone)]
+pub(crate) struct SpanSample {
+    pub(crate) path: String,
+    pub(crate) modeled: f64,
+    pub(crate) modeled_self: f64,
+    pub(crate) wall: f64,
+    pub(crate) wall_self: f64,
+}
+
+struct ProfCore {
+    spans: Mutex<Vec<SpanSample>>,
+    mem: Mutex<MemLog>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A cloneable profiling handle: scoped spans plus the device-memory
+/// ledger. A detached handle ignores everything at the cost of one
+/// branch per call; clones of an attached handle share one buffer.
+#[derive(Clone, Default)]
+pub struct Profiler {
+    inner: Option<Arc<ProfCore>>,
+}
+
+impl Profiler {
+    /// A live profiler with an empty buffer.
+    pub fn attached() -> Self {
+        Profiler {
+            inner: Some(Arc::new(ProfCore {
+                spans: Mutex::new(Vec::new()),
+                mem: Mutex::new(MemLog::default()),
+            })),
+        }
+    }
+
+    /// A no-op handle: every call is one branch, nothing is stored.
+    pub fn detached() -> Self {
+        Profiler { inner: None }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Open a span named `label` under the current thread's span stack;
+    /// it closes (and is recorded) when the returned guard drops. Guards
+    /// must drop in LIFO order — bind them to scope ends, as usual.
+    #[must_use = "a span measures the scope of its guard; dropping it immediately records nothing"]
+    pub fn span(&self, label: &str) -> Span {
+        let Some(core) = &self.inner else {
+            return Span { core: None };
+        };
+        TL.with(|tl| {
+            let mut tl = tl.borrow_mut();
+            let path = match tl.frames.last() {
+                Some(top) => format!("{};{label}", top.path),
+                None => label.to_string(),
+            };
+            let start_clock = tl.clock;
+            tl.frames.push(Frame {
+                path,
+                start_clock,
+                child_modeled: 0.0,
+                start_wall: Instant::now(),
+                child_wall: 0.0,
+            });
+        });
+        Span {
+            core: Some(core.clone()),
+        }
+    }
+
+    /// Record a leaf operation of known modeled duration (a kernel
+    /// launch, a PCIe transfer) under the current span path, and advance
+    /// this thread's modeled clock by `seconds`. The simulator calls
+    /// this once per device op, in submission order.
+    pub fn leaf(&self, label: &str, seconds: f64) {
+        let Some(core) = &self.inner else { return };
+        let sample = TL.with(|tl| {
+            let mut tl = tl.borrow_mut();
+            tl.clock += seconds;
+            let path = match tl.frames.last_mut() {
+                Some(top) => {
+                    top.child_modeled += seconds;
+                    format!("{};{label}", top.path)
+                }
+                None => label.to_string(),
+            };
+            SpanSample {
+                path,
+                modeled: seconds,
+                modeled_self: seconds,
+                wall: 0.0,
+                wall_self: 0.0,
+            }
+        });
+        lock(&core.spans).push(sample);
+    }
+
+    /// The calling thread's modeled clock (seconds advanced through
+    /// [`Profiler::leaf`] on this thread). Always 0 when detached.
+    pub fn modeled_now(&self) -> f64 {
+        if self.inner.is_none() {
+            return 0.0;
+        }
+        TL.with(|tl| tl.borrow().clock)
+    }
+
+    fn mem_event(&self, kind: MemEventKind, device: u32, label: &str, bytes: u64) {
+        let Some(core) = &self.inner else { return };
+        let clock = TL.with(|tl| tl.borrow().clock);
+        lock(&core.mem).apply(kind, device, label, bytes, clock);
+    }
+
+    /// Ledger: `bytes` were reserved on `device` for a buffer labeled
+    /// `label`.
+    pub fn mem_alloc(&self, device: u32, label: &str, bytes: u64) {
+        self.mem_event(MemEventKind::Alloc, device, label, bytes);
+    }
+
+    /// Ledger: a buffer labeled `label` released `bytes` on `device`.
+    pub fn mem_free(&self, device: u32, label: &str, bytes: u64) {
+        self.mem_event(MemEventKind::Free, device, label, bytes);
+    }
+
+    /// Ledger: `bytes` were uploaded into the buffer labeled `label` on
+    /// `device` (H2D traffic into an existing allocation, or the initial
+    /// fill of a fresh one).
+    pub fn mem_upload(&self, device: u32, label: &str, bytes: u64) {
+        self.mem_event(MemEventKind::Upload, device, label, bytes);
+    }
+
+    /// Ledger: `device` was dropped with `bytes` still allocated — a
+    /// leak unless buffers deliberately outlive their device.
+    pub fn mem_leak(&self, device: u32, bytes: u64) {
+        self.mem_event(MemEventKind::Leak, device, "leak", bytes);
+    }
+
+    /// Snapshot the memory ledger. Empty when detached.
+    pub fn memory_report(&self) -> MemoryReport {
+        match &self.inner {
+            Some(core) => lock(&core.mem).report(),
+            None => MemoryReport::default(),
+        }
+    }
+
+    /// The raw ledger events, in record order. Empty when detached.
+    pub fn mem_events(&self) -> Vec<MemEvent> {
+        match &self.inner {
+            Some(core) => lock(&core.mem).events().to_vec(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Fold every closed span into per-path statistics plus the memory
+    /// ledger snapshot. Empty when detached.
+    pub fn report(&self) -> ProfileReport {
+        let spans = match &self.inner {
+            Some(core) => report::fold(&lock(&core.spans)),
+            None => Vec::new(),
+        };
+        ProfileReport {
+            spans,
+            memory: self.memory_report(),
+        }
+    }
+
+    /// Number of closed spans (leaves included) recorded so far.
+    pub fn span_count(&self) -> usize {
+        match &self.inner {
+            Some(core) => lock(&core.spans).len(),
+            None => 0,
+        }
+    }
+
+    /// Drop every recorded span and ledger event (the handle stays
+    /// attached; per-thread clocks are *not* reset).
+    pub fn clear(&self) {
+        if let Some(core) = &self.inner {
+            lock(&core.spans).clear();
+            lock(&core.mem).clear();
+        }
+    }
+}
+
+impl std::fmt::Debug for Profiler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            Some(_) => write!(f, "Profiler(attached, {} spans)", self.span_count()),
+            None => write!(f, "Profiler(detached)"),
+        }
+    }
+}
+
+/// Guard returned by [`Profiler::span`]; records the span when dropped.
+pub struct Span {
+    core: Option<Arc<ProfCore>>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(core) = self.core.take() else { return };
+        let sample = TL.with(|tl| {
+            let mut tl = tl.borrow_mut();
+            let frame = tl.frames.pop()?;
+            let modeled = tl.clock - frame.start_clock;
+            let wall = frame.start_wall.elapsed().as_secs_f64();
+            // Charge this span's inclusive cost to its parent so the
+            // parent's exclusive (self) cost excludes it.
+            if let Some(parent) = tl.frames.last_mut() {
+                parent.child_modeled += modeled;
+                parent.child_wall += wall;
+            }
+            Some(SpanSample {
+                path: frame.path,
+                modeled,
+                modeled_self: (modeled - frame.child_modeled).max(0.0),
+                wall,
+                wall_self: (wall - frame.child_wall).max(0.0),
+            })
+        });
+        if let Some(sample) = sample {
+            lock(&core.spans).push(sample);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detached_profiler_records_nothing() {
+        let p = Profiler::detached();
+        {
+            let _g = p.span("root");
+            p.leaf("kernel", 1.0);
+        }
+        p.mem_alloc(0, "coords", 64);
+        assert!(!p.is_enabled());
+        assert_eq!(p.span_count(), 0);
+        assert!(p.report().spans.is_empty());
+        assert!(p.memory_report().devices.is_empty());
+        assert_eq!(p.modeled_now(), 0.0);
+    }
+
+    #[test]
+    fn nested_spans_fold_with_self_costs() {
+        let p = Profiler::attached();
+        {
+            let _solve = p.span("solve");
+            {
+                let _sweep = p.span("sweep");
+                p.leaf("kernel", 2.0);
+                p.leaf("d2h", 1.0);
+            }
+            p.leaf("h2d", 4.0);
+        }
+        let report = p.report();
+        let stat = |path: &str| {
+            report
+                .spans
+                .iter()
+                .find(|s| s.path == path)
+                .unwrap_or_else(|| panic!("missing {path}"))
+                .clone()
+        };
+        // 5 samples: solve, sweep, and the three leaves.
+        assert_eq!(p.span_count(), 5);
+        let solve = stat("solve");
+        assert_eq!(solve.modeled_seconds, 7.0);
+        assert_eq!(solve.modeled_self_seconds, 0.0);
+        let sweep = stat("solve;sweep");
+        assert_eq!(sweep.modeled_seconds, 3.0);
+        assert_eq!(sweep.modeled_self_seconds, 0.0);
+        assert_eq!(stat("solve;sweep;kernel").modeled_self_seconds, 2.0);
+        assert_eq!(stat("solve;h2d").modeled_seconds, 4.0);
+        assert_eq!(p.modeled_now(), 7.0);
+    }
+
+    #[test]
+    fn repeated_paths_accumulate_counts() {
+        let p = Profiler::attached();
+        for _ in 0..3 {
+            let _s = p.span("sweep");
+            p.leaf("kernel", 1.0);
+        }
+        let report = p.report();
+        let sweep = report.spans.iter().find(|s| s.path == "sweep").unwrap();
+        assert_eq!(sweep.count, 3);
+        assert_eq!(sweep.modeled_seconds, 3.0);
+        let kernel = report
+            .spans
+            .iter()
+            .find(|s| s.path == "sweep;kernel")
+            .unwrap();
+        assert_eq!(kernel.count, 3);
+    }
+
+    #[test]
+    fn clones_share_one_buffer() {
+        let p = Profiler::attached();
+        let q = p.clone();
+        q.leaf("kernel", 1.0);
+        assert_eq!(p.span_count(), 1);
+        p.clear();
+        assert_eq!(q.span_count(), 0);
+    }
+
+    #[test]
+    fn threads_carry_independent_clocks() {
+        let p = Profiler::attached();
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let p = p.clone();
+                s.spawn(move || {
+                    let _c = p.span("chain");
+                    p.leaf("kernel", 1.5);
+                    assert_eq!(p.modeled_now(), 1.5);
+                });
+            }
+        });
+        let report = p.report();
+        let chain = report.spans.iter().find(|s| s.path == "chain").unwrap();
+        assert_eq!(chain.count, 2);
+        assert_eq!(chain.modeled_seconds, 3.0);
+        // The spawning thread never advanced its own clock.
+        assert_eq!(p.modeled_now(), 0.0);
+    }
+
+    #[test]
+    fn ledger_tracks_live_and_peak() {
+        let p = Profiler::attached();
+        p.mem_alloc(0, "coords", 100);
+        p.mem_alloc(0, "out", 8);
+        p.mem_upload(0, "coords", 100);
+        p.mem_free(0, "coords", 100);
+        p.mem_alloc(0, "coords", 100);
+        p.mem_free(0, "coords", 100);
+        p.mem_free(0, "out", 8);
+        let m = p.memory_report();
+        assert_eq!(m.devices.len(), 1);
+        assert_eq!(m.devices[0].live_bytes, 0);
+        assert_eq!(m.devices[0].peak_bytes, 108);
+        assert!(m.balanced());
+        let coords = m.label(0, "coords").unwrap();
+        assert_eq!(coords.allocs, 2);
+        assert_eq!(coords.alloc_bytes, 200);
+        assert_eq!(coords.upload_bytes, 100);
+        assert_eq!(coords.peak_bytes, 100);
+        assert_eq!(coords.live_bytes, 0);
+    }
+
+    #[test]
+    fn leak_events_unbalance_the_report() {
+        let p = Profiler::attached();
+        p.mem_alloc(1, "coords", 64);
+        p.mem_leak(1, 64);
+        let m = p.memory_report();
+        assert!(!m.balanced());
+        assert_eq!(m.devices[0].leaked_bytes, 64);
+    }
+}

@@ -1,0 +1,157 @@
+//! Run manifests: a deterministic `run_id` plus a `manifest.json`
+//! schema indexing every artifact one solve produced (trace, journal,
+//! recording, flamegraph, memory report), so tools can correlate them
+//! without guessing at file names.
+
+use tsp_trace::json::{self, Json};
+
+/// Derive a deterministic 16-hex-digit run id from content digests
+/// (instance digest, spec digest, a config hash, ...). The same inputs
+/// always produce the same id — which is exactly what lets a replayed
+/// run land on the artifacts of the original.
+pub fn run_id_from_parts(parts: &[u64]) -> String {
+    // splitmix64 finalizer over a running fold: cheap, stable, and
+    // well-mixed even for near-identical inputs.
+    let mut h: u64 = 0x9e37_79b9_7f4a_7c15;
+    for &p in parts {
+        h ^= p;
+        h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h ^= h >> 27;
+        h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+        h ^= h >> 31;
+    }
+    format!("{h:016x}")
+}
+
+/// One artifact referenced by a [`Manifest`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// Artifact kind: `"trace"`, `"journal"`, `"recording"`,
+    /// `"flamegraph"`, `"flamegraph_wall"`, `"memory"`, ...
+    pub kind: String,
+    /// Path of the artifact, relative to the manifest's directory.
+    pub path: String,
+}
+
+/// The index of one run's artifacts, keyed by its deterministic run id.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Manifest {
+    /// The run id every listed artifact is stamped with.
+    pub run_id: String,
+    /// The artifacts, in insertion order.
+    pub entries: Vec<ManifestEntry>,
+}
+
+/// Wire format tag of `manifest.json`.
+pub const MANIFEST_FORMAT: &str = "tsp-run-manifest/v1";
+
+impl Manifest {
+    /// An empty manifest for `run_id`.
+    pub fn new(run_id: impl Into<String>) -> Self {
+        Manifest {
+            run_id: run_id.into(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Append an artifact.
+    pub fn push(&mut self, kind: impl Into<String>, path: impl Into<String>) -> &mut Self {
+        self.entries.push(ManifestEntry {
+            kind: kind.into(),
+            path: path.into(),
+        });
+        self
+    }
+
+    /// The path registered under `kind`, when present.
+    pub fn path_of(&self, kind: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|e| e.kind == kind)
+            .map(|e| e.path.as_str())
+    }
+
+    /// Serialize as `manifest.json`.
+    pub fn to_json_string(&self) -> String {
+        let mut root = Json::obj();
+        root.set("format", Json::Str(MANIFEST_FORMAT.into()));
+        root.set("run_id", Json::Str(self.run_id.clone()));
+        let entries = self
+            .entries
+            .iter()
+            .map(|e| {
+                let mut o = Json::obj();
+                o.set("kind", Json::Str(e.kind.clone()));
+                o.set("path", Json::Str(e.path.clone()));
+                o
+            })
+            .collect();
+        root.set("artifacts", Json::Arr(entries));
+        root.to_string()
+    }
+
+    /// Parse a document produced by [`Manifest::to_json_string`].
+    /// Unknown keys are ignored so the schema can grow.
+    pub fn parse(text: &str) -> Result<Manifest, String> {
+        let root = json::parse(text).map_err(|e| format!("manifest: {e}"))?;
+        if root.get("format").and_then(Json::as_str) != Some(MANIFEST_FORMAT) {
+            return Err("manifest: unknown format".into());
+        }
+        let mut manifest = Manifest::new(
+            root.get("run_id")
+                .and_then(Json::as_str)
+                .ok_or("manifest: missing run_id")?,
+        );
+        for e in root
+            .get("artifacts")
+            .and_then(Json::as_array)
+            .ok_or("manifest: missing artifacts")?
+        {
+            let kind = e
+                .get("kind")
+                .and_then(Json::as_str)
+                .ok_or("manifest: artifact missing kind")?;
+            let path = e
+                .get("path")
+                .and_then(Json::as_str)
+                .ok_or("manifest: artifact missing path")?;
+            manifest.push(kind, path);
+        }
+        Ok(manifest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_ids_are_deterministic_and_distinct() {
+        let a = run_id_from_parts(&[1, 2, 3]);
+        assert_eq!(a, run_id_from_parts(&[1, 2, 3]));
+        assert_ne!(a, run_id_from_parts(&[1, 2, 4]));
+        assert_ne!(a, run_id_from_parts(&[3, 2, 1]));
+        assert_eq!(a.len(), 16);
+        assert!(a.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let mut m = Manifest::new("00ff00ff00ff00ff");
+        m.push("trace", "run.trace.json")
+            .push("flamegraph", "run.folded")
+            .push("memory", "run.memory.json");
+        let text = m.to_json_string();
+        let parsed = Manifest::parse(&text).expect("own output parses");
+        assert_eq!(parsed, m);
+        assert_eq!(parsed.path_of("flamegraph"), Some("run.folded"));
+        assert_eq!(parsed.path_of("nope"), None);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        assert!(Manifest::parse("{}").is_err());
+        assert!(Manifest::parse("{\"format\":\"tsp-run-manifest/v1\"}").is_err());
+        assert!(Manifest::parse("nope").is_err());
+    }
+}

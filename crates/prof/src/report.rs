@@ -1,0 +1,180 @@
+//! Folding closed spans into per-path statistics, the collapsed-stack
+//! flamegraph export, and the top-N hot-path table.
+
+use crate::SpanSample;
+use std::collections::BTreeMap;
+
+/// Folded statistics of one call path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanStat {
+    /// `;`-joined call path (collapsed-stack convention).
+    pub path: String,
+    /// Number of spans folded into this path.
+    pub count: u64,
+    /// Inclusive modeled seconds.
+    pub modeled_seconds: f64,
+    /// Exclusive (self) modeled seconds.
+    pub modeled_self_seconds: f64,
+    /// Inclusive wall seconds.
+    pub wall_seconds: f64,
+    /// Exclusive (self) wall seconds.
+    pub wall_self_seconds: f64,
+}
+
+pub(crate) fn fold(samples: &[SpanSample]) -> Vec<SpanStat> {
+    let mut folded: BTreeMap<&str, SpanStat> = BTreeMap::new();
+    for s in samples {
+        let stat = folded.entry(&s.path).or_insert_with(|| SpanStat {
+            path: s.path.clone(),
+            count: 0,
+            modeled_seconds: 0.0,
+            modeled_self_seconds: 0.0,
+            wall_seconds: 0.0,
+            wall_self_seconds: 0.0,
+        });
+        stat.count += 1;
+        stat.modeled_seconds += s.modeled;
+        stat.modeled_self_seconds += s.modeled_self;
+        stat.wall_seconds += s.wall;
+        stat.wall_self_seconds += s.wall_self;
+    }
+    folded.into_values().collect()
+}
+
+/// A profiler snapshot: folded spans plus the memory ledger.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileReport {
+    /// Per-path span statistics, ordered by path.
+    pub spans: Vec<SpanStat>,
+    /// The device-memory ledger snapshot.
+    pub memory: crate::MemoryReport,
+}
+
+fn collapsed(spans: &[SpanStat], weight: impl Fn(&SpanStat) -> f64) -> String {
+    let mut out = String::new();
+    for s in spans {
+        let w = (weight(s) * 1e9).round() as u64;
+        if w > 0 {
+            out.push_str(&s.path);
+            out.push(' ');
+            out.push_str(&w.to_string());
+            out.push('\n');
+        }
+    }
+    out
+}
+
+impl ProfileReport {
+    /// Collapsed-stack flamegraph on the **modeled** clock: one line per
+    /// path, weighted by exclusive modeled nanoseconds. The text format
+    /// `inferno-flamegraph` (and speedscope) consume directly; paths
+    /// whose self cost rounds to zero are omitted.
+    pub fn flamegraph(&self) -> String {
+        collapsed(&self.spans, |s| s.modeled_self_seconds)
+    }
+
+    /// Collapsed-stack flamegraph on the **wall** clock (exclusive wall
+    /// nanoseconds). Leaf device ops carry no wall cost — host submit
+    /// time stays attributed to the enclosing span.
+    pub fn flamegraph_wall(&self) -> String {
+        collapsed(&self.spans, |s| s.wall_self_seconds)
+    }
+
+    /// The `n` hottest paths by exclusive modeled seconds.
+    pub fn hot_paths(&self, n: usize) -> Vec<&SpanStat> {
+        let mut sorted: Vec<&SpanStat> = self.spans.iter().collect();
+        sorted.sort_by(|a, b| {
+            b.modeled_self_seconds
+                .total_cmp(&a.modeled_self_seconds)
+                .then_with(|| a.path.cmp(&b.path))
+        });
+        sorted.truncate(n);
+        sorted
+    }
+
+    /// Render the top-`n` hot-path table (modeled + wall columns).
+    pub fn render_hot(&self, n: usize) -> String {
+        let mut out = String::new();
+        out.push_str("calls    modeled s      self s         wall s         path\n");
+        for s in self.hot_paths(n) {
+            out.push_str(&format!(
+                "{:<8} {:<14.9} {:<14.9} {:<14.9} {}\n",
+                s.count, s.modeled_seconds, s.modeled_self_seconds, s.wall_seconds, s.path
+            ));
+        }
+        out
+    }
+}
+
+/// Parse collapsed-stack text (`path weight` per line) back into
+/// `(path, weight)` pairs — the `tsp-inspect flame` reader.
+pub fn parse_collapsed(text: &str) -> Result<Vec<(String, u64)>, String> {
+    let mut out = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        let (path, weight) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: expected \"path weight\"", lineno + 1))?;
+        let weight: u64 = weight
+            .parse()
+            .map_err(|_| format!("line {}: bad weight {weight:?}", lineno + 1))?;
+        if path.is_empty() {
+            return Err(format!("line {}: empty path", lineno + 1));
+        }
+        out.push((path.to_string(), weight));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Profiler;
+
+    fn sample_report() -> ProfileReport {
+        let p = Profiler::attached();
+        {
+            let _a = p.span("solve");
+            {
+                let _b = p.span("sweep");
+                p.leaf("kernel", 3e-3);
+            }
+            {
+                let _b = p.span("sweep");
+                p.leaf("kernel", 2e-3);
+            }
+        }
+        p.report()
+    }
+
+    #[test]
+    fn flamegraph_lines_are_collapsed_stacks() {
+        let fg = sample_report().flamegraph();
+        let parsed = parse_collapsed(&fg).expect("own output parses");
+        // Only the kernel leaves carry self cost on the modeled clock.
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].0, "solve;sweep;kernel");
+        assert_eq!(parsed[0].1, 5_000_000); // 5 ms in ns
+    }
+
+    #[test]
+    fn hot_paths_rank_by_self_cost() {
+        let report = sample_report();
+        let hot = report.hot_paths(1);
+        assert_eq!(hot[0].path, "solve;sweep;kernel");
+        assert_eq!(hot[0].count, 2);
+        let table = report.render_hot(5);
+        assert!(table.contains("solve;sweep;kernel"));
+    }
+
+    #[test]
+    fn parse_collapsed_rejects_malformed_lines() {
+        assert!(parse_collapsed("justonepath\n").is_err());
+        assert!(parse_collapsed("path notanumber\n").is_err());
+        assert!(parse_collapsed(" 12\n").is_err());
+        assert_eq!(parse_collapsed("").unwrap(), vec![]);
+    }
+}

@@ -16,6 +16,12 @@ pub const FORMAT: &str = "tsp-flight-recording/v1";
 /// The run description a replayer needs before the first event.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Header {
+    /// Deterministic run id of the recorded run (empty = unstamped,
+    /// for recordings taken before the id existed). Correlates the
+    /// recording with the journal, trace and profiler artifacts of the
+    /// same run; replay compatibility is decided by the digests and
+    /// config below, not by this field.
+    pub run_id: String,
     /// Instance name (presentation only; the digest is authoritative).
     pub instance_name: String,
     /// City count.
@@ -50,8 +56,11 @@ impl Header {
             cfg.set(k, Json::Str(v.clone()));
         }
         let mut o = Json::obj();
-        o.set("format", Json::Str(FORMAT.to_string()))
-            .set("instance", Json::Str(self.instance_name.clone()))
+        o.set("format", Json::Str(FORMAT.to_string()));
+        if !self.run_id.is_empty() {
+            o.set("run_id", Json::Str(self.run_id.clone()));
+        }
+        o.set("instance", Json::Str(self.instance_name.clone()))
             .set("n", Json::from(self.n))
             .set(
                 "instance_digest",
@@ -103,6 +112,12 @@ impl Header {
             _ => return Err("header missing config object".to_string()),
         };
         Ok(Header {
+            // Absent in pre-run-id recordings: default to unstamped.
+            run_id: j
+                .get("run_id")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string(),
             instance_name: j
                 .get("instance")
                 .and_then(Json::as_str)
@@ -261,6 +276,7 @@ mod tests {
 
     fn header() -> Header {
         Header {
+            run_id: String::new(),
             instance_name: "rec-test".to_string(),
             n: 5,
             instance_digest: 0xdead_beef_dead_beef,
@@ -340,6 +356,7 @@ mod tests {
         let rec = Recording::from_flight(header(), &flight);
         let journal = vec![
             JournalRecord {
+                run_id: String::new(),
                 chain: 0,
                 iteration: 0,
                 modeled_seconds: 1e-6,
@@ -349,6 +366,7 @@ mod tests {
                 event: JournalEvent::Initial,
             },
             JournalRecord {
+                run_id: String::new(),
                 chain: 0,
                 iteration: 1,
                 modeled_seconds: 2e-6,
@@ -358,6 +376,7 @@ mod tests {
                 event: JournalEvent::Improved,
             },
             JournalRecord {
+                run_id: String::new(),
                 chain: 0,
                 iteration: 1,
                 modeled_seconds: 2e-6,
@@ -368,6 +387,7 @@ mod tests {
             },
             // A record from a chain the recording never saw.
             JournalRecord {
+                run_id: String::new(),
                 chain: 9,
                 iteration: 0,
                 modeled_seconds: 0.0,

@@ -58,6 +58,10 @@ impl JournalEvent {
 /// One line of the convergence journal.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JournalRecord {
+    /// Deterministic run id stamping the record (empty = unstamped;
+    /// see [`Journal::with_run_id`]). Correlates journal lines with
+    /// the trace, recording and profiler artifacts of the same run.
+    pub run_id: String,
     /// Multistart chain the record belongs to (0 for single runs).
     pub chain: u64,
     /// ILS iteration (0 = initial descent).
@@ -79,6 +83,9 @@ impl JournalRecord {
     /// The record as one JSON object (insertion-ordered keys).
     pub fn to_json(&self) -> Json {
         let mut o = Json::obj();
+        if !self.run_id.is_empty() {
+            o.set("run_id", Json::from(self.run_id.as_str()));
+        }
         o.set("chain", Json::from(self.chain as f64))
             .set("iteration", Json::from(self.iteration as f64))
             .set("modeled_seconds", Json::from(self.modeled_seconds))
@@ -102,6 +109,12 @@ impl JournalRecord {
             .and_then(JournalEvent::from_str)
             .ok_or_else(|| "journal record missing a known event".to_string())?;
         Ok(JournalRecord {
+            // Absent in pre-run-id streams: default to unstamped.
+            run_id: j
+                .get("run_id")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string(),
             chain: num("chain")? as u64,
             iteration: num("iteration")? as u64,
             modeled_seconds: num("modeled_seconds")?,
@@ -119,6 +132,9 @@ pub struct Journal {
     inner: Option<Arc<Mutex<Vec<JournalRecord>>>>,
     /// Chain id stamped onto records pushed through this handle.
     chain: u64,
+    /// Run id stamped onto records pushed through this handle (empty =
+    /// unstamped).
+    run_id: String,
 }
 
 fn lock(buf: &Mutex<Vec<JournalRecord>>) -> MutexGuard<'_, Vec<JournalRecord>> {
@@ -131,6 +147,7 @@ impl Journal {
         Journal {
             inner: Some(Arc::new(Mutex::new(Vec::new()))),
             chain: 0,
+            run_id: String::new(),
         }
     }
 
@@ -151,6 +168,18 @@ impl Journal {
         Journal {
             inner: self.inner.clone(),
             chain,
+            run_id: self.run_id.clone(),
+        }
+    }
+
+    /// A handle onto the same buffer that stamps `run_id` onto every
+    /// record — used by the solver to correlate the journal with the
+    /// other artifacts of one run.
+    pub fn with_run_id(&self, run_id: impl Into<String>) -> Journal {
+        Journal {
+            inner: self.inner.clone(),
+            chain: self.chain,
+            run_id: run_id.into(),
         }
     }
 
@@ -159,13 +188,22 @@ impl Journal {
         self.chain
     }
 
-    /// Append one record, stamping this handle's chain id (no-op when
-    /// detached). The closure only runs when the journal is attached.
+    /// The run id this handle stamps (empty = unstamped).
+    pub fn run_id(&self) -> &str {
+        &self.run_id
+    }
+
+    /// Append one record, stamping this handle's chain and run ids
+    /// (no-op when detached). The closure only runs when the journal is
+    /// attached.
     #[inline]
     pub fn record_with(&self, make: impl FnOnce() -> JournalRecord) {
         if let Some(buf) = &self.inner {
             let mut rec = make();
             rec.chain = self.chain;
+            if !self.run_id.is_empty() {
+                rec.run_id.clone_from(&self.run_id);
+            }
             lock(buf).push(rec);
         }
     }
@@ -222,6 +260,7 @@ mod tests {
 
     fn rec(iteration: u64, length: i64, event: JournalEvent) -> JournalRecord {
         JournalRecord {
+            run_id: String::new(),
             chain: 0,
             iteration,
             modeled_seconds: iteration as f64 * 0.25,
@@ -267,5 +306,34 @@ mod tests {
     fn parse_rejects_garbage() {
         assert!(parse_jsonl("{\"chain\":0}\n").is_err());
         assert!(parse_jsonl("not json\n").is_err());
+    }
+
+    #[test]
+    fn run_id_stamps_and_round_trips() {
+        let j = Journal::attached().with_run_id("00ff00ff00ff00ff");
+        assert_eq!(j.run_id(), "00ff00ff00ff00ff");
+        j.record_with(|| rec(0, 1000, JournalEvent::Initial));
+        // for_chain inherits the stamp; both ids land on the record.
+        j.for_chain(2)
+            .record_with(|| rec(1, 990, JournalEvent::Improved));
+        let text = j.to_jsonl();
+        assert!(text.lines().all(|l| l.contains("\"run_id\"")));
+        let parsed = parse_jsonl(&text).expect("stamped output must parse");
+        assert_eq!(parsed, j.records());
+        assert_eq!(parsed[1].run_id, "00ff00ff00ff00ff");
+        assert_eq!(parsed[1].chain, 2);
+    }
+
+    #[test]
+    fn unstamped_records_omit_run_id_and_old_streams_parse() {
+        let j = Journal::attached();
+        j.record_with(|| rec(0, 1000, JournalEvent::Initial));
+        let text = j.to_jsonl();
+        // Schema stays byte-compatible with pre-run-id journals when
+        // nothing is stamped…
+        assert!(!text.contains("run_id"));
+        // …and pre-run-id lines parse with an empty run id.
+        let parsed = parse_jsonl(&text).expect("unstamped output must parse");
+        assert_eq!(parsed[0].run_id, "");
     }
 }

@@ -392,6 +392,42 @@ mod tests {
     }
 
     #[test]
+    fn parser_rejects_buckets_that_decrease_into_inf() {
+        // Cumulative counts must be monotone all the way through the
+        // +Inf bucket: a finite bucket above +Inf is a corrupt payload.
+        let text = "# TYPE h histogram\n\
+                    h_bucket{le=\"1\"} 3\n\
+                    h_bucket{le=\"+Inf\"} 2\n\
+                    h_sum 1.5\n\
+                    h_count 2\n";
+        let err = parse_text(text).unwrap_err();
+        assert!(err.contains("decreasing"), "{err}");
+
+        // The same counts in a legal order parse.
+        let text = "# TYPE h histogram\n\
+                    h_bucket{le=\"1\"} 2\n\
+                    h_bucket{le=\"+Inf\"} 3\n\
+                    h_sum 1.5\n\
+                    h_count 3\n";
+        parse_text(text).expect("monotone buckets are legal");
+    }
+
+    #[test]
+    fn newline_label_values_round_trip_through_parse_text() {
+        let r = Registry::new();
+        r.counter_with("tsp_nl_total", "t", &[("k", "line1\nline2\\end\"q")])
+            .inc();
+        let text = r.expose();
+        // The writer must emit the newline as the two-character escape
+        // \n — a raw newline would split the sample line in half.
+        assert!(text.contains("line1\\nline2\\\\end\\\"q"), "{text}");
+        assert_eq!(text.lines().count(), 3, "{text}"); // HELP, TYPE, sample
+        let families = parse_text(&text).expect("escaped output must re-parse");
+        assert_eq!(families[0].name, "tsp_nl_total");
+        assert_eq!(families[0].samples, 1);
+    }
+
+    #[test]
     fn parser_handles_escaped_label_values() {
         let text = "# TYPE f counter\nf{path=\"a\\\\b\\\"c\"} 1\n";
         let families = parse_text(text).expect("escapes are legal");

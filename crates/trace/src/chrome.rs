@@ -107,7 +107,22 @@ fn end(tid: u64, ts_us: f64, args: Json) -> Json {
 /// Serialize `events` as a Chrome Trace Event JSON document, one trace
 /// event per line (stable output: same events, same bytes).
 pub fn chrome_trace(events: &[TraceEvent]) -> String {
+    chrome_trace_impl(events, None)
+}
+
+/// [`chrome_trace`] plus a leading `run_id` metadata record, so the
+/// trace file correlates with the journal, recording and profiler
+/// artifacts stamped with the same id. Untagged output is unchanged.
+pub fn chrome_trace_tagged(events: &[TraceEvent], run_id: &str) -> String {
+    chrome_trace_impl(events, Some(run_id))
+}
+
+fn chrome_trace_impl(events: &[TraceEvent], run_id: Option<&str>) -> String {
     let mut out: Vec<Json> = Vec::new();
+
+    if let Some(id) = run_id {
+        out.push(meta("run_id", None, id));
+    }
 
     let process_name = events
         .iter()
@@ -386,6 +401,29 @@ mod tests {
         // The kernel starts when the H2D copy ends.
         assert_eq!(kernel.get("ts").and_then(Json::as_f64), Some(122.0703125));
         assert_eq!(kernel.get("dur").and_then(Json::as_f64), Some(244.140625));
+    }
+
+    #[test]
+    fn tagged_trace_carries_the_run_id_and_untagged_is_unchanged() {
+        let events = vec![device()];
+        let tagged = chrome_trace_tagged(&events, "00ff00ff00ff00ff");
+        let doc = json::parse(&tagged).expect("tagged output must parse");
+        let list = doc.get("traceEvents").and_then(Json::as_array).unwrap();
+        let tag = &list[0];
+        assert_eq!(tag.get("ph").and_then(Json::as_str), Some("M"));
+        assert_eq!(tag.get("name").and_then(Json::as_str), Some("run_id"));
+        assert_eq!(
+            tag.get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(Json::as_str),
+            Some("00ff00ff00ff00ff")
+        );
+        // The untagged export is byte-identical to the tagged one minus
+        // its leading metadata record: old goldens stay valid.
+        let untagged = chrome_trace(&events);
+        assert!(!untagged.contains("run_id"));
+        let rest = tagged.replacen(&format!("{tag},\n"), "", 1);
+        assert_eq!(rest, untagged);
     }
 
     #[test]

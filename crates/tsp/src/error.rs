@@ -28,6 +28,9 @@ pub enum TspError {
     /// instance (digest/config mismatch, malformed recording, or a
     /// nondeterministic knob such as a wall-clock budget).
     Replay(String),
+    /// A textual artifact (CSV, JSONL, manifest) is malformed or
+    /// truncated.
+    Parse(String),
 }
 
 impl fmt::Display for TspError {
@@ -38,6 +41,7 @@ impl fmt::Display for TspError {
             TspError::Tsplib(e) => write!(f, "tsplib error: {e}"),
             TspError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
             TspError::Replay(msg) => write!(f, "replay: {msg}"),
+            TspError::Parse(msg) => write!(f, "parse error: {msg}"),
         }
     }
 }
@@ -48,7 +52,7 @@ impl std::error::Error for TspError {
             TspError::Sim(e) => Some(e),
             TspError::Core(e) => Some(e),
             TspError::Tsplib(e) => Some(e),
-            TspError::Unsupported(_) | TspError::Replay(_) => None,
+            TspError::Unsupported(_) | TspError::Replay(_) | TspError::Parse(_) => None,
         }
     }
 }

@@ -54,6 +54,7 @@ pub use tsp_2opt as twoopt;
 pub use tsp_construction as construction;
 pub use tsp_core as core;
 pub use tsp_ils as ils;
+pub use tsp_prof as prof;
 pub use tsp_replay as flight;
 pub use tsp_telemetry as telemetry;
 pub use tsp_trace as trace;
@@ -70,6 +71,7 @@ pub mod prelude {
     pub use tsp_2opt::{SearchOptions, Strategy, TwoOptEngine};
     pub use tsp_core::{Instance, Metric, Point, Tour};
     pub use tsp_ils::{Acceptance, IlsOptions, Perturbation, ShardedMultistart, ShardedOutcome};
+    pub use tsp_prof::{Manifest, MemoryReport, ProfileReport, Profiler};
     pub use tsp_replay::{Divergence, FlightRecorder, Recording, ReplayReport};
     pub use tsp_telemetry::{Journal, JournalRecord, MetricsServer, Telemetry};
     pub use tsp_trace::Recorder;

@@ -17,6 +17,19 @@ use tsp_replay::{
     compare_streams, digest_instance, FlightRecorder, Header, Recording, ReplayReport,
 };
 
+/// FNV-1a over a byte string — folds the config pairs into one u64 for
+/// the run id (not a cryptographic digest; collisions only blur the
+/// *correlation* id, never replay compatibility, which compares the
+/// pairs verbatim).
+fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// A recorded run must be free of wall-clock dependence: a real-time
 /// budget truncates the loop at a nondeterministic iteration.
 fn reject_wall_clock(cfg: &SolverBuilder) -> Result<(), TspError> {
@@ -86,6 +99,31 @@ impl Solver {
         pairs
     }
 
+    /// The deterministic run id of `inst` under this configuration: a
+    /// pure function of the instance digest, the device-spec digest
+    /// and every solver knob (the same `config_pairs` the replay
+    /// guards compare). Two runs share
+    /// an id exactly when they are bit-for-bit the same search, so the
+    /// id safely correlates the journal, recording, trace and profiler
+    /// artifacts of one run across files and processes.
+    pub fn run_id(&self, inst: &Instance) -> String {
+        let cfg_digest = fnv1a(
+            self.config_pairs()
+                .iter()
+                .flat_map(|(k, v)| {
+                    // `=`/`;` separators keep ("a", "b=c") and
+                    // ("a=b", "c") from folding identically.
+                    k.bytes()
+                        .chain([b'='])
+                        .chain(v.bytes())
+                        .chain([b';'])
+                        .collect::<Vec<u8>>()
+                })
+                .collect::<Vec<u8>>(),
+        );
+        tsp_prof::run_id_from_parts(&[digest_instance(inst), self.spec_digest(), cfg_digest])
+    }
+
     /// Package the attached flight recorder's log into a portable
     /// [`Recording`] for `inst` — call after [`Solver::run`]. Errors
     /// when no recorder was attached ([`SolverBuilder::record`]), when
@@ -106,6 +144,7 @@ impl Solver {
             ));
         }
         let header = Header {
+            run_id: self.run_id(inst),
             instance_name: inst.name().to_string(),
             n: inst.len(),
             instance_digest: digest_instance(inst),

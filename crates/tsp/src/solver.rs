@@ -11,7 +11,7 @@ use gpu_sim::{DevicePool, DeviceSpec, Recorder, StreamReport, Timeline};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use tsp_2opt::{
-    optimize_flight, CpuParallelTwoOpt, GpuTwoOpt, SearchOptions, SequentialTwoOpt, StepProfile,
+    optimize_profiled, CpuParallelTwoOpt, GpuTwoOpt, SearchOptions, SequentialTwoOpt, StepProfile,
     Strategy, TwoOptEngine,
 };
 use tsp_construction::{multiple_fragment, nearest_neighbor, space_filling};
@@ -19,6 +19,7 @@ use tsp_core::{Instance, Tour};
 use tsp_ils::{
     iterated_local_search, IlsOptions, IlsOutcome, ShardedMultistart, ShardedOutcome, TracePoint,
 };
+use tsp_prof::{MemoryReport, Profiler};
 use tsp_replay::{hash_tour, FlightRecorder, ReplayEvent};
 use tsp_telemetry::{Journal, Telemetry};
 
@@ -153,6 +154,7 @@ pub struct SolverBuilder {
     pub(crate) recorder: Option<Recorder>,
     pub(crate) telemetry: TelemetryOptions,
     pub(crate) flight: FlightRecorder,
+    pub(crate) prof: Profiler,
 }
 
 impl Default for SolverBuilder {
@@ -173,6 +175,7 @@ impl Default for SolverBuilder {
             recorder: None,
             telemetry: TelemetryOptions::default(),
             flight: FlightRecorder::detached(),
+            prof: Profiler::detached(),
         }
     }
 }
@@ -278,6 +281,20 @@ impl SolverBuilder {
         self
     }
 
+    /// Attach a span profiler and device-memory ledger. The handle is
+    /// wired through every layer the run touches — the facade's
+    /// `solve`/`construct` spans, ILS `ils`/`iteration`/`kick` spans,
+    /// descent `sweep`/`apply_move` spans, device `kernel:*`/`h2d`/
+    /// `d2h` leaves, and every buffer alloc/free/upload on the modeled
+    /// devices — and comes back on [`Solution::prof`] alongside the
+    /// finished [`Solution::memory`] ledger report. Detached (the
+    /// default) it costs one branch per site and the solve is
+    /// bit-identical.
+    pub fn profiler(mut self, prof: Profiler) -> Self {
+        self.prof = prof;
+        self
+    }
+
     /// Attach live metrics and/or a convergence journal. The handles
     /// are wired through every layer the run touches — device kernels
     /// and transfers, pool lanes, search sweeps, ILS iterations — and
@@ -322,6 +339,18 @@ pub struct Solution {
     /// The run's convergence journal — detached unless one was
     /// attached via [`SolverBuilder::telemetry`].
     pub journal: Journal,
+    /// Deterministic run id: a pure function of the instance digest,
+    /// the device-spec digest and every solver knob. The same id is
+    /// stamped on the journal lines, the recording header and the
+    /// profiler artifacts of this run, and never on anything else.
+    pub run_id: String,
+    /// The run's span profiler — detached unless one was attached via
+    /// [`SolverBuilder::profiler`]; render `prof.report()` for the
+    /// flamegraph and hot paths.
+    pub prof: Profiler,
+    /// Device-memory ledger totals at the end of the run (empty when
+    /// no profiler was attached).
+    pub memory: MemoryReport,
 }
 
 impl Solution {
@@ -397,10 +426,12 @@ impl Solver {
                 "timelines attach to a single device; use a recorder on pooled runs".into(),
             ));
         }
+        let run_id = self.run_id(inst);
+        let _solve = cfg.prof.span("solve");
         let initial_length = start.length(inst);
 
         if cfg.restarts > 1 || pooled {
-            return self.run_sharded(inst, start, initial_length);
+            return self.run_sharded(inst, start, initial_length, &run_id);
         }
 
         // Single chain: one engine, serial submission path.
@@ -412,7 +443,7 @@ impl Solver {
                 cfg.flight.record_with(|| ReplayEvent::Start {
                     tour_hash: hash_tour(&tour),
                 });
-                let stats = optimize_flight(
+                let stats = optimize_profiled(
                     engine.as_mut(),
                     inst,
                     &mut tour,
@@ -420,6 +451,7 @@ impl Solver {
                     &recorder,
                     cfg.telemetry.registry(),
                     &cfg.flight,
+                    &cfg.prof,
                 )?;
                 cfg.flight.record_with(|| ReplayEvent::DescentEnd {
                     iteration: 0,
@@ -434,29 +466,37 @@ impl Solver {
                     tour_hash: hash_tour(&tour),
                     modeled_seconds: stats.profile.modeled_seconds(),
                 });
-                Ok(self.stamp(Solution {
-                    length: stats.final_length,
-                    tour,
-                    initial_length,
-                    iterations: 0,
-                    chains: 1,
-                    profile: stats.profile,
-                    host_seconds: stats.host_seconds,
-                    trace: Vec::new(),
-                    reports: Vec::new(),
-                    telemetry: Telemetry::detached(),
-                    journal: Journal::detached(),
-                }))
+                Ok(self.stamp(
+                    run_id,
+                    Solution {
+                        length: stats.final_length,
+                        tour,
+                        initial_length,
+                        iterations: 0,
+                        chains: 1,
+                        profile: stats.profile,
+                        host_seconds: stats.host_seconds,
+                        trace: Vec::new(),
+                        reports: Vec::new(),
+                        telemetry: Telemetry::detached(),
+                        journal: Journal::detached(),
+                        run_id: String::new(),
+                        prof: Profiler::detached(),
+                        memory: MemoryReport::default(),
+                    },
+                ))
             }
             Some(opts) => {
-                let outcome =
-                    iterated_local_search(engine.as_mut(), inst, start, self.ils_opts(opts))?;
-                Ok(self.stamp(solution_from_outcome(
-                    outcome,
-                    initial_length,
-                    1,
-                    Vec::new(),
-                )))
+                let outcome = iterated_local_search(
+                    engine.as_mut(),
+                    inst,
+                    start,
+                    self.ils_opts(opts, &run_id),
+                )?;
+                Ok(self.stamp(
+                    run_id,
+                    solution_from_outcome(outcome, initial_length, 1, Vec::new()),
+                ))
             }
         }
     }
@@ -469,9 +509,10 @@ impl Solver {
         inst: &Instance,
         start: Tour,
         initial_length: i64,
+        run_id: &str,
     ) -> Result<Solution, TspError> {
         let cfg = &self.cfg;
-        let opts = self.ils_opts(cfg.ils.as_ref().unwrap_or(&IlsOptions::default()));
+        let opts = self.ils_opts(cfg.ils.as_ref().unwrap_or(&IlsOptions::default()), run_id);
         let starts: Vec<Tour> = (0..cfg.restarts)
             .map(|i| {
                 if i == 0 {
@@ -489,6 +530,7 @@ impl Solver {
                     pool.attach_recorder(rec.clone());
                 }
                 pool.attach_telemetry(cfg.telemetry.registry());
+                pool.attach_profiler(&cfg.prof);
                 let sharded = ShardedMultistart::new(pool);
                 let out = sharded.run(
                     |device, stream| {
@@ -510,37 +552,48 @@ impl Solver {
                 let mut solution =
                     solution_from_outcome(best, initial_length, chains.len(), reports);
                 solution.profile = profile;
-                Ok(self.stamp(solution))
+                Ok(self.stamp(run_id.to_string(), solution))
             }
             EngineKind::CpuParallel => {
                 let (best, chains) =
                     tsp_ils::parallel_multistart(CpuParallelTwoOpt::new, inst, starts, opts)?;
-                Ok(self.stamp(aggregate_host_chains(best, &chains, initial_length)))
+                Ok(self.stamp(
+                    run_id.to_string(),
+                    aggregate_host_chains(best, &chains, initial_length),
+                ))
             }
             EngineKind::Sequential => {
                 let (best, chains) =
                     tsp_ils::parallel_multistart(SequentialTwoOpt::new, inst, starts, opts)?;
-                Ok(self.stamp(aggregate_host_chains(best, &chains, initial_length)))
+                Ok(self.stamp(
+                    run_id.to_string(),
+                    aggregate_host_chains(best, &chains, initial_length),
+                ))
             }
         }
     }
 
     /// The configured ILS options plus the facade-level recorder and
-    /// observability handles.
-    fn ils_opts(&self, opts: &IlsOptions) -> IlsOptions {
+    /// observability handles; the journal handle is stamped with the
+    /// run id so every journal line correlates with this run.
+    fn ils_opts(&self, opts: &IlsOptions, run_id: &str) -> IlsOptions {
         let mut opts = opts.clone();
         if let Some(rec) = &self.cfg.recorder {
             opts = opts.with_recorder(rec.clone());
         }
         opts.with_telemetry(self.cfg.telemetry.registry().clone())
-            .with_journal(self.cfg.telemetry.journal().clone())
+            .with_journal(self.cfg.telemetry.journal().with_run_id(run_id))
             .with_flight(self.cfg.flight.clone())
+            .with_prof(self.cfg.prof.clone())
     }
 
     /// Hand the run's observability handles back on the solution.
-    fn stamp(&self, mut solution: Solution) -> Solution {
+    fn stamp(&self, run_id: String, mut solution: Solution) -> Solution {
         solution.telemetry = self.cfg.telemetry.registry().clone();
         solution.journal = self.cfg.telemetry.journal().clone();
+        solution.run_id = run_id;
+        solution.prof = self.cfg.prof.clone();
+        solution.memory = self.cfg.prof.memory_report();
         solution
     }
 
@@ -556,6 +609,7 @@ impl Solver {
                     engine = engine.with_recorder(rec.clone());
                 }
                 engine = engine.with_telemetry(self.cfg.telemetry.registry());
+                engine = engine.with_profiler(&self.cfg.prof);
                 Box::new(engine)
             }
             EngineKind::CpuParallel => Box::new(CpuParallelTwoOpt::new()),
@@ -577,6 +631,7 @@ impl Solver {
 
     /// Build chain `i`'s initial tour.
     pub(crate) fn construct(&self, inst: &Instance, chain: u64) -> Tour {
+        let _construct = self.cfg.prof.span("construct");
         match self.cfg.construction {
             Construction::MultipleFragment => multiple_fragment(inst),
             Construction::NearestNeighbor => nearest_neighbor(inst, 0),
@@ -608,6 +663,9 @@ fn solution_from_outcome(
         reports,
         telemetry: Telemetry::detached(),
         journal: Journal::detached(),
+        run_id: String::new(),
+        prof: Profiler::detached(),
+        memory: MemoryReport::default(),
     }
 }
 
