@@ -96,6 +96,38 @@ fn trace_snapshot_matches_the_committed_baseline() {
     );
 }
 
+/// `BENCH_serve.json` is emitted by the `serve_smoke` example, not by
+/// this crate, and carries wall-clock statistics under `"wall"` — so
+/// byte equality is impossible and CI gates it with a wide `wall`
+/// tolerance override instead. This test keeps the committed file
+/// parseable and proves that exact override configuration accepts the
+/// baseline against itself.
+#[test]
+fn serve_baseline_parses_and_passes_under_the_wall_override() {
+    let text =
+        fs::read_to_string(baseline_path("BENCH_serve.json")).expect("committed serve baseline");
+    let parsed = json::parse(&text).expect("valid JSON");
+    for leaf in [
+        "jobs",
+        "succeeded",
+        "steady_state_allocs",
+        "tour_length_sum",
+        "wall.p50_ms",
+    ] {
+        let mut node = &parsed;
+        for part in leaf.split('.') {
+            node = node.get(part).unwrap_or_else(|| panic!("missing {leaf}"));
+        }
+    }
+    let tol = Tolerances {
+        rel: 0.0,
+        overrides: vec![("wall".to_string(), 1e12)],
+    };
+    let report = diff(&parsed, &parsed, &tol);
+    assert!(!report.has_regressions());
+    assert!(report.compared > 0);
+}
+
 #[test]
 fn bench_diff_passes_the_committed_baseline_against_itself() {
     let path = baseline_path("BENCH_scaling.json");

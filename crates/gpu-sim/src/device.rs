@@ -143,6 +143,38 @@ impl Device {
         self.pool.peak_bytes()
     }
 
+    /// Pre-reserve `bytes` as a serving arena on this device. While
+    /// installed, every buffer allocation is satisfied inside the arena
+    /// with no per-buffer ledger traffic — the seam the slot-pooled
+    /// serving layer uses to reach zero steady-state device
+    /// allocations. See [`MemoryPool::install_arena`].
+    ///
+    /// [`MemoryPool::install_arena`]: crate::memory::MemoryPool::install_arena
+    pub fn install_arena(&self, bytes: u64) -> Result<(), SimError> {
+        self.pool.install_arena(bytes)
+    }
+
+    /// Tear the serving arena down (journals the matching free). Call
+    /// after every arena buffer has been dropped.
+    pub fn uninstall_arena(&self) {
+        self.pool.uninstall_arena()
+    }
+
+    /// Installed arena bytes (0 when no arena is installed).
+    pub fn arena_capacity(&self) -> u64 {
+        self.pool.arena_capacity()
+    }
+
+    /// Arena bytes currently handed out to live buffers.
+    pub fn arena_live(&self) -> u64 {
+        self.pool.arena_live()
+    }
+
+    /// High-water mark of arena bytes handed out.
+    pub fn arena_peak_bytes(&self) -> u64 {
+        self.pool.arena_peak_bytes()
+    }
+
     /// Allocate a device buffer holding `data` (no transfer modeled; use
     /// [`Device::copy_to_device`] when the H2D cost matters).
     pub fn alloc<T: Copy>(&self, data: Vec<T>) -> Result<DeviceBuffer<T>, SimError> {

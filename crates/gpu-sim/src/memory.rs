@@ -19,10 +19,21 @@ use tsp_telemetry::Gauge;
 /// Label used by the unlabeled allocation entry points.
 pub const DEFAULT_BUFFER_LABEL: &str = "buffer";
 
+/// Ledger label of the pre-allocated serving arena.
+pub const ARENA_LABEL: &str = "arena";
+
 #[derive(Debug, Default)]
 struct PoolState {
     allocated: u64,
     peak: u64,
+    /// Bytes reserved up front as a serving arena. While non-zero,
+    /// buffer reserves/releases are satisfied *inside* the arena:
+    /// pool-level `allocated` stays flat and no ledger events fire.
+    arena_capacity: u64,
+    /// Bytes of the arena currently handed out to live buffers.
+    arena_live: u64,
+    /// High-water mark of `arena_live`.
+    arena_peak: u64,
 }
 
 /// The ledger binding of a pool: a profiler handle plus the device
@@ -97,6 +108,24 @@ impl MemoryPool {
     pub fn reserve_labeled(&self, bytes: u64, label: &'static str) -> Result<(), SimError> {
         let (live, peak) = {
             let mut state = self.state.lock();
+            if state.arena_capacity > 0 {
+                // Arena mode: hand the bytes out of the pre-reserved
+                // arena. Pool-level accounting already covered them at
+                // install time, so neither the gauges nor the ledger
+                // see a per-buffer event — this is the zero-steady-
+                // state-allocations contract the serving layer relies
+                // on.
+                let available = state.arena_capacity - state.arena_live;
+                if bytes > available {
+                    return Err(SimError::OutOfMemory {
+                        requested: bytes,
+                        available,
+                    });
+                }
+                state.arena_live += bytes;
+                state.arena_peak = state.arena_peak.max(state.arena_live);
+                return Ok(());
+            }
             let available = self.capacity - state.allocated;
             if bytes > available {
                 return Err(SimError::OutOfMemory {
@@ -127,6 +156,13 @@ impl MemoryPool {
     pub fn release_labeled(&self, bytes: u64, label: &'static str) {
         let live = {
             let mut state = self.state.lock();
+            if state.arena_capacity > 0 {
+                // Arena mode: return the bytes to the arena silently
+                // (see `reserve_labeled`).
+                debug_assert!(state.arena_live >= bytes);
+                state.arena_live = state.arena_live.saturating_sub(bytes);
+                return;
+            }
             debug_assert!(state.allocated >= bytes);
             state.allocated = state.allocated.saturating_sub(bytes);
             state.allocated
@@ -137,6 +173,78 @@ impl MemoryPool {
         if let Some(l) = self.ledger.get() {
             l.prof.mem_free(l.device, label, bytes);
         }
+    }
+
+    /// Pre-reserve `bytes` as a serving arena (journaled once, under
+    /// [`ARENA_LABEL`]). While an arena is installed every subsequent
+    /// buffer reserve/release is satisfied from it with *no* ledger or
+    /// gauge traffic — a warm pool serves requests with zero
+    /// steady-state device allocations. Repeated calls grow the arena
+    /// (one striped install per lane). Fails like any reserve when the
+    /// device lacks capacity.
+    pub fn install_arena(&self, bytes: u64) -> Result<(), SimError> {
+        // Reserve directly on the pool path: `reserve_labeled` would be
+        // absorbed by an already-installed arena when *growing* one, so
+        // the warm-up accounting is done inline under a single lock.
+        let (live, peak) = {
+            let mut state = self.state.lock();
+            let available = self.capacity - state.allocated;
+            if bytes > available {
+                return Err(SimError::OutOfMemory {
+                    requested: bytes,
+                    available,
+                });
+            }
+            state.allocated += bytes;
+            state.peak = state.peak.max(state.allocated);
+            state.arena_capacity += bytes;
+            (state.allocated, state.peak)
+        };
+        if let Some(g) = self.gauges.get() {
+            g.live.set(live as f64);
+            g.peak.set(peak as f64);
+        }
+        if let Some(l) = self.ledger.get() {
+            l.prof.mem_alloc(l.device, ARENA_LABEL, bytes);
+        }
+        Ok(())
+    }
+
+    /// Tear the arena down: journal the matching free and return the
+    /// pool to direct accounting. Call at service shutdown, after every
+    /// buffer has been dropped (`arena_live == 0`) — the ledger then
+    /// balances end to end.
+    pub fn uninstall_arena(&self) {
+        let bytes = {
+            let mut state = self.state.lock();
+            debug_assert_eq!(
+                state.arena_live, 0,
+                "arena uninstalled with live suballocations"
+            );
+            let bytes = state.arena_capacity;
+            state.arena_capacity = 0;
+            state.arena_live = 0;
+            bytes
+        };
+        if bytes > 0 {
+            self.release_labeled(bytes, ARENA_LABEL);
+        }
+    }
+
+    /// Installed arena bytes (0 when no arena is installed).
+    pub fn arena_capacity(&self) -> u64 {
+        self.state.lock().arena_capacity
+    }
+
+    /// Arena bytes currently handed out to live buffers.
+    pub fn arena_live(&self) -> u64 {
+        self.state.lock().arena_live
+    }
+
+    /// High-water mark of arena bytes handed out — the number to size
+    /// the arena by.
+    pub fn arena_peak_bytes(&self) -> u64 {
+        self.state.lock().arena_peak
     }
 
     /// Journal `bytes` of H2D traffic into the buffer labeled `label`
@@ -431,6 +539,76 @@ mod tests {
         assert!(buf.overwrite(&[1, 2]).is_err());
         buf.overwrite(&[7, 8, 9]).unwrap();
         assert_eq!(buf.to_vec(), vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn arena_absorbs_buffer_churn() {
+        let pool = MemoryPool::new(4096);
+        pool.install_arena(1024).unwrap();
+        assert_eq!(pool.allocated(), 1024);
+        assert_eq!(pool.arena_capacity(), 1024);
+        {
+            let buf = DeviceBuffer::new(vec![0u32; 64], pool.clone()).unwrap();
+            assert_eq!(buf.bytes(), 256);
+            // Pool-level accounting stays flat: the buffer lives in the arena.
+            assert_eq!(pool.allocated(), 1024);
+            assert_eq!(pool.arena_live(), 256);
+        }
+        assert_eq!(pool.arena_live(), 0);
+        assert_eq!(pool.arena_peak_bytes(), 256);
+        pool.uninstall_arena();
+        assert_eq!(pool.allocated(), 0);
+        assert_eq!(pool.arena_capacity(), 0);
+    }
+
+    #[test]
+    fn arena_overflow_fails_like_oom() {
+        let pool = MemoryPool::new(4096);
+        pool.install_arena(100).unwrap();
+        let err = DeviceBuffer::new(vec![0u64; 20], pool.clone()).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::OutOfMemory {
+                requested: 160,
+                available: 100
+            }
+        ));
+        // Failed arena suballocations must not leak accounting.
+        assert_eq!(pool.arena_live(), 0);
+    }
+
+    #[test]
+    fn arena_install_respects_device_capacity() {
+        let pool = MemoryPool::new(512);
+        assert!(pool.install_arena(1024).is_err());
+        assert_eq!(pool.allocated(), 0);
+        assert_eq!(pool.arena_capacity(), 0);
+        // Repeated installs accumulate (striped per-lane warm-up).
+        pool.install_arena(128).unwrap();
+        pool.install_arena(128).unwrap();
+        assert_eq!(pool.arena_capacity(), 256);
+        assert_eq!(pool.allocated(), 256);
+    }
+
+    #[test]
+    fn arena_buffers_skip_the_ledger() {
+        use tsp_prof::Profiler;
+        let prof = Profiler::attached();
+        let pool = MemoryPool::new(4096);
+        pool.attach_ledger(&prof, 0);
+        pool.install_arena(512).unwrap();
+        {
+            let _buf = DeviceBuffer::new(vec![0u32; 32], pool.clone()).unwrap();
+        }
+        pool.uninstall_arena();
+        let report = prof.report().memory;
+        // One alloc (the arena) and one free (its teardown) — the
+        // buffer churn inside the arena never reached the ledger.
+        let device = &report.devices[0];
+        assert_eq!(device.allocs, 1);
+        assert_eq!(device.frees, 1);
+        assert!(report.balanced(), "{}", report.render());
+        assert!(report.labels.iter().any(|l| l.label == ARENA_LABEL));
     }
 
     #[test]

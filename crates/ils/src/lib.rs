@@ -28,7 +28,7 @@ pub use perturb::Perturbation;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use tsp_2opt::{optimize_profiled, EngineError, SearchOptions, StepProfile, TwoOptEngine};
-use tsp_core::{Instance, Tour};
+use tsp_core::{CancelToken, Instance, Tour};
 use tsp_prof::Profiler;
 use tsp_replay::{hash_tour, FlightRecorder, ReplayEvent};
 use tsp_telemetry::{Counter, Gauge, Journal, JournalEvent, JournalRecord, Registry, Telemetry};
@@ -86,6 +86,14 @@ pub struct IlsOptions {
     /// xoshiro256++ state instead of seeding from [`IlsOptions::seed`] —
     /// how a replayer restores a recorded run's stream mid-flight.
     pub rng_state: Option<[u64; 4]>,
+    /// Cooperative cancellation, polled once per ILS iteration next to
+    /// the budget checks: when the token trips (explicit cancel or a
+    /// deadline), the loop stops and returns the best tour found so
+    /// far, exactly like an exhausted budget. The default
+    /// ([`CancelToken::none`]) costs one branch per iteration. Armed
+    /// tokens make the run wall-clock dependent, so the record/replay
+    /// layer rejects them like `max_host_seconds`.
+    pub cancel: CancelToken,
     /// Span/memory profiler (detached by default — zero cost when
     /// unused). When attached, the run nests `"ils"` → `"iteration"` →
     /// `"kick"`/`"sweep"` spans around the descents; attach the *same*
@@ -111,6 +119,7 @@ impl Default for IlsOptions {
             flight: FlightRecorder::detached(),
             rng_state: None,
             prof: Profiler::detached(),
+            cancel: CancelToken::none(),
         }
     }
 }
@@ -197,6 +206,12 @@ impl IlsOptions {
     /// Attach a span/memory profiler.
     pub fn with_prof(mut self, prof: Profiler) -> Self {
         self.prof = prof;
+        self
+    }
+
+    /// Attach a cooperative cancellation token (polled per iteration).
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
         self
     }
 }
@@ -374,6 +389,9 @@ pub fn iterated_local_search<E: TwoOptEngine + ?Sized>(
             if wall.elapsed().as_secs_f64() >= max {
                 break;
             }
+        }
+        if opts.cancel.is_cancelled() {
+            break;
         }
         iterations += 1;
         let _iteration = opts.prof.span("iteration");

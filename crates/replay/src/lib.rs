@@ -38,4 +38,6 @@ pub use event::ReplayEvent;
 pub use hash::{digest_instance, fnv1a, hash_order, hash_tour};
 pub use reconstruct::{tour_at_iteration, TourReconstructor};
 pub use recorder::{FlightEntry, FlightRecorder};
-pub use recording::{correlate_journal, parse_recording, Header, JournalLink, Recording};
+pub use recording::{
+    correlate_journal, parse_recording, Header, JournalLink, Recording, RecordingWriter,
+};

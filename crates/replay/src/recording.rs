@@ -221,6 +221,92 @@ pub fn parse_recording(text: &str) -> Result<Recording, String> {
     Ok(Recording { header, entries })
 }
 
+/// A line-atomic streaming writer for recordings.
+///
+/// Mirrors [`Recording::to_jsonl`] — header line first, then one
+/// chain-stamped event object per line — but streams to a sink as
+/// events arrive instead of serializing an in-memory `Recording` at
+/// the end. Every line is written with a single `write_all` and the
+/// sink is flushed per line *and* on drop, so a recording cut short
+/// by cancellation or a deadline never ends in a truncated line:
+/// whatever reached the file parses with [`parse_recording`].
+pub struct RecordingWriter {
+    sink: Box<dyn std::io::Write + Send>,
+    events: u64,
+}
+
+impl std::fmt::Debug for RecordingWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecordingWriter")
+            .field("events", &self.events)
+            .finish()
+    }
+}
+
+impl RecordingWriter {
+    /// Create (truncating) `path` and write the header line.
+    pub fn create(
+        path: impl AsRef<std::path::Path>,
+        header: &Header,
+    ) -> std::io::Result<RecordingWriter> {
+        Self::from_writer(std::fs::File::create(path)?, header)
+    }
+
+    /// Stream into an arbitrary sink, writing the header line now.
+    pub fn from_writer(
+        sink: impl std::io::Write + Send + 'static,
+        header: &Header,
+    ) -> std::io::Result<RecordingWriter> {
+        let mut w = RecordingWriter {
+            sink: Box::new(sink),
+            events: 0,
+        };
+        w.write_line(header.to_json())?;
+        Ok(w)
+    }
+
+    fn write_line(&mut self, json: Json) -> std::io::Result<()> {
+        let mut line = json.to_string();
+        line.push('\n');
+        self.sink.write_all(line.as_bytes())?;
+        self.sink.flush()
+    }
+
+    /// Append one chain-stamped event as a complete, flushed line.
+    pub fn append(&mut self, entry: &FlightEntry) -> std::io::Result<()> {
+        let mut obj = entry.event.to_json();
+        obj.set("chain", Json::from(entry.chain));
+        self.write_line(obj)?;
+        self.events += 1;
+        Ok(())
+    }
+
+    /// Append every entry the flight recorder has captured so far (a
+    /// final drain for runs that buffered in memory first).
+    pub fn append_flight(&mut self, flight: &FlightRecorder) -> std::io::Result<()> {
+        for entry in flight.entries() {
+            self.append(&entry)?;
+        }
+        Ok(())
+    }
+
+    /// Events written so far (excluding the header line).
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Flush the sink explicitly (also happens per line and on drop).
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        self.sink.flush()
+    }
+}
+
+impl Drop for RecordingWriter {
+    fn drop(&mut self) {
+        let _ = self.sink.flush();
+    }
+}
+
 /// A journal record resolved against the recording event that produced
 /// it — the journal ↔ recording cross-link.
 #[derive(Debug, Clone, PartialEq)]
@@ -318,6 +404,31 @@ mod tests {
         assert_eq!(back.chains(), vec![0, 1]);
         assert_eq!(back.chain_events(1).len(), 1);
         assert_eq!(back.header.config_value("strategy"), Some("tiled:64"));
+    }
+
+    #[test]
+    fn streaming_writer_dropped_mid_run_leaves_a_parseable_file() {
+        let rec = sample();
+        let path = std::env::temp_dir().join(format!(
+            "tsp-recording-writer-{}-{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        {
+            let mut w = RecordingWriter::create(&path, &rec.header).expect("create recording");
+            // Stream only the first two of three events, then drop —
+            // the abrupt-stop path of a cancelled job.
+            for entry in &rec.entries[..2] {
+                w.append(entry).unwrap();
+            }
+            assert_eq!(w.events(), 2);
+        }
+        let text = std::fs::read_to_string(&path).expect("read recording file");
+        let _ = std::fs::remove_file(&path);
+        assert!(text.ends_with('\n'), "no truncated trailing line: {text:?}");
+        let back = parse_recording(&text).expect("every line must parse");
+        assert_eq!(back.header, rec.header);
+        assert_eq!(back.entries, rec.entries[..2]);
     }
 
     #[test]

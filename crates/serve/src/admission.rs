@@ -1,0 +1,232 @@
+//! Admission control: a bounded FIFO with per-tenant quotas.
+//!
+//! A submission is admitted only if (a) the tenant's live job count —
+//! queued **plus** running — is under its quota, and (b) the queue has
+//! room. Rejections are typed [`ApiError`]s with a `Retry-After`
+//! hint: quota → 429 [`ErrorCode::QuotaExceeded`], capacity → 503
+//! [`ErrorCode::QueueFull`]. A rejected request never reaches a
+//! device lane — admission happens strictly before slot acquisition.
+//!
+//! The tenant's count is released by [`AdmissionQueue::finish`] when
+//! its job reaches a terminal state, not when the ticket is popped:
+//! quotas bound *live work*, not queue residency.
+
+use crate::api::{ApiError, ErrorCode};
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Condvar, Mutex};
+use tsp_telemetry::{Gauge, Telemetry};
+
+/// One queued unit of work: the job id to look up and the tenant to
+/// credit on completion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ticket {
+    /// The job to run.
+    pub job_id: String,
+    /// The tenant whose quota the job occupies.
+    pub tenant: String,
+}
+
+#[derive(Debug, Default)]
+struct QueueState {
+    queue: VecDeque<Ticket>,
+    /// Live (queued + running) jobs per tenant.
+    live: HashMap<String, usize>,
+    closed: bool,
+}
+
+/// The bounded admission queue. See the module docs for the policy.
+#[derive(Debug)]
+pub struct AdmissionQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+    capacity: usize,
+    per_tenant: usize,
+    depth: Option<Gauge>,
+}
+
+impl AdmissionQueue {
+    /// A queue holding at most `capacity` tickets, with at most
+    /// `per_tenant` live jobs per tenant. Registers a depth gauge
+    /// when `telemetry` is attached.
+    pub fn new(capacity: usize, per_tenant: usize, telemetry: &Telemetry) -> AdmissionQueue {
+        let depth = telemetry.registry().map(|r| {
+            r.gauge(
+                "tsp_serve_queue_depth",
+                "Admitted jobs waiting for a device slot",
+            )
+        });
+        if let Some(gauge) = &depth {
+            gauge.set(0.0);
+        }
+        AdmissionQueue {
+            state: Mutex::new(QueueState::default()),
+            ready: Condvar::new(),
+            capacity,
+            per_tenant,
+            depth,
+        }
+    }
+
+    /// Admit a ticket or reject it with a typed, retryable error.
+    pub fn submit(&self, ticket: Ticket) -> Result<(), ApiError> {
+        let mut state = self.state.lock().unwrap();
+        if state.closed {
+            return Err(ApiError::new(
+                ErrorCode::QueueFull,
+                "the service is shutting down",
+            ));
+        }
+        let live = state.live.get(&ticket.tenant).copied().unwrap_or(0);
+        if live >= self.per_tenant {
+            return Err(ApiError::new(
+                ErrorCode::QuotaExceeded,
+                format!(
+                    "tenant {:?} has {live} live jobs (quota {})",
+                    ticket.tenant, self.per_tenant
+                ),
+            )
+            .with_retry_after_ms(self.backoff_ms(&state)));
+        }
+        if state.queue.len() >= self.capacity {
+            return Err(ApiError::new(
+                ErrorCode::QueueFull,
+                format!("admission queue is full ({} tickets)", self.capacity),
+            )
+            .with_retry_after_ms(self.backoff_ms(&state)));
+        }
+        *state.live.entry(ticket.tenant.clone()).or_insert(0) += 1;
+        state.queue.push_back(ticket);
+        if let Some(gauge) = &self.depth {
+            gauge.set(state.queue.len() as f64);
+        }
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// A coarse back-off hint proportional to the backlog.
+    fn backoff_ms(&self, state: &QueueState) -> u64 {
+        250 * (state.queue.len() as u64 + 1)
+    }
+
+    /// Pop the next ticket, blocking while the queue is open and
+    /// empty. `None` means the queue closed and drained — the worker
+    /// should exit.
+    pub fn pop(&self) -> Option<Ticket> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let Some(ticket) = state.queue.pop_front() {
+                if let Some(gauge) = &self.depth {
+                    gauge.set(state.queue.len() as f64);
+                }
+                return Some(ticket);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).unwrap();
+        }
+    }
+
+    /// Credit the tenant back when one of its jobs reaches a terminal
+    /// state (done, failed, cancelled, or expired).
+    pub fn finish(&self, tenant: &str) {
+        let mut state = self.state.lock().unwrap();
+        if let Some(live) = state.live.get_mut(tenant) {
+            *live = live.saturating_sub(1);
+            if *live == 0 {
+                state.live.remove(tenant);
+            }
+        }
+    }
+
+    /// Tickets waiting right now.
+    pub fn depth(&self) -> usize {
+        self.state.lock().unwrap().queue.len()
+    }
+
+    /// Live (queued + running) jobs for `tenant`.
+    pub fn live(&self, tenant: &str) -> usize {
+        self.state
+            .lock()
+            .unwrap()
+            .live
+            .get(tenant)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Close the queue: no further submissions; blocked `pop`s return
+    /// `None` once the backlog drains.
+    pub fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ticket(id: &str, tenant: &str) -> Ticket {
+        Ticket {
+            job_id: id.to_string(),
+            tenant: tenant.to_string(),
+        }
+    }
+
+    #[test]
+    fn quota_covers_queued_plus_running() {
+        let q = AdmissionQueue::new(16, 2, &Telemetry::detached());
+        q.submit(ticket("a", "t1")).unwrap();
+        q.submit(ticket("b", "t1")).unwrap();
+        let err = q.submit(ticket("c", "t1")).unwrap_err();
+        assert_eq!(err.code, ErrorCode::QuotaExceeded);
+        assert!(err.retry_after_ms.is_some());
+        // Popping (job starts running) does not release the quota...
+        assert_eq!(q.pop().unwrap().job_id, "a");
+        assert_eq!(
+            q.submit(ticket("c", "t1")).unwrap_err().code,
+            ErrorCode::QuotaExceeded
+        );
+        // ...finishing does.
+        q.finish("t1");
+        q.submit(ticket("c", "t1")).unwrap();
+        // Other tenants are unaffected throughout.
+        q.submit(ticket("x", "t2")).unwrap();
+    }
+
+    #[test]
+    fn full_queue_rejects_with_queue_full() {
+        let q = AdmissionQueue::new(1, 10, &Telemetry::detached());
+        q.submit(ticket("a", "t1")).unwrap();
+        let err = q.submit(ticket("b", "t2")).unwrap_err();
+        assert_eq!(err.code, ErrorCode::QueueFull);
+        assert!(err.retry_after_ms.is_some());
+    }
+
+    #[test]
+    fn depth_gauge_tracks_the_backlog() {
+        let telemetry = Telemetry::attached();
+        let q = AdmissionQueue::new(8, 8, &telemetry);
+        q.submit(ticket("a", "t")).unwrap();
+        q.submit(ticket("b", "t")).unwrap();
+        let registry = telemetry.registry().unwrap();
+        assert_eq!(registry.gauge_value("tsp_serve_queue_depth"), Some(2.0));
+        q.pop().unwrap();
+        assert_eq!(registry.gauge_value("tsp_serve_queue_depth"), Some(1.0));
+    }
+
+    #[test]
+    fn close_drains_then_releases_blocked_workers() {
+        let q = AdmissionQueue::new(8, 8, &Telemetry::detached());
+        q.submit(ticket("a", "t")).unwrap();
+        q.close();
+        assert_eq!(
+            q.submit(ticket("b", "t")).unwrap_err().code,
+            ErrorCode::QueueFull
+        );
+        assert_eq!(q.pop().unwrap().job_id, "a");
+        assert_eq!(q.pop(), None);
+    }
+}

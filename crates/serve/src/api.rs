@@ -1,0 +1,753 @@
+//! The versioned wire types of the solve service — `v1`.
+//!
+//! Everything that crosses the HTTP boundary lives here as a plain
+//! struct with hand-rolled JSON (via [`tsp_trace::json`], like every
+//! other codec in the workspace — no serde): [`SolveRequest`] in,
+//! [`SolveResponse`] / [`JobStatus`] / [`ApiError`] out. The same
+//! types are the *config surface*: [`FromRequest`] turns a request
+//! into a [`SolverBuilder`], so the CLI, the benches and the service
+//! configure a solver through one structure instead of three ad-hoc
+//! argument lists.
+//!
+//! ## The `v1` compatibility rule
+//!
+//! * Every document carries `"api_version": "v1"`. Readers reject any
+//!   other version; a missing field means `v1` (the field was
+//!   introduced with it).
+//! * Unknown members are **ignored on read** — `v1` readers accept
+//!   documents written by later minor revisions.
+//! * Within `v1`, fields are only ever **added**, never renamed,
+//!   removed, or re-typed; absent fields take the documented default.
+//!   A change that cannot follow this rule is a `v2` under a new
+//!   route prefix.
+//!
+//! The structs are `#[non_exhaustive]` with `with_*` setters for the
+//! same reason on the Rust side: adding a field is not a breaking
+//! change for any caller.
+
+use std::fmt;
+use tsp::{Solver, SolverBuilder};
+use tsp_core::{Instance, Metric, Point};
+use tsp_ils::IlsOptions;
+use tsp_trace::json::{self, Json};
+
+/// The wire version every document in this module speaks.
+pub const API_VERSION: &str = "v1";
+
+/// Machine-readable error category; the HTTP status is derived from
+/// it, never hand-picked per call site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ErrorCode {
+    /// The request document failed to parse or validate.
+    BadRequest,
+    /// No job with the given id.
+    NotFound,
+    /// The tenant is at its admission quota (retryable).
+    QuotaExceeded,
+    /// The admission queue is full (retryable).
+    QueueFull,
+    /// The deadline passed before the job could run.
+    DeadlineExceeded,
+    /// The request is valid but asks for something the service
+    /// refuses (instance too large, unsupported knob).
+    Unsupported,
+    /// The solver failed; the job, not the request, is at fault.
+    Internal,
+}
+
+impl ErrorCode {
+    /// The stable wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::NotFound => "not_found",
+            ErrorCode::QuotaExceeded => "quota_exceeded",
+            ErrorCode::QueueFull => "queue_full",
+            ErrorCode::DeadlineExceeded => "deadline_exceeded",
+            ErrorCode::Unsupported => "unsupported",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    /// Parse the wire spelling.
+    pub fn parse(s: &str) -> Option<ErrorCode> {
+        Some(match s {
+            "bad_request" => ErrorCode::BadRequest,
+            "not_found" => ErrorCode::NotFound,
+            "quota_exceeded" => ErrorCode::QuotaExceeded,
+            "queue_full" => ErrorCode::QueueFull,
+            "deadline_exceeded" => ErrorCode::DeadlineExceeded,
+            "unsupported" => ErrorCode::Unsupported,
+            "internal" => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+
+    /// The HTTP status this category is answered with.
+    pub fn http_status(self) -> u16 {
+        match self {
+            ErrorCode::BadRequest | ErrorCode::Unsupported => 400,
+            ErrorCode::NotFound => 404,
+            ErrorCode::QuotaExceeded => 429,
+            ErrorCode::QueueFull | ErrorCode::DeadlineExceeded => 503,
+            ErrorCode::Internal => 500,
+        }
+    }
+}
+
+/// A typed error document, also used as Rust-side error value
+/// throughout the service.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct ApiError {
+    /// Machine-readable category.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+    /// For retryable rejections (429/503): how long to back off.
+    pub retry_after_ms: Option<u64>,
+}
+
+impl ApiError {
+    /// A typed error with a message.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> ApiError {
+        ApiError {
+            code,
+            message: message.into(),
+            retry_after_ms: None,
+        }
+    }
+
+    /// Attach a back-off hint (serialized, and mirrored into the
+    /// `Retry-After` response header by the server).
+    pub fn with_retry_after_ms(mut self, ms: u64) -> ApiError {
+        self.retry_after_ms = Some(ms);
+        self
+    }
+
+    /// Serialize as a `v1` JSON document.
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::obj();
+        obj.set("api_version", Json::from(API_VERSION));
+        obj.set("code", Json::from(self.code.as_str()));
+        obj.set("message", Json::from(self.message.as_str()));
+        if let Some(ms) = self.retry_after_ms {
+            obj.set("retry_after_ms", Json::from(ms));
+        }
+        obj
+    }
+
+    /// Parse a `v1` document (unknown members ignored).
+    pub fn from_json(doc: &Json) -> Result<ApiError, String> {
+        check_version(doc)?;
+        let code = doc
+            .get("code")
+            .and_then(Json::as_str)
+            .ok_or("missing \"code\"")?;
+        let code = ErrorCode::parse(code).ok_or_else(|| format!("unknown code {code:?}"))?;
+        let message = doc
+            .get("message")
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .to_string();
+        let retry_after_ms = doc
+            .get("retry_after_ms")
+            .and_then(Json::as_f64)
+            .map(|v| v as u64);
+        Ok(ApiError {
+            code,
+            message,
+            retry_after_ms,
+        })
+    }
+}
+
+impl fmt::Display for ApiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.code.as_str(), self.message)
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+fn check_version(doc: &Json) -> Result<(), String> {
+    match doc.get("api_version").and_then(Json::as_str) {
+        None => Ok(()), // absent means v1: the field was introduced with it
+        Some(v) if v == API_VERSION => Ok(()),
+        Some(v) => Err(format!(
+            "unsupported api_version {v:?} (this is {API_VERSION})"
+        )),
+    }
+}
+
+fn bad(message: impl Into<String>) -> ApiError {
+    ApiError::new(ErrorCode::BadRequest, message)
+}
+
+/// One solve submission. Exactly one of [`SolveRequest::tsplib`]
+/// (a full TSPLIB document) and [`SolveRequest::coords`] (Euclidean
+/// city coordinates) must be present.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct SolveRequest {
+    /// Always [`API_VERSION`] on serialized documents.
+    pub api_version: String,
+    /// Admission-quota identity (default `"anonymous"`).
+    pub tenant: String,
+    /// Instance name for coordinate payloads (TSPLIB payloads carry
+    /// their own).
+    pub name: String,
+    /// A TSPLIB document, verbatim.
+    pub tsplib: Option<String>,
+    /// `EUC_2D` city coordinates as `[x, y]` pairs.
+    pub coords: Option<Vec<(f64, f64)>>,
+    /// Independent ILS chains; the best tour wins (default 1).
+    pub restarts: usize,
+    /// Enable ILS with this iteration budget; absent means a single
+    /// 2-opt descent to the local optimum.
+    pub ils_iterations: Option<u64>,
+    /// Seed for ILS chain 0 (chain `i` uses `seed + i`; default 0).
+    pub seed: u64,
+    /// Relative deadline: the job is cancelled (or rejected before it
+    /// ever reaches a device lane) once this many milliseconds pass
+    /// after admission.
+    pub deadline_ms: Option<u64>,
+}
+
+impl Default for SolveRequest {
+    fn default() -> Self {
+        SolveRequest {
+            api_version: API_VERSION.to_string(),
+            tenant: "anonymous".to_string(),
+            name: "request".to_string(),
+            tsplib: None,
+            coords: None,
+            restarts: 1,
+            ils_iterations: None,
+            seed: 0,
+            deadline_ms: None,
+        }
+    }
+}
+
+impl SolveRequest {
+    /// A request carrying a TSPLIB document.
+    pub fn tsplib(text: impl Into<String>) -> SolveRequest {
+        SolveRequest {
+            tsplib: Some(text.into()),
+            ..SolveRequest::default()
+        }
+    }
+
+    /// A request carrying Euclidean coordinates.
+    pub fn coords(name: impl Into<String>, coords: Vec<(f64, f64)>) -> SolveRequest {
+        SolveRequest {
+            name: name.into(),
+            coords: Some(coords),
+            ..SolveRequest::default()
+        }
+    }
+
+    /// Set the tenant identity.
+    pub fn with_tenant(mut self, tenant: impl Into<String>) -> SolveRequest {
+        self.tenant = tenant.into();
+        self
+    }
+
+    /// Set the restart count.
+    pub fn with_restarts(mut self, restarts: usize) -> SolveRequest {
+        self.restarts = restarts;
+        self
+    }
+
+    /// Enable ILS with an iteration budget.
+    pub fn with_ils_iterations(mut self, iterations: u64) -> SolveRequest {
+        self.ils_iterations = Some(iterations);
+        self
+    }
+
+    /// Set the base seed.
+    pub fn with_seed(mut self, seed: u64) -> SolveRequest {
+        self.seed = seed;
+        self
+    }
+
+    /// Set a relative deadline in milliseconds.
+    pub fn with_deadline_ms(mut self, ms: u64) -> SolveRequest {
+        self.deadline_ms = Some(ms);
+        self
+    }
+
+    /// Structural validation (payload arity, basic ranges); the
+    /// instance itself is validated by [`SolveRequest::instance`].
+    pub fn validate(&self) -> Result<(), ApiError> {
+        match (&self.tsplib, &self.coords) {
+            (Some(_), Some(_)) => Err(bad("pass \"tsplib\" or \"coords\", not both")),
+            (None, None) => Err(bad("one of \"tsplib\" or \"coords\" is required")),
+            _ => Ok(()),
+        }?;
+        if self.restarts == 0 {
+            return Err(bad("\"restarts\" must be at least 1"));
+        }
+        Ok(())
+    }
+
+    /// Materialize the payload as an [`Instance`].
+    pub fn instance(&self) -> Result<Instance, ApiError> {
+        self.validate()?;
+        if let Some(text) = &self.tsplib {
+            return tsp_tsplib::parse(text).map_err(|e| bad(format!("TSPLIB payload: {e}")));
+        }
+        let coords = self.coords.as_ref().expect("validated above");
+        let points: Vec<Point> = coords
+            .iter()
+            .map(|&(x, y)| Point::new(x as f32, y as f32))
+            .collect();
+        Instance::new(self.name.clone(), Metric::Euc2d, points)
+            .map_err(|e| bad(format!("coordinate payload: {e}")))
+    }
+
+    /// Serialize as a `v1` JSON document.
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::obj();
+        obj.set("api_version", Json::from(self.api_version.as_str()));
+        obj.set("tenant", Json::from(self.tenant.as_str()));
+        obj.set("name", Json::from(self.name.as_str()));
+        if let Some(text) = &self.tsplib {
+            obj.set("tsplib", Json::from(text.as_str()));
+        }
+        if let Some(coords) = &self.coords {
+            let pairs = coords
+                .iter()
+                .map(|&(x, y)| Json::Arr(vec![Json::from(x), Json::from(y)]))
+                .collect();
+            obj.set("coords", Json::Arr(pairs));
+        }
+        obj.set("restarts", Json::from(self.restarts));
+        if let Some(iters) = self.ils_iterations {
+            obj.set("ils_iterations", Json::from(iters));
+        }
+        obj.set("seed", Json::from(self.seed));
+        if let Some(ms) = self.deadline_ms {
+            obj.set("deadline_ms", Json::from(ms));
+        }
+        obj
+    }
+
+    /// Parse a `v1` document (unknown members ignored, absent fields
+    /// take their defaults).
+    pub fn from_json(doc: &Json) -> Result<SolveRequest, ApiError> {
+        check_version(doc).map_err(bad)?;
+        let mut req = SolveRequest::default();
+        if let Some(t) = doc.get("tenant").and_then(Json::as_str) {
+            req.tenant = t.to_string();
+        }
+        if let Some(n) = doc.get("name").and_then(Json::as_str) {
+            req.name = n.to_string();
+        }
+        req.tsplib = doc.get("tsplib").and_then(Json::as_str).map(str::to_string);
+        if let Some(arr) = doc.get("coords").and_then(Json::as_array) {
+            let mut coords = Vec::with_capacity(arr.len());
+            for pair in arr {
+                let pair = pair
+                    .as_array()
+                    .filter(|p| p.len() == 2)
+                    .ok_or_else(|| bad("\"coords\" entries must be [x, y] pairs"))?;
+                let (x, y) = (pair[0].as_f64(), pair[1].as_f64());
+                let (Some(x), Some(y)) = (x, y) else {
+                    return Err(bad("\"coords\" entries must be numeric"));
+                };
+                coords.push((x, y));
+            }
+            req.coords = Some(coords);
+        }
+        if let Some(r) = doc.get("restarts").and_then(Json::as_f64) {
+            req.restarts = r as usize;
+        }
+        req.ils_iterations = doc
+            .get("ils_iterations")
+            .and_then(Json::as_f64)
+            .map(|v| v as u64);
+        if let Some(s) = doc.get("seed").and_then(Json::as_f64) {
+            req.seed = s as u64;
+        }
+        req.deadline_ms = doc
+            .get("deadline_ms")
+            .and_then(Json::as_f64)
+            .map(|v| v as u64);
+        Ok(req)
+    }
+
+    /// Parse a request body.
+    pub fn parse(text: &str) -> Result<SolveRequest, ApiError> {
+        let doc = json::parse(text).map_err(|e| bad(format!("request body: {e:?}")))?;
+        SolveRequest::from_json(&doc)
+    }
+}
+
+/// The shared request→builder mapping — the one config surface for
+/// the service, the CLI and the benches. Implemented on
+/// [`SolverBuilder`] so it reads as a constructor:
+/// `SolverBuilder::from_request(&req)`.
+pub trait FromRequest: Sized {
+    /// Build a solver configuration from a validated request.
+    fn from_request(req: &SolveRequest) -> Result<Self, ApiError>;
+}
+
+impl FromRequest for SolverBuilder {
+    fn from_request(req: &SolveRequest) -> Result<SolverBuilder, ApiError> {
+        req.validate()?;
+        let mut builder = Solver::builder().restarts(req.restarts);
+        if let Some(iterations) = req.ils_iterations {
+            builder = builder.ils(
+                IlsOptions::default()
+                    .with_max_iterations(iterations)
+                    .with_seed(req.seed),
+            );
+        } else if req.restarts > 1 {
+            // Restarts imply ILS chains; pin the seed so the chains
+            // are the ones the request asked for.
+            builder = builder.ils(IlsOptions::default().with_seed(req.seed));
+        }
+        Ok(builder)
+    }
+}
+
+/// Lifecycle of a job. Terminal states are [`JobState::Done`],
+/// [`JobState::Failed`], [`JobState::Cancelled`] and
+/// [`JobState::Expired`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum JobState {
+    /// Admitted, waiting for a device slot.
+    Queued,
+    /// Solving on a device lane.
+    Running,
+    /// Finished; the result fields are populated.
+    Done,
+    /// The solver returned an error.
+    Failed,
+    /// Cancelled via `DELETE /v1/jobs/{id}`.
+    Cancelled,
+    /// The deadline passed before completion.
+    Expired,
+}
+
+impl JobState {
+    /// The stable wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+            JobState::Expired => "expired",
+        }
+    }
+
+    /// Parse the wire spelling.
+    pub fn parse(s: &str) -> Option<JobState> {
+        Some(match s {
+            "queued" => JobState::Queued,
+            "running" => JobState::Running,
+            "done" => JobState::Done,
+            "failed" => JobState::Failed,
+            "cancelled" => JobState::Cancelled,
+            "expired" => JobState::Expired,
+            _ => return None,
+        })
+    }
+
+    /// Whether the job can still change state.
+    pub fn is_terminal(self) -> bool {
+        !matches!(self, JobState::Queued | JobState::Running)
+    }
+}
+
+/// `GET /v1/jobs/{id}` — status plus, once done, the result.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct JobStatus {
+    /// Always [`API_VERSION`] on serialized documents.
+    pub api_version: String,
+    /// The job id minted at submission.
+    pub job_id: String,
+    /// Lifecycle state.
+    pub state: JobState,
+    /// The submitting tenant.
+    pub tenant: String,
+    /// The deterministic run id (populated once the solve ran; the
+    /// key into the job's manifest/journal artifacts).
+    pub run_id: Option<String>,
+    /// The best tour, as a city permutation.
+    pub tour: Option<Vec<u32>>,
+    /// Its length.
+    pub length: Option<i64>,
+    /// Length of the constructed initial tour.
+    pub initial_length: Option<i64>,
+    /// Independent chains run.
+    pub chains: Option<usize>,
+    /// Total modeled device seconds.
+    pub modeled_seconds: Option<f64>,
+    /// Why the job failed / was rejected, when terminal-unsuccessful.
+    pub error: Option<ApiError>,
+}
+
+impl JobStatus {
+    /// A fresh status in [`JobState::Queued`].
+    pub fn queued(job_id: impl Into<String>, tenant: impl Into<String>) -> JobStatus {
+        JobStatus {
+            api_version: API_VERSION.to_string(),
+            job_id: job_id.into(),
+            state: JobState::Queued,
+            tenant: tenant.into(),
+            run_id: None,
+            tour: None,
+            length: None,
+            initial_length: None,
+            chains: None,
+            modeled_seconds: None,
+            error: None,
+        }
+    }
+
+    /// Set the lifecycle state.
+    pub fn with_state(mut self, state: JobState) -> JobStatus {
+        self.state = state;
+        self
+    }
+
+    /// Attach the error of a terminal-unsuccessful state.
+    pub fn with_error(mut self, error: ApiError) -> JobStatus {
+        self.error = Some(error);
+        self
+    }
+
+    /// Serialize as a `v1` JSON document.
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::obj();
+        obj.set("api_version", Json::from(self.api_version.as_str()));
+        obj.set("job_id", Json::from(self.job_id.as_str()));
+        obj.set("state", Json::from(self.state.as_str()));
+        obj.set("tenant", Json::from(self.tenant.as_str()));
+        if let Some(run_id) = &self.run_id {
+            obj.set("run_id", Json::from(run_id.as_str()));
+        }
+        if let Some(tour) = &self.tour {
+            obj.set(
+                "tour",
+                Json::Arr(tour.iter().map(|&c| Json::from(c)).collect()),
+            );
+        }
+        if let Some(length) = self.length {
+            obj.set("length", Json::from(length));
+        }
+        if let Some(initial) = self.initial_length {
+            obj.set("initial_length", Json::from(initial));
+        }
+        if let Some(chains) = self.chains {
+            obj.set("chains", Json::from(chains));
+        }
+        if let Some(modeled) = self.modeled_seconds {
+            obj.set("modeled_seconds", Json::from(modeled));
+        }
+        if let Some(error) = &self.error {
+            obj.set("error", error.to_json());
+        }
+        obj
+    }
+
+    /// Parse a `v1` document (unknown members ignored).
+    pub fn from_json(doc: &Json) -> Result<JobStatus, ApiError> {
+        check_version(doc).map_err(bad)?;
+        let job_id = doc
+            .get("job_id")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("missing \"job_id\""))?;
+        let state = doc
+            .get("state")
+            .and_then(Json::as_str)
+            .and_then(JobState::parse)
+            .ok_or_else(|| bad("missing or unknown \"state\""))?;
+        let tenant = doc.get("tenant").and_then(Json::as_str).unwrap_or_default();
+        let mut status = JobStatus::queued(job_id, tenant).with_state(state);
+        status.run_id = doc.get("run_id").and_then(Json::as_str).map(str::to_string);
+        if let Some(arr) = doc.get("tour").and_then(Json::as_array) {
+            let mut tour = Vec::with_capacity(arr.len());
+            for city in arr {
+                let city = city
+                    .as_f64()
+                    .ok_or_else(|| bad("\"tour\" entries must be numeric"))?;
+                tour.push(city as u32);
+            }
+            status.tour = Some(tour);
+        }
+        status.length = doc.get("length").and_then(Json::as_f64).map(|v| v as i64);
+        status.initial_length = doc
+            .get("initial_length")
+            .and_then(Json::as_f64)
+            .map(|v| v as i64);
+        status.chains = doc.get("chains").and_then(Json::as_f64).map(|v| v as usize);
+        status.modeled_seconds = doc.get("modeled_seconds").and_then(Json::as_f64);
+        if let Some(err) = doc.get("error") {
+            status.error = Some(ApiError::from_json(err).map_err(bad)?);
+        }
+        Ok(status)
+    }
+
+    /// Parse a response body.
+    pub fn parse(text: &str) -> Result<JobStatus, ApiError> {
+        let doc = json::parse(text).map_err(|e| bad(format!("status body: {e:?}")))?;
+        JobStatus::from_json(&doc)
+    }
+}
+
+/// `POST /v1/solve` → `202 Accepted` with this body.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct SolveResponse {
+    /// Always [`API_VERSION`] on serialized documents.
+    pub api_version: String,
+    /// The minted job id.
+    pub job_id: String,
+    /// Relative URL to poll for status/result.
+    pub status_url: String,
+    /// State at admission (always [`JobState::Queued`] today).
+    pub state: JobState,
+}
+
+impl SolveResponse {
+    /// The admission response for a freshly queued job.
+    pub fn queued(job_id: impl Into<String>) -> SolveResponse {
+        let job_id = job_id.into();
+        SolveResponse {
+            api_version: API_VERSION.to_string(),
+            status_url: format!("/v1/jobs/{job_id}"),
+            job_id,
+            state: JobState::Queued,
+        }
+    }
+
+    /// Override the admission state.
+    pub fn with_state(mut self, state: JobState) -> SolveResponse {
+        self.state = state;
+        self
+    }
+
+    /// Serialize as a `v1` JSON document.
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::obj();
+        obj.set("api_version", Json::from(self.api_version.as_str()));
+        obj.set("job_id", Json::from(self.job_id.as_str()));
+        obj.set("status_url", Json::from(self.status_url.as_str()));
+        obj.set("state", Json::from(self.state.as_str()));
+        obj
+    }
+
+    /// Parse a `v1` document (unknown members ignored).
+    pub fn from_json(doc: &Json) -> Result<SolveResponse, ApiError> {
+        check_version(doc).map_err(bad)?;
+        let job_id = doc
+            .get("job_id")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("missing \"job_id\""))?;
+        let state = doc
+            .get("state")
+            .and_then(Json::as_str)
+            .and_then(JobState::parse)
+            .ok_or_else(|| bad("missing or unknown \"state\""))?;
+        let mut resp = SolveResponse::queued(job_id).with_state(state);
+        if let Some(url) = doc.get("status_url").and_then(Json::as_str) {
+            resp.status_url = url.to_string();
+        }
+        Ok(resp)
+    }
+
+    /// Parse a response body.
+    pub fn parse(text: &str) -> Result<SolveResponse, ApiError> {
+        let doc = json::parse(text).map_err(|e| bad(format!("response body: {e:?}")))?;
+        SolveResponse::from_json(&doc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_payload_arity_is_enforced() {
+        assert_eq!(
+            SolveRequest::default().validate().unwrap_err().code,
+            ErrorCode::BadRequest
+        );
+        let both = SolveRequest {
+            tsplib: Some("x".into()),
+            coords: Some(vec![(0.0, 0.0)]),
+            ..SolveRequest::default()
+        };
+        assert_eq!(both.validate().unwrap_err().code, ErrorCode::BadRequest);
+        assert!(SolveRequest::coords("t", vec![(0.0, 0.0); 3])
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn coords_payload_builds_a_euclidean_instance() {
+        let req = SolveRequest::coords("tri", vec![(0.0, 0.0), (3.0, 0.0), (0.0, 4.0)]);
+        let inst = req.instance().unwrap();
+        assert_eq!(inst.len(), 3);
+        assert_eq!(inst.metric(), Metric::Euc2d);
+        assert_eq!(inst.name(), "tri");
+    }
+
+    #[test]
+    fn unknown_members_are_ignored_and_versions_are_checked() {
+        let req =
+            SolveRequest::parse(r#"{"coords":[[0,0],[1,0],[0,1]],"future_field":42,"seed":7}"#)
+                .unwrap();
+        assert_eq!(req.seed, 7);
+        assert_eq!(req.coords.as_ref().unwrap().len(), 3);
+
+        let err = SolveRequest::parse(r#"{"api_version":"v9","coords":[[0,0]]}"#).unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest);
+        assert!(err.message.contains("v9"), "{}", err.message);
+    }
+
+    #[test]
+    fn error_codes_map_to_the_documented_statuses() {
+        for (code, status) in [
+            (ErrorCode::BadRequest, 400),
+            (ErrorCode::NotFound, 404),
+            (ErrorCode::QuotaExceeded, 429),
+            (ErrorCode::QueueFull, 503),
+            (ErrorCode::DeadlineExceeded, 503),
+            (ErrorCode::Unsupported, 400),
+            (ErrorCode::Internal, 500),
+        ] {
+            assert_eq!(code.http_status(), status);
+            assert_eq!(ErrorCode::parse(code.as_str()), Some(code));
+        }
+    }
+
+    #[test]
+    fn from_request_is_deterministic_for_the_same_request() {
+        let req = SolveRequest::coords("c", vec![(0.0, 0.0), (1.0, 0.0), (0.0, 1.0), (1.0, 1.0)])
+            .with_ils_iterations(3)
+            .with_seed(11);
+        let inst = req.instance().unwrap();
+        let a = SolverBuilder::from_request(&req)
+            .unwrap()
+            .build()
+            .run(&inst)
+            .unwrap();
+        let b = SolverBuilder::from_request(&req)
+            .unwrap()
+            .build()
+            .run(&inst)
+            .unwrap();
+        assert_eq!(a.length, b.length);
+        assert_eq!(a.tour.as_slice(), b.tour.as_slice());
+    }
+}

@@ -1,0 +1,54 @@
+//! # tsp-serve
+//!
+//! The serving layer: a long-running, multi-tenant solve service over
+//! the simulated-GPU stack, answering the road-map's "heavy traffic"
+//! arc. Three pieces:
+//!
+//! * [`api`] — the versioned `v1` wire types ([`SolveRequest`],
+//!   [`SolveResponse`], [`JobStatus`], [`ApiError`]) with hand-rolled
+//!   JSON and a documented compatibility rule, plus [`FromRequest`]:
+//!   the one request→[`SolverBuilder`] mapping shared by the service,
+//!   the CLI and the benches.
+//! * [`pool`] — the slot pool: one pre-installed device arena per
+//!   pooled device and a free-index allocator leasing `(device,
+//!   stream)` lanes, so steady-state traffic causes **zero** device
+//!   allocations on the `tsp-prof` ledger.
+//! * [`admission`] / [`service`] / [`server`] — bounded admission
+//!   with per-tenant quotas and deadlines (typed 429/503 + `Retry-After`;
+//!   rejected work never touches a lane), worker-per-lane execution
+//!   through [`Solver::run_on`], and the HTTP front on the shared
+//!   [`tsp_telemetry::http`] core:
+//!   `POST /v1/solve`, `GET /v1/jobs/{id}`, `DELETE /v1/jobs/{id}`,
+//!   plus `/metrics` and `/healthz` on the same port.
+//!
+//! ```no_run
+//! use tsp_serve::{ServeServer, ServiceConfig, SolveService, SolveRequest};
+//! use tsp_prof::Profiler;
+//! use tsp_telemetry::Telemetry;
+//!
+//! let service = SolveService::start(
+//!     ServiceConfig::default(),
+//!     Telemetry::attached(),
+//!     Profiler::attached(),
+//! )
+//! .unwrap();
+//! let server = ServeServer::spawn("127.0.0.1:0", service).unwrap();
+//! println!("serving on http://{}", server.addr());
+//! ```
+//!
+//! [`SolverBuilder`]: tsp::SolverBuilder
+//! [`Solver::run_on`]: tsp::Solver::run_on
+
+pub mod admission;
+pub mod api;
+pub mod pool;
+pub mod server;
+pub mod service;
+
+pub use admission::{AdmissionQueue, Ticket};
+pub use api::{
+    ApiError, ErrorCode, FromRequest, JobState, JobStatus, SolveRequest, SolveResponse, API_VERSION,
+};
+pub use pool::{SlotIndexAllocator, SlotLease, SlotPool};
+pub use server::{error_response, router, ServeServer};
+pub use service::{ServiceConfig, SolveService};

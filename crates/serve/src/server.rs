@@ -1,0 +1,93 @@
+//! HTTP front of the service: the `v1` routes on the shared
+//! [`tsp_telemetry::http`] core, plus the scrape endpoints
+//! (`/metrics`, `/healthz`) on the same port.
+
+use crate::api::{ApiError, SolveRequest};
+use crate::service::SolveService;
+use std::io;
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::sync::Arc;
+use tsp_telemetry::http::{HttpServer, Response, Router};
+use tsp_telemetry::prometheus::CONTENT_TYPE;
+
+/// Render a typed error as its documented status, mirroring the
+/// back-off hint into `Retry-After` (whole seconds, rounded up) on
+/// the retryable 429/503 rejections.
+pub fn error_response(err: &ApiError) -> Response {
+    let mut response = Response::json(err.code.http_status(), err.to_json().to_string());
+    if let Some(ms) = err.retry_after_ms {
+        response = response.with_header("Retry-After", ms.div_ceil(1000).max(1).to_string());
+    }
+    response
+}
+
+/// The full routing table: the `v1` solve API plus the scrape
+/// endpoints every embedded server in this workspace exposes.
+pub fn router(service: Arc<SolveService>) -> Router {
+    let telemetry = service.telemetry().clone();
+    let submit = service.clone();
+    let status = service.clone();
+    let cancel = service;
+    Router::new()
+        .route("POST", "/v1/solve", move |req, _| {
+            let body = String::from_utf8_lossy(&req.body);
+            match SolveRequest::parse(&body).and_then(|r| submit.submit(r)) {
+                Ok(resp) => Response::json(202, resp.to_json().to_string()),
+                Err(err) => error_response(&err),
+            }
+        })
+        .route("GET", "/v1/jobs/{id}", move |_, params| {
+            let id = params.get("id").unwrap_or_default();
+            match status.status(id) {
+                Ok(job) => Response::json(200, job.to_json().to_string()),
+                Err(err) => error_response(&err),
+            }
+        })
+        .route("DELETE", "/v1/jobs/{id}", move |_, params| {
+            let id = params.get("id").unwrap_or_default();
+            match cancel.cancel(id) {
+                Ok(job) => Response::json(200, job.to_json().to_string()),
+                Err(err) => error_response(&err),
+            }
+        })
+        .route("GET", "/metrics", move |_, _| {
+            Response::new(200, CONTENT_TYPE, telemetry.expose())
+        })
+        .route("GET", "/healthz", |_, _| Response::text(200, "ok\n"))
+}
+
+/// The served solve API: [`SolveService`] behind an [`HttpServer`].
+#[derive(Debug)]
+pub struct ServeServer {
+    http: HttpServer,
+    service: Arc<SolveService>,
+}
+
+impl ServeServer {
+    /// Bind `addr` (use port 0 for an ephemeral port) and serve.
+    pub fn spawn(addr: impl ToSocketAddrs, service: SolveService) -> io::Result<ServeServer> {
+        let service = Arc::new(service);
+        let http = HttpServer::spawn(addr, "tsp-serve", Arc::new(router(service.clone())))?;
+        Ok(ServeServer { http, service })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.http.addr()
+    }
+
+    /// The service behind the routes (for in-process inspection).
+    pub fn service(&self) -> &Arc<SolveService> {
+        &self.service
+    }
+
+    /// Stop accepting connections, then shut the service down: drain
+    /// the queue, join the workers, and balance the ledger. Returns
+    /// the service (for post-mortem inspection) and the per-stream
+    /// modeled schedules collected at drain time.
+    pub fn shutdown(self) -> (Arc<SolveService>, Vec<gpu_sim::StreamReport>) {
+        self.http.shutdown();
+        let reports = self.service.shutdown();
+        (self.service, reports)
+    }
+}

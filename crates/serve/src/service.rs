@@ -1,0 +1,529 @@
+//! The solve service proper: jobs, workers, deadlines, artifacts.
+//!
+//! One worker thread per pool lane pops tickets off the
+//! [`AdmissionQueue`], re-checks cancellation/deadline **before**
+//! leasing a slot (a past-deadline job never touches a device lane),
+//! then drives [`tsp::Solver::run_on`] on the leased `(device, stream)`
+//! pair. Terminal states credit the tenant's quota back and, when an
+//! artifacts directory is configured, leave a `tsp-inspect`-readable
+//! manifest (`manifest.json` + `journal.jsonl` + `run.folded` +
+//! `memory.json`) keyed by the run's deterministic `run_id`.
+
+use crate::admission::{AdmissionQueue, Ticket};
+use crate::api::{
+    ApiError, ErrorCode, FromRequest, JobState, JobStatus, SolveRequest, SolveResponse,
+};
+use crate::pool::SlotPool;
+use gpu_sim::{DeviceSpec, SimError, StreamReport};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use tsp::{Solution, SolverBuilder, TelemetryOptions};
+use tsp_core::CancelToken;
+use tsp_prof::{Manifest, Profiler};
+use tsp_telemetry::{Histogram, Journal, JournalWriter, Telemetry, SECONDS_BUCKETS};
+
+/// Boot-time service configuration.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct ServiceConfig {
+    /// Device spec for every pooled device.
+    pub spec: DeviceSpec,
+    /// Simulated devices in the pool.
+    pub devices: usize,
+    /// Streams per device; `devices × streams` lanes = concurrent solves.
+    pub streams: usize,
+    /// Arena bytes budgeted per lane.
+    pub slot_bytes: u64,
+    /// Admission-queue capacity.
+    pub queue_capacity: usize,
+    /// Live (queued + running) jobs allowed per tenant.
+    pub per_tenant_quota: usize,
+    /// Largest instance accepted.
+    pub max_cities: usize,
+    /// Per-job artifact directory (`<dir>/<job_id>/manifest.json`…);
+    /// `None` keeps everything in memory.
+    pub artifacts_dir: Option<PathBuf>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            spec: gpu_sim::spec::gtx_680_cuda(),
+            devices: 2,
+            streams: 2,
+            slot_bytes: 32 << 20,
+            queue_capacity: 256,
+            per_tenant_quota: 16,
+            max_cities: 4096,
+            artifacts_dir: None,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Set the device spec used for every pooled device.
+    pub fn with_spec(mut self, spec: DeviceSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// Set the simulated device count.
+    pub fn with_devices(mut self, devices: usize) -> Self {
+        self.devices = devices;
+        self
+    }
+
+    /// Set the streams per device.
+    pub fn with_streams(mut self, streams: usize) -> Self {
+        self.streams = streams;
+        self
+    }
+
+    /// Set the arena bytes budgeted per lane.
+    pub fn with_slot_bytes(mut self, bytes: u64) -> Self {
+        self.slot_bytes = bytes;
+        self
+    }
+
+    /// Set the admission-queue capacity.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Set the per-tenant live-job quota.
+    pub fn with_per_tenant_quota(mut self, quota: usize) -> Self {
+        self.per_tenant_quota = quota;
+        self
+    }
+
+    /// Set the largest accepted instance size.
+    pub fn with_max_cities(mut self, max_cities: usize) -> Self {
+        self.max_cities = max_cities;
+        self
+    }
+
+    /// Write per-job artifacts (manifest, journal, flamegraph, ledger)
+    /// under `dir/<job_id>/`.
+    pub fn with_artifacts_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.artifacts_dir = Some(dir.into());
+        self
+    }
+}
+
+struct JobEntry {
+    status: JobStatus,
+    request: SolveRequest,
+    /// Base token; `DELETE` arms the shared flag, workers derive the
+    /// deadline-carrying copy from it.
+    cancel: CancelToken,
+    deadline: Option<Instant>,
+}
+
+struct Inner {
+    queue: AdmissionQueue,
+    slots: SlotPool,
+    jobs: Mutex<HashMap<String, JobEntry>>,
+    telemetry: Telemetry,
+    prof: Profiler,
+    latency: Option<Histogram>,
+    artifacts_dir: Option<PathBuf>,
+    max_cities: usize,
+}
+
+/// A running multi-tenant solve service. Submit with
+/// [`SolveService::submit`], poll with [`SolveService::status`],
+/// cancel with [`SolveService::cancel`]; mount it over HTTP with
+/// [`crate::server::ServeServer`].
+pub struct SolveService {
+    inner: Arc<Inner>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    seq: AtomicU64,
+    reports: Mutex<Vec<StreamReport>>,
+}
+
+impl std::fmt::Debug for SolveService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SolveService")
+            .field("lanes", &self.inner.slots.lanes())
+            .field("queue_depth", &self.inner.queue.depth())
+            .finish()
+    }
+}
+
+impl SolveService {
+    /// Boot the service: warm the slot pool (arena per device), then
+    /// start one worker per lane. `telemetry` receives the service
+    /// gauges/histograms and every job's solver metrics; `prof` owns
+    /// the device-memory ledger the arena guarantee is audited with.
+    pub fn start(
+        cfg: ServiceConfig,
+        telemetry: Telemetry,
+        prof: Profiler,
+    ) -> Result<SolveService, SimError> {
+        let slots = SlotPool::new(
+            cfg.spec.clone(),
+            cfg.devices,
+            cfg.streams,
+            cfg.slot_bytes,
+            &telemetry,
+            &prof,
+        )?;
+        let latency = telemetry.registry().map(|r| {
+            r.histogram(
+                "tsp_serve_solve_seconds",
+                "End-to-end solve latency (slot acquired to terminal state)",
+                SECONDS_BUCKETS,
+            )
+        });
+        let inner = Arc::new(Inner {
+            queue: AdmissionQueue::new(cfg.queue_capacity, cfg.per_tenant_quota, &telemetry),
+            slots,
+            jobs: Mutex::new(HashMap::new()),
+            telemetry,
+            prof,
+            latency,
+            artifacts_dir: cfg.artifacts_dir,
+            max_cities: cfg.max_cities,
+        });
+        let workers = (0..inner.slots.lanes())
+            .map(|lane| {
+                let inner = inner.clone();
+                std::thread::Builder::new()
+                    .name(format!("tsp-serve-worker-{lane}"))
+                    .spawn(move || worker(&inner))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Ok(SolveService {
+            inner,
+            workers: Mutex::new(workers),
+            seq: AtomicU64::new(0),
+            reports: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Validate and admit a request. Typed rejections: 400 on a bad
+    /// payload, 400 on an oversized instance, 503 on an already-past
+    /// deadline, 429/503 from admission — none of which ever reach a
+    /// device lane.
+    pub fn submit(&self, request: SolveRequest) -> Result<SolveResponse, ApiError> {
+        let inst = request.instance()?;
+        if inst.len() > self.inner.max_cities {
+            return Err(ApiError::new(
+                ErrorCode::Unsupported,
+                format!(
+                    "instance has {} cities; this service accepts at most {}",
+                    inst.len(),
+                    self.inner.max_cities
+                ),
+            ));
+        }
+        // A deadline of zero is already past: reject it here, before
+        // admission, so it provably never occupies a queue slot or lane.
+        if request.deadline_ms == Some(0) {
+            return Err(ApiError::new(
+                ErrorCode::DeadlineExceeded,
+                "the deadline expired before the job could be admitted",
+            ));
+        }
+        let job_id = format!("job-{:08x}", self.seq.fetch_add(1, Ordering::Relaxed));
+        let ticket = Ticket {
+            job_id: job_id.clone(),
+            tenant: request.tenant.clone(),
+        };
+        let deadline = request
+            .deadline_ms
+            .map(|ms| Instant::now() + Duration::from_millis(ms));
+        let entry = JobEntry {
+            status: JobStatus::queued(&job_id, &request.tenant),
+            request,
+            cancel: CancelToken::new(),
+            deadline,
+        };
+        // Insert before admitting so a worker popping the ticket
+        // always finds the entry; remove again if admission refuses.
+        self.inner
+            .jobs
+            .lock()
+            .unwrap()
+            .insert(job_id.clone(), entry);
+        if let Err(err) = self.inner.queue.submit(ticket) {
+            self.inner.jobs.lock().unwrap().remove(&job_id);
+            return Err(err);
+        }
+        Ok(SolveResponse::queued(job_id))
+    }
+
+    /// Current status of a job.
+    pub fn status(&self, job_id: &str) -> Result<JobStatus, ApiError> {
+        self.inner
+            .jobs
+            .lock()
+            .unwrap()
+            .get(job_id)
+            .map(|e| e.status.clone())
+            .ok_or_else(|| ApiError::new(ErrorCode::NotFound, format!("no job {job_id:?}")))
+    }
+
+    /// Request cancellation. A queued job turns terminal immediately;
+    /// a running job's solver observes the token at its next ILS
+    /// iteration and lands in [`JobState::Cancelled`]. Idempotent on
+    /// terminal jobs.
+    pub fn cancel(&self, job_id: &str) -> Result<JobStatus, ApiError> {
+        let mut jobs = self.inner.jobs.lock().unwrap();
+        let entry = jobs
+            .get_mut(job_id)
+            .ok_or_else(|| ApiError::new(ErrorCode::NotFound, format!("no job {job_id:?}")))?;
+        if !entry.status.state.is_terminal() {
+            entry.cancel.cancel();
+            if entry.status.state == JobState::Queued {
+                // The worker that later pops the ticket sees the
+                // terminal state and only credits the quota back.
+                entry.status.state = JobState::Cancelled;
+            }
+        }
+        Ok(entry.status.clone())
+    }
+
+    /// The telemetry handle the service publishes into.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.inner.telemetry
+    }
+
+    /// The profiler owning the device-memory ledger.
+    pub fn profiler(&self) -> &Profiler {
+        &self.inner.prof
+    }
+
+    /// Live slot-pool occupancy.
+    pub fn occupancy(&self) -> usize {
+        self.inner.slots.occupancy()
+    }
+
+    /// Admission-queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.inner.queue.depth()
+    }
+
+    /// Drain the queue, join the workers, collect the per-stream
+    /// modeled schedules, and tear the arenas down (balancing the
+    /// ledger). Idempotent; also runs on drop.
+    pub fn shutdown(&self) -> Vec<StreamReport> {
+        self.inner.queue.close();
+        for worker in self.workers.lock().unwrap().drain(..) {
+            let _ = worker.join();
+        }
+        let mut reports = self.reports.lock().unwrap();
+        if reports.is_empty() {
+            *reports = self.inner.slots.synchronize();
+            self.inner.slots.release_arenas();
+        }
+        reports.clone()
+    }
+}
+
+impl Drop for SolveService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker(inner: &Inner) {
+    while let Some(ticket) = inner.queue.pop() {
+        run_ticket(inner, &ticket);
+        inner.queue.finish(&ticket.tenant);
+    }
+}
+
+fn run_ticket(inner: &Inner, ticket: &Ticket) {
+    let Some((request, base_token, deadline)) = ({
+        let jobs = inner.jobs.lock().unwrap();
+        jobs.get(&ticket.job_id).and_then(|entry| {
+            if entry.status.state.is_terminal() {
+                None // cancelled while queued; quota credit only
+            } else {
+                Some((entry.request.clone(), entry.cancel.clone(), entry.deadline))
+            }
+        })
+    }) else {
+        return;
+    };
+    let token = match deadline {
+        Some(deadline) => base_token.clone().with_deadline(deadline),
+        None => base_token.clone(),
+    };
+    // Deadline/cancel re-check BEFORE leasing a slot: an expired job
+    // must never reach a device lane.
+    if token.is_cancelled() {
+        finish_job(
+            inner,
+            ticket,
+            expired_or_cancelled(&base_token),
+            None,
+            None,
+            None,
+        );
+        return;
+    }
+
+    let lease = inner.slots.acquire();
+    set_state(inner, &ticket.job_id, JobState::Running);
+    let journal = Journal::attached();
+    let job_prof = Profiler::attached();
+    let started = Instant::now();
+    let outcome = solve(inner, &request, &journal, &job_prof, &token, &lease);
+    if let Some(latency) = &inner.latency {
+        latency.observe(started.elapsed().as_secs_f64());
+    }
+    drop(lease);
+
+    match outcome {
+        Ok(solution) => {
+            let state = if token.is_cancelled() {
+                expired_or_cancelled(&base_token)
+            } else {
+                (JobState::Done, None)
+            };
+            finish_job(
+                inner,
+                ticket,
+                state,
+                Some(&solution),
+                Some(&journal),
+                Some(&job_prof),
+            );
+        }
+        Err(err) => {
+            finish_job(
+                inner,
+                ticket,
+                (JobState::Failed, Some(err)),
+                None,
+                Some(&journal),
+                Some(&job_prof),
+            );
+        }
+    }
+}
+
+fn solve(
+    inner: &Inner,
+    request: &SolveRequest,
+    journal: &Journal,
+    job_prof: &Profiler,
+    token: &CancelToken,
+    lease: &crate::pool::SlotLease<'_>,
+) -> Result<Solution, ApiError> {
+    let inst = request.instance()?;
+    let solver = SolverBuilder::from_request(request)?
+        .telemetry(
+            TelemetryOptions::new()
+                .with_registry(inner.telemetry.clone())
+                .with_journal(journal.clone()),
+        )
+        .profiler(job_prof.clone())
+        .cancel(token.clone())
+        .build();
+    solver
+        .run_on(&inst, lease.device(), lease.stream())
+        .map_err(|e| ApiError::new(ErrorCode::Internal, e.to_string()))
+}
+
+/// A tripped token means either an explicit `DELETE` (the shared flag
+/// is armed) or a passed deadline (it is not).
+fn expired_or_cancelled(base_token: &CancelToken) -> (JobState, Option<ApiError>) {
+    if base_token.is_cancelled() {
+        (JobState::Cancelled, None)
+    } else {
+        (
+            JobState::Expired,
+            Some(ApiError::new(
+                ErrorCode::DeadlineExceeded,
+                "the deadline passed before the solve completed",
+            )),
+        )
+    }
+}
+
+fn set_state(inner: &Inner, job_id: &str, state: JobState) {
+    if let Some(entry) = inner.jobs.lock().unwrap().get_mut(job_id) {
+        entry.status.state = state;
+    }
+}
+
+fn finish_job(
+    inner: &Inner,
+    ticket: &Ticket,
+    (state, error): (JobState, Option<ApiError>),
+    solution: Option<&Solution>,
+    journal: Option<&Journal>,
+    job_prof: Option<&Profiler>,
+) {
+    let run_id = solution.map(|s| s.run_id.clone());
+    {
+        let mut jobs = inner.jobs.lock().unwrap();
+        if let Some(entry) = jobs.get_mut(&ticket.job_id) {
+            entry.status.state = state;
+            entry.status.error = error;
+            if let Some(solution) = solution {
+                entry.status.run_id = Some(solution.run_id.clone());
+                entry.status.tour = Some(solution.tour.as_slice().to_vec());
+                entry.status.length = Some(solution.length);
+                entry.status.initial_length = Some(solution.initial_length);
+                entry.status.chains = Some(solution.chains);
+                entry.status.modeled_seconds = Some(solution.modeled_seconds());
+            }
+        }
+    }
+    if let (Some(dir), Some(journal), Some(job_prof)) = (&inner.artifacts_dir, journal, job_prof) {
+        write_artifacts(
+            inner,
+            dir,
+            &ticket.job_id,
+            run_id.as_deref(),
+            journal,
+            job_prof,
+        );
+    }
+}
+
+/// Leave a `tsp-inspect`-compatible artifact set for the job. Uses
+/// the flush-on-drop [`JournalWriter`] so even an interrupted process
+/// never leaves a truncated JSONL line behind.
+fn write_artifacts(
+    inner: &Inner,
+    dir: &std::path::Path,
+    job_id: &str,
+    run_id: Option<&str>,
+    journal: &Journal,
+    job_prof: &Profiler,
+) {
+    let job_dir = dir.join(job_id);
+    if std::fs::create_dir_all(&job_dir).is_err() {
+        return;
+    }
+    if let Ok(mut writer) = JournalWriter::create(job_dir.join("journal.jsonl")) {
+        let _ = writer.append_all(journal);
+    }
+    let report = job_prof.report();
+    let folded = match report.flamegraph() {
+        f if f.is_empty() => report.flamegraph_wall(),
+        f => f,
+    };
+    let _ = std::fs::write(job_dir.join("run.folded"), folded);
+    let _ = std::fs::write(
+        job_dir.join("memory.json"),
+        inner.prof.memory_report().to_json_string(),
+    );
+    let mut manifest = Manifest::new(run_id.unwrap_or(job_id));
+    manifest
+        .push("journal", "journal.jsonl")
+        .push("flamegraph", "run.folded")
+        .push("memory", "memory.json");
+    let _ = std::fs::write(job_dir.join("manifest.json"), manifest.to_json_string());
+}

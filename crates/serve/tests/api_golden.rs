@@ -1,0 +1,130 @@
+//! Golden-file round-trips for every `v1` wire type.
+//!
+//! Each golden file under `tests/golden/` is the canonical serialized
+//! form of a representative value. The test asserts (a) serializing
+//! the value reproduces the file byte-for-byte, and (b) parsing the
+//! file reproduces the value — so any accidental wire change (rename,
+//! re-type, reorder) fails loudly. Regenerate intentionally with
+//! `REGEN_GOLDEN=1 cargo test -p tsp-serve --test api_golden`.
+
+use std::path::PathBuf;
+use tsp_serve::api::{ApiError, ErrorCode, JobState, JobStatus, SolveRequest, SolveResponse};
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check(name: &str, serialized: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("REGEN_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, serialized).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); regenerate with REGEN_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        serialized, golden,
+        "{name} drifted from its golden file; if intentional, REGEN_GOLDEN=1"
+    );
+}
+
+fn sample_tsplib_request() -> SolveRequest {
+    SolveRequest::tsplib(
+        "NAME: tri\nTYPE: TSP\nDIMENSION: 3\nEDGE_WEIGHT_TYPE: EUC_2D\nNODE_COORD_SECTION\n1 0 0\n2 3 0\n3 0 4\nEOF\n",
+    )
+    .with_tenant("dispatch")
+    .with_restarts(2)
+    .with_ils_iterations(5)
+    .with_seed(42)
+    .with_deadline_ms(30_000)
+}
+
+fn sample_coords_request() -> SolveRequest {
+    SolveRequest::coords(
+        "grid4",
+        vec![(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)],
+    )
+    .with_seed(7)
+}
+
+fn sample_response() -> SolveResponse {
+    SolveResponse::queued("job-0000002a")
+}
+
+fn sample_status() -> JobStatus {
+    let mut status = JobStatus::queued("job-0000002a", "dispatch").with_state(JobState::Done);
+    status.run_id = Some("a1b2c3d4e5f60718".to_string());
+    status.tour = Some(vec![0, 2, 1, 3]);
+    status.length = Some(1234);
+    status.initial_length = Some(2345);
+    status.chains = Some(2);
+    status.modeled_seconds = Some(0.0625);
+    status
+}
+
+fn sample_error() -> ApiError {
+    ApiError::new(
+        ErrorCode::QuotaExceeded,
+        "tenant \"dispatch\" has 16 live jobs (quota 16)",
+    )
+    .with_retry_after_ms(1500)
+}
+
+#[test]
+fn golden_solve_request_tsplib() {
+    let value = sample_tsplib_request();
+    let text = value.to_json().to_string();
+    check("solve_request_tsplib.json", &text);
+    assert_eq!(SolveRequest::parse(&text).unwrap(), value);
+}
+
+#[test]
+fn golden_solve_request_coords() {
+    let value = sample_coords_request();
+    let text = value.to_json().to_string();
+    check("solve_request_coords.json", &text);
+    assert_eq!(SolveRequest::parse(&text).unwrap(), value);
+}
+
+#[test]
+fn golden_solve_response() {
+    let value = sample_response();
+    let text = value.to_json().to_string();
+    check("solve_response.json", &text);
+    assert_eq!(SolveResponse::parse(&text).unwrap(), value);
+}
+
+#[test]
+fn golden_job_status_done() {
+    let value = sample_status();
+    let text = value.to_json().to_string();
+    check("job_status_done.json", &text);
+    assert_eq!(JobStatus::parse(&text).unwrap(), value);
+}
+
+#[test]
+fn golden_api_error_quota() {
+    let value = sample_error();
+    let text = value.to_json().to_string();
+    check("api_error_quota.json", &text);
+    let doc = tsp_trace::json::parse(&text).unwrap();
+    assert_eq!(ApiError::from_json(&doc).unwrap(), value);
+}
+
+#[test]
+fn v1_readers_tolerate_documents_from_the_future() {
+    // Adding members is the only permitted v1 evolution; a reader
+    // must take a superset document in stride.
+    let text = std::fs::read_to_string(golden_path("job_status_done.json")).unwrap();
+    let mut doc = tsp_trace::json::parse(&text).unwrap();
+    doc.set("added_in_v1_7", tsp_trace::json::Json::from(true));
+    let parsed = JobStatus::from_json(&doc).unwrap();
+    assert_eq!(parsed, sample_status());
+}

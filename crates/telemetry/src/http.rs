@@ -1,0 +1,628 @@
+//! A minimal shared HTTP/1.1 core for the embedded servers.
+//!
+//! The metrics endpoint and the solve service both speak just enough
+//! HTTP for a local scraper or `curl`: one request per connection,
+//! bounded reads, typed status/reason mapping, and a method+path
+//! routing table with single-segment `{param}` captures. This module
+//! factors that plumbing out of [`MetricsServer`] so both servers share
+//! one parser, one responder and one hardening story (400 on malformed
+//! or oversized input, 405 on a known path with the wrong method, 404
+//! otherwise).
+//!
+//! [`MetricsServer`]: crate::server::MetricsServer
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Hard cap on the request head; anything longer is answered with 400
+/// rather than buffered further.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Hard cap on a request body (a TSPLIB payload comfortably fits).
+pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// One parsed request: the line, lower-cased headers, and the body
+/// (read iff the head declared a `Content-Length`).
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Upper-case method verb exactly as sent (`GET`, `POST`, ...).
+    pub method: String,
+    /// Absolute request target (always starts with `/`).
+    pub path: String,
+    /// `(name, value)` pairs, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Request body bytes (empty without a `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header with the given (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read. Every variant is answered with a
+/// 400 — distinguishing them only changes the body text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestError {
+    /// The head or body exceeded its byte cap.
+    TooLarge(&'static str),
+    /// The request line/headers/body did not parse as HTTP.
+    Malformed(&'static str),
+}
+
+impl RequestError {
+    /// Human-readable body for the 400 response.
+    pub fn message(&self) -> &'static str {
+        match self {
+            RequestError::TooLarge(m) | RequestError::Malformed(m) => m,
+        }
+    }
+}
+
+/// Read one request off `stream` with bounded head and body sizes.
+///
+/// The request line must be `METHOD SP /path SP HTTP/x.y` with nothing
+/// extra; garbage bytes, truncated lines and non-HTTP preambles are
+/// [`RequestError::Malformed`]. A body is read only when the head
+/// carries `Content-Length`, and only up to `max_body` bytes.
+pub fn read_request(
+    stream: &mut impl Read,
+    max_head: usize,
+    max_body: usize,
+) -> Result<Request, RequestError> {
+    let mut buf = [0u8; 4096];
+    let mut bytes = Vec::new();
+    let mut head_end = None;
+    loop {
+        if let Some(pos) = bytes.windows(4).position(|w| w == b"\r\n\r\n") {
+            head_end = Some(pos);
+            break;
+        }
+        if bytes.len() > max_head {
+            return Err(RequestError::TooLarge("request head too large\n"));
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => bytes.extend_from_slice(&buf[..n]),
+            Err(_) => break,
+        }
+    }
+    let Some(head_end) = head_end else {
+        return Err(RequestError::Malformed("malformed request line\n"));
+    };
+    let head = String::from_utf8_lossy(&bytes[..head_end]).into_owned();
+    let mut lines = head.lines();
+    let mut parts = lines.next().unwrap_or_default().split_whitespace();
+    let (method, path, version) = (parts.next(), parts.next(), parts.next());
+    let (Some(method), Some(path), Some(version)) = (method, path, version) else {
+        return Err(RequestError::Malformed("malformed request line\n"));
+    };
+    if !version.starts_with("HTTP/") || !path.starts_with('/') || parts.next().is_some() {
+        return Err(RequestError::Malformed("malformed request line\n"));
+    }
+    let headers: Vec<(String, String)> = lines
+        .filter_map(|line| {
+            let (name, value) = line.split_once(':')?;
+            Some((name.trim().to_ascii_lowercase(), value.trim().to_string()))
+        })
+        .collect();
+
+    let mut body: Vec<u8> = bytes[head_end + 4..].to_vec();
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| v.parse::<usize>());
+    match content_length {
+        None => body.clear(),
+        Some(Err(_)) => return Err(RequestError::Malformed("invalid Content-Length\n")),
+        Some(Ok(len)) => {
+            if len > max_body {
+                return Err(RequestError::TooLarge("request body too large\n"));
+            }
+            while body.len() < len {
+                match stream.read(&mut buf) {
+                    Ok(0) => break,
+                    Ok(n) => body.extend_from_slice(&buf[..n]),
+                    Err(_) => break,
+                }
+            }
+            if body.len() < len {
+                return Err(RequestError::Malformed("truncated request body\n"));
+            }
+            body.truncate(len);
+        }
+    }
+    Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        body,
+    })
+}
+
+/// The canonical reason phrase for a status code.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        204 => "No Content",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// One response: status, content type, body, extra headers.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code (reason phrase derived via [`reason`]).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: String,
+    /// Response body.
+    pub body: String,
+    /// Extra headers appended verbatim (e.g. `Retry-After`).
+    pub headers: Vec<(String, String)>,
+}
+
+impl Response {
+    /// A response with an explicit content type.
+    pub fn new(status: u16, content_type: &str, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: content_type.to_string(),
+            body: body.into(),
+            headers: Vec::new(),
+        }
+    }
+
+    /// A `text/plain` response.
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response::new(status, "text/plain; charset=utf-8", body)
+    }
+
+    /// An `application/json` response.
+    pub fn json(status: u16, body: impl Into<String>) -> Response {
+        Response::new(status, "application/json", body)
+    }
+
+    /// Append an extra header.
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Response {
+        self.headers.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// Serialize the response (status line, headers, body).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len(),
+        );
+        for (name, value) in &self.headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str("\r\n");
+        let mut bytes = head.into_bytes();
+        bytes.extend_from_slice(self.body.as_bytes());
+        bytes
+    }
+
+    /// Write the response to `stream`. A peer that hung up mid-response
+    /// is its own problem.
+    pub fn write(&self, stream: &mut impl Write) {
+        let _ = stream.write_all(&self.to_bytes());
+    }
+}
+
+/// One segment of a route pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Segment {
+    Literal(String),
+    Param(String),
+}
+
+/// Path parameters captured by `{param}` segments.
+#[derive(Debug, Clone, Default)]
+pub struct Params(Vec<(String, String)>);
+
+impl Params {
+    /// The captured value of `{name}`, if the matched route had one.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+type Handler = Box<dyn Fn(&Request, &Params) -> Response + Send + Sync>;
+
+struct Route {
+    method: String,
+    segments: Vec<Segment>,
+    handler: Handler,
+}
+
+/// A method+path routing table. Patterns are `/`-separated literals
+/// with optional `{param}` captures (`/v1/jobs/{id}`); dispatch picks
+/// the first route whose method and pattern both match, answers 405
+/// when only the method differs, and 404 otherwise.
+#[derive(Default)]
+pub struct Router {
+    routes: Vec<Route>,
+}
+
+impl std::fmt::Debug for Router {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let table: Vec<String> = self
+            .routes
+            .iter()
+            .map(|r| format!("{} {}", r.method, render_pattern(&r.segments)))
+            .collect();
+        f.debug_struct("Router").field("routes", &table).finish()
+    }
+}
+
+fn render_pattern(segments: &[Segment]) -> String {
+    let mut s = String::new();
+    for seg in segments {
+        s.push('/');
+        match seg {
+            Segment::Literal(l) => s.push_str(l),
+            Segment::Param(p) => {
+                s.push('{');
+                s.push_str(p);
+                s.push('}');
+            }
+        }
+    }
+    if s.is_empty() {
+        s.push('/');
+    }
+    s
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Segment> {
+    pattern
+        .split('/')
+        .filter(|s| !s.is_empty())
+        .map(
+            |s| match s.strip_prefix('{').and_then(|s| s.strip_suffix('}')) {
+                Some(name) => Segment::Param(name.to_string()),
+                None => Segment::Literal(s.to_string()),
+            },
+        )
+        .collect()
+}
+
+fn match_segments(segments: &[Segment], path: &str) -> Option<Params> {
+    let parts: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    if parts.len() != segments.len() {
+        return None;
+    }
+    let mut params = Vec::new();
+    for (seg, part) in segments.iter().zip(&parts) {
+        match seg {
+            Segment::Literal(l) if l == part => {}
+            Segment::Literal(_) => return None,
+            Segment::Param(name) => params.push((name.clone(), (*part).to_string())),
+        }
+    }
+    Some(Params(params))
+}
+
+impl Router {
+    /// An empty table.
+    pub fn new() -> Router {
+        Router::default()
+    }
+
+    /// Register `handler` for `method pattern` (builder style).
+    pub fn route(
+        mut self,
+        method: &str,
+        pattern: &str,
+        handler: impl Fn(&Request, &Params) -> Response + Send + Sync + 'static,
+    ) -> Router {
+        self.routes.push(Route {
+            method: method.to_ascii_uppercase(),
+            segments: parse_pattern(pattern),
+            handler: Box::new(handler),
+        });
+        self
+    }
+
+    /// Resolve `req` against the table.
+    pub fn dispatch(&self, req: &Request) -> Response {
+        let mut path_known = false;
+        for route in &self.routes {
+            if let Some(params) = match_segments(&route.segments, &req.path) {
+                if route.method == req.method {
+                    return (route.handler)(req, &params);
+                }
+                path_known = true;
+            }
+        }
+        if path_known {
+            Response::text(405, "method not allowed\n")
+        } else {
+            Response::text(404, "not found\n")
+        }
+    }
+}
+
+/// A bounded-concurrency embedded HTTP server: one accept loop, one
+/// short-lived thread per connection, one request per connection.
+/// Shuts down (and joins the accept loop) on drop.
+#[derive(Debug)]
+pub struct HttpServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// serve `router` from a background thread named `name`.
+    pub fn spawn(
+        addr: impl ToSocketAddrs,
+        name: &str,
+        router: Arc<Router>,
+    ) -> io::Result<HttpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = shutdown.clone();
+        let handle = std::thread::Builder::new()
+            .name(name.to_string())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if flag.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    if let Ok(stream) = conn {
+                        let router = router.clone();
+                        // Connection threads are short-lived (one
+                        // request each); a spawn failure just drops the
+                        // connection.
+                        let _ = std::thread::Builder::new()
+                            .name("tsp-http-conn".into())
+                            .spawn(move || handle_connection(stream, &router));
+                    }
+                }
+            })?;
+        Ok(HttpServer {
+            addr,
+            shutdown,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (port resolved when spawned with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the accept loop and join its thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            self.shutdown.store(true, Ordering::SeqCst);
+            // Unblock the accept() so the loop observes the flag.
+            let _ = TcpStream::connect(self.addr);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, router: &Router) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(2000)));
+    let response = match read_request(&mut stream, MAX_HEAD_BYTES, MAX_BODY_BYTES) {
+        Ok(req) => router.dispatch(&req),
+        Err(e) => Response::text(400, e.message()),
+    };
+    response.write(&mut stream);
+}
+
+/// Blocking one-shot HTTP request against a local server; returns
+/// `(status code, response head, body)`. Used by the smoke examples
+/// and tests to exercise the servers without an external client.
+pub fn http_request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    content_type: &str,
+    body: &str,
+) -> io::Result<(u16, String, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let head = if body.is_empty() {
+        format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")
+    } else {
+        format!(
+            "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            body.len()
+        )
+    };
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no header/body split"))?;
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no status code"))?;
+    Ok((status, head.to_string(), body.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn read(bytes: &[u8]) -> Result<Request, RequestError> {
+        read_request(&mut Cursor::new(bytes), MAX_HEAD_BYTES, 1024)
+    }
+
+    #[test]
+    fn parses_a_get_without_a_body() {
+        let req = read(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/metrics");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("HOST"), Some("x"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_a_post_with_a_content_length_body() {
+        let req = read(b"POST /v1/solve HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello").unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn malformed_request_lines_are_rejected() {
+        for case in [
+            &b"\x16\x03\x01garbage\r\n\r\n"[..],
+            b"GET\r\n\r\n",
+            b"GET /metrics\r\n\r\n",
+            b"HELO tsp\r\n\r\n",
+            b"GET metrics HTTP/1.1\r\n\r\n",
+            b"GET /metrics HTTP/1.1 extra\r\n\r\n",
+            b"no head terminator at all",
+        ] {
+            assert!(
+                matches!(read(case), Err(RequestError::Malformed(_))),
+                "case {:?}",
+                String::from_utf8_lossy(case)
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_reads_reject_oversized_input() {
+        let mut huge = b"GET /".to_vec();
+        huge.extend(std::iter::repeat_n(b'a', MAX_HEAD_BYTES + 4096));
+        assert!(matches!(read(&huge), Err(RequestError::TooLarge(_))));
+
+        let body_too_big = b"POST /x HTTP/1.1\r\nContent-Length: 4096\r\n\r\n";
+        assert!(matches!(read(body_too_big), Err(RequestError::TooLarge(_))));
+
+        let truncated = b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc";
+        assert!(matches!(read(truncated), Err(RequestError::Malformed(_))));
+    }
+
+    fn req(method: &str, path: &str) -> Request {
+        Request {
+            method: method.into(),
+            path: path.into(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    fn table() -> Router {
+        Router::new()
+            .route("GET", "/metrics", |_, _| Response::text(200, "m"))
+            .route("POST", "/v1/solve", |_, _| Response::json(202, "{}"))
+            .route("GET", "/v1/jobs/{id}", |_, p| {
+                Response::text(200, p.get("id").unwrap_or("?"))
+            })
+            .route("DELETE", "/v1/jobs/{id}", |_, _| Response::text(200, "del"))
+    }
+
+    #[test]
+    fn routing_matches_methods_paths_and_params() {
+        let router = table();
+        assert_eq!(router.dispatch(&req("GET", "/metrics")).status, 200);
+        assert_eq!(router.dispatch(&req("POST", "/v1/solve")).status, 202);
+        let got = router.dispatch(&req("GET", "/v1/jobs/job-7"));
+        assert_eq!((got.status, got.body.as_str()), (200, "job-7"));
+        assert_eq!(
+            router.dispatch(&req("DELETE", "/v1/jobs/job-7")).status,
+            200
+        );
+    }
+
+    #[test]
+    fn known_path_wrong_method_is_405_unknown_path_is_404() {
+        let router = table();
+        // Wrong verb on a known pattern: 405, matching the metrics
+        // server's historical behavior.
+        assert_eq!(router.dispatch(&req("POST", "/metrics")).status, 405);
+        assert_eq!(router.dispatch(&req("PUT", "/v1/jobs/j1")).status, 405);
+        // Unknown paths: 404, whatever the verb.
+        assert_eq!(router.dispatch(&req("GET", "/nope")).status, 404);
+        assert_eq!(router.dispatch(&req("POST", "/nope")).status, 404);
+        // Param segments don't match across depths.
+        assert_eq!(router.dispatch(&req("GET", "/v1/jobs/a/b")).status, 404);
+        assert_eq!(router.dispatch(&req("GET", "/v1/jobs")).status, 404);
+    }
+
+    #[test]
+    fn reason_phrases_cover_the_service_codes() {
+        for (status, phrase) in [
+            (200, "OK"),
+            (202, "Accepted"),
+            (400, "Bad Request"),
+            (404, "Not Found"),
+            (405, "Method Not Allowed"),
+            (429, "Too Many Requests"),
+            (500, "Internal Server Error"),
+            (503, "Service Unavailable"),
+        ] {
+            assert_eq!(reason(status), phrase);
+        }
+        assert_eq!(reason(299), "Unknown");
+    }
+
+    #[test]
+    fn responses_serialize_with_extra_headers() {
+        let bytes = Response::json(429, "{\"code\":\"quota_exceeded\"}")
+            .with_header("Retry-After", "2")
+            .to_bytes();
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"),
+            "{text}"
+        );
+        assert!(text.contains("Retry-After: 2\r\n"), "{text}");
+        assert!(
+            text.contains("Content-Type: application/json\r\n"),
+            "{text}"
+        );
+        assert!(text.ends_with("{\"code\":\"quota_exceeded\"}"), "{text}");
+    }
+}

@@ -240,6 +240,78 @@ impl Journal {
     }
 }
 
+/// A line-atomic streaming JSONL writer for journal records.
+///
+/// Each [`JournalWriter::append`] serializes the record to one
+/// complete line and hands it to the sink in a single `write_all` —
+/// a record is either fully on disk or not at all. The sink is
+/// flushed after every line *and* on drop, so a job killed
+/// cooperatively mid-solve (cancellation, deadline) can never leave
+/// a truncated trailing line behind: whatever made it into the file
+/// always parses with [`parse_jsonl`].
+pub struct JournalWriter {
+    sink: Box<dyn std::io::Write + Send>,
+    lines: u64,
+}
+
+impl std::fmt::Debug for JournalWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JournalWriter")
+            .field("lines", &self.lines)
+            .finish()
+    }
+}
+
+impl JournalWriter {
+    /// Create (truncating) `path` and stream records into it.
+    pub fn create(path: impl AsRef<std::path::Path>) -> std::io::Result<JournalWriter> {
+        Ok(Self::from_writer(std::fs::File::create(path)?))
+    }
+
+    /// Stream records into an arbitrary sink.
+    pub fn from_writer(sink: impl std::io::Write + Send + 'static) -> JournalWriter {
+        JournalWriter {
+            sink: Box::new(sink),
+            lines: 0,
+        }
+    }
+
+    /// Append one record as a complete, flushed JSONL line.
+    pub fn append(&mut self, rec: &JournalRecord) -> std::io::Result<()> {
+        let mut line = rec.to_json().to_string();
+        line.push('\n');
+        self.sink.write_all(line.as_bytes())?;
+        self.sink.flush()?;
+        self.lines += 1;
+        Ok(())
+    }
+
+    /// Append every record of `journal` (a final drain for jobs that
+    /// buffered in memory first).
+    pub fn append_all(&mut self, journal: &Journal) -> std::io::Result<()> {
+        for rec in journal.records() {
+            self.append(&rec)?;
+        }
+        Ok(())
+    }
+
+    /// Lines written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Flush the sink explicitly (also happens per line and on drop).
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        self.sink.flush()
+    }
+}
+
+impl Drop for JournalWriter {
+    fn drop(&mut self) {
+        let _ = self.sink.flush();
+    }
+}
+
 /// Parse a JSONL journal stream back into records; blank lines are
 /// skipped, any malformed line is an error.
 pub fn parse_jsonl(text: &str) -> Result<Vec<JournalRecord>, String> {
@@ -322,6 +394,29 @@ mod tests {
         assert_eq!(parsed, j.records());
         assert_eq!(parsed[1].run_id, "00ff00ff00ff00ff");
         assert_eq!(parsed[1].chain, 2);
+    }
+
+    #[test]
+    fn writer_dropped_mid_stream_leaves_only_whole_lines() {
+        let path = std::env::temp_dir().join(format!(
+            "tsp-journal-writer-{}-{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        {
+            let mut w = JournalWriter::create(&path).expect("create journal file");
+            w.append(&rec(0, 1000, JournalEvent::Initial)).unwrap();
+            w.append(&rec(1, 990, JournalEvent::Improved)).unwrap();
+            assert_eq!(w.lines(), 2);
+            // Dropped here without any finalize call — the abrupt-stop
+            // path of a cancelled or deadline-killed job.
+        }
+        let text = std::fs::read_to_string(&path).expect("read journal file");
+        let _ = std::fs::remove_file(&path);
+        assert!(text.ends_with('\n'), "no truncated trailing line: {text:?}");
+        let parsed = parse_jsonl(&text).expect("every line must parse");
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[1].tour_length, 990);
     }
 
     #[test]

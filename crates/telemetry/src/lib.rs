@@ -27,12 +27,14 @@
 //! assert!(telemetry.expose().contains("tsp_gpu_kernel_launches_total 1"));
 //! ```
 
+pub mod http;
 pub mod journal;
 pub mod prometheus;
 pub mod registry;
 pub mod server;
 
-pub use journal::{parse_jsonl, Journal, JournalEvent, JournalRecord};
+pub use http::{http_request, HttpServer, Params, Request, Response, Router};
+pub use journal::{parse_jsonl, Journal, JournalEvent, JournalRecord, JournalWriter};
 pub use prometheus::{parse_text, FamilySummary, CONTENT_TYPE};
 pub use registry::{
     exponential_buckets, Counter, Gauge, Histogram, MetricKind, Registry, Telemetry, DELTA_BUCKETS,

@@ -1,108 +1,30 @@
 //! A minimal embedded scrape endpoint: `GET /metrics` renders the
 //! attached registry in text format 0.0.4, `GET /healthz` answers
-//! `ok`. One accept-loop thread, one connection at a time — enough
-//! for a Prometheus scraper or a `curl` against a live run, with no
-//! dependency beyond `std::net`.
+//! `ok`. The HTTP plumbing (bounded reads, request-line hardening,
+//! routing, status/reason mapping) lives in the shared [`crate::http`]
+//! module, which the solve service reuses for its `/v1` endpoints.
 
+use crate::http::{HttpServer, Response, Router};
 use crate::prometheus::CONTENT_TYPE;
 use crate::registry::Telemetry;
-use std::io::{self, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::io;
+use std::net::{SocketAddr, ToSocketAddrs};
 use std::sync::Arc;
-use std::thread::JoinHandle;
-use std::time::Duration;
 
 /// The scrape server. Shuts down (and joins its thread) on drop.
 #[derive(Debug)]
 pub struct MetricsServer {
-    addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
-    handle: Option<JoinHandle<()>>,
+    http: HttpServer,
 }
 
-fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) {
-    let response = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len()
-    );
-    // A peer that hung up mid-response is its own problem.
-    let _ = stream.write_all(response.as_bytes());
-}
-
-/// Hard cap on the request head; anything longer is answered with 400
-/// rather than buffered further.
-const MAX_HEAD_BYTES: usize = 16 * 1024;
-
-fn handle(mut stream: TcpStream, telemetry: &Telemetry) {
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
-    let mut buf = [0u8; 4096];
-    let mut request = Vec::new();
-    let mut oversized = false;
-    // Read until the end of the request head (we ignore any body).
-    loop {
-        match stream.read(&mut buf) {
-            Ok(0) => break,
-            Ok(n) => {
-                request.extend_from_slice(&buf[..n]);
-                if request.windows(4).any(|w| w == b"\r\n\r\n") {
-                    break;
-                }
-                if request.len() > MAX_HEAD_BYTES {
-                    oversized = true;
-                    break;
-                }
-            }
-            Err(_) => break,
-        }
-    }
-    if oversized {
-        return respond(
-            &mut stream,
-            "400 Bad Request",
-            "text/plain; charset=utf-8",
-            "request head too large\n",
-        );
-    }
-    // The request line must be `METHOD SP TARGET SP HTTP/x.y` with an
-    // absolute path; garbage bytes, truncated lines and non-HTTP
-    // preambles all land here and get a 400 instead of a misleading
-    // 405/404 (or a hang waiting for more input).
-    let head = String::from_utf8_lossy(&request);
-    let mut parts = head.lines().next().unwrap_or_default().split_whitespace();
-    let (method, path, version) = (parts.next(), parts.next(), parts.next());
-    let (Some(method), Some(path), Some(version)) = (method, path, version) else {
-        return respond(
-            &mut stream,
-            "400 Bad Request",
-            "text/plain; charset=utf-8",
-            "malformed request line\n",
-        );
-    };
-    if !version.starts_with("HTTP/") || !path.starts_with('/') || parts.next().is_some() {
-        return respond(
-            &mut stream,
-            "400 Bad Request",
-            "text/plain; charset=utf-8",
-            "malformed request line\n",
-        );
-    }
-    match (method, path) {
-        ("GET", "/metrics") => respond(&mut stream, "200 OK", CONTENT_TYPE, &telemetry.expose()),
-        ("GET", "/healthz") => respond(&mut stream, "200 OK", "text/plain; charset=utf-8", "ok\n"),
-        ("GET", _) => respond(
-            &mut stream,
-            "404 Not Found",
-            "text/plain; charset=utf-8",
-            "not found\n",
-        ),
-        _ => respond(
-            &mut stream,
-            "405 Method Not Allowed",
-            "text/plain; charset=utf-8",
-            "method not allowed\n",
-        ),
-    }
+/// The metrics/health routing table, reusable by servers that want to
+/// mount the scrape endpoints next to their own routes.
+pub fn metrics_router(telemetry: Telemetry) -> Router {
+    Router::new()
+        .route("GET", "/metrics", move |_, _| {
+            Response::new(200, CONTENT_TYPE, telemetry.expose())
+        })
+        .route("GET", "/healthz", |_, _| Response::text(200, "ok\n"))
 }
 
 impl MetricsServer {
@@ -110,52 +32,19 @@ impl MetricsServer {
     /// start serving the given telemetry handle in a background
     /// thread. A detached handle serves an empty exposition.
     pub fn spawn(telemetry: Telemetry, addr: impl ToSocketAddrs) -> io::Result<MetricsServer> {
-        let listener = TcpListener::bind(addr)?;
-        let addr = listener.local_addr()?;
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let flag = shutdown.clone();
-        let handle = std::thread::Builder::new()
-            .name("tsp-metrics".into())
-            .spawn(move || {
-                for conn in listener.incoming() {
-                    if flag.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    if let Ok(stream) = conn {
-                        handle(stream, &telemetry);
-                    }
-                }
-            })?;
-        Ok(MetricsServer {
-            addr,
-            shutdown,
-            handle: Some(handle),
-        })
+        let router = Arc::new(metrics_router(telemetry));
+        let http = HttpServer::spawn(addr, "tsp-metrics", router)?;
+        Ok(MetricsServer { http })
     }
 
     /// The bound address (port resolved when spawned with port 0).
     pub fn addr(&self) -> SocketAddr {
-        self.addr
+        self.http.addr()
     }
 
     /// Stop the accept loop and join the thread.
-    pub fn shutdown(mut self) {
-        self.stop();
-    }
-
-    fn stop(&mut self) {
-        if let Some(handle) = self.handle.take() {
-            self.shutdown.store(true, Ordering::SeqCst);
-            // Unblock the accept() so the loop observes the flag.
-            let _ = TcpStream::connect(self.addr);
-            let _ = handle.join();
-        }
-    }
-}
-
-impl Drop for MetricsServer {
-    fn drop(&mut self) {
-        self.stop();
+    pub fn shutdown(self) {
+        self.http.shutdown();
     }
 }
 
@@ -163,29 +52,17 @@ impl Drop for MetricsServer {
 /// `(status code, body)`. Used by the smoke example and tests to
 /// scrape without an external client.
 pub fn http_get(addr: SocketAddr, path: &str) -> io::Result<(u16, String)> {
-    let mut stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
-    write!(
-        stream,
-        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
-    )?;
-    let mut response = String::new();
-    stream.read_to_string(&mut response)?;
-    let (head, body) = response
-        .split_once("\r\n\r\n")
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no header/body split"))?;
-    let status: u16 = head
-        .split_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no status code"))?;
-    Ok((status, body.to_string()))
+    crate::http::http_request(addr, "GET", path, "", "").map(|(status, _, body)| (status, body))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::http::MAX_HEAD_BYTES;
     use crate::registry::Telemetry;
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+    use std::time::Duration;
 
     #[test]
     fn serves_metrics_and_healthz() {
@@ -265,7 +142,7 @@ mod tests {
                 String::from_utf8_lossy(case)
             );
         }
-        // A well-formed non-GET stays a 405, not a 400.
+        // A well-formed non-GET on a known path stays a 405, not a 400.
         assert_eq!(
             raw_request(server.addr(), b"POST /metrics HTTP/1.1\r\n\r\n"),
             Some(405)

@@ -1,0 +1,130 @@
+//! Cooperative cancellation for long-running searches.
+//!
+//! A [`CancelToken`] is a cheap, clonable flag that a controller (a
+//! serving layer, a signal handler, a test harness) arms once and a
+//! search loop polls between iterations. Tokens optionally carry a
+//! wall-clock deadline: [`CancelToken::is_cancelled`] reports `true`
+//! once the flag is raised *or* the deadline has passed, so a single
+//! poll site covers both explicit cancellation and admission-level
+//! deadlines.
+//!
+//! The default token ([`CancelToken::none`]) carries no flag at all —
+//! polling it is one `Option` branch, matching the zero-cost-when-
+//! detached convention of the observability handles.
+//!
+//! Cancellation is wall-clock-dependent by nature: a run truncated by a
+//! token stops at a nondeterministic iteration, so armed tokens are
+//! rejected by the record/replay layer the same way `max_host_seconds`
+//! is.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A shared cancellation flag with an optional deadline.
+///
+/// Clones share the flag: arming any clone via [`CancelToken::cancel`]
+/// is observed by every other clone. The deadline is per-value (set
+/// with [`CancelToken::with_deadline`]), so a controller can hold an
+/// undeadlined master token while handing each job a deadlined copy.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Option<Arc<AtomicBool>>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// An armed-capable token (flag initially lowered).
+    pub fn new() -> Self {
+        CancelToken {
+            flag: Some(Arc::new(AtomicBool::new(false))),
+            deadline: None,
+        }
+    }
+
+    /// The inert token: never cancelled, costs one branch to poll.
+    pub fn none() -> Self {
+        CancelToken::default()
+    }
+
+    /// A copy of this token that also trips once `deadline` passes.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Raise the flag. Idempotent; a no-op on [`CancelToken::none`].
+    pub fn cancel(&self) {
+        if let Some(flag) = &self.flag {
+            flag.store(true, Ordering::Release);
+        }
+    }
+
+    /// `true` once [`CancelToken::cancel`] was called on any clone or
+    /// the deadline (if any) has passed.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        if let Some(flag) = &self.flag {
+            if flag.load(Ordering::Acquire) {
+                return true;
+            }
+        }
+        matches!(self.deadline, Some(d) if Instant::now() >= d)
+    }
+
+    /// Whether this token can ever report cancellation — i.e. it holds
+    /// a flag or a deadline. Armed tokens make a run wall-clock
+    /// dependent, which the replay layer must reject.
+    pub fn is_armed(&self) -> bool {
+        self.flag.is_some() || self.deadline.is_some()
+    }
+
+    /// The deadline, when one was set.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn none_is_never_cancelled_and_unarmed() {
+        let t = CancelToken::none();
+        assert!(!t.is_armed());
+        assert!(!t.is_cancelled());
+        t.cancel(); // no-op
+        assert!(!t.is_cancelled());
+    }
+
+    #[test]
+    fn clones_share_the_flag() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!b.is_cancelled());
+        a.cancel();
+        assert!(b.is_cancelled());
+        assert!(a.is_armed() && b.is_armed());
+    }
+
+    #[test]
+    fn past_deadlines_trip_without_the_flag() {
+        let t = CancelToken::new().with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(t.is_cancelled());
+        let future = CancelToken::new().with_deadline(Instant::now() + Duration::from_secs(3600));
+        assert!(!future.is_cancelled());
+        assert!(future.is_armed());
+    }
+
+    #[test]
+    fn deadline_is_per_value_not_shared() {
+        let master = CancelToken::new();
+        let job = master
+            .clone()
+            .with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(job.is_cancelled());
+        assert!(!master.is_cancelled());
+    }
+}

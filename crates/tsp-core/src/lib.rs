@@ -21,6 +21,7 @@
 //! All distances are integral (`i64` accumulators over `i32` edge weights),
 //! following the TSPLIB95 convention the paper uses (`(int)(sqrtf(...)+0.5f)`).
 
+pub mod cancel;
 pub mod error;
 pub mod instance;
 pub mod lut;
@@ -30,6 +31,7 @@ pub mod neighbor;
 pub mod point;
 pub mod tour;
 
+pub use cancel::CancelToken;
 pub use error::CoreError;
 pub use instance::Instance;
 pub use matrix::ExplicitMatrix;

@@ -45,6 +45,14 @@ fn reject_wall_clock(cfg: &SolverBuilder) -> Result<(), TspError> {
                 .into(),
         ));
     }
+    if cfg.cancel.is_armed() {
+        return Err(TspError::Replay(
+            "an armed cancel token makes the run wall-clock-dependent and \
+             cannot be recorded or replayed deterministically; bound the run \
+             with max_iterations or max_modeled_seconds instead"
+                .into(),
+        ));
+    }
     Ok(())
 }
 

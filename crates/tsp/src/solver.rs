@@ -7,15 +7,17 @@
 //! [`Solution`] and a single error type ([`TspError`]).
 
 use crate::TspError;
+use gpu_sim::{Device, StreamId};
 use gpu_sim::{DevicePool, DeviceSpec, Recorder, StreamReport, Timeline};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 use tsp_2opt::{
     optimize_profiled, CpuParallelTwoOpt, GpuTwoOpt, SearchOptions, SequentialTwoOpt, StepProfile,
     Strategy, TwoOptEngine,
 };
 use tsp_construction::{multiple_fragment, nearest_neighbor, space_filling};
-use tsp_core::{Instance, Tour};
+use tsp_core::{CancelToken, Instance, Tour};
 use tsp_ils::{
     iterated_local_search, IlsOptions, IlsOutcome, ShardedMultistart, ShardedOutcome, TracePoint,
 };
@@ -155,6 +157,7 @@ pub struct SolverBuilder {
     pub(crate) telemetry: TelemetryOptions,
     pub(crate) flight: FlightRecorder,
     pub(crate) prof: Profiler,
+    pub(crate) cancel: CancelToken,
 }
 
 impl Default for SolverBuilder {
@@ -176,6 +179,7 @@ impl Default for SolverBuilder {
             telemetry: TelemetryOptions::default(),
             flight: FlightRecorder::detached(),
             prof: Profiler::detached(),
+            cancel: CancelToken::none(),
         }
     }
 }
@@ -301,6 +305,17 @@ impl SolverBuilder {
     /// come back on the [`Solution`].
     pub fn telemetry(mut self, telemetry: TelemetryOptions) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Attach a cooperative cancellation token: ILS runs poll it once
+    /// per iteration (next to the budget checks) and stop early with
+    /// the best tour found so far when it trips — the serving layer's
+    /// `DELETE /v1/jobs/{id}` and per-job deadlines ride on this. An
+    /// armed token makes the run wall-clock dependent, so recording it
+    /// is rejected exactly like `max_host_seconds`.
+    pub fn cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
         self
     }
 
@@ -437,55 +452,7 @@ impl Solver {
         // Single chain: one engine, serial submission path.
         let mut engine = self.single_engine();
         match &cfg.ils {
-            None => {
-                let mut tour = start;
-                let recorder = cfg.recorder.clone().unwrap_or_else(Recorder::disabled);
-                cfg.flight.record_with(|| ReplayEvent::Start {
-                    tour_hash: hash_tour(&tour),
-                });
-                let stats = optimize_profiled(
-                    engine.as_mut(),
-                    inst,
-                    &mut tour,
-                    cfg.search,
-                    &recorder,
-                    cfg.telemetry.registry(),
-                    &cfg.flight,
-                    &cfg.prof,
-                )?;
-                cfg.flight.record_with(|| ReplayEvent::DescentEnd {
-                    iteration: 0,
-                    sweeps: stats.sweeps,
-                    length: stats.final_length,
-                    tour_hash: hash_tour(&tour),
-                    modeled_seconds: stats.profile.modeled_seconds(),
-                });
-                cfg.flight.record_with(|| ReplayEvent::Final {
-                    iterations: 0,
-                    best_length: stats.final_length,
-                    tour_hash: hash_tour(&tour),
-                    modeled_seconds: stats.profile.modeled_seconds(),
-                });
-                Ok(self.stamp(
-                    run_id,
-                    Solution {
-                        length: stats.final_length,
-                        tour,
-                        initial_length,
-                        iterations: 0,
-                        chains: 1,
-                        profile: stats.profile,
-                        host_seconds: stats.host_seconds,
-                        trace: Vec::new(),
-                        reports: Vec::new(),
-                        telemetry: Telemetry::detached(),
-                        journal: Journal::detached(),
-                        run_id: String::new(),
-                        prof: Profiler::detached(),
-                        memory: MemoryReport::default(),
-                    },
-                ))
-            }
+            None => self.run_descent(inst, start, initial_length, run_id, engine.as_mut()),
             Some(opts) => {
                 let outcome = iterated_local_search(
                     engine.as_mut(),
@@ -499,6 +466,133 @@ impl Solver {
                 ))
             }
         }
+    }
+
+    /// Solve on an externally owned `(device, stream)` lane — the entry
+    /// point `tsp-serve`'s slot pool drives. The builder's pool-shape
+    /// knobs must stay at their defaults (`devices == 1 && streams == 1`):
+    /// the lane is the caller's, carved from their own [`DevicePool`].
+    /// Timelines are rejected because the device is shared; attach
+    /// telemetry and a profiler to the pool once instead. Tours are
+    /// bit-identical to [`Solver::run`] under the same knobs — restarts
+    /// reduce through the same `parallel_multistart` min-by-length rule
+    /// the pooled facade pins.
+    pub fn run_on(
+        &self,
+        inst: &Instance,
+        device: &Arc<Device>,
+        stream: StreamId,
+    ) -> Result<Solution, TspError> {
+        let cfg = &self.cfg;
+        if cfg.engine != EngineKind::Gpu {
+            return Err(TspError::Unsupported(
+                "run_on drives a device lane and requires the GPU engine".into(),
+            ));
+        }
+        if cfg.devices != 1 || cfg.streams != 1 {
+            return Err(TspError::Unsupported(
+                "run_on executes on one external lane; leave devices and streams at 1".into(),
+            ));
+        }
+        if cfg.restarts == 0 {
+            return Err(TspError::Unsupported("restarts must be at least 1".into()));
+        }
+        if cfg.timeline.is_some() {
+            return Err(TspError::Unsupported(
+                "timelines attach to a private device; run_on lanes share one".into(),
+            ));
+        }
+        let run_id = self.run_id(inst);
+        let _solve = cfg.prof.span("solve");
+        let start = self.construct(inst, 0);
+        let initial_length = start.length(inst);
+
+        if cfg.restarts == 1 && cfg.ils.is_none() {
+            let mut engine = self.gpu_engine_on(GpuTwoOpt::on_stream(device.clone(), stream));
+            if let Some(rec) = &cfg.recorder {
+                engine = engine.with_recorder(rec.clone());
+            }
+            return self.run_descent(inst, start, initial_length, run_id, &mut engine);
+        }
+
+        // ILS and/or restarts: the same multistart reduction the pooled
+        // facade uses, every chain on this one lane.
+        let opts = self.ils_opts(cfg.ils.as_ref().unwrap_or(&IlsOptions::default()), &run_id);
+        let starts: Vec<Tour> = (0..cfg.restarts)
+            .map(|i| {
+                if i == 0 {
+                    start.clone()
+                } else {
+                    self.construct(inst, i as u64)
+                }
+            })
+            .collect();
+        let (best, chains) = tsp_ils::parallel_multistart(
+            || self.gpu_engine_on(GpuTwoOpt::on_stream(device.clone(), stream)),
+            inst,
+            starts,
+            opts,
+        )?;
+        Ok(self.stamp(run_id, aggregate_host_chains(best, &chains, initial_length)))
+    }
+
+    /// The plain-descent arm shared by `run_from` and `run_on`: one
+    /// 2-opt descent to a local optimum, flight-recorded and profiled.
+    fn run_descent(
+        &self,
+        inst: &Instance,
+        mut tour: Tour,
+        initial_length: i64,
+        run_id: String,
+        engine: &mut dyn TwoOptEngine,
+    ) -> Result<Solution, TspError> {
+        let cfg = &self.cfg;
+        let recorder = cfg.recorder.clone().unwrap_or_else(Recorder::disabled);
+        cfg.flight.record_with(|| ReplayEvent::Start {
+            tour_hash: hash_tour(&tour),
+        });
+        let stats = optimize_profiled(
+            engine,
+            inst,
+            &mut tour,
+            cfg.search,
+            &recorder,
+            cfg.telemetry.registry(),
+            &cfg.flight,
+            &cfg.prof,
+        )?;
+        cfg.flight.record_with(|| ReplayEvent::DescentEnd {
+            iteration: 0,
+            sweeps: stats.sweeps,
+            length: stats.final_length,
+            tour_hash: hash_tour(&tour),
+            modeled_seconds: stats.profile.modeled_seconds(),
+        });
+        cfg.flight.record_with(|| ReplayEvent::Final {
+            iterations: 0,
+            best_length: stats.final_length,
+            tour_hash: hash_tour(&tour),
+            modeled_seconds: stats.profile.modeled_seconds(),
+        });
+        Ok(self.stamp(
+            run_id,
+            Solution {
+                length: stats.final_length,
+                tour,
+                initial_length,
+                iterations: 0,
+                chains: 1,
+                profile: stats.profile,
+                host_seconds: stats.host_seconds,
+                trace: Vec::new(),
+                reports: Vec::new(),
+                telemetry: Telemetry::detached(),
+                journal: Journal::detached(),
+                run_id: String::new(),
+                prof: Profiler::detached(),
+                memory: MemoryReport::default(),
+            },
+        ))
     }
 
     /// Restarts (and/or pool shards): every chain is an independent ILS
@@ -585,6 +679,7 @@ impl Solver {
             .with_journal(self.cfg.telemetry.journal().with_run_id(run_id))
             .with_flight(self.cfg.flight.clone())
             .with_prof(self.cfg.prof.clone())
+            .with_cancel(self.cfg.cancel.clone())
     }
 
     /// Hand the run's observability handles back on the solution.

@@ -1,0 +1,194 @@
+//! Fifty concurrent HTTP solves against a live `tsp-serve` instance.
+//!
+//! ```text
+//! cargo run --release -p tsp-apps --example serve_smoke -- [BENCH_serve.json]
+//! ```
+//!
+//! Boots a [`ServeServer`] on a loopback port with the default pool
+//! (2 devices × 2 streams, one pre-installed arena per device), then
+//! fires 50 deterministic solve requests from 50 client threads over
+//! real HTTP and self-validates the service guarantees:
+//!
+//! * every job lands in `Done` with a tour;
+//! * the device-memory ledger holds exactly **one** allocation per
+//!   device (the arena) — zero per-request allocations once warm —
+//!   and balances after shutdown;
+//! * the drained stream schedules show non-zero overlap (concurrent
+//!   solves actually shared each device's streams);
+//! * the solve-latency histogram counted every job and the occupancy
+//!   gauge returned to zero.
+//!
+//! Writes `BENCH_serve.json`: deterministic totals at the top level
+//! (tour lengths and modeled seconds reduce in job-index order, so
+//! they are bit-stable run to run) and wall-clock statistics under
+//! `"wall"` (gated with a wide tolerance in CI).
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+use tsp::prelude::*;
+use tsp_serve::api::{JobState, JobStatus, SolveRequest, SolveResponse};
+use tsp_serve::{ServeServer, ServiceConfig, SolveService};
+use tsp_telemetry::http_request;
+use tsp_trace::json::Json;
+
+const JOBS: usize = 50;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out = args
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "BENCH_serve.json".into());
+
+    let telemetry = Telemetry::attached();
+    let prof = Profiler::attached();
+    let cfg = ServiceConfig::default();
+    let devices = cfg.devices;
+    let service =
+        SolveService::start(cfg, telemetry.clone(), prof.clone()).expect("boot the solve service");
+    let server = ServeServer::spawn("127.0.0.1:0", service).expect("bind a loopback port");
+    let addr = server.addr();
+    println!("tsp-serve listening on {addr} ({devices} devices)");
+
+    // --- 50 deterministic jobs, one client thread each ---------------
+    // Each job solves its own generated instance (seeded by index), so
+    // the served results are reproducible regardless of which lane or
+    // completion order the scheduler picks.
+    let results: Mutex<Vec<(usize, JobStatus, f64)>> = Mutex::new(Vec::new());
+    let wall_start = Instant::now();
+    std::thread::scope(|scope| {
+        for i in 0..JOBS {
+            let results = &results;
+            scope.spawn(move || {
+                let inst = tsp::tsplib::generate(
+                    &format!("smoke-{i:02}"),
+                    64,
+                    tsp::tsplib::Style::Clustered { clusters: 4 },
+                    100 + i as u64,
+                );
+                let req = SolveRequest::tsplib(tsp::tsplib::writer::write(&inst))
+                    .with_tenant(format!("client-{}", i % 8))
+                    .with_ils_iterations(2 + (i % 3) as u64)
+                    .with_seed(i as u64);
+                let started = Instant::now();
+                let (status, _, body) = http_request(
+                    addr,
+                    "POST",
+                    "/v1/solve",
+                    "application/json",
+                    &req.to_json().to_string(),
+                )
+                .expect("POST /v1/solve");
+                assert_eq!(status, 202, "job {i} rejected: {body}");
+                let job_id = SolveResponse::parse(&body).expect("valid response").job_id;
+                let job = loop {
+                    let (status, _, body) =
+                        http_request(addr, "GET", &format!("/v1/jobs/{job_id}"), "", "")
+                            .expect("GET /v1/jobs/{id}");
+                    assert_eq!(status, 200, "{body}");
+                    let job = JobStatus::parse(&body).expect("valid status");
+                    if job.state.is_terminal() {
+                        break job;
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                };
+                let latency = started.elapsed().as_secs_f64();
+                results.lock().unwrap().push((i, job, latency));
+            });
+        }
+    });
+    let elapsed = wall_start.elapsed().as_secs_f64();
+
+    let mut results = results.into_inner().unwrap();
+    results.sort_by_key(|&(i, _, _)| i);
+    let succeeded = results
+        .iter()
+        .filter(|(_, job, _)| job.state == JobState::Done)
+        .count();
+    assert_eq!(succeeded, JOBS, "every job must land in Done");
+
+    // Deterministic reductions, in job-index order so the f64 sum is
+    // bit-stable across runs.
+    let tour_length_sum: i64 = results.iter().map(|(_, job, _)| job.length.unwrap()).sum();
+    let mut modeled_seconds_total = 0.0;
+    for (_, job, _) in &results {
+        modeled_seconds_total += job.modeled_seconds.unwrap();
+    }
+
+    // Client-observed wall latency percentiles.
+    let mut latencies: Vec<f64> = results.iter().map(|&(_, _, l)| l).collect();
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p).round() as usize] * 1e3;
+    let (p50_ms, p99_ms) = (pct(0.50), pct(0.99));
+    let throughput = JOBS as f64 / elapsed;
+
+    // --- Telemetry self-validation -----------------------------------
+    let registry = telemetry.registry().expect("telemetry attached");
+    let (_, solve_count) = registry
+        .histogram_totals("tsp_serve_solve_seconds")
+        .expect("latency histogram present");
+    assert_eq!(solve_count, JOBS as u64, "histogram counted every job");
+    assert_eq!(
+        registry.gauge_value("tsp_serve_slot_occupancy"),
+        Some(0.0),
+        "all slots returned"
+    );
+    assert_eq!(
+        registry.gauge_value("tsp_serve_queue_depth"),
+        Some(0.0),
+        "queue drained"
+    );
+
+    // --- Shutdown: overlap + ledger ----------------------------------
+    let (_service, reports) = server.shutdown();
+    let overlap = reports.iter().map(|r| r.overlap()).fold(0.0, f64::max);
+    for report in &reports {
+        println!(
+            "device {}: busy {:.4}s wall {:.4}s overlap {:.2}",
+            report.device,
+            report.busy_seconds,
+            report.wall_seconds,
+            report.overlap()
+        );
+    }
+    assert!(
+        overlap > 0.0,
+        "concurrent solves must overlap on the shared streams"
+    );
+
+    let memory = prof.memory_report();
+    assert!(memory.balanced(), "ledger must balance after shutdown");
+    assert_eq!(memory.devices.len(), devices);
+    let total_allocs: u64 = memory.devices.iter().map(|d| d.allocs).sum();
+    let steady_state_allocs = total_allocs - devices as u64;
+    assert_eq!(
+        steady_state_allocs, 0,
+        "only the arenas may allocate: {JOBS} jobs ran without a single device allocation"
+    );
+
+    // --- BENCH_serve.json --------------------------------------------
+    let mut wall = Json::obj();
+    wall.set("throughput_jobs_per_s", throughput.into());
+    wall.set("p50_ms", p50_ms.into());
+    wall.set("p99_ms", p99_ms.into());
+    wall.set("overlap", overlap.into());
+    let mut bench = Json::obj();
+    bench.set("jobs", (JOBS as u64).into());
+    bench.set("succeeded", (succeeded as u64).into());
+    bench.set("rejected", 0u64.into());
+    bench.set("devices", (devices as u64).into());
+    bench.set("arena_allocs_per_device", 1u64.into());
+    bench.set("steady_state_allocs", steady_state_allocs.into());
+    bench.set("tour_length_sum", tour_length_sum.into());
+    bench.set("modeled_seconds_total", modeled_seconds_total.into());
+    bench.set("wall", wall);
+    std::fs::write(&out, format!("{bench}\n"))
+        .unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!("wrote {out}");
+    println!(
+        "{JOBS} jobs in {elapsed:.2}s ({throughput:.1} jobs/s), p50 {p50_ms:.1}ms p99 {p99_ms:.1}ms"
+    );
+    println!("tour_length_sum={tour_length_sum} modeled_seconds_total={modeled_seconds_total:.6}");
+    println!("steady_state_allocs={steady_state_allocs} overlap={overlap:.2}");
+    println!("SERVE SMOKE OK");
+}
