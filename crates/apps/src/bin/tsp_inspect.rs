@@ -11,6 +11,7 @@
 //! tsp-inspect anomalies --recording run.jsonl [--chain N] [--plateau T] [--instance f.tsp | --gen ...]
 //! tsp-inspect flame     --input run.folded | --manifest manifest.json  [--top N]
 //! tsp-inspect mem       --input memory.json | --manifest manifest.json
+//! tsp-inspect serve     <artifacts-dir>
 //! ```
 //!
 //! `--instance` loads a TSPLIB file, `--gen uniform:512:42` regenerates
@@ -24,14 +25,14 @@ use std::path::Path;
 use std::process::ExitCode;
 use tsp_apps::inspect::{
     detect_anomalies, heatmap_grid, render_flame, render_heatmap_pgm, render_heatmap_text,
-    render_timeline, timeline, tour_svg,
+    render_serve_waterfall, render_timeline, serve_spans, timeline, tour_svg,
 };
 use tsp_core::Instance;
 use tsp_prof::{parse_collapsed, Manifest, MemoryReport};
 use tsp_replay::{digest_instance, parse_recording, Recording};
 use tsp_tsplib::{generate, Style};
 
-const USAGE: &str = "usage: tsp-inspect <heatmap|svg|timeline|anomalies|flame|mem> ...
+const USAGE: &str = "usage: tsp-inspect <heatmap|svg|timeline|anomalies|flame|mem|serve> ...
   recordings (--recording <file.jsonl> required):
   common:     --chain N            chain to inspect (default 0)
   heatmap:    --buckets B          grid resolution (default 32)
@@ -45,7 +46,9 @@ const USAGE: &str = "usage: tsp-inspect <heatmap|svg|timeline|anomalies|flame|me
   flame:      --input FILE         collapsed-stack file (profiler flamegraph export)
               --top N              rows to show (default 15)
   mem:        --input FILE         memory-ledger report JSON
-  both:       --manifest FILE      locate the artifact through a run manifest instead";
+  both:       --manifest FILE      locate the artifact through a run manifest instead
+  serve artifacts:
+  serve:      <artifacts-dir>      per-request waterfall from <dir>/<job>/request.json spans";
 
 struct Args {
     command: String,
@@ -61,13 +64,14 @@ struct Args {
     gen_spec: Option<String>,
     input: Option<String>,
     manifest: Option<String>,
+    serve_dir: Option<String>,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let command = argv.first().cloned().ok_or("missing subcommand")?;
     if !matches!(
         command.as_str(),
-        "heatmap" | "svg" | "timeline" | "anomalies" | "flame" | "mem"
+        "heatmap" | "svg" | "timeline" | "anomalies" | "flame" | "mem" | "serve"
     ) {
         return Err(format!("unknown subcommand {command:?}"));
     }
@@ -85,7 +89,16 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         gen_spec: None,
         input: None,
         manifest: None,
+        serve_dir: None,
     };
+    // `serve` takes one positional argument: the artifacts directory.
+    if args.command == "serve" {
+        let [dir] = &argv[1..] else {
+            return Err("serve wants exactly one artifacts directory".into());
+        };
+        args.serve_dir = Some(dir.clone());
+        return Ok(args);
+    }
     let mut it = argv[1..].iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -218,6 +231,12 @@ fn run(argv: &[String]) -> Result<(), String> {
             let text = artifact_source(&args, "flamegraph")?;
             let stacks = parse_collapsed(&text)?;
             return emit(&args.out, &render_flame(&stacks, args.top));
+        }
+        "serve" => {
+            let dir = args.serve_dir.as_deref().unwrap();
+            let spans = serve_spans(Path::new(dir))?;
+            print!("{}", render_serve_waterfall(&spans));
+            return Ok(());
         }
         "mem" => {
             let text = artifact_source(&args, "memory")?;

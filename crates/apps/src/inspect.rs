@@ -12,6 +12,7 @@
 use std::fmt;
 use tsp_core::Instance;
 use tsp_replay::{tour_at_iteration, Recording, ReplayEvent};
+use tsp_serve::{RequestSpan, Stage};
 
 /// Aggregate the applied moves of `chain` into a `buckets × buckets`
 /// grid over the `(i, j)` candidate matrix, each cell summing the
@@ -393,6 +394,96 @@ pub fn detect_anomalies(
     report
 }
 
+/// Collect every `<dir>/<job>/request.json` span a serve run left
+/// behind, sorted by job id — the data source of `tsp-inspect serve`.
+pub fn serve_spans(dir: &std::path::Path) -> Result<Vec<RequestSpan>, String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let mut spans = Vec::new();
+    for entry in entries.flatten() {
+        let path = entry.path().join("request.json");
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue; // not a job dir, or the span was never written
+        };
+        spans.push(RequestSpan::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?);
+    }
+    if spans.is_empty() {
+        return Err(format!(
+            "{}: no <job>/request.json artifacts (was the service run with request spans on?)",
+            dir.display()
+        ));
+    }
+    spans.sort_by(|a, b| a.job_id.cmp(&b.job_id));
+    Ok(spans)
+}
+
+/// The bar glyph for the stage window *ending* at `stage`: queue wait,
+/// lease wait, the solve itself, artifact writing, or bookkeeping.
+fn stage_glyph(stage: Stage) -> char {
+    match stage {
+        Stage::Dequeued => 'q',
+        Stage::Leased => 'l',
+        Stage::Artifacts => 's',
+        Stage::Done | Stage::Failed | Stage::Cancelled | Stage::Expired => 'a',
+        Stage::Rejected => 'x',
+        _ => '.',
+    }
+}
+
+/// Render serve-request spans as a per-request waterfall: one row per
+/// job with its lane, terminal state, end-to-end wall time and trace
+/// id, plus a stage bar on a shared time axis (`q` queue wait, `l`
+/// lease wait, `s` solve, `a` artifacts/terminal bookkeeping, `x`
+/// rejected) — the text half of `tsp-inspect serve`.
+pub fn render_serve_waterfall(spans: &[RequestSpan]) -> String {
+    const BAR: f64 = 40.0;
+    let max_e2e = spans
+        .iter()
+        .filter_map(RequestSpan::end_to_end_seconds)
+        .fold(0.0f64, f64::max)
+        .max(f64::MIN_POSITIVE);
+    let mut out = format!(
+        "{} request span(s), time axis 0..{:.3}s\n\
+         job           tenant      lane   state      e2e(s)  modeled(s)  trace            waterfall\n",
+        spans.len(),
+        max_e2e
+    );
+    for span in spans {
+        let lane = span
+            .stage(Stage::Leased)
+            .and_then(|s| Some(format!("d{}/s{}", s.device?, s.stream?)))
+            .unwrap_or_else(|| "-".into());
+        let state = span
+            .terminal()
+            .map_or("open", |s| s.stage.as_str())
+            .to_string();
+        let e2e = span
+            .end_to_end_seconds()
+            .map_or("-".into(), |s| format!("{s:.4}"));
+        let modeled = span
+            .modeled_seconds()
+            .map_or("-".into(), |s| format!("{s:.4}"));
+        let trace = if span.trace_id.is_empty() {
+            "-".to_string()
+        } else {
+            span.trace_id.chars().take(16).collect()
+        };
+        // Walk the adjacent stamp windows, growing the bar to each
+        // window's end position so rounding never drifts off-axis.
+        let mut bar = String::new();
+        for w in span.stages.windows(2) {
+            let end = ((w[1].wall_seconds / max_e2e) * BAR).round() as usize;
+            while bar.len() < end.min(BAR as usize) {
+                bar.push(stage_glyph(w[1].stage));
+            }
+        }
+        out.push_str(&format!(
+            "{:<13} {:<11} {:<6} {:<9} {:>7}  {:>10}  {:<16} |{bar}\n",
+            span.job_id, span.tenant, lane, state, e2e, modeled, trace
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -504,6 +595,64 @@ mod tests {
         assert!(report.any());
         assert!(report.to_string().contains("PLATEAU"));
         assert_eq!(report.bad_coordinates, 0);
+    }
+
+    #[test]
+    fn serve_waterfall_renders_lanes_stages_and_trace_ids() {
+        let mut done = RequestSpan::new("job-00000000", "dispatch");
+        done.trace_id = "0af7651916cd43dd8448eb211c80319c".into();
+        done.run_id = "00ff00ff00ff00ff".into();
+        done.stamp(Stage::Received, 0.0, 0.0);
+        done.stamp(Stage::Admitted, 0.001, 0.0);
+        done.stamp(Stage::Queued, 0.001, 0.0);
+        done.stamp(Stage::Dequeued, 0.010, 0.0);
+        done.stamp_lease(0.012, 1, 0);
+        done.stamp(Stage::Solving, 0.013, 0.0);
+        done.stamp(Stage::Artifacts, 0.090, 0.004);
+        done.stamp(Stage::Done, 0.100, 0.004);
+        let mut rejected = RequestSpan::new("job-00000001", "burst");
+        rejected.stamp(Stage::Received, 0.0, 0.0);
+        rejected.stamp(Stage::Rejected, 0.002, 0.0);
+
+        let dir = std::env::temp_dir().join(format!(
+            "tsp-inspect-serve-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        for span in [&done, &rejected] {
+            let job_dir = dir.join(&span.job_id);
+            std::fs::create_dir_all(&job_dir).unwrap();
+            std::fs::write(job_dir.join("request.json"), span.to_json().to_string()).unwrap();
+        }
+        // A stray non-job directory is skipped, not an error.
+        std::fs::create_dir_all(dir.join("not-a-job")).unwrap();
+
+        let spans = serve_spans(&dir).unwrap();
+        assert_eq!(spans, vec![done, rejected]);
+        let rendered = render_serve_waterfall(&spans);
+        assert!(rendered.contains("2 request span(s)"), "{rendered}");
+        assert!(rendered.contains("d1/s0"), "lane column: {rendered}");
+        assert!(rendered.contains("0af7651916cd43dd"), "trace: {rendered}");
+        assert!(
+            rendered.contains('q') && rendered.contains('s'),
+            "{rendered}"
+        );
+        assert!(rendered.contains("rejected"), "{rendered}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_spans_reports_an_empty_directory() {
+        let dir = std::env::temp_dir().join(format!(
+            "tsp-inspect-serve-empty-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(serve_spans(&dir).unwrap_err().contains("request.json"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

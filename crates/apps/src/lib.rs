@@ -13,6 +13,7 @@ pub use tsp_core;
 pub use tsp_ils;
 pub use tsp_prof;
 pub use tsp_replay;
+pub use tsp_serve;
 pub use tsp_telemetry;
 pub use tsp_trace;
 pub use tsp_tsplib;

@@ -356,6 +356,7 @@ pub fn iterated_local_search<E: TwoOptEngine + ?Sized>(
     }
     opts.journal.record_with(|| JournalRecord {
         run_id: String::new(),
+        trace_id: String::new(),
         chain: 0,
         iteration: 0,
         modeled_seconds: profile.modeled_seconds(),
@@ -487,6 +488,7 @@ pub fn iterated_local_search<E: TwoOptEngine + ?Sized>(
                     }
                     opts.journal.record_with(|| JournalRecord {
                         run_id: String::new(),
+                        trace_id: String::new(),
                         chain: 0,
                         iteration: iterations,
                         modeled_seconds: profile.modeled_seconds(),
@@ -514,6 +516,7 @@ pub fn iterated_local_search<E: TwoOptEngine + ?Sized>(
         }
         opts.journal.record_with(|| JournalRecord {
             run_id: String::new(),
+            trace_id: String::new(),
             chain: 0,
             iteration: iterations,
             modeled_seconds: profile.modeled_seconds(),
@@ -532,6 +535,7 @@ pub fn iterated_local_search<E: TwoOptEngine + ?Sized>(
 
     opts.journal.record_with(|| JournalRecord {
         run_id: String::new(),
+        trace_id: String::new(),
         chain: 0,
         iteration: iterations,
         modeled_seconds: profile.modeled_seconds(),

@@ -176,6 +176,7 @@ mod tests {
     fn header_for(start: &Tour, chains: u64) -> Header {
         Header {
             run_id: String::new(),
+            trace_id: String::new(),
             instance_name: "reconstruct".to_string(),
             n: start.len(),
             instance_digest: 0,

@@ -22,6 +22,9 @@ pub struct Header {
     /// same run; replay compatibility is decided by the digests and
     /// config below, not by this field.
     pub run_id: String,
+    /// Distributed trace id of the request that triggered the recorded
+    /// run (empty = unstamped). Like `run_id`, purely correlational.
+    pub trace_id: String,
     /// Instance name (presentation only; the digest is authoritative).
     pub instance_name: String,
     /// City count.
@@ -59,6 +62,9 @@ impl Header {
         o.set("format", Json::Str(FORMAT.to_string()));
         if !self.run_id.is_empty() {
             o.set("run_id", Json::Str(self.run_id.clone()));
+        }
+        if !self.trace_id.is_empty() {
+            o.set("trace_id", Json::Str(self.trace_id.clone()));
         }
         o.set("instance", Json::Str(self.instance_name.clone()))
             .set("n", Json::from(self.n))
@@ -115,6 +121,11 @@ impl Header {
             // Absent in pre-run-id recordings: default to unstamped.
             run_id: j
                 .get("run_id")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            trace_id: j
+                .get("trace_id")
                 .and_then(Json::as_str)
                 .unwrap_or_default()
                 .to_string(),
@@ -363,6 +374,7 @@ mod tests {
     fn header() -> Header {
         Header {
             run_id: String::new(),
+            trace_id: String::new(),
             instance_name: "rec-test".to_string(),
             n: 5,
             instance_digest: 0xdead_beef_dead_beef,
@@ -468,6 +480,7 @@ mod tests {
         let journal = vec![
             JournalRecord {
                 run_id: String::new(),
+                trace_id: String::new(),
                 chain: 0,
                 iteration: 0,
                 modeled_seconds: 1e-6,
@@ -478,6 +491,7 @@ mod tests {
             },
             JournalRecord {
                 run_id: String::new(),
+                trace_id: String::new(),
                 chain: 0,
                 iteration: 1,
                 modeled_seconds: 2e-6,
@@ -488,6 +502,7 @@ mod tests {
             },
             JournalRecord {
                 run_id: String::new(),
+                trace_id: String::new(),
                 chain: 0,
                 iteration: 1,
                 modeled_seconds: 2e-6,
@@ -499,6 +514,7 @@ mod tests {
             // A record from a chain the recording never saw.
             JournalRecord {
                 run_id: String::new(),
+                trace_id: String::new(),
                 chain: 9,
                 iteration: 0,
                 modeled_seconds: 0.0,

@@ -126,6 +126,13 @@ impl ApiError {
         self
     }
 
+    /// The back-off in whole seconds, rounded up — exactly the value
+    /// the server puts in the `Retry-After` header, so clients can
+    /// back off from the typed body without header parsing.
+    pub fn retry_after_seconds(&self) -> Option<u64> {
+        self.retry_after_ms.map(|ms| ms.div_ceil(1000).max(1))
+    }
+
     /// Serialize as a `v1` JSON document.
     pub fn to_json(&self) -> Json {
         let mut obj = Json::obj();
@@ -134,6 +141,10 @@ impl ApiError {
         obj.set("message", Json::from(self.message.as_str()));
         if let Some(ms) = self.retry_after_ms {
             obj.set("retry_after_ms", Json::from(ms));
+        }
+        // Derived, additive: the header value, readable from the body.
+        if let Some(s) = self.retry_after_seconds() {
+            obj.set("retry_after_s", Json::from(s));
         }
         obj
     }
@@ -493,6 +504,9 @@ pub struct JobStatus {
     pub modeled_seconds: Option<f64>,
     /// Why the job failed / was rejected, when terminal-unsuccessful.
     pub error: Option<ApiError>,
+    /// W3C trace id correlating this job with the distributed trace
+    /// that submitted it (populated when request spans are on).
+    pub trace_id: Option<String>,
 }
 
 impl JobStatus {
@@ -510,12 +524,19 @@ impl JobStatus {
             chains: None,
             modeled_seconds: None,
             error: None,
+            trace_id: None,
         }
     }
 
     /// Set the lifecycle state.
     pub fn with_state(mut self, state: JobState) -> JobStatus {
         self.state = state;
+        self
+    }
+
+    /// Attach the correlating trace id.
+    pub fn with_trace_id(mut self, trace_id: impl Into<String>) -> JobStatus {
+        self.trace_id = Some(trace_id.into());
         self
     }
 
@@ -556,6 +577,9 @@ impl JobStatus {
         if let Some(error) = &self.error {
             obj.set("error", error.to_json());
         }
+        if let Some(trace_id) = &self.trace_id {
+            obj.set("trace_id", Json::from(trace_id.as_str()));
+        }
         obj
     }
 
@@ -594,6 +618,10 @@ impl JobStatus {
         if let Some(err) = doc.get("error") {
             status.error = Some(ApiError::from_json(err).map_err(bad)?);
         }
+        status.trace_id = doc
+            .get("trace_id")
+            .and_then(Json::as_str)
+            .map(str::to_string);
         Ok(status)
     }
 
@@ -616,6 +644,9 @@ pub struct SolveResponse {
     pub status_url: String,
     /// State at admission (always [`JobState::Queued`] today).
     pub state: JobState,
+    /// W3C trace id of the request's distributed trace — the caller's
+    /// own when it sent `traceparent`, a generated one otherwise.
+    pub trace_id: Option<String>,
 }
 
 impl SolveResponse {
@@ -627,12 +658,19 @@ impl SolveResponse {
             status_url: format!("/v1/jobs/{job_id}"),
             job_id,
             state: JobState::Queued,
+            trace_id: None,
         }
     }
 
     /// Override the admission state.
     pub fn with_state(mut self, state: JobState) -> SolveResponse {
         self.state = state;
+        self
+    }
+
+    /// Attach the correlating trace id.
+    pub fn with_trace_id(mut self, trace_id: impl Into<String>) -> SolveResponse {
+        self.trace_id = Some(trace_id.into());
         self
     }
 
@@ -643,6 +681,9 @@ impl SolveResponse {
         obj.set("job_id", Json::from(self.job_id.as_str()));
         obj.set("status_url", Json::from(self.status_url.as_str()));
         obj.set("state", Json::from(self.state.as_str()));
+        if let Some(trace_id) = &self.trace_id {
+            obj.set("trace_id", Json::from(trace_id.as_str()));
+        }
         obj
     }
 
@@ -662,6 +703,10 @@ impl SolveResponse {
         if let Some(url) = doc.get("status_url").and_then(Json::as_str) {
             resp.status_url = url.to_string();
         }
+        resp.trace_id = doc
+            .get("trace_id")
+            .and_then(Json::as_str)
+            .map(str::to_string);
         Ok(resp)
     }
 
@@ -669,6 +714,260 @@ impl SolveResponse {
     pub fn parse(text: &str) -> Result<SolveResponse, ApiError> {
         let doc = json::parse(text).map_err(|e| bad(format!("response body: {e:?}")))?;
         SolveResponse::from_json(&doc)
+    }
+}
+
+/// One job's row in the [`OpsSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct OpsJob {
+    /// The service-minted job id.
+    pub job_id: String,
+    /// Submitting tenant.
+    pub tenant: String,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// Correlating W3C trace id, when known.
+    pub trace_id: Option<String>,
+    /// Device pool index, once leased.
+    pub device: Option<u64>,
+    /// Stream index on that device, once leased.
+    pub stream: Option<u64>,
+    /// End-to-end wall seconds, once terminal.
+    pub end_to_end_seconds: Option<f64>,
+}
+
+impl OpsJob {
+    /// A row for a job in `state`.
+    pub fn new(job_id: impl Into<String>, tenant: impl Into<String>, state: JobState) -> OpsJob {
+        OpsJob {
+            job_id: job_id.into(),
+            tenant: tenant.into(),
+            state,
+            trace_id: None,
+            device: None,
+            stream: None,
+            end_to_end_seconds: None,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.set("job_id", Json::from(self.job_id.as_str()))
+            .set("tenant", Json::from(self.tenant.as_str()))
+            .set("state", Json::from(self.state.as_str()));
+        if let Some(t) = &self.trace_id {
+            o.set("trace_id", Json::from(t.as_str()));
+        }
+        if let Some(d) = self.device {
+            o.set("device", Json::from(d as f64));
+        }
+        if let Some(s) = self.stream {
+            o.set("stream", Json::from(s as f64));
+        }
+        if let Some(e) = self.end_to_end_seconds {
+            o.set("end_to_end_seconds", Json::from(e));
+        }
+        o
+    }
+
+    fn from_json(j: &Json) -> Result<OpsJob, String> {
+        let job_id = j
+            .get("job_id")
+            .and_then(Json::as_str)
+            .ok_or("ops job missing job_id")?;
+        let tenant = j.get("tenant").and_then(Json::as_str).unwrap_or_default();
+        let state = j
+            .get("state")
+            .and_then(Json::as_str)
+            .and_then(JobState::parse)
+            .ok_or("ops job missing a known state")?;
+        let mut job = OpsJob::new(job_id, tenant, state);
+        job.trace_id = j.get("trace_id").and_then(Json::as_str).map(str::to_string);
+        job.device = j.get("device").and_then(Json::as_f64).map(|d| d as u64);
+        job.stream = j.get("stream").and_then(Json::as_f64).map(|s| s as u64);
+        job.end_to_end_seconds = j.get("end_to_end_seconds").and_then(Json::as_f64);
+        Ok(job)
+    }
+}
+
+/// One latency stage's rolling quantiles in the [`OpsSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct OpsLatency {
+    /// The stage name (`queue_wait`, `lease_wait`, `solve`,
+    /// `end_to_end`).
+    pub stage: String,
+    /// Observations folded into the estimators.
+    pub count: u64,
+    /// `(quantile, wall seconds)` estimates, ascending by quantile.
+    pub quantiles: Vec<(f64, f64)>,
+}
+
+impl OpsLatency {
+    /// A stage's latency summary.
+    pub fn new(stage: impl Into<String>, count: u64, quantiles: Vec<(f64, f64)>) -> OpsLatency {
+        OpsLatency {
+            stage: stage.into(),
+            count,
+            quantiles,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.set("stage", Json::from(self.stage.as_str()))
+            .set("count", Json::from(self.count));
+        let qs = self
+            .quantiles
+            .iter()
+            .map(|&(q, v)| {
+                let mut e = Json::obj();
+                e.set("quantile", Json::from(q))
+                    .set("seconds", Json::from(v));
+                e
+            })
+            .collect();
+        o.set("quantiles", Json::Arr(qs));
+        o
+    }
+
+    fn from_json(j: &Json) -> Result<OpsLatency, String> {
+        let stage = j
+            .get("stage")
+            .and_then(Json::as_str)
+            .ok_or("ops latency missing stage")?;
+        let count = j
+            .get("count")
+            .and_then(Json::as_f64)
+            .ok_or("ops latency missing count")? as u64;
+        let mut quantiles = Vec::new();
+        for e in j
+            .get("quantiles")
+            .and_then(Json::as_array)
+            .unwrap_or(&[])
+            .iter()
+        {
+            let q = e
+                .get("quantile")
+                .and_then(Json::as_f64)
+                .ok_or("ops quantile missing quantile")?;
+            let v = e
+                .get("seconds")
+                .and_then(Json::as_f64)
+                .ok_or("ops quantile missing seconds")?;
+            quantiles.push((q, v));
+        }
+        Ok(OpsLatency::new(stage, count, quantiles))
+    }
+}
+
+/// `GET /v1/ops` — a live operational snapshot of the service:
+/// pool pressure, every known job with its lane and trace id, the
+/// rolling latency quantiles per stage, and rejection totals per
+/// [`ErrorCode`]. Purely observational; serving it never touches a
+/// solve.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct OpsSnapshot {
+    /// Always [`API_VERSION`] on serialized documents.
+    pub api_version: String,
+    /// Jobs waiting in the admission queue.
+    pub queue_depth: u64,
+    /// Device lanes currently leased.
+    pub slot_occupancy: u64,
+    /// Total device lanes.
+    pub lanes: u64,
+    /// Every job the service knows, in job-id order.
+    pub jobs: Vec<OpsJob>,
+    /// Rolling latency quantiles per lifecycle stage.
+    pub latency: Vec<OpsLatency>,
+    /// `(error code, count)` rejection totals, ascending by code.
+    pub rejections: Vec<(String, u64)>,
+}
+
+impl OpsSnapshot {
+    /// An empty snapshot for a pool of `lanes` lanes.
+    pub fn new(lanes: u64) -> OpsSnapshot {
+        OpsSnapshot {
+            api_version: API_VERSION.to_string(),
+            queue_depth: 0,
+            slot_occupancy: 0,
+            lanes,
+            jobs: Vec::new(),
+            latency: Vec::new(),
+            rejections: Vec::new(),
+        }
+    }
+
+    /// Serialize as a `v1` JSON document.
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::obj();
+        obj.set("api_version", Json::from(self.api_version.as_str()))
+            .set("queue_depth", Json::from(self.queue_depth))
+            .set("slot_occupancy", Json::from(self.slot_occupancy))
+            .set("lanes", Json::from(self.lanes))
+            .set(
+                "jobs",
+                Json::Arr(self.jobs.iter().map(OpsJob::to_json).collect()),
+            )
+            .set(
+                "latency",
+                Json::Arr(self.latency.iter().map(OpsLatency::to_json).collect()),
+            );
+        let rej = self
+            .rejections
+            .iter()
+            .map(|(code, n)| {
+                let mut e = Json::obj();
+                e.set("code", Json::from(code.as_str()))
+                    .set("count", Json::from(*n));
+                e
+            })
+            .collect();
+        obj.set("rejections", Json::Arr(rej));
+        obj
+    }
+
+    /// Parse a `v1` document (unknown members ignored).
+    pub fn from_json(doc: &Json) -> Result<OpsSnapshot, ApiError> {
+        check_version(doc).map_err(bad)?;
+        let num = |key: &str| {
+            doc.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| bad(format!("ops snapshot missing {key:?}")))
+        };
+        let mut snap = OpsSnapshot::new(num("lanes")? as u64);
+        snap.queue_depth = num("queue_depth")? as u64;
+        snap.slot_occupancy = num("slot_occupancy")? as u64;
+        for j in doc.get("jobs").and_then(Json::as_array).unwrap_or(&[]) {
+            snap.jobs.push(OpsJob::from_json(j).map_err(bad)?);
+        }
+        for l in doc.get("latency").and_then(Json::as_array).unwrap_or(&[]) {
+            snap.latency.push(OpsLatency::from_json(l).map_err(bad)?);
+        }
+        for r in doc
+            .get("rejections")
+            .and_then(Json::as_array)
+            .unwrap_or(&[])
+        {
+            let code = r
+                .get("code")
+                .and_then(Json::as_str)
+                .ok_or_else(|| bad("rejection entry missing code"))?;
+            let count =
+                r.get("count")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| bad("rejection entry missing count"))? as u64;
+            snap.rejections.push((code.to_string(), count));
+        }
+        Ok(snap)
+    }
+
+    /// Parse a response body.
+    pub fn parse(text: &str) -> Result<OpsSnapshot, ApiError> {
+        let doc = json::parse(text).map_err(|e| bad(format!("ops body: {e:?}")))?;
+        OpsSnapshot::from_json(&doc)
     }
 }
 
@@ -729,6 +1028,80 @@ mod tests {
             assert_eq!(code.http_status(), status);
             assert_eq!(ErrorCode::parse(code.as_str()), Some(code));
         }
+    }
+
+    #[test]
+    fn retry_after_seconds_matches_the_header_computation() {
+        let err = ApiError::new(ErrorCode::QuotaExceeded, "over quota");
+        assert_eq!(err.retry_after_seconds(), None);
+        assert!(!err.to_json().to_string().contains("retry_after_s"));
+        for (ms, s) in [(1, 1), (999, 1), (1000, 1), (1001, 2), (1500, 2), (0, 1)] {
+            let err = err.clone().with_retry_after_ms(ms);
+            assert_eq!(err.retry_after_seconds(), Some(s), "{ms}ms");
+            let doc = err.to_json();
+            assert_eq!(
+                doc.get("retry_after_s").and_then(Json::as_f64),
+                Some(s as f64)
+            );
+            // Derived field: the round trip reconstructs it from ms.
+            let back = ApiError::from_json(&doc).unwrap();
+            assert_eq!(back, err);
+        }
+    }
+
+    #[test]
+    fn trace_ids_ride_the_responses() {
+        let resp = SolveResponse::queued("job-1").with_trace_id("0af7651916cd43dd8448eb211c80319c");
+        let back = SolveResponse::parse(&resp.to_json().to_string()).unwrap();
+        assert_eq!(back, resp);
+        assert_eq!(
+            back.trace_id.as_deref(),
+            Some("0af7651916cd43dd8448eb211c80319c")
+        );
+        // Absent stays absent (pre-trace documents parse unchanged).
+        let plain = SolveResponse::queued("job-2");
+        assert_eq!(
+            SolveResponse::parse(&plain.to_json().to_string()).unwrap(),
+            plain
+        );
+
+        let status = JobStatus::queued("job-1", "dispatch")
+            .with_state(JobState::Done)
+            .with_trace_id("0af7651916cd43dd8448eb211c80319c");
+        let back = JobStatus::parse(&status.to_json().to_string()).unwrap();
+        assert_eq!(back, status);
+    }
+
+    #[test]
+    fn ops_snapshot_round_trips() {
+        let mut snap = OpsSnapshot::new(4);
+        snap.queue_depth = 2;
+        snap.slot_occupancy = 3;
+        let mut job = OpsJob::new("job-00000001", "dispatch", JobState::Done);
+        job.trace_id = Some("0af7651916cd43dd8448eb211c80319c".into());
+        job.device = Some(1);
+        job.stream = Some(0);
+        job.end_to_end_seconds = Some(0.064);
+        snap.jobs.push(job);
+        snap.jobs
+            .push(OpsJob::new("job-00000002", "burst", JobState::Queued));
+        snap.latency.push(OpsLatency::new(
+            "end_to_end",
+            50,
+            vec![(0.5, 0.031), (0.95, 0.059), (0.99, 0.064)],
+        ));
+        snap.rejections.push(("queue_full".into(), 3));
+        let back = OpsSnapshot::parse(&snap.to_json().to_string()).unwrap();
+        assert_eq!(back, snap);
+        // Unknown members are ignored, like everywhere on v1.
+        let mut doc = snap.to_json();
+        doc.set("future_field", Json::from(1u64));
+        assert_eq!(OpsSnapshot::from_json(&doc).unwrap(), snap);
+        // Version checks still apply (`Json::set` appends, so build a
+        // fresh document carrying the wrong version).
+        let mut wrong = Json::obj();
+        wrong.set("api_version", Json::from("v9"));
+        assert!(OpsSnapshot::from_json(&wrong).is_err());
     }
 
     #[test]

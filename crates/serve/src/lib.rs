@@ -44,11 +44,14 @@ pub mod api;
 pub mod pool;
 pub mod server;
 pub mod service;
+pub mod span;
 
 pub use admission::{AdmissionQueue, Ticket};
 pub use api::{
-    ApiError, ErrorCode, FromRequest, JobState, JobStatus, SolveRequest, SolveResponse, API_VERSION,
+    ApiError, ErrorCode, FromRequest, JobState, JobStatus, OpsJob, OpsLatency, OpsSnapshot,
+    SolveRequest, SolveResponse, API_VERSION,
 };
 pub use pool::{SlotIndexAllocator, SlotLease, SlotPool};
 pub use server::{error_response, router, ServeServer};
 pub use service::{ServiceConfig, SolveService};
+pub use span::{RequestSpan, Stage, StageStamp, REQUEST_SPAN_FORMAT};

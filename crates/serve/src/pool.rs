@@ -254,6 +254,14 @@ impl SlotLease<'_> {
         self.pool.pool.lane(self.slot as usize).0
     }
 
+    /// Pool index of the lane's device (lane `l` → device
+    /// `l % device_count`, mirroring [`DevicePool::lane`]).
+    ///
+    /// [`DevicePool::lane`]: gpu_sim::DevicePool::lane
+    pub fn device_index(&self) -> usize {
+        self.slot as usize % self.pool.pool.device_count()
+    }
+
     /// The lane's stream on that device.
     pub fn stream(&self) -> StreamId {
         self.pool.pool.lane(self.slot as usize).1

@@ -1,13 +1,23 @@
 //! HTTP front of the service: the `v1` routes on the shared
 //! [`tsp_telemetry::http`] core, plus the scrape endpoints
 //! (`/metrics`, `/healthz`) on the same port.
+//!
+//! Every `POST /v1/solve` runs under a W3C trace context: a valid
+//! incoming `traceparent` header is adopted (so the job correlates
+//! with the caller's distributed trace), anything else gets a
+//! generated context. The context's trace id is echoed in the
+//! response body and `traceparent` response header, stamped on the
+//! job's journal lines and request span, and tagged onto its Chrome
+//! trace artifact.
 
 use crate::api::{ApiError, SolveRequest};
 use crate::service::SolveService;
 use std::io;
 use std::net::{SocketAddr, ToSocketAddrs};
 use std::sync::Arc;
-use tsp_telemetry::http::{HttpServer, Response, Router};
+use tsp_telemetry::http::{
+    trace_seed, AccessLog, HttpServer, Response, Router, TraceContext, TRACEPARENT,
+};
 use tsp_telemetry::prometheus::CONTENT_TYPE;
 
 /// Render a typed error as its documented status, mirroring the
@@ -27,28 +37,51 @@ pub fn router(service: Arc<SolveService>) -> Router {
     let telemetry = service.telemetry().clone();
     let submit = service.clone();
     let status = service.clone();
-    let cancel = service;
+    let cancel = service.clone();
+    let ops = service;
     Router::new()
         .route("POST", "/v1/solve", move |req, _| {
+            // Adopt the caller's trace context when it sends a valid
+            // `traceparent`; mint one otherwise so every admitted job
+            // is correlatable.
+            let ctx = TraceContext::of_request(req)
+                .unwrap_or_else(|| TraceContext::generate(&trace_seed()));
             let body = String::from_utf8_lossy(&req.body);
-            match SolveRequest::parse(&body).and_then(|r| submit.submit(r)) {
+            let outcome = SolveRequest::parse(&body)
+                .inspect_err(|err| {
+                    // submit_traced counts its own rejections; the
+                    // parse failures never reach it.
+                    submit.count_rejection(err.code);
+                })
+                .and_then(|r| submit.submit_traced(r, &ctx.trace_id));
+            let response = match outcome {
                 Ok(resp) => Response::json(202, resp.to_json().to_string()),
                 Err(err) => error_response(&err),
-            }
+            };
+            response.with_header(TRACEPARENT, ctx.to_header())
         })
         .route("GET", "/v1/jobs/{id}", move |_, params| {
             let id = params.get("id").unwrap_or_default();
             match status.status(id) {
                 Ok(job) => Response::json(200, job.to_json().to_string()),
-                Err(err) => error_response(&err),
+                Err(err) => {
+                    status.count_rejection(err.code);
+                    error_response(&err)
+                }
             }
         })
         .route("DELETE", "/v1/jobs/{id}", move |_, params| {
             let id = params.get("id").unwrap_or_default();
             match cancel.cancel(id) {
                 Ok(job) => Response::json(200, job.to_json().to_string()),
-                Err(err) => error_response(&err),
+                Err(err) => {
+                    cancel.count_rejection(err.code);
+                    error_response(&err)
+                }
             }
+        })
+        .route("GET", "/v1/ops", move |_, _| {
+            Response::json(200, ops.ops_snapshot().to_json().to_string())
         })
         .route("GET", "/metrics", move |_, _| {
             Response::new(200, CONTENT_TYPE, telemetry.expose())
@@ -64,10 +97,21 @@ pub struct ServeServer {
 }
 
 impl ServeServer {
-    /// Bind `addr` (use port 0 for an ephemeral port) and serve.
+    /// Bind `addr` (use port 0 for an ephemeral port) and serve. When
+    /// the service config names an access-log file, every request gets
+    /// one structured JSONL line there.
     pub fn spawn(addr: impl ToSocketAddrs, service: SolveService) -> io::Result<ServeServer> {
         let service = Arc::new(service);
-        let http = HttpServer::spawn(addr, "tsp-serve", Arc::new(router(service.clone())))?;
+        let access_log = match service.access_log_path() {
+            Some(path) => Some(AccessLog::create(path)?),
+            None => None,
+        };
+        let http = HttpServer::spawn_with_log(
+            addr,
+            "tsp-serve",
+            Arc::new(router(service.clone())),
+            access_log,
+        )?;
         Ok(ServeServer { http, service })
     }
 

@@ -11,11 +11,13 @@
 
 use crate::admission::{AdmissionQueue, Ticket};
 use crate::api::{
-    ApiError, ErrorCode, FromRequest, JobState, JobStatus, SolveRequest, SolveResponse,
+    ApiError, ErrorCode, FromRequest, JobState, JobStatus, OpsJob, OpsLatency, OpsSnapshot,
+    SolveRequest, SolveResponse,
 };
 use crate::pool::SlotPool;
+use crate::span::{RequestSpan, Stage};
 use gpu_sim::{DeviceSpec, SimError, StreamReport};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -24,7 +26,10 @@ use std::time::{Duration, Instant};
 use tsp::{Solution, SolverBuilder, TelemetryOptions};
 use tsp_core::CancelToken;
 use tsp_prof::{Manifest, Profiler};
-use tsp_telemetry::{Histogram, Journal, JournalWriter, Telemetry, SECONDS_BUCKETS};
+use tsp_telemetry::{
+    Histogram, Journal, JournalWriter, RollingQuantiles, Telemetry, SECONDS_BUCKETS,
+};
+use tsp_trace::{chrome_trace_with_ids, Recorder};
 
 /// Boot-time service configuration.
 #[derive(Debug, Clone)]
@@ -47,6 +52,14 @@ pub struct ServiceConfig {
     /// Per-job artifact directory (`<dir>/<job_id>/manifest.json`…);
     /// `None` keeps everything in memory.
     pub artifacts_dir: Option<PathBuf>,
+    /// Stamp a [`RequestSpan`] lifecycle timeline on every job (and,
+    /// with an artifacts dir, persist it as `request.json` plus a
+    /// trace-tagged `trace.json`). Observational only: turning this
+    /// off changes neither tour bytes nor modeled seconds.
+    pub request_spans: bool,
+    /// Append one structured JSONL access-log line per HTTP request to
+    /// this file (served by [`crate::server::ServeServer`]).
+    pub access_log: Option<PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -60,6 +73,8 @@ impl Default for ServiceConfig {
             per_tenant_quota: 16,
             max_cities: 4096,
             artifacts_dir: None,
+            request_spans: true,
+            access_log: None,
         }
     }
 }
@@ -113,6 +128,18 @@ impl ServiceConfig {
         self.artifacts_dir = Some(dir.into());
         self
     }
+
+    /// Enable or disable per-request lifecycle spans (on by default).
+    pub fn with_request_spans(mut self, enabled: bool) -> Self {
+        self.request_spans = enabled;
+        self
+    }
+
+    /// Append one JSONL access-log line per HTTP request to `path`.
+    pub fn with_access_log(mut self, path: impl Into<PathBuf>) -> Self {
+        self.access_log = Some(path.into());
+        self
+    }
 }
 
 struct JobEntry {
@@ -122,7 +149,18 @@ struct JobEntry {
     /// deadline-carrying copy from it.
     cancel: CancelToken,
     deadline: Option<Instant>,
+    /// When the request reached the service; every span stamp is wall
+    /// time relative to this.
+    received: Instant,
+    /// The lifecycle timeline (`None` when spans are configured off).
+    span: Option<RequestSpan>,
 }
+
+/// The stage names fed into the rolling latency estimators, in the
+/// order they are exported.
+const LATENCY_STAGES: [&str; 4] = ["queue_wait", "lease_wait", "solve", "end_to_end"];
+
+const LATENCY_HELP: &str = "Rolling latency quantile estimates per request stage";
 
 struct Inner {
     queue: AdmissionQueue,
@@ -133,6 +171,68 @@ struct Inner {
     latency: Option<Histogram>,
     artifacts_dir: Option<PathBuf>,
     max_cities: usize,
+    request_spans: bool,
+    access_log: Option<PathBuf>,
+    /// One P² estimator set per [`LATENCY_STAGES`] entry.
+    stage_latency: Mutex<Vec<(&'static str, RollingQuantiles)>>,
+    /// Rejection totals per typed error code, ascending by code.
+    rejections: Mutex<BTreeMap<&'static str, u64>>,
+}
+
+impl Inner {
+    /// Count one typed rejection: the `BTreeMap` backs `/v1/ops`, the
+    /// labeled counter backs `/metrics`.
+    fn count_rejection(&self, code: ErrorCode) {
+        let name = code.as_str();
+        *self.rejections.lock().unwrap().entry(name).or_insert(0) += 1;
+        if let Some(registry) = self.telemetry.registry() {
+            registry
+                .counter_with(
+                    "tsp_serve_rejections_total",
+                    "Requests rejected, by typed error code",
+                    &[("code", name)],
+                )
+                .inc();
+        }
+    }
+
+    /// Fold one finished span into the rolling estimators and mirror
+    /// the fresh p50/p95/p99 estimates onto the labeled gauges.
+    fn observe_latency(&self, span: &RequestSpan) {
+        let samples = [
+            span.queue_wait_seconds(),
+            span.lease_wait_seconds(),
+            span.solve_seconds(),
+            span.end_to_end_seconds(),
+        ];
+        let mut stages = self.stage_latency.lock().unwrap();
+        for ((name, rolling), sample) in stages.iter_mut().zip(samples) {
+            let Some(sample) = sample else { continue };
+            rolling.observe(sample);
+            if let Some(registry) = self.telemetry.registry() {
+                for (q, estimate) in rolling.estimates() {
+                    let label = quantile_label(q);
+                    registry
+                        .gauge_with(
+                            "tsp_serve_latency_seconds",
+                            LATENCY_HELP,
+                            &[("stage", name), ("quantile", label)],
+                        )
+                        .set(estimate);
+                }
+            }
+        }
+    }
+}
+
+/// `0.5 → "p50"`; the label spelling for a quantile gauge.
+fn quantile_label(q: f64) -> &'static str {
+    match (q * 100.0).round() as u32 {
+        50 => "p50",
+        95 => "p95",
+        99 => "p99",
+        _ => "p",
+    }
 }
 
 /// A running multi-tenant solve service. Submit with
@@ -189,6 +289,15 @@ impl SolveService {
             latency,
             artifacts_dir: cfg.artifacts_dir,
             max_cities: cfg.max_cities,
+            request_spans: cfg.request_spans,
+            access_log: cfg.access_log,
+            stage_latency: Mutex::new(
+                LATENCY_STAGES
+                    .iter()
+                    .map(|&stage| (stage, RollingQuantiles::new()))
+                    .collect(),
+            ),
+            rejections: Mutex::new(BTreeMap::new()),
         });
         let workers = (0..inner.slots.lanes())
             .map(|lane| {
@@ -212,24 +321,37 @@ impl SolveService {
     /// deadline, 429/503 from admission — none of which ever reach a
     /// device lane.
     pub fn submit(&self, request: SolveRequest) -> Result<SolveResponse, ApiError> {
-        let inst = request.instance()?;
+        self.submit_traced(request, "")
+    }
+
+    /// [`SolveService::submit`] with a correlating W3C trace id: the
+    /// id is echoed on the response and every later status, stamped
+    /// into the job's journal lines and span, and tagged onto its
+    /// Chrome trace. An empty `trace_id` means "uncorrelated".
+    pub fn submit_traced(
+        &self,
+        request: SolveRequest,
+        trace_id: &str,
+    ) -> Result<SolveResponse, ApiError> {
+        let received = Instant::now();
+        let inst = request.instance().map_err(|err| self.reject(err))?;
         if inst.len() > self.inner.max_cities {
-            return Err(ApiError::new(
+            return Err(self.reject(ApiError::new(
                 ErrorCode::Unsupported,
                 format!(
                     "instance has {} cities; this service accepts at most {}",
                     inst.len(),
                     self.inner.max_cities
                 ),
-            ));
+            )));
         }
         // A deadline of zero is already past: reject it here, before
         // admission, so it provably never occupies a queue slot or lane.
         if request.deadline_ms == Some(0) {
-            return Err(ApiError::new(
+            return Err(self.reject(ApiError::new(
                 ErrorCode::DeadlineExceeded,
                 "the deadline expired before the job could be admitted",
-            ));
+            )));
         }
         let job_id = format!("job-{:08x}", self.seq.fetch_add(1, Ordering::Relaxed));
         let ticket = Ticket {
@@ -239,11 +361,32 @@ impl SolveService {
         let deadline = request
             .deadline_ms
             .map(|ms| Instant::now() + Duration::from_millis(ms));
+        let span = self.inner.request_spans.then(|| {
+            let mut span = RequestSpan::new(&job_id, &request.tenant);
+            span.trace_id = trace_id.to_string();
+            span.stamp(Stage::Received, 0.0, 0.0);
+            // Stamp the admission transitions *before* the ticket hits
+            // the queue: a worker may dequeue the job the instant
+            // `submit` returns, and its stamps must land after these.
+            // If admission refuses, the whole entry (and span) is
+            // removed, so the optimistic stamps never escape. Both
+            // carry the same clock read — admission *is* the enqueue.
+            let wall = received.elapsed().as_secs_f64();
+            span.stamp(Stage::Admitted, wall, 0.0);
+            span.stamp(Stage::Queued, wall, 0.0);
+            span
+        });
+        let mut status = JobStatus::queued(&job_id, &request.tenant);
+        if !trace_id.is_empty() {
+            status = status.with_trace_id(trace_id);
+        }
         let entry = JobEntry {
-            status: JobStatus::queued(&job_id, &request.tenant),
+            status,
             request,
             cancel: CancelToken::new(),
             deadline,
+            received,
+            span,
         };
         // Insert before admitting so a worker popping the ticket
         // always finds the entry; remove again if admission refuses.
@@ -254,9 +397,19 @@ impl SolveService {
             .insert(job_id.clone(), entry);
         if let Err(err) = self.inner.queue.submit(ticket) {
             self.inner.jobs.lock().unwrap().remove(&job_id);
-            return Err(err);
+            return Err(self.reject(err));
         }
-        Ok(SolveResponse::queued(job_id))
+        let mut response = SolveResponse::queued(job_id);
+        if !trace_id.is_empty() {
+            response = response.with_trace_id(trace_id);
+        }
+        Ok(response)
+    }
+
+    /// Count a typed rejection and hand the error back.
+    fn reject(&self, err: ApiError) -> ApiError {
+        self.inner.count_rejection(err.code);
+        err
     }
 
     /// Current status of a job.
@@ -285,6 +438,13 @@ impl SolveService {
                 // The worker that later pops the ticket sees the
                 // terminal state and only credits the quota back.
                 entry.status.state = JobState::Cancelled;
+                if let Some(span) = entry.span.as_mut() {
+                    span.stamp(
+                        Stage::Cancelled,
+                        entry.received.elapsed().as_secs_f64(),
+                        0.0,
+                    );
+                }
             }
         }
         Ok(entry.status.clone())
@@ -308,6 +468,63 @@ impl SolveService {
     /// Admission-queue depth.
     pub fn queue_depth(&self) -> usize {
         self.inner.queue.depth()
+    }
+
+    /// Count a typed rejection that never reached [`SolveService::submit`]
+    /// (the HTTP layer's parse failures and unknown-job 404s).
+    pub fn count_rejection(&self, code: ErrorCode) {
+        self.inner.count_rejection(code);
+    }
+
+    /// The configured access-log path, if any (the HTTP server wires
+    /// it into [`tsp_telemetry::AccessLog`]).
+    pub fn access_log_path(&self) -> Option<&std::path::Path> {
+        self.inner.access_log.as_deref()
+    }
+
+    /// A live operational snapshot: pool pressure, every known job
+    /// with its lane and trace id, rolling latency quantiles per
+    /// lifecycle stage, and rejection totals per error code. Purely
+    /// observational — building it takes the bookkeeping locks but
+    /// never touches a device lane.
+    pub fn ops_snapshot(&self) -> OpsSnapshot {
+        let mut snap = OpsSnapshot::new(self.inner.slots.lanes() as u64);
+        snap.queue_depth = self.inner.queue.depth() as u64;
+        snap.slot_occupancy = self.inner.slots.occupancy() as u64;
+        {
+            let jobs = self.inner.jobs.lock().unwrap();
+            let mut ids: Vec<&String> = jobs.keys().collect();
+            ids.sort();
+            for id in ids {
+                let entry = &jobs[id];
+                let mut job = OpsJob::new(id, &entry.status.tenant, entry.status.state);
+                job.trace_id = entry.status.trace_id.clone();
+                if let Some(span) = &entry.span {
+                    if let Some(lease) = span.stage(Stage::Leased) {
+                        job.device = lease.device;
+                        job.stream = lease.stream;
+                    }
+                    job.end_to_end_seconds = span.end_to_end_seconds();
+                }
+                snap.jobs.push(job);
+            }
+        }
+        for (stage, rolling) in self.inner.stage_latency.lock().unwrap().iter() {
+            snap.latency.push(OpsLatency::new(
+                *stage,
+                rolling.count(),
+                rolling.estimates(),
+            ));
+        }
+        snap.rejections = self
+            .inner
+            .rejections
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(&code, &n)| (code.to_string(), n))
+            .collect();
+        snap
     }
 
     /// Drain the queue, join the workers, collect the per-stream
@@ -341,18 +558,24 @@ fn worker(inner: &Inner) {
 }
 
 fn run_ticket(inner: &Inner, ticket: &Ticket) {
-    let Some((request, base_token, deadline)) = ({
+    let Some((request, base_token, deadline, trace_id)) = ({
         let jobs = inner.jobs.lock().unwrap();
         jobs.get(&ticket.job_id).and_then(|entry| {
             if entry.status.state.is_terminal() {
                 None // cancelled while queued; quota credit only
             } else {
-                Some((entry.request.clone(), entry.cancel.clone(), entry.deadline))
+                Some((
+                    entry.request.clone(),
+                    entry.cancel.clone(),
+                    entry.deadline,
+                    entry.status.trace_id.clone().unwrap_or_default(),
+                ))
             }
         })
     }) else {
         return;
     };
+    stamp_stage(inner, &ticket.job_id, Stage::Dequeued);
     let token = match deadline {
         Some(deadline) => base_token.clone().with_deadline(deadline),
         None => base_token.clone(),
@@ -367,16 +590,39 @@ fn run_ticket(inner: &Inner, ticket: &Ticket) {
             None,
             None,
             None,
+            None,
         );
         return;
     }
 
     let lease = inner.slots.acquire();
+    if let Some(entry) = inner.jobs.lock().unwrap().get_mut(&ticket.job_id) {
+        if let Some(span) = entry.span.as_mut() {
+            span.stamp_lease(
+                entry.received.elapsed().as_secs_f64(),
+                lease.device_index() as u64,
+                lease.stream().index() as u64,
+            );
+        }
+    }
     set_state(inner, &ticket.job_id, JobState::Running);
-    let journal = Journal::attached();
+    let mut journal = Journal::attached();
+    if !trace_id.is_empty() {
+        journal = journal.with_trace_id(&trace_id);
+    }
     let job_prof = Profiler::attached();
+    // A per-job event recorder feeds the trace-tagged `trace.json`
+    // artifact; it only records when spans will actually be persisted.
+    let recorder = if inner.request_spans && inner.artifacts_dir.is_some() {
+        Recorder::enabled()
+    } else {
+        Recorder::disabled()
+    };
+    stamp_stage(inner, &ticket.job_id, Stage::Solving);
     let started = Instant::now();
-    let outcome = solve(inner, &request, &journal, &job_prof, &token, &lease);
+    let outcome = solve(
+        inner, &request, &journal, &job_prof, &recorder, &token, &lease,
+    );
     if let Some(latency) = &inner.latency {
         latency.observe(started.elapsed().as_secs_f64());
     }
@@ -396,6 +642,7 @@ fn run_ticket(inner: &Inner, ticket: &Ticket) {
                 Some(&solution),
                 Some(&journal),
                 Some(&job_prof),
+                Some(&recorder),
             );
         }
         Err(err) => {
@@ -406,7 +653,18 @@ fn run_ticket(inner: &Inner, ticket: &Ticket) {
                 None,
                 Some(&journal),
                 Some(&job_prof),
+                Some(&recorder),
             );
+        }
+    }
+}
+
+/// Stamp `stage` on the job's span at the current wall offset (no-op
+/// when spans are off or the job is gone).
+fn stamp_stage(inner: &Inner, job_id: &str, stage: Stage) {
+    if let Some(entry) = inner.jobs.lock().unwrap().get_mut(job_id) {
+        if let Some(span) = entry.span.as_mut() {
+            span.stamp(stage, entry.received.elapsed().as_secs_f64(), 0.0);
         }
     }
 }
@@ -416,6 +674,7 @@ fn solve(
     request: &SolveRequest,
     journal: &Journal,
     job_prof: &Profiler,
+    recorder: &Recorder,
     token: &CancelToken,
     lease: &crate::pool::SlotLease<'_>,
 ) -> Result<Solution, ApiError> {
@@ -427,6 +686,7 @@ fn solve(
                 .with_journal(journal.clone()),
         )
         .profiler(job_prof.clone())
+        .recorder(recorder.clone())
         .cancel(token.clone())
         .build();
     solver
@@ -463,8 +723,65 @@ fn finish_job(
     solution: Option<&Solution>,
     journal: Option<&Journal>,
     job_prof: Option<&Profiler>,
+    recorder: Option<&Recorder>,
 ) {
     let run_id = solution.map(|s| s.run_id.clone());
+    let modeled = solution.map(|s| s.modeled_seconds()).unwrap_or(0.0);
+    let writing = inner.artifacts_dir.is_some() && journal.is_some() && job_prof.is_some();
+    let trace_id = {
+        let mut jobs = inner.jobs.lock().unwrap();
+        let mut trace_id = String::new();
+        if let Some(entry) = jobs.get_mut(&ticket.job_id) {
+            trace_id = entry.status.trace_id.clone().unwrap_or_default();
+            if let Some(span) = entry.span.as_mut() {
+                if let Some(run_id) = &run_id {
+                    span.run_id = run_id.clone();
+                }
+                if writing {
+                    // The artifacts→terminal window below covers the
+                    // actual writes.
+                    span.stamp(
+                        Stage::Artifacts,
+                        entry.received.elapsed().as_secs_f64(),
+                        modeled,
+                    );
+                }
+            }
+        }
+        trace_id
+    };
+    if let (Some(dir), Some(journal), Some(job_prof)) = (&inner.artifacts_dir, journal, job_prof) {
+        write_artifacts(
+            inner,
+            dir,
+            &ticket.job_id,
+            run_id.as_deref(),
+            &trace_id,
+            journal,
+            job_prof,
+            recorder,
+        );
+    }
+    // Terminal span stamp, then persist the completed span before the
+    // status flips terminal: a client that polls a terminal state must
+    // find every artifact — request.json included — already durable.
+    let span = {
+        let mut jobs = inner.jobs.lock().unwrap();
+        jobs.get_mut(&ticket.job_id).and_then(|entry| {
+            let span = entry.span.as_mut()?;
+            let stage = Stage::terminal_for(state)?;
+            span.stamp(stage, entry.received.elapsed().as_secs_f64(), modeled);
+            Some(span.clone())
+        })
+    };
+    if let Some(span) = &span {
+        if let Some(dir) = &inner.artifacts_dir {
+            let job_dir = dir.join(&ticket.job_id);
+            if std::fs::create_dir_all(&job_dir).is_ok() {
+                let _ = std::fs::write(job_dir.join("request.json"), span.to_json().to_string());
+            }
+        }
+    }
     {
         let mut jobs = inner.jobs.lock().unwrap();
         if let Some(entry) = jobs.get_mut(&ticket.job_id) {
@@ -480,28 +797,24 @@ fn finish_job(
             }
         }
     }
-    if let (Some(dir), Some(journal), Some(job_prof)) = (&inner.artifacts_dir, journal, job_prof) {
-        write_artifacts(
-            inner,
-            dir,
-            &ticket.job_id,
-            run_id.as_deref(),
-            journal,
-            job_prof,
-        );
+    if let Some(span) = span {
+        inner.observe_latency(&span);
     }
 }
 
 /// Leave a `tsp-inspect`-compatible artifact set for the job. Uses
 /// the flush-on-drop [`JournalWriter`] so even an interrupted process
 /// never leaves a truncated JSONL line behind.
+#[allow(clippy::too_many_arguments)]
 fn write_artifacts(
     inner: &Inner,
     dir: &std::path::Path,
     job_id: &str,
     run_id: Option<&str>,
+    trace_id: &str,
     journal: &Journal,
     job_prof: &Profiler,
+    recorder: Option<&Recorder>,
 ) {
     let job_dir = dir.join(job_id);
     if std::fs::create_dir_all(&job_dir).is_err() {
@@ -525,5 +838,18 @@ fn write_artifacts(
         .push("journal", "journal.jsonl")
         .push("flamegraph", "run.folded")
         .push("memory", "memory.json");
+    if inner.request_spans {
+        // The trace-tagged Chrome trace of the solve's recorded events.
+        if let Some(recorder) = recorder {
+            let trace =
+                chrome_trace_with_ids(&recorder.events(), run_id.unwrap_or(job_id), trace_id);
+            if std::fs::write(job_dir.join("trace.json"), trace).is_ok() {
+                manifest.push("trace", "trace.json");
+            }
+        }
+        // request.json is written by `finish_job` right after the
+        // terminal stamp; index it here so the manifest is complete.
+        manifest.push("request", "request.json");
+    }
     let _ = std::fs::write(job_dir.join("manifest.json"), manifest.to_json_string());
 }

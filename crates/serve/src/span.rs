@@ -1,0 +1,514 @@
+//! Request-scoped spans: the lifecycle timeline every served job
+//! carries from the first byte of its HTTP request to its terminal
+//! state.
+//!
+//! A [`RequestSpan`] is a list of [`StageStamp`]s —
+//! `received → admitted → queued → dequeued → leased(device,stream) →
+//! solving → artifacts → terminal` (or `received → rejected` for jobs
+//! the admission layer turns away). Every stamp carries a *wall*
+//! timestamp relative to `received` and the *modeled* device seconds
+//! consumed so far, so the serving-side breakdown (queue wait, lease
+//! wait, solve, artifact write) reads off the same artifact as the
+//! solver-side one.
+//!
+//! Spans are observational only: the bit-inertness contract of the
+//! workspace extends here, and `crates/serve/tests/request_span.rs`
+//! pins that solving with spans enabled or disabled yields
+//! byte-identical tours and modeled seconds.
+//!
+//! Persisted as `request.json` next to the job's other artifacts and
+//! indexed by the run manifest under kind `request`.
+
+use crate::api::JobState;
+use tsp_trace::json::{self, Json};
+
+/// Format tag written to (and required from) `request.json`.
+pub const REQUEST_SPAN_FORMAT: &str = "tsp-request-span/v1";
+
+/// One point in the request lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// The HTTP request reached the service.
+    Received,
+    /// Admission accepted the job (quota + queue capacity).
+    Admitted,
+    /// Admission turned the job away (terminal; the span ends here).
+    Rejected,
+    /// The job entered the admission queue.
+    Queued,
+    /// A worker popped the job off the queue.
+    Dequeued,
+    /// The job holds a `(device, stream)` lane lease.
+    Leased,
+    /// The solver started.
+    Solving,
+    /// The solver finished; artifacts are being written.
+    Artifacts,
+    /// Terminal: the solve succeeded.
+    Done,
+    /// Terminal: the solver failed.
+    Failed,
+    /// Terminal: cancelled via `DELETE /v1/jobs/{id}`.
+    Cancelled,
+    /// Terminal: the deadline passed first.
+    Expired,
+}
+
+impl Stage {
+    /// Stable wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Stage::Received => "received",
+            Stage::Admitted => "admitted",
+            Stage::Rejected => "rejected",
+            Stage::Queued => "queued",
+            Stage::Dequeued => "dequeued",
+            Stage::Leased => "leased",
+            Stage::Solving => "solving",
+            Stage::Artifacts => "artifacts",
+            Stage::Done => "done",
+            Stage::Failed => "failed",
+            Stage::Cancelled => "cancelled",
+            Stage::Expired => "expired",
+        }
+    }
+
+    /// Parse the wire spelling.
+    pub fn parse(s: &str) -> Option<Stage> {
+        Some(match s {
+            "received" => Stage::Received,
+            "admitted" => Stage::Admitted,
+            "rejected" => Stage::Rejected,
+            "queued" => Stage::Queued,
+            "dequeued" => Stage::Dequeued,
+            "leased" => Stage::Leased,
+            "solving" => Stage::Solving,
+            "artifacts" => Stage::Artifacts,
+            "done" => Stage::Done,
+            "failed" => Stage::Failed,
+            "cancelled" => Stage::Cancelled,
+            "expired" => Stage::Expired,
+            _ => return None,
+        })
+    }
+
+    /// `true` for stages that end the span.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            Stage::Rejected | Stage::Done | Stage::Failed | Stage::Cancelled | Stage::Expired
+        )
+    }
+
+    /// The terminal stage for a terminal [`JobState`].
+    pub fn terminal_for(state: JobState) -> Option<Stage> {
+        Some(match state {
+            JobState::Done => Stage::Done,
+            JobState::Failed => Stage::Failed,
+            JobState::Cancelled => Stage::Cancelled,
+            JobState::Expired => Stage::Expired,
+            JobState::Queued | JobState::Running => return None,
+        })
+    }
+}
+
+/// One stamped lifecycle point: when (wall, relative to `received`)
+/// and how much modeled device time the job had consumed by then.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageStamp {
+    /// Which lifecycle point.
+    pub stage: Stage,
+    /// Host wall seconds since the `received` stamp.
+    pub wall_seconds: f64,
+    /// Modeled device seconds consumed so far (0 until the solve
+    /// contributes).
+    pub modeled_seconds: f64,
+    /// Device pool index (stamped on [`Stage::Leased`]).
+    pub device: Option<u64>,
+    /// Stream index on that device (stamped on [`Stage::Leased`]).
+    pub stream: Option<u64>,
+}
+
+impl StageStamp {
+    fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.set("stage", Json::from(self.stage.as_str()))
+            .set("wall_seconds", Json::from(self.wall_seconds))
+            .set("modeled_seconds", Json::from(self.modeled_seconds));
+        if let Some(d) = self.device {
+            o.set("device", Json::from(d as f64));
+        }
+        if let Some(s) = self.stream {
+            o.set("stream", Json::from(s as f64));
+        }
+        o
+    }
+
+    fn from_json(j: &Json) -> Result<StageStamp, String> {
+        let stage = j
+            .get("stage")
+            .and_then(Json::as_str)
+            .and_then(Stage::parse)
+            .ok_or("stage stamp missing a known stage")?;
+        let num = |key: &str| {
+            j.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("stage stamp missing numeric {key:?}"))
+        };
+        Ok(StageStamp {
+            stage,
+            wall_seconds: num("wall_seconds")?,
+            modeled_seconds: num("modeled_seconds")?,
+            device: j.get("device").and_then(Json::as_f64).map(|d| d as u64),
+            stream: j.get("stream").and_then(Json::as_f64).map(|s| s as u64),
+        })
+    }
+}
+
+/// The full request timeline of one served job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestSpan {
+    /// The service-minted job id.
+    pub job_id: String,
+    /// Submitting tenant.
+    pub tenant: String,
+    /// W3C trace id correlating the span with the distributed trace
+    /// (empty when the caller sent no `traceparent` and generation was
+    /// off).
+    pub trace_id: String,
+    /// Deterministic solver run id (empty until the solve ran).
+    pub run_id: String,
+    /// The stamped lifecycle points, in stamp order.
+    pub stages: Vec<StageStamp>,
+}
+
+impl RequestSpan {
+    /// A span holding only its identity; the service stamps stages as
+    /// the job progresses.
+    pub fn new(job_id: impl Into<String>, tenant: impl Into<String>) -> RequestSpan {
+        RequestSpan {
+            job_id: job_id.into(),
+            tenant: tenant.into(),
+            trace_id: String::new(),
+            run_id: String::new(),
+            stages: Vec::new(),
+        }
+    }
+
+    /// Append a stamp without lane info.
+    pub fn stamp(&mut self, stage: Stage, wall_seconds: f64, modeled_seconds: f64) {
+        self.stages.push(StageStamp {
+            stage,
+            wall_seconds,
+            modeled_seconds,
+            device: None,
+            stream: None,
+        });
+    }
+
+    /// Append the [`Stage::Leased`] stamp with its `(device, stream)`
+    /// lane.
+    pub fn stamp_lease(&mut self, wall_seconds: f64, device: u64, stream: u64) {
+        self.stages.push(StageStamp {
+            stage: Stage::Leased,
+            wall_seconds,
+            modeled_seconds: 0.0,
+            device: Some(device),
+            stream: Some(stream),
+        });
+    }
+
+    /// The stamp for `stage`, if present.
+    pub fn stage(&self, stage: Stage) -> Option<&StageStamp> {
+        self.stages.iter().find(|s| s.stage == stage)
+    }
+
+    /// The terminal stamp, if the span has ended.
+    pub fn terminal(&self) -> Option<&StageStamp> {
+        self.stages.iter().find(|s| s.stage.is_terminal())
+    }
+
+    /// Wall seconds between two stamped stages (`to - from`), if both
+    /// are present.
+    pub fn wall_between(&self, from: Stage, to: Stage) -> Option<f64> {
+        Some(self.stage(to)?.wall_seconds - self.stage(from)?.wall_seconds)
+    }
+
+    /// Time spent waiting in the admission queue
+    /// (`queued → dequeued`).
+    pub fn queue_wait_seconds(&self) -> Option<f64> {
+        self.wall_between(Stage::Queued, Stage::Dequeued)
+    }
+
+    /// Time spent waiting for a device lane (`dequeued → leased`).
+    pub fn lease_wait_seconds(&self) -> Option<f64> {
+        self.wall_between(Stage::Dequeued, Stage::Leased)
+    }
+
+    /// Wall time of the solve itself (`solving → artifacts`, falling
+    /// back to the terminal stamp for jobs killed mid-solve).
+    pub fn solve_seconds(&self) -> Option<f64> {
+        let end = self
+            .stage(Stage::Artifacts)
+            .or_else(|| self.terminal())?
+            .wall_seconds;
+        Some(end - self.stage(Stage::Solving)?.wall_seconds)
+    }
+
+    /// End-to-end wall seconds (`received → terminal`).
+    pub fn end_to_end_seconds(&self) -> Option<f64> {
+        Some(self.terminal()?.wall_seconds - self.stage(Stage::Received)?.wall_seconds)
+    }
+
+    /// Modeled device seconds the job consumed (read off the terminal
+    /// stamp).
+    pub fn modeled_seconds(&self) -> Option<f64> {
+        Some(self.terminal()?.modeled_seconds)
+    }
+
+    /// The per-stage wall durations: one `(stage, seconds)` entry per
+    /// adjacent stamp pair, labeled by the stage the interval *ends*
+    /// at. By construction they telescope: their sum is the
+    /// end-to-end span, which [`RequestSpan::validate`] checks.
+    pub fn stage_durations(&self) -> Vec<(Stage, f64)> {
+        self.stages
+            .windows(2)
+            .map(|w| (w[1].stage, w[1].wall_seconds - w[0].wall_seconds))
+            .collect()
+    }
+
+    /// Check the span invariants:
+    ///
+    /// * the first stamp is `received` at wall 0;
+    /// * wall and modeled timestamps are monotone non-decreasing;
+    /// * exactly one terminal stamp, and it is last;
+    /// * the per-stage durations sum to the end-to-end span.
+    pub fn validate(&self) -> Result<(), String> {
+        let first = self.stages.first().ok_or("span has no stamps")?;
+        if first.stage != Stage::Received || first.wall_seconds != 0.0 {
+            return Err(format!(
+                "span must start with received at wall 0, got {} at {}",
+                first.stage.as_str(),
+                first.wall_seconds
+            ));
+        }
+        for w in self.stages.windows(2) {
+            if w[1].wall_seconds < w[0].wall_seconds {
+                return Err(format!(
+                    "wall time regressed: {} at {} after {} at {}",
+                    w[1].stage.as_str(),
+                    w[1].wall_seconds,
+                    w[0].stage.as_str(),
+                    w[0].wall_seconds
+                ));
+            }
+            if w[1].modeled_seconds < w[0].modeled_seconds {
+                return Err(format!("modeled time regressed at {}", w[1].stage.as_str()));
+            }
+        }
+        let terminals = self.stages.iter().filter(|s| s.stage.is_terminal()).count();
+        if terminals != 1 {
+            return Err(format!("span has {terminals} terminal stamps, want 1"));
+        }
+        let last = self.stages.last().expect("non-empty");
+        if !last.stage.is_terminal() {
+            return Err(format!(
+                "span must end on a terminal stage, ends on {}",
+                last.stage.as_str()
+            ));
+        }
+        let sum: f64 = self.stage_durations().iter().map(|(_, d)| d).sum();
+        let end_to_end = self.end_to_end_seconds().expect("terminal present");
+        if (sum - end_to_end).abs() > 1e-9 {
+            return Err(format!(
+                "stage durations sum to {sum}, end-to-end is {end_to_end}"
+            ));
+        }
+        Ok(())
+    }
+
+    /// The span as its `request.json` document.
+    pub fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.set("format", Json::from(REQUEST_SPAN_FORMAT))
+            .set("job_id", Json::from(self.job_id.as_str()))
+            .set("tenant", Json::from(self.tenant.as_str()));
+        if !self.trace_id.is_empty() {
+            o.set("trace_id", Json::from(self.trace_id.as_str()));
+        }
+        if !self.run_id.is_empty() {
+            o.set("run_id", Json::from(self.run_id.as_str()));
+        }
+        o.set(
+            "stages",
+            Json::Arr(self.stages.iter().map(StageStamp::to_json).collect()),
+        );
+        o
+    }
+
+    /// Parse a `request.json` document (unknown members are ignored,
+    /// as everywhere on the v1 surface).
+    pub fn from_json(j: &Json) -> Result<RequestSpan, String> {
+        match j.get("format").and_then(Json::as_str) {
+            Some(f) if f == REQUEST_SPAN_FORMAT => {}
+            Some(f) => return Err(format!("unsupported request span format {f:?}")),
+            None => return Err("request span missing format tag".to_string()),
+        }
+        let field = |key: &str| {
+            j.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("request span missing {key:?}"))
+        };
+        Ok(RequestSpan {
+            job_id: field("job_id")?,
+            tenant: field("tenant")?,
+            trace_id: j
+                .get("trace_id")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            run_id: j
+                .get("run_id")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            stages: j
+                .get("stages")
+                .and_then(Json::as_array)
+                .ok_or("request span missing stages")?
+                .iter()
+                .map(StageStamp::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+        })
+    }
+
+    /// Parse from text.
+    pub fn parse(text: &str) -> Result<RequestSpan, String> {
+        let j = json::parse(text).map_err(|e| format!("request span: {e:?}"))?;
+        RequestSpan::from_json(&j)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_span() -> RequestSpan {
+        let mut span = RequestSpan::new("job-00000001", "dispatch");
+        span.trace_id = "0af7651916cd43dd8448eb211c80319c".into();
+        span.run_id = "00ff00ff00ff00ff".into();
+        span.stamp(Stage::Received, 0.0, 0.0);
+        span.stamp(Stage::Admitted, 0.001, 0.0);
+        span.stamp(Stage::Queued, 0.001, 0.0);
+        span.stamp(Stage::Dequeued, 0.011, 0.0);
+        span.stamp_lease(0.012, 1, 0);
+        span.stamp(Stage::Solving, 0.013, 0.0);
+        span.stamp(Stage::Artifacts, 0.063, 0.004);
+        span.stamp(Stage::Done, 0.064, 0.004);
+        span
+    }
+
+    #[test]
+    fn a_full_lifecycle_validates_and_round_trips() {
+        let span = full_span();
+        span.validate().expect("full lifecycle is valid");
+        let parsed = RequestSpan::parse(&span.to_json().to_string()).expect("round trip");
+        assert_eq!(parsed, span);
+        let lease = parsed.stage(Stage::Leased).unwrap();
+        assert_eq!((lease.device, lease.stream), (Some(1), Some(0)));
+    }
+
+    #[test]
+    fn stage_durations_telescope_to_the_end_to_end_span() {
+        let span = full_span();
+        let sum: f64 = span.stage_durations().iter().map(|(_, d)| d).sum();
+        assert!((sum - span.end_to_end_seconds().unwrap()).abs() < 1e-12);
+        assert!((span.queue_wait_seconds().unwrap() - 0.010).abs() < 1e-12);
+        assert!((span.lease_wait_seconds().unwrap() - 0.001).abs() < 1e-12);
+        assert!((span.solve_seconds().unwrap() - 0.050).abs() < 1e-12);
+        assert_eq!(span.modeled_seconds(), Some(0.004));
+    }
+
+    #[test]
+    fn a_rejection_is_a_two_stamp_terminal_span() {
+        let mut span = RequestSpan::new("job-00000002", "burst");
+        span.stamp(Stage::Received, 0.0, 0.0);
+        span.stamp(Stage::Rejected, 0.0005, 0.0);
+        span.validate().expect("rejection span is valid");
+        assert_eq!(span.terminal().unwrap().stage, Stage::Rejected);
+        assert_eq!(span.queue_wait_seconds(), None);
+    }
+
+    #[test]
+    fn validation_rejects_broken_timelines() {
+        // Wall regression.
+        let mut span = RequestSpan::new("j", "t");
+        span.stamp(Stage::Received, 0.0, 0.0);
+        span.stamp(Stage::Admitted, 0.5, 0.0);
+        span.stamp(Stage::Done, 0.2, 0.0);
+        assert!(span.validate().unwrap_err().contains("regressed"));
+
+        // Missing terminal.
+        let mut span = RequestSpan::new("j", "t");
+        span.stamp(Stage::Received, 0.0, 0.0);
+        span.stamp(Stage::Solving, 0.1, 0.0);
+        assert!(span.validate().is_err());
+
+        // Does not start at received.
+        let mut span = RequestSpan::new("j", "t");
+        span.stamp(Stage::Queued, 0.0, 0.0);
+        span.stamp(Stage::Done, 0.1, 0.0);
+        assert!(span.validate().unwrap_err().contains("received"));
+
+        // Empty.
+        assert!(RequestSpan::new("j", "t").validate().is_err());
+    }
+
+    #[test]
+    fn terminal_stage_maps_from_job_state() {
+        assert_eq!(Stage::terminal_for(JobState::Done), Some(Stage::Done));
+        assert_eq!(Stage::terminal_for(JobState::Failed), Some(Stage::Failed));
+        assert_eq!(
+            Stage::terminal_for(JobState::Cancelled),
+            Some(Stage::Cancelled)
+        );
+        assert_eq!(Stage::terminal_for(JobState::Expired), Some(Stage::Expired));
+        assert_eq!(Stage::terminal_for(JobState::Queued), None);
+        assert_eq!(Stage::terminal_for(JobState::Running), None);
+    }
+
+    #[test]
+    fn readers_ignore_unknown_members() {
+        let mut doc = full_span().to_json();
+        doc.set("coming_in_v2", Json::from("ignored"));
+        let parsed = RequestSpan::from_json(&doc).expect("future documents parse");
+        assert_eq!(parsed, full_span());
+        // Wrong format tag is refused (`Json::set` appends, so build a
+        // fresh document carrying the wrong tag).
+        let mut doc = Json::obj();
+        doc.set("format", Json::from("tsp-request-span/v9"));
+        assert!(RequestSpan::from_json(&doc).is_err());
+    }
+
+    #[test]
+    fn stage_names_round_trip() {
+        for stage in [
+            Stage::Received,
+            Stage::Admitted,
+            Stage::Rejected,
+            Stage::Queued,
+            Stage::Dequeued,
+            Stage::Leased,
+            Stage::Solving,
+            Stage::Artifacts,
+            Stage::Done,
+            Stage::Failed,
+            Stage::Cancelled,
+            Stage::Expired,
+        ] {
+            assert_eq!(Stage::parse(stage.as_str()), Some(stage));
+        }
+        assert_eq!(Stage::parse("warp"), None);
+    }
+}

@@ -1,0 +1,283 @@
+//! Request-scoped observability acceptance: span inertness, span
+//! invariants, trace propagation, and the ops snapshot — over real
+//! HTTP against a live service.
+//!
+//! The load-bearing guarantee is **bit-inertness**: running the exact
+//! same jobs with request spans enabled (plus artifact persistence)
+//! and disabled must produce byte-identical tours, lengths, run ids
+//! and modeled seconds. Observability is a tap on the pipeline, never
+//! a hand on the wheel.
+
+use std::time::Duration;
+use tsp::prelude::*;
+use tsp_serve::api::{JobState, JobStatus, OpsSnapshot, SolveRequest, SolveResponse};
+use tsp_serve::{RequestSpan, ServeServer, ServiceConfig, SolveService, Stage};
+use tsp_telemetry::{
+    http_request, http_request_with_headers, parse_jsonl, TraceContext, TRACEPARENT,
+};
+
+fn start_server(cfg: ServiceConfig) -> ServeServer {
+    let service = SolveService::start(cfg, Telemetry::attached(), Profiler::attached()).unwrap();
+    ServeServer::spawn("127.0.0.1:0", service).unwrap()
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("tsp-span-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn job_request(i: usize) -> SolveRequest {
+    let inst = tsp::tsplib::generate(
+        &format!("span-{i}"),
+        72,
+        tsp::tsplib::Style::Clustered { clusters: 4 },
+        400 + i as u64,
+    );
+    SolveRequest::tsplib(tsp::tsplib::writer::write(&inst))
+        .with_tenant(format!("tenant-{}", i % 2))
+        .with_ils_iterations(2 + (i % 2) as u64)
+        .with_seed(i as u64)
+}
+
+fn await_terminal(server: &ServeServer, job_id: &str) -> JobStatus {
+    for _ in 0..600 {
+        let (status, _, body) =
+            http_request(server.addr(), "GET", &format!("/v1/jobs/{job_id}"), "", "").unwrap();
+        assert_eq!(status, 200, "{body}");
+        let job = JobStatus::parse(&body).unwrap();
+        if job.state.is_terminal() {
+            return job;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    panic!("job {job_id} never reached a terminal state");
+}
+
+/// Submit `n` jobs sequentially and return their terminal statuses.
+fn run_batch(server: &ServeServer, n: usize) -> Vec<JobStatus> {
+    (0..n)
+        .map(|i| {
+            let body = job_request(i).to_json().to_string();
+            let (status, _, body) = http_request(
+                server.addr(),
+                "POST",
+                "/v1/solve",
+                "application/json",
+                &body,
+            )
+            .unwrap();
+            assert_eq!(status, 202, "{body}");
+            let resp = SolveResponse::parse(&body).unwrap();
+            let job = await_terminal(server, &resp.job_id);
+            assert_eq!(job.state, JobState::Done, "{:?}", job.error);
+            job
+        })
+        .collect()
+}
+
+/// The tentpole differential: spans (and their artifact persistence)
+/// enabled vs disabled, same jobs, bitwise-identical solve results.
+#[test]
+fn request_spans_are_bit_inert() {
+    let dir = temp_dir("inert");
+    let with_spans = start_server(
+        ServiceConfig::default()
+            .with_artifacts_dir(&dir)
+            .with_request_spans(true),
+    );
+    let without = start_server(ServiceConfig::default().with_request_spans(false));
+
+    let observed = run_batch(&with_spans, 4);
+    let plain = run_batch(&without, 4);
+    for (a, b) in observed.iter().zip(&plain) {
+        assert_eq!(a.tour, b.tour, "tours must be byte-identical");
+        assert_eq!(a.length, b.length);
+        assert_eq!(a.initial_length, b.initial_length);
+        assert_eq!(a.run_id, b.run_id, "derived run ids must agree");
+        assert_eq!(
+            a.modeled_seconds, b.modeled_seconds,
+            "modeled clocks must agree to the bit"
+        );
+    }
+    // The observed run actually produced spans; the plain one must not
+    // have (no artifacts dir, spans off).
+    let span_count = std::fs::read_dir(&dir).unwrap().count();
+    assert_eq!(span_count, 4, "one artifact dir per observed job");
+
+    with_spans.shutdown();
+    without.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Every persisted `request.json` satisfies the span invariants:
+/// starts at `received` with wall 0, stamps are monotone on both
+/// clocks, exactly one terminal stage, and the stage durations sum to
+/// the end-to-end wall time.
+#[test]
+fn persisted_spans_satisfy_the_span_invariants() {
+    let dir = temp_dir("invariants");
+    let server = start_server(ServiceConfig::default().with_artifacts_dir(&dir));
+    let jobs = run_batch(&server, 3);
+
+    for job in &jobs {
+        let path = dir.join(job.job_id.as_str()).join("request.json");
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let span = RequestSpan::parse(&text).unwrap();
+        span.validate().unwrap();
+        assert_eq!(span.job_id, job.job_id);
+        assert_eq!(span.run_id, job.run_id.clone().unwrap());
+        assert_eq!(span.terminal().map(|s| s.stage), Some(Stage::Done));
+        assert_eq!(span.modeled_seconds(), job.modeled_seconds);
+        // The lease stamp names the lane the job actually ran on.
+        let leased = span.stage(Stage::Leased).unwrap();
+        assert!(leased.device.is_some() && leased.stream.is_some());
+        // Stage waits are all present and non-negative.
+        for wait in [
+            span.queue_wait_seconds(),
+            span.lease_wait_seconds(),
+            span.solve_seconds(),
+            span.end_to_end_seconds(),
+        ] {
+            assert!(wait.unwrap() >= 0.0);
+        }
+    }
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A client `traceparent` flows end to end: echoed in the response
+/// header and body, stamped on every journal line, and tagged onto
+/// the job's Chrome trace and request span.
+#[test]
+fn client_traceparent_reaches_every_artifact() {
+    let dir = temp_dir("traceparent");
+    let server = start_server(ServiceConfig::default().with_artifacts_dir(&dir));
+
+    let ctx = TraceContext::generate(&[0xfeed, 0xbeef]);
+    let body = job_request(0).to_json().to_string();
+    let (status, head, body) = http_request_with_headers(
+        server.addr(),
+        "POST",
+        "/v1/solve",
+        "application/json",
+        &body,
+        &[(TRACEPARENT, &ctx.to_header())],
+    )
+    .unwrap();
+    assert_eq!(status, 202, "{body}");
+    // Echoed in the response header (as a traceparent) and body.
+    let echoed = head
+        .lines()
+        .find_map(|l| l.strip_prefix("traceparent: "))
+        .expect("traceparent response header");
+    assert!(echoed.contains(&ctx.trace_id), "{echoed}");
+    let resp = SolveResponse::parse(&body).unwrap();
+    assert_eq!(resp.trace_id.as_deref(), Some(ctx.trace_id.as_str()));
+
+    let job = await_terminal(&server, &resp.job_id);
+    assert_eq!(job.state, JobState::Done);
+    assert_eq!(job.trace_id.as_deref(), Some(ctx.trace_id.as_str()));
+
+    let job_dir = dir.join(resp.job_id.as_str());
+    // Every journal line carries the trace id.
+    let journal = std::fs::read_to_string(job_dir.join("journal.jsonl")).unwrap();
+    let records = parse_jsonl(&journal).unwrap();
+    assert!(!records.is_empty());
+    assert!(records.iter().all(|r| r.trace_id == ctx.trace_id));
+    // The Chrome trace is tagged with it.
+    let trace = std::fs::read_to_string(job_dir.join("trace.json")).unwrap();
+    assert!(trace.contains(&ctx.trace_id));
+    // And the span carries it.
+    let span = RequestSpan::parse(&std::fs::read_to_string(job_dir.join("request.json")).unwrap())
+        .unwrap();
+    assert_eq!(span.trace_id, ctx.trace_id);
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A malformed `traceparent` is ignored: the service mints its own
+/// well-formed context instead of failing or echoing garbage.
+#[test]
+fn malformed_traceparent_gets_a_generated_context() {
+    let server = start_server(ServiceConfig::default());
+    let body = job_request(1).to_json().to_string();
+    let (status, _, body) = http_request_with_headers(
+        server.addr(),
+        "POST",
+        "/v1/solve",
+        "application/json",
+        &body,
+        &[(TRACEPARENT, "99-not-a-trace-zz")],
+    )
+    .unwrap();
+    assert_eq!(status, 202, "{body}");
+    let resp = SolveResponse::parse(&body).unwrap();
+    let trace_id = resp.trace_id.expect("a generated trace id");
+    assert_eq!(trace_id.len(), 32);
+    assert!(trace_id.chars().all(|c| c.is_ascii_hexdigit()));
+    assert_ne!(trace_id, "0".repeat(32));
+    await_terminal(&server, &resp.job_id);
+    server.shutdown();
+}
+
+/// `GET /v1/ops` snapshots every job with its lane, trace id and
+/// end-to-end latency, plus the rolling stage estimators.
+#[test]
+fn ops_endpoint_snapshots_jobs_and_latency() {
+    let dir = temp_dir("ops");
+    let server = start_server(ServiceConfig::default().with_artifacts_dir(&dir));
+    let jobs = run_batch(&server, 3);
+
+    let (status, _, body) = http_request(server.addr(), "GET", "/v1/ops", "", "").unwrap();
+    assert_eq!(status, 200, "{body}");
+    let ops = OpsSnapshot::parse(&body).unwrap();
+    assert_eq!(ops.queue_depth, 0);
+    assert_eq!(ops.slot_occupancy, 0);
+    assert_eq!(ops.jobs.len(), jobs.len());
+    for (row, job) in ops.jobs.iter().zip(&jobs) {
+        assert_eq!(row.job_id, job.job_id);
+        assert_eq!(row.state, JobState::Done);
+        assert!(row.trace_id.is_some());
+        assert!(row.device.is_some() && row.stream.is_some());
+        assert!(row.end_to_end_seconds.unwrap() > 0.0);
+    }
+    // All four stage estimators saw all three jobs.
+    assert_eq!(ops.latency.len(), 4);
+    for stage in &ops.latency {
+        assert_eq!(stage.count, jobs.len() as u64, "{}", stage.stage);
+        assert_eq!(stage.quantiles.len(), 3);
+    }
+    assert!(ops.rejections.is_empty());
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Rejected submissions show up as typed rejection counters in the
+/// ops snapshot (and never as jobs).
+#[test]
+fn rejections_are_counted_by_error_code() {
+    let server = start_server(ServiceConfig::default());
+    let (status, _, body) = http_request(
+        server.addr(),
+        "POST",
+        "/v1/solve",
+        "application/json",
+        "{\"api_version\":1}",
+    )
+    .unwrap();
+    assert_eq!(status, 400, "{body}");
+    let (_, _, body) = http_request(server.addr(), "GET", "/v1/ops", "", "").unwrap();
+    let ops = OpsSnapshot::parse(&body).unwrap();
+    assert!(ops.jobs.is_empty());
+    assert_eq!(
+        ops.rejections,
+        vec![("bad_request".to_string(), 1)],
+        "the parse failure is counted under its typed code"
+    );
+    server.shutdown();
+}

@@ -13,10 +13,11 @@
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+use tsp_trace::json::Json;
 
 /// Hard cap on the request head; anything longer is answered with 400
 /// rather than buffered further.
@@ -48,6 +49,128 @@ impl Request {
             .find(|(n, _)| *n == name)
             .map(|(_, v)| v.as_str())
     }
+}
+
+/// The `traceparent` request/response header name (W3C Trace Context).
+pub const TRACEPARENT: &str = "traceparent";
+
+/// A W3C Trace Context (`traceparent`) value: version `00`, a 128-bit
+/// trace id, a 64-bit parent/span id, and the trace flags — all kept
+/// as the lowercase-hex strings the header carries.
+///
+/// The servers *ingest* a caller-supplied context so an external
+/// distributed trace flows through every artifact a job leaves
+/// (journal lines, recording headers, tagged Chrome traces), and
+/// *generate* one when the caller sent none, so every response still
+/// carries a correlation id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceContext {
+    /// 32 lowercase hex digits, never all-zero.
+    pub trace_id: String,
+    /// 16 lowercase hex digits, never all-zero.
+    pub parent_id: String,
+    /// 2 lowercase hex digits (`01` = sampled).
+    pub flags: String,
+}
+
+fn is_lower_hex(s: &str, len: usize) -> bool {
+    s.len() == len
+        && s.bytes()
+            .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+}
+
+/// splitmix64 — the same mixer `tsp_prof::run_id_from_parts` uses, so
+/// generated ids are deterministic functions of their seeds.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn fold64(parts: &[u64], salt: u64) -> u64 {
+    let mut acc = mix64(salt);
+    for &p in parts {
+        acc = mix64(acc ^ mix64(p));
+    }
+    if acc == 0 {
+        1 // the spec forbids all-zero ids
+    } else {
+        acc
+    }
+}
+
+impl TraceContext {
+    /// Parse a `traceparent` header value. Only version `00` with
+    /// exact field widths and non-zero ids is accepted; anything else
+    /// is `None` (the caller then generates a fresh context, per spec).
+    pub fn parse(header: &str) -> Option<TraceContext> {
+        let mut parts = header.trim().split('-');
+        let (version, trace_id, parent_id, flags) =
+            (parts.next()?, parts.next()?, parts.next()?, parts.next()?);
+        if parts.next().is_some() || version != "00" {
+            return None;
+        }
+        if !is_lower_hex(trace_id, 32) || trace_id.bytes().all(|b| b == b'0') {
+            return None;
+        }
+        if !is_lower_hex(parent_id, 16) || parent_id.bytes().all(|b| b == b'0') {
+            return None;
+        }
+        if !is_lower_hex(flags, 2) {
+            return None;
+        }
+        Some(TraceContext {
+            trace_id: trace_id.to_string(),
+            parent_id: parent_id.to_string(),
+            flags: flags.to_string(),
+        })
+    }
+
+    /// A deterministic context derived from `parts` (seeds are mixed
+    /// with distinct salts for the trace and parent ids), flagged as
+    /// sampled. Same parts → same context.
+    pub fn generate(parts: &[u64]) -> TraceContext {
+        TraceContext {
+            trace_id: format!("{:016x}{:016x}", fold64(parts, 0x1), fold64(parts, 0x2)),
+            parent_id: format!("{:016x}", fold64(parts, 0x3)),
+            flags: "01".to_string(),
+        }
+    }
+
+    /// The same trace with a new parent/span id derived from `parts` —
+    /// what a server puts in its *response* `traceparent`: the
+    /// caller's trace id, this hop's span.
+    pub fn child(&self, parts: &[u64]) -> TraceContext {
+        TraceContext {
+            trace_id: self.trace_id.clone(),
+            parent_id: format!("{:016x}", fold64(parts, 0x5)),
+            flags: self.flags.clone(),
+        }
+    }
+
+    /// Render the `traceparent` header value.
+    pub fn to_header(&self) -> String {
+        format!("00-{}-{}-{}", self.trace_id, self.parent_id, self.flags)
+    }
+
+    /// The context of an incoming request: its `traceparent` header
+    /// when present and valid, otherwise `None`.
+    pub fn of_request(req: &Request) -> Option<TraceContext> {
+        req.header(TRACEPARENT).and_then(TraceContext::parse)
+    }
+}
+
+/// A process-unique seed pair for generated trace contexts: wall time
+/// plus a monotone counter, so two requests in the same nanosecond
+/// still get distinct ids.
+pub fn trace_seed() -> [u64; 2] {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    [nanos, COUNTER.fetch_add(1, Ordering::Relaxed)]
 }
 
 /// Why a request could not be read. Every variant is answered with a
@@ -352,19 +475,90 @@ impl Router {
 
     /// Resolve `req` against the table.
     pub fn dispatch(&self, req: &Request) -> Response {
-        let mut path_known = false;
+        let mut allowed: Vec<&str> = Vec::new();
         for route in &self.routes {
             if let Some(params) = match_segments(&route.segments, &req.path) {
                 if route.method == req.method {
                     return (route.handler)(req, &params);
                 }
-                path_known = true;
+                if !allowed.contains(&route.method.as_str()) {
+                    allowed.push(&route.method);
+                }
             }
         }
-        if path_known {
-            Response::text(405, "method not allowed\n")
-        } else {
+        if allowed.is_empty() {
             Response::text(404, "not found\n")
+        } else {
+            // RFC 9110 §15.5.6: a 405 must name the methods that *are*
+            // allowed on the resource.
+            allowed.sort_unstable();
+            Response::text(405, "method not allowed\n").with_header("Allow", allowed.join(", "))
+        }
+    }
+}
+
+/// A structured HTTP access log: one JSON line per handled request
+/// (method, path, status, response bytes, wall seconds, trace id),
+/// written through a shared handle and flushed per line — the same
+/// line-atomic contract as the journal writers, so a crash never
+/// leaves a torn record. Opt-in: servers spawned without one log
+/// nothing and pay nothing.
+#[derive(Clone)]
+pub struct AccessLog {
+    out: Arc<Mutex<Box<dyn Write + Send>>>,
+}
+
+impl std::fmt::Debug for AccessLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AccessLog").finish_non_exhaustive()
+    }
+}
+
+impl AccessLog {
+    /// Log to a file at `path` (created or truncated).
+    pub fn create(path: impl AsRef<std::path::Path>) -> io::Result<AccessLog> {
+        Ok(AccessLog::from_writer(std::fs::File::create(path)?))
+    }
+
+    /// Log to any writer (tests use an in-memory buffer).
+    pub fn from_writer(w: impl Write + Send + 'static) -> AccessLog {
+        AccessLog {
+            out: Arc::new(Mutex::new(Box::new(w))),
+        }
+    }
+
+    /// Append one access record; the line is written and flushed under
+    /// the lock so concurrent connection threads never interleave.
+    pub fn log(&self, req: &Request, response: &Response, wall: Duration, trace_id: &str) {
+        let mut line = Json::obj();
+        line.set("method", req.method.as_str().into());
+        line.set("path", req.path.as_str().into());
+        line.set("status", u64::from(response.status).into());
+        line.set("bytes", (response.body.len() as u64).into());
+        line.set("wall_seconds", wall.as_secs_f64().into());
+        if !trace_id.is_empty() {
+            line.set("trace_id", trace_id.into());
+        }
+        let mut out = self.out.lock().expect("access log lock");
+        let _ = out.write_all(format!("{line}\n").as_bytes());
+        let _ = out.flush();
+    }
+
+    /// Flush the underlying writer explicitly (also happens per line
+    /// and when the last handle drops).
+    pub fn flush(&self) -> io::Result<()> {
+        self.out.lock().expect("access log lock").flush()
+    }
+}
+
+impl Drop for AccessLog {
+    fn drop(&mut self) {
+        // Only the final handle flushes; intermediate clones share the
+        // same writer.
+        if Arc::strong_count(&self.out) == 1 {
+            if let Ok(mut out) = self.out.lock() {
+                let _ = out.flush();
+            }
         }
     }
 }
@@ -387,6 +581,17 @@ impl HttpServer {
         name: &str,
         router: Arc<Router>,
     ) -> io::Result<HttpServer> {
+        HttpServer::spawn_with_log(addr, name, router, None)
+    }
+
+    /// Like [`HttpServer::spawn`], additionally writing one
+    /// [`AccessLog`] line per handled request.
+    pub fn spawn_with_log(
+        addr: impl ToSocketAddrs,
+        name: &str,
+        router: Arc<Router>,
+        access_log: Option<AccessLog>,
+    ) -> io::Result<HttpServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -400,12 +605,13 @@ impl HttpServer {
                     }
                     if let Ok(stream) = conn {
                         let router = router.clone();
+                        let log = access_log.clone();
                         // Connection threads are short-lived (one
                         // request each); a spawn failure just drops the
                         // connection.
                         let _ = std::thread::Builder::new()
                             .name("tsp-http-conn".into())
-                            .spawn(move || handle_connection(stream, &router));
+                            .spawn(move || handle_connection(stream, &router, log.as_ref()));
                     }
                 }
             })?;
@@ -442,13 +648,23 @@ impl Drop for HttpServer {
     }
 }
 
-fn handle_connection(mut stream: TcpStream, router: &Router) {
+fn handle_connection(mut stream: TcpStream, router: &Router, access_log: Option<&AccessLog>) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(2000)));
-    let response = match read_request(&mut stream, MAX_HEAD_BYTES, MAX_BODY_BYTES) {
-        Ok(req) => router.dispatch(&req),
-        Err(e) => Response::text(400, e.message()),
+    let started = Instant::now();
+    let (request, response) = match read_request(&mut stream, MAX_HEAD_BYTES, MAX_BODY_BYTES) {
+        Ok(req) => {
+            let resp = router.dispatch(&req);
+            (Some(req), resp)
+        }
+        Err(e) => (None, Response::text(400, e.message())),
     };
     response.write(&mut stream);
+    if let (Some(log), Some(req)) = (access_log, request.as_ref()) {
+        let trace_id = TraceContext::of_request(req)
+            .map(|t| t.trace_id)
+            .unwrap_or_default();
+        log.log(req, &response, started.elapsed(), &trace_id);
+    }
 }
 
 /// Blocking one-shot HTTP request against a local server; returns
@@ -461,16 +677,32 @@ pub fn http_request(
     content_type: &str,
     body: &str,
 ) -> io::Result<(u16, String, String)> {
+    http_request_with_headers(addr, method, path, content_type, body, &[])
+}
+
+/// [`http_request`] with extra request headers (e.g. `traceparent`)
+/// appended to the head verbatim.
+pub fn http_request_with_headers(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    content_type: &str,
+    body: &str,
+    extra: &[(&str, &str)],
+) -> io::Result<(u16, String, String)> {
     let mut stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(Duration::from_secs(30)))?;
-    let head = if body.is_empty() {
-        format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")
-    } else {
-        format!(
-            "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    let mut head = format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\n");
+    if !body.is_empty() {
+        head.push_str(&format!(
+            "Content-Type: {content_type}\r\nContent-Length: {}\r\n",
             body.len()
-        )
-    };
+        ));
+    }
+    for (name, value) in extra {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("Connection: close\r\n\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
     let mut response = String::new();
@@ -606,6 +838,222 @@ mod tests {
             assert_eq!(reason(status), phrase);
         }
         assert_eq!(reason(299), "Unknown");
+    }
+
+    #[test]
+    fn a_405_names_the_allowed_methods() {
+        let router = table();
+        let got = router.dispatch(&req("POST", "/metrics"));
+        assert_eq!(got.status, 405);
+        assert_eq!(allow_header(&got), Some("GET"));
+        // Both verbs registered on the jobs pattern, sorted.
+        let got = router.dispatch(&req("PUT", "/v1/jobs/j1"));
+        assert_eq!(got.status, 405);
+        assert_eq!(allow_header(&got), Some("DELETE, GET"));
+        // 404s carry no Allow header.
+        let got = router.dispatch(&req("GET", "/nope"));
+        assert_eq!((got.status, allow_header(&got)), (404, None));
+    }
+
+    fn allow_header(resp: &Response) -> Option<&str> {
+        resp.headers
+            .iter()
+            .find(|(n, _)| n == "Allow")
+            .map(|(_, v)| v.as_str())
+    }
+
+    #[test]
+    fn an_empty_param_segment_is_a_404() {
+        // `/v1/jobs/` has no id to capture: the empty trailing segment
+        // is dropped, the two-part path matches nothing, 404.
+        let router = table();
+        assert_eq!(router.dispatch(&req("GET", "/v1/jobs/")).status, 404);
+        assert_eq!(router.dispatch(&req("DELETE", "/v1/jobs/")).status, 404);
+    }
+
+    #[test]
+    fn traceparent_round_trips_and_rejects_malformed_values() {
+        let header = "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01";
+        let ctx = TraceContext::parse(header).expect("valid traceparent");
+        assert_eq!(ctx.trace_id, "0af7651916cd43dd8448eb211c80319c");
+        assert_eq!(ctx.parent_id, "b7ad6b7169203331");
+        assert_eq!(ctx.flags, "01");
+        assert_eq!(ctx.to_header(), header);
+
+        for bad in [
+            "",
+            "garbage",
+            // wrong version
+            "01-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",
+            // short trace id
+            "00-0af7651916cd43dd8448eb211c80319-b7ad6b7169203331-01",
+            // uppercase hex is invalid per spec
+            "00-0AF7651916CD43DD8448EB211C80319C-b7ad6b7169203331-01",
+            // all-zero ids are invalid
+            "00-00000000000000000000000000000000-b7ad6b7169203331-01",
+            "00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01",
+            // trailing field
+            "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-x",
+        ] {
+            assert!(TraceContext::parse(bad).is_none(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn generated_contexts_are_valid_deterministic_and_seed_sensitive() {
+        let a = TraceContext::generate(&[1, 2]);
+        assert_eq!(TraceContext::parse(&a.to_header()), Some(a.clone()));
+        assert_eq!(TraceContext::generate(&[1, 2]), a);
+        assert_ne!(TraceContext::generate(&[1, 3]).trace_id, a.trace_id);
+
+        // A child span keeps the trace id, changes the parent id.
+        let child = a.child(&[9]);
+        assert_eq!(child.trace_id, a.trace_id);
+        assert_ne!(child.parent_id, a.parent_id);
+        assert!(TraceContext::parse(&child.to_header()).is_some());
+
+        // Process-unique seeds always differ.
+        assert_ne!(trace_seed(), trace_seed());
+    }
+
+    #[test]
+    fn of_request_reads_the_traceparent_header() {
+        let mut request = req("GET", "/metrics");
+        assert_eq!(TraceContext::of_request(&request), None);
+        request.headers.push((
+            TRACEPARENT.into(),
+            "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01".into(),
+        ));
+        let ctx = TraceContext::of_request(&request).expect("parsed");
+        assert_eq!(ctx.trace_id, "0af7651916cd43dd8448eb211c80319c");
+    }
+
+    #[test]
+    fn access_log_writes_one_json_line_per_request() {
+        #[derive(Clone)]
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let log = AccessLog::from_writer(Shared(buf.clone()));
+        let mut request = req("POST", "/v1/solve");
+        request.headers.push((
+            TRACEPARENT.into(),
+            "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01".into(),
+        ));
+        let response = Response::json(202, "{\"job_id\":\"job-1\"}");
+        log.log(
+            &request,
+            &response,
+            Duration::from_millis(3),
+            "0af7651916cd43dd8448eb211c80319c",
+        );
+        log.log(
+            &req("GET", "/metrics"),
+            &Response::text(200, "m"),
+            Duration::ZERO,
+            "",
+        );
+        drop(log);
+
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "{text}");
+        let first = tsp_trace::json::parse(lines[0]).expect("valid json line");
+        assert_eq!(first.get("method").unwrap().as_str(), Some("POST"));
+        assert_eq!(first.get("path").unwrap().as_str(), Some("/v1/solve"));
+        assert_eq!(first.get("status").unwrap().as_f64(), Some(202.0));
+        assert_eq!(
+            first.get("bytes").unwrap().as_f64(),
+            Some(response.body.len() as f64)
+        );
+        assert!(first.get("wall_seconds").unwrap().as_f64().unwrap() > 0.0);
+        assert_eq!(
+            first.get("trace_id").unwrap().as_str(),
+            Some("0af7651916cd43dd8448eb211c80319c")
+        );
+        // No trace id → the field is omitted, not empty.
+        let second = tsp_trace::json::parse(lines[1]).expect("valid json line");
+        assert!(second.get("trace_id").is_none());
+    }
+
+    #[test]
+    fn a_live_server_logs_requests_and_rejects_oversized_bodies() {
+        let dir = std::env::temp_dir().join(format!(
+            "tsp-http-access-{}-{:x}",
+            std::process::id(),
+            trace_seed()[1]
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let log_path = dir.join("access.jsonl");
+        let log = AccessLog::create(&log_path).unwrap();
+        let server = HttpServer::spawn_with_log(
+            "127.0.0.1:0",
+            "tsp-http-test",
+            Arc::new(table()),
+            Some(log),
+        )
+        .unwrap();
+        let addr = server.addr();
+
+        let (status, _, _) = http_request_with_headers(
+            addr,
+            "GET",
+            "/metrics",
+            "",
+            "",
+            &[(
+                TRACEPARENT,
+                "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",
+            )],
+        )
+        .unwrap();
+        assert_eq!(status, 200);
+
+        // A body over MAX_BODY_BYTES is refused with 400 from the
+        // declared Content-Length alone, before any handler runs (and
+        // never reaches the access log: the request could not be
+        // read). Sent raw so the test need not stream 4 MB into a
+        // socket the server has already closed.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(
+                format!(
+                    "POST /v1/solve HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+                    MAX_BODY_BYTES + 1
+                )
+                .as_bytes(),
+            )
+            .unwrap();
+        let mut rejected = String::new();
+        let _ = stream.read_to_string(&mut rejected);
+        assert!(rejected.starts_with("HTTP/1.1 400 "), "{rejected}");
+        assert!(rejected.ends_with("request body too large\n"), "{rejected}");
+
+        // 405 over the wire carries the Allow header.
+        let (status, head, _) = http_request(addr, "POST", "/metrics", "", "").unwrap();
+        assert_eq!(status, 405);
+        assert!(head.contains("Allow: GET"), "{head}");
+
+        server.shutdown();
+        let text = std::fs::read_to_string(&log_path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "only readable requests are logged: {text}");
+        let first = tsp_trace::json::parse(lines[0]).unwrap();
+        assert_eq!(
+            first.get("trace_id").unwrap().as_str(),
+            Some("0af7651916cd43dd8448eb211c80319c")
+        );
+        let second = tsp_trace::json::parse(lines[1]).unwrap();
+        assert_eq!(second.get("status").unwrap().as_f64(), Some(405.0));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

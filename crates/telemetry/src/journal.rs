@@ -62,6 +62,10 @@ pub struct JournalRecord {
     /// see [`Journal::with_run_id`]). Correlates journal lines with
     /// the trace, recording and profiler artifacts of the same run.
     pub run_id: String,
+    /// Distributed trace id stamping the record (empty = unstamped;
+    /// see [`Journal::with_trace_id`]). Correlates journal lines with
+    /// the external W3C trace that requested the run.
+    pub trace_id: String,
     /// Multistart chain the record belongs to (0 for single runs).
     pub chain: u64,
     /// ILS iteration (0 = initial descent).
@@ -85,6 +89,9 @@ impl JournalRecord {
         let mut o = Json::obj();
         if !self.run_id.is_empty() {
             o.set("run_id", Json::from(self.run_id.as_str()));
+        }
+        if !self.trace_id.is_empty() {
+            o.set("trace_id", Json::from(self.trace_id.as_str()));
         }
         o.set("chain", Json::from(self.chain as f64))
             .set("iteration", Json::from(self.iteration as f64))
@@ -115,6 +122,11 @@ impl JournalRecord {
                 .and_then(Json::as_str)
                 .unwrap_or_default()
                 .to_string(),
+            trace_id: j
+                .get("trace_id")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string(),
             chain: num("chain")? as u64,
             iteration: num("iteration")? as u64,
             modeled_seconds: num("modeled_seconds")?,
@@ -135,6 +147,9 @@ pub struct Journal {
     /// Run id stamped onto records pushed through this handle (empty =
     /// unstamped).
     run_id: String,
+    /// Trace id stamped onto records pushed through this handle (empty
+    /// = unstamped).
+    trace_id: String,
 }
 
 fn lock(buf: &Mutex<Vec<JournalRecord>>) -> MutexGuard<'_, Vec<JournalRecord>> {
@@ -148,6 +163,7 @@ impl Journal {
             inner: Some(Arc::new(Mutex::new(Vec::new()))),
             chain: 0,
             run_id: String::new(),
+            trace_id: String::new(),
         }
     }
 
@@ -169,6 +185,7 @@ impl Journal {
             inner: self.inner.clone(),
             chain,
             run_id: self.run_id.clone(),
+            trace_id: self.trace_id.clone(),
         }
     }
 
@@ -180,6 +197,21 @@ impl Journal {
             inner: self.inner.clone(),
             chain: self.chain,
             run_id: run_id.into(),
+            trace_id: self.trace_id.clone(),
+        }
+    }
+
+    /// A handle onto the same buffer that stamps `trace_id` onto every
+    /// record — used by the serving layer to correlate the journal with
+    /// the distributed trace that requested the run. The stamp
+    /// survives [`Journal::for_chain`] and [`Journal::with_run_id`],
+    /// so the solver's internal re-handling keeps it.
+    pub fn with_trace_id(&self, trace_id: impl Into<String>) -> Journal {
+        Journal {
+            inner: self.inner.clone(),
+            chain: self.chain,
+            run_id: self.run_id.clone(),
+            trace_id: trace_id.into(),
         }
     }
 
@@ -193,6 +225,11 @@ impl Journal {
         &self.run_id
     }
 
+    /// The trace id this handle stamps (empty = unstamped).
+    pub fn trace_id(&self) -> &str {
+        &self.trace_id
+    }
+
     /// Append one record, stamping this handle's chain and run ids
     /// (no-op when detached). The closure only runs when the journal is
     /// attached.
@@ -203,6 +240,9 @@ impl Journal {
             rec.chain = self.chain;
             if !self.run_id.is_empty() {
                 rec.run_id.clone_from(&self.run_id);
+            }
+            if !self.trace_id.is_empty() {
+                rec.trace_id.clone_from(&self.trace_id);
             }
             lock(buf).push(rec);
         }
@@ -333,6 +373,7 @@ mod tests {
     fn rec(iteration: u64, length: i64, event: JournalEvent) -> JournalRecord {
         JournalRecord {
             run_id: String::new(),
+            trace_id: String::new(),
             chain: 0,
             iteration,
             modeled_seconds: iteration as f64 * 0.25,
@@ -394,6 +435,28 @@ mod tests {
         assert_eq!(parsed, j.records());
         assert_eq!(parsed[1].run_id, "00ff00ff00ff00ff");
         assert_eq!(parsed[1].chain, 2);
+    }
+
+    #[test]
+    fn trace_id_stamps_and_survives_rehandling() {
+        let trace = "0af7651916cd43dd8448eb211c80319c";
+        let j = Journal::attached().with_trace_id(trace);
+        assert_eq!(j.trace_id(), trace);
+        j.record_with(|| rec(0, 1000, JournalEvent::Initial));
+        // The solver re-derives handles via with_run_id + for_chain;
+        // both must keep the trace stamp.
+        j.with_run_id("00ff00ff00ff00ff")
+            .for_chain(2)
+            .record_with(|| rec(1, 990, JournalEvent::Improved));
+        let parsed = parse_jsonl(&j.to_jsonl()).expect("stamped output must parse");
+        assert_eq!(parsed[0].trace_id, trace);
+        assert_eq!(parsed[1].trace_id, trace);
+        assert_eq!(parsed[1].run_id, "00ff00ff00ff00ff");
+        assert_eq!(parsed[1].chain, 2);
+        // Unstamped journals stay byte-compatible: no trace_id key.
+        let plain = Journal::attached();
+        plain.record_with(|| rec(0, 1000, JournalEvent::Initial));
+        assert!(!plain.to_jsonl().contains("trace_id"));
     }
 
     #[test]

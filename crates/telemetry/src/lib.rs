@@ -30,12 +30,17 @@
 pub mod http;
 pub mod journal;
 pub mod prometheus;
+pub mod quantile;
 pub mod registry;
 pub mod server;
 
-pub use http::{http_request, HttpServer, Params, Request, Response, Router};
+pub use http::{
+    http_request, http_request_with_headers, trace_seed, AccessLog, HttpServer, Params, Request,
+    Response, Router, TraceContext, TRACEPARENT,
+};
 pub use journal::{parse_jsonl, Journal, JournalEvent, JournalRecord, JournalWriter};
 pub use prometheus::{parse_text, FamilySummary, CONTENT_TYPE};
+pub use quantile::{P2Quantile, RollingQuantiles, LATENCY_QUANTILES};
 pub use registry::{
     exponential_buckets, Counter, Gauge, Histogram, MetricKind, Registry, Telemetry, DELTA_BUCKETS,
     SECONDS_BUCKETS,

@@ -1,0 +1,302 @@
+//! Rolling quantile estimation for the serving layer, dependency-free.
+//!
+//! [`P2Quantile`] is the P² (piecewise-parabolic) estimator of Jain &
+//! Chlamtac (CACM 1985): it tracks one quantile of a stream in O(1)
+//! memory — five markers, no sample buffer — by nudging the middle
+//! markers toward their ideal positions with a parabolic (falling back
+//! to linear) interpolation after every observation. Until five
+//! observations have arrived the estimate is read off the sorted
+//! prefix, so small streams are exact.
+//!
+//! [`RollingQuantiles`] bundles the p50/p95/p99 estimators one latency
+//! stage needs; `tsp-serve` keeps one per stage and mirrors the
+//! estimates into `tsp_serve_latency_seconds{stage,quantile}` gauges
+//! after each terminal job.
+//!
+//! Like everything else in this crate the estimator is deterministic:
+//! the same observation sequence produces bit-identical estimates.
+
+/// P² estimator for a single quantile `p` in `(0, 1)`.
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    p: f64,
+    /// Marker heights (sorted once warm).
+    q: [f64; 5],
+    /// Actual marker positions, 1-indexed.
+    n: [f64; 5],
+    /// Desired marker positions.
+    np: [f64; 5],
+    /// Desired-position increments per observation.
+    dn: [f64; 5],
+    /// Observations seen so far.
+    count: u64,
+    /// The first five observations, kept sorted (exact small-n path).
+    warmup: [f64; 5],
+}
+
+impl P2Quantile {
+    /// An estimator for quantile `p` (e.g. `0.5`, `0.95`, `0.99`).
+    ///
+    /// # Panics
+    /// When `p` is not strictly between 0 and 1.
+    pub fn new(p: f64) -> P2Quantile {
+        assert!(p > 0.0 && p < 1.0, "quantile must be in (0, 1), got {p}");
+        P2Quantile {
+            p,
+            q: [0.0; 5],
+            n: [1.0, 2.0, 3.0, 4.0, 5.0],
+            np: [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
+            dn: [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0],
+            count: 0,
+            warmup: [0.0; 5],
+        }
+    }
+
+    /// The quantile this estimator tracks.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Observations seen so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Feed one observation. Non-finite values are ignored — a NaN
+    /// must never poison the marker invariant.
+    pub fn observe(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        if self.count < 5 {
+            self.warmup[self.count as usize] = x;
+            self.count += 1;
+            let filled = &mut self.warmup[..self.count as usize];
+            filled.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            if self.count == 5 {
+                self.q = self.warmup;
+            }
+            return;
+        }
+        self.count += 1;
+
+        // Locate the cell and clamp the extreme markers.
+        let k = if x < self.q[0] {
+            self.q[0] = x;
+            0
+        } else if x >= self.q[4] {
+            self.q[4] = x;
+            3
+        } else {
+            // q[k] <= x < q[k+1] for some k in 0..=3.
+            (0..4)
+                .find(|&i| x < self.q[i + 1])
+                .expect("x < q[4] guaranteed above")
+        };
+
+        for i in (k + 1)..5 {
+            self.n[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.np[i] += self.dn[i];
+        }
+
+        // Nudge the three interior markers toward their ideals.
+        for i in 1..4 {
+            let d = self.np[i] - self.n[i];
+            let room_up = self.n[i + 1] - self.n[i] > 1.0;
+            let room_down = self.n[i - 1] - self.n[i] < -1.0;
+            if (d >= 1.0 && room_up) || (d <= -1.0 && room_down) {
+                let s = if d >= 1.0 { 1.0 } else { -1.0 };
+                let parabolic = self.parabolic(i, s);
+                self.q[i] = if self.q[i - 1] < parabolic && parabolic < self.q[i + 1] {
+                    parabolic
+                } else {
+                    self.linear(i, s)
+                };
+                self.n[i] += s;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, s: f64) -> f64 {
+        let (q, n) = (&self.q, &self.n);
+        q[i] + s / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + s) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - s) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    fn linear(&self, i: usize, s: f64) -> f64 {
+        let j = if s > 0.0 { i + 1 } else { i - 1 };
+        self.q[i] + s * (self.q[j] - self.q[i]) / (self.n[j] - self.n[i])
+    }
+
+    /// The current estimate, `None` before the first observation.
+    /// Exact (nearest-rank on the sorted prefix) below five
+    /// observations, P²-interpolated after.
+    pub fn estimate(&self) -> Option<f64> {
+        match self.count {
+            0 => None,
+            c @ 1..=4 => {
+                let filled = &self.warmup[..c as usize];
+                let idx = (self.p * (c as f64 - 1.0)).round() as usize;
+                Some(filled[idx.min(filled.len() - 1)])
+            }
+            _ => Some(self.q[2]),
+        }
+    }
+}
+
+/// The standard quantile set the latency gauges expose.
+pub const LATENCY_QUANTILES: [f64; 3] = [0.5, 0.95, 0.99];
+
+/// p50/p95/p99 of one observation stream — three [`P2Quantile`]s fed
+/// in lockstep.
+#[derive(Debug, Clone)]
+pub struct RollingQuantiles {
+    estimators: [P2Quantile; 3],
+}
+
+impl Default for RollingQuantiles {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RollingQuantiles {
+    /// Fresh estimators for [`LATENCY_QUANTILES`].
+    pub fn new() -> RollingQuantiles {
+        RollingQuantiles {
+            estimators: LATENCY_QUANTILES.map(P2Quantile::new),
+        }
+    }
+
+    /// Feed one observation into every estimator.
+    pub fn observe(&mut self, x: f64) {
+        for est in &mut self.estimators {
+            est.observe(x);
+        }
+    }
+
+    /// Observations seen so far.
+    pub fn count(&self) -> u64 {
+        self.estimators[0].count()
+    }
+
+    /// `(quantile, estimate)` pairs, skipping quantiles with no data.
+    pub fn estimates(&self) -> Vec<(f64, f64)> {
+        self.estimators
+            .iter()
+            .filter_map(|e| e.estimate().map(|v| (e.p(), v)))
+            .collect()
+    }
+
+    /// Estimate for one of the tracked quantiles, if fed.
+    pub fn estimate(&self, p: f64) -> Option<f64> {
+        self.estimators
+            .iter()
+            .find(|e| e.p() == p)
+            .and_then(P2Quantile::estimate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-uniform stream (splitmix64 bit mix).
+    fn mixed(i: u64) -> f64 {
+        let mut z = i.wrapping_add(0x9e3779b97f4a7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        (z ^ (z >> 31)) as f64 / u64::MAX as f64
+    }
+
+    #[test]
+    fn small_streams_are_exact_nearest_rank() {
+        let mut est = P2Quantile::new(0.5);
+        assert_eq!(est.estimate(), None);
+        est.observe(10.0);
+        assert_eq!(est.estimate(), Some(10.0));
+        est.observe(2.0);
+        est.observe(6.0);
+        // Sorted prefix [2, 6, 10]: the median is exact.
+        assert_eq!(est.estimate(), Some(6.0));
+        assert_eq!(est.count(), 3);
+    }
+
+    #[test]
+    fn median_of_a_uniform_stream_converges() {
+        let mut est = P2Quantile::new(0.5);
+        for i in 0..10_000 {
+            est.observe(mixed(i));
+        }
+        let got = est.estimate().unwrap();
+        assert!((got - 0.5).abs() < 0.02, "p50 of U(0,1) was {got}");
+    }
+
+    #[test]
+    fn tail_quantiles_of_a_uniform_stream_converge() {
+        let mut q95 = P2Quantile::new(0.95);
+        let mut q99 = P2Quantile::new(0.99);
+        for i in 0..20_000 {
+            q95.observe(mixed(i));
+            q99.observe(mixed(i));
+        }
+        let (p95, p99) = (q95.estimate().unwrap(), q99.estimate().unwrap());
+        assert!((p95 - 0.95).abs() < 0.02, "p95 was {p95}");
+        assert!((p99 - 0.99).abs() < 0.02, "p99 was {p99}");
+    }
+
+    #[test]
+    fn markers_stay_ordered_and_estimates_monotone() {
+        let mut rq = RollingQuantiles::new();
+        for i in 0..5_000 {
+            // A skewed stream: mostly small, occasional large spikes.
+            let x = if i % 50 == 0 {
+                10.0 + mixed(i)
+            } else {
+                mixed(i)
+            };
+            rq.observe(x);
+            let est = rq.estimates();
+            if est.len() == 3 {
+                assert!(est[0].1 <= est[1].1 + 1e-12, "p50 <= p95 at {i}: {est:?}");
+                assert!(est[1].1 <= est[2].1 + 1e-12, "p95 <= p99 at {i}: {est:?}");
+            }
+        }
+        assert_eq!(rq.count(), 5_000);
+        // The spikes are 2% of the stream: p99 must see them, p50 not.
+        assert!(rq.estimate(0.5).unwrap() < 1.0);
+        assert!(rq.estimate(0.99).unwrap() > 5.0);
+    }
+
+    #[test]
+    fn identical_streams_give_bit_identical_estimates() {
+        let mut a = RollingQuantiles::new();
+        let mut b = RollingQuantiles::new();
+        for i in 0..2_000 {
+            a.observe(mixed(i));
+            b.observe(mixed(i));
+        }
+        assert_eq!(a.estimates(), b.estimates());
+    }
+
+    #[test]
+    fn non_finite_observations_are_ignored() {
+        let mut est = P2Quantile::new(0.5);
+        for i in 0..100 {
+            est.observe(mixed(i));
+            est.observe(f64::NAN);
+            est.observe(f64::INFINITY);
+        }
+        assert_eq!(est.count(), 100);
+        assert!(est.estimate().unwrap().is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in (0, 1)")]
+    fn out_of_range_quantiles_are_refused() {
+        let _ = P2Quantile::new(1.0);
+    }
+}

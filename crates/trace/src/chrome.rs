@@ -107,21 +107,37 @@ fn end(tid: u64, ts_us: f64, args: Json) -> Json {
 /// Serialize `events` as a Chrome Trace Event JSON document, one trace
 /// event per line (stable output: same events, same bytes).
 pub fn chrome_trace(events: &[TraceEvent]) -> String {
-    chrome_trace_impl(events, None)
+    chrome_trace_impl(events, None, None)
 }
 
 /// [`chrome_trace`] plus a leading `run_id` metadata record, so the
 /// trace file correlates with the journal, recording and profiler
 /// artifacts stamped with the same id. Untagged output is unchanged.
 pub fn chrome_trace_tagged(events: &[TraceEvent], run_id: &str) -> String {
-    chrome_trace_impl(events, Some(run_id))
+    chrome_trace_impl(events, Some(run_id), None)
 }
 
-fn chrome_trace_impl(events: &[TraceEvent], run_id: Option<&str>) -> String {
+/// [`chrome_trace_tagged`] plus a `trace_id` metadata record carrying
+/// the W3C distributed-trace id of the request that triggered the run.
+/// An empty `trace_id` emits no extra record, so untraced output is
+/// byte-identical to [`chrome_trace_tagged`].
+pub fn chrome_trace_with_ids(events: &[TraceEvent], run_id: &str, trace_id: &str) -> String {
+    let trace_id = (!trace_id.is_empty()).then_some(trace_id);
+    chrome_trace_impl(events, Some(run_id), trace_id)
+}
+
+fn chrome_trace_impl(
+    events: &[TraceEvent],
+    run_id: Option<&str>,
+    trace_id: Option<&str>,
+) -> String {
     let mut out: Vec<Json> = Vec::new();
 
     if let Some(id) = run_id {
         out.push(meta("run_id", None, id));
+    }
+    if let Some(id) = trace_id {
+        out.push(meta("trace_id", None, id));
     }
 
     let process_name = events
@@ -424,6 +440,29 @@ mod tests {
         assert!(!untagged.contains("run_id"));
         let rest = tagged.replacen(&format!("{tag},\n"), "", 1);
         assert_eq!(rest, untagged);
+    }
+
+    #[test]
+    fn trace_id_tag_rides_behind_the_run_id_tag() {
+        let events = vec![device()];
+        let trace = "0af7651916cd43dd8448eb211c80319c";
+        let both = chrome_trace_with_ids(&events, "00ff00ff00ff00ff", trace);
+        let doc = json::parse(&both).expect("tagged output must parse");
+        let list = doc.get("traceEvents").and_then(Json::as_array).unwrap();
+        assert_eq!(list[0].get("name").and_then(Json::as_str), Some("run_id"));
+        assert_eq!(list[1].get("name").and_then(Json::as_str), Some("trace_id"));
+        assert_eq!(
+            list[1]
+                .get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(Json::as_str),
+            Some(trace)
+        );
+        // An empty trace id reduces to the plain tagged export.
+        assert_eq!(
+            chrome_trace_with_ids(&events, "00ff00ff00ff00ff", ""),
+            chrome_trace_tagged(&events, "00ff00ff00ff00ff")
+        );
     }
 
     #[test]

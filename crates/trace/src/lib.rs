@@ -26,7 +26,7 @@ pub mod metrics;
 pub mod recorder;
 pub mod roofline;
 
-pub use chrome::{chrome_trace, chrome_trace_tagged};
+pub use chrome::{chrome_trace, chrome_trace_tagged, chrome_trace_with_ids};
 pub use event::{DeviceInfo, KernelCounters, SweepCost, TraceEvent};
 pub use metrics::{KernelStats, MetricsSnapshot, TransferStats};
 pub use recorder::Recorder;

@@ -153,6 +153,9 @@ impl Solver {
         }
         let header = Header {
             run_id: self.run_id(inst),
+            // The serving layer stamps the distributed trace id onto
+            // the journal handle; the recording inherits it from there.
+            trace_id: self.cfg.telemetry.journal().trace_id().to_string(),
             instance_name: inst.name().to_string(),
             n: inst.len(),
             instance_digest: digest_instance(inst),

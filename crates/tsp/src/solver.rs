@@ -508,10 +508,12 @@ impl Solver {
         let initial_length = start.length(inst);
 
         if cfg.restarts == 1 && cfg.ils.is_none() {
+            // Device-level recorder events need exclusive device
+            // ownership, which a pooled lane never has (the device Arc
+            // is shared with the pool and its sibling lanes); the
+            // recorder still gets the sweep-level events through
+            // `run_descent`.
             let mut engine = self.gpu_engine_on(GpuTwoOpt::on_stream(device.clone(), stream));
-            if let Some(rec) = &cfg.recorder {
-                engine = engine.with_recorder(rec.clone());
-            }
             return self.run_descent(inst, start, initial_length, run_id, &mut engine);
         }
 

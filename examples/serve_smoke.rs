@@ -1,34 +1,41 @@
 //! Fifty concurrent HTTP solves against a live `tsp-serve` instance.
 //!
 //! ```text
-//! cargo run --release -p tsp-apps --example serve_smoke -- [BENCH_serve.json]
+//! cargo run --release -p tsp-apps --example serve_smoke -- \
+//!     [BENCH_serve.json] [BENCH_serve_obs.json] [artifacts_dir]
 //! ```
 //!
 //! Boots a [`ServeServer`] on a loopback port with the default pool
 //! (2 devices × 2 streams, one pre-installed arena per device), then
 //! fires 50 deterministic solve requests from 50 client threads over
-//! real HTTP and self-validates the service guarantees:
+//! real HTTP — each carrying its own W3C `traceparent` — and
+//! self-validates the service guarantees:
 //!
-//! * every job lands in `Done` with a tour;
+//! * every job lands in `Done` with a tour, echoing its trace id;
 //! * the device-memory ledger holds exactly **one** allocation per
 //!   device (the arena) — zero per-request allocations once warm —
 //!   and balances after shutdown;
 //! * the drained stream schedules show non-zero overlap (concurrent
 //!   solves actually shared each device's streams);
 //! * the solve-latency histogram counted every job and the occupancy
-//!   gauge returned to zero.
+//!   gauge returned to zero;
+//! * every job left a parseable, invariant-clean `request.json` span
+//!   whose modeled seconds match the status, and the rolling
+//!   `tsp_serve_latency_seconds{stage,quantile}` gauges are non-zero;
+//! * `GET /v1/ops` snapshots every job with its lane and trace id.
 //!
-//! Writes `BENCH_serve.json`: deterministic totals at the top level
-//! (tour lengths and modeled seconds reduce in job-index order, so
-//! they are bit-stable run to run) and wall-clock statistics under
-//! `"wall"` (gated with a wide tolerance in CI).
+//! Writes `BENCH_serve.json` (service throughput) and
+//! `BENCH_serve_obs.json` (observability coverage): deterministic
+//! totals at the top level (reduced in job-index order, so they are
+//! bit-stable run to run) and wall-clock statistics under `"wall"`
+//! (gated with a wide tolerance in CI).
 
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 use tsp::prelude::*;
-use tsp_serve::api::{JobState, JobStatus, SolveRequest, SolveResponse};
-use tsp_serve::{ServeServer, ServiceConfig, SolveService};
-use tsp_telemetry::http_request;
+use tsp_serve::api::{JobState, JobStatus, OpsSnapshot, SolveRequest, SolveResponse};
+use tsp_serve::{RequestSpan, ServeServer, ServiceConfig, SolveService};
+use tsp_telemetry::{http_request, http_request_with_headers, TraceContext, TRACEPARENT};
 use tsp_trace::json::Json;
 
 const JOBS: usize = 50;
@@ -39,22 +46,34 @@ fn main() {
         .first()
         .cloned()
         .unwrap_or_else(|| "BENCH_serve.json".into());
+    let obs_out = args
+        .get(1)
+        .cloned()
+        .unwrap_or_else(|| "BENCH_serve_obs.json".into());
+    let artifacts_dir = args.get(2).cloned().unwrap_or_else(|| {
+        std::env::temp_dir()
+            .join(format!("tsp-serve-smoke-{}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    });
+    let _ = std::fs::remove_dir_all(&artifacts_dir);
 
     let telemetry = Telemetry::attached();
     let prof = Profiler::attached();
-    let cfg = ServiceConfig::default();
+    let cfg = ServiceConfig::default().with_artifacts_dir(&artifacts_dir);
     let devices = cfg.devices;
     let service =
         SolveService::start(cfg, telemetry.clone(), prof.clone()).expect("boot the solve service");
     let server = ServeServer::spawn("127.0.0.1:0", service).expect("bind a loopback port");
     let addr = server.addr();
-    println!("tsp-serve listening on {addr} ({devices} devices)");
+    println!("tsp-serve listening on {addr} ({devices} devices, artifacts in {artifacts_dir})");
 
     // --- 50 deterministic jobs, one client thread each ---------------
     // Each job solves its own generated instance (seeded by index), so
     // the served results are reproducible regardless of which lane or
-    // completion order the scheduler picks.
-    let results: Mutex<Vec<(usize, JobStatus, f64)>> = Mutex::new(Vec::new());
+    // completion order the scheduler picks. Each client mints a
+    // deterministic trace context and expects it echoed end to end.
+    let results: Mutex<Vec<(usize, JobStatus, f64, String)>> = Mutex::new(Vec::new());
     let wall_start = Instant::now();
     std::thread::scope(|scope| {
         for i in 0..JOBS {
@@ -70,17 +89,25 @@ fn main() {
                     .with_tenant(format!("client-{}", i % 8))
                     .with_ils_iterations(2 + (i % 3) as u64)
                     .with_seed(i as u64);
+                let ctx = TraceContext::generate(&[0x5e_4e_5e_4e, i as u64]);
                 let started = Instant::now();
-                let (status, _, body) = http_request(
+                let (status, _, body) = http_request_with_headers(
                     addr,
                     "POST",
                     "/v1/solve",
                     "application/json",
                     &req.to_json().to_string(),
+                    &[(TRACEPARENT, &ctx.to_header())],
                 )
                 .expect("POST /v1/solve");
                 assert_eq!(status, 202, "job {i} rejected: {body}");
-                let job_id = SolveResponse::parse(&body).expect("valid response").job_id;
+                let resp = SolveResponse::parse(&body).expect("valid response");
+                assert_eq!(
+                    resp.trace_id.as_deref(),
+                    Some(ctx.trace_id.as_str()),
+                    "job {i}: the submitted trace id is echoed in the response"
+                );
+                let job_id = resp.job_id;
                 let job = loop {
                     let (status, _, body) =
                         http_request(addr, "GET", &format!("/v1/jobs/{job_id}"), "", "")
@@ -93,34 +120,77 @@ fn main() {
                     std::thread::sleep(Duration::from_millis(2));
                 };
                 let latency = started.elapsed().as_secs_f64();
-                results.lock().unwrap().push((i, job, latency));
+                results
+                    .lock()
+                    .unwrap()
+                    .push((i, job, latency, ctx.trace_id));
             });
         }
     });
     let elapsed = wall_start.elapsed().as_secs_f64();
 
     let mut results = results.into_inner().unwrap();
-    results.sort_by_key(|&(i, _, _)| i);
+    results.sort_by_key(|&(i, _, _, _)| i);
     let succeeded = results
         .iter()
-        .filter(|(_, job, _)| job.state == JobState::Done)
+        .filter(|(_, job, _, _)| job.state == JobState::Done)
         .count();
     assert_eq!(succeeded, JOBS, "every job must land in Done");
 
     // Deterministic reductions, in job-index order so the f64 sum is
     // bit-stable across runs.
-    let tour_length_sum: i64 = results.iter().map(|(_, job, _)| job.length.unwrap()).sum();
+    let tour_length_sum: i64 = results
+        .iter()
+        .map(|(_, job, _, _)| job.length.unwrap())
+        .sum();
     let mut modeled_seconds_total = 0.0;
-    for (_, job, _) in &results {
+    for (_, job, _, _) in &results {
         modeled_seconds_total += job.modeled_seconds.unwrap();
     }
 
     // Client-observed wall latency percentiles.
-    let mut latencies: Vec<f64> = results.iter().map(|&(_, _, l)| l).collect();
+    let mut latencies: Vec<f64> = results.iter().map(|&(_, _, l, _)| l).collect();
     latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p).round() as usize] * 1e3;
     let (p50_ms, p99_ms) = (pct(0.50), pct(0.99));
     let throughput = JOBS as f64 / elapsed;
+
+    // --- Request spans: one parseable request.json per job -----------
+    // Deterministic observability reductions, again in job-index order.
+    let mut spans_valid = 0usize;
+    let mut stage_stamps_total = 0usize;
+    let mut traces_propagated = 0usize;
+    let mut span_modeled_seconds_total = 0.0;
+    let mut e2e_wall_total = 0.0;
+    for (i, job, _, trace_id) in &results {
+        let path = std::path::Path::new(&artifacts_dir)
+            .join(job.job_id.as_str())
+            .join("request.json");
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("job {i}: {}: {e}", path.display()));
+        let span = RequestSpan::parse(&text).expect("request.json parses");
+        span.validate()
+            .unwrap_or_else(|e| panic!("job {i}: invalid span: {e}"));
+        spans_valid += 1;
+        stage_stamps_total += span.stages.len();
+        traces_propagated += usize::from(span.trace_id == *trace_id);
+        span_modeled_seconds_total += span.modeled_seconds().unwrap();
+        e2e_wall_total += span.end_to_end_seconds().unwrap();
+        assert_eq!(
+            span.modeled_seconds(),
+            job.modeled_seconds,
+            "job {i}: span and status agree on modeled seconds"
+        );
+    }
+    assert_eq!(spans_valid, JOBS, "one valid span per job");
+    assert_eq!(
+        traces_propagated, JOBS,
+        "every span carries its client's trace id"
+    );
+    assert_eq!(
+        span_modeled_seconds_total, modeled_seconds_total,
+        "span modeled totals are bit-identical to the statuses'"
+    );
 
     // --- Telemetry self-validation -----------------------------------
     let registry = telemetry.registry().expect("telemetry attached");
@@ -138,6 +208,44 @@ fn main() {
         Some(0.0),
         "queue drained"
     );
+    // The rolling quantile gauges saw all 50 jobs: every stage's p50,
+    // p95 and p99 must be present and positive (queue/lease waits can
+    // round to ~0 on an idle box, so those only need presence).
+    let mut latency_gauges = Json::obj();
+    for stage in ["queue_wait", "lease_wait", "solve", "end_to_end"] {
+        let mut per_stage = Json::obj();
+        for q in ["p50", "p95", "p99"] {
+            let value = registry
+                .gauge_value_with(
+                    "tsp_serve_latency_seconds",
+                    &[("stage", stage), ("quantile", q)],
+                )
+                .unwrap_or_else(|| panic!("gauge tsp_serve_latency_seconds {stage}/{q} missing"));
+            if stage == "solve" || stage == "end_to_end" {
+                assert!(value > 0.0, "{stage}/{q} must be non-zero, got {value}");
+            }
+            per_stage.set(q, value.into());
+        }
+        latency_gauges.set(stage, per_stage);
+    }
+
+    // --- /v1/ops snapshot --------------------------------------------
+    let (status, _, body) = http_request(addr, "GET", "/v1/ops", "", "").expect("GET /v1/ops");
+    assert_eq!(status, 200, "{body}");
+    let ops = OpsSnapshot::parse(&body).expect("ops snapshot parses");
+    assert_eq!(ops.jobs.len(), JOBS, "ops lists every job");
+    assert!(
+        ops.jobs
+            .iter()
+            .all(|j| j.state == JobState::Done && j.trace_id.is_some() && j.device.is_some()),
+        "every ops row is terminal with a lane and trace id"
+    );
+    let e2e_latency = ops
+        .latency
+        .iter()
+        .find(|l| l.stage == "end_to_end")
+        .expect("end_to_end latency stage");
+    assert_eq!(e2e_latency.count, JOBS as u64, "estimator saw every job");
 
     // --- Shutdown: overlap + ledger ----------------------------------
     let (_service, reports) = server.shutdown();
@@ -185,10 +293,33 @@ fn main() {
     std::fs::write(&out, format!("{bench}\n"))
         .unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
     println!("wrote {out}");
+
+    // --- BENCH_serve_obs.json ----------------------------------------
+    // Deterministic coverage totals at the top (zero tolerance in CI);
+    // wall-clock latency summaries under "wall".
+    let mut obs_wall = Json::obj();
+    obs_wall.set("e2e_wall_total_s", e2e_wall_total.into());
+    obs_wall.set("latency_gauges", latency_gauges);
+    let mut obs = Json::obj();
+    obs.set("jobs", (JOBS as u64).into());
+    obs.set("spans_valid", (spans_valid as u64).into());
+    obs.set("stage_stamps_total", (stage_stamps_total as u64).into());
+    obs.set("traces_propagated", (traces_propagated as u64).into());
+    obs.set("rejections", 0u64.into());
+    obs.set(
+        "span_modeled_seconds_total",
+        span_modeled_seconds_total.into(),
+    );
+    obs.set("wall", obs_wall);
+    std::fs::write(&obs_out, format!("{obs}\n"))
+        .unwrap_or_else(|e| panic!("cannot write {obs_out}: {e}"));
+    println!("wrote {obs_out}");
+
     println!(
         "{JOBS} jobs in {elapsed:.2}s ({throughput:.1} jobs/s), p50 {p50_ms:.1}ms p99 {p99_ms:.1}ms"
     );
     println!("tour_length_sum={tour_length_sum} modeled_seconds_total={modeled_seconds_total:.6}");
     println!("steady_state_allocs={steady_state_allocs} overlap={overlap:.2}");
+    println!("spans_valid={spans_valid} traces_propagated={traces_propagated}");
     println!("SERVE SMOKE OK");
 }
