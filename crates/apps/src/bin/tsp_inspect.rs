@@ -12,6 +12,7 @@
 //! tsp-inspect flame     --input run.folded | --manifest manifest.json  [--top N]
 //! tsp-inspect mem       --input memory.json | --manifest manifest.json
 //! tsp-inspect serve     <artifacts-dir>
+//! tsp-inspect alerts    <artifacts-dir | alerts.jsonl>
 //! ```
 //!
 //! `--instance` loads a TSPLIB file, `--gen uniform:512:42` regenerates
@@ -24,15 +25,16 @@ use std::fs;
 use std::path::Path;
 use std::process::ExitCode;
 use tsp_apps::inspect::{
-    detect_anomalies, heatmap_grid, render_flame, render_heatmap_pgm, render_heatmap_text,
-    render_serve_waterfall, render_timeline, serve_spans, timeline, tour_svg,
+    detect_anomalies, heatmap_grid, load_alert_transitions, render_alert_timeline, render_flame,
+    render_heatmap_pgm, render_heatmap_text, render_serve_waterfall, render_timeline, serve_spans,
+    timeline, tour_svg,
 };
 use tsp_core::Instance;
 use tsp_prof::{parse_collapsed, Manifest, MemoryReport};
 use tsp_replay::{digest_instance, parse_recording, Recording};
 use tsp_tsplib::{generate, Style};
 
-const USAGE: &str = "usage: tsp-inspect <heatmap|svg|timeline|anomalies|flame|mem|serve> ...
+const USAGE: &str = "usage: tsp-inspect <heatmap|svg|timeline|anomalies|flame|mem|serve|alerts> ...
   recordings (--recording <file.jsonl> required):
   common:     --chain N            chain to inspect (default 0)
   heatmap:    --buckets B          grid resolution (default 32)
@@ -48,7 +50,8 @@ const USAGE: &str = "usage: tsp-inspect <heatmap|svg|timeline|anomalies|flame|me
   mem:        --input FILE         memory-ledger report JSON
   both:       --manifest FILE      locate the artifact through a run manifest instead
   serve artifacts:
-  serve:      <artifacts-dir>      per-request waterfall from <dir>/<job>/request.json spans";
+  serve:      <artifacts-dir>      per-request waterfall from <dir>/<job>/request.json spans
+  alerts:     <artifacts-dir|alerts.jsonl>  firing timeline from the alert journal";
 
 struct Args {
     command: String,
@@ -71,7 +74,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let command = argv.first().cloned().ok_or("missing subcommand")?;
     if !matches!(
         command.as_str(),
-        "heatmap" | "svg" | "timeline" | "anomalies" | "flame" | "mem" | "serve"
+        "heatmap" | "svg" | "timeline" | "anomalies" | "flame" | "mem" | "serve" | "alerts"
     ) {
         return Err(format!("unknown subcommand {command:?}"));
     }
@@ -91,10 +94,14 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         manifest: None,
         serve_dir: None,
     };
-    // `serve` takes one positional argument: the artifacts directory.
-    if args.command == "serve" {
+    // `serve` and `alerts` take one positional argument: the
+    // artifacts directory (or, for `alerts`, the journal file itself).
+    if matches!(args.command.as_str(), "serve" | "alerts") {
         let [dir] = &argv[1..] else {
-            return Err("serve wants exactly one artifacts directory".into());
+            return Err(format!(
+                "{} wants exactly one artifacts directory",
+                args.command
+            ));
         };
         args.serve_dir = Some(dir.clone());
         return Ok(args);
@@ -236,6 +243,12 @@ fn run(argv: &[String]) -> Result<(), String> {
             let dir = args.serve_dir.as_deref().unwrap();
             let spans = serve_spans(Path::new(dir))?;
             print!("{}", render_serve_waterfall(&spans));
+            return Ok(());
+        }
+        "alerts" => {
+            let dir = args.serve_dir.as_deref().unwrap();
+            let transitions = load_alert_transitions(Path::new(dir))?;
+            print!("{}", render_alert_timeline(&transitions));
             return Ok(());
         }
         "mem" => {

@@ -13,6 +13,7 @@ use std::fmt;
 use tsp_core::Instance;
 use tsp_replay::{tour_at_iteration, Recording, ReplayEvent};
 use tsp_serve::{RequestSpan, Stage};
+use tsp_telemetry::{parse_alerts_jsonl, AlertState, AlertTransition};
 
 /// Aggregate the applied moves of `chain` into a `buckets × buckets`
 /// grid over the `(i, j)` candidate matrix, each cell summing the
@@ -484,6 +485,94 @@ pub fn render_serve_waterfall(spans: &[RequestSpan]) -> String {
     out
 }
 
+/// Load the alert journal behind `path`: either an `alerts.jsonl`
+/// file directly, or a serve artifacts directory containing one —
+/// the data source of `tsp-inspect alerts`.
+pub fn load_alert_transitions(path: &std::path::Path) -> Result<Vec<AlertTransition>, String> {
+    let file = if path.is_dir() {
+        path.join("alerts.jsonl")
+    } else {
+        path.to_path_buf()
+    };
+    let text = std::fs::read_to_string(&file).map_err(|e| format!("{}: {e}", file.display()))?;
+    parse_alerts_jsonl(&text).map_err(|e| format!("{}: {e}", file.display()))
+}
+
+/// The display key of an alert instance: `rule{k=v,…}`.
+fn instance_key(rule: &str, labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return rule.to_string();
+    }
+    let labels: Vec<String> = labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    format!("{rule}{{{}}}", labels.join(","))
+}
+
+/// Render an alert journal as a human-readable firing timeline: every
+/// state transition in evaluation order, then the derived *firing
+/// intervals* per alert instance (open intervals mean the journal
+/// ends with the alert still firing) — the text half of
+/// `tsp-inspect alerts`. Pure over the artifact: no service, registry
+/// or clock is consulted.
+pub fn render_alert_timeline(transitions: &[AlertTransition]) -> String {
+    if transitions.is_empty() {
+        return "no alert transitions (a healthy run)\n".to_string();
+    }
+    let mut rules: Vec<&str> = transitions.iter().map(|t| t.rule.as_str()).collect();
+    rules.sort_unstable();
+    rules.dedup();
+    let mut out = format!(
+        "{} alert transition(s) across {} rule(s), window {:.3}s..{:.3}s\n",
+        transitions.len(),
+        rules.len(),
+        transitions.first().map(|t| t.seconds).unwrap_or(0.0),
+        transitions.last().map(|t| t.seconds).unwrap_or(0.0),
+    );
+    out.push_str("   seconds  severity  transition            alert\n");
+    for tr in transitions {
+        out.push_str(&format!(
+            "{:>10.3}  {:<8}  {:<8} -> {:<8}  {}={}\n",
+            tr.seconds,
+            tr.severity.as_str(),
+            tr.from.as_str(),
+            tr.to.as_str(),
+            instance_key(&tr.rule, &tr.labels),
+            tr.value,
+        ));
+    }
+    // Firing intervals per instance, in first-fired order. An
+    // interval opens on a `-> firing` transition and closes on the
+    // next transition away from it.
+    let mut intervals: Vec<(String, f64, Option<f64>)> = Vec::new();
+    for tr in transitions {
+        let key = instance_key(&tr.rule, &tr.labels);
+        if tr.to == AlertState::Firing {
+            intervals.push((key, tr.seconds, None));
+        } else if tr.from == AlertState::Firing {
+            if let Some(open) = intervals
+                .iter_mut()
+                .rev()
+                .find(|(k, _, end)| *k == key && end.is_none())
+            {
+                open.2 = Some(tr.seconds);
+            }
+        }
+    }
+    out.push_str("firing intervals:\n");
+    if intervals.is_empty() {
+        out.push_str("  (none — nothing ever fired)\n");
+    }
+    for (key, start, end) in &intervals {
+        match end {
+            Some(end) => out.push_str(&format!(
+                "  {key}: {start:.3}s..{end:.3}s ({:.3}s firing)\n",
+                end - start
+            )),
+            None => out.push_str(&format!("  {key}: {start:.3}s.. (STILL FIRING)\n")),
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -505,6 +594,38 @@ mod tests {
         solver.run(&inst).unwrap();
         let recording = solver.recording(&inst).unwrap();
         (inst, recording)
+    }
+
+    #[test]
+    fn alert_timeline_renders_transitions_and_firing_intervals() {
+        let journal = concat!(
+            "{\"seconds\":1.25,\"rule\":\"LaneStalled\",\"severity\":\"critical\",",
+            "\"labels\":{\"lane\":\"0\"},\"from\":\"inactive\",\"to\":\"firing\",\"value\":0.3}\n",
+            "{\"seconds\":2,\"rule\":\"QueueAgeSlo\",\"severity\":\"warning\",",
+            "\"from\":\"inactive\",\"to\":\"pending\",\"value\":31.5}\n",
+            "{\"seconds\":3.5,\"rule\":\"LaneStalled\",\"severity\":\"critical\",",
+            "\"labels\":{\"lane\":\"0\"},\"from\":\"firing\",\"to\":\"resolved\",\"value\":0}\n",
+            "{\"seconds\":4,\"rule\":\"QueueAgeSlo\",\"severity\":\"warning\",",
+            "\"from\":\"pending\",\"to\":\"firing\",\"value\":40}\n",
+        );
+        let transitions = parse_alerts_jsonl(journal).unwrap();
+        let text = render_alert_timeline(&transitions);
+        assert!(
+            text.contains("4 alert transition(s) across 2 rule(s)"),
+            "{text}"
+        );
+        assert!(text.contains("LaneStalled{lane=0}"), "{text}");
+        // The lane-stall interval closed; the queue-age one did not.
+        assert!(
+            text.contains("LaneStalled{lane=0}: 1.250s..3.500s (2.250s firing)"),
+            "{text}"
+        );
+        assert!(
+            text.contains("QueueAgeSlo: 4.000s.. (STILL FIRING)"),
+            "{text}"
+        );
+        // A healthy run renders the explicit no-alerts line.
+        assert!(render_alert_timeline(&[]).contains("healthy run"));
     }
 
     #[test]

@@ -14,6 +14,7 @@
 use crate::api::{ApiError, ErrorCode};
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Condvar, Mutex};
+use std::time::Instant;
 use tsp_telemetry::{Gauge, Telemetry};
 
 /// One queued unit of work: the job id to look up and the tenant to
@@ -28,7 +29,9 @@ pub struct Ticket {
 
 #[derive(Debug, Default)]
 struct QueueState {
-    queue: VecDeque<Ticket>,
+    /// Waiting tickets with their enqueue instants — the front one's
+    /// age is the queue-age SLO signal.
+    queue: VecDeque<(Ticket, Instant)>,
     /// Live (queued + running) jobs per tenant.
     live: HashMap<String, usize>,
     closed: bool,
@@ -95,7 +98,7 @@ impl AdmissionQueue {
             .with_retry_after_ms(self.backoff_ms(&state)));
         }
         *state.live.entry(ticket.tenant.clone()).or_insert(0) += 1;
-        state.queue.push_back(ticket);
+        state.queue.push_back((ticket, Instant::now()));
         if let Some(gauge) = &self.depth {
             gauge.set(state.queue.len() as f64);
         }
@@ -115,7 +118,7 @@ impl AdmissionQueue {
     pub fn pop(&self) -> Option<Ticket> {
         let mut state = self.state.lock().unwrap();
         loop {
-            if let Some(ticket) = state.queue.pop_front() {
+            if let Some((ticket, _enqueued)) = state.queue.pop_front() {
                 if let Some(gauge) = &self.depth {
                     gauge.set(state.queue.len() as f64);
                 }
@@ -154,6 +157,32 @@ impl AdmissionQueue {
             .get(tenant)
             .copied()
             .unwrap_or(0)
+    }
+
+    /// Wall seconds the front (oldest) ticket has been waiting, `0`
+    /// when the queue is empty. The lane watchdog mirrors this into
+    /// `tsp_serve_queue_age_seconds` for the queue-age SLO rule.
+    pub fn oldest_wait_seconds(&self) -> f64 {
+        self.state
+            .lock()
+            .unwrap()
+            .queue
+            .front()
+            .map(|(_, enqueued)| enqueued.elapsed().as_secs_f64())
+            .unwrap_or(0.0)
+    }
+
+    /// Every tenant with live work and its live count, sorted by
+    /// tenant — the quota-ratio gauges fan out over this census.
+    pub fn live_tenants(&self) -> Vec<(String, usize)> {
+        let state = self.state.lock().unwrap();
+        let mut tenants: Vec<(String, usize)> = state
+            .live
+            .iter()
+            .map(|(tenant, &count)| (tenant.clone(), count))
+            .collect();
+        tenants.sort();
+        tenants
     }
 
     /// Close the queue: no further submissions; blocked `pop`s return
@@ -215,6 +244,30 @@ mod tests {
         assert_eq!(registry.gauge_value("tsp_serve_queue_depth"), Some(2.0));
         q.pop().unwrap();
         assert_eq!(registry.gauge_value("tsp_serve_queue_depth"), Some(1.0));
+    }
+
+    #[test]
+    fn queue_age_and_tenant_census_track_the_backlog() {
+        let q = AdmissionQueue::new(8, 8, &Telemetry::detached());
+        assert_eq!(q.oldest_wait_seconds(), 0.0);
+        q.submit(ticket("a", "t2")).unwrap();
+        q.submit(ticket("b", "t1")).unwrap();
+        q.submit(ticket("c", "t1")).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        // The front ticket has aged; the census is sorted by tenant
+        // and counts queued + running work.
+        assert!(q.oldest_wait_seconds() > 0.0);
+        assert_eq!(
+            q.live_tenants(),
+            vec![("t1".to_string(), 2), ("t2".to_string(), 1)]
+        );
+        q.pop().unwrap();
+        assert_eq!(q.live_tenants().len(), 2, "popped work is still live");
+        q.finish("t2");
+        assert_eq!(q.live_tenants(), vec![("t1".to_string(), 2)]);
+        q.pop().unwrap();
+        q.pop().unwrap();
+        assert_eq!(q.oldest_wait_seconds(), 0.0);
     }
 
     #[test]

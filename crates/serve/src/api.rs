@@ -862,6 +862,57 @@ impl OpsLatency {
     }
 }
 
+/// One worker lane's health row in the [`OpsSnapshot`]: what the
+/// lane watchdog last saw between heartbeat stamps.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct OpsLane {
+    /// Lane index (one worker thread per lane).
+    pub lane: u64,
+    /// Whether the lane is currently executing a job.
+    pub busy: bool,
+    /// The job the lane is executing, when busy.
+    pub job_id: Option<String>,
+    /// Wall seconds since the lane's last heartbeat while busy
+    /// (`0` for idle lanes). The `LaneStalled` rule fires on this.
+    pub stall_seconds: f64,
+}
+
+impl OpsLane {
+    /// An idle lane row.
+    pub fn new(lane: u64) -> OpsLane {
+        OpsLane {
+            lane,
+            busy: false,
+            job_id: None,
+            stall_seconds: 0.0,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.set("lane", Json::from(self.lane))
+            .set("busy", Json::from(self.busy));
+        if let Some(id) = &self.job_id {
+            o.set("job_id", Json::from(id.as_str()));
+        }
+        o.set("stall_seconds", Json::from(self.stall_seconds));
+        o
+    }
+
+    fn from_json(j: &Json) -> Result<OpsLane, String> {
+        let lane = j
+            .get("lane")
+            .and_then(Json::as_f64)
+            .ok_or("ops lane missing lane")? as u64;
+        let mut row = OpsLane::new(lane);
+        row.busy = j.get("busy").and_then(Json::as_bool).unwrap_or(false);
+        row.job_id = j.get("job_id").and_then(Json::as_str).map(str::to_string);
+        row.stall_seconds = j.get("stall_seconds").and_then(Json::as_f64).unwrap_or(0.0);
+        Ok(row)
+    }
+}
+
 /// `GET /v1/ops` — a live operational snapshot of the service:
 /// pool pressure, every known job with its lane and trace id, the
 /// rolling latency quantiles per stage, and rejection totals per
@@ -884,6 +935,12 @@ pub struct OpsSnapshot {
     pub latency: Vec<OpsLatency>,
     /// `(error code, count)` rejection totals, ascending by code.
     pub rejections: Vec<(String, u64)>,
+    /// Per-lane watchdog health rows, ascending by lane (additive
+    /// `v1` field; absent on documents written before alerting).
+    pub lane_health: Vec<OpsLane>,
+    /// Alert rules currently in the `firing` state (additive `v1`
+    /// field; the full census lives on `GET /v1/alerts`).
+    pub alerts_firing: u64,
 }
 
 impl OpsSnapshot {
@@ -897,6 +954,8 @@ impl OpsSnapshot {
             jobs: Vec::new(),
             latency: Vec::new(),
             rejections: Vec::new(),
+            lane_health: Vec::new(),
+            alerts_firing: 0,
         }
     }
 
@@ -926,6 +985,11 @@ impl OpsSnapshot {
             })
             .collect();
         obj.set("rejections", Json::Arr(rej));
+        obj.set(
+            "lane_health",
+            Json::Arr(self.lane_health.iter().map(OpsLane::to_json).collect()),
+        )
+        .set("alerts_firing", Json::from(self.alerts_firing));
         obj
     }
 
@@ -961,6 +1025,17 @@ impl OpsSnapshot {
                     .ok_or_else(|| bad("rejection entry missing count"))? as u64;
             snap.rejections.push((code.to_string(), count));
         }
+        for l in doc
+            .get("lane_health")
+            .and_then(Json::as_array)
+            .unwrap_or(&[])
+        {
+            snap.lane_health.push(OpsLane::from_json(l).map_err(bad)?);
+        }
+        snap.alerts_firing = doc
+            .get("alerts_firing")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0) as u64;
         Ok(snap)
     }
 
@@ -968,6 +1043,164 @@ impl OpsSnapshot {
     pub fn parse(text: &str) -> Result<OpsSnapshot, ApiError> {
         let doc = json::parse(text).map_err(|e| bad(format!("ops body: {e:?}")))?;
         OpsSnapshot::from_json(&doc)
+    }
+}
+
+/// One alert instance's row in the [`AlertsSnapshot`] — the wire
+/// mirror of `tsp_telemetry::alerts::ActiveAlert`.
+///
+/// `severity` and `state` carry the engine's stable lowercase
+/// spellings (`info`/`warning`/`critical`, `pending`/`firing`/
+/// `resolved`); the wire layer keeps them as strings so the document
+/// never lags an engine enum.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct OpsAlert {
+    /// The rule that produced this instance.
+    pub rule: String,
+    /// Severity spelling (`info`, `warning`, `critical`).
+    pub severity: String,
+    /// State spelling (`pending`, `firing`, `resolved`).
+    pub state: String,
+    /// The sample labels that fanned this instance out, sorted.
+    pub labels: Vec<(String, String)>,
+    /// Wall seconds (service clock) the instance entered its state.
+    pub since_seconds: f64,
+    /// The sampled value at the last evaluation.
+    pub value: f64,
+}
+
+impl OpsAlert {
+    /// An alert row for `rule` in `state`.
+    pub fn new(
+        rule: impl Into<String>,
+        severity: impl Into<String>,
+        state: impl Into<String>,
+    ) -> OpsAlert {
+        OpsAlert {
+            rule: rule.into(),
+            severity: severity.into(),
+            state: state.into(),
+            labels: Vec::new(),
+            since_seconds: 0.0,
+            value: 0.0,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.set("rule", Json::from(self.rule.as_str()))
+            .set("severity", Json::from(self.severity.as_str()))
+            .set("state", Json::from(self.state.as_str()));
+        if !self.labels.is_empty() {
+            let mut labels = Json::obj();
+            for (k, v) in &self.labels {
+                labels.set(k.as_str(), Json::from(v.as_str()));
+            }
+            o.set("labels", labels);
+        }
+        o.set("since_seconds", Json::from(self.since_seconds))
+            .set("value", Json::from(self.value));
+        o
+    }
+
+    fn from_json(j: &Json) -> Result<OpsAlert, String> {
+        let rule = j
+            .get("rule")
+            .and_then(Json::as_str)
+            .ok_or("alert row missing rule")?;
+        let severity = j
+            .get("severity")
+            .and_then(Json::as_str)
+            .ok_or("alert row missing severity")?;
+        let state = j
+            .get("state")
+            .and_then(Json::as_str)
+            .ok_or("alert row missing state")?;
+        let mut row = OpsAlert::new(rule, severity, state);
+        if let Some(Json::Obj(pairs)) = j.get("labels") {
+            for (k, v) in pairs {
+                let v = v.as_str().ok_or("alert label value must be a string")?;
+                row.labels.push((k.clone(), v.to_string()));
+            }
+        }
+        row.since_seconds = j.get("since_seconds").and_then(Json::as_f64).unwrap_or(0.0);
+        row.value = j.get("value").and_then(Json::as_f64).unwrap_or(0.0);
+        Ok(row)
+    }
+}
+
+/// `GET /v1/alerts` — the alert engine's live census: every instance
+/// currently pending, firing, or freshly resolved, plus lifetime
+/// transition and evaluation counts. Purely observational, like
+/// [`OpsSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct AlertsSnapshot {
+    /// Always [`API_VERSION`] on serialized documents.
+    pub api_version: String,
+    /// Active instances, ascending by `(rule, labels)`.
+    pub alerts: Vec<OpsAlert>,
+    /// Rules the engine evaluates.
+    pub rules: u64,
+    /// Instances currently firing.
+    pub firing: u64,
+    /// Lifetime state transitions journaled to `alerts.jsonl`.
+    pub transitions_total: u64,
+    /// Watchdog evaluations performed so far.
+    pub evaluations_total: u64,
+}
+
+impl AlertsSnapshot {
+    /// An empty census for an engine with `rules` rules.
+    pub fn new(rules: u64) -> AlertsSnapshot {
+        AlertsSnapshot {
+            api_version: API_VERSION.to_string(),
+            alerts: Vec::new(),
+            rules,
+            firing: 0,
+            transitions_total: 0,
+            evaluations_total: 0,
+        }
+    }
+
+    /// Serialize as a `v1` JSON document.
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::obj();
+        obj.set("api_version", Json::from(self.api_version.as_str()))
+            .set(
+                "alerts",
+                Json::Arr(self.alerts.iter().map(OpsAlert::to_json).collect()),
+            )
+            .set("rules", Json::from(self.rules))
+            .set("firing", Json::from(self.firing))
+            .set("transitions_total", Json::from(self.transitions_total))
+            .set("evaluations_total", Json::from(self.evaluations_total));
+        obj
+    }
+
+    /// Parse a `v1` document (unknown members ignored).
+    pub fn from_json(doc: &Json) -> Result<AlertsSnapshot, ApiError> {
+        check_version(doc).map_err(bad)?;
+        let num = |key: &str| {
+            doc.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| bad(format!("alerts snapshot missing {key:?}")))
+        };
+        let mut snap = AlertsSnapshot::new(num("rules")? as u64);
+        for a in doc.get("alerts").and_then(Json::as_array).unwrap_or(&[]) {
+            snap.alerts.push(OpsAlert::from_json(a).map_err(bad)?);
+        }
+        snap.firing = num("firing")? as u64;
+        snap.transitions_total = num("transitions_total")? as u64;
+        snap.evaluations_total = num("evaluations_total")? as u64;
+        Ok(snap)
+    }
+
+    /// Parse a response body.
+    pub fn parse(text: &str) -> Result<AlertsSnapshot, ApiError> {
+        let doc = json::parse(text).map_err(|e| bad(format!("alerts body: {e:?}")))?;
+        AlertsSnapshot::from_json(&doc)
     }
 }
 
@@ -1102,6 +1335,43 @@ mod tests {
         let mut wrong = Json::obj();
         wrong.set("api_version", Json::from("v9"));
         assert!(OpsSnapshot::from_json(&wrong).is_err());
+    }
+
+    #[test]
+    fn lane_health_and_alerts_snapshot_round_trip() {
+        let mut snap = OpsSnapshot::new(2);
+        let mut stuck = OpsLane::new(0);
+        stuck.busy = true;
+        stuck.job_id = Some("job-00000001".into());
+        stuck.stall_seconds = 4.25;
+        snap.lane_health.push(stuck);
+        snap.lane_health.push(OpsLane::new(1));
+        snap.alerts_firing = 1;
+        let back = OpsSnapshot::parse(&snap.to_json().to_string()).unwrap();
+        assert_eq!(back, snap);
+        // Pre-alerting documents parse with empty lane health.
+        let mut old = Json::obj();
+        old.set("queue_depth", Json::from(0u64))
+            .set("slot_occupancy", Json::from(0u64))
+            .set("lanes", Json::from(2u64));
+        let parsed = OpsSnapshot::from_json(&old).unwrap();
+        assert!(parsed.lane_health.is_empty());
+        assert_eq!(parsed.alerts_firing, 0);
+
+        let mut alerts = AlertsSnapshot::new(5);
+        let mut row = OpsAlert::new("LaneStalled", "critical", "firing");
+        row.labels.push(("lane".into(), "0".into()));
+        row.since_seconds = 12.5;
+        row.value = 4.25;
+        alerts.alerts.push(row);
+        alerts.firing = 1;
+        alerts.transitions_total = 3;
+        alerts.evaluations_total = 40;
+        let back = AlertsSnapshot::parse(&alerts.to_json().to_string()).unwrap();
+        assert_eq!(back, alerts);
+        let mut doc = alerts.to_json();
+        doc.set("future_field", Json::from(true));
+        assert_eq!(AlertsSnapshot::from_json(&doc).unwrap(), alerts);
     }
 
     #[test]

@@ -1,0 +1,108 @@
+//! `tsp-serve` — boot the multi-tenant solve service from a JSON
+//! config file and serve until stdin closes.
+//!
+//! ```text
+//! tsp-serve [CONFIG.json]        boot from a config file (defaults without one)
+//! tsp-serve --print-config      print the default config document and exit
+//! ```
+//!
+//! The config document is [`ServiceConfig::to_json`] plus one extra
+//! member, `"bind"` (default `127.0.0.1:7878`; use port `0` for an
+//! ephemeral port). Everything is optional; absent fields take their
+//! defaults and unknown members are ignored, like every other `v1`
+//! document. Example:
+//!
+//! ```json
+//! {
+//!   "bind": "127.0.0.1:7878",
+//!   "spec": "gtx_680_cuda",
+//!   "devices": 2,
+//!   "streams": 2,
+//!   "per_tenant_quota": 16,
+//!   "artifacts_dir": "/tmp/tsp-serve-artifacts",
+//!   "alerts": { "stall_seconds": 30, "watchdog_interval_ms": 250 }
+//! }
+//! ```
+//!
+//! The process serves until stdin reaches EOF (pipe `/dev/null` to
+//! run until killed), then drains the queue, joins the workers, and
+//! exits 0.
+
+use std::io::Read;
+use std::process::ExitCode;
+use tsp_prof::Profiler;
+use tsp_serve::{ServeServer, ServiceConfig, SolveService};
+use tsp_telemetry::Telemetry;
+use tsp_trace::json::{self, Json};
+
+const DEFAULT_BIND: &str = "127.0.0.1:7878";
+
+fn fail(message: impl std::fmt::Display) -> ExitCode {
+    eprintln!("tsp-serve: {message}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: tsp-serve [CONFIG.json] | tsp-serve --print-config");
+        return ExitCode::SUCCESS;
+    }
+    if args.iter().any(|a| a == "--print-config") {
+        let mut doc = Json::obj();
+        doc.set("bind", Json::from(DEFAULT_BIND));
+        if let Json::Obj(pairs) = ServiceConfig::default().to_json() {
+            for (key, value) in pairs {
+                doc.set(&key, value);
+            }
+        }
+        println!("{doc}");
+        return ExitCode::SUCCESS;
+    }
+
+    let (cfg, bind) = match args.first() {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(text) => text,
+                Err(err) => return fail(format!("read {path}: {err}")),
+            };
+            let doc = match json::parse(&text) {
+                Ok(doc) => doc,
+                Err(err) => return fail(format!("parse {path}: {err:?}")),
+            };
+            let cfg = match ServiceConfig::from_json(&doc) {
+                Ok(cfg) => cfg,
+                Err(err) => return fail(format!("{path}: {err}")),
+            };
+            let bind = doc
+                .get("bind")
+                .and_then(Json::as_str)
+                .unwrap_or(DEFAULT_BIND)
+                .to_string();
+            (cfg, bind)
+        }
+        None => (ServiceConfig::default(), DEFAULT_BIND.to_string()),
+    };
+
+    let service = match SolveService::start(cfg, Telemetry::attached(), Profiler::attached()) {
+        Ok(service) => service,
+        Err(err) => return fail(format!("boot: {err}")),
+    };
+    let server = match ServeServer::spawn(bind.as_str(), service) {
+        Ok(server) => server,
+        Err(err) => return fail(format!("bind {bind}: {err}")),
+    };
+    println!("tsp-serve listening on http://{}", server.addr());
+    println!("routes: POST /v1/solve  GET/DELETE /v1/jobs/{{id}}  GET /v1/ops  GET /v1/alerts  GET /metrics  GET /healthz");
+    println!("serving until stdin closes...");
+
+    // Serve until stdin EOF, then drain and exit cleanly.
+    let mut sink = Vec::new();
+    let _ = std::io::stdin().read_to_end(&mut sink);
+    let (_service, reports) = server.shutdown();
+    println!(
+        "tsp-serve drained: {} stream schedules collected",
+        reports.len()
+    );
+    ExitCode::SUCCESS
+}

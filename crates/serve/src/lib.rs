@@ -19,6 +19,8 @@
 //!   through [`Solver::run_on`], and the HTTP front on the shared
 //!   [`tsp_telemetry::http`] core:
 //!   `POST /v1/solve`, `GET /v1/jobs/{id}`, `DELETE /v1/jobs/{id}`,
+//!   `GET /v1/ops` (queue/lane/latency snapshot), `GET /v1/alerts`
+//!   (the fleet-health census from the lane-heartbeat watchdog),
 //!   plus `/metrics` and `/healthz` on the same port.
 //!
 //! ```no_run
@@ -48,10 +50,10 @@ pub mod span;
 
 pub use admission::{AdmissionQueue, Ticket};
 pub use api::{
-    ApiError, ErrorCode, FromRequest, JobState, JobStatus, OpsJob, OpsLatency, OpsSnapshot,
-    SolveRequest, SolveResponse, API_VERSION,
+    AlertsSnapshot, ApiError, ErrorCode, FromRequest, JobState, JobStatus, OpsAlert, OpsJob,
+    OpsLane, OpsLatency, OpsSnapshot, SolveRequest, SolveResponse, API_VERSION,
 };
 pub use pool::{SlotIndexAllocator, SlotLease, SlotPool};
 pub use server::{error_response, router, ServeServer};
-pub use service::{ServiceConfig, SolveService};
+pub use service::{AlertConfig, ServiceConfig, SolveService};
 pub use span::{RequestSpan, Stage, StageStamp, REQUEST_SPAN_FORMAT};

@@ -38,6 +38,7 @@ pub fn router(service: Arc<SolveService>) -> Router {
     let submit = service.clone();
     let status = service.clone();
     let cancel = service.clone();
+    let alerts = service.clone();
     let ops = service;
     Router::new()
         .route("POST", "/v1/solve", move |req, _| {
@@ -82,6 +83,9 @@ pub fn router(service: Arc<SolveService>) -> Router {
         })
         .route("GET", "/v1/ops", move |_, _| {
             Response::json(200, ops.ops_snapshot().to_json().to_string())
+        })
+        .route("GET", "/v1/alerts", move |_, _| {
+            Response::json(200, alerts.alerts_snapshot().to_json().to_string())
         })
         .route("GET", "/metrics", move |_, _| {
             Response::new(200, CONTENT_TYPE, telemetry.expose())

@@ -8,18 +8,32 @@
 //! artifacts directory is configured, leave a `tsp-inspect`-readable
 //! manifest (`manifest.json` + `journal.jsonl` + `run.folded` +
 //! `memory.json`) keyed by the run's deterministic `run_id`.
+//!
+//! ## Fleet health
+//!
+//! Each worker stamps a **heartbeat** between span stages; a watchdog
+//! (a background thread on [`AlertConfig::watchdog_interval_ms`], or
+//! explicit [`SolveService::watchdog_tick`] calls when that is `0`)
+//! derives health gauges from the heartbeats and queue state —
+//! `tsp_serve_lane_stall_seconds{lane}`, `tsp_serve_queue_age_seconds`,
+//! `tsp_serve_tenant_quota_ratio{tenant}` — then runs the
+//! [`AlertEngine`] over the registry. Every state transition is
+//! appended to `alerts.jsonl` under the artifacts dir and the live
+//! census is served on `GET /v1/alerts`. All of it is observational:
+//! alerting on or off changes neither tour bytes nor modeled seconds.
 
 use crate::admission::{AdmissionQueue, Ticket};
 use crate::api::{
-    ApiError, ErrorCode, FromRequest, JobState, JobStatus, OpsJob, OpsLatency, OpsSnapshot,
-    SolveRequest, SolveResponse,
+    AlertsSnapshot, ApiError, ErrorCode, FromRequest, JobState, JobStatus, OpsAlert, OpsJob,
+    OpsLane, OpsLatency, OpsSnapshot, SolveRequest, SolveResponse,
 };
 use crate::pool::SlotPool;
 use crate::span::{RequestSpan, Stage};
 use gpu_sim::{DeviceSpec, SimError, StreamReport};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::io::Write;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -27,9 +41,215 @@ use tsp::{Solution, SolverBuilder, TelemetryOptions};
 use tsp_core::CancelToken;
 use tsp_prof::{Manifest, Profiler};
 use tsp_telemetry::{
-    Histogram, Journal, JournalWriter, RollingQuantiles, Telemetry, SECONDS_BUCKETS,
+    AlertEngine, AlertRule, AlertTransition, Cmp, Histogram, Journal, JournalWriter,
+    RollingQuantiles, Selector, Severity, Telemetry, SECONDS_BUCKETS,
 };
+use tsp_trace::json::{self, Json};
 use tsp_trace::{chrome_trace_with_ids, Recorder};
+
+/// A zero-argument constructor for a named device spec.
+type SpecCtor = fn() -> DeviceSpec;
+
+/// The device specs a config file can name, keyed by their stable
+/// config spelling.
+const KNOWN_SPECS: [(&str, SpecCtor); 4] = [
+    ("gtx_680_cuda", gpu_sim::spec::gtx_680_cuda),
+    ("gtx_680_opencl", gpu_sim::spec::gtx_680_opencl),
+    ("radeon_7970", gpu_sim::spec::radeon_7970),
+    ("radeon_7970_ghz", gpu_sim::spec::radeon_7970_ghz),
+];
+
+/// Fleet-health knobs: the built-in alert rules and the watchdog that
+/// evaluates them. All thresholds are wall seconds on the service's
+/// own clock (seconds since boot).
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct AlertConfig {
+    /// Master switch; `false` removes the watchdog and every rule.
+    pub enabled: bool,
+    /// Background watchdog period; `0` spawns no thread — the owner
+    /// drives evaluation with [`SolveService::watchdog_tick`]
+    /// (deterministic tests, smoke phases).
+    pub watchdog_interval_ms: u64,
+    /// `LaneStalled` (critical): a busy lane without a heartbeat for
+    /// longer than this.
+    pub stall_seconds: f64,
+    /// `QueueAgeSlo` (warning): the oldest queued ticket has waited
+    /// longer than this.
+    pub queue_age_slo_seconds: f64,
+    /// `TenantStarved` (warning) dwell: a tenant pegged at its full
+    /// quota for this long.
+    pub starvation_for_seconds: f64,
+    /// `LatencyP99Burn` (critical): the rolling end-to-end p99 above
+    /// this...
+    pub p99_slo_seconds: f64,
+    /// ...for this long.
+    pub p99_for_seconds: f64,
+    /// `RejectionSpike` (critical): the error budget — tolerated
+    /// rejected/submitted ratio.
+    pub rejection_budget: f64,
+    /// Long burn window (seconds).
+    pub rejection_long_seconds: f64,
+    /// Short burn window (seconds); recovery is read off this one.
+    pub rejection_short_seconds: f64,
+    /// Burn factor both windows must exceed.
+    pub rejection_factor: f64,
+    /// Caller-defined rules appended after the built-ins.
+    pub extra_rules: Vec<AlertRule>,
+}
+
+impl Default for AlertConfig {
+    fn default() -> Self {
+        AlertConfig {
+            enabled: true,
+            watchdog_interval_ms: 250,
+            stall_seconds: 30.0,
+            queue_age_slo_seconds: 30.0,
+            starvation_for_seconds: 5.0,
+            p99_slo_seconds: 60.0,
+            p99_for_seconds: 5.0,
+            rejection_budget: 0.25,
+            rejection_long_seconds: 60.0,
+            rejection_short_seconds: 15.0,
+            rejection_factor: 1.0,
+            extra_rules: Vec::new(),
+        }
+    }
+}
+
+impl AlertConfig {
+    /// No watchdog, no rules.
+    pub fn disabled() -> AlertConfig {
+        AlertConfig {
+            enabled: false,
+            ..AlertConfig::default()
+        }
+    }
+
+    /// Set the background watchdog period (`0` = manual ticks only).
+    pub fn with_watchdog_interval_ms(mut self, ms: u64) -> Self {
+        self.watchdog_interval_ms = ms;
+        self
+    }
+
+    /// Set the `LaneStalled` threshold.
+    pub fn with_stall_seconds(mut self, seconds: f64) -> Self {
+        self.stall_seconds = seconds;
+        self
+    }
+
+    /// Set the `QueueAgeSlo` threshold.
+    pub fn with_queue_age_slo_seconds(mut self, seconds: f64) -> Self {
+        self.queue_age_slo_seconds = seconds;
+        self
+    }
+
+    /// Set the `TenantStarved` dwell.
+    pub fn with_starvation_for_seconds(mut self, seconds: f64) -> Self {
+        self.starvation_for_seconds = seconds;
+        self
+    }
+
+    /// Set the `LatencyP99Burn` threshold and dwell.
+    pub fn with_p99_slo(mut self, slo_seconds: f64, for_seconds: f64) -> Self {
+        self.p99_slo_seconds = slo_seconds;
+        self.p99_for_seconds = for_seconds;
+        self
+    }
+
+    /// Set the `RejectionSpike` budget and windows.
+    pub fn with_rejection_burn(
+        mut self,
+        budget: f64,
+        long_seconds: f64,
+        short_seconds: f64,
+        factor: f64,
+    ) -> Self {
+        self.rejection_budget = budget;
+        self.rejection_long_seconds = long_seconds;
+        self.rejection_short_seconds = short_seconds;
+        self.rejection_factor = factor;
+        self
+    }
+
+    /// Append a caller-defined rule after the built-ins.
+    pub fn with_rule(mut self, rule: AlertRule) -> Self {
+        self.extra_rules.push(rule);
+        self
+    }
+
+    /// Serialize for a config file.
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::obj();
+        obj.set("enabled", Json::from(self.enabled))
+            .set(
+                "watchdog_interval_ms",
+                Json::from(self.watchdog_interval_ms),
+            )
+            .set("stall_seconds", Json::from(self.stall_seconds))
+            .set(
+                "queue_age_slo_seconds",
+                Json::from(self.queue_age_slo_seconds),
+            )
+            .set(
+                "starvation_for_seconds",
+                Json::from(self.starvation_for_seconds),
+            )
+            .set("p99_slo_seconds", Json::from(self.p99_slo_seconds))
+            .set("p99_for_seconds", Json::from(self.p99_for_seconds))
+            .set("rejection_budget", Json::from(self.rejection_budget))
+            .set(
+                "rejection_long_seconds",
+                Json::from(self.rejection_long_seconds),
+            )
+            .set(
+                "rejection_short_seconds",
+                Json::from(self.rejection_short_seconds),
+            )
+            .set("rejection_factor", Json::from(self.rejection_factor));
+        if !self.extra_rules.is_empty() {
+            obj.set(
+                "extra_rules",
+                Json::Arr(self.extra_rules.iter().map(AlertRule::to_json).collect()),
+            );
+        }
+        obj
+    }
+
+    /// Parse a config-file document; absent fields take their
+    /// defaults, unknown members are ignored.
+    pub fn from_json(doc: &Json) -> Result<AlertConfig, String> {
+        let mut cfg = AlertConfig::default();
+        let num = |key: &str, into: &mut f64| {
+            if let Some(v) = doc.get(key).and_then(Json::as_f64) {
+                *into = v;
+            }
+        };
+        if let Some(v) = doc.get("enabled").and_then(Json::as_bool) {
+            cfg.enabled = v;
+        }
+        if let Some(v) = doc.get("watchdog_interval_ms").and_then(Json::as_f64) {
+            cfg.watchdog_interval_ms = v as u64;
+        }
+        num("stall_seconds", &mut cfg.stall_seconds);
+        num("queue_age_slo_seconds", &mut cfg.queue_age_slo_seconds);
+        num("starvation_for_seconds", &mut cfg.starvation_for_seconds);
+        num("p99_slo_seconds", &mut cfg.p99_slo_seconds);
+        num("p99_for_seconds", &mut cfg.p99_for_seconds);
+        num("rejection_budget", &mut cfg.rejection_budget);
+        num("rejection_long_seconds", &mut cfg.rejection_long_seconds);
+        num("rejection_short_seconds", &mut cfg.rejection_short_seconds);
+        num("rejection_factor", &mut cfg.rejection_factor);
+        for rule in doc
+            .get("extra_rules")
+            .and_then(Json::as_array)
+            .unwrap_or(&[])
+        {
+            cfg.extra_rules.push(AlertRule::from_json(rule)?);
+        }
+        Ok(cfg)
+    }
+}
 
 /// Boot-time service configuration.
 #[derive(Debug, Clone)]
@@ -60,6 +280,14 @@ pub struct ServiceConfig {
     /// Append one structured JSONL access-log line per HTTP request to
     /// this file (served by [`crate::server::ServeServer`]).
     pub access_log: Option<PathBuf>,
+    /// Fleet-health rules and watchdog cadence.
+    pub alerts: AlertConfig,
+    /// Fault-injection hook for tests and the smoke's fault phase:
+    /// `(tenant, millis)` makes every worker running that tenant's
+    /// jobs hold its lane for `millis` **without heartbeating** right
+    /// after the `Solving` stamp, so the lane-stall signal grows while
+    /// the solve itself stays untouched.
+    pub injected_stall: Option<(String, u64)>,
 }
 
 impl Default for ServiceConfig {
@@ -75,6 +303,8 @@ impl Default for ServiceConfig {
             artifacts_dir: None,
             request_spans: true,
             access_log: None,
+            alerts: AlertConfig::default(),
+            injected_stall: None,
         }
     }
 }
@@ -140,6 +370,95 @@ impl ServiceConfig {
         self.access_log = Some(path.into());
         self
     }
+
+    /// Set the fleet-health configuration.
+    pub fn with_alerts(mut self, alerts: AlertConfig) -> Self {
+        self.alerts = alerts;
+        self
+    }
+
+    /// Inject an artificial lane stall (see [`ServiceConfig::injected_stall`]).
+    pub fn with_injected_stall(mut self, tenant: impl Into<String>, millis: u64) -> Self {
+        self.injected_stall = Some((tenant.into(), millis));
+        self
+    }
+
+    /// Serialize for a config file. The device spec is written by its
+    /// stable config name (`gtx_680_cuda`, …); a spec matching no
+    /// known digest is omitted and parses back as the default. The
+    /// `injected_stall` test hook never crosses the file boundary.
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::obj();
+        if let Some((name, _)) = KNOWN_SPECS
+            .iter()
+            .find(|(_, spec)| spec().digest() == self.spec.digest())
+        {
+            obj.set("spec", Json::from(*name));
+        }
+        obj.set("devices", Json::from(self.devices))
+            .set("streams", Json::from(self.streams))
+            .set("slot_bytes", Json::from(self.slot_bytes))
+            .set("queue_capacity", Json::from(self.queue_capacity))
+            .set("per_tenant_quota", Json::from(self.per_tenant_quota))
+            .set("max_cities", Json::from(self.max_cities));
+        if let Some(dir) = &self.artifacts_dir {
+            obj.set("artifacts_dir", Json::from(dir.display().to_string()));
+        }
+        obj.set("request_spans", Json::from(self.request_spans));
+        if let Some(path) = &self.access_log {
+            obj.set("access_log", Json::from(path.display().to_string()));
+        }
+        obj.set("alerts", self.alerts.to_json());
+        obj
+    }
+
+    /// Parse a config-file document; absent fields take their
+    /// defaults, unknown members are ignored.
+    pub fn from_json(doc: &Json) -> Result<ServiceConfig, String> {
+        let mut cfg = ServiceConfig::default();
+        if let Some(name) = doc.get("spec").and_then(Json::as_str) {
+            cfg.spec = KNOWN_SPECS
+                .iter()
+                .find(|(known, _)| *known == name)
+                .map(|(_, spec)| spec())
+                .ok_or_else(|| {
+                    let known: Vec<&str> = KNOWN_SPECS.iter().map(|&(n, _)| n).collect();
+                    format!("unknown device spec {name:?} (known: {})", known.join(", "))
+                })?;
+        }
+        let usize_field = |key: &str, into: &mut usize| {
+            if let Some(v) = doc.get(key).and_then(Json::as_f64) {
+                *into = v as usize;
+            }
+        };
+        usize_field("devices", &mut cfg.devices);
+        usize_field("streams", &mut cfg.streams);
+        usize_field("queue_capacity", &mut cfg.queue_capacity);
+        usize_field("per_tenant_quota", &mut cfg.per_tenant_quota);
+        usize_field("max_cities", &mut cfg.max_cities);
+        if let Some(v) = doc.get("slot_bytes").and_then(Json::as_f64) {
+            cfg.slot_bytes = v as u64;
+        }
+        if let Some(dir) = doc.get("artifacts_dir").and_then(Json::as_str) {
+            cfg.artifacts_dir = Some(PathBuf::from(dir));
+        }
+        if let Some(v) = doc.get("request_spans").and_then(Json::as_bool) {
+            cfg.request_spans = v;
+        }
+        if let Some(path) = doc.get("access_log").and_then(Json::as_str) {
+            cfg.access_log = Some(PathBuf::from(path));
+        }
+        if let Some(alerts) = doc.get("alerts") {
+            cfg.alerts = AlertConfig::from_json(alerts)?;
+        }
+        Ok(cfg)
+    }
+
+    /// Parse a config-file's text.
+    pub fn parse(text: &str) -> Result<ServiceConfig, String> {
+        let doc = json::parse(text).map_err(|e| format!("config: {e:?}"))?;
+        ServiceConfig::from_json(&doc)
+    }
 }
 
 struct JobEntry {
@@ -162,6 +481,27 @@ const LATENCY_STAGES: [&str; 4] = ["queue_wait", "lease_wait", "solve", "end_to_
 
 const LATENCY_HELP: &str = "Rolling latency quantile estimates per request stage";
 
+/// One worker lane's heartbeat ledger, written by the worker between
+/// span stages and read by the watchdog.
+#[derive(Debug, Clone)]
+struct LaneHealth {
+    busy: bool,
+    job_id: Option<String>,
+    /// Service-clock seconds of the last heartbeat.
+    last_beat: f64,
+}
+
+/// The alert engine and its journal — present only when alerting is
+/// enabled *and* telemetry is attached (the engine reads the registry).
+struct Health {
+    engine: Mutex<AlertEngine>,
+    /// `alerts.jsonl` under the artifacts dir, when configured.
+    path: Option<PathBuf>,
+    /// Every transition, in evaluation order (mirrors the journal).
+    transitions: Mutex<Vec<AlertTransition>>,
+    evaluations: AtomicU64,
+}
+
 struct Inner {
     queue: AdmissionQueue,
     slots: SlotPool,
@@ -177,9 +517,146 @@ struct Inner {
     stage_latency: Mutex<Vec<(&'static str, RollingQuantiles)>>,
     /// Rejection totals per typed error code, ascending by code.
     rejections: Mutex<BTreeMap<&'static str, u64>>,
+    /// Service boot instant; every health signal is seconds since it.
+    started: Instant,
+    /// One heartbeat ledger per worker lane.
+    lane_health: Mutex<Vec<LaneHealth>>,
+    /// Alert engine + journal, when enabled.
+    health: Option<Health>,
+    per_tenant_quota: usize,
+    /// Tenants ever seen live — departed ones get their quota-ratio
+    /// gauge zeroed instead of left dangling at its last value.
+    seen_tenants: Mutex<BTreeSet<String>>,
+    /// Stops the background watchdog thread.
+    stopping: AtomicBool,
+    /// Fault-injection: `(tenant, millis)` lane hold without beats.
+    injected_stall: Option<(String, u64)>,
 }
 
 impl Inner {
+    /// Seconds since boot — the clock every health signal and alert
+    /// evaluation shares.
+    fn now_seconds(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Stamp a heartbeat on `lane`.
+    fn beat(&self, lane: usize) {
+        let now = self.now_seconds();
+        self.lane_health.lock().unwrap()[lane].last_beat = now;
+    }
+
+    /// Mark `lane` busy on `job_id` (fresh heartbeat included).
+    fn lane_busy(&self, lane: usize, job_id: &str) {
+        let now = self.now_seconds();
+        let mut lanes = self.lane_health.lock().unwrap();
+        lanes[lane].busy = true;
+        lanes[lane].job_id = Some(job_id.to_string());
+        lanes[lane].last_beat = now;
+    }
+
+    /// Mark `lane` idle again.
+    fn lane_idle(&self, lane: usize) {
+        let now = self.now_seconds();
+        let mut lanes = self.lane_health.lock().unwrap();
+        lanes[lane].busy = false;
+        lanes[lane].job_id = None;
+        lanes[lane].last_beat = now;
+    }
+
+    /// Current per-lane health rows (stall = heartbeat age while busy).
+    fn lane_rows(&self) -> Vec<OpsLane> {
+        let now = self.now_seconds();
+        self.lane_health
+            .lock()
+            .unwrap()
+            .iter()
+            .enumerate()
+            .map(|(lane, health)| {
+                let mut row = OpsLane::new(lane as u64);
+                row.busy = health.busy;
+                row.job_id = health.job_id.clone();
+                row.stall_seconds = if health.busy {
+                    (now - health.last_beat).max(0.0)
+                } else {
+                    0.0
+                };
+                row
+            })
+            .collect()
+    }
+
+    /// One watchdog evaluation: refresh the derived health gauges from
+    /// the heartbeat ledgers and queue state, then run the alert
+    /// engine over the registry at the current service clock, journal
+    /// any transitions, and mirror the census into `ALERTS` gauges.
+    fn watchdog_tick(&self) {
+        let Some(registry) = self.telemetry.registry() else {
+            return;
+        };
+        let now = self.now_seconds();
+        for row in self.lane_rows() {
+            registry
+                .gauge_with(
+                    "tsp_serve_lane_stall_seconds",
+                    "Heartbeat age of each busy worker lane (0 when idle)",
+                    &[("lane", &row.lane.to_string())],
+                )
+                .set(row.stall_seconds);
+        }
+        registry
+            .gauge(
+                "tsp_serve_queue_age_seconds",
+                "Wall seconds the oldest admitted ticket has waited",
+            )
+            .set(self.queue.oldest_wait_seconds());
+        {
+            let live = self.queue.live_tenants();
+            let mut seen = self.seen_tenants.lock().unwrap();
+            for (tenant, _) in &live {
+                seen.insert(tenant.clone());
+            }
+            let quota = self.per_tenant_quota.max(1) as f64;
+            for tenant in seen.iter() {
+                let count = live
+                    .iter()
+                    .find(|(t, _)| t == tenant)
+                    .map(|&(_, n)| n)
+                    .unwrap_or(0);
+                registry
+                    .gauge_with(
+                        "tsp_serve_tenant_quota_ratio",
+                        "Live (queued + running) jobs over the per-tenant quota",
+                        &[("tenant", tenant)],
+                    )
+                    .set(count as f64 / quota);
+            }
+        }
+        let Some(health) = &self.health else { return };
+        let transitions = {
+            let mut engine = health.engine.lock().unwrap();
+            let transitions = engine.evaluate(registry, now);
+            engine.expose_into(registry);
+            transitions
+        };
+        health.evaluations.fetch_add(1, Ordering::Relaxed);
+        if transitions.is_empty() {
+            return;
+        }
+        if let Some(path) = &health.path {
+            if let Ok(mut file) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+            {
+                for tr in &transitions {
+                    let _ = writeln!(file, "{}", tr.to_json());
+                }
+            }
+        }
+        health.transitions.lock().unwrap().extend(transitions);
+    }
+
     /// Count one typed rejection: the `BTreeMap` backs `/v1/ops`, the
     /// labeled counter backs `/metrics`.
     fn count_rejection(&self, code: ErrorCode) {
@@ -242,8 +719,60 @@ fn quantile_label(q: f64) -> &'static str {
 pub struct SolveService {
     inner: Arc<Inner>,
     workers: Mutex<Vec<JoinHandle<()>>>,
+    watchdog: Mutex<Option<JoinHandle<()>>>,
     seq: AtomicU64,
     reports: Mutex<Vec<StreamReport>>,
+}
+
+/// The built-in fleet-health rules for `cfg`, in a fixed order, with
+/// the caller's extra rules appended.
+fn built_in_rules(cfg: &AlertConfig) -> Vec<AlertRule> {
+    let mut rules = vec![
+        AlertRule::threshold(
+            "LaneStalled",
+            Severity::Critical,
+            Selector::metric("tsp_serve_lane_stall_seconds"),
+            Cmp::Gt,
+            cfg.stall_seconds,
+        ),
+        AlertRule::threshold(
+            "QueueAgeSlo",
+            Severity::Warning,
+            Selector::metric("tsp_serve_queue_age_seconds"),
+            Cmp::Gt,
+            cfg.queue_age_slo_seconds,
+        ),
+        AlertRule::threshold(
+            "TenantStarved",
+            Severity::Warning,
+            Selector::metric("tsp_serve_tenant_quota_ratio"),
+            Cmp::Ge,
+            1.0,
+        )
+        .with_for_seconds(cfg.starvation_for_seconds),
+        AlertRule::burn_rate(
+            "RejectionSpike",
+            Severity::Critical,
+            Selector::metric("tsp_serve_rejections_total"),
+            Selector::metric("tsp_serve_requests_total"),
+            cfg.rejection_budget,
+            cfg.rejection_long_seconds,
+            cfg.rejection_short_seconds,
+            cfg.rejection_factor,
+        ),
+        AlertRule::threshold(
+            "LatencyP99Burn",
+            Severity::Critical,
+            Selector::metric("tsp_serve_latency_seconds")
+                .with_label("stage", "end_to_end")
+                .with_label("quantile", "p99"),
+            Cmp::Gt,
+            cfg.p99_slo_seconds,
+        )
+        .with_for_seconds(cfg.p99_for_seconds),
+    ];
+    rules.extend(cfg.extra_rules.iter().cloned());
+    rules
 }
 
 impl std::fmt::Debug for SolveService {
@@ -280,6 +809,31 @@ impl SolveService {
                 SECONDS_BUCKETS,
             )
         });
+        let health = (cfg.alerts.enabled && telemetry.registry().is_some()).then(|| {
+            let mut engine = AlertEngine::new();
+            for rule in built_in_rules(&cfg.alerts) {
+                engine.push_rule(rule);
+            }
+            // The journal appends from the very first tick, which can
+            // precede the first job artifact — the dir must exist now.
+            // Touching the (possibly empty) journal makes a healthy
+            // run inspectable too: `tsp-inspect alerts` renders the
+            // empty file as "no alert transitions".
+            if let Some(dir) = cfg.artifacts_dir.as_ref() {
+                let _ = std::fs::create_dir_all(dir);
+                let _ = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(dir.join("alerts.jsonl"));
+            }
+            Health {
+                engine: Mutex::new(engine),
+                path: cfg.artifacts_dir.as_ref().map(|d| d.join("alerts.jsonl")),
+                transitions: Mutex::new(Vec::new()),
+                evaluations: AtomicU64::new(0),
+            }
+        });
+        let lanes = slots.lanes();
         let inner = Arc::new(Inner {
             queue: AdmissionQueue::new(cfg.queue_capacity, cfg.per_tenant_quota, &telemetry),
             slots,
@@ -298,19 +852,50 @@ impl SolveService {
                     .collect(),
             ),
             rejections: Mutex::new(BTreeMap::new()),
+            started: Instant::now(),
+            lane_health: Mutex::new(vec![
+                LaneHealth {
+                    busy: false,
+                    job_id: None,
+                    last_beat: 0.0,
+                };
+                lanes
+            ]),
+            health,
+            per_tenant_quota: cfg.per_tenant_quota,
+            seen_tenants: Mutex::new(BTreeSet::new()),
+            stopping: AtomicBool::new(false),
+            injected_stall: cfg.injected_stall,
         });
         let workers = (0..inner.slots.lanes())
             .map(|lane| {
                 let inner = inner.clone();
                 std::thread::Builder::new()
                     .name(format!("tsp-serve-worker-{lane}"))
-                    .spawn(move || worker(&inner))
+                    .spawn(move || worker(&inner, lane))
                     .expect("spawn worker thread")
             })
             .collect();
+        let watchdog = (inner.health.is_some() && cfg.alerts.watchdog_interval_ms > 0).then(|| {
+            let inner = inner.clone();
+            let interval = Duration::from_millis(cfg.alerts.watchdog_interval_ms);
+            std::thread::Builder::new()
+                .name("tsp-serve-watchdog".to_string())
+                .spawn(move || {
+                    while !inner.stopping.load(Ordering::Relaxed) {
+                        std::thread::sleep(interval);
+                        if inner.stopping.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        inner.watchdog_tick();
+                    }
+                })
+                .expect("spawn watchdog thread")
+        });
         Ok(SolveService {
             inner,
             workers: Mutex::new(workers),
+            watchdog: Mutex::new(watchdog),
             seq: AtomicU64::new(0),
             reports: Mutex::new(Vec::new()),
         })
@@ -334,6 +919,13 @@ impl SolveService {
         trace_id: &str,
     ) -> Result<SolveResponse, ApiError> {
         let received = Instant::now();
+        // Denominator for the rejection burn-rate rule: every
+        // submission attempt, accepted or not.
+        if let Some(registry) = self.inner.telemetry.registry() {
+            registry
+                .counter("tsp_serve_requests_total", "Solve submissions received")
+                .inc();
+        }
         let inst = request.instance().map_err(|err| self.reject(err))?;
         if inst.len() > self.inner.max_cities {
             return Err(self.reject(ApiError::new(
@@ -524,14 +1116,69 @@ impl SolveService {
             .iter()
             .map(|(&code, &n)| (code.to_string(), n))
             .collect();
+        snap.lane_health = self.inner.lane_rows();
+        if let Some(health) = &self.inner.health {
+            snap.alerts_firing = health.engine.lock().unwrap().firing_count() as u64;
+        }
         snap
+    }
+
+    /// Run one watchdog evaluation on the caller's thread: refresh the
+    /// derived health gauges, evaluate every alert rule at the current
+    /// service clock, and journal any transitions. This is the manual
+    /// drive for deterministic tests and smoke phases
+    /// ([`AlertConfig::watchdog_interval_ms`] `= 0`); with a
+    /// background watchdog it simply adds one extra evaluation.
+    pub fn watchdog_tick(&self) {
+        self.inner.watchdog_tick();
+    }
+
+    /// The alert engine's live census: every pending/firing/resolved
+    /// instance plus lifetime transition and evaluation counts.
+    /// Empty (zero rules) when alerting is disabled or telemetry is
+    /// detached.
+    pub fn alerts_snapshot(&self) -> AlertsSnapshot {
+        let Some(health) = &self.inner.health else {
+            return AlertsSnapshot::new(0);
+        };
+        let engine = health.engine.lock().unwrap();
+        let mut snap = AlertsSnapshot::new(engine.rules().len() as u64);
+        for active in engine.active() {
+            let mut row = OpsAlert::new(
+                &active.rule,
+                active.severity.as_str(),
+                active.state.as_str(),
+            );
+            row.labels = active.labels.clone();
+            row.since_seconds = active.since_seconds;
+            row.value = active.value;
+            snap.alerts.push(row);
+        }
+        snap.firing = engine.firing_count() as u64;
+        snap.transitions_total = health.transitions.lock().unwrap().len() as u64;
+        snap.evaluations_total = health.evaluations.load(Ordering::Relaxed);
+        snap
+    }
+
+    /// Every alert transition journaled so far, in evaluation order —
+    /// the in-memory mirror of `alerts.jsonl`.
+    pub fn alert_transitions(&self) -> Vec<AlertTransition> {
+        self.inner
+            .health
+            .as_ref()
+            .map(|h| h.transitions.lock().unwrap().clone())
+            .unwrap_or_default()
     }
 
     /// Drain the queue, join the workers, collect the per-stream
     /// modeled schedules, and tear the arenas down (balancing the
     /// ledger). Idempotent; also runs on drop.
     pub fn shutdown(&self) -> Vec<StreamReport> {
+        self.inner.stopping.store(true, Ordering::Relaxed);
         self.inner.queue.close();
+        if let Some(watchdog) = self.watchdog.lock().unwrap().take() {
+            let _ = watchdog.join();
+        }
         for worker in self.workers.lock().unwrap().drain(..) {
             let _ = worker.join();
         }
@@ -550,14 +1197,16 @@ impl Drop for SolveService {
     }
 }
 
-fn worker(inner: &Inner) {
+fn worker(inner: &Inner, lane: usize) {
     while let Some(ticket) = inner.queue.pop() {
-        run_ticket(inner, &ticket);
+        inner.lane_busy(lane, &ticket.job_id);
+        run_ticket(inner, lane, &ticket);
+        inner.lane_idle(lane);
         inner.queue.finish(&ticket.tenant);
     }
 }
 
-fn run_ticket(inner: &Inner, ticket: &Ticket) {
+fn run_ticket(inner: &Inner, lane: usize, ticket: &Ticket) {
     let Some((request, base_token, deadline, trace_id)) = ({
         let jobs = inner.jobs.lock().unwrap();
         jobs.get(&ticket.job_id).and_then(|entry| {
@@ -576,6 +1225,7 @@ fn run_ticket(inner: &Inner, ticket: &Ticket) {
         return;
     };
     stamp_stage(inner, &ticket.job_id, Stage::Dequeued);
+    inner.beat(lane);
     let token = match deadline {
         Some(deadline) => base_token.clone().with_deadline(deadline),
         None => base_token.clone(),
@@ -605,6 +1255,7 @@ fn run_ticket(inner: &Inner, ticket: &Ticket) {
             );
         }
     }
+    inner.beat(lane);
     set_state(inner, &ticket.job_id, JobState::Running);
     let mut journal = Journal::attached();
     if !trace_id.is_empty() {
@@ -619,6 +1270,15 @@ fn run_ticket(inner: &Inner, ticket: &Ticket) {
         Recorder::disabled()
     };
     stamp_stage(inner, &ticket.job_id, Stage::Solving);
+    inner.beat(lane);
+    // Fault injection: hold the lane without heartbeating so the
+    // watchdog sees a growing stall. The solve itself is untouched —
+    // the stall happens strictly before it starts.
+    if let Some((tenant, millis)) = &inner.injected_stall {
+        if *tenant == ticket.tenant {
+            std::thread::sleep(Duration::from_millis(*millis));
+        }
+    }
     let started = Instant::now();
     let outcome = solve(
         inner, &request, &journal, &job_prof, &recorder, &token, &lease,
@@ -627,6 +1287,7 @@ fn run_ticket(inner: &Inner, ticket: &Ticket) {
         latency.observe(started.elapsed().as_secs_f64());
     }
     drop(lease);
+    inner.beat(lane);
 
     match outcome {
         Ok(solution) => {
@@ -852,4 +1513,156 @@ fn write_artifacts(
         manifest.push("request", "request.json");
     }
     let _ = std::fs::write(job_dir.join("manifest.json"), manifest.to_json_string());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn service_config_round_trips_through_json() {
+        let cfg = ServiceConfig::default()
+            .with_spec(gpu_sim::spec::radeon_7970())
+            .with_devices(3)
+            .with_streams(1)
+            .with_slot_bytes(8 << 20)
+            .with_queue_capacity(64)
+            .with_per_tenant_quota(4)
+            .with_max_cities(1024)
+            .with_artifacts_dir("/tmp/artifacts")
+            .with_request_spans(false)
+            .with_access_log("/tmp/access.jsonl")
+            .with_alerts(
+                AlertConfig::default()
+                    .with_watchdog_interval_ms(0)
+                    .with_stall_seconds(1.5)
+                    .with_queue_age_slo_seconds(2.5)
+                    .with_starvation_for_seconds(0.5)
+                    .with_p99_slo(10.0, 3.0)
+                    .with_rejection_burn(0.1, 30.0, 5.0, 2.0)
+                    .with_rule(AlertRule::threshold(
+                        "CustomDepth",
+                        Severity::Info,
+                        Selector::metric("tsp_serve_queue_depth"),
+                        Cmp::Gt,
+                        100.0,
+                    )),
+            );
+        let text = cfg.to_json().to_string();
+        let back = ServiceConfig::parse(&text).unwrap();
+        // ServiceConfig has no PartialEq (DeviceSpec); the serialized
+        // form is the equality witness.
+        assert_eq!(back.to_json().to_string(), text);
+        assert_eq!(back.spec.digest(), cfg.spec.digest());
+        assert_eq!(back.devices, 3);
+        assert_eq!(back.alerts.extra_rules.len(), 1);
+        assert_eq!(back.alerts.stall_seconds, 1.5);
+
+        // Absent fields take defaults; unknown members are ignored;
+        // unknown specs are a hard error.
+        let sparse = ServiceConfig::parse("{\"devices\": 1, \"future\": true}").unwrap();
+        assert_eq!(sparse.devices, 1);
+        assert_eq!(sparse.streams, ServiceConfig::default().streams);
+        assert!(ServiceConfig::parse("{\"spec\": \"quantum_annealer\"}")
+            .unwrap_err()
+            .contains("unknown device spec"));
+    }
+
+    #[test]
+    fn built_in_rules_cover_the_fleet_health_surface() {
+        let rules = built_in_rules(&AlertConfig::default().with_rule(AlertRule::threshold(
+            "Extra",
+            Severity::Info,
+            Selector::metric("x"),
+            Cmp::Gt,
+            0.0,
+        )));
+        let names: Vec<&str> = rules.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "LaneStalled",
+                "QueueAgeSlo",
+                "TenantStarved",
+                "RejectionSpike",
+                "LatencyP99Burn",
+                "Extra"
+            ]
+        );
+    }
+
+    #[test]
+    fn watchdog_catches_an_injected_stall_and_recovery() {
+        let telemetry = Telemetry::attached();
+        let service = SolveService::start(
+            ServiceConfig::default()
+                .with_devices(1)
+                .with_streams(1)
+                .with_alerts(
+                    AlertConfig::default()
+                        .with_watchdog_interval_ms(0) // manual ticks
+                        .with_stall_seconds(0.05),
+                )
+                .with_injected_stall("stall-tenant", 300),
+            telemetry.clone(),
+            Profiler::attached(),
+        )
+        .unwrap();
+
+        // Healthy baseline: nothing fires on an idle service.
+        service.watchdog_tick();
+        assert_eq!(service.alerts_snapshot().firing, 0);
+
+        let coords: Vec<(f64, f64)> = (0..32)
+            .map(|i| (f64::from(i % 8), f64::from(i / 8)))
+            .collect();
+        let request = SolveRequest::coords("stall", coords)
+            .with_tenant("stall-tenant")
+            .with_seed(7);
+        let job = service.submit(request).unwrap().job_id;
+
+        // Poll the watchdog until the stalled lane crosses the
+        // threshold (the worker holds the lane ~300ms without beats).
+        let mut fired = false;
+        for _ in 0..50 {
+            std::thread::sleep(Duration::from_millis(20));
+            service.watchdog_tick();
+            let snap = service.alerts_snapshot();
+            if snap
+                .alerts
+                .iter()
+                .any(|a| a.rule == "LaneStalled" && a.state == "firing")
+            {
+                fired = true;
+                break;
+            }
+        }
+        assert!(fired, "LaneStalled never fired during the injected stall");
+        assert!(service.ops_snapshot().alerts_firing >= 1);
+
+        // Wait for the job to finish; the lane goes idle and the
+        // alert resolves, then clears.
+        for _ in 0..250 {
+            if service.status(&job).unwrap().state.is_terminal() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert!(service.status(&job).unwrap().state.is_terminal());
+        service.watchdog_tick(); // firing -> resolved
+        service.watchdog_tick(); // resolved -> inactive
+        assert_eq!(service.alerts_snapshot().firing, 0);
+
+        // The transition history walks the full lifecycle and the
+        // ALERTS series appeared in the exposition while firing.
+        let transitions = service.alert_transitions();
+        let states: Vec<&str> = transitions
+            .iter()
+            .filter(|t| t.rule == "LaneStalled")
+            .map(|t| t.to.as_str())
+            .collect();
+        assert!(states.contains(&"firing"), "transitions: {states:?}");
+        assert!(states.contains(&"resolved"), "transitions: {states:?}");
+        service.shutdown();
+    }
 }

@@ -8,7 +8,10 @@
 //! `REGEN_GOLDEN=1 cargo test -p tsp-serve --test api_golden`.
 
 use std::path::PathBuf;
-use tsp_serve::api::{ApiError, ErrorCode, JobState, JobStatus, SolveRequest, SolveResponse};
+use tsp_serve::api::{
+    AlertsSnapshot, ApiError, ErrorCode, JobState, JobStatus, OpsAlert, OpsJob, OpsLane,
+    OpsLatency, OpsSnapshot, SolveRequest, SolveResponse,
+};
 
 fn golden_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -116,6 +119,68 @@ fn golden_api_error_quota() {
     check("api_error_quota.json", &text);
     let doc = tsp_trace::json::parse(&text).unwrap();
     assert_eq!(ApiError::from_json(&doc).unwrap(), value);
+}
+
+fn sample_ops_snapshot() -> OpsSnapshot {
+    let mut snap = OpsSnapshot::new(4);
+    snap.queue_depth = 2;
+    snap.slot_occupancy = 3;
+    let mut running = OpsJob::new("job-00000001", "dispatch", JobState::Running);
+    running.trace_id = Some("4bf92f3577b34da6a3ce929d0e0e4736".to_string());
+    running.device = Some(1);
+    running.stream = Some(0);
+    snap.jobs.push(running);
+    let mut done = OpsJob::new("job-00000002", "batch", JobState::Done);
+    done.end_to_end_seconds = Some(0.125);
+    snap.jobs.push(done);
+    snap.latency.push(OpsLatency::new(
+        "end_to_end",
+        50,
+        vec![(0.5, 0.03125), (0.95, 0.0625), (0.99, 0.09375)],
+    ));
+    snap.rejections.push(("queue_full".to_string(), 3));
+    snap.rejections.push(("quota_exceeded".to_string(), 7));
+    let mut stuck = OpsLane::new(0);
+    stuck.busy = true;
+    stuck.job_id = Some("job-00000001".to_string());
+    stuck.stall_seconds = 4.25;
+    snap.lane_health.push(stuck);
+    snap.lane_health.push(OpsLane::new(1));
+    snap.alerts_firing = 1;
+    snap
+}
+
+fn sample_alerts_snapshot() -> AlertsSnapshot {
+    let mut snap = AlertsSnapshot::new(5);
+    let mut stalled = OpsAlert::new("LaneStalled", "critical", "firing");
+    stalled.labels.push(("lane".to_string(), "0".to_string()));
+    stalled.since_seconds = 12.5;
+    stalled.value = 4.25;
+    snap.alerts.push(stalled);
+    let mut queue = OpsAlert::new("QueueAgeSlo", "warning", "pending");
+    queue.since_seconds = 14.0;
+    queue.value = 31.5;
+    snap.alerts.push(queue);
+    snap.firing = 1;
+    snap.transitions_total = 3;
+    snap.evaluations_total = 56;
+    snap
+}
+
+#[test]
+fn golden_ops_snapshot() {
+    let value = sample_ops_snapshot();
+    let text = value.to_json().to_string();
+    check("ops_snapshot.json", &text);
+    assert_eq!(OpsSnapshot::parse(&text).unwrap(), value);
+}
+
+#[test]
+fn golden_alerts_snapshot() {
+    let value = sample_alerts_snapshot();
+    let text = value.to_json().to_string();
+    check("alerts_snapshot.json", &text);
+    assert_eq!(AlertsSnapshot::parse(&text).unwrap(), value);
 }
 
 #[test]

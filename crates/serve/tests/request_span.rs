@@ -102,8 +102,12 @@ fn request_spans_are_bit_inert() {
         );
     }
     // The observed run actually produced spans; the plain one must not
-    // have (no artifacts dir, spans off).
-    let span_count = std::fs::read_dir(&dir).unwrap().count();
+    // have (no artifacts dir, spans off). The watchdog also touches
+    // `alerts.jsonl` at boot — count only the per-job directories.
+    let span_count = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter(|e| e.as_ref().unwrap().file_type().unwrap().is_dir())
+        .count();
     assert_eq!(span_count, 4, "one artifact dir per observed job");
 
     with_spans.shutdown();

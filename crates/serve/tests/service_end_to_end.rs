@@ -60,6 +60,38 @@ fn round_trip(server: &ServeServer, req: &SolveRequest) -> JobStatus {
 }
 
 #[test]
+fn alerts_route_dispatch_is_method_and_path_exact() {
+    let server = start_server(ServiceConfig::default().with_devices(1).with_streams(1));
+
+    // GET answers the typed census (zero rules firing on a healthy
+    // idle service).
+    let (status, _, body) = http_request(server.addr(), "GET", "/v1/alerts", "", "").unwrap();
+    assert_eq!(status, 200, "{body}");
+    let snap = tsp_serve::api::AlertsSnapshot::parse(&body).unwrap();
+    assert_eq!(snap.firing, 0);
+    assert!(snap.rules >= 5, "built-in rules missing: {}", snap.rules);
+
+    // Wrong method on a known path is 405, not 404.
+    let (status, _, _) = http_request(server.addr(), "POST", "/v1/alerts", "", "").unwrap();
+    assert_eq!(status, 405);
+    let (status, _, _) = http_request(server.addr(), "DELETE", "/v1/alerts", "", "").unwrap();
+    assert_eq!(status, 405);
+
+    // Unknown subpaths stay 404.
+    let (status, _, _) = http_request(server.addr(), "GET", "/v1/alerts/0", "", "").unwrap();
+    assert_eq!(status, 404);
+
+    // /v1/ops carries the lane-health rows for the same lanes.
+    let (status, _, body) = http_request(server.addr(), "GET", "/v1/ops", "", "").unwrap();
+    assert_eq!(status, 200, "{body}");
+    let ops = tsp_serve::api::OpsSnapshot::parse(&body).unwrap();
+    assert_eq!(ops.lane_health.len() as u64, ops.lanes);
+    assert!(ops.lane_health.iter().all(|l| !l.busy));
+
+    let (_service, _reports) = server.shutdown();
+}
+
+#[test]
 fn served_solves_are_bit_identical_to_direct_facade_runs() {
     let server = start_server(ServiceConfig::default());
 

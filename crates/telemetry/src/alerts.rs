@@ -1,0 +1,1210 @@
+//! Declarative alert rules evaluated deterministically over a
+//! [`Registry`] — the decision layer on top of the metrics the rest
+//! of this crate collects.
+//!
+//! Three rule kinds cover the fleet-health questions a serving stack
+//! asks:
+//!
+//! * **Threshold** — compare every sample of a family against a fixed
+//!   bound (`tsp_serve_lane_stall_seconds > 0.5`). One alert instance
+//!   per matching label set, so a single rule watches every lane or
+//!   tenant at once.
+//! * **Stale** — a sample stopped changing (or never appeared at all)
+//!   for longer than `stale_seconds`. Absence and staleness are the
+//!   same failure seen from two sides: a heartbeat that never arrives
+//!   and one that froze both mean the writer is gone.
+//! * **BurnRate** — the multi-window error-budget burn of an SRE-style
+//!   SLO: the ratio of a numerator counter to a denominator counter
+//!   over a long and a short window, each divided by the budget. The
+//!   rule fires only when **both** windows burn faster than `factor`,
+//!   so a brief spike (short window only) and a stale incident that
+//!   already ended (long window only) both stay quiet.
+//!
+//! The evaluator is driven entirely by the **caller's clock**: every
+//! [`AlertEngine::evaluate`] call passes `now` in seconds — modeled
+//! seconds in tests (bit-reproducible), wall seconds in `tsp-serve`.
+//! The engine itself never reads a clock, takes no locks beyond the
+//! registry's own, and iterates rules and samples in a fixed order,
+//! so the same metric history always produces byte-identical
+//! transition streams.
+//!
+//! Alert instances walk `inactive → pending → firing → resolved →
+//! inactive`; `pending` holds the condition for `for_seconds` before
+//! firing (Prometheus' `for:` dwell), and `resolved` stays visible
+//! for exactly one evaluation so a scraper polling `ALERTS` can
+//! observe the recovery edge. Every state change is emitted as an
+//! [`AlertTransition`], journaled by the caller as `alerts.jsonl` and
+//! re-renderable by `tsp-inspect alerts` from the artifact alone.
+
+use crate::registry::{Labels, Registry};
+use std::collections::{BTreeMap, VecDeque};
+use tsp_trace::json::Json;
+
+/// How loudly an alert should page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational; no action expected.
+    Info,
+    /// Degraded but serving; act soon.
+    Warning,
+    /// The fleet is failing its contract; act now.
+    Critical,
+}
+
+impl Severity {
+    /// The lowercase wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Critical => "critical",
+        }
+    }
+
+    /// Parse the wire name.
+    pub fn parse(s: &str) -> Result<Severity, String> {
+        match s {
+            "info" => Ok(Severity::Info),
+            "warning" => Ok(Severity::Warning),
+            "critical" => Ok(Severity::Critical),
+            other => Err(format!("unknown severity {other:?}")),
+        }
+    }
+}
+
+/// Lifecycle state of one alert instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertState {
+    /// Condition false; nothing to report.
+    Inactive,
+    /// Condition true, dwell (`for_seconds`) not yet served.
+    Pending,
+    /// Condition held for the dwell; the alert is live.
+    Firing,
+    /// Condition just cleared from firing; visible for one evaluation.
+    Resolved,
+}
+
+impl AlertState {
+    /// The lowercase wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AlertState::Inactive => "inactive",
+            AlertState::Pending => "pending",
+            AlertState::Firing => "firing",
+            AlertState::Resolved => "resolved",
+        }
+    }
+
+    /// Parse the wire name.
+    pub fn parse(s: &str) -> Result<AlertState, String> {
+        match s {
+            "inactive" => Ok(AlertState::Inactive),
+            "pending" => Ok(AlertState::Pending),
+            "firing" => Ok(AlertState::Firing),
+            "resolved" => Ok(AlertState::Resolved),
+            other => Err(format!("unknown alert state {other:?}")),
+        }
+    }
+}
+
+/// Comparison operator of a threshold rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// Strictly greater.
+    Gt,
+    /// Greater or equal.
+    Ge,
+    /// Strictly less.
+    Lt,
+    /// Less or equal.
+    Le,
+}
+
+impl Cmp {
+    /// The operator's wire spelling (`">"`, `">="`, …).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Cmp::Gt => ">",
+            Cmp::Ge => ">=",
+            Cmp::Lt => "<",
+            Cmp::Le => "<=",
+        }
+    }
+
+    /// Parse the wire spelling.
+    pub fn parse(s: &str) -> Result<Cmp, String> {
+        match s {
+            ">" => Ok(Cmp::Gt),
+            ">=" => Ok(Cmp::Ge),
+            "<" => Ok(Cmp::Lt),
+            "<=" => Ok(Cmp::Le),
+            other => Err(format!("unknown comparison {other:?}")),
+        }
+    }
+
+    /// `value <op> bound`.
+    pub fn eval(self, value: f64, bound: f64) -> bool {
+        match self {
+            Cmp::Gt => value > bound,
+            Cmp::Ge => value >= bound,
+            Cmp::Lt => value < bound,
+            Cmp::Le => value <= bound,
+        }
+    }
+}
+
+/// Which samples a rule watches: a metric family plus equality label
+/// matchers. A sample matches when it carries every matcher pair;
+/// extra labels on the sample are what fan the rule out into one
+/// alert instance per lane/tenant/stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Selector {
+    /// The metric family name.
+    pub metric: String,
+    /// Required `(key, value)` pairs; empty matches every sample.
+    pub labels: Labels,
+}
+
+impl Selector {
+    /// Select every sample of `metric`.
+    pub fn metric(name: impl Into<String>) -> Selector {
+        Selector {
+            metric: name.into(),
+            labels: Vec::new(),
+        }
+    }
+
+    /// Require the label `key = value`.
+    pub fn with_label(mut self, key: impl Into<String>, value: impl Into<String>) -> Selector {
+        self.labels.push((key.into(), value.into()));
+        self
+    }
+
+    /// Whether `sample` carries every matcher pair.
+    pub fn matches(&self, sample: &Labels) -> bool {
+        self.labels.iter().all(|pair| sample.contains(pair))
+    }
+
+    fn to_json(&self) -> Json {
+        let mut obj = Json::obj();
+        obj.set("metric", Json::from(self.metric.as_str()));
+        if !self.labels.is_empty() {
+            let mut labels = Json::obj();
+            for (k, v) in &self.labels {
+                labels.set(k, Json::from(v.as_str()));
+            }
+            obj.set("labels", labels);
+        }
+        obj
+    }
+
+    fn from_json(json: &Json) -> Result<Selector, String> {
+        let metric = json
+            .get("metric")
+            .and_then(Json::as_str)
+            .ok_or("selector needs a \"metric\" string")?
+            .to_string();
+        let mut labels = Vec::new();
+        if let Some(Json::Obj(pairs)) = json.get("labels") {
+            for (k, v) in pairs {
+                let v = v.as_str().ok_or("selector label values are strings")?;
+                labels.push((k.clone(), v.to_string()));
+            }
+        }
+        Ok(Selector { metric, labels })
+    }
+}
+
+/// The condition a rule evaluates. See the module docs for semantics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuleKind {
+    /// Sample `cmp` `value`.
+    Threshold {
+        /// The comparison.
+        cmp: Cmp,
+        /// The bound.
+        value: f64,
+    },
+    /// Sample unchanged — or absent — for at least `stale_seconds`.
+    Stale {
+        /// The staleness horizon in caller-clock seconds.
+        stale_seconds: f64,
+    },
+    /// Multi-window error-budget burn of `numerator / denominator`.
+    BurnRate {
+        /// The counter family whose growth is the "total" rate.
+        denominator: Selector,
+        /// The SLO's error budget as a ratio in `(0, 1]` (e.g. `0.01`
+        /// = 1% of requests may be errors).
+        budget: f64,
+        /// The long window in seconds (incident confirmation).
+        long_seconds: f64,
+        /// The short window in seconds (fast detection + fast reset).
+        short_seconds: f64,
+        /// Fire when both windows burn ≥ `factor ×` budget.
+        factor: f64,
+    },
+}
+
+/// One declarative rule: a name, a severity, the samples it watches,
+/// the condition, and a `for_seconds` dwell before `pending`
+/// escalates to `firing`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertRule {
+    /// The alert name (`alertname` in the `ALERTS` exposition).
+    pub name: String,
+    /// How loudly to page.
+    pub severity: Severity,
+    /// The samples the rule watches (the numerator for burn rules).
+    pub selector: Selector,
+    /// The condition.
+    pub kind: RuleKind,
+    /// Dwell the condition must hold before firing; `0` fires on the
+    /// first true evaluation.
+    pub for_seconds: f64,
+}
+
+impl AlertRule {
+    /// A threshold rule: fire when a matching sample `cmp value`.
+    pub fn threshold(
+        name: impl Into<String>,
+        severity: Severity,
+        selector: Selector,
+        cmp: Cmp,
+        value: f64,
+    ) -> AlertRule {
+        AlertRule {
+            name: name.into(),
+            severity,
+            selector,
+            kind: RuleKind::Threshold { cmp, value },
+            for_seconds: 0.0,
+        }
+    }
+
+    /// A staleness rule: fire when a matching sample is unchanged, or
+    /// no sample exists at all, for `stale_seconds`.
+    pub fn stale(
+        name: impl Into<String>,
+        severity: Severity,
+        selector: Selector,
+        stale_seconds: f64,
+    ) -> AlertRule {
+        AlertRule {
+            name: name.into(),
+            severity,
+            selector,
+            kind: RuleKind::Stale { stale_seconds },
+            for_seconds: 0.0,
+        }
+    }
+
+    /// A multi-window burn-rate rule over `numerator / denominator`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn burn_rate(
+        name: impl Into<String>,
+        severity: Severity,
+        numerator: Selector,
+        denominator: Selector,
+        budget: f64,
+        long_seconds: f64,
+        short_seconds: f64,
+        factor: f64,
+    ) -> AlertRule {
+        AlertRule {
+            name: name.into(),
+            severity,
+            selector: numerator,
+            kind: RuleKind::BurnRate {
+                denominator,
+                budget,
+                long_seconds,
+                short_seconds,
+                factor,
+            },
+            for_seconds: 0.0,
+        }
+    }
+
+    /// Require the condition to hold `seconds` before firing.
+    pub fn with_for_seconds(mut self, seconds: f64) -> AlertRule {
+        self.for_seconds = seconds;
+        self
+    }
+
+    /// Serialize for a config file or journal header.
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::obj();
+        obj.set("name", Json::from(self.name.as_str()));
+        obj.set("severity", Json::from(self.severity.as_str()));
+        obj.set("selector", self.selector.to_json());
+        match &self.kind {
+            RuleKind::Threshold { cmp, value } => {
+                obj.set("kind", Json::from("threshold"));
+                obj.set("cmp", Json::from(cmp.as_str()));
+                obj.set("value", Json::from(*value));
+            }
+            RuleKind::Stale { stale_seconds } => {
+                obj.set("kind", Json::from("stale"));
+                obj.set("stale_seconds", Json::from(*stale_seconds));
+            }
+            RuleKind::BurnRate {
+                denominator,
+                budget,
+                long_seconds,
+                short_seconds,
+                factor,
+            } => {
+                obj.set("kind", Json::from("burn_rate"));
+                obj.set("denominator", denominator.to_json());
+                obj.set("budget", Json::from(*budget));
+                obj.set("long_seconds", Json::from(*long_seconds));
+                obj.set("short_seconds", Json::from(*short_seconds));
+                obj.set("factor", Json::from(*factor));
+            }
+        }
+        if self.for_seconds != 0.0 {
+            obj.set("for_seconds", Json::from(self.for_seconds));
+        }
+        obj
+    }
+
+    /// Parse what [`AlertRule::to_json`] wrote. Unknown members are
+    /// ignored so rule documents can grow fields.
+    pub fn from_json(json: &Json) -> Result<AlertRule, String> {
+        let name = json
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("alert rule needs a \"name\"")?
+            .to_string();
+        let severity = Severity::parse(
+            json.get("severity")
+                .and_then(Json::as_str)
+                .ok_or("alert rule needs a \"severity\"")?,
+        )?;
+        let selector = Selector::from_json(
+            json.get("selector")
+                .ok_or("alert rule needs a \"selector\"")?,
+        )?;
+        let num = |key: &str| -> Result<f64, String> {
+            json.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("alert rule needs a numeric {key:?}"))
+        };
+        let kind = match json.get("kind").and_then(Json::as_str) {
+            Some("threshold") => RuleKind::Threshold {
+                cmp: Cmp::parse(
+                    json.get("cmp")
+                        .and_then(Json::as_str)
+                        .ok_or("threshold rule needs a \"cmp\"")?,
+                )?,
+                value: num("value")?,
+            },
+            Some("stale") => RuleKind::Stale {
+                stale_seconds: num("stale_seconds")?,
+            },
+            Some("burn_rate") => RuleKind::BurnRate {
+                denominator: Selector::from_json(
+                    json.get("denominator")
+                        .ok_or("burn_rate rule needs a \"denominator\"")?,
+                )?,
+                budget: num("budget")?,
+                long_seconds: num("long_seconds")?,
+                short_seconds: num("short_seconds")?,
+                factor: num("factor")?,
+            },
+            other => return Err(format!("unknown rule kind {other:?}")),
+        };
+        let for_seconds = json
+            .get("for_seconds")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0);
+        Ok(AlertRule {
+            name,
+            severity,
+            selector,
+            kind,
+            for_seconds,
+        })
+    }
+}
+
+/// One state change of one alert instance — the journal unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertTransition {
+    /// Caller-clock timestamp of the evaluation that moved the state.
+    pub seconds: f64,
+    /// The rule name.
+    pub rule: String,
+    /// The rule's severity.
+    pub severity: Severity,
+    /// The instance's full label set.
+    pub labels: Labels,
+    /// State before.
+    pub from: AlertState,
+    /// State after.
+    pub to: AlertState,
+    /// The observed value that drove the evaluation (threshold
+    /// sample, staleness age, or short-window burn multiple).
+    pub value: f64,
+}
+
+impl AlertTransition {
+    /// One JSONL line (no trailing newline).
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::obj();
+        obj.set("seconds", Json::from(self.seconds));
+        obj.set("rule", Json::from(self.rule.as_str()));
+        obj.set("severity", Json::from(self.severity.as_str()));
+        if !self.labels.is_empty() {
+            let mut labels = Json::obj();
+            for (k, v) in &self.labels {
+                labels.set(k, Json::from(v.as_str()));
+            }
+            obj.set("labels", labels);
+        }
+        obj.set("from", Json::from(self.from.as_str()));
+        obj.set("to", Json::from(self.to.as_str()));
+        obj.set("value", Json::from(self.value));
+        obj
+    }
+
+    /// Parse what [`AlertTransition::to_json`] wrote.
+    pub fn from_json(json: &Json) -> Result<AlertTransition, String> {
+        let s = |key: &str| -> Result<&str, String> {
+            json.get(key)
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("alert transition needs {key:?}"))
+        };
+        let mut labels = Vec::new();
+        if let Some(Json::Obj(pairs)) = json.get("labels") {
+            for (k, v) in pairs {
+                let v = v.as_str().ok_or("transition label values are strings")?;
+                labels.push((k.clone(), v.to_string()));
+            }
+        }
+        Ok(AlertTransition {
+            seconds: json
+                .get("seconds")
+                .and_then(Json::as_f64)
+                .ok_or("alert transition needs \"seconds\"")?,
+            rule: s("rule")?.to_string(),
+            severity: Severity::parse(s("severity")?)?,
+            labels,
+            from: AlertState::parse(s("from")?)?,
+            to: AlertState::parse(s("to")?)?,
+            value: json.get("value").and_then(Json::as_f64).unwrap_or(0.0),
+        })
+    }
+}
+
+/// Parse an `alerts.jsonl` document back into transitions.
+pub fn parse_alerts_jsonl(text: &str) -> Result<Vec<AlertTransition>, String> {
+    text.lines()
+        .enumerate()
+        .filter(|(_, line)| !line.trim().is_empty())
+        .map(|(i, line)| {
+            let json = tsp_trace::json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+            AlertTransition::from_json(&json).map_err(|e| format!("line {}: {e}", i + 1))
+        })
+        .collect()
+}
+
+/// A live (non-inactive) alert instance, as reported by
+/// [`AlertEngine::active`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActiveAlert {
+    /// The rule name.
+    pub rule: String,
+    /// The rule's severity.
+    pub severity: Severity,
+    /// The instance's full label set.
+    pub labels: Labels,
+    /// Current lifecycle state (never `Inactive`).
+    pub state: AlertState,
+    /// Caller-clock time the instance entered this state.
+    pub since_seconds: f64,
+    /// The most recently observed value.
+    pub value: f64,
+}
+
+#[derive(Debug, Clone)]
+struct Instance {
+    state: AlertState,
+    since: f64,
+    pending_since: f64,
+    /// Whether a sample has ever been observed (staleness).
+    seen: bool,
+    /// Last observed value (staleness change detection; reporting).
+    last_value: f64,
+    /// When the value last changed (staleness clock).
+    last_change: f64,
+    /// `(t, numerator, denominator)` history for burn windows.
+    history: VecDeque<(f64, f64, f64)>,
+}
+
+impl Instance {
+    fn new(now: f64) -> Instance {
+        Instance {
+            state: AlertState::Inactive,
+            since: now,
+            pending_since: now,
+            seen: false,
+            last_value: 0.0,
+            last_change: now,
+            history: VecDeque::new(),
+        }
+    }
+}
+
+/// The deterministic rule evaluator. Feed it a registry and a clock;
+/// it hands back the state transitions since the previous call.
+#[derive(Debug, Default)]
+pub struct AlertEngine {
+    rules: Vec<AlertRule>,
+    /// Instance maps, parallel to `rules`, keyed by full label set.
+    instances: Vec<BTreeMap<Labels, Instance>>,
+    /// First evaluation time per rule (absence baseline).
+    first_eval: Vec<Option<f64>>,
+}
+
+impl AlertEngine {
+    /// An engine with no rules.
+    pub fn new() -> AlertEngine {
+        AlertEngine::default()
+    }
+
+    /// Append a rule (builder form).
+    pub fn with_rule(mut self, rule: AlertRule) -> AlertEngine {
+        self.push_rule(rule);
+        self
+    }
+
+    /// Append a rule.
+    pub fn push_rule(&mut self, rule: AlertRule) {
+        self.rules.push(rule);
+        self.instances.push(BTreeMap::new());
+        self.first_eval.push(None);
+    }
+
+    /// The configured rules, in evaluation order.
+    pub fn rules(&self) -> &[AlertRule] {
+        &self.rules
+    }
+
+    /// Evaluate every rule against `registry` at caller-clock time
+    /// `now`, returning the state transitions this step produced.
+    /// Rules are walked in configuration order and samples in the
+    /// registry's label-sorted order, so identical metric histories
+    /// yield identical transition streams.
+    pub fn evaluate(&mut self, registry: &Registry, now: f64) -> Vec<AlertTransition> {
+        let mut out = Vec::new();
+        for (idx, rule) in self.rules.iter().enumerate() {
+            let first_eval = *self.first_eval[idx].get_or_insert(now);
+            let instances = &mut self.instances[idx];
+            let matched: Vec<(Labels, f64)> = registry
+                .samples(&rule.selector.metric)
+                .into_iter()
+                .filter(|(labels, _)| rule.selector.matches(labels))
+                .collect();
+
+            // Verdicts for the samples present this step, in
+            // label-sorted order; existing instances whose sample
+            // vanished are appended afterwards with a false verdict
+            // so they can resolve.
+            let mut verdicts: BTreeMap<Labels, (bool, f64)> = BTreeMap::new();
+            match &rule.kind {
+                RuleKind::Threshold { cmp, value } => {
+                    for (labels, sample) in &matched {
+                        verdicts.insert(labels.clone(), (cmp.eval(*sample, *value), *sample));
+                    }
+                }
+                RuleKind::Stale { stale_seconds } => {
+                    for (labels, sample) in &matched {
+                        let inst = instances
+                            .entry(labels.clone())
+                            .or_insert_with(|| Instance::new(now));
+                        if !inst.seen || inst.last_value.to_bits() != sample.to_bits() {
+                            inst.seen = true;
+                            inst.last_value = *sample;
+                            inst.last_change = now;
+                        }
+                        let age = now - inst.last_change;
+                        verdicts.insert(labels.clone(), (age >= *stale_seconds, age));
+                    }
+                    if matched.is_empty() {
+                        // No sample at all: absence, keyed by the
+                        // selector's own matchers.
+                        let age = now - first_eval;
+                        verdicts.insert(rule.selector.labels.clone(), (age >= *stale_seconds, age));
+                    }
+                }
+                RuleKind::BurnRate {
+                    denominator,
+                    budget,
+                    long_seconds,
+                    short_seconds,
+                    factor,
+                } => {
+                    let numerator: f64 = matched.iter().map(|(_, v)| v).sum();
+                    let total: f64 = registry
+                        .samples(&denominator.metric)
+                        .into_iter()
+                        .filter(|(labels, _)| denominator.matches(labels))
+                        .map(|(_, v)| v)
+                        .sum();
+                    let inst = instances
+                        .entry(rule.selector.labels.clone())
+                        .or_insert_with(|| Instance::new(now));
+                    inst.history.push_back((now, numerator, total));
+                    // Keep one sample at or before the long-window
+                    // boundary as the delta base.
+                    while inst.history.len() >= 2 && inst.history[1].0 <= now - long_seconds {
+                        inst.history.pop_front();
+                    }
+                    let burn = |window: f64| -> f64 {
+                        let base = inst
+                            .history
+                            .iter()
+                            .rev()
+                            .find(|(t, _, _)| *t <= now - window)
+                            .unwrap_or(&inst.history[0]);
+                        let dn = numerator - base.1;
+                        let dd = total - base.2;
+                        if dd > 0.0 {
+                            (dn / dd) / budget
+                        } else {
+                            0.0
+                        }
+                    };
+                    let (long, short) = (burn(*long_seconds), burn(*short_seconds));
+                    verdicts.insert(
+                        rule.selector.labels.clone(),
+                        (long >= *factor && short >= *factor, short),
+                    );
+                }
+            }
+            for labels in instances.keys().cloned().collect::<Vec<_>>() {
+                let value = instances[&labels].last_value;
+                verdicts.entry(labels).or_insert((false, value));
+            }
+
+            for (labels, (cond, value)) in verdicts {
+                let inst = instances
+                    .entry(labels.clone())
+                    .or_insert_with(|| Instance::new(now));
+                if !matches!(rule.kind, RuleKind::Stale { .. }) {
+                    inst.last_value = value;
+                }
+                let next = match (inst.state, cond) {
+                    (AlertState::Inactive | AlertState::Resolved, true) => {
+                        inst.pending_since = now;
+                        if rule.for_seconds <= 0.0 {
+                            Some(AlertState::Firing)
+                        } else {
+                            Some(AlertState::Pending)
+                        }
+                    }
+                    (AlertState::Pending, true) => {
+                        (now - inst.pending_since >= rule.for_seconds).then_some(AlertState::Firing)
+                    }
+                    (AlertState::Pending, false) => Some(AlertState::Inactive),
+                    (AlertState::Firing, false) => Some(AlertState::Resolved),
+                    (AlertState::Resolved, false) => Some(AlertState::Inactive),
+                    (AlertState::Inactive, false) | (AlertState::Firing, true) => None,
+                };
+                if let Some(to) = next {
+                    out.push(AlertTransition {
+                        seconds: now,
+                        rule: rule.name.clone(),
+                        severity: rule.severity,
+                        labels,
+                        from: inst.state,
+                        to,
+                        value,
+                    });
+                    inst.state = to;
+                    inst.since = now;
+                }
+            }
+        }
+        out
+    }
+
+    /// Every non-inactive instance, in rule then label order.
+    pub fn active(&self) -> Vec<ActiveAlert> {
+        let mut out = Vec::new();
+        for (rule, instances) in self.rules.iter().zip(&self.instances) {
+            for (labels, inst) in instances {
+                if inst.state != AlertState::Inactive {
+                    out.push(ActiveAlert {
+                        rule: rule.name.clone(),
+                        severity: rule.severity,
+                        labels: labels.clone(),
+                        state: inst.state,
+                        since_seconds: inst.since,
+                        value: inst.last_value,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of instances currently firing.
+    pub fn firing_count(&self) -> usize {
+        self.instances
+            .iter()
+            .flat_map(|m| m.values())
+            .filter(|i| i.state == AlertState::Firing)
+            .count()
+    }
+
+    /// Mirror the instance census into Prometheus-convention
+    /// `ALERTS{alertname,severity,state}` gauges (pending and firing
+    /// counts per rule), so `/metrics` scrapers see the same truth
+    /// the journal records.
+    pub fn expose_into(&self, registry: &Registry) {
+        for (rule, instances) in self.rules.iter().zip(&self.instances) {
+            for state in [AlertState::Pending, AlertState::Firing] {
+                let count = instances.values().filter(|i| i.state == state).count();
+                registry
+                    .gauge_with(
+                        "ALERTS",
+                        "Alert instances by rule and lifecycle state",
+                        &[
+                            ("alertname", rule.name.as_str()),
+                            ("severity", rule.severity.as_str()),
+                            ("state", state.as_str()),
+                        ],
+                    )
+                    .set(count as f64);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(pairs: &[(&str, &str)]) -> Labels {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn threshold_walks_the_full_lifecycle() {
+        let registry = Registry::new();
+        let gauge = registry.gauge("tsp_test_stall_seconds", "t");
+        let mut engine = AlertEngine::new().with_rule(
+            AlertRule::threshold(
+                "Stalled",
+                Severity::Critical,
+                Selector::metric("tsp_test_stall_seconds"),
+                Cmp::Gt,
+                0.5,
+            )
+            .with_for_seconds(1.0),
+        );
+
+        gauge.set(0.1);
+        assert!(engine.evaluate(&registry, 0.0).is_empty());
+
+        gauge.set(0.9);
+        let t = engine.evaluate(&registry, 1.0);
+        assert_eq!(t.len(), 1);
+        assert_eq!(
+            (t[0].from, t[0].to),
+            (AlertState::Inactive, AlertState::Pending)
+        );
+        assert_eq!(t[0].value, 0.9);
+
+        // Dwell not served yet.
+        assert!(engine.evaluate(&registry, 1.5).is_empty());
+        let t = engine.evaluate(&registry, 2.0);
+        assert_eq!(
+            (t[0].from, t[0].to),
+            (AlertState::Pending, AlertState::Firing)
+        );
+        assert_eq!(engine.firing_count(), 1);
+
+        gauge.set(0.0);
+        let t = engine.evaluate(&registry, 3.0);
+        assert_eq!(
+            (t[0].from, t[0].to),
+            (AlertState::Firing, AlertState::Resolved)
+        );
+        let t = engine.evaluate(&registry, 4.0);
+        assert_eq!(
+            (t[0].from, t[0].to),
+            (AlertState::Resolved, AlertState::Inactive)
+        );
+        assert!(engine.active().is_empty());
+    }
+
+    #[test]
+    fn zero_dwell_fires_immediately_and_pending_can_clear() {
+        let registry = Registry::new();
+        let gauge = registry.gauge("tsp_test_depth", "t");
+        let mut engine = AlertEngine::new()
+            .with_rule(AlertRule::threshold(
+                "DeepNow",
+                Severity::Info,
+                Selector::metric("tsp_test_depth"),
+                Cmp::Ge,
+                4.0,
+            ))
+            .with_rule(
+                AlertRule::threshold(
+                    "DeepLong",
+                    Severity::Warning,
+                    Selector::metric("tsp_test_depth"),
+                    Cmp::Ge,
+                    4.0,
+                )
+                .with_for_seconds(5.0),
+            );
+        gauge.set(4.0);
+        let t = engine.evaluate(&registry, 0.0);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].to, AlertState::Firing); // zero dwell
+        assert_eq!(t[1].to, AlertState::Pending);
+        // The blip clears before the dwell: pending goes straight
+        // back to inactive, never firing, never resolved.
+        gauge.set(0.0);
+        let t = engine.evaluate(&registry, 1.0);
+        assert_eq!(t.len(), 2);
+        assert_eq!(
+            (t[0].from, t[0].to),
+            (AlertState::Firing, AlertState::Resolved)
+        );
+        assert_eq!(
+            (t[1].from, t[1].to),
+            (AlertState::Pending, AlertState::Inactive)
+        );
+    }
+
+    #[test]
+    fn labeled_samples_fan_out_into_per_instance_alerts() {
+        let registry = Registry::new();
+        let lane0 = registry.gauge_with("tsp_test_lane_stall", "t", &[("lane", "0")]);
+        let lane1 = registry.gauge_with("tsp_test_lane_stall", "t", &[("lane", "1")]);
+        let mut engine = AlertEngine::new().with_rule(AlertRule::threshold(
+            "LaneStalled",
+            Severity::Critical,
+            Selector::metric("tsp_test_lane_stall"),
+            Cmp::Gt,
+            1.0,
+        ));
+        lane0.set(0.0);
+        lane1.set(5.0);
+        let t = engine.evaluate(&registry, 0.0);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].labels, labels(&[("lane", "1")]));
+        let active = engine.active();
+        assert_eq!(active.len(), 1);
+        assert_eq!(active[0].state, AlertState::Firing);
+        assert_eq!(active[0].labels, labels(&[("lane", "1")]));
+        lane0.set(9.0);
+        let t = engine.evaluate(&registry, 1.0);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].labels, labels(&[("lane", "0")]));
+        assert_eq!(engine.firing_count(), 2);
+    }
+
+    #[test]
+    fn selector_matchers_restrict_the_fan_out() {
+        let registry = Registry::new();
+        registry
+            .gauge_with(
+                "tsp_test_q",
+                "t",
+                &[("stage", "solve"), ("quantile", "p99")],
+            )
+            .set(10.0);
+        registry
+            .gauge_with(
+                "tsp_test_q",
+                "t",
+                &[("stage", "queue"), ("quantile", "p99")],
+            )
+            .set(10.0);
+        let mut engine = AlertEngine::new().with_rule(AlertRule::threshold(
+            "SolveSlow",
+            Severity::Warning,
+            Selector::metric("tsp_test_q").with_label("stage", "solve"),
+            Cmp::Gt,
+            1.0,
+        ));
+        let t = engine.evaluate(&registry, 0.0);
+        assert_eq!(t.len(), 1);
+        assert!(t[0]
+            .labels
+            .contains(&("stage".to_string(), "solve".to_string())));
+    }
+
+    #[test]
+    fn stale_fires_on_a_frozen_sample_and_resolves_on_change() {
+        let registry = Registry::new();
+        let beats = registry.counter("tsp_test_beats_total", "t");
+        let mut engine = AlertEngine::new().with_rule(AlertRule::stale(
+            "HeartbeatLost",
+            Severity::Critical,
+            Selector::metric("tsp_test_beats_total"),
+            2.0,
+        ));
+        beats.inc();
+        assert!(engine.evaluate(&registry, 0.0).is_empty());
+        beats.inc();
+        assert!(engine.evaluate(&registry, 1.0).is_empty());
+        // Frozen from t=1; stale at t=3.
+        assert!(engine.evaluate(&registry, 2.0).is_empty());
+        let t = engine.evaluate(&registry, 3.0);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].to, AlertState::Firing);
+        assert_eq!(t[0].value, 2.0); // the staleness age
+        beats.inc();
+        let t = engine.evaluate(&registry, 4.0);
+        assert_eq!(t[0].to, AlertState::Resolved);
+    }
+
+    #[test]
+    fn stale_detects_total_absence() {
+        let registry = Registry::new();
+        let mut engine = AlertEngine::new().with_rule(AlertRule::stale(
+            "NeverCameUp",
+            Severity::Critical,
+            Selector::metric("tsp_test_missing_total"),
+            5.0,
+        ));
+        assert!(engine.evaluate(&registry, 0.0).is_empty());
+        assert!(engine.evaluate(&registry, 4.0).is_empty());
+        let t = engine.evaluate(&registry, 5.0);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].to, AlertState::Firing);
+        // The metric finally appears: the absence instance resolves.
+        registry.counter("tsp_test_missing_total", "t").inc();
+        let t = engine.evaluate(&registry, 6.0);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].to, AlertState::Resolved);
+    }
+
+    #[test]
+    fn burn_rate_needs_both_windows_hot_and_resets_via_the_short_one() {
+        let registry = Registry::new();
+        let errors = registry.counter("tsp_test_errors_total", "t");
+        let total = registry.counter("tsp_test_requests_total", "t");
+        let mut engine = AlertEngine::new().with_rule(AlertRule::burn_rate(
+            "ErrorBudgetBurn",
+            Severity::Critical,
+            Selector::metric("tsp_test_errors_total"),
+            Selector::metric("tsp_test_requests_total"),
+            0.1, // 10% budget
+            10.0,
+            2.0,
+            1.0,
+        ));
+
+        // Healthy baseline: 100 requests, 1 error over 4 ticks.
+        for t in 0..4 {
+            total.add(25.0);
+            if t == 0 {
+                errors.inc();
+            }
+            assert!(engine.evaluate(&registry, t as f64).is_empty(), "tick {t}");
+        }
+
+        // Burst: half the new requests error. Both windows heat up.
+        total.add(20.0);
+        errors.add(10.0);
+        let t = engine.evaluate(&registry, 4.0);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].to, AlertState::Firing);
+        assert!(t[0].value >= 1.0, "short-window burn was {}", t[0].value);
+
+        // Recovery: clean traffic. The short window cools first and
+        // resolves the alert even though the long window still burns.
+        total.add(25.0);
+        let t = engine.evaluate(&registry, 6.0);
+        total.add(25.0);
+        assert_eq!(t[0].to, AlertState::Resolved);
+        let t = engine.evaluate(&registry, 7.0);
+        assert_eq!(t[0].to, AlertState::Inactive);
+    }
+
+    #[test]
+    fn transitions_round_trip_through_jsonl() {
+        let registry = Registry::new();
+        let gauge = registry.gauge_with("tsp_test_age", "t", &[("tenant", "acme")]);
+        let mut engine = AlertEngine::new().with_rule(
+            AlertRule::threshold(
+                "QueueAge",
+                Severity::Warning,
+                Selector::metric("tsp_test_age"),
+                Cmp::Gt,
+                1.0,
+            )
+            .with_for_seconds(0.5),
+        );
+        let mut journal = String::new();
+        for (time, value) in [(0.0, 2.25), (0.5, 2.5), (1.0, 0.5), (1.5, 0.5)] {
+            gauge.set(value);
+            for tr in engine.evaluate(&registry, time) {
+                journal.push_str(&tr.to_json().to_string());
+                journal.push('\n');
+            }
+        }
+        let parsed = parse_alerts_jsonl(&journal).unwrap();
+        assert_eq!(parsed.len(), 4);
+        let states: Vec<AlertState> = parsed.iter().map(|t| t.to).collect();
+        assert_eq!(
+            states,
+            vec![
+                AlertState::Pending,
+                AlertState::Firing,
+                AlertState::Resolved,
+                AlertState::Inactive
+            ]
+        );
+        for (line, tr) in journal.lines().zip(&parsed) {
+            assert_eq!(tr.labels, labels(&[("tenant", "acme")]));
+            // Re-serializing the parsed transition reproduces the
+            // journal line byte for byte.
+            assert_eq!(tr.to_json().to_string(), line);
+        }
+        assert_eq!(parsed[0].value, 2.25);
+    }
+
+    #[test]
+    fn identical_histories_give_identical_transition_streams() {
+        let run = || {
+            let registry = Registry::new();
+            let gauge = registry.gauge("tsp_test_det", "t");
+            let err = registry.counter("tsp_test_det_err", "t");
+            let tot = registry.counter("tsp_test_det_tot", "t");
+            let mut engine = AlertEngine::new()
+                .with_rule(
+                    AlertRule::threshold(
+                        "G",
+                        Severity::Warning,
+                        Selector::metric("tsp_test_det"),
+                        Cmp::Gt,
+                        0.5,
+                    )
+                    .with_for_seconds(0.25),
+                )
+                .with_rule(AlertRule::stale(
+                    "S",
+                    Severity::Info,
+                    Selector::metric("tsp_test_det_tot"),
+                    1.0,
+                ))
+                .with_rule(AlertRule::burn_rate(
+                    "B",
+                    Severity::Critical,
+                    Selector::metric("tsp_test_det_err"),
+                    Selector::metric("tsp_test_det_tot"),
+                    0.2,
+                    4.0,
+                    1.0,
+                    1.0,
+                ));
+            let mut lines = Vec::new();
+            for i in 0..32u32 {
+                let t = f64::from(i) * 0.125;
+                gauge.set(if i % 7 < 3 { 1.0 } else { 0.0 });
+                tot.add(if i % 5 == 0 { 0.0 } else { 3.0 });
+                err.add(if i % 4 == 0 { 2.0 } else { 0.0 });
+                for tr in engine.evaluate(&registry, t) {
+                    lines.push(tr.to_json().to_string());
+                }
+            }
+            lines
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn alerts_gauges_mirror_the_census() {
+        let registry = Registry::new();
+        let gauge = registry.gauge_with("tsp_test_x", "t", &[("lane", "0")]);
+        registry
+            .gauge_with("tsp_test_x", "t", &[("lane", "1")])
+            .set(9.0);
+        gauge.set(9.0);
+        let mut engine = AlertEngine::new().with_rule(AlertRule::threshold(
+            "X",
+            Severity::Critical,
+            Selector::metric("tsp_test_x"),
+            Cmp::Gt,
+            1.0,
+        ));
+        engine.evaluate(&registry, 0.0);
+        engine.expose_into(&registry);
+        assert_eq!(
+            registry.gauge_value_with(
+                "ALERTS",
+                &[
+                    ("alertname", "X"),
+                    ("severity", "critical"),
+                    ("state", "firing")
+                ]
+            ),
+            Some(2.0)
+        );
+        assert_eq!(
+            registry.gauge_value_with(
+                "ALERTS",
+                &[
+                    ("alertname", "X"),
+                    ("severity", "critical"),
+                    ("state", "pending")
+                ]
+            ),
+            Some(0.0)
+        );
+        let exposition = registry.expose();
+        assert!(
+            exposition.contains("ALERTS{alertname=\"X\",severity=\"critical\",state=\"firing\"} 2")
+        );
+    }
+
+    #[test]
+    fn rules_round_trip_through_json() {
+        let rules = vec![
+            AlertRule::threshold(
+                "LaneStalled",
+                Severity::Critical,
+                Selector::metric("tsp_serve_lane_stall_seconds").with_label("lane", "0"),
+                Cmp::Gt,
+                0.5,
+            )
+            .with_for_seconds(1.5),
+            AlertRule::stale(
+                "HeartbeatLost",
+                Severity::Warning,
+                Selector::metric("tsp_serve_watchdog_ticks_total"),
+                30.0,
+            ),
+            AlertRule::burn_rate(
+                "RejectionSpike",
+                Severity::Critical,
+                Selector::metric("tsp_serve_rejections_total"),
+                Selector::metric("tsp_serve_requests_total"),
+                0.25,
+                60.0,
+                15.0,
+                1.0,
+            ),
+        ];
+        for rule in rules {
+            let text = rule.to_json().to_string();
+            let back = AlertRule::from_json(&tsp_trace::json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, rule);
+        }
+    }
+}

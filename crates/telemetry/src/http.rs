@@ -173,14 +173,18 @@ pub fn trace_seed() -> [u64; 2] {
     [nanos, COUNTER.fetch_add(1, Ordering::Relaxed)]
 }
 
-/// Why a request could not be read. Every variant is answered with a
-/// 400 — distinguishing them only changes the body text.
+/// Why a request could not be read. `TooLarge` and `Malformed` are
+/// answered with a 400; `Closed` means the peer hung up (or idled out)
+/// before sending a single byte — the keep-alive loop's normal exit,
+/// answered with nothing at all.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RequestError {
     /// The head or body exceeded its byte cap.
     TooLarge(&'static str),
     /// The request line/headers/body did not parse as HTTP.
     Malformed(&'static str),
+    /// Clean EOF (or read timeout) before any request byte arrived.
+    Closed,
 }
 
 impl RequestError {
@@ -188,6 +192,7 @@ impl RequestError {
     pub fn message(&self) -> &'static str {
         match self {
             RequestError::TooLarge(m) | RequestError::Malformed(m) => m,
+            RequestError::Closed => "connection closed\n",
         }
     }
 }
@@ -221,6 +226,9 @@ pub fn read_request(
         }
     }
     let Some(head_end) = head_end else {
+        if bytes.is_empty() {
+            return Err(RequestError::Closed);
+        }
         return Err(RequestError::Malformed("malformed request line\n"));
     };
     let head = String::from_utf8_lossy(&bytes[..head_end]).into_owned();
@@ -330,14 +338,23 @@ impl Response {
         self
     }
 
-    /// Serialize the response (status line, headers, body).
+    /// Serialize the response (status line, headers, body) for a
+    /// connection that closes after this response.
     pub fn to_bytes(&self) -> Vec<u8> {
+        self.to_bytes_with_connection("close")
+    }
+
+    /// Serialize with an explicit `Connection` header value — the
+    /// keep-alive loop passes `"keep-alive"` while the connection's
+    /// request budget lasts and `"close"` on the final response.
+    pub fn to_bytes_with_connection(&self, connection: &str) -> Vec<u8> {
         let mut head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
             self.status,
             reason(self.status),
             self.content_type,
             self.body.len(),
+            connection,
         );
         for (name, value) in &self.headers {
             head.push_str(&format!("{name}: {value}\r\n"));
@@ -564,8 +581,10 @@ impl Drop for AccessLog {
 }
 
 /// A bounded-concurrency embedded HTTP server: one accept loop, one
-/// short-lived thread per connection, one request per connection.
-/// Shuts down (and joins the accept loop) on drop.
+/// short-lived thread per connection, up to
+/// [`MAX_KEEPALIVE_REQUESTS`] requests per connection (HTTP/1.1
+/// keep-alive; `Connection: close` is honored per request). Shuts
+/// down (and joins the accept loop) on drop.
 #[derive(Debug)]
 pub struct HttpServer {
     addr: SocketAddr,
@@ -648,22 +667,44 @@ impl Drop for HttpServer {
     }
 }
 
+/// Most requests one keep-alive connection may issue before the
+/// server answers `Connection: close` and hangs up — a bound so no
+/// single client pins a connection thread forever.
+pub const MAX_KEEPALIVE_REQUESTS: usize = 64;
+
 fn handle_connection(mut stream: TcpStream, router: &Router, access_log: Option<&AccessLog>) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(2000)));
-    let started = Instant::now();
-    let (request, response) = match read_request(&mut stream, MAX_HEAD_BYTES, MAX_BODY_BYTES) {
-        Ok(req) => {
-            let resp = router.dispatch(&req);
-            (Some(req), resp)
+    for served in 1..=MAX_KEEPALIVE_REQUESTS {
+        let started = Instant::now();
+        let (request, response) = match read_request(&mut stream, MAX_HEAD_BYTES, MAX_BODY_BYTES) {
+            Ok(req) => {
+                let resp = router.dispatch(&req);
+                (Some(req), resp)
+            }
+            // The peer hung up (or idled past the read timeout)
+            // between requests: nothing to answer.
+            Err(RequestError::Closed) => return,
+            Err(e) => (None, Response::text(400, e.message())),
+        };
+        // HTTP/1.1 defaults to keep-alive; honor an explicit
+        // `Connection: close`, close after errors, and close once the
+        // per-connection request budget is spent.
+        let keep_alive = served < MAX_KEEPALIVE_REQUESTS
+            && request.as_ref().is_some_and(|req| {
+                req.header("connection")
+                    .is_none_or(|v| !v.eq_ignore_ascii_case("close"))
+            });
+        let connection = if keep_alive { "keep-alive" } else { "close" };
+        let _ = stream.write_all(&response.to_bytes_with_connection(connection));
+        if let (Some(log), Some(req)) = (access_log, request.as_ref()) {
+            let trace_id = TraceContext::of_request(req)
+                .map(|t| t.trace_id)
+                .unwrap_or_default();
+            log.log(req, &response, started.elapsed(), &trace_id);
         }
-        Err(e) => (None, Response::text(400, e.message())),
-    };
-    response.write(&mut stream);
-    if let (Some(log), Some(req)) = (access_log, request.as_ref()) {
-        let trace_id = TraceContext::of_request(req)
-            .map(|t| t.trace_id)
-            .unwrap_or_default();
-        log.log(req, &response, started.elapsed(), &trace_id);
+        if !keep_alive {
+            return;
+        }
     }
 }
 
@@ -716,6 +757,171 @@ pub fn http_request_with_headers(
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no status code"))?;
     Ok((status, head.to_string(), body.to_string()))
+}
+
+/// A client that keeps one TCP connection open across requests —
+/// every call after the first saves a connection setup. The server
+/// bounds reuse at [`MAX_KEEPALIVE_REQUESTS`]; when it answers
+/// `Connection: close` (or hangs up) the next call reconnects
+/// transparently and the saved-setup count stops growing.
+#[derive(Debug)]
+pub struct KeepAliveClient {
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
+    /// Bytes read past the previous response (normally empty — the
+    /// protocol here is strictly request/response).
+    leftover: Vec<u8>,
+    requests: u64,
+    connects: u64,
+}
+
+impl KeepAliveClient {
+    /// A client for `addr`; connects lazily on the first request.
+    pub fn new(addr: SocketAddr) -> KeepAliveClient {
+        KeepAliveClient {
+            addr,
+            stream: None,
+            leftover: Vec::new(),
+            requests: 0,
+            connects: 0,
+        }
+    }
+
+    /// Requests issued so far.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// TCP connections actually opened.
+    pub fn connects(&self) -> u64 {
+        self.connects
+    }
+
+    /// Connection setups avoided by reuse (`requests - connects`).
+    pub fn saved_connects(&self) -> u64 {
+        self.requests.saturating_sub(self.connects)
+    }
+
+    /// Issue one request on the pooled connection; returns `(status,
+    /// response head, body)` like [`http_request`]. Reconnects once
+    /// if the pooled connection turned out to be dead (the server
+    /// closed it between requests).
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        content_type: &str,
+        body: &str,
+        extra: &[(&str, &str)],
+    ) -> io::Result<(u16, String, String)> {
+        self.requests += 1;
+        let fresh = self.stream.is_none();
+        match self.round_trip(method, path, content_type, body, extra) {
+            Ok(out) => Ok(out),
+            Err(err) if !fresh => {
+                // The pooled connection died (budget spent, idle
+                // timeout); retry once on a fresh one.
+                self.stream = None;
+                self.leftover.clear();
+                let _ = err;
+                self.round_trip(method, path, content_type, body, extra)
+            }
+            Err(err) => Err(err),
+        }
+    }
+
+    fn round_trip(
+        &mut self,
+        method: &str,
+        path: &str,
+        content_type: &str,
+        body: &str,
+        extra: &[(&str, &str)],
+    ) -> io::Result<(u16, String, String)> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect(self.addr)?;
+            stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+            self.stream = Some(stream);
+            self.connects += 1;
+        }
+        let stream = self.stream.as_mut().expect("connected above");
+        let mut head = format!("{method} {path} HTTP/1.1\r\nHost: {}\r\n", self.addr);
+        if !body.is_empty() {
+            head.push_str(&format!(
+                "Content-Type: {content_type}\r\nContent-Length: {}\r\n",
+                body.len()
+            ));
+        }
+        for (name, value) in extra {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str("Connection: keep-alive\r\n\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(body.as_bytes())?;
+
+        // Read exactly one framed response: head through \r\n\r\n,
+        // then Content-Length body bytes (read_to_string would block
+        // until the server closes the connection — the opposite of
+        // the point).
+        let mut bytes = std::mem::take(&mut self.leftover);
+        let mut buf = [0u8; 4096];
+        let head_end = loop {
+            if let Some(pos) = bytes.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos;
+            }
+            match stream.read(&mut buf)? {
+                0 => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    ))
+                }
+                n => bytes.extend_from_slice(&buf[..n]),
+            }
+        };
+        let head = String::from_utf8_lossy(&bytes[..head_end]).into_owned();
+        let status: u16 = head
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no status code"))?;
+        let content_length: usize = head
+            .lines()
+            .find_map(|line| {
+                let (name, value) = line.split_once(':')?;
+                name.trim()
+                    .eq_ignore_ascii_case("content-length")
+                    .then(|| value.trim().parse().ok())?
+            })
+            .unwrap_or(0);
+        let body_start = head_end + 4;
+        while bytes.len() < body_start + content_length {
+            match stream.read(&mut buf)? {
+                0 => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "truncated response body",
+                    ))
+                }
+                n => bytes.extend_from_slice(&buf[..n]),
+            }
+        }
+        self.leftover = bytes.split_off(body_start + content_length);
+        let body = String::from_utf8_lossy(&bytes[body_start..]).into_owned();
+        // Honor the server's close decision so the next request
+        // reconnects cleanly instead of failing and retrying.
+        let closing = head.lines().any(|line| {
+            line.split_once(':').is_some_and(|(name, value)| {
+                name.trim().eq_ignore_ascii_case("connection")
+                    && value.trim().eq_ignore_ascii_case("close")
+            })
+        });
+        if closing {
+            self.stream = None;
+            self.leftover.clear();
+        }
+        Ok((status, head, body))
+    }
 }
 
 #[cfg(test)]
@@ -1054,6 +1260,68 @@ mod tests {
         let second = tsp_trace::json::parse(lines[1]).unwrap();
         assert_eq!(second.get("status").unwrap().as_f64(), Some(405.0));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn keep_alive_reuses_one_connection_across_requests() {
+        let server =
+            HttpServer::spawn("127.0.0.1:0", "tsp-http-keepalive", Arc::new(table())).unwrap();
+        let mut client = KeepAliveClient::new(server.addr());
+        for i in 0..10 {
+            let (status, head, body) = client.request("GET", "/v1/jobs/j7", "", "", &[]).unwrap();
+            assert_eq!(status, 200, "request {i}");
+            assert_eq!(body, "j7");
+            assert!(head.contains("Connection: keep-alive"), "{head}");
+        }
+        let (status, _, body) = client
+            .request("POST", "/v1/solve", "application/json", "{}", &[])
+            .unwrap();
+        assert_eq!(status, 202);
+        assert_eq!(body, "{}");
+        assert_eq!(client.requests(), 11);
+        assert_eq!(client.connects(), 1, "every request rode one socket");
+        assert_eq!(client.saved_connects(), 10);
+        server.shutdown();
+    }
+
+    #[test]
+    fn keep_alive_budget_is_bounded_and_the_client_reconnects() {
+        let server =
+            HttpServer::spawn("127.0.0.1:0", "tsp-http-budget", Arc::new(table())).unwrap();
+        let mut client = KeepAliveClient::new(server.addr());
+        for i in 1..=MAX_KEEPALIVE_REQUESTS {
+            let (_, head, _) = client.request("GET", "/metrics", "", "", &[]).unwrap();
+            let expect = if i < MAX_KEEPALIVE_REQUESTS {
+                "Connection: keep-alive"
+            } else {
+                // The budget's last response warns the client off.
+                "Connection: close"
+            };
+            assert!(head.contains(expect), "request {i}: {head}");
+        }
+        assert_eq!(client.connects(), 1);
+        // The next request transparently opens connection #2.
+        let (status, _, _) = client.request("GET", "/metrics", "", "", &[]).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(client.connects(), 2);
+        assert_eq!(
+            client.saved_connects(),
+            MAX_KEEPALIVE_REQUESTS as u64 - 1,
+            "reuse saved all but the two real connects"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn explicit_connection_close_is_honored_per_request() {
+        let server = HttpServer::spawn("127.0.0.1:0", "tsp-http-close", Arc::new(table())).unwrap();
+        // The one-shot helper asks for close and drains to EOF — if
+        // the server kept the connection open this would hang until
+        // the read timeout instead of returning promptly.
+        let (status, head, _) = http_request(server.addr(), "GET", "/metrics", "", "").unwrap();
+        assert_eq!(status, 200);
+        assert!(head.contains("Connection: close"), "{head}");
+        server.shutdown();
     }
 
     #[test]

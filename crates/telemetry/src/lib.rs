@@ -27,6 +27,7 @@
 //! assert!(telemetry.expose().contains("tsp_gpu_kernel_launches_total 1"));
 //! ```
 
+pub mod alerts;
 pub mod http;
 pub mod journal;
 pub mod prometheus;
@@ -34,9 +35,13 @@ pub mod quantile;
 pub mod registry;
 pub mod server;
 
+pub use alerts::{
+    parse_alerts_jsonl, ActiveAlert, AlertEngine, AlertRule, AlertState, AlertTransition, Cmp,
+    RuleKind, Selector, Severity,
+};
 pub use http::{
-    http_request, http_request_with_headers, trace_seed, AccessLog, HttpServer, Params, Request,
-    Response, Router, TraceContext, TRACEPARENT,
+    http_request, http_request_with_headers, trace_seed, AccessLog, HttpServer, KeepAliveClient,
+    Params, Request, Response, Router, TraceContext, MAX_KEEPALIVE_REQUESTS, TRACEPARENT,
 };
 pub use journal::{parse_jsonl, Journal, JournalEvent, JournalRecord, JournalWriter};
 pub use prometheus::{parse_text, FamilySummary, CONTENT_TYPE};

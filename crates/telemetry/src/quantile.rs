@@ -132,15 +132,22 @@ impl P2Quantile {
     }
 
     /// The current estimate, `None` before the first observation.
-    /// Exact (nearest-rank on the sorted prefix) below five
-    /// observations, P²-interpolated after.
+    ///
+    /// Below five observations the marker invariant is not yet
+    /// established, so instead of interpolating the estimate is read
+    /// **exactly** off the sorted prefix with the standard
+    /// nearest-rank definition: the element at index `⌈p·n⌉ − 1`.
+    /// One observation answers every quantile with itself; p95/p99 of
+    /// 2–4 observations answer the maximum; the p50 of an even prefix
+    /// answers the lower middle. From the fifth observation on the
+    /// estimate is the P²-interpolated middle marker.
     pub fn estimate(&self) -> Option<f64> {
         match self.count {
             0 => None,
             c @ 1..=4 => {
                 let filled = &self.warmup[..c as usize];
-                let idx = (self.p * (c as f64 - 1.0)).round() as usize;
-                Some(filled[idx.min(filled.len() - 1)])
+                let rank = (self.p * c as f64).ceil() as usize;
+                Some(filled[rank.saturating_sub(1).min(filled.len() - 1)])
             }
             _ => Some(self.q[2]),
         }
@@ -223,6 +230,37 @@ mod tests {
         // Sorted prefix [2, 6, 10]: the median is exact.
         assert_eq!(est.estimate(), Some(6.0));
         assert_eq!(est.count(), 3);
+    }
+
+    #[test]
+    fn small_sample_estimates_pin_nearest_rank_for_one_to_four() {
+        // One observation answers every quantile with itself.
+        for p in LATENCY_QUANTILES {
+            let mut est = P2Quantile::new(p);
+            est.observe(7.5);
+            assert_eq!(est.estimate(), Some(7.5), "p{p} of one observation");
+        }
+        // Two to four observations: nearest rank ⌈p·n⌉−1 on the
+        // sorted prefix. The tails answer the maximum, the median
+        // answers the lower middle of an even prefix.
+        let stream = [40.0, 10.0, 30.0, 20.0]; // sorted: 10 20 30 40
+        let expect_p50 = [40.0, 10.0, 30.0, 20.0]; // n=1..4 medians
+        for n in 1..=4usize {
+            let (mut p50, mut p95, mut p99) = (
+                P2Quantile::new(0.5),
+                P2Quantile::new(0.95),
+                P2Quantile::new(0.99),
+            );
+            for &x in &stream[..n] {
+                p50.observe(x);
+                p95.observe(x);
+                p99.observe(x);
+            }
+            let max = stream[..n].iter().cloned().fold(f64::MIN, f64::max);
+            assert_eq!(p50.estimate(), Some(expect_p50[n - 1]), "p50 of {n}");
+            assert_eq!(p95.estimate(), Some(max), "p95 of {n}");
+            assert_eq!(p99.estimate(), Some(max), "p99 of {n}");
+        }
     }
 
     #[test]

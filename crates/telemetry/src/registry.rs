@@ -435,6 +435,40 @@ impl Registry {
         lock(&self.families).keys().cloned().collect()
     }
 
+    /// The kind of the family `name`, if registered.
+    pub fn kind(&self, name: &str) -> Option<MetricKind> {
+        lock(&self.families).get(name).map(|f| f.kind)
+    }
+
+    /// Every sample of the family `name` as `(labels, value)` pairs in
+    /// exposition (label-sorted, deterministic) order. The scalar is
+    /// the counter or gauge value; for histograms it is the
+    /// observation count — the rate a burn-window cares about. Empty
+    /// when the family is not registered.
+    ///
+    /// This is the read surface the alert evaluator walks: unlike the
+    /// `*_value_with` lookups it does not need the label set up front,
+    /// so one rule can fan out over every lane/tenant/stage sample of
+    /// a family.
+    pub fn samples(&self, name: &str) -> Vec<(Labels, f64)> {
+        let families = lock(&self.families);
+        let Some(family) = families.get(name) else {
+            return Vec::new();
+        };
+        family
+            .samples
+            .iter()
+            .map(|(labels, inst)| {
+                let value = match inst {
+                    Instrument::Counter(c) => c.value(),
+                    Instrument::Gauge(g) => g.value(),
+                    Instrument::Histogram(h) => h.count() as f64,
+                };
+                (labels.clone(), value)
+            })
+            .collect()
+    }
+
     /// Render the whole registry in Prometheus text format 0.0.4.
     pub fn expose(&self) -> String {
         crate::prometheus::expose(&lock(&self.families))

@@ -22,7 +22,15 @@
 //! * every job left a parseable, invariant-clean `request.json` span
 //!   whose modeled seconds match the status, and the rolling
 //!   `tsp_serve_latency_seconds{stage,quantile}` gauges are non-zero;
-//! * `GET /v1/ops` snapshots every job with its lane and trace id.
+//! * `GET /v1/ops` snapshots every job with its lane and trace id;
+//! * every client polls over a **keep-alive** connection (one TCP
+//!   setup, dozens of requests), and the watchdog — ticked throughout
+//!   the healthy run — records **zero** alert transitions;
+//! * a second, fault-injected phase (one stalled lane, a storm tenant
+//!   blowing its quota) makes exactly the right rules fire
+//!   (`LaneStalled`, `QueueAgeSlo`, `TenantStarved`,
+//!   `RejectionSpike`), resolve after the drain, and journal to an
+//!   `alerts.jsonl` that round-trips through `tsp-inspect alerts`.
 //!
 //! Writes `BENCH_serve.json` (service throughput) and
 //! `BENCH_serve_obs.json` (observability coverage): deterministic
@@ -30,15 +38,23 @@
 //! bit-stable run to run) and wall-clock statistics under `"wall"`
 //! (gated with a wide tolerance in CI).
 
+use std::collections::BTreeSet;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 use tsp::prelude::*;
-use tsp_serve::api::{JobState, JobStatus, OpsSnapshot, SolveRequest, SolveResponse};
-use tsp_serve::{RequestSpan, ServeServer, ServiceConfig, SolveService};
-use tsp_telemetry::{http_request, http_request_with_headers, TraceContext, TRACEPARENT};
+use tsp_apps::inspect;
+use tsp_serve::api::{
+    AlertsSnapshot, ErrorCode, JobState, JobStatus, OpsSnapshot, SolveRequest, SolveResponse,
+};
+use tsp_serve::{AlertConfig, RequestSpan, ServeServer, ServiceConfig, SolveService};
+use tsp_telemetry::{http_request, AlertState, KeepAliveClient, TraceContext, TRACEPARENT};
 use tsp_trace::json::Json;
 
 const JOBS: usize = 50;
+
+/// Quota-bouncing submissions from the storm tenant in the fault
+/// phase — each lands a deterministic `quota_exceeded` rejection.
+const STORM_REJECTS: usize = 8;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -60,12 +76,17 @@ fn main() {
 
     let telemetry = Telemetry::attached();
     let prof = Profiler::attached();
-    let cfg = ServiceConfig::default().with_artifacts_dir(&artifacts_dir);
+    // Manual watchdog ticks (interval 0) keep the alert evaluation
+    // cadence under the smoke's control instead of a timer thread's.
+    let cfg = ServiceConfig::default()
+        .with_artifacts_dir(&artifacts_dir)
+        .with_alerts(AlertConfig::default().with_watchdog_interval_ms(0));
     let devices = cfg.devices;
     let service =
         SolveService::start(cfg, telemetry.clone(), prof.clone()).expect("boot the solve service");
     let server = ServeServer::spawn("127.0.0.1:0", service).expect("bind a loopback port");
     let addr = server.addr();
+    let svc = server.service().clone();
     println!("tsp-serve listening on {addr} ({devices} devices, artifacts in {artifacts_dir})");
 
     // --- 50 deterministic jobs, one client thread each ---------------
@@ -74,10 +95,14 @@ fn main() {
     // completion order the scheduler picks. Each client mints a
     // deterministic trace context and expects it echoed end to end.
     let results: Mutex<Vec<(usize, JobStatus, f64, String)>> = Mutex::new(Vec::new());
+    // (requests, connects) summed over every client's keep-alive
+    // connection: each thread submits and polls on ONE TCP stream.
+    let keepalive: Mutex<(u64, u64)> = Mutex::new((0, 0));
     let wall_start = Instant::now();
     std::thread::scope(|scope| {
         for i in 0..JOBS {
             let results = &results;
+            let keepalive = &keepalive;
             scope.spawn(move || {
                 let inst = tsp::tsplib::generate(
                     &format!("smoke-{i:02}"),
@@ -90,16 +115,17 @@ fn main() {
                     .with_ils_iterations(2 + (i % 3) as u64)
                     .with_seed(i as u64);
                 let ctx = TraceContext::generate(&[0x5e_4e_5e_4e, i as u64]);
+                let mut client = KeepAliveClient::new(addr);
                 let started = Instant::now();
-                let (status, _, body) = http_request_with_headers(
-                    addr,
-                    "POST",
-                    "/v1/solve",
-                    "application/json",
-                    &req.to_json().to_string(),
-                    &[(TRACEPARENT, &ctx.to_header())],
-                )
-                .expect("POST /v1/solve");
+                let (status, _, body) = client
+                    .request(
+                        "POST",
+                        "/v1/solve",
+                        "application/json",
+                        &req.to_json().to_string(),
+                        &[(TRACEPARENT, &ctx.to_header())],
+                    )
+                    .expect("POST /v1/solve");
                 assert_eq!(status, 202, "job {i} rejected: {body}");
                 let resp = SolveResponse::parse(&body).expect("valid response");
                 assert_eq!(
@@ -109,9 +135,9 @@ fn main() {
                 );
                 let job_id = resp.job_id;
                 let job = loop {
-                    let (status, _, body) =
-                        http_request(addr, "GET", &format!("/v1/jobs/{job_id}"), "", "")
-                            .expect("GET /v1/jobs/{id}");
+                    let (status, _, body) = client
+                        .request("GET", &format!("/v1/jobs/{job_id}"), "", "", &[])
+                        .expect("GET /v1/jobs/{id}");
                     assert_eq!(status, 200, "{body}");
                     let job = JobStatus::parse(&body).expect("valid status");
                     if job.state.is_terminal() {
@@ -120,14 +146,32 @@ fn main() {
                     std::thread::sleep(Duration::from_millis(2));
                 };
                 let latency = started.elapsed().as_secs_f64();
+                let mut totals = keepalive.lock().unwrap();
+                totals.0 += client.requests();
+                totals.1 += client.connects();
+                drop(totals);
                 results
                     .lock()
                     .unwrap()
                     .push((i, job, latency, ctx.trace_id));
             });
         }
+        // Meanwhile the main thread plays watchdog: tick the alert
+        // evaluator throughout the healthy run so "zero transitions"
+        // below is a claim about the loaded service, not an idle one.
+        while results.lock().unwrap().len() < JOBS {
+            svc.watchdog_tick();
+            std::thread::sleep(Duration::from_millis(5));
+        }
     });
     let elapsed = wall_start.elapsed().as_secs_f64();
+
+    let (poll_requests, poll_connects) = *keepalive.lock().unwrap();
+    let poll_saved = poll_requests - poll_connects;
+    assert!(
+        poll_saved >= JOBS as u64,
+        "keep-alive must save at least one setup per client ({poll_requests} requests, {poll_connects} connects)"
+    );
 
     let mut results = results.into_inner().unwrap();
     results.sort_by_key(|&(i, _, _, _)| i);
@@ -246,6 +290,51 @@ fn main() {
         .find(|l| l.stage == "end_to_end")
         .expect("end_to_end latency stage");
     assert_eq!(e2e_latency.count, JOBS as u64, "estimator saw every job");
+    assert_eq!(
+        ops.lane_health.len() as u64,
+        ops.lanes,
+        "ops reports every lane's health"
+    );
+    assert!(
+        ops.lane_health.iter().all(|l| !l.busy),
+        "all lanes idle after the drain"
+    );
+    assert_eq!(ops.alerts_firing, 0, "no alert fires on a healthy fleet");
+
+    // --- /v1/alerts: zero false positives, over keep-alive -----------
+    // The watchdog ticked ~every 5ms through the whole loaded run; a
+    // healthy fleet must not have recorded a single state transition
+    // (not even into Pending). The probe below rides one keep-alive
+    // connection with a fixed request count, so its saved-setup
+    // arithmetic is bit-deterministic for the bench file.
+    svc.watchdog_tick();
+    svc.watchdog_tick();
+    let mut probe = KeepAliveClient::new(addr);
+    let mut alerts_body = String::new();
+    for k in 0..8 {
+        let path = if k % 2 == 0 { "/v1/alerts" } else { "/healthz" };
+        let (status, _, body) = probe
+            .request("GET", path, "", "", &[])
+            .expect("keep-alive probe");
+        assert_eq!(status, 200, "{path}: {body}");
+        if k % 2 == 0 {
+            alerts_body = body;
+        }
+    }
+    assert_eq!(probe.requests(), 8);
+    assert_eq!(probe.connects(), 1, "the probe reuses one connection");
+    assert_eq!(probe.saved_connects(), 7);
+    let alerts = AlertsSnapshot::parse(&alerts_body).expect("alerts snapshot parses");
+    assert_eq!(alerts.firing, 0, "healthy fleet: nothing firing");
+    assert!(alerts.alerts.is_empty(), "healthy fleet: nothing active");
+    assert_eq!(alerts.transitions_total, 0, "healthy fleet: no transitions");
+    assert!(alerts.evaluations_total > 0, "the watchdog did evaluate");
+    let alert_rules = alerts.rules;
+    assert_eq!(alert_rules, 5, "the five built-in fleet rules are loaded");
+    assert!(
+        svc.alert_transitions().is_empty(),
+        "zero false positives across the healthy phase"
+    );
 
     // --- Shutdown: overlap + ledger ----------------------------------
     let (_service, reports) = server.shutdown();
@@ -274,6 +363,16 @@ fn main() {
         "only the arenas may allocate: {JOBS} jobs ran without a single device allocation"
     );
 
+    // --- Fault phase: make the right rules fire ----------------------
+    let fault = fault_phase(&artifacts_dir);
+    println!(
+        "fault phase: {} rules fired, {} rejections, {} transitions in {:.2}s",
+        fault.rules_fired.len(),
+        fault.rejections,
+        fault.transitions,
+        fault.wall_seconds
+    );
+
     // --- BENCH_serve.json --------------------------------------------
     let mut wall = Json::obj();
     wall.set("throughput_jobs_per_s", throughput.into());
@@ -300,6 +399,10 @@ fn main() {
     let mut obs_wall = Json::obj();
     obs_wall.set("e2e_wall_total_s", e2e_wall_total.into());
     obs_wall.set("latency_gauges", latency_gauges);
+    obs_wall.set("poll_requests", (poll_requests as f64).into());
+    obs_wall.set("poll_saved_connects", (poll_saved as f64).into());
+    obs_wall.set("fault_wall_s", fault.wall_seconds.into());
+    obs_wall.set("fault_transitions", (fault.transitions as f64).into());
     let mut obs = Json::obj();
     obs.set("jobs", (JOBS as u64).into());
     obs.set("spans_valid", (spans_valid as u64).into());
@@ -310,6 +413,12 @@ fn main() {
         "span_modeled_seconds_total",
         span_modeled_seconds_total.into(),
     );
+    obs.set("alert_rules", alert_rules.into());
+    obs.set("healthy_alert_transitions", 0u64.into());
+    obs.set("keepalive_probe_requests", 8u64.into());
+    obs.set("keepalive_probe_saved_connects", 7u64.into());
+    obs.set("fault_rules_fired", (fault.rules_fired.len() as u64).into());
+    obs.set("fault_rejections", (fault.rejections as u64).into());
     obs.set("wall", obs_wall);
     std::fs::write(&obs_out, format!("{obs}\n"))
         .unwrap_or_else(|e| panic!("cannot write {obs_out}: {e}"));
@@ -321,5 +430,154 @@ fn main() {
     println!("tour_length_sum={tour_length_sum} modeled_seconds_total={modeled_seconds_total:.6}");
     println!("steady_state_allocs={steady_state_allocs} overlap={overlap:.2}");
     println!("spans_valid={spans_valid} traces_propagated={traces_propagated}");
+    println!(
+        "keepalive: {poll_requests} polls over {poll_connects} connections (saved {poll_saved})"
+    );
     println!("SERVE SMOKE OK");
+}
+
+/// What the fault phase proved, for the bench file.
+struct FaultOutcome {
+    rules_fired: BTreeSet<String>,
+    rejections: usize,
+    transitions: usize,
+    wall_seconds: f64,
+}
+
+/// Fault-injected phase: a fresh 1×1 service where one tenant's job
+/// holds the only lane without heartbeating, two bystander tenants
+/// age in the queue behind it, and a storm tenant hammers past its
+/// quota — then assert exactly the right rules fire, resolve after
+/// the drain, and journal to a parseable `alerts.jsonl`.
+fn fault_phase(artifacts_dir: &str) -> FaultOutcome {
+    let dir = format!("{artifacts_dir}-fault");
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = ServiceConfig::default()
+        .with_devices(1)
+        .with_streams(1)
+        .with_per_tenant_quota(2)
+        .with_queue_capacity(16)
+        .with_artifacts_dir(&dir)
+        // Hold the lane ~600ms without heartbeating right after the
+        // Solving stamp; the solve itself is untouched (bit-inert).
+        .with_injected_stall("stall-tenant", 600)
+        .with_alerts(
+            AlertConfig::default()
+                .with_watchdog_interval_ms(0)
+                .with_stall_seconds(0.05)
+                .with_queue_age_slo_seconds(0.08)
+                .with_starvation_for_seconds(0.0)
+                .with_rejection_burn(0.05, 0.3, 0.1, 1.0),
+        );
+    let service = SolveService::start(cfg, Telemetry::attached(), Profiler::attached())
+        .expect("boot the fault-phase service");
+    let wall = Instant::now();
+    let submit = |name: &str, seed: u64, tenant: &str| {
+        let inst = tsp::tsplib::generate(name, 48, tsp::tsplib::Style::Uniform, seed);
+        service.submit(
+            SolveRequest::tsplib(tsp::tsplib::writer::write(&inst))
+                .with_tenant(tenant)
+                .with_seed(seed),
+        )
+    };
+
+    // Baseline evaluation before any fault, so the burn-rate deltas
+    // measured by later ticks are visible against a clean sample.
+    service.watchdog_tick();
+
+    // The stalled job grabs the only lane; everyone else queues.
+    let mut ids = vec![submit("fault-stall", 1, "stall-tenant").unwrap().job_id];
+    ids.push(submit("fault-q0", 2, "patient").unwrap().job_id);
+    ids.push(submit("fault-q1", 3, "bystander").unwrap().job_id);
+    ids.push(submit("fault-s0", 4, "storm").unwrap().job_id);
+    ids.push(submit("fault-s1", 5, "storm").unwrap().job_id);
+
+    // Storm: the tenant is now at quota (2 live) and stays there while
+    // the lane is stalled, so every extra submission bounces — and the
+    // bounces interleave with ticks so the burn-rate windows see them.
+    let mut rejections = 0;
+    for k in 0..STORM_REJECTS {
+        let err = submit("fault-burst", 6 + k as u64, "storm").unwrap_err();
+        assert_eq!(
+            err.code,
+            ErrorCode::QuotaExceeded,
+            "storm submission {k} must bounce off the quota"
+        );
+        rejections += 1;
+        service.watchdog_tick();
+        std::thread::sleep(Duration::from_millis(15));
+    }
+
+    // Keep ticking until every expected rule has fired, all jobs are
+    // terminal, and everything has resolved back to quiet.
+    let expected: BTreeSet<String> = [
+        "LaneStalled",
+        "QueueAgeSlo",
+        "TenantStarved",
+        "RejectionSpike",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let mut fired: BTreeSet<String> = BTreeSet::new();
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        service.watchdog_tick();
+        for tr in service.alert_transitions() {
+            if tr.to == AlertState::Firing {
+                fired.insert(tr.rule);
+            }
+        }
+        let drained = ids
+            .iter()
+            .all(|id| service.status(id).unwrap().state.is_terminal());
+        if drained && fired.len() >= expected.len() && service.alerts_snapshot().firing == 0 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "fault phase did not converge; fired so far: {fired:?}"
+        );
+        std::thread::sleep(Duration::from_millis(15));
+    }
+    assert_eq!(fired, expected, "exactly the injected faults fire");
+
+    // Fired rules resolved once the fault cleared: the journal holds a
+    // Firing and a Firing->Resolved edge for the stall and the queue.
+    let transitions = service.alert_transitions();
+    for rule in ["LaneStalled", "QueueAgeSlo"] {
+        assert!(
+            transitions
+                .iter()
+                .any(|t| t.rule == rule && t.to == AlertState::Firing),
+            "{rule} never fired"
+        );
+        assert!(
+            transitions.iter().any(|t| t.rule == rule
+                && t.from == AlertState::Firing
+                && t.to == AlertState::Resolved),
+            "{rule} never resolved"
+        );
+    }
+
+    // alerts.jsonl round-trips: the on-disk journal is the in-memory
+    // transition log, line for line — and tsp-inspect renders it.
+    let journal = inspect::load_alert_transitions(std::path::Path::new(&dir))
+        .expect("alerts.jsonl parses back");
+    assert_eq!(journal.len(), transitions.len(), "journal is complete");
+    for (a, b) in journal.iter().zip(&transitions) {
+        assert_eq!(a.to_json().to_string(), b.to_json().to_string());
+    }
+    let timeline = inspect::render_alert_timeline(&journal);
+    assert!(timeline.contains("LaneStalled"), "timeline names the stall");
+    assert!(timeline.contains("firing intervals:"));
+    print!("{timeline}");
+
+    service.shutdown();
+    FaultOutcome {
+        rules_fired: fired,
+        rejections,
+        transitions: transitions.len(),
+        wall_seconds: wall.elapsed().as_secs_f64(),
+    }
 }
